@@ -1,0 +1,40 @@
+//! The paper's comparison systems, rebuilt so the evaluation can be
+//! regenerated rather than quoted.
+//!
+//! * [`WalSystem`] — an RVM-like recoverable virtual memory using the
+//!   Write-Ahead Logging protocol of the paper's Figure 2: an in-memory
+//!   undo log for aborts, a redo log written **synchronously at commit**,
+//!   and periodic checkpoints that propagate committed updates to the
+//!   database file. It is generic over its [`StableStore`]:
+//!   [`WalSystem::rvm`] puts the log on a simulated 1998 magnetic disk,
+//!   [`WalSystem::rio_rvm`] on a [`RioCache`] (memory-speed reliable file
+//!   cache), reproducing the RVM vs. Rio-RVM comparison. A configurable
+//!   group-commit factor implements the optimisation the paper says
+//!   PERSEAS still beats by an order of magnitude.
+//! * [`RioCache`] — a model of the Rio reliable file cache: main memory
+//!   that survives crashes, reachable through a (costly) file interface or
+//!   through (cheap) mapped stores.
+//! * [`VistaSystem`] — a Vista-like library: database and undo log both
+//!   live in reliable mapped memory; commit discards the undo log with a
+//!   single word write; no redo log, no disk.
+//! * [`NetWalStore`] — the remote-memory WAL of Ioannidis et al. (paper
+//!   §2): log mirrored to remote memory, streamed to disk asynchronously;
+//!   fast until the write buffer fills, then bounded by disk throughput.
+//!
+//! All systems implement [`perseas_txn::TransactionalMemory`], so the
+//! workloads and the benchmark harness drive them interchangeably with
+//! PERSEAS.
+
+mod netwal;
+mod rio;
+mod store;
+mod vista;
+mod wal;
+mod walog;
+
+pub use netwal::NetWalStore;
+pub use rio::{RioCache, RioParams, RioRegionId};
+pub use store::{DiskStore, RioStore, StableStore};
+pub use vista::VistaSystem;
+pub use wal::{WalConfig, WalSystem};
+pub use walog::{WalRecord, COMMIT_MAGIC, RECORD_MAGIC};

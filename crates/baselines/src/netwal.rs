@@ -1,0 +1,301 @@
+//! The remote-memory WAL of Ioannidis et al. (the paper's Section 2
+//! comparison): the redo log is replicated into a remote node's main
+//! memory — making commits fast — while every log byte is *also* written
+//! to disk asynchronously.
+//!
+//! The paper's critique, which this implementation lets you measure:
+//!
+//! > "In case of heavy load, write buffers will become full and the
+//! > asynchronous write operations will become synchronous, thereby
+//! > delaying transaction completion. Moreover, the transaction commit
+//! > performance is limited by disk throughput (all transactions write
+//! > their data to disk even if they do so asynchronously)."
+//!
+//! Short bursts commit at network speed; sustained load degrades to the
+//! disk's drain rate. PERSEAS never touches the disk at all.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use perseas_disk::{DiskFile, DiskParams, SimDisk, WriteMode};
+use perseas_sci::{NodeMemory, SciLink, SciParams, SegmentId};
+use perseas_simtime::SimClock;
+
+use crate::store::StableStore;
+
+#[derive(Debug)]
+struct LogMirror {
+    seg: SegmentId,
+    capacity: usize,
+    /// Local shadow of the log (used to re-seed a grown remote segment).
+    shadow: Vec<u8>,
+}
+
+/// Stable storage with the log mirrored in remote memory and streamed to
+/// disk asynchronously; database files live on the disk as usual.
+///
+/// # Panics
+///
+/// Log operations panic if the remote mirror node is unreachable — this
+/// baseline models the healthy-path performance argument, not mirror
+/// fault tolerance (that is PERSEAS' job).
+#[derive(Debug, Clone)]
+pub struct NetWalStore {
+    disk: SimDisk,
+    log_file: DiskFile,
+    db: Vec<DiskFile>,
+    link: SciLink,
+    mirror: Arc<Mutex<LogMirror>>,
+}
+
+impl NetWalStore {
+    const INITIAL_LOG: usize = 256 << 10;
+
+    /// Creates the store on a fresh 1998 disk and SCI link sharing
+    /// `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        NetWalStore::with_params(clock, DiskParams::disk_1998(), SciParams::dolphin_1998())
+    }
+
+    /// Creates the store with explicit device parameters.
+    pub fn with_params(clock: SimClock, disk_params: DiskParams, sci_params: SciParams) -> Self {
+        let disk = SimDisk::new(clock.clone(), disk_params);
+        let log_file = disk.create_file("net-wal-log", 0);
+        let node = NodeMemory::new("log-mirror");
+        let link = SciLink::new(clock, node.clone(), sci_params);
+        let seg = node
+            .export_segment(Self::INITIAL_LOG, 0)
+            .expect("fresh mirror node has room");
+        NetWalStore {
+            disk,
+            log_file,
+            db: Vec::new(),
+            link,
+            mirror: Arc::new(Mutex::new(LogMirror {
+                seg,
+                capacity: Self::INITIAL_LOG,
+                shadow: Vec::new(),
+            })),
+        }
+    }
+
+    /// The underlying disk (stats and crash injection).
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// The SCI link to the log mirror.
+    pub fn link(&self) -> &SciLink {
+        &self.link
+    }
+}
+
+impl StableStore for NetWalStore {
+    fn clock(&self) -> &SimClock {
+        self.disk.clock()
+    }
+
+    fn create_db_region(&mut self, len: usize) -> usize {
+        let f = self.disk.create_file(format!("db-{}", self.db.len()), len);
+        self.db.push(f);
+        self.db.len() - 1
+    }
+
+    fn append_log(&mut self, data: &[u8], _sync: bool) {
+        let mut g = self.mirror.lock();
+        let at = g.shadow.len();
+        g.shadow.extend_from_slice(data);
+        if at + data.len() > g.capacity {
+            let new_cap = (g.capacity * 2).max(at + data.len());
+            let node = self.link.node().clone();
+            let new_seg = node
+                .export_segment(new_cap, 0)
+                .expect("mirror node has room for the grown log");
+            if at > 0 {
+                self.link
+                    .remote_write(new_seg, 0, &g.shadow[..at])
+                    .expect("log mirror reachable");
+            }
+            let _ = node.free_segment(g.seg);
+            g.seg = new_seg;
+            g.capacity = new_cap;
+        }
+        // Durability point: the remote memory copy (synchronous, but at
+        // network speed — microseconds).
+        self.link
+            .remote_write(g.seg, at, data)
+            .expect("log mirror reachable");
+        drop(g);
+        // The disk write is asynchronous... until the buffer fills.
+        self.log_file.append(data, WriteMode::Async);
+    }
+
+    fn sync_log(&mut self) {
+        // Durability already comes from the mirror; nothing to wait for.
+    }
+
+    fn log_len(&self) -> usize {
+        self.mirror.lock().shadow.len()
+    }
+
+    fn truncate_log(&mut self) {
+        self.mirror.lock().shadow.clear();
+        self.log_file.truncate(0);
+    }
+
+    fn write_db(&mut self, region: usize, offset: usize, data: &[u8]) {
+        self.db[region].write_at(offset, data, WriteMode::Async);
+    }
+
+    fn flush_db(&mut self) {
+        if let Some(f) = self.db.first() {
+            f.flush();
+        }
+    }
+
+    fn stable_log(&self) -> Vec<u8> {
+        // Recovery reads the log back from the surviving remote memory.
+        let g = self.mirror.lock();
+        let mut buf = vec![0u8; g.shadow.len()];
+        if !buf.is_empty() {
+            self.link
+                .node()
+                .read(g.seg, 0, &mut buf)
+                .expect("log mirror reachable");
+        }
+        buf
+    }
+
+    fn stable_db(&self, region: usize) -> Vec<u8> {
+        self.db[region].stable_snapshot()
+    }
+
+    fn region_count(&self) -> usize {
+        self.db.len()
+    }
+
+    fn medium(&self) -> &'static str {
+        "net+disk"
+    }
+
+    fn log_append_is_remote(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WalConfig, WalSystem};
+    use perseas_txn::TransactionalMemory;
+
+    fn system() -> WalSystem<NetWalStore> {
+        WalSystem::with_store(NetWalStore::new(SimClock::new()), WalConfig::new())
+    }
+
+    #[test]
+    fn commits_at_network_speed_when_buffer_has_room() {
+        let mut s = system();
+        let r = s.alloc_region(1024).unwrap();
+        s.publish().unwrap();
+        let sw = s.clock().stopwatch();
+        s.begin_transaction().unwrap();
+        s.set_range(r, 0, 16).unwrap();
+        s.write(r, 0, &[1; 16]).unwrap();
+        s.commit_transaction().unwrap();
+        // Microseconds, not the disk's milliseconds.
+        assert!(sw.elapsed().as_micros() < 100, "{}", sw.elapsed());
+    }
+
+    #[test]
+    fn sustained_load_degrades_to_disk_throughput() {
+        let clock = SimClock::new();
+        let store = NetWalStore::new(clock.clone());
+        let mut s = WalSystem::with_store(
+            store,
+            // Large checkpoint threshold: keep streaming to the log.
+            WalConfig::new().with_checkpoint_log_bytes(512 << 20),
+        );
+        let r = s.alloc_region(1 << 20).unwrap();
+        s.publish().unwrap();
+
+        let txn = |s: &mut WalSystem<NetWalStore>, i: usize| {
+            s.begin_transaction().unwrap();
+            let off = (i * 4096) % (1 << 19);
+            s.set_range(r, off, 4096).unwrap();
+            s.write(r, off, &[1; 4096]).unwrap();
+            s.commit_transaction().unwrap();
+        };
+
+        // First transactions are absorbed by the write buffer...
+        let sw = clock.stopwatch();
+        txn(&mut s, 0);
+        let first = sw.elapsed();
+
+        // ...but a sustained run fills the 256 KB buffer and the
+        // asynchronous writes become synchronous (the paper's words).
+        let mut slowest = first;
+        for i in 1..400 {
+            let sw = clock.stopwatch();
+            txn(&mut s, i);
+            slowest = slowest.max(sw.elapsed());
+        }
+        assert!(
+            slowest.as_nanos() > first.as_nanos() * 10,
+            "expected a buffer-full stall: first {first}, slowest {slowest}"
+        );
+        assert!(s.store().disk().stats().buffer_stalls > 0);
+    }
+
+    #[test]
+    fn recovery_reads_the_log_from_remote_memory() {
+        let mut s = system();
+        let r = s.alloc_region(64).unwrap();
+        s.publish().unwrap();
+        s.begin_transaction().unwrap();
+        s.set_range(r, 0, 8).unwrap();
+        s.write(r, 0, &[9; 8]).unwrap();
+        s.commit_transaction().unwrap();
+
+        let store = s.store().clone();
+        drop(s);
+        // Power loss: the disk's volatile buffer is gone; the remote
+        // memory survives.
+        store.disk().crash_volatile();
+
+        let s2 = WalSystem::recover(store, WalConfig::new());
+        let mut buf = [0u8; 8];
+        s2.read(r, 0, &mut buf).unwrap();
+        assert_eq!(buf, [9; 8]);
+    }
+
+    #[test]
+    fn log_mirror_grows_on_demand() {
+        let mut s = system();
+        let r = s.alloc_region(1 << 20).unwrap();
+        s.publish().unwrap();
+        // Push more than the initial 256 KB of log.
+        for i in 0..80usize {
+            s.begin_transaction().unwrap();
+            let off = (i * 8192) % (1 << 19);
+            s.set_range(r, off, 8192).unwrap();
+            s.write(r, off, &[i as u8; 8192]).unwrap();
+            s.commit_transaction().unwrap();
+        }
+        assert!(s.store().log_len() > NetWalStore::INITIAL_LOG);
+        // And it still recovers.
+        let store = s.store().clone();
+        drop(s);
+        store.disk().crash_volatile();
+        let s2 = WalSystem::recover(store, WalConfig::new());
+        let mut buf = [0u8; 8];
+        s2.read(r, 0, &mut buf).unwrap();
+        let _ = buf;
+    }
+
+    #[test]
+    fn medium_name() {
+        assert_eq!(NetWalStore::new(SimClock::new()).medium(), "net+disk");
+    }
+}

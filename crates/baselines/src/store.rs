@@ -1,0 +1,325 @@
+//! The stable-storage abstraction behind the WAL baselines.
+//!
+//! RVM and RVM-on-Rio differ *only* in where their log and database files
+//! live: on a magnetic disk, or inside the Rio reliable file cache. This
+//! trait captures that seam.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use perseas_disk::{DiskFile, DiskParams, SimDisk, WriteMode};
+use perseas_simtime::SimClock;
+
+use crate::rio::{RioCache, RioParams, RioRegionId};
+
+/// Stable storage for a WAL system: an append-only log plus one backing
+/// file per database region.
+///
+/// Implementations are cloneable handles; the underlying storage survives
+/// a crash of the transaction system (that is the point of stable
+/// storage), so crash tests keep a clone and recover from it.
+pub trait StableStore: Clone + Send {
+    /// The clock operations are charged to.
+    fn clock(&self) -> &SimClock;
+
+    /// Creates the backing file for a database region of `len` bytes and
+    /// returns its index.
+    fn create_db_region(&mut self, len: usize) -> usize;
+
+    /// Appends `data` to the log. With `sync`, blocks until durable.
+    fn append_log(&mut self, data: &[u8], sync: bool);
+
+    /// Forces all buffered log appends to stable storage.
+    fn sync_log(&mut self);
+
+    /// Current log length in bytes (including buffered appends).
+    fn log_len(&self) -> usize;
+
+    /// Discards the log (after a checkpoint).
+    fn truncate_log(&mut self);
+
+    /// Writes `data` at `offset` of region file `region` (checkpoint
+    /// propagation; buffered).
+    fn write_db(&mut self, region: usize, offset: usize, data: &[u8]);
+
+    /// Forces buffered database writes to stable storage.
+    fn flush_db(&mut self);
+
+    /// The log image a crash would leave behind.
+    fn stable_log(&self) -> Vec<u8>;
+
+    /// The region-file image a crash would leave behind.
+    fn stable_db(&self, region: usize) -> Vec<u8>;
+
+    /// Number of database regions.
+    fn region_count(&self) -> usize;
+
+    /// Short name for diagnostics ("disk", "rio").
+    fn medium(&self) -> &'static str;
+
+    /// `true` if a log append is a remote-memory write (with the disk
+    /// write happening asynchronously in its shadow) rather than a
+    /// stable-store write in its own right — used by the copy/IO
+    /// accounting.
+    fn log_append_is_remote(&self) -> bool {
+        false
+    }
+}
+
+/// Log and database files on a simulated magnetic disk — the classic RVM
+/// deployment.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    disk: SimDisk,
+    log: DiskFile,
+    db: Vec<DiskFile>,
+}
+
+impl DiskStore {
+    /// Creates a store on a fresh 1998-class disk charging `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        DiskStore::with_params(clock, DiskParams::disk_1998())
+    }
+
+    /// Creates a store on a disk with custom parameters (for the
+    /// technology-trend ablation).
+    pub fn with_params(clock: SimClock, params: DiskParams) -> Self {
+        let disk = SimDisk::new(clock, params);
+        let log = disk.create_file("wal-log", 0);
+        DiskStore {
+            disk,
+            log,
+            db: Vec::new(),
+        }
+    }
+
+    /// The underlying disk (stats, crash injection).
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+}
+
+impl StableStore for DiskStore {
+    fn clock(&self) -> &SimClock {
+        self.disk.clock()
+    }
+
+    fn create_db_region(&mut self, len: usize) -> usize {
+        let f = self.disk.create_file(format!("db-{}", self.db.len()), len);
+        self.db.push(f);
+        self.db.len() - 1
+    }
+
+    fn append_log(&mut self, data: &[u8], sync: bool) {
+        let mode = if sync {
+            WriteMode::Sync
+        } else {
+            WriteMode::Async
+        };
+        self.log.append(data, mode);
+    }
+
+    fn sync_log(&mut self) {
+        // An explicit flush plus a zero-length sync barrier: the caller
+        // waits until the device has drained.
+        self.log.flush();
+    }
+
+    fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    fn truncate_log(&mut self) {
+        self.log.truncate(0);
+    }
+
+    fn write_db(&mut self, region: usize, offset: usize, data: &[u8]) {
+        self.db[region].write_at(offset, data, WriteMode::Async);
+    }
+
+    fn flush_db(&mut self) {
+        if let Some(f) = self.db.first() {
+            f.flush();
+        }
+    }
+
+    fn stable_log(&self) -> Vec<u8> {
+        self.log.stable_snapshot()
+    }
+
+    fn stable_db(&self, region: usize) -> Vec<u8> {
+        self.db[region].stable_snapshot()
+    }
+
+    fn region_count(&self) -> usize {
+        self.db.len()
+    }
+
+    fn medium(&self) -> &'static str {
+        "disk"
+    }
+}
+
+#[derive(Debug)]
+struct RioLogState {
+    len: usize,
+}
+
+/// Log and database files inside the Rio reliable file cache — the
+/// RVM-on-Rio deployment. Every write is durable the moment it lands in
+/// the cache, so "sync" costs nothing extra beyond the file operation
+/// itself.
+#[derive(Debug, Clone)]
+pub struct RioStore {
+    rio: RioCache,
+    log_region: RioRegionId,
+    log: Arc<Mutex<RioLogState>>,
+    db: Vec<RioRegionId>,
+}
+
+impl RioStore {
+    /// Initial log capacity; the region grows on demand.
+    const INITIAL_LOG: usize = 256 << 10;
+
+    /// Creates a store inside a fresh Rio cache charging `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        RioStore::with_cache(RioCache::new(clock, RioParams::rio_1997()))
+    }
+
+    /// Creates a store inside an existing cache.
+    pub fn with_cache(rio: RioCache) -> Self {
+        let log_region = rio.create_region(Self::INITIAL_LOG);
+        RioStore {
+            rio,
+            log_region,
+            log: Arc::new(Mutex::new(RioLogState { len: 0 })),
+            db: Vec::new(),
+        }
+    }
+
+    /// The underlying cache.
+    pub fn rio(&self) -> &RioCache {
+        &self.rio
+    }
+}
+
+impl StableStore for RioStore {
+    fn clock(&self) -> &SimClock {
+        self.rio.clock()
+    }
+
+    fn create_db_region(&mut self, len: usize) -> usize {
+        self.db.push(self.rio.create_region(len));
+        self.db.len() - 1
+    }
+
+    fn append_log(&mut self, data: &[u8], _sync: bool) {
+        // In Rio a write is durable once it is in the cache; sync and
+        // async cost the same file operation.
+        let mut g = self.log.lock();
+        let at = g.len;
+        if at + data.len() > self.rio.region_len(self.log_region) {
+            self.rio
+                .grow_region(self.log_region, (at + data.len()).next_power_of_two());
+        }
+        self.rio.file_write(self.log_region, at, data);
+        g.len += data.len();
+    }
+
+    fn sync_log(&mut self) {}
+
+    fn log_len(&self) -> usize {
+        self.log.lock().len
+    }
+
+    fn truncate_log(&mut self) {
+        self.log.lock().len = 0;
+    }
+
+    fn write_db(&mut self, region: usize, offset: usize, data: &[u8]) {
+        self.rio.file_write(self.db[region], offset, data);
+    }
+
+    fn flush_db(&mut self) {}
+
+    fn stable_log(&self) -> Vec<u8> {
+        let len = self.log.lock().len;
+        let mut snap = self.rio.snapshot(self.log_region);
+        snap.truncate(len);
+        snap
+    }
+
+    fn stable_db(&self, region: usize) -> Vec<u8> {
+        self.rio.snapshot(self.db[region])
+    }
+
+    fn region_count(&self) -> usize {
+        self.db.len()
+    }
+
+    fn medium(&self) -> &'static str {
+        "rio"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_store<S: StableStore>(mut s: S, expect_sync_cost_ms: bool) {
+        let r = s.create_db_region(16);
+        assert_eq!(s.region_count(), 1);
+        let sw = s.clock().stopwatch();
+        s.append_log(&[1; 32], true);
+        if expect_sync_cost_ms {
+            assert!(sw.elapsed().as_millis() >= 1, "sync log write too cheap");
+        } else {
+            assert!(sw.elapsed().as_millis() < 1, "rio log write too expensive");
+        }
+        assert_eq!(s.log_len(), 32);
+        assert_eq!(s.stable_log(), vec![1; 32]);
+
+        s.write_db(r, 0, &[7; 8]);
+        s.flush_db();
+        assert_eq!(&s.stable_db(r)[..8], &[7; 8]);
+
+        s.truncate_log();
+        assert_eq!(s.log_len(), 0);
+        assert!(s.stable_log().is_empty());
+    }
+
+    #[test]
+    fn disk_store_contract() {
+        check_store(DiskStore::new(SimClock::new()), true);
+    }
+
+    #[test]
+    fn rio_store_contract() {
+        check_store(RioStore::new(SimClock::new()), false);
+    }
+
+    #[test]
+    fn disk_store_async_appends_are_volatile_until_sync() {
+        let mut s = DiskStore::new(SimClock::new());
+        s.append_log(&[2; 16], false);
+        assert!(s.stable_log().is_empty());
+        s.sync_log();
+        assert_eq!(s.stable_log(), vec![2; 16]);
+    }
+
+    #[test]
+    fn rio_log_grows_on_demand() {
+        let mut s = RioStore::new(SimClock::new());
+        let big = vec![3u8; RioStore::INITIAL_LOG + 100];
+        s.append_log(&big, true);
+        assert_eq!(s.log_len(), big.len());
+        assert_eq!(s.stable_log(), big);
+    }
+
+    #[test]
+    fn media_names() {
+        assert_eq!(DiskStore::new(SimClock::new()).medium(), "disk");
+        assert_eq!(RioStore::new(SimClock::new()).medium(), "rio");
+    }
+}

@@ -1,0 +1,516 @@
+//! A Vista-like recoverable memory (Lowell & Chen, SOSP 1997).
+//!
+//! Vista maps the database straight into the Rio reliable file cache:
+//! every ordinary store is already durable. Transactions therefore need
+//! *no redo log at all* — only an undo log (also in reliable memory) so
+//! that aborts and crash recovery can roll back uncommitted updates:
+//!
+//! * `set_range` appends the before-image to the undo log (one mapped
+//!   copy), then bumps the log-length word;
+//! * `write` stores straight into the mapped database;
+//! * `commit` clears the undo-log length — a single word store is the
+//!   durability point;
+//! * recovery rolls the undo log back (newest record first) if the length
+//!   word is non-zero.
+//!
+//! Vista is the fastest recoverable memory the paper compares against,
+//! and the one PERSEAS matches while remaining OS-independent. Its
+//! structural weakness, which the paper exploits: data in a crashed
+//! machine's Rio cache is *safe but unavailable* until that machine
+//! reboots, while PERSEAS fails over to the mirror immediately.
+
+use perseas_simtime::SimClock;
+use perseas_txn::{RegionId, TransactionalMemory, TxnError, TxnStats};
+
+use crate::rio::{RioCache, RioParams, RioRegionId};
+
+const UNDO_HEADER: usize = 20; // region u32, offset u64, len u64
+
+/// A shareable handle describing a Vista database inside a Rio cache —
+/// everything recovery needs (the cache plus the region layout, which in
+/// real Vista is rebuilt from the mapped file's own header).
+#[derive(Debug, Clone)]
+pub struct VistaHandle {
+    rio: RioCache,
+    db: Vec<RioRegionId>,
+    undo: RioRegionId,
+    /// Holds the 8-byte undo-log length word.
+    meta: RioRegionId,
+}
+
+struct VistaTxn {
+    declared: Vec<(usize, usize, usize)>,
+    /// Offsets of the records of this transaction in the undo region.
+    records: Vec<usize>,
+}
+
+/// The Vista-like transactional memory.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::SimClock;
+/// use perseas_baselines::VistaSystem;
+/// use perseas_txn::TransactionalMemory;
+///
+/// # fn main() -> Result<(), perseas_txn::TxnError> {
+/// let mut vista = VistaSystem::new(SimClock::new());
+/// let r = vista.alloc_region(64)?;
+/// vista.publish()?;
+/// vista.begin_transaction()?;
+/// vista.set_range(r, 0, 8)?;
+/// vista.write(r, 0, &[1; 8])?;
+/// vista.commit_transaction()?; // one word store — microseconds
+/// # Ok(())
+/// # }
+/// ```
+pub struct VistaSystem {
+    rio: RioCache,
+    db: Vec<RioRegionId>,
+    undo: RioRegionId,
+    meta: RioRegionId,
+    region_lens: Vec<usize>,
+    published: bool,
+    txn: Option<VistaTxn>,
+    undo_off: usize,
+    stats: TxnStats,
+}
+
+impl VistaSystem {
+    const INITIAL_UNDO: usize = 64 << 10;
+
+    /// Creates a Vista instance in a fresh Rio cache charging `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        VistaSystem::with_cache(RioCache::new(clock, RioParams::rio_1997()))
+    }
+
+    /// Creates a Vista instance inside an existing cache.
+    pub fn with_cache(rio: RioCache) -> Self {
+        let undo = rio.create_region(Self::INITIAL_UNDO);
+        let meta = rio.create_region(8);
+        VistaSystem {
+            rio,
+            db: Vec::new(),
+            undo,
+            meta,
+            region_lens: Vec::new(),
+            published: false,
+            txn: None,
+            undo_off: 0,
+            stats: TxnStats::new(),
+        }
+    }
+
+    /// The handle a crash survivor needs to recover this database.
+    pub fn handle(&self) -> VistaHandle {
+        VistaHandle {
+            rio: self.rio.clone(),
+            db: self.db.clone(),
+            undo: self.undo,
+            meta: self.meta,
+        }
+    }
+
+    /// Recovers from the reliable memory image: if the undo-length word is
+    /// non-zero a transaction was in flight, and its before-images are
+    /// applied newest-first.
+    pub fn recover(handle: VistaHandle) -> Self {
+        let mut len_word = [0u8; 8];
+        handle.rio.read(handle.meta, 0, &mut len_word);
+        let undo_len = u64::from_le_bytes(len_word) as usize;
+
+        if undo_len > 0 {
+            let mut log = vec![0u8; undo_len];
+            handle.rio.read(handle.undo, 0, &mut log);
+            // Parse record offsets, then apply in reverse.
+            let mut offsets = Vec::new();
+            let mut at = 0usize;
+            while at + UNDO_HEADER <= undo_len {
+                let len = u64::from_le_bytes(log[at + 12..at + 20].try_into().expect("8 bytes"))
+                    as usize;
+                if at + UNDO_HEADER + len > undo_len {
+                    break;
+                }
+                offsets.push(at);
+                at += UNDO_HEADER + len;
+            }
+            for &at in offsets.iter().rev() {
+                let region =
+                    u32::from_le_bytes(log[at..at + 4].try_into().expect("4 bytes")) as usize;
+                let offset =
+                    u64::from_le_bytes(log[at + 4..at + 12].try_into().expect("8 bytes")) as usize;
+                let len = u64::from_le_bytes(log[at + 12..at + 20].try_into().expect("8 bytes"))
+                    as usize;
+                if region < handle.db.len() {
+                    let payload = &log[at + UNDO_HEADER..at + UNDO_HEADER + len];
+                    handle.rio.mapped_write(handle.db[region], offset, payload);
+                }
+            }
+            handle.rio.mapped_write(handle.meta, 0, &0u64.to_le_bytes());
+        }
+
+        let region_lens = handle.db.iter().map(|&r| handle.rio.region_len(r)).collect();
+        VistaSystem {
+            rio: handle.rio,
+            db: handle.db,
+            undo: handle.undo,
+            meta: handle.meta,
+            region_lens,
+            published: true,
+            txn: None,
+            undo_off: 0,
+            stats: TxnStats::new(),
+        }
+    }
+
+    /// The underlying Rio cache.
+    pub fn rio(&self) -> &RioCache {
+        &self.rio
+    }
+
+    fn check_region_range(
+        &self,
+        region: RegionId,
+        offset: usize,
+        len: usize,
+    ) -> Result<usize, TxnError> {
+        let ri = region.as_raw() as usize;
+        let region_len = *self
+            .region_lens
+            .get(ri)
+            .ok_or(TxnError::UnknownRegion(region))?;
+        if offset.checked_add(len).is_none_or(|e| e > region_len) {
+            return Err(TxnError::OutOfBounds {
+                region,
+                offset,
+                len,
+                region_len,
+            });
+        }
+        Ok(ri)
+    }
+}
+
+impl TransactionalMemory for VistaSystem {
+    fn system_name(&self) -> &'static str {
+        "vista"
+    }
+
+    fn alloc_region(&mut self, len: usize) -> Result<RegionId, TxnError> {
+        if self.txn.is_some() {
+            return Err(TxnError::BusyInTransaction);
+        }
+        if self.published {
+            return Err(TxnError::BadPublishState);
+        }
+        self.db.push(self.rio.create_region(len));
+        self.region_lens.push(len);
+        Ok(RegionId::from_raw(self.db.len() as u32 - 1))
+    }
+
+    fn publish(&mut self) -> Result<(), TxnError> {
+        if self.published {
+            return Err(TxnError::BadPublishState);
+        }
+        // The database already lives in reliable memory: publication is
+        // free (initialisation stores were durable the moment they
+        // happened).
+        self.published = true;
+        Ok(())
+    }
+
+    fn begin_transaction(&mut self) -> Result<(), TxnError> {
+        if self.txn.is_some() {
+            return Err(TxnError::TransactionAlreadyActive);
+        }
+        if !self.published {
+            return Err(TxnError::BadPublishState);
+        }
+        self.txn = Some(VistaTxn {
+            declared: Vec::new(),
+            records: Vec::new(),
+        });
+        self.undo_off = 0;
+        Ok(())
+    }
+
+    fn set_range(&mut self, region: RegionId, offset: usize, len: usize) -> Result<(), TxnError> {
+        let ri = self.check_region_range(region, offset, len)?;
+        if self.txn.is_none() {
+            return Err(TxnError::NoActiveTransaction);
+        }
+        if len == 0 {
+            return Ok(());
+        }
+
+        // Append [region, offset, len, before-image] to the undo log.
+        let mut rec = Vec::with_capacity(UNDO_HEADER + len);
+        rec.extend_from_slice(&(ri as u32).to_le_bytes());
+        rec.extend_from_slice(&(offset as u64).to_le_bytes());
+        rec.extend_from_slice(&(len as u64).to_le_bytes());
+        let mut before = vec![0u8; len];
+        self.rio.read(self.db[ri], offset, &mut before);
+        rec.extend_from_slice(&before);
+
+        if self.undo_off + rec.len() > self.rio.region_len(self.undo) {
+            self.rio
+                .grow_region(self.undo, (self.undo_off + rec.len()).next_power_of_two());
+        }
+        let at = self.undo_off;
+        self.rio.mapped_write(self.undo, at, &rec);
+        self.undo_off += rec.len();
+        // Durability point of the record: bump the length word.
+        self.rio
+            .mapped_write(self.meta, 0, &(self.undo_off as u64).to_le_bytes());
+        self.stats.add_local_copy(len);
+        self.stats.set_ranges += 1;
+
+        let txn = self.txn.as_mut().expect("in txn");
+        txn.declared.push((ri, offset, len));
+        txn.records.push(at);
+        Ok(())
+    }
+
+    fn write(&mut self, region: RegionId, offset: usize, data: &[u8]) -> Result<(), TxnError> {
+        let ri = self.check_region_range(region, offset, data.len())?;
+        match (&self.txn, self.published) {
+            (Some(txn), _) => {
+                if let Some(bad) = first_uncovered(&txn.declared, ri, offset, data.len()) {
+                    return Err(TxnError::RangeNotDeclared {
+                        region,
+                        offset: bad,
+                    });
+                }
+            }
+            (None, false) => {}
+            (None, true) => return Err(TxnError::NoActiveTransaction),
+        }
+        // A store into mapped reliable memory: durable immediately.
+        self.rio.mapped_write(self.db[ri], offset, data);
+        Ok(())
+    }
+
+    fn read(&self, region: RegionId, offset: usize, buf: &mut [u8]) -> Result<(), TxnError> {
+        let ri = self.check_region_range(region, offset, buf.len())?;
+        self.rio.read(self.db[ri], offset, buf);
+        Ok(())
+    }
+
+    fn commit_transaction(&mut self) -> Result<(), TxnError> {
+        if self.txn.take().is_none() {
+            return Err(TxnError::NoActiveTransaction);
+        }
+        // The single-word durability point: discard the undo log.
+        self.rio.mapped_write(self.meta, 0, &0u64.to_le_bytes());
+        self.undo_off = 0;
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    fn abort_transaction(&mut self) -> Result<(), TxnError> {
+        let Some(txn) = self.txn.take() else {
+            return Err(TxnError::NoActiveTransaction);
+        };
+        // Roll back newest-first from the reliable undo log.
+        for &at in txn.records.iter().rev() {
+            let mut head = [0u8; UNDO_HEADER];
+            self.rio.read(self.undo, at, &mut head);
+            let region = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes")) as usize;
+            let offset = u64::from_le_bytes(head[4..12].try_into().expect("8 bytes")) as usize;
+            let len = u64::from_le_bytes(head[12..20].try_into().expect("8 bytes")) as usize;
+            let mut payload = vec![0u8; len];
+            self.rio.read(self.undo, at + UNDO_HEADER, &mut payload);
+            self.rio.mapped_write(self.db[region], offset, &payload);
+            self.stats.add_local_copy(len);
+        }
+        self.rio.mapped_write(self.meta, 0, &0u64.to_le_bytes());
+        self.undo_off = 0;
+        self.stats.aborts += 1;
+        Ok(())
+    }
+
+    fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    fn clock(&self) -> &SimClock {
+        self.rio.clock()
+    }
+
+    fn stats(&self) -> TxnStats {
+        self.stats
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
+        self.region_lens
+            .get(region.as_raw() as usize)
+            .copied()
+            .ok_or(TxnError::UnknownRegion(region))
+    }
+}
+
+/// Returns the first uncovered byte of `[start, start+len)`, or `None`.
+fn first_uncovered(
+    declared: &[(usize, usize, usize)],
+    ri: usize,
+    start: usize,
+    len: usize,
+) -> Option<usize> {
+    let mut uncovered = vec![(start, start + len)];
+    for &(r, s, l) in declared {
+        if r != ri || l == 0 {
+            continue;
+        }
+        let (ds, de) = (s, s + l);
+        let mut next = Vec::with_capacity(uncovered.len() + 1);
+        for (a, b) in uncovered {
+            if de <= a || ds >= b {
+                next.push((a, b));
+            } else {
+                if a < ds {
+                    next.push((a, ds));
+                }
+                if de < b {
+                    next.push((de, b));
+                }
+            }
+        }
+        uncovered = next;
+        if uncovered.is_empty() {
+            return None;
+        }
+    }
+    uncovered.first().map(|&(a, _)| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn published(len: usize) -> (VistaSystem, RegionId) {
+        let mut v = VistaSystem::new(SimClock::new());
+        let r = v.alloc_region(len).unwrap();
+        v.publish().unwrap();
+        (v, r)
+    }
+
+    #[test]
+    fn commit_roundtrip_in_microseconds() {
+        let (mut v, r) = published(64);
+        let sw = v.clock().stopwatch();
+        v.begin_transaction().unwrap();
+        v.set_range(r, 0, 8).unwrap();
+        v.write(r, 0, &[1; 8]).unwrap();
+        v.commit_transaction().unwrap();
+        assert!(sw.elapsed().as_micros() < 20, "{}", sw.elapsed());
+        let mut buf = [0u8; 8];
+        v.read(r, 0, &mut buf).unwrap();
+        assert_eq!(buf, [1; 8]);
+    }
+
+    #[test]
+    fn abort_restores() {
+        let (mut v, r) = published(32);
+        v.begin_transaction().unwrap();
+        v.set_range(r, 0, 8).unwrap();
+        v.write(r, 0, &[5; 8]).unwrap();
+        v.set_range(r, 4, 8).unwrap();
+        v.write(r, 4, &[6; 8]).unwrap();
+        v.abort_transaction().unwrap();
+        let mut buf = [0u8; 16];
+        v.read(r, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0; 16]);
+    }
+
+    #[test]
+    fn crash_mid_transaction_rolls_back_on_recovery() {
+        let (mut v, r) = published(64);
+        v.begin_transaction().unwrap();
+        v.set_range(r, 0, 8).unwrap();
+        v.write(r, 0, &[1; 8]).unwrap();
+        v.commit_transaction().unwrap();
+
+        v.begin_transaction().unwrap();
+        v.set_range(r, 8, 8).unwrap();
+        v.write(r, 8, &[2; 8]).unwrap();
+        let handle = v.handle();
+        drop(v); // crash mid-transaction
+
+        let v2 = VistaSystem::recover(handle);
+        let mut buf = [0u8; 16];
+        v2.read(r, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..8], &[1; 8], "committed txn lost");
+        assert_eq!(&buf[8..], &[0; 8], "uncommitted txn leaked");
+    }
+
+    #[test]
+    fn crash_after_commit_preserves_data() {
+        let (mut v, r) = published(16);
+        v.begin_transaction().unwrap();
+        v.set_range(r, 0, 16).unwrap();
+        v.write(r, 0, &[9; 16]).unwrap();
+        v.commit_transaction().unwrap();
+        let handle = v.handle();
+        drop(v);
+        let v2 = VistaSystem::recover(handle);
+        let mut buf = [0u8; 16];
+        v2.read(r, 0, &mut buf).unwrap();
+        assert_eq!(buf, [9; 16]);
+    }
+
+    #[test]
+    fn overlapping_ranges_recover_to_oldest() {
+        let (mut v, r) = published(16);
+        v.begin_transaction().unwrap();
+        v.set_range(r, 0, 8).unwrap();
+        v.write(r, 0, &[1; 8]).unwrap();
+        v.set_range(r, 4, 8).unwrap();
+        v.write(r, 4, &[2; 8]).unwrap();
+        let handle = v.handle();
+        drop(v);
+        let v2 = VistaSystem::recover(handle);
+        let mut buf = [0u8; 16];
+        v2.read(r, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0; 16]);
+    }
+
+    #[test]
+    fn undo_log_grows() {
+        let (mut v, r) = published(256 << 10);
+        v.begin_transaction().unwrap();
+        v.set_range(r, 0, 128 << 10).unwrap();
+        v.write(r, 0, &vec![3; 128 << 10]).unwrap();
+        v.abort_transaction().unwrap();
+        let mut buf = vec![0u8; 128 << 10];
+        v.read(r, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn undeclared_write_rejected() {
+        let (mut v, r) = published(8);
+        v.begin_transaction().unwrap();
+        assert!(matches!(
+            v.write(r, 0, &[1]).unwrap_err(),
+            TxnError::RangeNotDeclared { .. }
+        ));
+    }
+
+    #[test]
+    fn state_machine_errors() {
+        let mut v = VistaSystem::new(SimClock::new());
+        assert_eq!(
+            v.begin_transaction().unwrap_err(),
+            TxnError::BadPublishState
+        );
+        let _ = v.alloc_region(8).unwrap();
+        v.publish().unwrap();
+        assert_eq!(v.publish().unwrap_err(), TxnError::BadPublishState);
+        assert_eq!(v.alloc_region(8).unwrap_err(), TxnError::BadPublishState);
+        v.begin_transaction().unwrap();
+        assert_eq!(
+            v.begin_transaction().unwrap_err(),
+            TxnError::TransactionAlreadyActive
+        );
+    }
+}

@@ -1,0 +1,726 @@
+//! The RVM-like Write-Ahead Logging system (the paper's Figure 2).
+//!
+//! Three copies per update, plus stable-storage I/O:
+//!
+//! 1. `set_range` copies the before-image into an **in-memory undo log**
+//!    (used only to make aborts fast);
+//! 2. `commit` serialises the after-images into **redo records** and
+//!    appends them, with a commit marker, to the write-ahead log on stable
+//!    storage — *synchronously* in the classic configuration, or every
+//!    N-th transaction under group commit;
+//! 3. when enough transactions have committed, a **checkpoint** copies the
+//!    updates from memory to the database file and reclaims the log.
+//!
+//! On a magnetic disk, step 2 is the multi-millisecond synchronous write
+//! that PERSEAS eliminates; on Rio it is a cheap file operation, which is
+//! exactly the RVM vs. Rio-RVM gap the paper reports.
+
+use perseas_simtime::{MemCostModel, SimClock};
+use perseas_txn::{RegionId, TransactionalMemory, TxnError, TxnStats};
+
+use crate::store::{DiskStore, RioStore, StableStore};
+use crate::walog::{self, WalRecord};
+
+/// Tuning knobs of a [`WalSystem`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalConfig {
+    /// Sync the log every `group_commit` commits (1 = classic synchronous
+    /// commit; larger values trade durability latency for throughput).
+    pub group_commit: usize,
+    /// Checkpoint (propagate updates to the database file and truncate
+    /// the log) when the log exceeds this many bytes.
+    pub checkpoint_log_bytes: usize,
+    /// Cost model for local copies.
+    pub mem_cost: MemCostModel,
+}
+
+impl WalConfig {
+    /// Classic RVM: synchronous commit, 1 MB log checkpoint threshold.
+    pub fn new() -> Self {
+        WalConfig {
+            group_commit: 1,
+            checkpoint_log_bytes: 1 << 20,
+            mem_cost: MemCostModel::pentium_133(),
+        }
+    }
+
+    /// Enables group commit with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_group_commit(mut self, n: usize) -> Self {
+        assert!(n > 0, "group size must be positive");
+        self.group_commit = n;
+        self
+    }
+
+    /// Sets the checkpoint threshold.
+    pub fn with_checkpoint_log_bytes(mut self, bytes: usize) -> Self {
+        self.checkpoint_log_bytes = bytes;
+        self
+    }
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig::new()
+    }
+}
+
+struct WalTxn {
+    id: u64,
+    declared: Vec<(usize, usize, usize)>,
+    /// Before-images for abort: (region, offset, bytes).
+    undo: Vec<(usize, usize, Vec<u8>)>,
+}
+
+/// A recoverable virtual memory in the RVM mould, generic over where its
+/// stable storage lives.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::SimClock;
+/// use perseas_baselines::{WalConfig, WalSystem};
+/// use perseas_txn::TransactionalMemory;
+///
+/// # fn main() -> Result<(), perseas_txn::TxnError> {
+/// let mut rvm = WalSystem::rvm(SimClock::new(), WalConfig::new());
+/// let r = rvm.alloc_region(64)?;
+/// rvm.publish()?;
+/// rvm.begin_transaction()?;
+/// rvm.set_range(r, 0, 8)?;
+/// rvm.write(r, 0, &[1; 8])?;
+/// rvm.commit_transaction()?; // synchronous multi-millisecond disk write
+/// # Ok(())
+/// # }
+/// ```
+pub struct WalSystem<S: StableStore> {
+    store: S,
+    cfg: WalConfig,
+    regions: Vec<Vec<u8>>,
+    published: bool,
+    txn: Option<WalTxn>,
+    next_txn_id: u64,
+    /// Committed ranges not yet checkpointed to the database file.
+    dirty: Vec<(usize, usize, usize)>,
+    commits_since_sync: usize,
+    stats: TxnStats,
+}
+
+impl WalSystem<DiskStore> {
+    /// Classic RVM: log and database on a 1998 magnetic disk.
+    pub fn rvm(clock: SimClock, cfg: WalConfig) -> Self {
+        WalSystem::with_store(DiskStore::new(clock), cfg)
+    }
+}
+
+impl WalSystem<RioStore> {
+    /// RVM with its files inside the Rio reliable file cache.
+    pub fn rio_rvm(clock: SimClock, cfg: WalConfig) -> Self {
+        WalSystem::with_store(RioStore::new(clock), cfg)
+    }
+}
+
+impl<S: StableStore> WalSystem<S> {
+    /// Builds a WAL system over an existing store.
+    pub fn with_store(store: S, cfg: WalConfig) -> Self {
+        WalSystem {
+            store,
+            cfg,
+            regions: Vec::new(),
+            published: false,
+            txn: None,
+            next_txn_id: 1,
+            dirty: Vec::new(),
+            commits_since_sync: 0,
+            stats: TxnStats::new(),
+        }
+    }
+
+    /// The underlying stable store (stats, crash access).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Recovers a WAL system from its surviving stable storage: the
+    /// database files plus a redo scan of the log (only transactions whose
+    /// commit marker made it to stable storage are replayed).
+    pub fn recover(store: S, cfg: WalConfig) -> Self {
+        let mut regions: Vec<Vec<u8>> = (0..store.region_count())
+            .map(|r| store.stable_db(r))
+            .collect();
+        let log = store.stable_log();
+        let records = walog::scan(&log);
+
+        let committed: std::collections::HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { txn_id } => Some(*txn_id),
+                _ => None,
+            })
+            .collect();
+
+        let mut max_id = 0u64;
+        let mut dirty = Vec::new();
+        for rec in &records {
+            match rec {
+                WalRecord::Update {
+                    txn_id,
+                    region,
+                    offset,
+                    payload,
+                } if committed.contains(txn_id) => {
+                    let ri = *region as usize;
+                    let off = *offset as usize;
+                    let bytes = &log[payload.clone()];
+                    if ri < regions.len() && off + bytes.len() <= regions[ri].len() {
+                        regions[ri][off..off + bytes.len()].copy_from_slice(bytes);
+                        dirty.push((ri, off, bytes.len()));
+                    }
+                    max_id = max_id.max(*txn_id);
+                }
+                WalRecord::Commit { txn_id } => max_id = max_id.max(*txn_id),
+                _ => {}
+            }
+        }
+
+        let mut sys = WalSystem {
+            store,
+            cfg,
+            regions,
+            published: true,
+            txn: None,
+            next_txn_id: max_id + 1,
+            dirty,
+            commits_since_sync: 0,
+            stats: TxnStats::new(),
+        };
+        // Fold the replayed updates into the database files and reclaim
+        // the log, so a second crash cannot double-apply them against a
+        // database new transactions have since modified.
+        sys.checkpoint();
+        sys
+    }
+
+    /// Forces a checkpoint: propagate every committed-but-unwritten range
+    /// to the database file and truncate the log (the paper's Figure 2,
+    /// step 3). Nearby dirty ranges are folded into one extent-sized write
+    /// (sourcing the gap bytes from the in-memory image), as RVM's
+    /// page-granular checkpointer does — thousands of scattered 8-byte
+    /// disk writes would otherwise dominate.
+    pub fn checkpoint(&mut self) {
+        let ranges = coalesce_with_slack(&self.dirty, 8 << 10);
+        for &(ri, start, len) in &ranges {
+            self.store
+                .write_db(ri, start, &self.regions[ri][start..start + len]);
+            self.stats.add_disk_write(len, false);
+            self.cfg.mem_cost.charge_memcpy(self.store.clock(), len);
+            self.stats.add_local_copy(len);
+        }
+        self.store.flush_db();
+        self.store.truncate_log();
+        self.dirty.clear();
+        self.commits_since_sync = 0;
+    }
+
+    fn check_region_range(
+        &self,
+        region: RegionId,
+        offset: usize,
+        len: usize,
+    ) -> Result<usize, TxnError> {
+        let ri = region.as_raw() as usize;
+        let region_len = self
+            .regions
+            .get(ri)
+            .map(Vec::len)
+            .ok_or(TxnError::UnknownRegion(region))?;
+        if offset.checked_add(len).is_none_or(|e| e > region_len) {
+            return Err(TxnError::OutOfBounds {
+                region,
+                offset,
+                len,
+                region_len,
+            });
+        }
+        Ok(ri)
+    }
+}
+
+/// Coalesces `(region, start, len)` triples into maximal disjoint ranges.
+fn coalesce(declared: &[(usize, usize, usize)]) -> Vec<(usize, usize, usize)> {
+    coalesce_with_slack(declared, 0)
+}
+
+/// Like [`coalesce`], but additionally merges ranges of the same region
+/// separated by at most `slack` bytes into one spanning range.
+fn coalesce_with_slack(
+    declared: &[(usize, usize, usize)],
+    slack: usize,
+) -> Vec<(usize, usize, usize)> {
+    let mut ranges: Vec<(usize, usize, usize)> = declared
+        .iter()
+        .filter(|&&(_, _, l)| l > 0)
+        .map(|&(r, s, l)| (r, s, s + l))
+        .collect();
+    ranges.sort_unstable();
+    let mut out: Vec<(usize, usize, usize)> = Vec::with_capacity(ranges.len());
+    for (r, s, e) in ranges {
+        match out.last_mut() {
+            Some((lr, _, le)) if *lr == r && s <= *le + slack => *le = (*le).max(e),
+            _ => out.push((r, s, e)),
+        }
+    }
+    out.into_iter().map(|(r, s, e)| (r, s, e - s)).collect()
+}
+
+impl<S: StableStore> TransactionalMemory for WalSystem<S> {
+    fn system_name(&self) -> &'static str {
+        match (self.store.medium(), self.cfg.group_commit) {
+            ("disk", 1) => "rvm",
+            ("disk", _) => "rvm-group",
+            ("rio", _) => "rio-rvm",
+            ("net+disk", _) => "remote-wal",
+            _ => "wal",
+        }
+    }
+
+    fn alloc_region(&mut self, len: usize) -> Result<RegionId, TxnError> {
+        if self.txn.is_some() {
+            return Err(TxnError::BusyInTransaction);
+        }
+        if self.published {
+            return Err(TxnError::BadPublishState);
+        }
+        let idx = self.store.create_db_region(len);
+        debug_assert_eq!(idx, self.regions.len());
+        self.regions.push(vec![0; len]);
+        Ok(RegionId::from_raw(idx as u32))
+    }
+
+    fn publish(&mut self) -> Result<(), TxnError> {
+        if self.published {
+            return Err(TxnError::BadPublishState);
+        }
+        for ri in 0..self.regions.len() {
+            if self.regions[ri].is_empty() {
+                continue;
+            }
+            let img = self.regions[ri].clone();
+            self.store.write_db(ri, 0, &img);
+            self.stats.add_disk_write(img.len(), false);
+        }
+        self.store.flush_db();
+        self.published = true;
+        Ok(())
+    }
+
+    fn begin_transaction(&mut self) -> Result<(), TxnError> {
+        if self.txn.is_some() {
+            return Err(TxnError::TransactionAlreadyActive);
+        }
+        if !self.published {
+            return Err(TxnError::BadPublishState);
+        }
+        self.txn = Some(WalTxn {
+            id: self.next_txn_id,
+            declared: Vec::new(),
+            undo: Vec::new(),
+        });
+        self.next_txn_id += 1;
+        Ok(())
+    }
+
+    fn set_range(&mut self, region: RegionId, offset: usize, len: usize) -> Result<(), TxnError> {
+        let ri = self.check_region_range(region, offset, len)?;
+        let Some(txn) = self.txn.as_mut() else {
+            return Err(TxnError::NoActiveTransaction);
+        };
+        if len == 0 {
+            return Ok(());
+        }
+        // Copy 1 (Figure 2): before-image into the in-memory undo log.
+        let before = self.regions[ri][offset..offset + len].to_vec();
+        txn.declared.push((ri, offset, len));
+        txn.undo.push((ri, offset, before));
+        self.cfg.mem_cost.charge_memcpy(self.store.clock(), len);
+        self.stats.add_local_copy(len);
+        self.stats.set_ranges += 1;
+        Ok(())
+    }
+
+    fn write(&mut self, region: RegionId, offset: usize, data: &[u8]) -> Result<(), TxnError> {
+        let ri = self.check_region_range(region, offset, data.len())?;
+        match (&self.txn, self.published) {
+            (Some(txn), _) => {
+                if let Some(bad) = first_uncovered(&txn.declared, ri, offset, data.len()) {
+                    return Err(TxnError::RangeNotDeclared {
+                        region,
+                        offset: bad,
+                    });
+                }
+            }
+            (None, false) => {} // initialisation
+            (None, true) => return Err(TxnError::NoActiveTransaction),
+        }
+        self.regions[ri][offset..offset + data.len()].copy_from_slice(data);
+        self.cfg
+            .mem_cost
+            .charge_memcpy(self.store.clock(), data.len());
+        Ok(())
+    }
+
+    fn read(&self, region: RegionId, offset: usize, buf: &mut [u8]) -> Result<(), TxnError> {
+        let ri = self.check_region_range(region, offset, buf.len())?;
+        buf.copy_from_slice(&self.regions[ri][offset..offset + buf.len()]);
+        self.cfg
+            .mem_cost
+            .charge_memcpy(self.store.clock(), buf.len());
+        Ok(())
+    }
+
+    fn commit_transaction(&mut self) -> Result<(), TxnError> {
+        let Some(txn) = self.txn.take() else {
+            return Err(TxnError::NoActiveTransaction);
+        };
+        let ranges = coalesce(&txn.declared);
+        if !ranges.is_empty() {
+            // Copy 2 (Figure 2): after-images into the redo log.
+            let mut buf = Vec::new();
+            for &(ri, start, len) in &ranges {
+                walog::encode_update(
+                    &mut buf,
+                    txn.id,
+                    ri as u32,
+                    start as u64,
+                    &self.regions[ri][start..start + len],
+                );
+                self.cfg.mem_cost.charge_memcpy(self.store.clock(), len);
+                self.stats.add_local_copy(len);
+            }
+            walog::encode_commit(&mut buf, txn.id);
+
+            self.commits_since_sync += 1;
+            let sync = self.commits_since_sync >= self.cfg.group_commit;
+            self.store.append_log(&buf, sync);
+            if self.store.log_append_is_remote() {
+                // The durable copy went to remote memory; the disk write
+                // trails asynchronously.
+                self.stats.add_remote_write(buf.len());
+                self.stats.add_disk_write(buf.len(), false);
+            } else {
+                self.stats.add_disk_write(buf.len(), sync);
+            }
+            if sync {
+                self.commits_since_sync = 0;
+            }
+            self.dirty.extend_from_slice(&ranges);
+
+            if self.store.log_len() > self.cfg.checkpoint_log_bytes {
+                self.checkpoint();
+            }
+        }
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    fn abort_transaction(&mut self) -> Result<(), TxnError> {
+        let Some(txn) = self.txn.take() else {
+            return Err(TxnError::NoActiveTransaction);
+        };
+        for (ri, offset, before) in txn.undo.iter().rev() {
+            self.regions[*ri][*offset..*offset + before.len()].copy_from_slice(before);
+            self.cfg
+                .mem_cost
+                .charge_memcpy(self.store.clock(), before.len());
+            self.stats.add_local_copy(before.len());
+        }
+        self.stats.aborts += 1;
+        Ok(())
+    }
+
+    fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    fn clock(&self) -> &SimClock {
+        self.store.clock()
+    }
+
+    fn stats(&self) -> TxnStats {
+        self.stats
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
+        self.regions
+            .get(region.as_raw() as usize)
+            .map(Vec::len)
+            .ok_or(TxnError::UnknownRegion(region))
+    }
+}
+
+/// Returns the first uncovered byte of `[start, start+len)`, or `None`.
+fn first_uncovered(
+    declared: &[(usize, usize, usize)],
+    ri: usize,
+    start: usize,
+    len: usize,
+) -> Option<usize> {
+    let mut uncovered = vec![(start, start + len)];
+    for &(r, s, l) in declared {
+        if r != ri || l == 0 {
+            continue;
+        }
+        let (ds, de) = (s, s + l);
+        let mut next = Vec::with_capacity(uncovered.len() + 1);
+        for (a, b) in uncovered {
+            if de <= a || ds >= b {
+                next.push((a, b));
+            } else {
+                if a < ds {
+                    next.push((a, ds));
+                }
+                if de < b {
+                    next.push((de, b));
+                }
+            }
+        }
+        uncovered = next;
+        if uncovered.is_empty() {
+            return None;
+        }
+    }
+    uncovered.first().map(|&(a, _)| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rvm() -> WalSystem<DiskStore> {
+        WalSystem::rvm(SimClock::new(), WalConfig::new())
+    }
+
+    fn published(len: usize) -> (WalSystem<DiskStore>, RegionId) {
+        let mut s = rvm();
+        let r = s.alloc_region(len).unwrap();
+        s.publish().unwrap();
+        (s, r)
+    }
+
+    #[test]
+    fn commit_roundtrip_and_disk_cost() {
+        let (mut s, r) = published(64);
+        let sw = s.clock().stopwatch();
+        s.begin_transaction().unwrap();
+        s.set_range(r, 0, 8).unwrap();
+        s.write(r, 0, &[1; 8]).unwrap();
+        s.commit_transaction().unwrap();
+        // A synchronous 1998 disk write: milliseconds, not microseconds.
+        assert!(sw.elapsed().as_millis() >= 1);
+        let mut buf = [0u8; 8];
+        s.read(r, 0, &mut buf).unwrap();
+        assert_eq!(buf, [1; 8]);
+        assert_eq!(s.stats().disk_sync_writes, 1);
+    }
+
+    #[test]
+    fn abort_restores() {
+        let (mut s, r) = published(32);
+        s.begin_transaction().unwrap();
+        s.set_range(r, 0, 16).unwrap();
+        s.write(r, 0, &[9; 16]).unwrap();
+        s.abort_transaction().unwrap();
+        let mut buf = [0u8; 16];
+        s.read(r, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0; 16]);
+    }
+
+    #[test]
+    fn undeclared_write_rejected() {
+        let (mut s, r) = published(32);
+        s.begin_transaction().unwrap();
+        assert!(matches!(
+            s.write(r, 0, &[1]).unwrap_err(),
+            TxnError::RangeNotDeclared { .. }
+        ));
+    }
+
+    #[test]
+    fn recovery_replays_committed_transactions_only() {
+        let (mut s, r) = published(64);
+        s.begin_transaction().unwrap();
+        s.set_range(r, 0, 8).unwrap();
+        s.write(r, 0, &[1; 8]).unwrap();
+        s.commit_transaction().unwrap();
+        // Second transaction aborts; third never commits before the crash.
+        s.begin_transaction().unwrap();
+        s.set_range(r, 8, 8).unwrap();
+        s.write(r, 8, &[2; 8]).unwrap();
+        s.abort_transaction().unwrap();
+
+        let store = s.store().clone();
+        drop(s); // crash: in-memory state gone
+        store.disk().crash_volatile();
+
+        let s2 = WalSystem::recover(store, WalConfig::new());
+        let mut buf = [0u8; 16];
+        s2.read(r, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..8], &[1; 8]);
+        assert_eq!(&buf[8..], &[0; 8]);
+        // Recovered system accepts new transactions.
+        let mut s2 = s2;
+        s2.begin_transaction().unwrap();
+        s2.set_range(r, 16, 4).unwrap();
+        s2.write(r, 16, &[3; 4]).unwrap();
+        s2.commit_transaction().unwrap();
+    }
+
+    #[test]
+    fn group_commit_loses_unsynced_tail_but_keeps_synced_prefix() {
+        let cfg = WalConfig::new().with_group_commit(4);
+        let mut s = WalSystem::rvm(SimClock::new(), cfg);
+        let r = s.alloc_region(64).unwrap();
+        s.publish().unwrap();
+        // 5 commits: the 4th triggers a sync; the 5th stays buffered.
+        for i in 0..5u8 {
+            s.begin_transaction().unwrap();
+            s.set_range(r, i as usize * 8, 8).unwrap();
+            s.write(r, i as usize * 8, &[i + 1; 8]).unwrap();
+            s.commit_transaction().unwrap();
+        }
+        let store = s.store().clone();
+        drop(s);
+        store.disk().crash_volatile();
+        let s2 = WalSystem::recover(store, cfg);
+        let mut buf = [0u8; 40];
+        s2.read(r, 0, &mut buf).unwrap();
+        for i in 0..4u8 {
+            assert_eq!(
+                &buf[i as usize * 8..(i as usize + 1) * 8],
+                &[i + 1; 8],
+                "synced txn {i} lost"
+            );
+        }
+        assert_eq!(&buf[32..40], &[0; 8], "unsynced txn survived?");
+    }
+
+    #[test]
+    fn group_commit_improves_throughput() {
+        let run = |group: usize| {
+            let cfg = WalConfig::new().with_group_commit(group);
+            let clock = SimClock::new();
+            let mut s = WalSystem::rvm(clock.clone(), cfg);
+            let r = s.alloc_region(1024).unwrap();
+            s.publish().unwrap();
+            let sw = clock.stopwatch();
+            for i in 0..64usize {
+                s.begin_transaction().unwrap();
+                s.set_range(r, (i * 16) % 1024, 16).unwrap();
+                s.write(r, (i * 16) % 1024, &[1; 16]).unwrap();
+                s.commit_transaction().unwrap();
+            }
+            sw.elapsed()
+        };
+        let classic = run(1);
+        let grouped = run(16);
+        assert!(
+            grouped.as_nanos() * 4 < classic.as_nanos(),
+            "group commit should be >4x faster: {classic} vs {grouped}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_truncates_log() {
+        let cfg = WalConfig::new().with_checkpoint_log_bytes(256);
+        let mut s = WalSystem::rvm(SimClock::new(), cfg);
+        let r = s.alloc_region(1024).unwrap();
+        s.publish().unwrap();
+        for i in 0..8usize {
+            s.begin_transaction().unwrap();
+            s.set_range(r, i * 64, 64).unwrap();
+            s.write(r, i * 64, &[7; 64]).unwrap();
+            s.commit_transaction().unwrap();
+        }
+        // With a 256-byte threshold the log must have been truncated at
+        // least once; after a final explicit checkpoint it is empty and
+        // the database file holds everything.
+        s.checkpoint();
+        let store = s.store().clone();
+        drop(s);
+        store.disk().crash_volatile();
+        let s2 = WalSystem::recover(store, cfg);
+        let mut buf = vec![0u8; 512];
+        s2.read(r, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn rio_rvm_is_orders_faster_than_disk_rvm() {
+        let run_disk = {
+            let clock = SimClock::new();
+            let mut s = WalSystem::rvm(clock.clone(), WalConfig::new());
+            let r = s.alloc_region(64).unwrap();
+            s.publish().unwrap();
+            let sw = clock.stopwatch();
+            s.begin_transaction().unwrap();
+            s.set_range(r, 0, 8).unwrap();
+            s.write(r, 0, &[1; 8]).unwrap();
+            s.commit_transaction().unwrap();
+            sw.elapsed()
+        };
+        let run_rio = {
+            let clock = SimClock::new();
+            let mut s = WalSystem::rio_rvm(clock.clone(), WalConfig::new());
+            let r = s.alloc_region(64).unwrap();
+            s.publish().unwrap();
+            let sw = clock.stopwatch();
+            s.begin_transaction().unwrap();
+            s.set_range(r, 0, 8).unwrap();
+            s.write(r, 0, &[1; 8]).unwrap();
+            s.commit_transaction().unwrap();
+            sw.elapsed()
+        };
+        assert!(
+            run_rio.as_nanos() * 20 < run_disk.as_nanos(),
+            "rio {run_rio} vs disk {run_disk}"
+        );
+    }
+
+    #[test]
+    fn system_names() {
+        assert_eq!(rvm().system_name(), "rvm");
+        assert_eq!(
+            WalSystem::rvm(SimClock::new(), WalConfig::new().with_group_commit(8)).system_name(),
+            "rvm-group"
+        );
+        assert_eq!(
+            WalSystem::rio_rvm(SimClock::new(), WalConfig::new()).system_name(),
+            "rio-rvm"
+        );
+    }
+
+    #[test]
+    fn state_machine_errors() {
+        let mut s = rvm();
+        let r = s.alloc_region(8).unwrap();
+        assert_eq!(
+            s.begin_transaction().unwrap_err(),
+            TxnError::BadPublishState
+        );
+        s.publish().unwrap();
+        assert_eq!(s.publish().unwrap_err(), TxnError::BadPublishState);
+        assert_eq!(s.alloc_region(8).unwrap_err(), TxnError::BadPublishState);
+        assert_eq!(
+            s.set_range(r, 0, 1).unwrap_err(),
+            TxnError::NoActiveTransaction
+        );
+        s.begin_transaction().unwrap();
+        assert_eq!(
+            s.begin_transaction().unwrap_err(),
+            TxnError::TransactionAlreadyActive
+        );
+    }
+}

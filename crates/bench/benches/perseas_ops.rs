@@ -1,0 +1,102 @@
+//! Wall-clock micro-benchmarks of the PERSEAS hot paths (regression
+//! tracking for the library itself; virtual-time paper numbers come from
+//! the `harness` binary).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use perseas_bench::perseas_sim;
+use perseas_core::{Perseas, PerseasConfig};
+use perseas_rnram::SimRemote;
+use perseas_sci::{NodeMemory, SciParams};
+use perseas_simtime::SimClock;
+
+fn published(region: usize) -> (Perseas<SimRemote>, perseas_core::RegionId) {
+    let mut db = perseas_sim(SimClock::new());
+    let r = db.malloc(region).expect("malloc");
+    db.init_remote_db().expect("publish");
+    (db, r)
+}
+
+fn bench_small_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perseas");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("small_txn_commit", |b| {
+        let (mut db, r) = published(1 << 20);
+        let mut off = 0usize;
+        b.iter(|| {
+            off = (off + 64) % (1 << 19);
+            db.begin_transaction().unwrap();
+            db.set_range(r, off, 16).unwrap();
+            db.write(r, off, &[7; 16]).unwrap();
+            db.commit_transaction().unwrap();
+        });
+    });
+
+    g.bench_function("abort", |b| {
+        let (mut db, r) = published(1 << 20);
+        b.iter(|| {
+            db.begin_transaction().unwrap();
+            db.set_range(r, 0, 256).unwrap();
+            db.write(r, 0, &[9; 256]).unwrap();
+            db.abort_transaction().unwrap();
+        });
+    });
+
+    g.bench_function("set_range_4k", |b| {
+        let (mut db, r) = published(1 << 20);
+        db.begin_transaction().unwrap();
+        let mut off = 0usize;
+        let mut in_txn = 0usize;
+        b.iter(|| {
+            // Commit periodically so the undo log recycles instead of
+            // growing for the whole (long) measurement.
+            if in_txn == 128 {
+                db.commit_transaction().unwrap();
+                db.begin_transaction().unwrap();
+                in_txn = 0;
+            }
+            in_txn += 1;
+            off = (off + 4096) % (1 << 19);
+            db.set_range(r, off, 4096).unwrap();
+        });
+        db.commit_transaction().unwrap();
+    });
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(20);
+    g.bench_function("recover_1mb_db", |b| {
+        b.iter_batched(
+            || {
+                let (mut db, r) = published(1 << 20);
+                db.begin_transaction().unwrap();
+                db.set_range(r, 0, 4096).unwrap();
+                db.write(r, 0, &[1; 4096]).unwrap();
+                let node: NodeMemory =
+                    db.mirror_backend(0).expect("mirror").node().clone();
+                db.crash();
+                node
+            },
+            |node| {
+                let backend = SimRemote::with_parts(
+                    SimClock::new(),
+                    node,
+                    SciParams::dolphin_1998(),
+                );
+                let (db, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
+                db
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_small_commit, bench_recovery
+}
+criterion_main!(benches);

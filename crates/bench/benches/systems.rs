@@ -1,0 +1,31 @@
+//! Wall-clock cost of driving one debit-credit transaction through each
+//! system's full protocol (simulation machinery included) — a regression
+//! guard for the whole stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use perseas_bench::SystemKind;
+use perseas_workloads::{DebitCredit, Workload};
+
+fn bench_systems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("debit_credit_txn");
+    g.throughput(Throughput::Elements(1));
+    for kind in SystemKind::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let mut tm = kind.build();
+            let mut wl = DebitCredit::paper();
+            wl.setup(tm.as_mut()).expect("setup");
+            b.iter(|| {
+                wl.run_txn(tm.as_mut()).expect("txn");
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_systems
+}
+criterion_main!(benches);

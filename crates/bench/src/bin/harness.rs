@@ -1,0 +1,461 @@
+//! The experiment harness: regenerates every figure and table of the
+//! paper's evaluation on the virtual-time simulation.
+//!
+//! ```text
+//! cargo run --release -p perseas-bench --bin harness -- all
+//! cargo run --release -p perseas-bench --bin harness -- fig5 fig6 table1
+//! ```
+//!
+//! Each experiment prints a human-readable table and, when `--csv DIR` is
+//! given, writes a CSV with the same rows plus a ready-to-run gnuplot
+//! script for the figure-shaped experiments (`gnuplot results/fig6.gp`).
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use perseas_bench::{
+    ablation_group_commit, ablation_memcpy, ablation_mirrors, ablation_remote_wal, ablation_trend,
+    verify_claims,
+    compare_systems, copies_per_txn, fig5_sci_latency, fig6_txn_overhead, recovery_time,
+    ablation_batch, dbsize_sweep, filesys_throughput, table1_perseas, tail_latency,
+};
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig5", "SCI remote-write latency vs. data size (Figure 5)"),
+    ("fig6", "transaction overhead vs. transaction size (Figure 6)"),
+    ("table1", "PERSEAS debit-credit / order-entry throughput (Table 1)"),
+    ("compare", "all six systems on all workloads (Section 5.1)"),
+    ("copies", "protocol copies and IO per transaction (Figures 2 & 3)"),
+    ("ablation-group-commit", "RVM group commit vs. PERSEAS (Section 6)"),
+    ("ablation-mirrors", "PERSEAS with k = 1..4 mirrors"),
+    ("ablation-memcpy", "aligned-chunk sci_memcpy on/off (Section 4)"),
+    ("ablation-trend", "disk vs. network technology trend (Section 6)"),
+    ("ablation-remote-wal", "remote-memory WAL (Ioannidis et al.) vs. PERSEAS (Section 2)"),
+    ("tail-latency", "p50/p99/max transaction latency per system"),
+    ("dbsize", "PERSEAS throughput vs database size (Section 5.1)"),
+    ("ablation-batch", "batched set_ranges vs per-range declarations (extension)"),
+    ("filesys", "file-system metadata workload across all systems"),
+    ("recovery", "recovery time vs. database size (availability)"),
+    ("check", "verify every quantitative paper claim (pass/fail table)"),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => match it.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if selected.iter().any(|s| s == "all") {
+        selected = EXPERIMENTS.iter().map(|(n, _)| n.to_string()).collect();
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for name in &selected {
+        if !EXPERIMENTS.iter().any(|(n, _)| n == name) {
+            eprintln!("unknown experiment '{name}'");
+            usage();
+            return ExitCode::FAILURE;
+        }
+        run(name, csv_dir.as_deref());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() {
+    eprintln!("usage: harness [--csv DIR] <experiment>... | all\n");
+    eprintln!("experiments:");
+    for (name, desc) in EXPERIMENTS {
+        eprintln!("  {name:<24} {desc}");
+    }
+}
+
+fn save_csv(dir: Option<&std::path::Path>, name: &str, header: &str, rows: &[String]) {
+    let Some(dir) = dir else { return };
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::from(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    if let Err(e) = fs::write(&path, out) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("  -> {}", path.display());
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Writes a gnuplot script next to an experiment's CSV.
+fn save_plot(dir: Option<&std::path::Path>, name: &str, script: &str) {
+    let Some(dir) = dir else { return };
+    let path = dir.join(format!("{name}.gp"));
+    if let Err(e) = fs::write(&path, script) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("  -> {} (gnuplot {})", path.display(), path.display());
+    }
+}
+
+fn run(name: &str, csv: Option<&std::path::Path>) {
+    match name {
+        "fig5" => {
+            banner("Figure 5: SCI remote write latency (one-way, first word at buffer word 0)");
+            println!("{:>8} {:>12} {:>14}", "bytes", "raw (us)", "sci_memcpy (us)");
+            let rows = fig5_sci_latency();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!("{:>8} {:>12.3} {:>14.3}", r.size, r.raw_us, r.memcpy_us);
+                csv_rows.push(format!("{},{:.3},{:.3}", r.size, r.raw_us, r.memcpy_us));
+            }
+            save_csv(csv, "fig5", "size_bytes,raw_us,memcpy_us", &csv_rows);
+            save_plot(
+                csv,
+                "fig5",
+                "set datafile separator ','\n\
+                 set title 'Figure 5: SCI remote write latency'\n\
+                 set xlabel 'data size (bytes)'\n\
+                 set ylabel 'latency (us)'\n\
+                 set key top left\n\
+                 set terminal png size 900,600\n\
+                 set output 'fig5.png'\n\
+                 plot 'fig5.csv' skip 1 using 1:2 with linespoints title 'raw store', \\\n\
+                      'fig5.csv' skip 1 using 1:3 with linespoints title 'sci_memcpy'\n",
+            );
+        }
+        "fig6" => {
+            banner("Figure 6: PERSEAS transaction overhead vs transaction size");
+            println!("{:>10} {:>14} {:>14}", "bytes", "latency (us)", "txns/sec");
+            let rows = fig6_txn_overhead();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!("{:>10} {:>14.2} {:>14.0}", r.size, r.latency_us, r.tps);
+                csv_rows.push(format!("{},{:.2},{:.0}", r.size, r.latency_us, r.tps));
+            }
+            save_csv(csv, "fig6", "size_bytes,latency_us,tps", &csv_rows);
+            save_plot(
+                csv,
+                "fig6",
+                "set datafile separator ','\n\
+                 set title 'Figure 6: transaction overhead vs size'\n\
+                 set xlabel 'transaction size (bytes)'\n\
+                 set ylabel 'overhead (us)'\n\
+                 set logscale xy\n\
+                 set terminal png size 900,600\n\
+                 set output 'fig6.png'\n\
+                 plot 'fig6.csv' skip 1 using 1:2 with linespoints title 'PERSEAS'\n",
+            );
+        }
+        "table1" => {
+            banner("Table 1: PERSEAS throughput");
+            println!("{:<16} {:>14} {:>14}", "benchmark", "txns/sec", "latency (us)");
+            let rows = table1_perseas();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!("{:<16} {:>14.0} {:>14.2}", r.workload, r.tps, r.latency_us);
+                csv_rows.push(format!("{},{:.0},{:.2}", r.workload, r.tps, r.latency_us));
+            }
+            save_csv(csv, "table1", "workload,tps,latency_us", &csv_rows);
+        }
+        "compare" => {
+            banner("Section 5.1: six systems, three workloads");
+            println!(
+                "{:<20} {:<14} {:>14} {:>14}",
+                "system", "workload", "txns/sec", "latency (us)"
+            );
+            let rows = compare_systems();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:<20} {:<14} {:>14.0} {:>14.2}",
+                    r.system, r.workload, r.tps, r.latency_us
+                );
+                csv_rows.push(format!(
+                    "{},{},{:.0},{:.2}",
+                    r.system, r.workload, r.tps, r.latency_us
+                ));
+            }
+            save_csv(csv, "compare", "system,workload,tps,latency_us", &csv_rows);
+        }
+        "copies" => {
+            banner("Figures 2 & 3: protocol work per debit-credit transaction");
+            println!(
+                "{:<20} {:>12} {:>14} {:>12}",
+                "system", "local/txn", "remote/txn", "stable-IO/txn"
+            );
+            let rows = copies_per_txn();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:<20} {:>12.2} {:>14.2} {:>12.2}",
+                    r.system, r.local_per_txn, r.remote_per_txn, r.disk_per_txn
+                );
+                csv_rows.push(format!(
+                    "{},{:.2},{:.2},{:.2}",
+                    r.system, r.local_per_txn, r.remote_per_txn, r.disk_per_txn
+                ));
+            }
+            save_csv(
+                csv,
+                "copies",
+                "system,local_per_txn,remote_per_txn,stable_io_per_txn",
+                &csv_rows,
+            );
+        }
+        "ablation-group-commit" => {
+            banner("Section 6 ablation: group commit vs PERSEAS (debit-credit)");
+            println!("{:<28} {:>14}", "system", "txns/sec");
+            let rows = ablation_group_commit();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!("{:<28} {:>14.0}", r.label, r.tps);
+                csv_rows.push(format!("{},{:.0}", r.label, r.tps));
+            }
+            save_csv(csv, "ablation_group_commit", "system,tps", &csv_rows);
+        }
+        "ablation-mirrors" => {
+            banner("Ablation: mirror count (reliability vs throughput)");
+            println!(
+                "{:>8} {:>18} {:>22}",
+                "mirrors", "debit-credit tps", "16B txn latency (us)"
+            );
+            let rows = ablation_mirrors();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!("{:>8} {:>18.0} {:>22.2}", r.mirrors, r.tps, r.small_txn_us);
+                csv_rows.push(format!("{},{:.0},{:.2}", r.mirrors, r.tps, r.small_txn_us));
+            }
+            save_csv(csv, "ablation_mirrors", "mirrors,tps,small_txn_us", &csv_rows);
+        }
+        "ablation-memcpy" => {
+            banner("Section 4 ablation: aligned-chunk sci_memcpy on/off");
+            println!(
+                "{:>10} {:>14} {:>14} {:>10}",
+                "txn bytes", "aligned (us)", "naive (us)", "speedup"
+            );
+            let rows = ablation_memcpy();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:>10} {:>14.2} {:>14.2} {:>9.2}x",
+                    r.size,
+                    r.aligned_us,
+                    r.naive_us,
+                    r.naive_us / r.aligned_us
+                );
+                csv_rows.push(format!("{},{:.2},{:.2}", r.size, r.aligned_us, r.naive_us));
+            }
+            save_csv(csv, "ablation_memcpy", "size,aligned_us,naive_us", &csv_rows);
+        }
+        "ablation-trend" => {
+            banner("Section 6: technology trend (net 32.5%/yr vs disk 15%/yr)");
+            println!(
+                "{:>6} {:>16} {:>14} {:>10}",
+                "year", "PERSEAS (us)", "RVM (us)", "ratio"
+            );
+            let rows = ablation_trend();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:>6} {:>16.2} {:>14.0} {:>9.0}x",
+                    r.year, r.perseas_us, r.rvm_us, r.ratio
+                );
+                csv_rows.push(format!(
+                    "{},{:.2},{:.0},{:.0}",
+                    r.year, r.perseas_us, r.rvm_us, r.ratio
+                ));
+            }
+            save_csv(csv, "ablation_trend", "year,perseas_us,rvm_us,ratio", &csv_rows);
+            save_plot(
+                csv,
+                "ablation_trend",
+                "set datafile separator ','\n\
+                 set title 'Technology trend: RVM/PERSEAS latency ratio'\n\
+                 set xlabel 'year'\n\
+                 set ylabel 'ratio'\n\
+                 set terminal png size 900,600\n\
+                 set output 'ablation_trend.png'\n\
+                 plot 'ablation_trend.csv' skip 1 using 1:4 with linespoints title 'RVM / PERSEAS'\n",
+            );
+        }
+        "ablation-remote-wal" => {
+            banner("Section 2: remote-memory WAL vs PERSEAS (sustained synthetic load)");
+            println!(
+                "{:>10} {:>16} {:>14} {:>14} {:>14}",
+                "txn bytes", "remote-WAL tps", "PERSEAS tps", "first (us)", "worst (us)"
+            );
+            let rows = ablation_remote_wal();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:>10} {:>16.0} {:>14.0} {:>14.2} {:>14.0}",
+                    r.txn_size,
+                    r.remote_wal_tps,
+                    r.perseas_tps,
+                    r.remote_wal_first_us,
+                    r.remote_wal_worst_us
+                );
+                csv_rows.push(format!(
+                    "{},{:.0},{:.0},{:.2},{:.0}",
+                    r.txn_size,
+                    r.remote_wal_tps,
+                    r.perseas_tps,
+                    r.remote_wal_first_us,
+                    r.remote_wal_worst_us
+                ));
+            }
+            save_csv(
+                csv,
+                "ablation_remote_wal",
+                "txn_size,remote_wal_tps,perseas_tps,first_us,worst_us",
+                &csv_rows,
+            );
+        }
+        "tail-latency" => {
+            banner("Tail latency per system (debit-credit)");
+            println!(
+                "{:<20} {:>12} {:>12} {:>14}",
+                "system", "p50 (us)", "p99 (us)", "max (us)"
+            );
+            let rows = tail_latency();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:<20} {:>12.1} {:>12.1} {:>14.0}",
+                    r.system, r.p50_us, r.p99_us, r.max_us
+                );
+                csv_rows.push(format!(
+                    "{},{:.1},{:.1},{:.0}",
+                    r.system, r.p50_us, r.p99_us, r.max_us
+                ));
+            }
+            save_csv(csv, "tail_latency", "system,p50_us,p99_us,max_us", &csv_rows);
+        }
+        "dbsize" => {
+            banner("Section 5.1: PERSEAS throughput vs database size (debit-credit)");
+            println!("{:>12} {:>12} {:>14}", "accounts", "DB (KB)", "txns/sec");
+            let rows = dbsize_sweep();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:>12} {:>12} {:>14.0}",
+                    r.accounts,
+                    r.db_bytes >> 10,
+                    r.tps
+                );
+                csv_rows.push(format!("{},{},{:.0}", r.accounts, r.db_bytes, r.tps));
+            }
+            save_csv(csv, "dbsize", "accounts,db_bytes,tps", &csv_rows);
+        }
+        "recovery" => {
+            banner("Availability: recovery time on a fresh workstation");
+            println!(
+                "{:>10} {:>16} {:>12}",
+                "DB (MB)", "recover (ms)", "rolled back"
+            );
+            let rows = recovery_time();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:>10} {:>16.2} {:>12}",
+                    r.db_bytes >> 20,
+                    r.recover_ms,
+                    r.rolled_back
+                );
+                csv_rows.push(format!(
+                    "{},{:.2},{}",
+                    r.db_bytes, r.recover_ms, r.rolled_back
+                ));
+            }
+            save_csv(csv, "recovery", "db_bytes,recover_ms,rolled_back", &csv_rows);
+        }
+        "ablation-batch" => {
+            banner("Extension: batched set_ranges (one undo burst per transaction)");
+            println!(
+                "{:>8} {:>16} {:>14} {:>10}",
+                "ranges", "per-range (us)", "batched (us)", "speedup"
+            );
+            let rows = ablation_batch();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:>8} {:>16.2} {:>14.2} {:>9.2}x",
+                    r.ranges,
+                    r.per_range_us,
+                    r.batched_us,
+                    r.per_range_us / r.batched_us
+                );
+                csv_rows.push(format!(
+                    "{},{:.2},{:.2}",
+                    r.ranges, r.per_range_us, r.batched_us
+                ));
+            }
+            save_csv(csv, "ablation_batch", "ranges,per_range_us,batched_us", &csv_rows);
+        }
+        "filesys" => {
+            banner("File-system metadata workload (create/append/rename/unlink)");
+            println!("{:<20} {:>14} {:>14}", "system", "ops/sec", "latency (us)");
+            let rows = filesys_throughput();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!("{:<20} {:>14.0} {:>14.2}", r.system, r.tps, r.latency_us);
+                csv_rows.push(format!("{},{:.0},{:.2}", r.system, r.tps, r.latency_us));
+            }
+            save_csv(csv, "filesys", "system,tps,latency_us", &csv_rows);
+        }
+        "check" => {
+            banner("Paper claims, re-verified against fresh measurements");
+            let rows = verify_claims();
+            let mut csv_rows = Vec::new();
+            let mut failures = 0;
+            for r in &rows {
+                let mark = if r.pass { "PASS" } else { "FAIL" };
+                if !r.pass {
+                    failures += 1;
+                }
+                println!("[{mark}] ({:<12}) {}", r.source, r.claim);
+                println!("        measured: {}", r.measured);
+                csv_rows.push(format!(
+                    "{},\"{}\",\"{}\",{}",
+                    r.source, r.claim, r.measured, r.pass
+                ));
+            }
+            println!(
+                "\n{} of {} claims verified",
+                rows.len() - failures,
+                rows.len()
+            );
+            save_csv(csv, "claims", "source,claim,measured,pass", &csv_rows);
+        }
+        _ => unreachable!("validated above"),
+    }
+}

@@ -1,0 +1,188 @@
+//! The claims checker: every quantitative claim the paper makes,
+//! re-asserted against freshly measured numbers. `harness -- check` turns
+//! the reproduction's credibility into a pass/fail table.
+
+use crate::experiments::{
+    ablation_group_commit, ablation_trend, compare_systems, copies_per_txn, fig5_sci_latency,
+    fig6_txn_overhead,
+};
+
+/// One verified claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimRow {
+    /// Where in the paper the claim comes from.
+    pub source: &'static str,
+    /// The claim, paraphrased.
+    pub claim: &'static str,
+    /// The measured evidence.
+    pub measured: String,
+    /// Whether the measurement supports the claim.
+    pub pass: bool,
+}
+
+fn row(source: &'static str, claim: &'static str, measured: String, pass: bool) -> ClaimRow {
+    ClaimRow {
+        source,
+        claim,
+        measured,
+        pass,
+    }
+}
+
+/// Measures and verifies every headline claim. Runs the cheap experiments
+/// directly; expect roughly a minute of wall-clock time.
+pub fn verify_claims() -> Vec<ClaimRow> {
+    let mut rows = Vec::new();
+
+    // --- Figure 5 / Section 4 ---
+    let fig5 = fig5_sci_latency();
+    let at = |size: usize| {
+        fig5.iter()
+            .find(|r| r.size == size)
+            .expect("size in sweep")
+            .raw_us
+    };
+    rows.push(row(
+        "§4",
+        "a 4-byte remote store costs 2.5 us one-way",
+        format!("{:.3} us", at(4)),
+        (at(4) - 2.5).abs() < 1e-9,
+    ));
+    rows.push(row(
+        "§4 / Fig. 5",
+        "whole 64-byte aligned stores are the cheapest way to move >32 bytes",
+        format!("64B = {:.2} us vs 60B = {:.2} us, 68B = {:.2} us", at(64), at(60), at(68)),
+        at(64) < at(60) && at(64) < at(68),
+    ));
+    rows.push(row(
+        "§4",
+        "the optimised sci_memcpy never loses to the naive store",
+        "checked across the whole 4-200 B sweep".into(),
+        fig5.iter().all(|r| r.memcpy_us <= r.raw_us + 1e-9),
+    ));
+
+    // --- Figure 6 / Section 5.1 ---
+    let fig6 = fig6_txn_overhead();
+    let small = fig6.first().expect("4-byte row");
+    let big = fig6.last().expect("1 MB row");
+    rows.push(row(
+        "§5.1 / Fig. 6",
+        "very small transactions complete in ~8 us",
+        format!("{:.2} us at 4 B", small.latency_us),
+        small.latency_us <= 8.5,
+    ));
+    rows.push(row(
+        "§5.1",
+        "throughput exceeds 125 000 short transactions per second",
+        format!("{:.0} txns/s", small.tps),
+        small.tps > 125_000.0,
+    ));
+    rows.push(row(
+        "§5.1 / Fig. 6",
+        "a 1 MB transaction completes in under a tenth of a second",
+        format!("{:.1} ms", big.latency_us / 1_000.0),
+        big.latency_us < 100_000.0,
+    ));
+
+    // --- Section 5.1 comparison ---
+    let cmp = compare_systems();
+    let tps = |system: &str, workload: &str| {
+        cmp.iter()
+            .find(|r| r.system == system && r.workload == workload)
+            .expect("row present")
+            .tps
+    };
+    let perseas = tps("PERSEAS", "synthetic");
+    let rvm = tps("RVM (disk)", "synthetic");
+    rows.push(row(
+        "§5.1",
+        "PERSEAS outperforms RVM by orders of magnitude",
+        format!("{:.0}x on short synthetic", perseas / rvm),
+        perseas / rvm > 100.0,
+    ));
+    let rio = tps("Rio-RVM", "synthetic");
+    rows.push(row(
+        "§5.1",
+        "PERSEAS clearly outperforms Rio-RVM",
+        format!("{:.1}x on short synthetic", perseas / rio),
+        perseas / rio > 2.0,
+    ));
+    let vista = tps("Vista", "debit-credit");
+    let perseas_dc = tps("PERSEAS", "debit-credit");
+    let ratio = vista / perseas_dc;
+    rows.push(row(
+        "§5.1",
+        "PERSEAS performs very close to Vista (the fastest system)",
+        format!("Vista/PERSEAS = {ratio:.2} on debit-credit"),
+        (0.33..=3.0).contains(&ratio),
+    ));
+
+    // --- Figures 2 & 3 ---
+    let copies = copies_per_txn();
+    let perseas_row = copies
+        .iter()
+        .find(|r| r.system == "PERSEAS")
+        .expect("perseas row");
+    let rvm_row = copies
+        .iter()
+        .find(|r| r.system == "RVM (disk)")
+        .expect("rvm row");
+    rows.push(row(
+        "Fig. 3",
+        "PERSEAS commits with zero disk accesses",
+        format!("{:.2} stable-store IOs per transaction", perseas_row.disk_per_txn),
+        perseas_row.disk_per_txn == 0.0,
+    ));
+    rows.push(row(
+        "Fig. 2",
+        "the WAL protocol hits stable storage on every commit",
+        format!("{:.2} stable-store IOs per transaction", rvm_row.disk_per_txn),
+        rvm_row.disk_per_txn >= 1.0,
+    ));
+
+    // --- Section 6 ---
+    let gc = ablation_group_commit();
+    let best_gc = gc
+        .iter()
+        .filter(|r| r.label.starts_with("RVM"))
+        .map(|r| r.tps)
+        .fold(0.0f64, f64::max);
+    let perseas_gc = gc
+        .iter()
+        .find(|r| r.label == "PERSEAS")
+        .expect("perseas row")
+        .tps;
+    rows.push(row(
+        "§6",
+        "PERSEAS outperforms group commit (at realistic batch sizes, by ~an order)",
+        format!("{:.1}x over the best batched RVM", perseas_gc / best_gc),
+        perseas_gc > best_gc * 2.0,
+    ));
+    let trend = ablation_trend();
+    rows.push(row(
+        "§6",
+        "the performance benefits increase with time",
+        format!(
+            "ratio {:.0}x (1998) -> {:.0}x (2008)",
+            trend.first().expect("1998").ratio,
+            trend.last().expect("2008").ratio
+        ),
+        trend.last().expect("2008").ratio > trend.first().expect("1998").ratio * 2.0,
+    ));
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_claim_passes() {
+        let rows = verify_claims();
+        assert!(rows.len() >= 12);
+        for r in &rows {
+            assert!(r.pass, "claim failed: [{}] {} — {}", r.source, r.claim, r.measured);
+        }
+    }
+}

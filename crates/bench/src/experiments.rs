@@ -1,0 +1,708 @@
+//! The experiment drivers.
+
+use perseas_baselines::{DiskStore, WalConfig, WalSystem};
+use perseas_core::{Perseas, PerseasConfig};
+use perseas_disk::DiskParams;
+use perseas_rnram::{plan_transfer, SimRemote};
+use perseas_sci::{remote_write_latency, NodeMemory, SciParams};
+use perseas_simtime::SimClock;
+use perseas_txn::{TransactionalMemory, TxnStats};
+use perseas_workloads::{run_workload, DebitCredit, OrderEntry, RunReport, Synthetic, Workload};
+
+use crate::systems::{perseas_sim, perseas_sim_with, SystemKind};
+
+/// One point of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Row {
+    /// Store size in bytes.
+    pub size: usize,
+    /// Latency of the raw store (first word on a buffer boundary), µs.
+    pub raw_us: f64,
+    /// Latency of the store as issued by the optimised `sci_memcpy`, µs.
+    pub memcpy_us: f64,
+}
+
+/// Figure 5: SCI remote-write latency for 4–200-byte stores whose first
+/// word maps to the first word of an SCI buffer.
+pub fn fig5_sci_latency() -> Vec<Fig5Row> {
+    let params = SciParams::dolphin_1998();
+    (4..=200)
+        .step_by(4)
+        .map(|size| {
+            let raw = remote_write_latency(&params, 0, size);
+            let plan = plan_transfer(0, 0, size, 1 << 20);
+            let opt = remote_write_latency(&params, plan.offset as u64, plan.len);
+            Fig5Row {
+                size,
+                raw_us: raw.as_micros_f64(),
+                memcpy_us: opt.as_micros_f64(),
+            }
+        })
+        .collect()
+}
+
+/// One point of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Row {
+    /// Bytes modified per transaction.
+    pub size: usize,
+    /// Mean transaction latency, µs.
+    pub latency_us: f64,
+    /// Transactions per second.
+    pub tps: f64,
+}
+
+/// Figure 6: PERSEAS transaction overhead as a function of transaction
+/// size, 4 bytes to 1 MB, each transaction modifying a random location of
+/// an 8 MB database.
+pub fn fig6_txn_overhead() -> Vec<Fig6Row> {
+    let sizes = [
+        4usize,
+        16,
+        64,
+        256,
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+    ];
+    sizes
+        .iter()
+        .map(|&size| {
+            let clock = SimClock::new();
+            let mut db = perseas_sim(clock.clone());
+            let mut wl = Synthetic::figure6(size);
+            wl.setup(&mut db).expect("setup");
+            let n = (2_000usize.min((64 << 20) / size)).max(8) as u64;
+            let report = run_workload(&mut db, &mut wl, n).expect("run");
+            Fig6Row {
+                size,
+                latency_us: report.latency().as_micros_f64(),
+                tps: report.tps(),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 1 or the comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// System under test.
+    pub system: &'static str,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Transactions per second of virtual time.
+    pub tps: f64,
+    /// Mean transaction latency, µs.
+    pub latency_us: f64,
+}
+
+fn drive(
+    system: &'static str,
+    tm: &mut dyn TransactionalMemory,
+    wl: &mut dyn Workload,
+    n: u64,
+) -> ThroughputRow {
+    wl.setup(tm).expect("setup");
+    let report: RunReport = run_workload(tm, wl, n).expect("run");
+    wl.check(&*tm).expect("workload invariants");
+    ThroughputRow {
+        system,
+        workload: wl.name(),
+        tps: report.tps(),
+        latency_us: report.latency().as_micros_f64(),
+    }
+}
+
+/// Table 1: PERSEAS throughput on debit-credit and order-entry.
+pub fn table1_perseas() -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    let clock = SimClock::new();
+    let mut db = perseas_sim(clock);
+    rows.push(drive("PERSEAS", &mut db, &mut DebitCredit::paper(), 20_000));
+    let clock = SimClock::new();
+    let mut db = perseas_sim(clock);
+    rows.push(drive("PERSEAS", &mut db, &mut OrderEntry::paper(), 10_000));
+    rows
+}
+
+/// The paper's §5.1 comparison: all six systems on the short synthetic,
+/// debit-credit, and order-entry workloads.
+pub fn compare_systems() -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for kind in SystemKind::all() {
+        let n = kind.sample_txns();
+        // Short synthetic transactions (16 bytes), as in the paper's
+        // ">100 000 short transactions per second" claim.
+        let mut tm = kind.build();
+        rows.push(drive(
+            kind.name(),
+            tm.as_mut(),
+            &mut Synthetic::new(8 << 20, 16, 7),
+            n,
+        ));
+        let mut tm = kind.build();
+        rows.push(drive(kind.name(), tm.as_mut(), &mut DebitCredit::paper(), n));
+        let mut tm = kind.build();
+        rows.push(drive(
+            kind.name(),
+            tm.as_mut(),
+            &mut OrderEntry::paper(),
+            (n / 2).max(100),
+        ));
+    }
+    rows
+}
+
+/// One row of the protocol copy-count comparison (Figures 2 vs. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopiesRow {
+    /// System under test.
+    pub system: &'static str,
+    /// Local memory copies per committed transaction.
+    pub local_per_txn: f64,
+    /// Remote writes per committed transaction.
+    pub remote_per_txn: f64,
+    /// Disk (or stable-store file) writes per committed transaction.
+    pub disk_per_txn: f64,
+}
+
+/// Protocol work per transaction, measured over 1 000 debit-credit
+/// transactions: PERSEAS does its three copies with zero disk accesses;
+/// the WAL systems hit stable storage every commit.
+pub fn copies_per_txn() -> Vec<CopiesRow> {
+    SystemKind::all()
+        .into_iter()
+        .map(|kind| {
+            let mut tm = kind.build();
+            let mut wl = DebitCredit::paper();
+            wl.setup(tm.as_mut()).expect("setup");
+            let before: TxnStats = tm.stats();
+            run_workload(tm.as_mut(), &mut wl, 1_000).expect("run");
+            let d = tm.stats().since(&before);
+            let n = d.commits.max(1) as f64;
+            CopiesRow {
+                system: kind.name(),
+                local_per_txn: d.local_copies as f64 / n,
+                remote_per_txn: d.remote_writes as f64 / n,
+                disk_per_txn: (d.disk_sync_writes + d.disk_async_writes) as f64 / n,
+            }
+        })
+        .collect()
+}
+
+/// One row of the group-commit ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupCommitRow {
+    /// System label.
+    pub label: String,
+    /// Debit-credit throughput.
+    pub tps: f64,
+}
+
+/// §6: "PERSEAS outperforms even sophisticated optimisation methods (like
+/// group commit) by an order of magnitude." RVM with increasing batch
+/// sizes, against PERSEAS.
+pub fn ablation_group_commit() -> Vec<GroupCommitRow> {
+    let mut rows = Vec::new();
+    for group in [1usize, 4, 16, 64, 256] {
+        let clock = SimClock::new();
+        let mut tm = WalSystem::rvm(clock, WalConfig::new().with_group_commit(group));
+        let row = drive(
+            "rvm",
+            &mut tm,
+            &mut DebitCredit::paper(),
+            (100 * group as u64).clamp(2_000, 20_000),
+        );
+        rows.push(GroupCommitRow {
+            label: format!("RVM, group commit {group}"),
+            tps: row.tps,
+        });
+    }
+    let clock = SimClock::new();
+    let mut db = perseas_sim(clock);
+    let row = drive("PERSEAS", &mut db, &mut DebitCredit::paper(), 20_000);
+    rows.push(GroupCommitRow {
+        label: "PERSEAS".into(),
+        tps: row.tps,
+    });
+    rows
+}
+
+/// One row of the mirror-count ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MirrorRow {
+    /// Number of mirror nodes.
+    pub mirrors: usize,
+    /// Debit-credit throughput.
+    pub tps: f64,
+    /// Small (16-byte) transaction latency, µs.
+    pub small_txn_us: f64,
+}
+
+/// Reliability has a price: each extra mirror adds one remote write per
+/// protocol step. The paper runs with one mirror; this ablation quantifies
+/// k = 1..4.
+pub fn ablation_mirrors() -> Vec<MirrorRow> {
+    (1..=4)
+        .map(|k| {
+            let clock = SimClock::new();
+            let mut db = perseas_sim_with(
+                clock.clone(),
+                PerseasConfig::default(),
+                k,
+                SciParams::dolphin_1998(),
+            );
+            let row = drive("PERSEAS", &mut db, &mut DebitCredit::paper(), 10_000);
+
+            let clock = SimClock::new();
+            let mut db = perseas_sim_with(
+                clock.clone(),
+                PerseasConfig::default(),
+                k,
+                SciParams::dolphin_1998(),
+            );
+            let small = drive("PERSEAS", &mut db, &mut Synthetic::new(8 << 20, 16, 7), 10_000);
+            MirrorRow {
+                mirrors: k,
+                tps: row.tps,
+                small_txn_us: small.latency_us,
+            }
+        })
+        .collect()
+}
+
+/// One row of the `sci_memcpy` ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemcpyRow {
+    /// Transaction size in bytes.
+    pub size: usize,
+    /// Latency with the aligned-chunk optimisation, µs.
+    pub aligned_us: f64,
+    /// Latency with naive stores, µs.
+    pub naive_us: f64,
+}
+
+/// §4: the aligned-chunk `sci_memcpy` against naive stores, across
+/// transaction sizes.
+pub fn ablation_memcpy() -> Vec<MemcpyRow> {
+    [48usize, 100, 256, 1 << 10, 4 << 10, 64 << 10]
+        .into_iter()
+        .map(|size| {
+            let latency = |aligned: bool| {
+                let clock = SimClock::new();
+                let cfg = PerseasConfig::default().with_aligned_memcpy(aligned);
+                let mut db =
+                    perseas_sim_with(clock.clone(), cfg, 1, SciParams::dolphin_1998());
+                let mut wl = Synthetic::new(4 << 20, size, 11);
+                wl.setup(&mut db).expect("setup");
+                let n = (1_000usize.min((16 << 20) / size)).max(8) as u64;
+                run_workload(&mut db, &mut wl, n)
+                    .expect("run")
+                    .latency()
+                    .as_micros_f64()
+            };
+            MemcpyRow {
+                size,
+                aligned_us: latency(true),
+                naive_us: latency(false),
+            }
+        })
+        .collect()
+}
+
+/// One row of the technology-trend ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendRow {
+    /// Calendar year being modelled.
+    pub year: u32,
+    /// PERSEAS small-transaction latency, µs.
+    pub perseas_us: f64,
+    /// RVM small-transaction latency, µs.
+    pub rvm_us: f64,
+    /// RVM latency / PERSEAS latency.
+    pub ratio: f64,
+}
+
+/// §6: "the performance benefits of our approach will increase with
+/// time" — networks improve 20–45 %/year, disks 10–20 %/year. Both systems
+/// are re-run with hardware scaled forward year by year.
+pub fn ablation_trend() -> Vec<TrendRow> {
+    const NET_RATE: f64 = 1.325; // mid-point of 20-45 %/year
+    const DISK_RATE: f64 = 1.15; // mid-point of 10-20 %/year
+    const CPU_RATE: f64 = 1.4; // processor/memory improvement per year
+    (0..=10)
+        .map(|dy| {
+            let net = NET_RATE.powi(dy);
+            let disk = DISK_RATE.powi(dy);
+            let cpu = CPU_RATE.powi(dy);
+            let base_mem = perseas_simtime::MemCostModel::pentium_133();
+            let mem = perseas_simtime::MemCostModel::new(
+                ((base_mem.per_call_ns() as f64 / cpu).round() as u64).max(1),
+                ((base_mem.bytes_per_us() as f64 * cpu).round() as u64).max(1),
+            );
+
+            let clock = SimClock::new();
+            let mut db = perseas_sim_with(
+                clock.clone(),
+                PerseasConfig::default().with_mem_cost(mem),
+                1,
+                SciParams::scaled(net),
+            );
+            let p = drive("PERSEAS", &mut db, &mut Synthetic::new(8 << 20, 16, 7), 5_000);
+
+            let clock = SimClock::new();
+            let store = DiskStore::with_params(clock.clone(), DiskParams::scaled(disk));
+            let mut wal_cfg = WalConfig::new();
+            wal_cfg.mem_cost = mem;
+            let mut tm = WalSystem::with_store(store, wal_cfg);
+            let r = drive("RVM", &mut tm, &mut Synthetic::new(8 << 20, 16, 7), 200);
+
+            TrendRow {
+                year: 1998 + dy as u32,
+                perseas_us: p.latency_us,
+                rvm_us: r.latency_us,
+                ratio: r.latency_us / p.latency_us,
+            }
+        })
+        .collect()
+}
+
+/// One row of the remote-memory-WAL comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteWalRow {
+    /// Bytes modified per transaction.
+    pub txn_size: usize,
+    /// Remote-memory WAL (Ioannidis et al.) sustained throughput.
+    pub remote_wal_tps: f64,
+    /// PERSEAS sustained throughput.
+    pub perseas_tps: f64,
+    /// Latency of the first (buffer-absorbed) remote-WAL transaction, µs.
+    pub remote_wal_first_us: f64,
+    /// Worst remote-WAL transaction latency in the run (buffer-full
+    /// stall), µs.
+    pub remote_wal_worst_us: f64,
+}
+
+/// §2: the paper argues that logging to remote memory with asynchronous
+/// disk writes (Ioannidis et al.) is fast only in bursts — "in case of
+/// heavy load, write buffers will become full and the asynchronous write
+/// operations will become synchronous", with commit throughput bounded by
+/// disk bandwidth. PERSEAS has no disk in the loop at all.
+pub fn ablation_remote_wal() -> Vec<RemoteWalRow> {
+    use perseas_baselines::NetWalStore;
+
+    [64usize, 512, 4 << 10, 16 << 10]
+        .into_iter()
+        .map(|txn_size| {
+            // Remote-memory WAL under sustained load.
+            let clock = SimClock::new();
+            let store = NetWalStore::new(clock.clone());
+            let mut tm = WalSystem::with_store(
+                store,
+                WalConfig::new().with_checkpoint_log_bytes(512 << 20),
+            );
+            let mut wl = Synthetic::new(8 << 20, txn_size, 13);
+            wl.setup(&mut tm).expect("setup");
+            let sw = clock.stopwatch();
+            wl.run_txn(&mut tm).expect("txn");
+            let first = sw.elapsed();
+            let mut worst = first;
+            // Keep the total log volume under ~24 MB so the mirror node's
+            // 64 MB export capacity comfortably holds the doubling log.
+            let n = (4_000usize.min((24 << 20) / (txn_size + 52))).max(64) as u64;
+            let total_sw = clock.stopwatch();
+            for _ in 1..n {
+                let sw = clock.stopwatch();
+                wl.run_txn(&mut tm).expect("txn");
+                worst = worst.max(sw.elapsed());
+            }
+            let remote_wal_tps = (n - 1) as f64 / total_sw.elapsed().as_secs_f64();
+
+            // PERSEAS on the same workload.
+            let clock = SimClock::new();
+            let mut db = perseas_sim(clock);
+            let mut wl = Synthetic::new(8 << 20, txn_size, 13);
+            wl.setup(&mut db).expect("setup");
+            let report = run_workload(&mut db, &mut wl, n).expect("run");
+
+            RemoteWalRow {
+                txn_size,
+                remote_wal_tps,
+                perseas_tps: report.tps(),
+                remote_wal_first_us: first.as_micros_f64(),
+                remote_wal_worst_us: worst.as_micros_f64(),
+            }
+        })
+        .collect()
+}
+
+/// The file-system workload across all systems (the introduction's third
+/// motivating domain). Each row is one system's new-metadata-op
+/// throughput with invariants verified afterwards.
+pub fn filesys_throughput() -> Vec<ThroughputRow> {
+    use perseas_workloads::FileSys;
+    SystemKind::all()
+        .into_iter()
+        .map(|kind| {
+            let mut tm = kind.build();
+            let mut wl = FileSys::paper();
+            let n = kind.sample_txns().min(8_000);
+            let row = drive(kind.name(), tm.as_mut(), &mut wl, n);
+            ThroughputRow {
+                system: row.system,
+                workload: "filesys",
+                tps: row.tps,
+                latency_us: row.latency_us,
+            }
+        })
+        .collect()
+}
+
+/// One row of the batching ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchRow {
+    /// Ranges declared per transaction.
+    pub ranges: usize,
+    /// Latency with one set_range call per range, µs.
+    pub per_range_us: f64,
+    /// Latency with a single batched set_ranges call, µs.
+    pub batched_us: f64,
+}
+
+/// Extension ablation: declaring all of a transaction's ranges in one
+/// batched `set_ranges` call pushes the whole undo payload in a single
+/// remote burst per mirror, amortising the per-burst SCI setup cost that
+/// dominates small multi-range transactions (like debit-credit's four
+/// ranges).
+pub fn ablation_batch() -> Vec<BatchRow> {
+    [2usize, 4, 8, 16]
+        .into_iter()
+        .map(|ranges| {
+            let measure = |batched: bool| {
+                let clock = SimClock::new();
+                let mut db = perseas_sim(clock.clone());
+                let r = db.malloc(1 << 20).expect("malloc");
+                db.init_remote_db().expect("publish");
+                let n = 2_000u64;
+                let sw = clock.stopwatch();
+                for i in 0..n {
+                    db.begin_transaction().expect("begin");
+                    let decls: Vec<_> = (0..ranges)
+                        .map(|k| (r, ((i as usize * 131 + k * 4096) % (1 << 19)), 8))
+                        .collect();
+                    if batched {
+                        db.set_ranges(&decls).expect("set_ranges");
+                    } else {
+                        for &(r, off, len) in &decls {
+                            db.set_range(r, off, len).expect("set_range");
+                        }
+                    }
+                    for &(r, off, _) in &decls {
+                        db.write(r, off, &[7; 8]).expect("write");
+                    }
+                    db.commit_transaction().expect("commit");
+                }
+                sw.elapsed().as_micros_f64() / n as f64
+            };
+            BatchRow {
+                ranges,
+                per_range_us: measure(false),
+                batched_us: measure(true),
+            }
+        })
+        .collect()
+}
+
+/// One row of the database-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbSizeRow {
+    /// Number of accounts in the debit-credit database.
+    pub accounts: usize,
+    /// Approximate database size in bytes.
+    pub db_bytes: usize,
+    /// Debit-credit throughput.
+    pub tps: f64,
+}
+
+/// §5.1: "We have used various-sized databases, and in all cases the
+/// performance of PERSEAS was almost constant, as long as the database
+/// was smaller than the main memory size." Debit-credit at growing
+/// account counts.
+pub fn dbsize_sweep() -> Vec<DbSizeRow> {
+    use perseas_workloads::DebitCreditScale;
+    [1_000usize, 10_000, 50_000, 200_000]
+        .into_iter()
+        .map(|accounts| {
+            let scale = DebitCreditScale {
+                branches: (accounts / 10_000).max(1),
+                tellers_per_branch: 10,
+                accounts,
+                history_slots: 4_096,
+            };
+            let clock = SimClock::new();
+            let mut db = perseas_sim(clock);
+            let mut wl = DebitCredit::new(scale, 0xB0B5);
+            wl.setup(&mut db).expect("setup");
+            let report = run_workload(&mut db, &mut wl, 10_000).expect("run");
+            wl.check(&db).expect("invariants");
+            DbSizeRow {
+                accounts,
+                db_bytes: accounts * 100 + scale.tellers() * 100 + scale.branches * 100
+                    + scale.history_slots * 50,
+                tps: report.tps(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the tail-latency experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailLatencyRow {
+    /// System under test.
+    pub system: &'static str,
+    /// Median transaction latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// Worst observed latency, µs.
+    pub max_us: f64,
+}
+
+/// Tail latency of debit-credit transactions across the systems. Mean
+/// throughput hides the §2 pathology: systems that buffer disk writes
+/// look fast on average but stall for tens of milliseconds when the
+/// buffer drains; PERSEAS' worst case stays microseconds from its median.
+pub fn tail_latency() -> Vec<TailLatencyRow> {
+    use perseas_simtime::Histogram;
+    SystemKind::all()
+        .into_iter()
+        .map(|kind| {
+            let mut tm = kind.build();
+            let mut wl = DebitCredit::paper();
+            wl.setup(tm.as_mut()).expect("setup");
+            let mut hist = Histogram::new();
+            let n = kind.sample_txns().min(8_000);
+            for _ in 0..n {
+                let sw = tm.clock().stopwatch();
+                wl.run_txn(tm.as_mut()).expect("txn");
+                hist.record(sw.elapsed());
+            }
+            TailLatencyRow {
+                system: kind.name(),
+                p50_us: hist.percentile(50.0).as_micros_f64(),
+                p99_us: hist.percentile(99.0).as_micros_f64(),
+                max_us: hist.max().as_micros_f64(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the recovery-time experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryRow {
+    /// Database size in bytes.
+    pub db_bytes: usize,
+    /// Virtual time to recover on a fresh workstation, ms.
+    pub recover_ms: f64,
+    /// Whether an in-flight transaction had to be rolled back.
+    pub rolled_back: bool,
+}
+
+/// The paper's availability claim: recovery is one remote-to-local copy
+/// per region and can start immediately on any workstation. Measures
+/// recovery time against database size, with a transaction in flight at
+/// the crash.
+pub fn recovery_time() -> Vec<RecoveryRow> {
+    [1usize << 20, 4 << 20, 16 << 20]
+        .into_iter()
+        .map(|db_bytes| {
+            let clock = SimClock::new();
+            let mut db = perseas_sim(clock);
+            let r = db.malloc(db_bytes).expect("malloc");
+            db.init_remote_db().expect("publish");
+            // Crash mid-transaction.
+            db.begin_transaction().expect("begin");
+            db.set_range(r, 0, 4 << 10).expect("set_range");
+            db.write(r, 0, &vec![7u8; 4 << 10]).expect("write");
+            let node: NodeMemory = db.mirror_backend(0).expect("mirror").node().clone();
+            db.crash();
+
+            let recovery_clock = SimClock::new();
+            let backend = SimRemote::with_parts(
+                recovery_clock.clone(),
+                node,
+                SciParams::dolphin_1998(),
+            );
+            let sw = recovery_clock.stopwatch();
+            let (_db2, report) = Perseas::recover_with_clock(
+                backend,
+                PerseasConfig::default(),
+                recovery_clock.clone(),
+            )
+            .expect("recover");
+            RecoveryRow {
+                db_bytes,
+                recover_ms: sw.elapsed().as_millis_f64(),
+                rolled_back: report.rolled_back_txn.is_some(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_has_notch_at_64() {
+        let rows = fig5_sci_latency();
+        let at = |size: usize| {
+            rows.iter()
+                .find(|r| r.size == size)
+                .expect("size present")
+                .raw_us
+        };
+        assert_eq!(at(4), 2.5);
+        assert!(at(64) < at(60));
+        assert!(at(64) < at(68));
+        // The optimised memcpy is never slower than the raw store.
+        for r in &rows {
+            assert!(r.memcpy_us <= r.raw_us + 1e-9, "size {}", r.size);
+        }
+    }
+
+    #[test]
+    fn fig6_small_txns_fast_large_txns_bounded() {
+        let rows = fig6_txn_overhead();
+        let small = rows.first().expect("4-byte row");
+        assert!(small.latency_us < 10.0, "small txn {} us", small.latency_us);
+        assert!(small.tps > 100_000.0);
+        let big = rows.last().expect("1 MB row");
+        assert!(
+            big.latency_us < 100_000.0,
+            "1 MB txn should be < 0.1 s, got {} us",
+            big.latency_us
+        );
+        // Monotone non-decreasing latency in size.
+        for w in rows.windows(2) {
+            assert!(w[1].latency_us >= w[0].latency_us);
+        }
+    }
+
+    #[test]
+    fn copies_match_protocols() {
+        let rows = copies_per_txn();
+        let perseas = rows
+            .iter()
+            .find(|r| r.system == "PERSEAS")
+            .expect("perseas row");
+        assert_eq!(perseas.disk_per_txn, 0.0);
+        assert!(perseas.remote_per_txn >= 4.0); // 4 set_ranges + data + commit
+        let rvm = rows.iter().find(|r| r.system == "RVM (disk)").expect("rvm");
+        assert!(rvm.disk_per_txn >= 1.0);
+        assert_eq!(rvm.remote_per_txn, 0.0);
+    }
+}

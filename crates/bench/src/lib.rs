@@ -1,0 +1,23 @@
+//! Experiment library: every figure and table of the paper's evaluation
+//! as a pure function returning data rows, shared by the `harness` binary,
+//! the integration tests, and the Criterion benches.
+//!
+//! | Function | Paper artifact |
+//! |---|---|
+//! | [`fig5_sci_latency`] | Figure 5 — SCI remote-write latency vs. size |
+//! | [`fig6_txn_overhead`] | Figure 6 — transaction overhead vs. size |
+//! | [`table1_perseas`] | Table 1 — PERSEAS debit-credit / order-entry |
+//! | [`compare_systems`] | §5.1 — all six systems on all workloads |
+//! | [`copies_per_txn`] | Figures 2 & 3 — copies/IO per transaction |
+//! | [`ablation_group_commit`] | §6 — group commit vs. PERSEAS |
+//! | [`ablation_mirrors`] | multi-mirror overhead (k = 1..4) |
+//! | [`ablation_memcpy`] | §4 — aligned-chunk `sci_memcpy` on/off |
+//! | [`ablation_trend`] | §6 — disk vs. network technology trend |
+
+mod claims;
+mod experiments;
+mod systems;
+
+pub use claims::{verify_claims, ClaimRow};
+pub use experiments::*;
+pub use systems::{perseas_sim, perseas_sim_with, SystemKind};

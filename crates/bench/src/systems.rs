@@ -1,0 +1,112 @@
+//! Constructors for the systems under test, each on its own virtual
+//! clock, plus a tag enum the experiment drivers iterate over.
+
+use perseas_baselines::{NetWalStore, VistaSystem, WalConfig, WalSystem};
+use perseas_core::{Perseas, PerseasConfig};
+use perseas_rnram::SimRemote;
+use perseas_sci::{NodeMemory, SciParams};
+use perseas_simtime::SimClock;
+use perseas_txn::TransactionalMemory;
+
+/// A PERSEAS instance over one simulated SCI mirror, with the library and
+/// the link sharing `clock`.
+pub fn perseas_sim(clock: SimClock) -> Perseas<SimRemote> {
+    perseas_sim_with(clock, PerseasConfig::default(), 1, SciParams::dolphin_1998())
+}
+
+/// Like [`perseas_sim`] with explicit configuration, mirror count, and SCI
+/// timing.
+///
+/// # Panics
+///
+/// Panics if `mirrors` is zero.
+pub fn perseas_sim_with(
+    clock: SimClock,
+    cfg: PerseasConfig,
+    mirrors: usize,
+    params: SciParams,
+) -> Perseas<SimRemote> {
+    assert!(mirrors > 0, "at least one mirror");
+    let backends: Vec<SimRemote> = (0..mirrors)
+        .map(|i| {
+            SimRemote::with_parts(clock.clone(), NodeMemory::new(format!("mirror-{i}")), params)
+        })
+        .collect();
+    Perseas::init_with_clock(backends, cfg, clock).expect("init PERSEAS")
+}
+
+/// The systems of the paper's comparison (its four published comparators
+/// plus the Section 2 remote-memory WAL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// PERSEAS over one SCI mirror.
+    Perseas,
+    /// RVM: WAL on a 1998 magnetic disk, synchronous commit.
+    Rvm,
+    /// RVM with group commit (batch of 32).
+    RvmGroupCommit,
+    /// RVM with its files in the Rio reliable file cache.
+    RioRvm,
+    /// WAL with the log mirrored in remote memory and streamed to disk
+    /// asynchronously (Ioannidis et al., paper Section 2).
+    RemoteWal,
+    /// Vista: undo-only transactions in reliable mapped memory.
+    Vista,
+}
+
+impl SystemKind {
+    /// All systems, slowest first.
+    pub fn all() -> [SystemKind; 6] {
+        [
+            SystemKind::Rvm,
+            SystemKind::RvmGroupCommit,
+            SystemKind::RioRvm,
+            SystemKind::RemoteWal,
+            SystemKind::Vista,
+            SystemKind::Perseas,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Perseas => "PERSEAS",
+            SystemKind::Rvm => "RVM (disk)",
+            SystemKind::RvmGroupCommit => "RVM + group commit",
+            SystemKind::RioRvm => "Rio-RVM",
+            SystemKind::RemoteWal => "Remote-memory WAL",
+            SystemKind::Vista => "Vista",
+        }
+    }
+
+    /// Builds the system on a fresh clock.
+    pub fn build(self) -> Box<dyn TransactionalMemory> {
+        let clock = SimClock::new();
+        match self {
+            SystemKind::Perseas => Box::new(perseas_sim(clock)),
+            SystemKind::Rvm => Box::new(WalSystem::rvm(clock, WalConfig::new())),
+            SystemKind::RvmGroupCommit => Box::new(WalSystem::rvm(
+                clock,
+                WalConfig::new().with_group_commit(32),
+            )),
+            SystemKind::RioRvm => Box::new(WalSystem::rio_rvm(clock, WalConfig::new())),
+            SystemKind::RemoteWal => Box::new(WalSystem::with_store(
+                NetWalStore::new(clock),
+                WalConfig::new(),
+            )),
+            SystemKind::Vista => Box::new(VistaSystem::new(clock)),
+        }
+    }
+
+    /// How many transactions to run for a statistically stable virtual
+    /// measurement without burning host time on the slow systems.
+    pub fn sample_txns(self) -> u64 {
+        match self {
+            SystemKind::Rvm => 300,
+            SystemKind::RvmGroupCommit => 2_000,
+            SystemKind::RioRvm => 5_000,
+            SystemKind::RemoteWal => 10_000,
+            SystemKind::Vista | SystemKind::Perseas => 20_000,
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Implementation of the `perseas` operator tool.
+//!
+//! Subcommands (see [`Command`]):
+//!
+//! * `serve` — run a network-RAM mirror server in the foreground;
+//! * `ping` — liveness-check a mirror;
+//! * `inspect` — dump a mirror's PERSEAS metadata (regions, undo log,
+//!   commit record);
+//! * `backup` — recover the database from a mirror and write a
+//!   CRC-protected archive file;
+//! * `restore` — re-hydrate an archive onto a fresh mirror.
+//!
+//! The command implementations live in this library so they can be tested
+//! in-process; `main.rs` only parses arguments.
+
+use std::fmt::Write as _;
+
+use perseas_core::{Perseas, PerseasConfig, META_TAG};
+use perseas_rnram::{RemoteMemory, RnError, TcpRemote};
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run a mirror server in the foreground.
+    Serve {
+        /// Bind address.
+        addr: String,
+        /// Node name reported to clients.
+        name: String,
+    },
+    /// Liveness-check a mirror.
+    Ping {
+        /// Server address.
+        addr: String,
+    },
+    /// Dump PERSEAS metadata from a mirror.
+    Inspect {
+        /// Server address.
+        addr: String,
+        /// Metadata tag to look for.
+        tag: u64,
+    },
+    /// Archive the database held by a mirror into `out`.
+    Backup {
+        /// Server address.
+        addr: String,
+        /// Output file path.
+        out: String,
+        /// Metadata tag.
+        tag: u64,
+    },
+    /// Restore an archive file onto a fresh mirror.
+    Restore {
+        /// Server address.
+        addr: String,
+        /// Input file path.
+        input: String,
+        /// Metadata tag for the restored database.
+        tag: u64,
+    },
+}
+
+/// Error produced by argument parsing, carrying the usage message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+/// Renders the usage text.
+pub fn usage() -> String {
+    "usage: perseas <command> [options]\n\
+     \n\
+     commands:\n\
+    \x20 serve   [--addr HOST:PORT] [--name NAME]   run a mirror server\n\
+    \x20 ping     --addr HOST:PORT                  liveness-check a mirror\n\
+    \x20 inspect  --addr HOST:PORT [--tag HEX]      dump PERSEAS metadata\n\
+    \x20 backup   --addr HOST:PORT --out FILE       archive the database\n\
+    \x20 restore  --addr HOST:PORT --in FILE        re-hydrate an archive\n"
+        .to_string()
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, UsageError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(UsageError(format!("{flag} requires a value\n\n{}", usage())));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn parse_tag(args: &mut Vec<String>) -> Result<u64, UsageError> {
+    match take_flag(args, "--tag")? {
+        None => Ok(META_TAG),
+        Some(hex) => u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+            .map_err(|e| UsageError(format!("bad --tag '{hex}': {e}"))),
+    }
+}
+
+fn reject_leftovers(args: Vec<String>) -> Result<(), UsageError> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(UsageError(format!(
+            "unexpected arguments: {}\n\n{}",
+            args.join(" "),
+            usage()
+        )))
+    }
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing the problem and the usage text.
+pub fn parse(args: Vec<String>) -> Result<Command, UsageError> {
+    let mut args = args;
+    if args.is_empty() {
+        return Err(UsageError(usage()));
+    }
+    let cmd = args.remove(0);
+    let need_addr = |args: &mut Vec<String>| -> Result<String, UsageError> {
+        take_flag(args, "--addr")?
+            .ok_or_else(|| UsageError(format!("--addr is required\n\n{}", usage())))
+    };
+    match cmd.as_str() {
+        "serve" => {
+            let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7070".into());
+            let name = take_flag(&mut args, "--name")?.unwrap_or_else(|| "perseas-mirror".into());
+            reject_leftovers(args)?;
+            Ok(Command::Serve { addr, name })
+        }
+        "ping" => {
+            let addr = need_addr(&mut args)?;
+            reject_leftovers(args)?;
+            Ok(Command::Ping { addr })
+        }
+        "inspect" => {
+            let addr = need_addr(&mut args)?;
+            let tag = parse_tag(&mut args)?;
+            reject_leftovers(args)?;
+            Ok(Command::Inspect { addr, tag })
+        }
+        "backup" => {
+            let addr = need_addr(&mut args)?;
+            let out = take_flag(&mut args, "--out")?
+                .ok_or_else(|| UsageError(format!("--out is required\n\n{}", usage())))?;
+            let tag = parse_tag(&mut args)?;
+            reject_leftovers(args)?;
+            Ok(Command::Backup { addr, out, tag })
+        }
+        "restore" => {
+            let addr = need_addr(&mut args)?;
+            let input = take_flag(&mut args, "--in")?
+                .ok_or_else(|| UsageError(format!("--in is required\n\n{}", usage())))?;
+            let tag = parse_tag(&mut args)?;
+            reject_leftovers(args)?;
+            Ok(Command::Restore { addr, input, tag })
+        }
+        "--help" | "-h" | "help" => Err(UsageError(usage())),
+        other => Err(UsageError(format!("unknown command '{other}'\n\n{}", usage()))),
+    }
+}
+
+/// Liveness-checks the mirror at `addr`, returning its node name.
+///
+/// # Errors
+///
+/// Fails if the server is unreachable.
+pub fn ping(addr: &str) -> Result<String, RnError> {
+    let mut c = TcpRemote::connect(addr)?;
+    c.ping()?;
+    c.fetch_name()
+}
+
+/// Renders a human-readable metadata report for the database tagged `tag`
+/// on the mirror at `addr`.
+///
+/// # Errors
+///
+/// Fails if the mirror is unreachable or holds no such database.
+pub fn inspect(addr: &str, tag: u64) -> Result<String, String> {
+    let mut c = TcpRemote::connect(addr).map_err(|e| e.to_string())?;
+    let name = c.fetch_name().map_err(|e| e.to_string())?;
+    let meta = c.connect_segment(tag).map_err(|e| e.to_string())?;
+    let mut image = vec![0u8; meta.len];
+    c.remote_read(meta.id, 0, &mut image)
+        .map_err(|e| e.to_string())?;
+    let header = perseas_core::MetaHeader::decode(&image)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "mirror:          {name} ({addr})");
+    let _ = writeln!(out, "metadata:        {} ({} bytes, tag {tag:#x})", meta.id, meta.len);
+    let _ = writeln!(out, "last committed:  txn {}", header.last_committed);
+    let _ = writeln!(
+        out,
+        "undo log:        {} ({} bytes)",
+        perseas_rnram::SegmentId::from_raw(header.undo_seg_id),
+        header.undo_seg_len
+    );
+    let _ = writeln!(out, "regions:         {}", header.region_count);
+    let mut total = 0u64;
+    for i in 0..header.region_count as usize {
+        let (seg_id, len) = perseas_core::decode_region_entry(&image, i)?;
+        let _ = writeln!(
+            out,
+            "  region#{i}: {} ({len} bytes)",
+            perseas_rnram::SegmentId::from_raw(seg_id)
+        );
+        total += len;
+    }
+    let _ = writeln!(out, "database size:   {total} bytes");
+    Ok(out)
+}
+
+/// Recovers the database from the mirror at `addr` and returns its
+/// archive bytes (the caller writes them to a file).
+///
+/// # Errors
+///
+/// Fails if recovery is impossible.
+pub fn backup(addr: &str, tag: u64) -> Result<Vec<u8>, String> {
+    let c = TcpRemote::connect(addr).map_err(|e| e.to_string())?;
+    let cfg = PerseasConfig::default().with_meta_tag(tag);
+    let (db, report) = Perseas::recover(c, cfg).map_err(|e| e.to_string())?;
+    let archive = db.archive().map_err(|e| e.to_string())?;
+    let _ = report;
+    Ok(archive)
+}
+
+/// Restores archive bytes onto the (fresh) mirror at `addr` and returns
+/// a short report.
+///
+/// # Errors
+///
+/// Fails on corrupt archives or unreachable mirrors.
+pub fn restore(addr: &str, tag: u64, archive: &[u8]) -> Result<String, String> {
+    let c = TcpRemote::connect(addr).map_err(|e| e.to_string())?;
+    let cfg = PerseasConfig::default().with_meta_tag(tag);
+    let db = Perseas::restore(vec![c], cfg, archive).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "restored {} region(s), history up to txn {}",
+        db.mirror_count().max(1),
+        db.last_committed()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_serve_defaults() {
+        assert_eq!(
+            parse(v(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7070".into(),
+                name: "perseas-mirror".into()
+            }
+        );
+        assert_eq!(
+            parse(v(&["serve", "--addr", "0.0.0.0:9", "--name", "n1"])).unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9".into(),
+                name: "n1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_requires_addr() {
+        assert!(parse(v(&["ping"])).is_err());
+        assert!(parse(v(&["inspect"])).is_err());
+        assert_eq!(
+            parse(v(&["ping", "--addr", "h:1"])).unwrap(),
+            Command::Ping { addr: "h:1".into() }
+        );
+    }
+
+    #[test]
+    fn parse_tags_in_hex() {
+        match parse(v(&["inspect", "--addr", "h:1", "--tag", "0xAB"])).unwrap() {
+            Command::Inspect { tag, .. } => assert_eq!(tag, 0xAB),
+            other => panic!("{other:?}"),
+        }
+        match parse(v(&["inspect", "--addr", "h:1"])).unwrap() {
+            Command::Inspect { tag, .. } => assert_eq!(tag, META_TAG),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(v(&["inspect", "--addr", "h:1", "--tag", "zz"])).is_err());
+    }
+
+    #[test]
+    fn parse_backup_restore() {
+        assert_eq!(
+            parse(v(&["backup", "--addr", "h:1", "--out", "f.arch"])).unwrap(),
+            Command::Backup {
+                addr: "h:1".into(),
+                out: "f.arch".into(),
+                tag: META_TAG
+            }
+        );
+        assert!(parse(v(&["backup", "--addr", "h:1"])).is_err());
+        assert_eq!(
+            parse(v(&["restore", "--addr", "h:1", "--in", "f.arch"])).unwrap(),
+            Command::Restore {
+                addr: "h:1".into(),
+                input: "f.arch".into(),
+                tag: META_TAG
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(v(&[])).is_err());
+        assert!(parse(v(&["frobnicate"])).is_err());
+        assert!(parse(v(&["serve", "stray"])).is_err());
+        assert!(parse(v(&["serve", "--addr"])).is_err());
+        assert!(parse(v(&["help"])).is_err()); // help renders usage as "error"
+    }
+
+    #[test]
+    fn end_to_end_against_in_process_server() {
+        use perseas_rnram::server::Server;
+        let server = Server::bind("cli-node", "127.0.0.1:0").unwrap().start();
+        let addr = server.addr().to_string();
+
+        assert_eq!(ping(&addr).unwrap(), "cli-node");
+
+        // Build a small database on the mirror, then inspect/backup/restore.
+        let c = TcpRemote::connect(&addr).unwrap();
+        let mut db = Perseas::init(vec![c], PerseasConfig::default()).unwrap();
+        let r = db.malloc(128).unwrap();
+        db.init_remote_db().unwrap();
+        db.begin_transaction().unwrap();
+        db.set_range(r, 0, 8).unwrap();
+        db.write(r, 0, &[9; 8]).unwrap();
+        db.commit_transaction().unwrap();
+
+        let report = inspect(&addr, META_TAG).unwrap();
+        assert!(report.contains("last committed:  txn 1"), "{report}");
+        assert!(report.contains("regions:         1"), "{report}");
+        assert!(report.contains("128 bytes"), "{report}");
+
+        let archive = backup(&addr, META_TAG).unwrap();
+        let server2 = Server::bind("cli-node-2", "127.0.0.1:0").unwrap().start();
+        let addr2 = server2.addr().to_string();
+        let msg = restore(&addr2, META_TAG, &archive).unwrap();
+        assert!(msg.contains("txn 1"), "{msg}");
+
+        // The restored mirror now answers inspect with the same shape.
+        let report2 = inspect(&addr2, META_TAG).unwrap();
+        assert!(report2.contains("regions:         1"), "{report2}");
+        server.shutdown();
+        server2.shutdown();
+    }
+
+    #[test]
+    fn inspect_errors_are_clean() {
+        use perseas_rnram::server::Server;
+        let server = Server::bind("empty", "127.0.0.1:0").unwrap().start();
+        let err = inspect(&server.addr().to_string(), 0x123).unwrap_err();
+        assert!(err.contains("tag"), "{err}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,65 @@
+//! The `perseas` operator tool. See [`perseas_cli`] for the command
+//! implementations.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use perseas_cli::{backup, inspect, parse, ping, restore, Command};
+use perseas_rnram::server::Server;
+
+fn main() -> ExitCode {
+    let command = match parse(env::args().skip(1).collect()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}", e.0);
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Serve { addr, name } => {
+            let handle = Server::bind(name.clone(), addr.as_str())
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?
+                .start();
+            println!(
+                "mirror '{name}' exporting memory on {} (ctrl-c to stop)",
+                handle.addr()
+            );
+            loop {
+                std::thread::park();
+            }
+        }
+        Command::Ping { addr } => {
+            let name = ping(&addr).map_err(|e| e.to_string())?;
+            println!("{addr} is alive: node '{name}'");
+            Ok(())
+        }
+        Command::Inspect { addr, tag } => {
+            print!("{}", inspect(&addr, tag)?);
+            Ok(())
+        }
+        Command::Backup { addr, out, tag } => {
+            let archive = backup(&addr, tag)?;
+            fs::write(&out, &archive).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote {} bytes to {out}", archive.len());
+            Ok(())
+        }
+        Command::Restore { addr, input, tag } => {
+            let archive =
+                fs::read(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+            let report = restore(&addr, tag, &archive)?;
+            println!("{report}");
+            Ok(())
+        }
+    }
+}

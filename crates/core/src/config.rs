@@ -1,0 +1,126 @@
+//! Library configuration.
+
+use perseas_simtime::MemCostModel;
+
+use crate::layout::META_TAG;
+
+/// Configuration of a [`crate::Perseas`] instance.
+///
+/// The defaults reproduce the paper's testbed: 133 MHz Pentium memory
+/// costs, up to 64 database segments, and a 64 KB initial mirrored undo
+/// log that grows on demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerseasConfig {
+    /// Cost model for local memory copies.
+    pub mem_cost: MemCostModel,
+    /// Maximum number of database regions (fixes the size of the remote
+    /// metadata segment's region table).
+    pub max_regions: usize,
+    /// Initial capacity of the mirrored undo log in bytes; it doubles on
+    /// demand.
+    pub initial_undo_capacity: usize,
+    /// Tag under which the metadata segment is exported, used by
+    /// [`crate::Perseas::recover`] to find it again (the paper's
+    /// `sci_connect_segment`).
+    pub meta_tag: u64,
+    /// Use the optimised `sci_memcpy` (widen copies of 32+ bytes to whole
+    /// 64-byte aligned chunks, Section 4). Disable only for the ablation
+    /// benchmark.
+    pub aligned_memcpy: bool,
+}
+
+impl PerseasConfig {
+    /// The default configuration (see type-level docs).
+    pub fn new() -> Self {
+        PerseasConfig {
+            mem_cost: MemCostModel::pentium_133(),
+            max_regions: 64,
+            initial_undo_capacity: 64 << 10,
+            meta_tag: META_TAG,
+            aligned_memcpy: true,
+        }
+    }
+
+    /// Sets the local memory cost model.
+    pub fn with_mem_cost(mut self, mem_cost: MemCostModel) -> Self {
+        self.mem_cost = mem_cost;
+        self
+    }
+
+    /// Sets the maximum region count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_regions` is zero.
+    pub fn with_max_regions(mut self, max_regions: usize) -> Self {
+        assert!(max_regions > 0, "max_regions must be positive");
+        self.max_regions = max_regions;
+        self
+    }
+
+    /// Sets the initial undo-log capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_initial_undo_capacity(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "undo capacity must be positive");
+        self.initial_undo_capacity = bytes;
+        self
+    }
+
+    /// Sets the metadata tag (distinct databases sharing one mirror node
+    /// need distinct tags).
+    pub fn with_meta_tag(mut self, tag: u64) -> Self {
+        self.meta_tag = tag;
+        self
+    }
+
+    /// Enables or disables the aligned-chunk `sci_memcpy` optimisation
+    /// (ablation only; leave on for faithful behaviour).
+    pub fn with_aligned_memcpy(mut self, aligned: bool) -> Self {
+        self.aligned_memcpy = aligned;
+        self
+    }
+}
+
+impl Default for PerseasConfig {
+    fn default() -> Self {
+        PerseasConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = PerseasConfig::new()
+            .with_max_regions(8)
+            .with_initial_undo_capacity(1024)
+            .with_meta_tag(7)
+            .with_mem_cost(MemCostModel::free());
+        assert_eq!(c.max_regions, 8);
+        assert_eq!(c.initial_undo_capacity, 1024);
+        assert_eq!(c.meta_tag, 7);
+        assert_eq!(c.mem_cost, MemCostModel::free());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_regions")]
+    fn zero_regions_rejected() {
+        let _ = PerseasConfig::new().with_max_regions(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undo capacity")]
+    fn zero_undo_rejected() {
+        let _ = PerseasConfig::new().with_initial_undo_capacity(0);
+    }
+
+    #[test]
+    fn default_is_new() {
+        assert_eq!(PerseasConfig::default(), PerseasConfig::new());
+    }
+}

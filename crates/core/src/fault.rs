@@ -1,0 +1,96 @@
+//! Crash-point fault injection.
+//!
+//! Recovery testing needs to crash the primary at *every* point of the
+//! commit protocol. [`FaultPlan`] counts protocol steps — one per remote
+//! operation the library is about to issue — and kills the instance when
+//! the armed step is reached. The mirror's [`perseas_sci::NodeMemory`]
+//! survives, so a test can then run [`crate::Perseas::recover`] against it
+//! and assert atomicity and durability.
+
+/// A schedule of injected crashes, expressed in protocol steps.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_core::FaultPlan;
+///
+/// let mut plan = FaultPlan::crash_after(2);
+/// assert!(plan.step());        // step 1 survives
+/// assert!(plan.step());        // step 2 survives
+/// assert!(!plan.step());       // step 3 crashes
+/// assert_eq!(plan.steps_taken(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    crash_after: Option<u64>,
+    taken: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never crashes.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan that lets `steps` protocol steps complete and crashes on the
+    /// next one. `crash_after(0)` crashes on the first step.
+    pub fn crash_after(steps: u64) -> Self {
+        FaultPlan {
+            crash_after: Some(steps),
+            taken: 0,
+        }
+    }
+
+    /// Advances by one protocol step. Returns `false` if the instance must
+    /// crash *before* performing the step.
+    pub fn step(&mut self) -> bool {
+        let survive = match self.crash_after {
+            None => true,
+            Some(limit) => self.taken < limit,
+        };
+        self.taken += 1;
+        survive
+    }
+
+    /// Total steps attempted so far (including a final fatal one).
+    pub fn steps_taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// `true` if this plan will crash at some future or past step.
+    pub fn is_armed(&self) -> bool {
+        self.crash_after.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_plan_never_crashes() {
+        let mut p = FaultPlan::none();
+        for _ in 0..1000 {
+            assert!(p.step());
+        }
+        assert_eq!(p.steps_taken(), 1000);
+        assert!(!p.is_armed());
+    }
+
+    #[test]
+    fn crash_after_zero_kills_first_step() {
+        let mut p = FaultPlan::crash_after(0);
+        assert!(!p.step());
+        assert!(p.is_armed());
+    }
+
+    #[test]
+    fn crash_point_is_exact() {
+        let mut p = FaultPlan::crash_after(3);
+        assert!(p.step());
+        assert!(p.step());
+        assert!(p.step());
+        assert!(!p.step());
+        assert!(!p.step());
+    }
+}

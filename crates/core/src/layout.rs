@@ -1,0 +1,344 @@
+//! Durable layouts: the remote metadata segment and the undo-log record
+//! format.
+//!
+//! The protocol is designed around the SCI card's delivery guarantees:
+//! packets of one store burst arrive **in order**, and a crash can truncate
+//! a burst only at a packet boundary. Therefore:
+//!
+//! * the commit record is a single 8-byte word inside one 16-byte line —
+//!   it is either fully visible or not at all;
+//! * undo records are self-validating (magic + transaction id + CRC-32
+//!   over header and payload), so recovery can scan the mirrored undo log
+//!   and stop at the first record that is torn, stale, or absent;
+//! * the undo-segment indirection (`undo_seg_id`, `undo_seg_len`) lives in
+//!   one 16-byte line and is updated with a single packet when the undo
+//!   log grows.
+
+use serde::{Deserialize, Serialize};
+
+/// Well-known tag under which the metadata segment is exported.
+pub const META_TAG: u64 = 0x5045_5253_4541_5331; // "PERSEAS1"
+
+/// Magic value at offset 0 of the metadata segment.
+pub const META_MAGIC: u64 = 0x4D45_4455_5341_0001; // "MEDUSA", v1
+
+/// Layout version encoded in the header.
+pub const META_VERSION: u32 = 1;
+
+/// Byte offset of the `(undo_seg_id, undo_seg_len)` line.
+pub const OFF_UNDO: usize = 16;
+
+/// Byte offset of the commit record (`last_committed` transaction id).
+/// Deliberately placed so the 8-byte record ends on the last word of its
+/// 64-byte SCI buffer: the card then flushes it eagerly (no partial-flush
+/// timeout), shaving ~0.3 µs off every commit.
+pub const OFF_COMMIT: usize = 56;
+
+/// Byte offset of the region table.
+pub const OFF_REGION_TABLE: usize = 64;
+
+/// Bytes per region-table entry: `(db_seg_id: u64, region_len: u64)`.
+pub const REGION_ENTRY_SIZE: usize = 16;
+
+/// Magic value opening every undo record.
+pub const UNDO_MAGIC: u32 = 0x554E_444F; // "UNDO"
+
+/// Size of an undo record header (magic, txn id, region, offset, len,
+/// CRC).
+pub const UNDO_HEADER_SIZE: usize = 36;
+
+/// Total size of a metadata segment holding up to `max_regions` regions.
+pub fn meta_segment_size(max_regions: usize) -> usize {
+    OFF_REGION_TABLE + max_regions * REGION_ENTRY_SIZE
+}
+
+/// Computes the IEEE CRC-32 of `parts` concatenated.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut crc = !0u32;
+    for part in parts {
+        for &b in *part {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+    !crc
+}
+
+fn get_u64(buf: &[u8], off: usize) -> Option<u64> {
+    buf.get(off..off + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn get_u32(buf: &[u8], off: usize) -> Option<u32> {
+    buf.get(off..off + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+/// The decoded fixed header of the metadata segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaHeader {
+    /// Number of regions in the table.
+    pub region_count: u32,
+    /// Raw id of the current undo segment.
+    pub undo_seg_id: u64,
+    /// Length of the current undo segment.
+    pub undo_seg_len: u64,
+    /// Id of the last committed transaction (the commit record).
+    pub last_committed: u64,
+}
+
+impl MetaHeader {
+    /// Encodes the full 64-byte header.
+    pub fn encode(&self) -> [u8; OFF_REGION_TABLE] {
+        let mut out = [0u8; OFF_REGION_TABLE];
+        out[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+        out[8..12].copy_from_slice(&META_VERSION.to_le_bytes());
+        out[12..16].copy_from_slice(&self.region_count.to_le_bytes());
+        out[16..24].copy_from_slice(&self.undo_seg_id.to_le_bytes());
+        out[24..32].copy_from_slice(&self.undo_seg_len.to_le_bytes());
+        out[OFF_COMMIT..OFF_COMMIT + 8].copy_from_slice(&self.last_committed.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a header from the start of a metadata
+    /// segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the corruption.
+    pub fn decode(buf: &[u8]) -> Result<MetaHeader, String> {
+        let magic = get_u64(buf, 0).ok_or("metadata segment too short")?;
+        if magic != META_MAGIC {
+            return Err(format!("bad metadata magic {magic:#x}"));
+        }
+        let version = get_u32(buf, 8).ok_or("truncated version")?;
+        if version != META_VERSION {
+            return Err(format!("unsupported metadata version {version}"));
+        }
+        Ok(MetaHeader {
+            region_count: get_u32(buf, 12).ok_or("truncated region count")?,
+            undo_seg_id: get_u64(buf, OFF_UNDO).ok_or("truncated undo id")?,
+            undo_seg_len: get_u64(buf, OFF_UNDO + 8).ok_or("truncated undo len")?,
+            last_committed: get_u64(buf, OFF_COMMIT).ok_or("truncated commit record")?,
+        })
+    }
+}
+
+/// Encodes one region-table entry.
+pub fn encode_region_entry(db_seg_id: u64, region_len: u64) -> [u8; REGION_ENTRY_SIZE] {
+    let mut out = [0u8; REGION_ENTRY_SIZE];
+    out[0..8].copy_from_slice(&db_seg_id.to_le_bytes());
+    out[8..16].copy_from_slice(&region_len.to_le_bytes());
+    out
+}
+
+/// Decodes the `index`-th region-table entry from a metadata image.
+///
+/// # Errors
+///
+/// Returns a description if the table is truncated.
+pub fn decode_region_entry(buf: &[u8], index: usize) -> Result<(u64, u64), String> {
+    let off = OFF_REGION_TABLE + index * REGION_ENTRY_SIZE;
+    let id = get_u64(buf, off).ok_or("truncated region table")?;
+    let len = get_u64(buf, off + 8).ok_or("truncated region table")?;
+    Ok((id, len))
+}
+
+/// The header of one undo record (before-image of one `set_range`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UndoRecord {
+    /// Transaction that logged this record.
+    pub txn_id: u64,
+    /// Region index the before-image belongs to.
+    pub region: u32,
+    /// Byte offset within the region.
+    pub offset: u64,
+    /// Length of the before-image.
+    pub len: u64,
+}
+
+impl UndoRecord {
+    /// Total encoded size including the payload.
+    pub fn encoded_len(&self) -> usize {
+        UNDO_HEADER_SIZE + self.len as usize
+    }
+
+    /// Encodes header + `payload` into `out` at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len() != self.len` or `out` is too short.
+    pub fn encode_into(&self, out: &mut [u8], at: usize, payload: &[u8]) {
+        assert_eq!(payload.len() as u64, self.len, "payload length mismatch");
+        let mut head = [0u8; UNDO_HEADER_SIZE];
+        head[0..4].copy_from_slice(&UNDO_MAGIC.to_le_bytes());
+        head[4..12].copy_from_slice(&self.txn_id.to_le_bytes());
+        head[12..16].copy_from_slice(&self.region.to_le_bytes());
+        head[16..24].copy_from_slice(&self.offset.to_le_bytes());
+        head[24..32].copy_from_slice(&self.len.to_le_bytes());
+        let crc = crc32(&[&head[0..32], payload]);
+        head[32..36].copy_from_slice(&crc.to_le_bytes());
+        out[at..at + UNDO_HEADER_SIZE].copy_from_slice(&head);
+        out[at + UNDO_HEADER_SIZE..at + UNDO_HEADER_SIZE + payload.len()]
+            .copy_from_slice(payload);
+    }
+
+    /// Attempts to decode a record at `at` in `buf`. Returns the record and
+    /// the payload range, or `None` if the bytes do not form a valid record
+    /// (wrong magic, truncation, or CRC mismatch) — which recovery treats
+    /// as the end of the log.
+    pub fn decode_at(buf: &[u8], at: usize) -> Option<(UndoRecord, std::ops::Range<usize>)> {
+        if get_u32(buf, at)? != UNDO_MAGIC {
+            return None;
+        }
+        let txn_id = get_u64(buf, at + 4)?;
+        let region = get_u32(buf, at + 12)?;
+        let offset = get_u64(buf, at + 16)?;
+        let len = get_u64(buf, at + 24)?;
+        let stored_crc = get_u32(buf, at + 32)?;
+        let payload_start = at + UNDO_HEADER_SIZE;
+        let payload_end = payload_start.checked_add(usize::try_from(len).ok()?)?;
+        if payload_end > buf.len() {
+            return None;
+        }
+        let crc = crc32(&[&buf[at..at + 32], &buf[payload_start..payload_end]]);
+        if crc != stored_crc {
+            return None;
+        }
+        Some((
+            UndoRecord {
+                txn_id,
+                region,
+                offset,
+                len,
+            },
+            payload_start..payload_end,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_record_fits_one_line() {
+        // The durability point must be packet-atomic: the 8-byte record
+        // may not straddle a 16-byte line...
+        assert_eq!(OFF_COMMIT / 16, (OFF_COMMIT + 7) / 16);
+        // ...and it should end on the last word of its 64-byte buffer so
+        // the card flushes it eagerly.
+        assert_eq!((OFF_COMMIT + 8) % 64, 0);
+    }
+
+    #[test]
+    fn undo_indirection_fits_one_line() {
+        assert_eq!(OFF_UNDO % 16, 0);
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = MetaHeader {
+            region_count: 3,
+            undo_seg_id: 42,
+            undo_seg_len: 4096,
+            last_committed: 17,
+        };
+        let enc = h.encode();
+        assert_eq!(MetaHeader::decode(&enc).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_corruption() {
+        let h = MetaHeader {
+            region_count: 1,
+            undo_seg_id: 1,
+            undo_seg_len: 1,
+            last_committed: 0,
+        };
+        let mut enc = h.encode();
+        enc[0] ^= 0xFF;
+        assert!(MetaHeader::decode(&enc).unwrap_err().contains("magic"));
+        assert!(MetaHeader::decode(&[0; 4]).is_err());
+        let mut enc = h.encode();
+        enc[8] ^= 0xFF; // version
+        assert!(MetaHeader::decode(&enc).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn region_entries_roundtrip() {
+        let mut buf = vec![0u8; meta_segment_size(4)];
+        let e = encode_region_entry(9, 512);
+        buf[OFF_REGION_TABLE + 2 * REGION_ENTRY_SIZE..OFF_REGION_TABLE + 3 * REGION_ENTRY_SIZE]
+            .copy_from_slice(&e);
+        assert_eq!(decode_region_entry(&buf, 2).unwrap(), (9, 512));
+        assert!(decode_region_entry(&buf, 4).is_err());
+    }
+
+    #[test]
+    fn undo_record_roundtrips() {
+        let rec = UndoRecord {
+            txn_id: 5,
+            region: 2,
+            offset: 100,
+            len: 4,
+        };
+        let mut buf = vec![0u8; 128];
+        rec.encode_into(&mut buf, 8, &[1, 2, 3, 4]);
+        let (got, payload) = UndoRecord::decode_at(&buf, 8).unwrap();
+        assert_eq!(got, rec);
+        assert_eq!(&buf[payload], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn torn_record_is_rejected() {
+        let rec = UndoRecord {
+            txn_id: 5,
+            region: 0,
+            offset: 0,
+            len: 8,
+        };
+        let mut buf = vec![0u8; 64];
+        rec.encode_into(&mut buf, 0, &[7; 8]);
+        // Corrupt one payload byte: CRC must fail.
+        buf[UNDO_HEADER_SIZE + 3] ^= 1;
+        assert!(UndoRecord::decode_at(&buf, 0).is_none());
+    }
+
+    #[test]
+    fn garbage_and_truncation_rejected() {
+        assert!(UndoRecord::decode_at(&[0; 16], 0).is_none());
+        let rec = UndoRecord {
+            txn_id: 1,
+            region: 0,
+            offset: 0,
+            len: 100,
+        };
+        let mut buf = vec![0u8; 200];
+        rec.encode_into(&mut buf, 0, &[0; 100]);
+        // Truncate below the payload end.
+        assert!(UndoRecord::decode_at(&buf[..120], 0).is_none());
+        // Absurd length must not panic.
+        let mut buf = vec![0u8; 64];
+        buf[0..4].copy_from_slice(&UNDO_MAGIC.to_le_bytes());
+        buf[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(UndoRecord::decode_at(&buf, 0).is_none());
+    }
+
+    #[test]
+    fn crc_concatenation_matches_flat() {
+        let a = crc32(&[b"hello ", b"world"]);
+        let b = crc32(&[b"hello world"]);
+        assert_eq!(a, b);
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn meta_size_scales_with_regions() {
+        assert_eq!(meta_segment_size(0), 64);
+        assert_eq!(meta_segment_size(4), 64 + 64);
+    }
+}

@@ -1,0 +1,77 @@
+//! # PERSEAS — lightweight transactions over reliable network RAM
+//!
+//! Reproduction of *"Lightweight Transactions on Networks of
+//! Workstations"* (Papathanasiou & Markatos, ICS-FORTH TR 209 / ICDCS
+//! 1998).
+//!
+//! PERSEAS is a user-level transaction library for main-memory databases
+//! that removes the magnetic disk from the commit path. Database segments
+//! are *mirrored* in the main memory of one or more remote workstations
+//! over a fast interconnect; a transaction costs three memory copies and
+//! zero disk accesses:
+//!
+//! 1. [`Perseas::set_range`] copies the before-image of the declared range
+//!    into the local undo log **and** appends it (one remote write) to the
+//!    mirrored undo log;
+//! 2. the application updates the local database in place
+//!    ([`Perseas::write`]);
+//! 3. [`Perseas::commit_transaction`] copies each modified range to the
+//!    mirrored database and then publishes a single packet-atomic commit
+//!    record. [`Perseas::abort_transaction`] is a purely local memory copy,
+//!    exactly as in the paper.
+//!
+//! After a crash of the primary, [`Perseas::recover`] reconnects the
+//! remote metadata segment (`sci_connect_segment`), rolls the mirrored
+//! database back from the mirrored undo log if a transaction was in
+//! flight, and rebuilds the local image — on *any* workstation, giving the
+//! paper's immediate-availability property.
+//!
+//! # Quick start
+//!
+//! ```
+//! use perseas_core::{Perseas, PerseasConfig};
+//! use perseas_rnram::SimRemote;
+//!
+//! # fn main() -> Result<(), perseas_txn::TxnError> {
+//! let mirror = SimRemote::new("mirror");
+//! let mut db = Perseas::init(vec![mirror], PerseasConfig::default())?;
+//!
+//! let accounts = db.malloc(1024)?;          // PERSEAS_malloc
+//! db.write(accounts, 0, &100u64.to_le_bytes())?;
+//! db.init_remote_db()?;                     // PERSEAS_init_remote_db
+//!
+//! db.begin_transaction()?;
+//! db.set_range(accounts, 0, 8)?;            // log before-image
+//! db.write(accounts, 0, &42u64.to_le_bytes())?;
+//! db.commit_transaction()?;                 // two remote writes, no disk
+//!
+//! let mut buf = [0u8; 8];
+//! db.read(accounts, 0, &mut buf)?;
+//! assert_eq!(u64::from_le_bytes(buf), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+mod archive;
+mod config;
+mod fault;
+mod layout;
+mod perseas;
+mod recovery;
+mod replica;
+mod scope;
+mod shared;
+mod trace;
+mod txn_impl;
+
+pub use config::PerseasConfig;
+pub use fault::FaultPlan;
+pub use layout::{crc32, decode_region_entry, MetaHeader, UndoRecord, META_TAG};
+pub use perseas::Perseas;
+pub use recovery::RecoveryReport;
+pub use replica::ReadReplica;
+pub use scope::TxnScope;
+pub use shared::SharedPerseas;
+pub use trace::{RecordingTracer, TraceEvent, Tracer};
+
+pub use perseas_txn::{RegionId, TransactionalMemory, TxnError, TxnStats};

@@ -1,0 +1,944 @@
+//! The PERSEAS transaction library.
+
+use std::fmt;
+
+use perseas_rnram::{mirror_copy, RemoteMemory, RemoteSegment, RnError};
+use perseas_simtime::SimClock;
+use perseas_txn::{RegionId, TxnError, TxnStats};
+
+use crate::config::PerseasConfig;
+use crate::fault::FaultPlan;
+use crate::trace::{TraceEvent, Tracer};
+use crate::layout::{
+    encode_region_entry, meta_segment_size, MetaHeader, UndoRecord, OFF_COMMIT, OFF_REGION_TABLE,
+    OFF_UNDO, REGION_ENTRY_SIZE,
+};
+
+/// Lifecycle of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Regions may be allocated and initialised; nothing is durable yet.
+    Setup,
+    /// Mirrored and idle; transactions may start.
+    Ready,
+    /// A transaction is open.
+    InTxn,
+    /// Killed by fault injection; only the mirrors survive.
+    Crashed,
+}
+
+/// Per-mirror remote state.
+pub(crate) struct MirrorState<M> {
+    pub(crate) backend: M,
+    pub(crate) meta: RemoteSegment,
+    pub(crate) undo: RemoteSegment,
+    pub(crate) db: Vec<RemoteSegment>,
+}
+
+/// One logged before-image of the open transaction (an offset into the
+/// undo shadow where the record starts).
+pub(crate) struct RecordRef {
+    pub(crate) shadow_off: usize,
+}
+
+/// State of the open transaction.
+pub(crate) struct ActiveTxn {
+    pub(crate) id: u64,
+    /// Declared writable ranges: `(region index, start, len)`.
+    pub(crate) declared: Vec<(usize, usize, usize)>,
+    pub(crate) records: Vec<RecordRef>,
+}
+
+/// The PERSEAS recoverable main-memory database.
+///
+/// Generic over the reliable-network-RAM backend `M`: use
+/// [`perseas_rnram::SimRemote`] to reproduce the paper's virtual-time
+/// experiments and [`perseas_rnram::TcpRemote`] for a real two-process
+/// deployment. See the [crate docs](crate) for the full protocol.
+pub struct Perseas<M: RemoteMemory> {
+    pub(crate) cfg: PerseasConfig,
+    pub(crate) clock: SimClock,
+    pub(crate) mirrors: Vec<MirrorState<M>>,
+    /// Local images of the database regions.
+    pub(crate) regions: Vec<Vec<u8>>,
+    /// Local undo log — a byte-exact shadow of the mirrored undo segment.
+    pub(crate) undo_shadow: Vec<u8>,
+    pub(crate) undo_off: usize,
+    pub(crate) phase: Phase,
+    pub(crate) txn: Option<ActiveTxn>,
+    pub(crate) last_committed: u64,
+    pub(crate) next_txn_id: u64,
+    pub(crate) stats: TxnStats,
+    pub(crate) fault: FaultPlan,
+    pub(crate) tracer: Option<Box<dyn Tracer>>,
+}
+
+impl<M: RemoteMemory> Perseas<M> {
+    /// `PERSEAS_init`: creates an instance mirroring into `mirrors`,
+    /// allocating the remote metadata and undo segments on each.
+    ///
+    /// A fresh virtual clock is created; use [`Perseas::init_with_clock`]
+    /// to share a clock with simulated mirrors (required for meaningful
+    /// virtual-time measurements).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `mirrors` is empty or a mirror cannot allocate segments.
+    pub fn init(mirrors: Vec<M>, cfg: PerseasConfig) -> Result<Self, TxnError> {
+        Perseas::init_with_clock(mirrors, cfg, SimClock::new())
+    }
+
+    /// Like [`Perseas::init`] but charging local-copy costs to `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `mirrors` is empty or a mirror cannot allocate segments.
+    pub fn init_with_clock(
+        mirrors: Vec<M>,
+        cfg: PerseasConfig,
+        clock: SimClock,
+    ) -> Result<Self, TxnError> {
+        if mirrors.is_empty() {
+            return Err(TxnError::Unavailable(
+                "at least one mirror node is required".into(),
+            ));
+        }
+        let meta_size = meta_segment_size(cfg.max_regions);
+        let mut states = Vec::with_capacity(mirrors.len());
+        for mut backend in mirrors {
+            let meta = backend
+                .remote_malloc(meta_size, cfg.meta_tag)
+                .map_err(unavailable)?;
+            let undo = backend
+                .remote_malloc(cfg.initial_undo_capacity, 0)
+                .map_err(unavailable)?;
+            states.push(MirrorState {
+                backend,
+                meta,
+                undo,
+                db: Vec::new(),
+            });
+        }
+        Ok(Perseas {
+            clock,
+            mirrors: states,
+            regions: Vec::new(),
+            undo_shadow: vec![0; cfg.initial_undo_capacity],
+            undo_off: 0,
+            phase: Phase::Setup,
+            txn: None,
+            last_committed: 0,
+            next_txn_id: 1,
+            stats: TxnStats::new(),
+            fault: FaultPlan::none(),
+            tracer: None,
+            cfg,
+        })
+    }
+
+    /// `PERSEAS_malloc`: allocates a zero-filled database region of `len`
+    /// bytes locally *and* its mirror segment on every remote node.
+    ///
+    /// Only legal before [`Perseas::init_remote_db`].
+    ///
+    /// # Errors
+    ///
+    /// Fails after publication, past `max_regions`, or if a mirror is out
+    /// of memory.
+    pub fn malloc(&mut self, len: usize) -> Result<RegionId, TxnError> {
+        self.ensure_phase(Phase::Setup)?;
+        if self.regions.len() >= self.cfg.max_regions {
+            return Err(TxnError::Unavailable(format!(
+                "region table full ({} regions)",
+                self.cfg.max_regions
+            )));
+        }
+        for m in &mut self.mirrors {
+            let seg = m.backend.remote_malloc(len, 0).map_err(unavailable)?;
+            m.db.push(seg);
+        }
+        self.regions.push(vec![0; len]);
+        Ok(RegionId::from_raw(self.regions.len() as u32 - 1))
+    }
+
+    /// `PERSEAS_init_remote_db`: copies every region to every mirror and
+    /// publishes the metadata (region table + undo indirection + commit
+    /// record 0). After this the database is fully mirrored and
+    /// transactions may start.
+    ///
+    /// # Errors
+    ///
+    /// Fails if called twice, inside a transaction, or if a mirror is
+    /// unreachable.
+    pub fn init_remote_db(&mut self) -> Result<(), TxnError> {
+        self.ensure_phase(Phase::Setup)?;
+        let meta_image = self.build_meta_image();
+        for mi in 0..self.mirrors.len() {
+            for ri in 0..self.regions.len() {
+                let m = &mut self.mirrors[mi];
+                let seg = m.db[ri];
+                if !self.regions[ri].is_empty() {
+                    push_range(
+                        &mut m.backend,
+                        seg,
+                        &self.regions[ri],
+                        0,
+                        self.regions[ri].len(),
+                        self.cfg.aligned_memcpy,
+                    )
+                    .map_err(unavailable)?;
+                    self.stats.add_remote_write(self.regions[ri].len());
+                }
+            }
+            let image = meta_image[mi].clone();
+            let m = &mut self.mirrors[mi];
+            m.backend
+                .remote_write(m.meta.id, 0, &image)
+                .map_err(unavailable)?;
+            self.stats.add_remote_write(image.len());
+        }
+        self.phase = Phase::Ready;
+        Ok(())
+    }
+
+    /// `PERSEAS_begin_transaction`.
+    ///
+    /// # Errors
+    ///
+    /// Fails inside a transaction, before publication, or after a crash.
+    pub fn begin_transaction(&mut self) -> Result<(), TxnError> {
+        if self.phase == Phase::InTxn {
+            return Err(TxnError::TransactionAlreadyActive);
+        }
+        self.ensure_phase(Phase::Ready)?;
+        self.txn = Some(ActiveTxn {
+            id: self.next_txn_id,
+            declared: Vec::new(),
+            records: Vec::new(),
+        });
+        self.next_txn_id += 1;
+        self.undo_off = 0;
+        self.phase = Phase::InTxn;
+        self.emit(TraceEvent::TxnBegin {
+            id: self.next_txn_id - 1,
+        });
+        Ok(())
+    }
+
+    /// `PERSEAS_set_range`: declares that the open transaction may modify
+    /// `[offset, offset+len)` of `region`. The before-image is copied to
+    /// the local undo log and appended (one remote write per mirror) to
+    /// the mirrored undo log.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside a transaction, on bad regions/bounds, or if a mirror
+    /// is unreachable.
+    pub fn set_range(
+        &mut self,
+        region: RegionId,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), TxnError> {
+        self.ensure_phase(Phase::InTxn)?;
+        let ri = self.check_region_range(region, offset, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+
+        let txn_id = self.txn.as_ref().expect("in txn").id;
+        let rec = UndoRecord {
+            txn_id,
+            region: ri as u32,
+            offset: offset as u64,
+            len: len as u64,
+        };
+        let total = rec.encoded_len();
+        if self.undo_off + total > self.undo_shadow.len() {
+            self.grow_undo(self.undo_off + total)?;
+        }
+
+        // Copy the before-image into the local undo log (copy 1 of the
+        // paper's Figure 3).
+        let shadow_off = self.undo_off;
+        let payload = self.regions[ri][offset..offset + len].to_vec();
+        rec.encode_into(&mut self.undo_shadow, shadow_off, &payload);
+        self.cfg.mem_cost.charge_memcpy(&self.clock, total);
+        self.stats.add_local_copy(len);
+
+        // Push it to the mirrored undo log (copy 2: the remote write).
+        for mi in 0..self.mirrors.len() {
+            self.fault_step()?;
+            let m = &mut self.mirrors[mi];
+            let undo = m.undo;
+            push_range(
+                &mut m.backend,
+                undo,
+                &self.undo_shadow,
+                shadow_off,
+                total,
+                self.cfg.aligned_memcpy,
+            )
+            .map_err(unavailable)?;
+            self.stats.add_remote_write(total);
+        }
+
+        self.undo_off += total;
+        let txn = self.txn.as_mut().expect("in txn");
+        txn.declared.push((ri, offset, len));
+        txn.records.push(RecordRef { shadow_off });
+        self.stats.set_ranges += 1;
+        self.emit(TraceEvent::SetRange {
+            id: txn_id,
+            region: ri as u32,
+            offset,
+            len,
+        });
+        Ok(())
+    }
+
+    /// Declares several ranges in one protocol step: all before-images
+    /// are appended to the undo log as consecutive records and pushed
+    /// with a **single** remote write per mirror, instead of one write
+    /// per range. Semantically identical to calling
+    /// [`Perseas::set_range`] for each element; measurably cheaper for
+    /// multi-range transactions like debit-credit (see the
+    /// `ablation-batch` experiment).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Perseas::set_range`]; on error, no range of the batch
+    /// is declared.
+    pub fn set_ranges(&mut self, ranges: &[(RegionId, usize, usize)]) -> Result<(), TxnError> {
+        self.ensure_phase(Phase::InTxn)?;
+        // Validate everything first: all-or-nothing declaration.
+        let mut checked = Vec::with_capacity(ranges.len());
+        let mut payload_total = 0usize;
+        for &(region, offset, len) in ranges {
+            let ri = self.check_region_range(region, offset, len)?;
+            if len > 0 {
+                checked.push((ri, offset, len));
+                payload_total += UndoRecord {
+                    txn_id: 0,
+                    region: 0,
+                    offset: 0,
+                    len: len as u64,
+                }
+                .encoded_len();
+            }
+        }
+        if checked.is_empty() {
+            return Ok(());
+        }
+        let txn_id = self.txn.as_ref().expect("in txn").id;
+        if self.undo_off + payload_total > self.undo_shadow.len() {
+            self.grow_undo(self.undo_off + payload_total)?;
+        }
+
+        // Encode all records back to back (one local copy each).
+        let start = self.undo_off;
+        let mut at = start;
+        let mut refs = Vec::with_capacity(checked.len());
+        for &(ri, offset, len) in &checked {
+            let rec = UndoRecord {
+                txn_id,
+                region: ri as u32,
+                offset: offset as u64,
+                len: len as u64,
+            };
+            let payload = self.regions[ri][offset..offset + len].to_vec();
+            rec.encode_into(&mut self.undo_shadow, at, &payload);
+            self.cfg.mem_cost.charge_memcpy(&self.clock, rec.encoded_len());
+            self.stats.add_local_copy(len);
+            refs.push(RecordRef { shadow_off: at });
+            at += rec.encoded_len();
+        }
+
+        // One remote burst per mirror for the whole batch.
+        for mi in 0..self.mirrors.len() {
+            self.fault_step()?;
+            let m = &mut self.mirrors[mi];
+            let undo = m.undo;
+            push_range(
+                &mut m.backend,
+                undo,
+                &self.undo_shadow,
+                start,
+                at - start,
+                self.cfg.aligned_memcpy,
+            )
+            .map_err(unavailable)?;
+            self.stats.add_remote_write(at - start);
+        }
+
+        self.undo_off = at;
+        let txn = self.txn.as_mut().expect("in txn");
+        for (i, &(ri, offset, len)) in checked.iter().enumerate() {
+            txn.declared.push((ri, offset, len));
+            txn.records.push(RecordRef {
+                shadow_off: refs[i].shadow_off,
+            });
+            self.stats.set_ranges += 1;
+        }
+        for &(ri, offset, len) in &checked {
+            self.emit(TraceEvent::SetRange {
+                id: txn_id,
+                region: ri as u32,
+                offset,
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `offset` of `region`.
+    ///
+    /// During setup this initialises the local image. Inside a transaction
+    /// the range must be covered by prior [`Perseas::set_range`] calls —
+    /// otherwise an abort could not restore it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds violations, undeclared transactional writes, or
+    /// when idle after publication.
+    pub fn write(&mut self, region: RegionId, offset: usize, data: &[u8]) -> Result<(), TxnError> {
+        let ri = self.check_region_range(region, offset, data.len())?;
+        match self.phase {
+            Phase::Setup => {}
+            Phase::InTxn => {
+                let txn = self.txn.as_ref().expect("in txn");
+                if let Some(bad) = first_uncovered(&txn.declared, ri, offset, data.len()) {
+                    return Err(TxnError::RangeNotDeclared {
+                        region,
+                        offset: bad,
+                    });
+                }
+            }
+            Phase::Ready => return Err(TxnError::NoActiveTransaction),
+            Phase::Crashed => return Err(TxnError::Crashed),
+        }
+        self.regions[ri][offset..offset + data.len()].copy_from_slice(data);
+        self.cfg.mem_cost.charge_memcpy(&self.clock, data.len());
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset` of `region` from the local
+    /// image.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions, bounds violations, or after a crash.
+    pub fn read(&self, region: RegionId, offset: usize, buf: &mut [u8]) -> Result<(), TxnError> {
+        if self.phase == Phase::Crashed {
+            return Err(TxnError::Crashed);
+        }
+        let ri = self.check_region_range(region, offset, buf.len())?;
+        buf.copy_from_slice(&self.regions[ri][offset..offset + buf.len()]);
+        self.cfg.mem_cost.charge_memcpy(&self.clock, buf.len());
+        Ok(())
+    }
+
+    /// `PERSEAS_commit_transaction`: copies every declared range to the
+    /// mirrored database (copy 3 of Figure 3) and publishes the
+    /// packet-atomic commit record. No disk, no fsync.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside a transaction or if a mirror is unreachable (the
+    /// transaction is then *not* durable).
+    pub fn commit_transaction(&mut self) -> Result<(), TxnError> {
+        self.ensure_phase(Phase::InTxn)?;
+        let txn = self.txn.take().expect("in txn");
+
+        if !txn.records.is_empty() {
+            // Propagate coalesced modified ranges to every mirror.
+            let ranges = coalesce(&txn.declared);
+            for &(ri, start, len) in &ranges {
+                for mi in 0..self.mirrors.len() {
+                    if let Err(e) = self.fault_step() {
+                        self.txn = None;
+                        return Err(e);
+                    }
+                    let m = &mut self.mirrors[mi];
+                    let seg = m.db[ri];
+                    push_range(
+                        &mut m.backend,
+                        seg,
+                        &self.regions[ri],
+                        start,
+                        len,
+                        self.cfg.aligned_memcpy,
+                    )
+                    .map_err(unavailable)?;
+                    self.stats.add_remote_write(len);
+                }
+            }
+            // Durability point: one 8-byte, packet-atomic remote write.
+            for mi in 0..self.mirrors.len() {
+                if let Err(e) = self.fault_step() {
+                    self.txn = None;
+                    return Err(e);
+                }
+                let m = &mut self.mirrors[mi];
+                m.backend
+                    .remote_write(m.meta.id, OFF_COMMIT, &txn.id.to_le_bytes())
+                    .map_err(unavailable)?;
+                self.stats.add_remote_write(8);
+            }
+            self.last_committed = txn.id;
+            let bytes = ranges.iter().map(|&(_, _, l)| l).sum();
+            self.emit(TraceEvent::TxnCommitted {
+                id: txn.id,
+                ranges: ranges.len(),
+                bytes,
+            });
+        } else {
+            self.emit(TraceEvent::TxnCommitted {
+                id: txn.id,
+                ranges: 0,
+                bytes: 0,
+            });
+        }
+
+        self.phase = Phase::Ready;
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// `PERSEAS_abort_transaction`: restores every declared range from the
+    /// **local** undo log. As the paper notes, this is just local memory
+    /// copies — the mirrored undo log is simply superseded by the next
+    /// transaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside a transaction.
+    pub fn abort_transaction(&mut self) -> Result<(), TxnError> {
+        self.ensure_phase(Phase::InTxn)?;
+        let txn = self.txn.take().expect("in txn");
+        // Restore in reverse, so overlapping set_ranges resolve to the
+        // oldest (pre-transaction) image.
+        for rec in txn.records.iter().rev() {
+            let (urec, payload) = UndoRecord::decode_at(&self.undo_shadow, rec.shadow_off)
+                .expect("local undo log is never torn");
+            let ri = urec.region as usize;
+            let off = urec.offset as usize;
+            let payload = self.undo_shadow[payload].to_vec();
+            self.regions[ri][off..off + payload.len()].copy_from_slice(&payload);
+            self.cfg.mem_cost.charge_memcpy(&self.clock, payload.len());
+            self.stats.add_local_copy(payload.len());
+        }
+        self.phase = Phase::Ready;
+        self.stats.aborts += 1;
+        self.emit(TraceEvent::TxnAborted { id: txn.id });
+        Ok(())
+    }
+
+    /// Simulates a crash of the primary: all local state becomes
+    /// unusable; the mirrors keep their memory. Recover with
+    /// [`Perseas::recover`].
+    pub fn crash(&mut self) {
+        self.phase = Phase::Crashed;
+        self.regions.clear();
+        self.undo_shadow.clear();
+        self.txn = None;
+        self.emit(TraceEvent::Crashed);
+    }
+
+    /// Arms crash-point fault injection (see [`FaultPlan`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// Installs a [`Tracer`] receiving a [`TraceEvent`] at each protocol
+    /// milestone. Without a tracer the overhead is a single branch per
+    /// milestone.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    pub(crate) fn emit(&mut self, event: TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.event(&event);
+        }
+    }
+
+    /// Protocol steps attempted so far under the current fault plan.
+    pub fn steps_taken(&self) -> u64 {
+        self.fault.steps_taken()
+    }
+
+    /// The virtual clock costs are charged to.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> TxnStats {
+        self.stats
+    }
+
+    /// Number of mirror nodes.
+    pub fn mirror_count(&self) -> usize {
+        self.mirrors.len()
+    }
+
+    /// Id of the last durably committed transaction (0 if none).
+    pub fn last_committed(&self) -> u64 {
+        self.last_committed
+    }
+
+    /// `true` while a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.phase == Phase::InTxn
+    }
+
+    /// `true` once the instance has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.phase == Phase::Crashed
+    }
+
+    /// Length of a region.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions.
+    pub fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
+        self.regions
+            .get(region.as_raw() as usize)
+            .map(Vec::len)
+            .ok_or(TxnError::UnknownRegion(region))
+    }
+
+    /// A copy of a region's current local image (diagnostics and tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions or after a crash.
+    pub fn region_snapshot(&self, region: RegionId) -> Result<Vec<u8>, TxnError> {
+        if self.phase == Phase::Crashed {
+            return Err(TxnError::Crashed);
+        }
+        self.regions
+            .get(region.as_raw() as usize)
+            .cloned()
+            .ok_or(TxnError::UnknownRegion(region))
+    }
+
+    /// Adds a fresh mirror node to a running (idle) database: allocates
+    /// segments on it, copies every region, and publishes metadata. This
+    /// is the paper's availability story — after a mirror loss the
+    /// database re-establishes redundancy on any spare workstation.
+    ///
+    /// # Errors
+    ///
+    /// Fails inside a transaction, before publication, or if the new
+    /// mirror cannot hold the database.
+    pub fn add_mirror(&mut self, mut backend: M) -> Result<(), TxnError> {
+        self.ensure_phase(Phase::Ready)?;
+        let meta_size = meta_segment_size(self.cfg.max_regions);
+        let meta = backend
+            .remote_malloc(meta_size, self.cfg.meta_tag)
+            .map_err(unavailable)?;
+        let undo = backend
+            .remote_malloc(self.undo_shadow.len(), 0)
+            .map_err(unavailable)?;
+        let mut db = Vec::with_capacity(self.regions.len());
+        for region in &self.regions {
+            let seg = backend
+                .remote_malloc(region.len(), 0)
+                .map_err(unavailable)?;
+            if !region.is_empty() {
+                push_range(
+                    &mut backend,
+                    seg,
+                    region,
+                    0,
+                    region.len(),
+                    self.cfg.aligned_memcpy,
+                )
+                .map_err(unavailable)?;
+                self.stats.add_remote_write(region.len());
+            }
+            db.push(seg);
+        }
+        let mut m = MirrorState {
+            backend,
+            meta,
+            undo,
+            db,
+        };
+        let image = self.meta_image_for(&m);
+        m.backend
+            .remote_write(m.meta.id, 0, &image)
+            .map_err(unavailable)?;
+        self.stats.add_remote_write(image.len());
+        self.mirrors.push(m);
+        self.emit(TraceEvent::MirrorAdded {
+            index: self.mirrors.len() - 1,
+        });
+        Ok(())
+    }
+
+    /// The backend of mirror `index`, if it exists. Gives tests and
+    /// operational tooling access to backend-specific facilities (link
+    /// statistics, fault injection, the underlying node handle).
+    pub fn mirror_backend(&self, index: usize) -> Option<&M> {
+        self.mirrors.get(index).map(|m| &m.backend)
+    }
+
+    /// Removes mirror `index` (e.g. after it crashed), returning its
+    /// backend. The database keeps running on the remaining mirrors.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `index` is out of range or this is the last mirror.
+    pub fn remove_mirror(&mut self, index: usize) -> Result<M, TxnError> {
+        if index >= self.mirrors.len() {
+            return Err(TxnError::Unavailable(format!(
+                "no mirror at index {index}"
+            )));
+        }
+        if self.mirrors.len() == 1 {
+            return Err(TxnError::Unavailable(
+                "cannot remove the last mirror".into(),
+            ));
+        }
+        let backend = self.mirrors.remove(index).backend;
+        self.emit(TraceEvent::MirrorRemoved { index });
+        Ok(backend)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn ensure_phase(&self, want: Phase) -> Result<(), TxnError> {
+        if self.phase == want {
+            return Ok(());
+        }
+        Err(match (self.phase, want) {
+            (Phase::Crashed, _) => TxnError::Crashed,
+            (Phase::InTxn, Phase::Setup) | (Phase::InTxn, Phase::Ready) => {
+                TxnError::BusyInTransaction
+            }
+            (_, Phase::InTxn) => TxnError::NoActiveTransaction,
+            (Phase::Ready, Phase::Setup) => TxnError::BadPublishState,
+            (Phase::Setup, Phase::Ready) => TxnError::BadPublishState,
+            _ => TxnError::BadPublishState,
+        })
+    }
+
+    fn check_region_range(
+        &self,
+        region: RegionId,
+        offset: usize,
+        len: usize,
+    ) -> Result<usize, TxnError> {
+        let ri = region.as_raw() as usize;
+        let region_len = self
+            .regions
+            .get(ri)
+            .map(Vec::len)
+            .ok_or(TxnError::UnknownRegion(region))?;
+        if offset.checked_add(len).is_none_or(|e| e > region_len) {
+            return Err(TxnError::OutOfBounds {
+                region,
+                offset,
+                len,
+                region_len,
+            });
+        }
+        Ok(ri)
+    }
+
+    fn fault_step(&mut self) -> Result<(), TxnError> {
+        if self.fault.step() {
+            Ok(())
+        } else {
+            self.crash();
+            Err(TxnError::Crashed)
+        }
+    }
+
+    /// Grows the undo log to at least `needed` bytes: allocate the larger
+    /// segment, re-push the open transaction's records, flip the
+    /// single-packet indirection in the metadata, free the old segment.
+    fn grow_undo(&mut self, needed: usize) -> Result<(), TxnError> {
+        let new_len = (self.undo_shadow.len() * 2).max(needed);
+        self.undo_shadow.resize(new_len, 0);
+        self.emit(TraceEvent::UndoGrown {
+            new_capacity: new_len,
+        });
+        for mi in 0..self.mirrors.len() {
+            self.fault_step()?;
+            let prefix_len = self.undo_off;
+            let m = &mut self.mirrors[mi];
+            let new_seg = m.backend.remote_malloc(new_len, 0).map_err(unavailable)?;
+            if prefix_len > 0 {
+                m.backend
+                    .remote_write(new_seg.id, 0, &self.undo_shadow[..prefix_len])
+                    .map_err(unavailable)?;
+                self.stats.add_remote_write(prefix_len);
+            }
+            // Single 16-byte line: (undo_seg_id, undo_seg_len) flips
+            // atomically.
+            let mut line = [0u8; 16];
+            line[0..8].copy_from_slice(&new_seg.id.as_raw().to_le_bytes());
+            line[8..16].copy_from_slice(&(new_len as u64).to_le_bytes());
+            m.backend
+                .remote_write(m.meta.id, OFF_UNDO, &line)
+                .map_err(unavailable)?;
+            self.stats.add_remote_write(line.len());
+            let old = m.undo.id;
+            m.undo = new_seg;
+            m.backend.remote_free(old).map_err(unavailable)?;
+        }
+        Ok(())
+    }
+
+    fn build_meta_image(&self) -> Vec<Vec<u8>> {
+        self.mirrors.iter().map(|m| self.meta_image_for(m)).collect()
+    }
+
+    pub(crate) fn meta_image_for(&self, m: &MirrorState<M>) -> Vec<u8> {
+        let mut image = vec![0u8; meta_segment_size(self.cfg.max_regions)];
+        let header = MetaHeader {
+            region_count: self.regions.len() as u32,
+            undo_seg_id: m.undo.id.as_raw(),
+            undo_seg_len: m.undo.len as u64,
+            last_committed: self.last_committed,
+        };
+        image[..OFF_REGION_TABLE].copy_from_slice(&header.encode());
+        for (i, seg) in m.db.iter().enumerate() {
+            let off = OFF_REGION_TABLE + i * REGION_ENTRY_SIZE;
+            image[off..off + REGION_ENTRY_SIZE]
+                .copy_from_slice(&encode_region_entry(seg.id.as_raw(), seg.len as u64));
+        }
+        image
+    }
+}
+
+/// Maps a backend failure to the shared error type.
+pub(crate) fn unavailable(e: RnError) -> TxnError {
+    TxnError::Unavailable(e.to_string())
+}
+
+/// Pushes `local[offset..offset+len]` to a remote segment, using the
+/// optimised aligned-chunk `sci_memcpy` or the naive store depending on
+/// configuration.
+fn push_range<M: RemoteMemory>(
+    backend: &mut M,
+    seg: RemoteSegment,
+    local: &[u8],
+    offset: usize,
+    len: usize,
+    aligned: bool,
+) -> Result<(), RnError> {
+    if aligned {
+        mirror_copy(backend, seg.id, seg.base_addr, local, offset, len).map(|_| ())
+    } else {
+        backend.remote_write(seg.id, offset, &local[offset..offset + len])
+    }
+}
+
+/// Returns the first byte of `[start, start+len)` of region `ri` that no
+/// declared range covers, or `None` if fully covered.
+fn first_uncovered(
+    declared: &[(usize, usize, usize)],
+    ri: usize,
+    start: usize,
+    len: usize,
+) -> Option<usize> {
+    let mut uncovered = vec![(start, start + len)];
+    for &(r, s, l) in declared {
+        if r != ri || l == 0 {
+            continue;
+        }
+        let (ds, de) = (s, s + l);
+        let mut next = Vec::with_capacity(uncovered.len() + 1);
+        for (a, b) in uncovered {
+            if de <= a || ds >= b {
+                next.push((a, b));
+            } else {
+                if a < ds {
+                    next.push((a, ds));
+                }
+                if de < b {
+                    next.push((de, b));
+                }
+            }
+        }
+        uncovered = next;
+        if uncovered.is_empty() {
+            return None;
+        }
+    }
+    uncovered.first().map(|&(a, _)| a)
+}
+
+/// Coalesces declared ranges per region into maximal disjoint ranges.
+fn coalesce(declared: &[(usize, usize, usize)]) -> Vec<(usize, usize, usize)> {
+    let mut ranges: Vec<(usize, usize, usize)> = declared
+        .iter()
+        .filter(|&&(_, _, l)| l > 0)
+        .map(|&(r, s, l)| (r, s, s + l))
+        .collect();
+    ranges.sort_unstable();
+    let mut out: Vec<(usize, usize, usize)> = Vec::with_capacity(ranges.len());
+    for (r, s, e) in ranges {
+        match out.last_mut() {
+            Some((lr, _, le)) if *lr == r && s <= *le => {
+                *le = (*le).max(e);
+            }
+            _ => out.push((r, s, e)),
+        }
+    }
+    out.into_iter().map(|(r, s, e)| (r, s, e - s)).collect()
+}
+
+impl<M: RemoteMemory> fmt::Debug for Perseas<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Perseas")
+            .field("phase", &self.phase)
+            .field("mirrors", &self.mirrors.len())
+            .field("regions", &self.regions.len())
+            .field("last_committed", &self.last_committed)
+            .field("undo_capacity", &self.undo_shadow.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_merges_overlaps_and_adjacency() {
+        let d = vec![(0, 0, 4), (0, 4, 4), (0, 10, 2), (1, 0, 2), (0, 11, 5)];
+        let c = coalesce(&d);
+        assert_eq!(c, vec![(0, 0, 8), (0, 10, 6), (1, 0, 2)]);
+    }
+
+    #[test]
+    fn coalesce_drops_empty_ranges() {
+        assert!(coalesce(&[(0, 5, 0)]).is_empty());
+    }
+
+    #[test]
+    fn uncovered_detection() {
+        let d = vec![(0, 0, 4), (0, 8, 4)];
+        assert_eq!(first_uncovered(&d, 0, 0, 4), None);
+        assert_eq!(first_uncovered(&d, 0, 2, 2), None);
+        assert_eq!(first_uncovered(&d, 0, 2, 8), Some(4));
+        assert_eq!(first_uncovered(&d, 1, 0, 1), Some(0));
+        assert_eq!(first_uncovered(&d, 0, 4, 4), Some(4));
+    }
+
+    #[test]
+    fn uncovered_with_split_coverage() {
+        // Two declared ranges covering a middle write jointly.
+        let d = vec![(0, 0, 6), (0, 6, 6)];
+        assert_eq!(first_uncovered(&d, 0, 4, 6), None);
+    }
+}

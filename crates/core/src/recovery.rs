@@ -1,0 +1,275 @@
+//! Crash recovery (Section 3 and 4 of the paper).
+//!
+//! After a primary crash the database survives in the mirrors' memory.
+//! Recovery, which may run on *any* workstation:
+//!
+//! 1. reconnects the metadata segment by its well-known tag
+//!    (`sci_connect_segment`);
+//! 2. reads the region table, the undo-log indirection, and the commit
+//!    record;
+//! 3. scans the mirrored undo log — every valid record belonging to a
+//!    transaction newer than the commit record is a before-image of an
+//!    **uncommitted** transaction, and is copied back over the mirrored
+//!    database (in reverse order, so overlapping `set_range`s resolve to
+//!    the oldest image);
+//! 4. rebuilds the local image with one remote-to-local copy per region.
+
+use perseas_rnram::{RemoteMemory, RemoteSegment};
+use perseas_sci::SegmentId;
+use perseas_simtime::SimClock;
+use perseas_txn::{TxnError, TxnStats};
+
+use crate::config::PerseasConfig;
+use crate::fault::FaultPlan;
+use crate::layout::{MetaHeader, UndoRecord, OFF_COMMIT};
+use crate::perseas::{unavailable, MirrorState, Perseas, Phase};
+
+/// What [`Perseas::recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Id of the last committed transaction according to the mirror.
+    pub last_committed: u64,
+    /// Id of the in-flight transaction that was rolled back, if any.
+    pub rolled_back_txn: Option<u64>,
+    /// Number of undo records applied during rollback.
+    pub rolled_back_records: usize,
+    /// Number of database regions rebuilt.
+    pub regions: usize,
+    /// Bytes copied remote→local to rebuild the database.
+    pub bytes_recovered: usize,
+}
+
+impl<M: RemoteMemory> Perseas<M> {
+    /// Recovers a database from one surviving mirror, rolling back any
+    /// in-flight transaction and rebuilding the local image.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mirror has no (or corrupt) PERSEAS metadata or is
+    /// unreachable.
+    pub fn recover(backend: M, cfg: PerseasConfig) -> Result<(Self, RecoveryReport), TxnError> {
+        Perseas::recover_with_clock(backend, cfg, SimClock::new())
+    }
+
+    /// Like [`Perseas::recover`], charging recovery work to `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mirror has no (or corrupt) PERSEAS metadata or is
+    /// unreachable.
+    pub fn recover_with_clock(
+        mut backend: M,
+        cfg: PerseasConfig,
+        clock: SimClock,
+    ) -> Result<(Self, RecoveryReport), TxnError> {
+        // 1. Reconnect the metadata segment.
+        let meta = backend.connect_segment(cfg.meta_tag).map_err(unavailable)?;
+        let mut meta_image = vec![0u8; meta.len];
+        backend
+            .remote_read(meta.id, 0, &mut meta_image)
+            .map_err(unavailable)?;
+        let header = MetaHeader::decode(&meta_image)
+            .map_err(|m| TxnError::Unavailable(format!("corrupt metadata: {m}")))?;
+
+        // 2. Locate the region and undo segments.
+        let mut db_segs: Vec<RemoteSegment> = Vec::with_capacity(header.region_count as usize);
+        for i in 0..header.region_count as usize {
+            let (seg_id, len) = crate::layout::decode_region_entry(&meta_image, i)
+                .map_err(|m| TxnError::Unavailable(format!("corrupt region table: {m}")))?;
+            let seg = backend
+                .segment_info(SegmentId::from_raw(seg_id))
+                .map_err(unavailable)?;
+            if seg.len as u64 != len {
+                return Err(TxnError::Unavailable(format!(
+                    "region {i} length mismatch: table says {len}, segment has {}",
+                    seg.len
+                )));
+            }
+            db_segs.push(seg);
+        }
+        let undo_seg = backend
+            .segment_info(SegmentId::from_raw(header.undo_seg_id))
+            .map_err(unavailable)?;
+
+        // 3. Scan the mirrored undo log for records of uncommitted
+        //    transactions.
+        let mut undo_shadow = vec![0u8; undo_seg.len];
+        backend
+            .remote_read(undo_seg.id, 0, &mut undo_shadow)
+            .map_err(unavailable)?;
+        // Only the single newest transaction can be in flight (the
+        // library is sequential), and its records form a prefix of the
+        // undo log starting at offset 0. Records of *older* transactions
+        // beyond that prefix are stale — and must not be replayed: an
+        // aborted transaction with overlapping `set_range`s leaves stale
+        // records whose before-images contain its own uncommitted
+        // mid-transaction values. The scan therefore stops at the first
+        // record whose transaction id differs from the first record's.
+        let mut to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = Vec::new();
+        let mut off = 0usize;
+        let mut in_flight_txn: Option<u64> = None;
+        while let Some((rec, payload)) = UndoRecord::decode_at(&undo_shadow, off) {
+            if rec.txn_id <= header.last_committed {
+                break;
+            }
+            if *in_flight_txn.get_or_insert(rec.txn_id) != rec.txn_id {
+                break;
+            }
+            let ri = rec.region as usize;
+            let sane = ri < db_segs.len()
+                && (rec.offset + rec.len) as usize <= db_segs[ri].len;
+            if !sane {
+                break;
+            }
+            off += rec.encoded_len();
+            to_undo.push((rec, payload));
+        }
+
+        // 4. Roll the mirrored database back, newest record first.
+        let rolled_back_txn = to_undo.first().map(|(r, _)| r.txn_id);
+        let rolled_back_records = to_undo.len();
+        let mut highest = header.last_committed;
+        for (rec, payload) in to_undo.iter().rev() {
+            let seg = db_segs[rec.region as usize];
+            backend
+                .remote_write(seg.id, rec.offset as usize, &undo_shadow[payload.clone()])
+                .map_err(unavailable)?;
+            highest = highest.max(rec.txn_id);
+        }
+        if highest != header.last_committed {
+            // Mark the rolled-back id as consumed so a crash during or
+            // right after recovery cannot replay the rollback against a
+            // database that new transactions have since modified.
+            backend
+                .remote_write(meta.id, OFF_COMMIT, &highest.to_le_bytes())
+                .map_err(unavailable)?;
+        }
+
+        // 5. Rebuild the local image: one remote-to-local copy per region.
+        let mut regions = Vec::with_capacity(db_segs.len());
+        let mut bytes_recovered = 0usize;
+        for seg in &db_segs {
+            let mut data = vec![0u8; seg.len];
+            if seg.len > 0 {
+                backend
+                    .remote_read(seg.id, 0, &mut data)
+                    .map_err(unavailable)?;
+            }
+            cfg.mem_cost.charge_memcpy(&clock, seg.len);
+            bytes_recovered += seg.len;
+            regions.push(data);
+        }
+
+        let report = RecoveryReport {
+            last_committed: header.last_committed,
+            rolled_back_txn,
+            rolled_back_records,
+            regions: regions.len(),
+            bytes_recovered,
+        };
+
+        let undo_capacity = undo_shadow.len();
+        let db = Perseas {
+            cfg,
+            clock,
+            mirrors: vec![MirrorState {
+                backend,
+                meta,
+                undo: undo_seg,
+                db: db_segs,
+            }],
+            regions,
+            undo_shadow: vec![0; undo_capacity],
+            undo_off: 0,
+            phase: Phase::Ready,
+            txn: None,
+            last_committed: highest,
+            next_txn_id: highest + 1,
+            stats: TxnStats::new(),
+            fault: FaultPlan::none(),
+            tracer: None,
+        };
+        Ok((db, report))
+    }
+
+    /// Recovers from the best of several surviving mirrors (the one with
+    /// the newest commit record) and re-mirrors onto the rest, restoring
+    /// full redundancy.
+    ///
+    /// Mirrors that are unreachable or hold no metadata are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no mirror is recoverable.
+    pub fn recover_best(
+        backends: Vec<M>,
+        cfg: PerseasConfig,
+        clock: SimClock,
+    ) -> Result<(Self, RecoveryReport), TxnError> {
+        // Peek at every mirror's commit record.
+        let mut candidates: Vec<(usize, u64)> = Vec::new();
+        let mut backends: Vec<Option<M>> = backends.into_iter().map(Some).collect();
+        for (i, b) in backends.iter_mut().enumerate() {
+            let backend = b.as_mut().expect("present");
+            if let Ok(meta) = backend.connect_segment(cfg.meta_tag) {
+                let mut buf = [0u8; 8];
+                if backend.remote_read(meta.id, OFF_COMMIT, &mut buf).is_ok() {
+                    candidates.push((i, u64::from_le_bytes(buf)));
+                }
+            }
+        }
+        let Some(&(best, _)) = candidates
+            .iter()
+            .max_by_key(|&&(i, committed)| (committed, std::cmp::Reverse(i)))
+        else {
+            return Err(TxnError::Unavailable(
+                "no mirror holds recoverable PERSEAS metadata".into(),
+            ));
+        };
+
+        let chosen = backends[best].take().expect("present");
+        let (mut db, report) = Perseas::recover_with_clock(chosen, cfg, clock)?;
+        for mut b in backends.into_iter().flatten() {
+            // Drop the stale replica before re-mirroring, so its old
+            // metadata can never shadow the fresh copy in a later
+            // recovery. A mirror that is itself dead is simply skipped:
+            // recovery must proceed on whatever survives.
+            if Perseas::scrub_mirror(&mut b, &cfg).is_err() {
+                continue;
+            }
+            let _ = db.add_mirror(b);
+        }
+        Ok((db, report))
+    }
+
+    /// Frees every PERSEAS segment (metadata, undo log, database regions)
+    /// that `backend` holds under `cfg.meta_tag`. Used before re-mirroring
+    /// onto a node that carries a stale replica.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on transport errors; a node without PERSEAS state is
+    /// fine.
+    pub fn scrub_mirror(backend: &mut M, cfg: &PerseasConfig) -> Result<(), TxnError> {
+        loop {
+            let meta = match backend.connect_segment(cfg.meta_tag) {
+                Ok(meta) => meta,
+                Err(perseas_rnram::RnError::TagNotFound(_)) => return Ok(()),
+                Err(e) => return Err(unavailable(e)),
+            };
+            let mut image = vec![0u8; meta.len];
+            backend
+                .remote_read(meta.id, 0, &mut image)
+                .map_err(unavailable)?;
+            if let Ok(header) = MetaHeader::decode(&image) {
+                for i in 0..header.region_count as usize {
+                    if let Ok((seg_id, _)) = crate::layout::decode_region_entry(&image, i) {
+                        let _ = backend.remote_free(SegmentId::from_raw(seg_id));
+                    }
+                }
+                let _ = backend.remote_free(SegmentId::from_raw(header.undo_seg_id));
+            }
+            backend.remote_free(meta.id).map_err(unavailable)?;
+        }
+    }
+}

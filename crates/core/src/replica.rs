@@ -1,0 +1,314 @@
+//! Read replicas: consistent read-only snapshots on any workstation.
+//!
+//! The paper (§3): *"Data in network memory are always available and
+//! accessible by every node."* A [`ReadReplica`] attaches to a mirror
+//! **without disturbing it** — unlike recovery it writes nothing — and
+//! materialises a transactionally consistent snapshot: the mirrored
+//! regions with any in-flight transaction's before-images applied
+//! locally. Re-[`refresh`](ReadReplica::refresh) at will; reporting jobs,
+//! monitoring, and warm standbys read while the primary keeps committing.
+
+use perseas_rnram::{RemoteMemory, RemoteSegment};
+use perseas_sci::SegmentId;
+use perseas_txn::{RegionId, TxnError};
+
+use crate::config::PerseasConfig;
+use crate::layout::{MetaHeader, UndoRecord, OFF_COMMIT};
+use crate::perseas::unavailable;
+
+/// How many times a snapshot is retried when the primary commits
+/// mid-snapshot.
+const SNAPSHOT_RETRIES: usize = 8;
+
+/// A read-only, transactionally consistent copy of a PERSEAS database,
+/// built from a mirror without modifying it.
+#[derive(Debug)]
+pub struct ReadReplica<M: RemoteMemory> {
+    backend: M,
+    meta: RemoteSegment,
+    regions: Vec<Vec<u8>>,
+    last_committed: u64,
+}
+
+impl<M: RemoteMemory> ReadReplica<M> {
+    /// Attaches to the mirror and takes the initial snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mirror holds no (or corrupt) PERSEAS metadata, is
+    /// unreachable, or keeps committing so fast that no consistent
+    /// snapshot forms within a bounded number of retries.
+    pub fn attach(mut backend: M, cfg: PerseasConfig) -> Result<Self, TxnError> {
+        let meta = backend.connect_segment(cfg.meta_tag).map_err(unavailable)?;
+        let mut replica = ReadReplica {
+            backend,
+            meta,
+            regions: Vec::new(),
+            last_committed: 0,
+        };
+        replica.refresh()?;
+        Ok(replica)
+    }
+
+    /// Re-snapshots the database, returning the id of the newest
+    /// committed transaction now visible.
+    ///
+    /// The snapshot is consistent: it retries if the mirror's commit
+    /// record moves while the regions are being copied, and applies the
+    /// before-images of any in-flight transaction to its **local** copy
+    /// (the mirror is never written).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreachable mirrors, corrupt metadata, or when the
+    /// primary outruns the bounded number of snapshot attempts.
+    pub fn refresh(&mut self) -> Result<u64, TxnError> {
+        for _ in 0..SNAPSHOT_RETRIES {
+            let mut meta_image = vec![0u8; self.meta.len];
+            self.backend
+                .remote_read(self.meta.id, 0, &mut meta_image)
+                .map_err(unavailable)?;
+            let header = MetaHeader::decode(&meta_image)
+                .map_err(|m| TxnError::Unavailable(format!("corrupt metadata: {m}")))?;
+
+            // Copy the undo log first, then the regions.
+            let undo_seg = self
+                .backend
+                .segment_info(SegmentId::from_raw(header.undo_seg_id))
+                .map_err(unavailable)?;
+            let mut undo = vec![0u8; undo_seg.len];
+            self.backend
+                .remote_read(undo_seg.id, 0, &mut undo)
+                .map_err(unavailable)?;
+
+            let mut regions = Vec::with_capacity(header.region_count as usize);
+            let mut region_lens = Vec::with_capacity(header.region_count as usize);
+            for i in 0..header.region_count as usize {
+                let (seg_id, _) = crate::layout::decode_region_entry(&meta_image, i)
+                    .map_err(|m| TxnError::Unavailable(format!("corrupt region table: {m}")))?;
+                let seg = self
+                    .backend
+                    .segment_info(SegmentId::from_raw(seg_id))
+                    .map_err(unavailable)?;
+                let mut data = vec![0u8; seg.len];
+                if seg.len > 0 {
+                    self.backend
+                        .remote_read(seg.id, 0, &mut data)
+                        .map_err(unavailable)?;
+                }
+                region_lens.push(seg.len);
+                regions.push(data);
+            }
+
+            // If a commit landed while we copied, the snapshot may be
+            // fuzzy: retry.
+            let mut after = [0u8; 8];
+            self.backend
+                .remote_read(self.meta.id, OFF_COMMIT, &mut after)
+                .map_err(unavailable)?;
+            if u64::from_le_bytes(after) != header.last_committed {
+                continue;
+            }
+
+            // Roll back the in-flight transaction *locally*, using the
+            // same prefix rule as recovery.
+            let mut to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = Vec::new();
+            let mut off = 0usize;
+            let mut in_flight: Option<u64> = None;
+            while let Some((rec, payload)) = UndoRecord::decode_at(&undo, off) {
+                if rec.txn_id <= header.last_committed {
+                    break;
+                }
+                if *in_flight.get_or_insert(rec.txn_id) != rec.txn_id {
+                    break;
+                }
+                let ri = rec.region as usize;
+                if ri >= region_lens.len()
+                    || (rec.offset + rec.len) as usize > region_lens[ri]
+                {
+                    break;
+                }
+                off += rec.encoded_len();
+                to_undo.push((rec, payload));
+            }
+            for (rec, payload) in to_undo.iter().rev() {
+                let ri = rec.region as usize;
+                let at = rec.offset as usize;
+                regions[ri][at..at + payload.len()].copy_from_slice(&undo[payload.clone()]);
+            }
+
+            self.regions = regions;
+            self.last_committed = header.last_committed;
+            return Ok(self.last_committed);
+        }
+        Err(TxnError::Unavailable(
+            "mirror commits outran the snapshot retries".into(),
+        ))
+    }
+
+    /// Reads `buf.len()` bytes at `offset` of `region` from the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions or bounds violations.
+    pub fn read(&self, region: RegionId, offset: usize, buf: &mut [u8]) -> Result<(), TxnError> {
+        let ri = region.as_raw() as usize;
+        let data = self
+            .regions
+            .get(ri)
+            .ok_or(TxnError::UnknownRegion(region))?;
+        if offset.checked_add(buf.len()).is_none_or(|e| e > data.len()) {
+            return Err(TxnError::OutOfBounds {
+                region,
+                offset,
+                len: buf.len(),
+                region_len: data.len(),
+            });
+        }
+        buf.copy_from_slice(&data[offset..offset + buf.len()]);
+        Ok(())
+    }
+
+    /// Length of a region in the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions.
+    pub fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
+        self.regions
+            .get(region.as_raw() as usize)
+            .map(Vec::len)
+            .ok_or(TxnError::UnknownRegion(region))
+    }
+
+    /// A copy of a snapshot region.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions.
+    pub fn region_snapshot(&self, region: RegionId) -> Result<Vec<u8>, TxnError> {
+        self.regions
+            .get(region.as_raw() as usize)
+            .cloned()
+            .ok_or(TxnError::UnknownRegion(region))
+    }
+
+    /// Number of regions in the snapshot.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Id of the newest committed transaction visible in the snapshot.
+    pub fn last_committed(&self) -> u64 {
+        self.last_committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Perseas, PerseasConfig};
+    use perseas_rnram::SimRemote;
+    use perseas_sci::{NodeMemory, SciParams};
+    use perseas_simtime::SimClock;
+
+    fn reopen(node: &NodeMemory) -> SimRemote {
+        SimRemote::with_parts(SimClock::new(), node.clone(), SciParams::dolphin_1998())
+    }
+
+    fn built() -> (Perseas<SimRemote>, RegionId, NodeMemory) {
+        let backend = SimRemote::new("m");
+        let node = backend.node().clone();
+        let mut db = Perseas::init(vec![backend], PerseasConfig::default()).unwrap();
+        let r = db.malloc(64).unwrap();
+        db.init_remote_db().unwrap();
+        (db, r, node)
+    }
+
+    #[test]
+    fn replica_sees_committed_data_only() {
+        let (mut db, r, node) = built();
+        db.transaction(|tx| tx.update(r, 0, &[1; 8])).unwrap();
+
+        // Leave a transaction in flight on the primary.
+        db.begin_transaction().unwrap();
+        db.set_range(r, 8, 8).unwrap();
+        db.write(r, 8, &[2; 8]).unwrap();
+
+        let replica = ReadReplica::attach(reopen(&node), PerseasConfig::default()).unwrap();
+        assert_eq!(replica.last_committed(), 1);
+        let snap = replica.region_snapshot(r).unwrap();
+        assert_eq!(&snap[..8], &[1; 8], "committed data visible");
+        assert_eq!(&snap[8..16], &[0; 8], "in-flight data invisible");
+
+        // The primary is undisturbed: it can still commit the open txn.
+        db.commit_transaction().unwrap();
+        assert_eq!(db.last_committed(), 2);
+    }
+
+    #[test]
+    fn refresh_tracks_new_commits() {
+        let (mut db, r, node) = built();
+        db.transaction(|tx| tx.update(r, 0, &[3; 4])).unwrap();
+        let mut replica =
+            ReadReplica::attach(reopen(&node), PerseasConfig::default()).unwrap();
+        assert_eq!(replica.last_committed(), 1);
+
+        db.transaction(|tx| tx.update(r, 4, &[4; 4])).unwrap();
+        assert_eq!(replica.refresh().unwrap(), 2);
+        let snap = replica.region_snapshot(r).unwrap();
+        assert_eq!(&snap[4..8], &[4; 4]);
+    }
+
+    #[test]
+    fn replica_reads_and_bounds() {
+        let (mut db, r, node) = built();
+        db.transaction(|tx| tx.update(r, 0, &[9; 8])).unwrap();
+        let replica = ReadReplica::attach(reopen(&node), PerseasConfig::default()).unwrap();
+        let mut buf = [0u8; 4];
+        replica.read(r, 2, &mut buf).unwrap();
+        assert_eq!(buf, [9; 4]);
+        assert_eq!(replica.region_len(r).unwrap(), 64);
+        assert_eq!(replica.region_count(), 1);
+        let mut big = [0u8; 128];
+        assert!(matches!(
+            replica.read(r, 0, &mut big),
+            Err(TxnError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            replica.read(RegionId::from_raw(9), 0, &mut buf),
+            Err(TxnError::UnknownRegion(_))
+        ));
+    }
+
+    #[test]
+    fn replica_over_tcp() {
+        use perseas_rnram::{server::Server, TcpRemote};
+        let server = Server::bind("replica-node", "127.0.0.1:0").unwrap().start();
+        let mut db = Perseas::init(
+            vec![TcpRemote::connect(server.addr()).unwrap()],
+            PerseasConfig::default(),
+        )
+        .unwrap();
+        let r = db.malloc(32).unwrap();
+        db.init_remote_db().unwrap();
+        db.transaction(|tx| tx.update(r, 0, &[7; 8])).unwrap();
+
+        let replica = ReadReplica::attach(
+            TcpRemote::connect(server.addr()).unwrap(),
+            PerseasConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(&replica.region_snapshot(r).unwrap()[..8], &[7; 8]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn attach_fails_cleanly_on_blank_mirror() {
+        let node = NodeMemory::new("blank");
+        assert!(matches!(
+            ReadReplica::attach(reopen(&node), PerseasConfig::default()),
+            Err(TxnError::Unavailable(_))
+        ));
+    }
+}

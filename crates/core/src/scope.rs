@@ -1,0 +1,220 @@
+//! Scoped transactions: commit on success, abort on error — the
+//! Rust-idiomatic wrapper around the paper's begin/commit/abort calls.
+
+use perseas_rnram::RemoteMemory;
+use perseas_txn::{RegionId, TxnError};
+
+use crate::perseas::Perseas;
+
+/// A handle to the open transaction inside [`Perseas::transaction`].
+///
+/// All operations require ranges to be declared first, exactly as with
+/// the raw API; [`TxnScope::update`] combines `set_range` + `write` for
+/// the common case.
+#[derive(Debug)]
+pub struct TxnScope<'a, M: RemoteMemory> {
+    db: &'a mut Perseas<M>,
+}
+
+impl<M: RemoteMemory> TxnScope<'_, M> {
+    /// Declares a writable range (see [`Perseas::set_range`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying library errors.
+    pub fn set_range(&mut self, region: RegionId, offset: usize, len: usize) -> Result<(), TxnError> {
+        self.db.set_range(region, offset, len)
+    }
+
+    /// Writes into a declared range (see [`Perseas::write`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying library errors.
+    pub fn write(&mut self, region: RegionId, offset: usize, data: &[u8]) -> Result<(), TxnError> {
+        self.db.write(region, offset, data)
+    }
+
+    /// Declares and writes `data` at `offset` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying library errors.
+    pub fn update(&mut self, region: RegionId, offset: usize, data: &[u8]) -> Result<(), TxnError> {
+        self.db.set_range(region, offset, data.len())?;
+        self.db.write(region, offset, data)
+    }
+
+    /// Reads from the local database image (see [`Perseas::read`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying library errors.
+    pub fn read(&self, region: RegionId, offset: usize, buf: &mut [u8]) -> Result<(), TxnError> {
+        self.db.read(region, offset, buf)
+    }
+
+    /// Length of a region.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions.
+    pub fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
+        self.db.region_len(region)
+    }
+
+    /// Access to the underlying database, for libraries written against
+    /// the generic [`perseas_txn::TransactionalMemory`] trait (such as
+    /// `perseas-store`).
+    ///
+    /// Do not call `begin`/`commit`/`abort` through this handle — the
+    /// enclosing [`Perseas::transaction`] owns the transaction's
+    /// lifecycle.
+    pub fn inner_mut(&mut self) -> &mut Perseas<M> {
+        self.db
+    }
+}
+
+impl<M: RemoteMemory> Perseas<M> {
+    /// Runs `f` inside a transaction: commits if `f` returns `Ok`, aborts
+    /// if it returns `Err` (restoring every declared range), and returns
+    /// `f`'s value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `f`'s error after aborting, or the library's own error if
+    /// beginning, committing, or aborting fails (e.g. after an injected
+    /// crash, when the abort itself is impossible).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use perseas_core::{Perseas, PerseasConfig};
+    /// use perseas_rnram::SimRemote;
+    ///
+    /// # fn main() -> Result<(), perseas_txn::TxnError> {
+    /// let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default())?;
+    /// let r = db.malloc(16)?;
+    /// db.init_remote_db()?;
+    ///
+    /// db.transaction(|tx| tx.update(r, 0, &7u64.to_le_bytes()))?;
+    ///
+    /// let mut buf = [0u8; 8];
+    /// db.read(r, 0, &mut buf)?;
+    /// assert_eq!(u64::from_le_bytes(buf), 7);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn transaction<T, F>(&mut self, f: F) -> Result<T, TxnError>
+    where
+        F: FnOnce(&mut TxnScope<'_, M>) -> Result<T, TxnError>,
+    {
+        self.begin_transaction()?;
+        let mut scope = TxnScope { db: self };
+        match f(&mut scope) {
+            Ok(value) => {
+                self.commit_transaction()?;
+                Ok(value)
+            }
+            Err(e) => {
+                // After an injected crash the abort is impossible; the
+                // original error already says so.
+                if self.in_transaction() {
+                    self.abort_transaction()?;
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerseasConfig;
+    use perseas_rnram::SimRemote;
+
+    fn published(len: usize) -> (Perseas<SimRemote>, RegionId) {
+        let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+        let r = db.malloc(len).unwrap();
+        db.init_remote_db().unwrap();
+        (db, r)
+    }
+
+    #[test]
+    fn success_commits() {
+        let (mut db, r) = published(32);
+        let value = db
+            .transaction(|tx| {
+                tx.update(r, 0, &[5; 8])?;
+                Ok(42)
+            })
+            .unwrap();
+        assert_eq!(value, 42);
+        assert!(!db.in_transaction());
+        assert_eq!(&db.region_snapshot(r).unwrap()[..8], &[5; 8]);
+        assert_eq!(db.stats().commits, 1);
+    }
+
+    #[test]
+    fn error_aborts_and_restores() {
+        let (mut db, r) = published(32);
+        let err = db
+            .transaction(|tx| {
+                tx.update(r, 0, &[9; 8])?;
+                Err::<(), _>(TxnError::Unavailable("application decided to bail".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, TxnError::Unavailable(_)));
+        assert!(!db.in_transaction());
+        assert_eq!(db.region_snapshot(r).unwrap(), vec![0; 32]);
+        assert_eq!(db.stats().aborts, 1);
+    }
+
+    #[test]
+    fn inner_library_error_also_aborts() {
+        let (mut db, r) = published(32);
+        let err = db
+            .transaction(|tx| {
+                tx.update(r, 0, &[1; 8])?;
+                tx.write(r, 16, &[2; 8]) // undeclared -> error
+            })
+            .unwrap_err();
+        assert!(matches!(err, TxnError::RangeNotDeclared { .. }));
+        assert_eq!(db.region_snapshot(r).unwrap(), vec![0; 32]);
+    }
+
+    #[test]
+    fn scope_reads_see_own_writes() {
+        let (mut db, r) = published(16);
+        db.transaction(|tx| {
+            tx.update(r, 0, &[3; 8])?;
+            let mut buf = [0u8; 8];
+            tx.read(r, 0, &mut buf)?;
+            assert_eq!(buf, [3; 8]);
+            assert_eq!(tx.region_len(r)?, 16);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn nested_transaction_is_rejected() {
+        let (mut db, r) = published(16);
+        db.begin_transaction().unwrap();
+        db.set_range(r, 0, 4).unwrap();
+        let err = db.transaction(|_tx| Ok(())).unwrap_err();
+        assert_eq!(err, TxnError::TransactionAlreadyActive);
+        // The outer transaction is untouched.
+        assert!(db.in_transaction());
+    }
+
+    #[test]
+    fn crash_inside_scope_propagates() {
+        let (mut db, r) = published(16);
+        db.set_fault_plan(crate::FaultPlan::crash_after(0));
+        let err = db.transaction(|tx| tx.update(r, 0, &[1; 4])).unwrap_err();
+        assert_eq!(err, TxnError::Crashed);
+        assert!(db.is_crashed());
+    }
+}

@@ -1,0 +1,269 @@
+//! A thread-safe front-end over the (sequential) PERSEAS library.
+//!
+//! The paper's library serves "traditional sequential applications": one
+//! transaction at a time. [`SharedPerseas`] keeps that execution model —
+//! transactions are serialised on an internal lock, which trivially gives
+//! strict serialisability — while letting a multi-threaded application
+//! share one database handle.
+
+use std::sync::{Arc, Mutex};
+
+use perseas_rnram::RemoteMemory;
+use perseas_txn::{RegionId, TxnError, TxnStats};
+
+use crate::perseas::Perseas;
+use crate::scope::TxnScope;
+
+/// A cloneable, thread-safe handle to one PERSEAS database.
+///
+/// All transactional work goes through [`SharedPerseas::transaction`],
+/// which acquires the database for the closure's duration; reads outside
+/// transactions take the lock per call.
+///
+/// # Examples
+///
+/// ```
+/// use std::thread;
+/// use perseas_core::{Perseas, PerseasConfig, SharedPerseas};
+/// use perseas_rnram::SimRemote;
+///
+/// # fn main() -> Result<(), perseas_txn::TxnError> {
+/// let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default())?;
+/// let r = db.malloc(8)?;
+/// db.init_remote_db()?;
+/// let shared = SharedPerseas::new(db);
+///
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let db = shared.clone();
+///         thread::spawn(move || {
+///             for _ in 0..25 {
+///                 db.transaction(|tx| {
+///                     let mut buf = [0u8; 8];
+///                     tx.read(r, 0, &mut buf)?;
+///                     let v = u64::from_le_bytes(buf) + 1;
+///                     tx.update(r, 0, &v.to_le_bytes())
+///                 })
+///                 .unwrap();
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+///
+/// let mut buf = [0u8; 8];
+/// shared.read(r, 0, &mut buf)?;
+/// assert_eq!(u64::from_le_bytes(buf), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SharedPerseas<M: RemoteMemory> {
+    inner: Arc<Mutex<Perseas<M>>>,
+}
+
+impl<M: RemoteMemory> Clone for SharedPerseas<M> {
+    fn clone(&self) -> Self {
+        SharedPerseas {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: RemoteMemory> SharedPerseas<M> {
+    /// Wraps a published database for shared use.
+    pub fn new(db: Perseas<M>) -> Self {
+        SharedPerseas {
+            inner: Arc::new(Mutex::new(db)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Perseas<M>> {
+        // A poisoned lock means a panic mid-transaction on another
+        // thread; the database object is still structurally sound (the
+        // open transaction simply aborts on the next use), so recover the
+        // guard.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs a serialised transaction (see [`Perseas::transaction`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's or the library's error; the transaction
+    /// is aborted on error.
+    pub fn transaction<T, F>(&self, f: F) -> Result<T, TxnError>
+    where
+        F: FnOnce(&mut TxnScope<'_, M>) -> Result<T, TxnError>,
+    {
+        let mut db = self.lock();
+        if db.in_transaction() {
+            // A previous holder panicked mid-transaction; roll back its
+            // leftovers before starting ours.
+            db.abort_transaction()?;
+        }
+        db.transaction(f)
+    }
+
+    /// Reads `buf.len()` bytes at `offset` of `region` outside any
+    /// transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates library errors.
+    pub fn read(&self, region: RegionId, offset: usize, buf: &mut [u8]) -> Result<(), TxnError> {
+        self.lock().read(region, offset, buf)
+    }
+
+    /// Length of a region.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions.
+    pub fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
+        self.lock().region_len(region)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> TxnStats {
+        self.lock().stats()
+    }
+
+    /// Id of the last durably committed transaction.
+    pub fn last_committed(&self) -> u64 {
+        self.lock().last_committed()
+    }
+
+    /// Runs arbitrary code with exclusive access to the database (crash
+    /// simulation, mirror management, diagnostics).
+    pub fn with<T>(&self, f: impl FnOnce(&mut Perseas<M>) -> T) -> T {
+        f(&mut self.lock())
+    }
+
+    /// Extracts the database if this is the last handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns `self` back if other handles exist.
+    pub fn try_unwrap(self) -> Result<Perseas<M>, SharedPerseas<M>> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(m) => Ok(m.into_inner().unwrap_or_else(|e| e.into_inner())),
+            Err(inner) => Err(SharedPerseas { inner }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerseasConfig;
+    use perseas_rnram::SimRemote;
+    use perseas_sci::{NodeMemory, SciParams};
+    use perseas_simtime::SimClock;
+    use std::thread;
+
+    fn shared_counter() -> (SharedPerseas<SimRemote>, RegionId, NodeMemory) {
+        let backend = SimRemote::new("shared");
+        let node = backend.node().clone();
+        let mut db = Perseas::init(vec![backend], PerseasConfig::default()).unwrap();
+        let r = db.malloc(64).unwrap();
+        db.init_remote_db().unwrap();
+        (SharedPerseas::new(db), r, node)
+    }
+
+    #[test]
+    fn concurrent_increments_are_serialised() {
+        let (shared, r, _) = shared_counter();
+        let threads = 8;
+        let per_thread = 50;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let db = shared.clone();
+                thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        db.transaction(|tx| {
+                            let mut buf = [0u8; 8];
+                            tx.read(r, 0, &mut buf)?;
+                            let v = u64::from_le_bytes(buf) + 1;
+                            tx.update(r, 0, &v.to_le_bytes())
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut buf = [0u8; 8];
+        shared.read(r, 0, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), threads * per_thread);
+        assert_eq!(shared.stats().commits, threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_history_survives_crash() {
+        let (shared, r, node) = shared_counter();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let db = shared.clone();
+                thread::spawn(move || {
+                    for i in 0..20u64 {
+                        db.transaction(|tx| {
+                            tx.update(r, (t as usize % 8) * 8, &(i + 1).to_le_bytes())
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected = shared.with(|db| {
+            let snap = db.region_snapshot(RegionId::from_raw(0)).unwrap();
+            db.crash();
+            snap
+        });
+
+        let backend =
+            SimRemote::with_parts(SimClock::new(), node, SciParams::dolphin_1998());
+        let (db2, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
+        assert_eq!(db2.region_snapshot(r).unwrap(), expected);
+    }
+
+    #[test]
+    fn panicking_transaction_does_not_poison_the_database() {
+        let (shared, r, _) = shared_counter();
+        let db = shared.clone();
+        let result = thread::spawn(move || {
+            db.transaction(|tx| -> Result<(), TxnError> {
+                tx.update(r, 0, &[9; 8])?;
+                panic!("application bug inside a transaction");
+            })
+        })
+        .join();
+        assert!(result.is_err(), "the panic must propagate to join()");
+
+        // The shared handle remains usable and the half-done transaction
+        // is rolled back before the next one runs.
+        shared
+            .transaction(|tx| tx.update(r, 0, &7u64.to_le_bytes()))
+            .unwrap();
+        let mut buf = [0u8; 8];
+        shared.read(r, 0, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 7);
+    }
+
+    #[test]
+    fn try_unwrap_returns_database_when_sole_owner() {
+        let (shared, r, _) = shared_counter();
+        let clone = shared.clone();
+        let back = shared.try_unwrap().unwrap_err();
+        drop(clone);
+        let db = back.try_unwrap().ok().expect("now sole owner");
+        assert_eq!(db.region_len(r).unwrap(), 64);
+    }
+}

@@ -1,0 +1,226 @@
+//! Protocol event tracing — production observability for the library.
+//!
+//! Operators of a replicated store need to see what the commit path is
+//! doing (how many ranges per transaction, how often the undo log grows,
+//! when mirrors are reconfigured). A [`Tracer`] installed with
+//! [`Perseas::set_tracer`](crate::Perseas::set_tracer) receives a
+//! [`TraceEvent`] at each protocol milestone; the default is no tracer and
+//! zero overhead beyond a branch.
+
+use std::sync::{Arc, Mutex};
+
+/// One protocol milestone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A transaction opened.
+    TxnBegin {
+        /// Transaction id.
+        id: u64,
+    },
+    /// A range was declared and its before-image pushed to the mirrors.
+    SetRange {
+        /// Transaction id.
+        id: u64,
+        /// Region index.
+        region: u32,
+        /// Range start.
+        offset: usize,
+        /// Range length.
+        len: usize,
+    },
+    /// The mirrored undo log grew.
+    UndoGrown {
+        /// New capacity in bytes.
+        new_capacity: usize,
+    },
+    /// A transaction committed durably.
+    TxnCommitted {
+        /// Transaction id.
+        id: u64,
+        /// Coalesced ranges propagated.
+        ranges: usize,
+        /// Payload bytes propagated.
+        bytes: usize,
+    },
+    /// A transaction aborted (local-only).
+    TxnAborted {
+        /// Transaction id.
+        id: u64,
+    },
+    /// A mirror was added at the given index.
+    MirrorAdded {
+        /// Index of the new mirror.
+        index: usize,
+    },
+    /// A mirror was removed from the given index.
+    MirrorRemoved {
+        /// Index the mirror occupied.
+        index: usize,
+    },
+    /// The instance crashed (fault injection or explicit).
+    Crashed,
+}
+
+/// A sink for [`TraceEvent`]s.
+pub trait Tracer: Send {
+    /// Receives one event, in protocol order.
+    fn event(&mut self, event: &TraceEvent);
+}
+
+impl<F: FnMut(&TraceEvent) + Send> Tracer for F {
+    fn event(&mut self, event: &TraceEvent) {
+        self(event)
+    }
+}
+
+/// A tracer that records every event into a shared vector — handy in
+/// tests and debugging sessions.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_core::{Perseas, PerseasConfig, RecordingTracer, TraceEvent};
+/// use perseas_rnram::SimRemote;
+///
+/// # fn main() -> Result<(), perseas_txn::TxnError> {
+/// let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default())?;
+/// let r = db.malloc(16)?;
+/// db.init_remote_db()?;
+///
+/// let tracer = RecordingTracer::new();
+/// db.set_tracer(Box::new(tracer.clone()));
+/// db.transaction(|tx| tx.update(r, 0, &[1; 4]))?;
+///
+/// let events = tracer.events();
+/// assert!(matches!(events[0], TraceEvent::TxnBegin { id: 1 }));
+/// assert!(matches!(events.last(), Some(TraceEvent::TxnCommitted { .. })));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecordingTracer {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl RecordingTracer {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        RecordingTracer::default()
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Discards recorded events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn event(&mut self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultPlan, Perseas, PerseasConfig};
+    use perseas_rnram::SimRemote;
+
+    fn traced() -> (Perseas<SimRemote>, perseas_txn::RegionId, RecordingTracer) {
+        let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+        let r = db.malloc(64).unwrap();
+        db.init_remote_db().unwrap();
+        let tracer = RecordingTracer::new();
+        db.set_tracer(Box::new(tracer.clone()));
+        (db, r, tracer)
+    }
+
+    #[test]
+    fn commit_emits_begin_ranges_commit() {
+        let (mut db, r, tracer) = traced();
+        db.begin_transaction().unwrap();
+        db.set_range(r, 0, 8).unwrap();
+        db.set_range(r, 8, 8).unwrap();
+        db.write(r, 0, &[1; 16]).unwrap();
+        db.commit_transaction().unwrap();
+
+        let events = tracer.events();
+        assert_eq!(events[0], TraceEvent::TxnBegin { id: 1 });
+        assert_eq!(
+            events[1],
+            TraceEvent::SetRange {
+                id: 1,
+                region: 0,
+                offset: 0,
+                len: 8
+            }
+        );
+        assert_eq!(
+            *events.last().unwrap(),
+            TraceEvent::TxnCommitted {
+                id: 1,
+                ranges: 1, // coalesced 0..8 + 8..16
+                bytes: 16
+            }
+        );
+    }
+
+    #[test]
+    fn abort_and_crash_are_traced() {
+        let (mut db, r, tracer) = traced();
+        db.begin_transaction().unwrap();
+        db.set_range(r, 0, 4).unwrap();
+        db.abort_transaction().unwrap();
+        db.set_fault_plan(FaultPlan::crash_after(0));
+        db.begin_transaction().unwrap();
+        let _ = db.set_range(r, 0, 4);
+        let events = tracer.events();
+        assert!(events.contains(&TraceEvent::TxnAborted { id: 1 }));
+        assert_eq!(*events.last().unwrap(), TraceEvent::Crashed);
+    }
+
+    #[test]
+    fn undo_growth_and_mirror_changes_are_traced() {
+        let cfg = PerseasConfig::default().with_initial_undo_capacity(64);
+        let mut db = Perseas::init(vec![SimRemote::new("m")], cfg).unwrap();
+        let r = db.malloc(1024).unwrap();
+        db.init_remote_db().unwrap();
+        let tracer = RecordingTracer::new();
+        db.set_tracer(Box::new(tracer.clone()));
+
+        db.begin_transaction().unwrap();
+        db.set_range(r, 0, 512).unwrap();
+        db.write(r, 0, &[2; 512]).unwrap();
+        db.commit_transaction().unwrap();
+        db.add_mirror(SimRemote::new("m2")).unwrap();
+        db.remove_mirror(1).unwrap();
+
+        let events = tracer.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::UndoGrown { new_capacity } if *new_capacity >= 548)));
+        assert!(events.contains(&TraceEvent::MirrorAdded { index: 1 }));
+        assert!(events.contains(&TraceEvent::MirrorRemoved { index: 1 }));
+    }
+
+    #[test]
+    fn closures_are_tracers() {
+        let (mut db, r, _) = traced();
+        let count = Arc::new(Mutex::new(0usize));
+        let c2 = count.clone();
+        db.set_tracer(Box::new(move |_: &TraceEvent| {
+            *c2.lock().unwrap() += 1;
+        }));
+        db.transaction(|tx| tx.update(r, 0, &[1; 4])).unwrap();
+        assert!(*count.lock().unwrap() >= 3); // begin + set_range + commit
+    }
+}

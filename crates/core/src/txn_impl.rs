@@ -1,0 +1,95 @@
+//! [`TransactionalMemory`] implementation for PERSEAS, so the shared
+//! workloads and benchmark harness can drive it interchangeably with the
+//! baselines.
+
+use perseas_rnram::RemoteMemory;
+use perseas_simtime::SimClock;
+use perseas_txn::{RegionId, TransactionalMemory, TxnError, TxnStats};
+
+use crate::perseas::Perseas;
+
+impl<M: RemoteMemory> TransactionalMemory for Perseas<M> {
+    fn system_name(&self) -> &'static str {
+        "perseas"
+    }
+
+    fn alloc_region(&mut self, len: usize) -> Result<RegionId, TxnError> {
+        self.malloc(len)
+    }
+
+    fn publish(&mut self) -> Result<(), TxnError> {
+        self.init_remote_db()
+    }
+
+    fn begin_transaction(&mut self) -> Result<(), TxnError> {
+        Perseas::begin_transaction(self)
+    }
+
+    fn set_range(&mut self, region: RegionId, offset: usize, len: usize) -> Result<(), TxnError> {
+        Perseas::set_range(self, region, offset, len)
+    }
+
+    fn write(&mut self, region: RegionId, offset: usize, data: &[u8]) -> Result<(), TxnError> {
+        Perseas::write(self, region, offset, data)
+    }
+
+    fn read(&self, region: RegionId, offset: usize, buf: &mut [u8]) -> Result<(), TxnError> {
+        Perseas::read(self, region, offset, buf)
+    }
+
+    fn commit_transaction(&mut self) -> Result<(), TxnError> {
+        Perseas::commit_transaction(self)
+    }
+
+    fn abort_transaction(&mut self) -> Result<(), TxnError> {
+        Perseas::abort_transaction(self)
+    }
+
+    fn in_transaction(&self) -> bool {
+        Perseas::in_transaction(self)
+    }
+
+    fn clock(&self) -> &SimClock {
+        Perseas::clock(self)
+    }
+
+    fn stats(&self) -> TxnStats {
+        Perseas::stats(self)
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
+        Perseas::region_len(self, region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerseasConfig;
+    use perseas_rnram::SimRemote;
+
+    fn dyn_roundtrip(tm: &mut dyn TransactionalMemory) {
+        let r = tm.alloc_region(16).unwrap();
+        tm.write(r, 0, &[1; 16]).unwrap();
+        tm.publish().unwrap();
+        tm.begin_transaction().unwrap();
+        assert!(tm.in_transaction());
+        tm.set_range(r, 0, 4).unwrap();
+        tm.write(r, 0, &[2; 4]).unwrap();
+        tm.commit_transaction().unwrap();
+        let mut buf = [0u8; 16];
+        tm.read(r, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..4], &[2; 4]);
+        assert_eq!(&buf[4..], &[1; 12]);
+        assert_eq!(tm.system_name(), "perseas");
+        assert_eq!(tm.region_len(r).unwrap(), 16);
+        assert_eq!(tm.stats().commits, 1);
+    }
+
+    #[test]
+    fn perseas_as_dyn_transactional_memory() {
+        let mut db =
+            Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+        dyn_roundtrip(&mut db);
+    }
+}

@@ -1,0 +1,329 @@
+//! Behavioural tests of the PERSEAS API lifecycle, mirroring Section 3 of
+//! the paper.
+
+use perseas_core::{Perseas, PerseasConfig, RegionId, TxnError};
+use perseas_rnram::SimRemote;
+use perseas_sci::{NodeMemory, SciParams};
+use perseas_simtime::SimClock;
+
+fn fresh() -> Perseas<SimRemote> {
+    Perseas::init(vec![SimRemote::new("mirror")], PerseasConfig::default()).unwrap()
+}
+
+fn published(region_len: usize) -> (Perseas<SimRemote>, RegionId) {
+    let mut db = fresh();
+    let r = db.malloc(region_len).unwrap();
+    db.init_remote_db().unwrap();
+    (db, r)
+}
+
+#[test]
+fn init_requires_a_mirror() {
+    let err = Perseas::<SimRemote>::init(vec![], PerseasConfig::default()).unwrap_err();
+    assert!(matches!(err, TxnError::Unavailable(_)));
+}
+
+#[test]
+fn full_commit_roundtrip() {
+    let (mut db, r) = published(64);
+    db.begin_transaction().unwrap();
+    db.set_range(r, 8, 8).unwrap();
+    db.write(r, 8, &[7; 8]).unwrap();
+    db.commit_transaction().unwrap();
+    let mut buf = [0u8; 64];
+    db.read(r, 0, &mut buf).unwrap();
+    assert_eq!(&buf[8..16], &[7; 8]);
+    assert_eq!(&buf[..8], &[0; 8]);
+    assert_eq!(db.last_committed(), 1);
+    assert_eq!(db.stats().commits, 1);
+}
+
+#[test]
+fn abort_restores_before_image() {
+    let (mut db, r) = published(32);
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 16).unwrap();
+    db.write(r, 0, &[9; 16]).unwrap();
+    db.abort_transaction().unwrap();
+    assert_eq!(db.region_snapshot(r).unwrap(), vec![0; 32]);
+    assert_eq!(db.stats().aborts, 1);
+    // An abort performs zero remote writes beyond those of set_range.
+    let remote_before = db.stats().remote_writes;
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 4).unwrap();
+    let after_set = db.stats().remote_writes;
+    db.write(r, 0, &[1; 4]).unwrap();
+    db.abort_transaction().unwrap();
+    assert_eq!(db.stats().remote_writes, after_set);
+    assert!(after_set > remote_before);
+}
+
+#[test]
+fn overlapping_set_ranges_abort_to_oldest_image() {
+    let (mut db, r) = published(16);
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 8).unwrap(); // before-image: zeros
+    db.write(r, 0, &[1; 8]).unwrap();
+    db.set_range(r, 4, 8).unwrap(); // before-image: [1,1,1,1,0,0,0,0]
+    db.write(r, 4, &[2; 8]).unwrap();
+    db.abort_transaction().unwrap();
+    assert_eq!(db.region_snapshot(r).unwrap(), vec![0; 16]);
+}
+
+#[test]
+fn writes_must_be_declared() {
+    let (mut db, r) = published(32);
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 8).unwrap();
+    let err = db.write(r, 4, &[0; 8]).unwrap_err();
+    assert_eq!(
+        err,
+        TxnError::RangeNotDeclared {
+            region: r,
+            offset: 8
+        }
+    );
+    // Two adjacent declarations jointly cover a spanning write.
+    db.set_range(r, 8, 8).unwrap();
+    db.write(r, 4, &[3; 8]).unwrap();
+    db.commit_transaction().unwrap();
+}
+
+#[test]
+fn state_machine_errors() {
+    let mut db = fresh();
+    let r = db.malloc(8).unwrap();
+
+    assert_eq!(
+        db.begin_transaction().unwrap_err(),
+        TxnError::BadPublishState
+    );
+    db.init_remote_db().unwrap();
+    assert_eq!(db.init_remote_db().unwrap_err(), TxnError::BadPublishState);
+    assert_eq!(db.malloc(8).unwrap_err(), TxnError::BadPublishState);
+    assert_eq!(
+        db.commit_transaction().unwrap_err(),
+        TxnError::NoActiveTransaction
+    );
+    assert_eq!(
+        db.abort_transaction().unwrap_err(),
+        TxnError::NoActiveTransaction
+    );
+    assert_eq!(
+        db.set_range(r, 0, 4).unwrap_err(),
+        TxnError::NoActiveTransaction
+    );
+    assert_eq!(
+        db.write(r, 0, &[1]).unwrap_err(),
+        TxnError::NoActiveTransaction
+    );
+
+    db.begin_transaction().unwrap();
+    assert_eq!(
+        db.begin_transaction().unwrap_err(),
+        TxnError::TransactionAlreadyActive
+    );
+}
+
+#[test]
+fn bounds_and_unknown_regions() {
+    let (mut db, r) = published(8);
+    let ghost = RegionId::from_raw(42);
+    assert_eq!(
+        db.region_len(ghost).unwrap_err(),
+        TxnError::UnknownRegion(ghost)
+    );
+    db.begin_transaction().unwrap();
+    assert!(matches!(
+        db.set_range(r, 6, 4).unwrap_err(),
+        TxnError::OutOfBounds { .. }
+    ));
+    assert!(matches!(
+        db.set_range(ghost, 0, 1).unwrap_err(),
+        TxnError::UnknownRegion(_)
+    ));
+    let mut buf = [0u8; 9];
+    assert!(matches!(
+        db.read(r, 0, &mut buf).unwrap_err(),
+        TxnError::OutOfBounds { .. }
+    ));
+}
+
+#[test]
+fn empty_set_range_is_noop() {
+    let (mut db, r) = published(8);
+    db.begin_transaction().unwrap();
+    db.set_range(r, 4, 0).unwrap();
+    assert_eq!(db.stats().set_ranges, 0);
+    db.commit_transaction().unwrap();
+    // An empty transaction commits without remote traffic.
+    assert_eq!(db.last_committed(), 0);
+}
+
+#[test]
+fn small_transaction_is_three_protocol_copies() {
+    // Figure 3: (1) before-image -> local undo log, (2) local undo ->
+    // remote undo (remote write), (3) local db -> remote db (remote
+    // write). Plus one 8-byte commit record. Zero disk accesses.
+    let (mut db, r) = published(64);
+    let before = db.stats();
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 4).unwrap();
+    db.write(r, 0, &[1; 4]).unwrap();
+    db.commit_transaction().unwrap();
+    let d = db.stats().since(&before);
+    assert_eq!(d.local_copies, 1);
+    assert_eq!(d.remote_writes, 3); // undo append + data + commit record
+    assert_eq!(d.disk_sync_writes + d.disk_async_writes, 0);
+}
+
+#[test]
+fn small_transaction_latency_is_under_10_microseconds() {
+    // The paper: "for very small transactions, the latency that PERSEAS
+    // imposes is less than 8 us", i.e. > 125 000 transactions/second.
+    let clock = SimClock::new();
+    let mirror = SimRemote::with_parts(
+        clock.clone(),
+        NodeMemory::new("mirror"),
+        SciParams::dolphin_1998(),
+    );
+    let mut db =
+        Perseas::init_with_clock(vec![mirror], PerseasConfig::default(), clock.clone()).unwrap();
+    let r = db.malloc(1 << 20).unwrap();
+    db.init_remote_db().unwrap();
+
+    let sw = clock.stopwatch();
+    db.begin_transaction().unwrap();
+    db.set_range(r, 4096, 4).unwrap();
+    db.write(r, 4096, &[1; 4]).unwrap();
+    db.commit_transaction().unwrap();
+    let elapsed = sw.elapsed();
+    assert!(
+        elapsed.as_micros_f64() < 10.0,
+        "small txn took {elapsed}, expected < 10us"
+    );
+}
+
+#[test]
+fn undo_log_grows_on_demand() {
+    let cfg = PerseasConfig::default().with_initial_undo_capacity(128);
+    let mut db = Perseas::init(vec![SimRemote::new("m")], cfg).unwrap();
+    let r = db.malloc(4096).unwrap();
+    db.init_remote_db().unwrap();
+    db.begin_transaction().unwrap();
+    // Far larger than the 128-byte initial undo log.
+    db.set_range(r, 0, 2048).unwrap();
+    db.write(r, 0, &[5; 2048]).unwrap();
+    db.set_range(r, 2048, 1024).unwrap();
+    db.write(r, 2048, &[6; 1024]).unwrap();
+    db.commit_transaction().unwrap();
+    let snap = db.region_snapshot(r).unwrap();
+    assert!(snap[..2048].iter().all(|&b| b == 5));
+    assert!(snap[2048..3072].iter().all(|&b| b == 6));
+
+    // And abort still restores correctly after growth.
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 4096).unwrap();
+    db.write(r, 0, &[9; 4096]).unwrap();
+    db.abort_transaction().unwrap();
+    let snap2 = db.region_snapshot(r).unwrap();
+    assert_eq!(&snap2[..2048], &snap[..2048]);
+}
+
+#[test]
+fn multiple_regions_commit_together() {
+    let mut db = fresh();
+    let a = db.malloc(16).unwrap();
+    let b = db.malloc(16).unwrap();
+    db.init_remote_db().unwrap();
+    db.begin_transaction().unwrap();
+    db.set_range(a, 0, 4).unwrap();
+    db.set_range(b, 8, 4).unwrap();
+    db.write(a, 0, &[1; 4]).unwrap();
+    db.write(b, 8, &[2; 4]).unwrap();
+    db.commit_transaction().unwrap();
+    assert_eq!(&db.region_snapshot(a).unwrap()[..4], &[1; 4]);
+    assert_eq!(&db.region_snapshot(b).unwrap()[8..12], &[2; 4]);
+}
+
+#[test]
+fn region_table_capacity_is_enforced() {
+    let cfg = PerseasConfig::default().with_max_regions(2);
+    let mut db = Perseas::init(vec![SimRemote::new("m")], cfg).unwrap();
+    db.malloc(8).unwrap();
+    db.malloc(8).unwrap();
+    assert!(matches!(db.malloc(8).unwrap_err(), TxnError::Unavailable(_)));
+}
+
+#[test]
+fn mirror_bytes_match_local_after_commits() {
+    let (mut db, r) = published(512);
+    for i in 0..20u8 {
+        db.begin_transaction().unwrap();
+        let off = (i as usize * 17) % 400;
+        db.set_range(r, off, 64).unwrap();
+        db.write(r, off, &[i; 64]).unwrap();
+        db.commit_transaction().unwrap();
+    }
+    let local = db.region_snapshot(r).unwrap();
+    // Recover from the surviving mirror node into a second instance (as a
+    // new workstation would) and compare byte-for-byte.
+    let node: NodeMemory = db.mirror_backend(0).unwrap().node().clone();
+    let backend = SimRemote::with_parts(SimClock::new(), node, SciParams::dolphin_1998());
+    let (db2, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
+    assert_eq!(db2.region_snapshot(r).unwrap(), local);
+}
+
+#[test]
+fn batched_set_ranges_is_equivalent_but_cheaper() {
+    // Semantics: identical to per-range declarations.
+    let (mut db, r) = published(256);
+    db.begin_transaction().unwrap();
+    db.set_ranges(&[(r, 0, 8), (r, 64, 8), (r, 128, 8)]).unwrap();
+    db.write(r, 0, &[1; 8]).unwrap();
+    db.write(r, 64, &[2; 8]).unwrap();
+    db.write(r, 128, &[3; 8]).unwrap();
+    db.abort_transaction().unwrap();
+    assert_eq!(db.region_snapshot(r).unwrap(), vec![0; 256]);
+
+    db.begin_transaction().unwrap();
+    db.set_ranges(&[(r, 0, 8), (r, 64, 8)]).unwrap();
+    db.write(r, 0, &[4; 8]).unwrap();
+    db.write(r, 64, &[5; 8]).unwrap();
+    db.commit_transaction().unwrap();
+    let snap = db.region_snapshot(r).unwrap();
+    assert_eq!(&snap[..8], &[4; 8]);
+    assert_eq!(&snap[64..72], &[5; 8]);
+
+    // Cost: one remote undo write per mirror for the whole batch.
+    let before = db.stats();
+    db.begin_transaction().unwrap();
+    db.set_ranges(&[(r, 0, 4), (r, 32, 4), (r, 96, 4), (r, 200, 4)]).unwrap();
+    let batched = db.stats().since(&before).remote_writes;
+    db.abort_transaction().unwrap();
+    assert_eq!(batched, 1, "4 ranges should need 1 undo burst");
+
+    let before = db.stats();
+    db.begin_transaction().unwrap();
+    for off in [0usize, 32, 96, 200] {
+        db.set_range(r, off, 4).unwrap();
+    }
+    let unbatched = db.stats().since(&before).remote_writes;
+    db.abort_transaction().unwrap();
+    assert_eq!(unbatched, 4);
+}
+
+#[test]
+fn batched_set_ranges_validates_all_or_nothing() {
+    let (mut db, r) = published(64);
+    db.begin_transaction().unwrap();
+    let err = db
+        .set_ranges(&[(r, 0, 8), (r, 60, 8)]) // second is out of bounds
+        .unwrap_err();
+    assert!(matches!(err, TxnError::OutOfBounds { .. }));
+    // Nothing was declared: writes to the first range are rejected too.
+    assert!(matches!(
+        db.write(r, 0, &[1; 8]).unwrap_err(),
+        TxnError::RangeNotDeclared { .. }
+    ));
+}

@@ -1,0 +1,151 @@
+//! Property-based tests: PERSEAS against a reference model.
+//!
+//! The model is a plain `Vec<u8>` updated only on commit. After any random
+//! sequence of transactions (with commits, aborts, overlapping ranges, and
+//! an optionally injected crash at a random protocol step), the PERSEAS
+//! database — recovered from its mirror when crashed — must equal the
+//! model exactly.
+
+use proptest::prelude::*;
+
+use perseas_core::{FaultPlan, Perseas, PerseasConfig, RegionId};
+use perseas_rnram::SimRemote;
+use perseas_sci::{NodeMemory, SciParams};
+use perseas_simtime::SimClock;
+
+const REGION_LEN: usize = 512;
+
+#[derive(Debug, Clone)]
+struct Op {
+    ranges: Vec<(usize, usize, u8)>, // offset, len, fill byte
+    commit: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        prop::collection::vec(
+            (0usize..REGION_LEN, 1usize..64, any::<u8>()).prop_map(|(off, len, b)| {
+                let len = len.min(REGION_LEN - off).max(1);
+                (off, len, b)
+            }),
+            1..5,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(ranges, commit)| Op { ranges, commit })
+}
+
+fn reopen(node: &NodeMemory) -> SimRemote {
+    SimRemote::with_parts(SimClock::new(), node.clone(), SciParams::dolphin_1998())
+}
+
+fn build() -> (Perseas<SimRemote>, RegionId, NodeMemory) {
+    let cfg = PerseasConfig::default().with_initial_undo_capacity(256);
+    let backend = SimRemote::new("mirror");
+    let node = backend.node().clone();
+    let mut db = Perseas::init(vec![backend], cfg).unwrap();
+    let r = db.malloc(REGION_LEN).unwrap();
+    db.init_remote_db().unwrap();
+    (db, r, node)
+}
+
+/// Applies one transaction to both the system under test and the model.
+fn apply(db: &mut Perseas<SimRemote>, r: RegionId, model: &mut [u8], op: &Op) {
+    db.begin_transaction().unwrap();
+    let mut staged = model.to_vec();
+    for &(off, len, b) in &op.ranges {
+        db.set_range(r, off, len).unwrap();
+        db.write(r, off, &vec![b; len]).unwrap();
+        staged[off..off + len].fill(b);
+    }
+    if op.commit {
+        db.commit_transaction().unwrap();
+        model.copy_from_slice(&staged);
+    } else {
+        db.abort_transaction().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Without crashes, PERSEAS equals the model after any history, and
+    /// so does the database recovered from its mirror.
+    #[test]
+    fn matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..20)) {
+        let (mut db, r, node) = build();
+        let mut model = vec![0u8; REGION_LEN];
+        for op in &ops {
+            apply(&mut db, r, &mut model, op);
+        }
+        prop_assert_eq!(db.region_snapshot(r).unwrap(), model.clone());
+
+        let (db2, _) = Perseas::recover(reopen(&node), PerseasConfig::default()).unwrap();
+        prop_assert_eq!(db2.region_snapshot(r).unwrap(), model);
+    }
+
+    /// With a crash injected at an arbitrary protocol step of the final
+    /// transaction, recovery yields the model either before or after that
+    /// transaction — nothing else. Durability must agree with whether the
+    /// transaction reported success.
+    #[test]
+    fn crash_atomicity(
+        ops in prop::collection::vec(op_strategy(), 0..8),
+        last in op_strategy(),
+        crash_step in 0u64..40,
+    ) {
+        let (mut db, r, node) = build();
+        let mut model = vec![0u8; REGION_LEN];
+        for op in &ops {
+            apply(&mut db, r, &mut model, op);
+        }
+
+        let before = model.clone();
+        let mut after = model.clone();
+        for &(off, len, b) in &last.ranges {
+            after[off..off + len].fill(b);
+        }
+
+        db.set_fault_plan(FaultPlan::crash_after(crash_step));
+        let mut outcome = Ok(());
+        (|| -> Result<(), perseas_core::TxnError> {
+            db.begin_transaction()?;
+            for &(off, len, b) in &last.ranges {
+                db.set_range(r, off, len)?;
+                db.write(r, off, &vec![b; len])?;
+            }
+            db.commit_transaction()
+        })()
+        .map_err(|e| outcome = Err(e))
+        .ok();
+
+        let (db2, _) = Perseas::recover(reopen(&node), PerseasConfig::default()).unwrap();
+        let got = db2.region_snapshot(r).unwrap();
+        if outcome.is_ok() {
+            // The transaction reported success: it must be durable.
+            prop_assert_eq!(got, after);
+        } else {
+            // Crashed: all-or-nothing.
+            prop_assert!(
+                got == before || got == after,
+                "recovered state is neither pre- nor post-transaction"
+            );
+        }
+    }
+
+    /// Aborted transactions never leak into the recovered image, no matter
+    /// how the history interleaves commits and aborts.
+    #[test]
+    fn aborts_are_invisible_after_recovery(
+        ops in prop::collection::vec(op_strategy(), 1..12),
+    ) {
+        let (mut db, r, node) = build();
+        let mut model = vec![0u8; REGION_LEN];
+        for op in &ops {
+            apply(&mut db, r, &mut model, op);
+        }
+        db.crash();
+        let (db2, _) = Perseas::recover(reopen(&node), PerseasConfig::default()).unwrap();
+        prop_assert_eq!(db2.region_snapshot(r).unwrap(), model);
+    }
+}

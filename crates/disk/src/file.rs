@@ -1,0 +1,199 @@
+//! File handles over the simulated disk.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::sim::SimDisk;
+
+/// Identifier of a file within one [`SimDisk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub(crate) u64);
+
+/// Whether a write waits for the media or is absorbed by the volatile
+/// write buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Wait until the bytes are on stable storage.
+    Sync,
+    /// Return immediately; bytes are lost if power fails before the device
+    /// drains its buffer.
+    Async,
+}
+
+/// Error returned by [`DiskFile::read_at`] for out-of-range reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPastEndError {
+    /// Requested offset.
+    pub offset: usize,
+    /// Requested length.
+    pub len: usize,
+    /// Current file length.
+    pub file_len: usize,
+}
+
+impl fmt::Display for ReadPastEndError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read [{}, {}) past end of file of length {}",
+            self.offset,
+            self.offset + self.len,
+            self.file_len
+        )
+    }
+}
+
+impl Error for ReadPastEndError {}
+
+/// A file stored on a [`SimDisk`].
+///
+/// The file distinguishes *current* contents (what reads observe, including
+/// buffered writes) from *stable* contents (what survives a power loss).
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::SimClock;
+/// use perseas_disk::{DiskParams, SimDisk, WriteMode};
+///
+/// let disk = SimDisk::new(SimClock::new(), DiskParams::disk_1998());
+/// let f = disk.create_file("db", 16);
+/// f.write_at(0, &[1; 4], WriteMode::Async);
+/// assert_eq!(&f.current_snapshot()[..4], &[1; 4]);
+/// assert_eq!(&f.stable_snapshot()[..4], &[0; 4]); // not flushed yet
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskFile {
+    disk: SimDisk,
+    id: FileId,
+}
+
+impl DiskFile {
+    pub(crate) fn new(disk: SimDisk, id: FileId) -> Self {
+        DiskFile { disk, id }
+    }
+
+    /// The file's name.
+    pub fn name(&self) -> String {
+        self.disk.file_name(self.id)
+    }
+
+    /// Current length in bytes (including buffered appends).
+    pub fn len(&self) -> usize {
+        self.disk.file_len(self.id)
+    }
+
+    /// `true` if the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length of the stable (crash-surviving) prefix image.
+    pub fn stable_len(&self) -> usize {
+        self.disk.stable_len(self.id)
+    }
+
+    /// Writes `data` at `offset`, growing the file if needed.
+    pub fn write_at(&self, offset: usize, data: &[u8], mode: WriteMode) {
+        self.disk.write_at(self.id, offset, data, mode);
+    }
+
+    /// Appends `data` at the end of the file and returns the offset it was
+    /// written at.
+    pub fn append(&self, data: &[u8], mode: WriteMode) -> usize {
+        let offset = self.len();
+        self.disk.write_at(self.id, offset, data, mode);
+        offset
+    }
+
+    /// Reads `buf.len()` bytes at `offset` from the current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadPastEndError`] if the range exceeds the file.
+    pub fn read_at(&self, offset: usize, buf: &mut [u8]) -> Result<(), ReadPastEndError> {
+        let file_len = self.len();
+        if offset.checked_add(buf.len()).is_none_or(|e| e > file_len) {
+            return Err(ReadPastEndError {
+                offset,
+                len: buf.len(),
+                file_len,
+            });
+        }
+        self.disk.read_at(self.id, offset, buf);
+        Ok(())
+    }
+
+    /// Forces every buffered write of this disk to stable storage.
+    pub fn flush(&self) {
+        self.disk.flush(self.id);
+    }
+
+    /// Truncates the file to `len` bytes, dropping buffered writes beyond.
+    pub fn truncate(&self, len: usize) {
+        self.disk.truncate(self.id, len);
+    }
+
+    /// A copy of the current contents (reads-eye view).
+    pub fn current_snapshot(&self) -> Vec<u8> {
+        self.disk.current_snapshot(self.id)
+    }
+
+    /// A copy of the stable contents (what a crash would leave behind).
+    pub fn stable_snapshot(&self) -> Vec<u8> {
+        self.disk.stable_snapshot(self.id)
+    }
+
+    /// The disk this file lives on.
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskParams;
+    use perseas_simtime::SimClock;
+
+    fn file() -> DiskFile {
+        SimDisk::new(SimClock::new(), DiskParams::disk_1998()).create_file("f", 0)
+    }
+
+    #[test]
+    fn append_returns_offsets() {
+        let f = file();
+        assert_eq!(f.append(&[1, 2], WriteMode::Async), 0);
+        assert_eq!(f.append(&[3], WriteMode::Async), 2);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn read_past_end_is_an_error() {
+        let f = file();
+        f.append(&[1; 4], WriteMode::Sync);
+        let mut buf = [0u8; 8];
+        let err = f.read_at(0, &mut buf).unwrap_err();
+        assert_eq!(err.file_len, 4);
+        assert!(err.to_string().contains("past end"));
+        // Overflowing offsets are handled too.
+        assert!(f.read_at(usize::MAX, &mut buf).is_err());
+    }
+
+    #[test]
+    fn name_is_kept() {
+        let f = file();
+        assert_eq!(f.name(), "f");
+    }
+
+    #[test]
+    fn stable_len_lags_until_flush() {
+        let f = file();
+        f.append(&[5; 10], WriteMode::Async);
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.stable_len(), 0);
+        f.flush();
+        assert_eq!(f.stable_len(), 10);
+    }
+}

@@ -1,0 +1,44 @@
+//! A magnetic disk simulator for the PERSEAS baselines.
+//!
+//! The paper's comparison systems (RVM and friends) are bound by the
+//! latency of synchronous writes to a late-1990s magnetic disk. This crate
+//! models such a disk on the shared virtual clock:
+//!
+//! * **seek** — zero for sequential access, a short track-to-track seek for
+//!   nearby addresses, the full average seek otherwise;
+//! * **rotation** — half a revolution of average rotational latency for
+//!   any repositioned access;
+//! * **transfer** — a sustained media rate;
+//! * **volatile write buffer** — asynchronous writes are queued and the
+//!   device drains them in the background; a crash **loses** queued writes
+//!   (which is exactly why WAL systems must issue synchronous log writes,
+//!   and what the paper's "under heavy load asynchronous writes become
+//!   synchronous" remark is about: a full buffer blocks).
+//!
+//! [`DiskFile`] provides the log/data file abstraction the baselines use,
+//! with a byte-exact distinction between *current* contents (what reads
+//! return) and *stable* contents (what survives a crash).
+//!
+//! # Examples
+//!
+//! ```
+//! use perseas_simtime::SimClock;
+//! use perseas_disk::{DiskParams, SimDisk, WriteMode};
+//!
+//! let clock = SimClock::new();
+//! let disk = SimDisk::new(clock.clone(), DiskParams::disk_1998());
+//! let log = disk.create_file("wal", 0);
+//!
+//! let t0 = clock.now();
+//! log.append(b"commit record", WriteMode::Sync);
+//! // A synchronous log write costs milliseconds on a 1998 disk.
+//! assert!(clock.now().duration_since(t0).as_millis() >= 1);
+//! ```
+
+mod file;
+mod model;
+mod sim;
+
+pub use file::{DiskFile, ReadPastEndError, WriteMode};
+pub use model::{AccessKind, DiskParams};
+pub use sim::{DiskStats, SimDisk};

@@ -1,0 +1,177 @@
+//! Disk timing parameters.
+
+use serde::{Deserialize, Serialize};
+
+use perseas_simtime::SimDuration;
+
+/// Positional relationship of an access to the previous one, which decides
+/// the seek cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Head is already there (strictly sequential continuation).
+    Sequential,
+    /// Same cylinder neighbourhood: track-to-track seek.
+    Near,
+    /// Anywhere else: average seek.
+    Far,
+}
+
+/// Timing parameters of the simulated disk.
+///
+/// [`DiskParams::disk_1998`] models a high-end desktop drive of the paper's
+/// era (5400 rpm, ~9 ms average seek, ~10 MB/s media rate). The paper's
+/// architecture-trend argument (disks improve 10–20 %/year, networks
+/// 20–45 %/year) is exercised by [`DiskParams::scaled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u64,
+    /// Average seek time in nanoseconds.
+    pub avg_seek_ns: u64,
+    /// Track-to-track seek time in nanoseconds.
+    pub track_seek_ns: u64,
+    /// Sustained media transfer rate in bytes per microsecond (= MB/s).
+    pub transfer_bytes_per_us: u64,
+    /// Fixed controller/command overhead per operation in nanoseconds.
+    pub controller_ns: u64,
+    /// Capacity of the volatile write buffer in bytes. Asynchronous writes
+    /// beyond this block until the device drains.
+    pub write_buffer_bytes: usize,
+    /// Distance (in bytes of the linear address space) still considered
+    /// "near" for seek purposes — roughly one track.
+    pub track_bytes: u64,
+}
+
+impl DiskParams {
+    /// A 1998-class desktop disk: 5400 rpm, 9 ms average seek, 1.5 ms
+    /// track-to-track, 10 MB/s media rate, 0.3 ms controller overhead,
+    /// 256 KB write buffer.
+    pub fn disk_1998() -> Self {
+        DiskParams {
+            rpm: 5_400,
+            avg_seek_ns: 9_000_000,
+            track_seek_ns: 1_500_000,
+            transfer_bytes_per_us: 10,
+            controller_ns: 300_000,
+            write_buffer_bytes: 256 << 10,
+            track_bytes: 64 << 10,
+        }
+    }
+
+    /// A hypothetical disk `speedup`× faster across the board (seek,
+    /// rotation, transfer, controller). Used by the technology-trend
+    /// ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not positive.
+    pub fn scaled(speedup: f64) -> Self {
+        assert!(speedup > 0.0, "speedup must be positive");
+        let d = DiskParams::disk_1998();
+        let s = |ns: u64| ((ns as f64 / speedup).round() as u64).max(1);
+        DiskParams {
+            rpm: ((d.rpm as f64 * speedup).round() as u64).max(1),
+            avg_seek_ns: s(d.avg_seek_ns),
+            track_seek_ns: s(d.track_seek_ns),
+            transfer_bytes_per_us: ((d.transfer_bytes_per_us as f64 * speedup).round() as u64)
+                .max(1),
+            controller_ns: s(d.controller_ns),
+            write_buffer_bytes: d.write_buffer_bytes,
+            track_bytes: d.track_bytes,
+        }
+    }
+
+    /// Time for one full revolution.
+    pub fn revolution(&self) -> SimDuration {
+        SimDuration::from_nanos(60_000_000_000 / self.rpm)
+    }
+
+    /// Average rotational latency (half a revolution).
+    pub fn avg_rotational_latency(&self) -> SimDuration {
+        self.revolution() / 2
+    }
+
+    /// Seek time for an access of the given positional kind.
+    pub fn seek(&self, kind: AccessKind) -> SimDuration {
+        match kind {
+            AccessKind::Sequential => SimDuration::ZERO,
+            AccessKind::Near => SimDuration::from_nanos(self.track_seek_ns),
+            AccessKind::Far => SimDuration::from_nanos(self.avg_seek_ns),
+        }
+    }
+
+    /// Media transfer time for `len` bytes.
+    pub fn transfer(&self, len: usize) -> SimDuration {
+        SimDuration::from_nanos(len as u64 * 1_000 / self.transfer_bytes_per_us)
+    }
+
+    /// Full service time of one access: controller + seek + rotation +
+    /// transfer. Even a strictly sequential continuation pays the average
+    /// rotational latency: by the time the next synchronous request
+    /// arrives, the target sector has passed under the head.
+    pub fn service_time(&self, kind: AccessKind, len: usize) -> SimDuration {
+        SimDuration::from_nanos(self.controller_ns)
+            + self.seek(kind)
+            + self.avg_rotational_latency()
+            + self.transfer(len)
+    }
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams::disk_1998()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_for_5400_rpm_is_11ms() {
+        let p = DiskParams::disk_1998();
+        assert_eq!(p.revolution().as_millis(), 11);
+        assert_eq!(p.avg_rotational_latency().as_micros(), 5_555);
+    }
+
+    #[test]
+    fn sequential_is_cheapest() {
+        let p = DiskParams::disk_1998();
+        let seq = p.service_time(AccessKind::Sequential, 512);
+        let near = p.service_time(AccessKind::Near, 512);
+        let far = p.service_time(AccessKind::Far, 512);
+        assert!(seq < near);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn random_small_write_costs_about_15ms() {
+        // controller 0.3 + seek 9 + rot 5.55 + transfer ~0.05 = ~14.9 ms.
+        let p = DiskParams::disk_1998();
+        let t = p.service_time(AccessKind::Far, 512);
+        assert!(t.as_millis() >= 14 && t.as_millis() <= 16, "{t}");
+    }
+
+    #[test]
+    fn transfer_scales_with_length() {
+        let p = DiskParams::disk_1998();
+        assert_eq!(p.transfer(10).as_micros(), 1);
+        assert_eq!(p.transfer(1 << 20).as_millis(), 104); // ~105 ms at 10 MB/s
+    }
+
+    #[test]
+    fn scaled_disk_is_faster() {
+        let fast = DiskParams::scaled(4.0);
+        let base = DiskParams::disk_1998();
+        assert!(
+            fast.service_time(AccessKind::Far, 512) < base.service_time(AccessKind::Far, 512)
+        );
+        assert!(fast.transfer(1 << 20) < base.transfer(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup")]
+    fn non_positive_speedup_panics() {
+        let _ = DiskParams::scaled(-1.0);
+    }
+}

@@ -1,0 +1,437 @@
+//! The disk device model: one head, one queue, one timeline.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use perseas_simtime::{SimClock, SimDuration, SimInstant};
+
+use crate::file::{DiskFile, FileId, WriteMode};
+use crate::model::{AccessKind, DiskParams};
+
+/// Operation counters for one simulated disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Synchronous writes (the caller waited for the media).
+    pub sync_writes: u64,
+    /// Asynchronous writes absorbed by the volatile buffer.
+    pub async_writes: u64,
+    /// Times an asynchronous write found the buffer full and blocked.
+    pub buffer_stalls: u64,
+    /// Explicit flushes.
+    pub flushes: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Total payload bytes written (sync + async).
+    pub bytes_written: u64,
+    /// Total payload bytes read.
+    pub bytes_read: u64,
+}
+
+#[derive(Debug)]
+struct FileData {
+    /// What reads observe (includes buffered writes).
+    current: Vec<u8>,
+    /// What survives a crash.
+    stable: Vec<u8>,
+    /// Base of this file's extent in the disk's linear address space.
+    base: u64,
+    name: String,
+}
+
+#[derive(Debug)]
+struct QueuedWrite {
+    file: FileId,
+    offset: usize,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    params: DiskParams,
+    files: BTreeMap<FileId, FileData>,
+    next_file: u64,
+    next_base: u64,
+    head_pos: u64,
+    busy_until: SimInstant,
+    queue: Vec<QueuedWrite>,
+    queued_bytes: usize,
+    stats: DiskStats,
+}
+
+/// A simulated magnetic disk on a shared virtual clock.
+///
+/// Cloning yields another handle to the same device. All file contents live
+/// inside the device, so crash semantics (volatile buffer loss) are modelled
+/// in one place.
+#[derive(Debug, Clone)]
+pub struct SimDisk {
+    clock: SimClock,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl SimDisk {
+    /// Creates a disk with the given timing parameters.
+    pub fn new(clock: SimClock, params: DiskParams) -> Self {
+        SimDisk {
+            clock,
+            inner: Arc::new(Mutex::new(Inner {
+                params,
+                files: BTreeMap::new(),
+                next_file: 1,
+                next_base: 0,
+                head_pos: 1 << 40, // parked far from every extent
+                busy_until: SimInstant::ORIGIN,
+                queue: Vec::new(),
+                queued_bytes: 0,
+                stats: DiskStats::default(),
+            })),
+        }
+    }
+
+    /// The clock this disk charges.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Creates a file of `initial_len` zero bytes and returns its handle.
+    /// Files are placed in widely separated extents, so switching between
+    /// files costs a full seek — the "log and database share a spindle"
+    /// effect the WAL baselines suffer from.
+    pub fn create_file(&self, name: impl Into<String>, initial_len: usize) -> DiskFile {
+        let mut g = self.inner.lock();
+        let id = FileId(g.next_file);
+        g.next_file += 1;
+        let base = g.next_base;
+        g.next_base += 1 << 30;
+        g.files.insert(
+            id,
+            FileData {
+                current: vec![0; initial_len],
+                stable: vec![0; initial_len],
+                base,
+                name: name.into(),
+            },
+        );
+        DiskFile::new(self.clone(), id)
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> DiskStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = DiskStats::default();
+    }
+
+    /// Simulates a power loss: every write still in the volatile buffer is
+    /// lost; stable contents are preserved and become the visible contents.
+    pub fn crash_volatile(&self) {
+        let mut g = self.inner.lock();
+        g.queue.clear();
+        g.queued_bytes = 0;
+        let ids: Vec<FileId> = g.files.keys().copied().collect();
+        for id in ids {
+            let f = g.files.get_mut(&id).expect("file exists");
+            f.current = f.stable.clone();
+        }
+    }
+
+    fn access_kind(params: &DiskParams, head: u64, addr: u64) -> AccessKind {
+        if head == addr {
+            AccessKind::Sequential
+        } else if head.abs_diff(addr) <= params.track_bytes {
+            AccessKind::Near
+        } else {
+            AccessKind::Far
+        }
+    }
+
+    /// Applies every queued write to stable storage (the drain that happens
+    /// when the device catches up).
+    fn drain_queue(g: &mut Inner) {
+        let queue = std::mem::take(&mut g.queue);
+        for w in queue {
+            let f = g.files.get_mut(&w.file).expect("queued file exists");
+            let end = w.offset + w.len;
+            if f.stable.len() < end {
+                f.stable.resize(end, 0);
+            }
+            let bytes = f.current[w.offset..end].to_vec();
+            f.stable[w.offset..end].copy_from_slice(&bytes);
+        }
+        g.queued_bytes = 0;
+    }
+
+    pub(crate) fn file_name(&self, id: FileId) -> String {
+        self.inner.lock().files[&id].name.clone()
+    }
+
+    pub(crate) fn file_len(&self, id: FileId) -> usize {
+        self.inner.lock().files[&id].current.len()
+    }
+
+    pub(crate) fn stable_len(&self, id: FileId) -> usize {
+        self.inner.lock().files[&id].stable.len()
+    }
+
+    pub(crate) fn current_snapshot(&self, id: FileId) -> Vec<u8> {
+        self.inner.lock().files[&id].current.clone()
+    }
+
+    pub(crate) fn stable_snapshot(&self, id: FileId) -> Vec<u8> {
+        self.inner.lock().files[&id].stable.clone()
+    }
+
+    pub(crate) fn truncate(&self, id: FileId, len: usize) {
+        let mut g = self.inner.lock();
+        // Truncation is a metadata operation; drop queued writes beyond the
+        // new end so they cannot resurrect truncated bytes.
+        g.queue.retain(|w| w.file != id || w.offset + w.len <= len);
+        let f = g.files.get_mut(&id).expect("file exists");
+        f.current.truncate(len);
+        f.stable.truncate(len);
+    }
+
+    pub(crate) fn write_at(&self, id: FileId, offset: usize, data: &[u8], mode: WriteMode) {
+        let now = self.clock.now();
+        let mut g = self.inner.lock();
+
+        // Update the visible contents immediately (the write buffer serves
+        // reads).
+        {
+            let f = g.files.get_mut(&id).expect("file exists");
+            let end = offset + data.len();
+            if f.current.len() < end {
+                f.current.resize(end, 0);
+            }
+            f.current[offset..end].copy_from_slice(data);
+        }
+
+        let addr = g.files[&id].base + offset as u64;
+        let kind = Self::access_kind(&g.params, g.head_pos, addr);
+        // Streamed sequential asynchronous writes are coalesced by the
+        // device and pay only media transfer; everything else pays the
+        // full positioning cost.
+        let service = match (mode, kind) {
+            (WriteMode::Async, AccessKind::Sequential) => g.params.transfer(data.len()),
+            _ => g.params.service_time(kind, data.len()),
+        };
+        g.head_pos = addr + data.len() as u64;
+        let start = g.busy_until.max(now);
+        g.busy_until = start + service;
+        g.stats.bytes_written += data.len() as u64;
+
+        match mode {
+            WriteMode::Sync => {
+                g.stats.sync_writes += 1;
+                g.queue.push(QueuedWrite {
+                    file: id,
+                    offset,
+                    len: data.len(),
+                });
+                Self::drain_queue(&mut g);
+                let until = g.busy_until;
+                drop(g);
+                self.clock.advance_to(until);
+            }
+            WriteMode::Async => {
+                g.stats.async_writes += 1;
+                g.queue.push(QueuedWrite {
+                    file: id,
+                    offset,
+                    len: data.len(),
+                });
+                g.queued_bytes += data.len();
+                if g.queued_bytes > g.params.write_buffer_bytes {
+                    // Buffer full: the "asynchronous writes become
+                    // synchronous" effect — block until the device drains.
+                    g.stats.buffer_stalls += 1;
+                    Self::drain_queue(&mut g);
+                    let until = g.busy_until;
+                    drop(g);
+                    self.clock.advance_to(until);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn read_at(&self, id: FileId, offset: usize, buf: &mut [u8]) {
+        let now = self.clock.now();
+        let mut g = self.inner.lock();
+        let addr = g.files[&id].base + offset as u64;
+        let kind = Self::access_kind(&g.params, g.head_pos, addr);
+        let service = g.params.service_time(kind, buf.len());
+        g.head_pos = addr + buf.len() as u64;
+        let start = g.busy_until.max(now);
+        g.busy_until = start + service;
+        g.stats.reads += 1;
+        g.stats.bytes_read += buf.len() as u64;
+        let f = &g.files[&id];
+        let end = offset + buf.len();
+        assert!(end <= f.current.len(), "read past end of {}", f.name);
+        buf.copy_from_slice(&f.current[offset..end]);
+        let until = g.busy_until;
+        drop(g);
+        self.clock.advance_to(until);
+    }
+
+    pub(crate) fn flush(&self, id: FileId) {
+        let _ = id;
+        let mut g = self.inner.lock();
+        g.stats.flushes += 1;
+        Self::drain_queue(&mut g);
+        let until = g.busy_until;
+        drop(g);
+        self.clock.advance_to(until);
+    }
+
+    /// Virtual time until which the device is busy with queued work.
+    pub fn busy_until(&self) -> SimInstant {
+        self.inner.lock().busy_until
+    }
+
+    /// The service time a hypothetical write would incur right now, without
+    /// performing it (used by ablation harnesses).
+    pub fn probe_service(&self, sequential: bool, len: usize) -> SimDuration {
+        let g = self.inner.lock();
+        let kind = if sequential {
+            AccessKind::Sequential
+        } else {
+            AccessKind::Far
+        };
+        g.params.service_time(kind, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> (SimClock, SimDisk) {
+        let clock = SimClock::new();
+        let d = SimDisk::new(clock.clone(), DiskParams::disk_1998());
+        (clock, d)
+    }
+
+    #[test]
+    fn sync_write_blocks_for_milliseconds() {
+        let (clock, d) = disk();
+        let f = d.create_file("log", 0);
+        f.append(&[1; 128], WriteMode::Sync);
+        assert!(clock.now().as_nanos() >= 5_000_000);
+        assert_eq!(d.stats().sync_writes, 1);
+    }
+
+    #[test]
+    fn async_write_returns_immediately() {
+        let (clock, d) = disk();
+        let f = d.create_file("log", 0);
+        f.append(&[1; 128], WriteMode::Async);
+        assert_eq!(clock.now().as_nanos(), 0);
+        assert_eq!(d.stats().async_writes, 1);
+    }
+
+    #[test]
+    fn full_buffer_stalls_async_writer() {
+        let (clock, d) = disk();
+        let f = d.create_file("log", 0);
+        // 256 KB buffer; write 5 x 64 KB async.
+        for _ in 0..5 {
+            f.append(&[0; 64 << 10], WriteMode::Async);
+        }
+        assert!(d.stats().buffer_stalls >= 1);
+        assert!(clock.now().as_nanos() > 0);
+    }
+
+    #[test]
+    fn crash_loses_buffered_writes_only() {
+        let (_, d) = disk();
+        let f = d.create_file("data", 8);
+        f.write_at(0, &[1; 8], WriteMode::Sync);
+        f.write_at(0, &[2; 8], WriteMode::Async);
+        assert_eq!(f.current_snapshot(), vec![2; 8]);
+        d.crash_volatile();
+        assert_eq!(f.current_snapshot(), vec![1; 8]);
+        assert_eq!(f.stable_snapshot(), vec![1; 8]);
+    }
+
+    #[test]
+    fn flush_makes_async_writes_stable() {
+        let (_, d) = disk();
+        let f = d.create_file("data", 4);
+        f.write_at(0, &[9; 4], WriteMode::Async);
+        assert_eq!(f.stable_snapshot(), vec![0; 4]);
+        f.flush();
+        d.crash_volatile();
+        assert_eq!(f.current_snapshot(), vec![9; 4]);
+    }
+
+    #[test]
+    fn sequential_appends_cheaper_than_random_writes() {
+        let (clock, d) = disk();
+        let f = d.create_file("log", 1 << 20);
+        // Prime the head.
+        f.write_at(0, &[0; 512], WriteMode::Sync);
+        let sw = clock.stopwatch();
+        f.write_at(512, &[0; 512], WriteMode::Sync);
+        let seq_cost = sw.elapsed();
+
+        let sw = clock.stopwatch();
+        f.write_at(900_000, &[0; 512], WriteMode::Sync);
+        let far_cost = sw.elapsed();
+        assert!(seq_cost < far_cost, "{seq_cost} vs {far_cost}");
+    }
+
+    #[test]
+    fn switching_files_costs_a_full_seek() {
+        let (clock, d) = disk();
+        let log = d.create_file("log", 1 << 20);
+        let db = d.create_file("db", 1 << 20);
+        log.write_at(0, &[0; 64], WriteMode::Sync);
+        let sw = clock.stopwatch();
+        db.write_at(0, &[0; 64], WriteMode::Sync);
+        // Cross-extent distance exceeds a track: full average seek.
+        assert!(sw.elapsed().as_millis() >= 14);
+    }
+
+    #[test]
+    fn reads_charge_time_and_return_current_bytes() {
+        let (clock, d) = disk();
+        let f = d.create_file("data", 16);
+        f.write_at(0, &[3; 16], WriteMode::Async);
+        let mut buf = [0u8; 16];
+        let sw = clock.stopwatch();
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [3; 16]);
+        assert!(!sw.elapsed().is_zero());
+        assert_eq!(d.stats().reads, 1);
+    }
+
+    #[test]
+    fn truncate_drops_queued_tail_writes() {
+        let (_, d) = disk();
+        let f = d.create_file("log", 0);
+        f.append(&[1; 8], WriteMode::Async);
+        f.append(&[2; 8], WriteMode::Async);
+        f.truncate(8);
+        f.flush();
+        // The second (truncated-away) write must not resurrect.
+        assert_eq!(f.len(), 8);
+        assert_eq!(f.stable_snapshot(), vec![1; 8]);
+    }
+
+    #[test]
+    fn write_at_grows_file() {
+        let (_, d) = disk();
+        let f = d.create_file("data", 0);
+        f.write_at(10, &[7; 2], WriteMode::Sync);
+        assert_eq!(f.len(), 12);
+        let snap = f.current_snapshot();
+        assert_eq!(&snap[10..], &[7, 7]);
+        assert_eq!(&snap[..10], &[0; 10]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the disk simulator: contents and crash semantics
+//! against a reference model, and timing sanity.
+
+use proptest::prelude::*;
+
+use perseas_disk::{DiskParams, SimDisk, WriteMode};
+use perseas_simtime::SimClock;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: usize, len: usize, byte: u8, sync: bool },
+    Flush,
+    Crash,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0usize..512, 1usize..64, any::<u8>(), any::<bool>()).prop_map(
+            |(offset, len, byte, sync)| Op::Write { offset, len, byte, sync }
+        ),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Crash),
+    ]
+}
+
+proptest! {
+    /// The file's current contents always match an in-memory model, and a
+    /// crash rolls current back to exactly the synced/flushed state.
+    #[test]
+    fn file_matches_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let clock = SimClock::new();
+        let disk = SimDisk::new(clock, DiskParams::disk_1998());
+        let f = disk.create_file("prop", 0);
+
+        let mut current: Vec<u8> = Vec::new();
+        let mut stable: Vec<u8> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Write { offset, len, byte, sync } => {
+                    let data = vec![byte; len];
+                    f.write_at(offset, &data, if sync { WriteMode::Sync } else { WriteMode::Async });
+                    if current.len() < offset + len {
+                        current.resize(offset + len, 0);
+                    }
+                    current[offset..offset + len].fill(byte);
+                    if sync {
+                        stable = current.clone();
+                    }
+                }
+                Op::Flush => {
+                    f.flush();
+                    stable = current.clone();
+                }
+                Op::Crash => {
+                    disk.crash_volatile();
+                    current = stable.clone();
+                }
+            }
+            prop_assert_eq!(&f.current_snapshot(), &current);
+        }
+        disk.crash_volatile();
+        prop_assert_eq!(f.current_snapshot(), stable);
+    }
+
+    /// Synchronous writes always cost at least the rotational latency;
+    /// asynchronous sequential appends are cheap until the buffer fills.
+    #[test]
+    fn sync_writes_cost_time(len in 1usize..4_096) {
+        let clock = SimClock::new();
+        let disk = SimDisk::new(clock.clone(), DiskParams::disk_1998());
+        let f = disk.create_file("t", 0);
+        let sw = clock.stopwatch();
+        f.append(&vec![0u8; len], WriteMode::Sync);
+        prop_assert!(sw.elapsed().as_micros() >= 5_000, "{}", sw.elapsed());
+    }
+
+    /// Reads return exactly what was written, wherever it currently lives
+    /// (buffer or media).
+    #[test]
+    fn reads_see_writes(
+        writes in prop::collection::vec((0usize..256, any::<u8>(), any::<bool>()), 1..20)
+    ) {
+        let disk = SimDisk::new(SimClock::new(), DiskParams::disk_1998());
+        let f = disk.create_file("r", 512);
+        let mut model = vec![0u8; 512];
+        for (offset, byte, sync) in writes {
+            f.write_at(offset, &[byte; 8], if sync { WriteMode::Sync } else { WriteMode::Async });
+            model[offset..offset + 8].fill(byte);
+        }
+        let mut buf = vec![0u8; 512];
+        f.read_at(0, &mut buf).unwrap();
+        prop_assert_eq!(buf, model);
+    }
+}

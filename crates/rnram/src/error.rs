@@ -1,0 +1,109 @@
+//! Error type for the reliable network RAM layer.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use perseas_sci::SciError;
+
+/// Errors reported by the network RAM layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RnError {
+    /// An error from the underlying (simulated) SCI interconnect.
+    Sci(SciError),
+    /// A socket-level failure of the TCP backend.
+    Io(io::Error),
+    /// The TCP peer answered with a malformed or corrupt frame.
+    Protocol(String),
+    /// The server rejected a request; carries its message.
+    Remote(String),
+    /// `connect_segment` found no segment with the requested tag.
+    TagNotFound(u64),
+}
+
+impl fmt::Display for RnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RnError::Sci(e) => write!(f, "SCI error: {e}"),
+            RnError::Io(e) => write!(f, "network I/O error: {e}"),
+            RnError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            RnError::Remote(m) => write!(f, "remote node refused request: {m}"),
+            RnError::TagNotFound(t) => write!(f, "no remote segment with tag {t}"),
+        }
+    }
+}
+
+impl Error for RnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RnError::Sci(e) => Some(e),
+            RnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SciError> for RnError {
+    fn from(e: SciError) -> Self {
+        RnError::Sci(e)
+    }
+}
+
+impl From<io::Error> for RnError {
+    fn from(e: io::Error) -> Self {
+        RnError::Io(e)
+    }
+}
+
+impl RnError {
+    /// `true` if the error indicates the mirror is unreachable (link cut,
+    /// node crashed, socket dead) as opposed to a caller mistake.
+    pub fn is_unavailable(&self) -> bool {
+        match self {
+            RnError::Sci(SciError::LinkDown { .. }) | RnError::Sci(SciError::NodeCrashed) => true,
+            RnError::Io(_) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        for e in [
+            RnError::Sci(SciError::NodeCrashed),
+            RnError::Io(io::Error::new(io::ErrorKind::Other, "x")),
+            RnError::Protocol("bad magic".into()),
+            RnError::Remote("denied".into()),
+            RnError::TagNotFound(9),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn availability_classification() {
+        assert!(RnError::Sci(SciError::NodeCrashed).is_unavailable());
+        assert!(RnError::Sci(SciError::LinkDown { delivered: 3 }).is_unavailable());
+        assert!(RnError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x")).is_unavailable());
+        assert!(!RnError::TagNotFound(1).is_unavailable());
+        assert!(!RnError::Protocol("p".into()).is_unavailable());
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = RnError::Sci(SciError::NodeCrashed);
+        assert!(e.source().is_some());
+        assert!(RnError::TagNotFound(2).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RnError>();
+    }
+}

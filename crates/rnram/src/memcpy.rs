@@ -1,0 +1,252 @@
+//! The paper's optimised `sci_memcpy` (Section 4).
+//!
+//! Experiments with the PCI-SCI card showed that for copies of 32 bytes or
+//! more it is cheaper to copy whole 64-byte regions aligned on 64-byte
+//! boundaries: the card then transmits full 64-byte packets and store
+//! gathering / buffer streaming work at their best. Copies of 16 bytes or
+//! less are performed as-is (one or two 16-byte packets). Copies of 17–32
+//! bytes are widened to an aligned 64-byte region *unless* the range
+//! already touches the sixteenth (last) word of a buffer, which the card
+//! flushes eagerly.
+//!
+//! Widening is only sound when the caller holds a byte-exact local image of
+//! the whole segment (true for every PERSEAS mirror: the remote copy always
+//! equals the local copy outside the range being updated). [`mirror_copy`]
+//! encapsulates that pattern.
+
+use perseas_sci::BUFFER_SIZE;
+
+use crate::{RemoteMemory, RnError, SegmentId};
+
+/// How a logical copy is actually issued to the card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferStrategy {
+    /// Issue the store exactly as requested.
+    AsIs,
+    /// Widen the store to whole 64-byte aligned chunks.
+    Aligned,
+}
+
+/// The store actually issued for a logical `(offset, len)` update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// Chosen strategy.
+    pub strategy: TransferStrategy,
+    /// Offset (within the segment) of the issued store.
+    pub offset: usize,
+    /// Length of the issued store.
+    pub len: usize,
+}
+
+/// Returns `true` if the physical range `[start, start+len)` includes the
+/// last word (word 15) of some SCI buffer.
+fn touches_last_word(start: u64, len: usize) -> bool {
+    let end = start + len as u64;
+    let mut chunk_base = start & !(BUFFER_SIZE as u64 - 1);
+    while chunk_base < end {
+        let last_word_start = chunk_base + 60;
+        let last_word_end = chunk_base + 64;
+        if start < last_word_end && end > last_word_start {
+            return true;
+        }
+        chunk_base += BUFFER_SIZE as u64;
+    }
+    false
+}
+
+/// Computes the store that `sci_memcpy` issues for a logical update of
+/// `len` bytes at `offset` within a segment of `seg_len` bytes based at
+/// physical address `base_addr`.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_rnram::{plan_transfer, TransferStrategy};
+///
+/// // A 100-byte update in the middle of a segment is widened to cover
+/// // whole 64-byte chunks.
+/// let plan = plan_transfer(0, 70, 100, 4096);
+/// assert_eq!(plan.strategy, TransferStrategy::Aligned);
+/// assert_eq!(plan.offset, 64);
+/// assert_eq!(plan.len, 128);
+///
+/// // A 4-byte update goes out as-is.
+/// let plan = plan_transfer(0, 70, 4, 4096);
+/// assert_eq!(plan.strategy, TransferStrategy::AsIs);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the logical range exceeds the segment.
+pub fn plan_transfer(base_addr: u64, offset: usize, len: usize, seg_len: usize) -> TransferPlan {
+    assert!(
+        offset.checked_add(len).is_some_and(|e| e <= seg_len),
+        "range [{offset}, {offset}+{len}) out of segment of length {seg_len}"
+    );
+    let phys_start = base_addr + offset as u64;
+
+    let as_is = TransferPlan {
+        strategy: TransferStrategy::AsIs,
+        offset,
+        len,
+    };
+    if len <= 16 {
+        return as_is;
+    }
+    if len <= 32 && touches_last_word(phys_start, len) {
+        // The sixteenth word of a buffer is written: the card flushes
+        // eagerly, so the unwidened store is already efficient.
+        return as_is;
+    }
+
+    // Widen to whole 64-byte chunks, clamped to the segment.
+    let phys_end = phys_start + len as u64;
+    let aligned_start = phys_start & !(BUFFER_SIZE as u64 - 1);
+    let aligned_end = (phys_end + BUFFER_SIZE as u64 - 1) & !(BUFFER_SIZE as u64 - 1);
+    let new_offset = aligned_start.saturating_sub(base_addr) as usize;
+    let new_end = ((aligned_end - base_addr) as usize).min(seg_len);
+    TransferPlan {
+        strategy: TransferStrategy::Aligned,
+        offset: new_offset,
+        len: new_end - new_offset,
+    }
+}
+
+/// Pushes the logical update `[offset, offset+len)` of a mirrored segment
+/// to the remote node using the optimised transfer plan.
+///
+/// `local` must be the byte-exact local image of the **whole** segment:
+/// when the plan widens the store, the extra bytes are sourced from
+/// `local`, which is correct precisely because mirror and local image agree
+/// outside the updated range.
+///
+/// Returns the plan that was used.
+///
+/// # Errors
+///
+/// Propagates remote-write failures.
+///
+/// # Panics
+///
+/// Panics if `local` is shorter than the segment range implied by the plan
+/// or if the logical range is out of bounds.
+pub fn mirror_copy<M: RemoteMemory + ?Sized>(
+    remote: &mut M,
+    seg: SegmentId,
+    base_addr: u64,
+    local: &[u8],
+    offset: usize,
+    len: usize,
+) -> Result<TransferPlan, RnError> {
+    let plan = plan_transfer(base_addr, offset, len, local.len());
+    remote.remote_write(seg, plan.offset, &local[plan.offset..plan.offset + plan.len])?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRemote;
+
+    #[test]
+    fn small_stores_go_as_is() {
+        for len in [1, 4, 8, 15, 16] {
+            let p = plan_transfer(0, 100, len, 4096);
+            assert_eq!(p.strategy, TransferStrategy::AsIs, "len={len}");
+            assert_eq!((p.offset, p.len), (100, len));
+        }
+    }
+
+    #[test]
+    fn large_stores_are_widened_to_chunks() {
+        let p = plan_transfer(0, 100, 33, 4096);
+        assert_eq!(p.strategy, TransferStrategy::Aligned);
+        assert_eq!(p.offset % 64, 0);
+        assert_eq!(p.len % 64, 0);
+        assert!(p.offset <= 100 && p.offset + p.len >= 133);
+    }
+
+    #[test]
+    fn midsize_touching_last_word_stays_as_is() {
+        // Offset 50, len 20 covers bytes 50..70: includes bytes 60..64,
+        // the last word of chunk 0.
+        let p = plan_transfer(0, 50, 20, 4096);
+        assert_eq!(p.strategy, TransferStrategy::AsIs);
+    }
+
+    #[test]
+    fn midsize_not_touching_last_word_is_widened() {
+        // Offset 4, len 20 covers bytes 4..24 of chunk 0: no last word.
+        let p = plan_transfer(0, 4, 20, 4096);
+        assert_eq!(p.strategy, TransferStrategy::Aligned);
+        assert_eq!((p.offset, p.len), (0, 64));
+    }
+
+    #[test]
+    fn widening_clamps_to_segment_end() {
+        let p = plan_transfer(0, 100 - 40, 40, 100);
+        assert_eq!(p.strategy, TransferStrategy::Aligned);
+        assert_eq!(p.offset, 0);
+        assert_eq!(p.offset + p.len, 100);
+    }
+
+    #[test]
+    fn unaligned_base_is_respected() {
+        // Physical base 64-aligned segments are the norm, but the plan must
+        // be correct for any base.
+        let p = plan_transfer(64, 10, 100, 4096);
+        // Physical range 74..174 -> aligned 64..192 -> offsets 0..128.
+        assert_eq!((p.offset, p.len), (0, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of segment")]
+    fn out_of_range_panics() {
+        let _ = plan_transfer(0, 90, 20, 100);
+    }
+
+    #[test]
+    fn touches_last_word_detection() {
+        assert!(touches_last_word(60, 4));
+        assert!(touches_last_word(56, 8));
+        assert!(!touches_last_word(0, 60));
+        assert!(touches_last_word(0, 61));
+        assert!(touches_last_word(30, 100)); // spans chunk 0's last word
+        assert!(!touches_last_word(64, 16));
+    }
+
+    #[test]
+    fn mirror_copy_preserves_byte_equality() {
+        let mut remote = SimRemote::new("m");
+        let seg = remote.remote_malloc(256, 0).unwrap();
+        let mut local = vec![0u8; 256];
+        // Establish the mirror.
+        remote.remote_write(seg.id, 0, &local).unwrap();
+
+        // Update bytes 70..170 locally, then mirror-copy only that range.
+        for (i, b) in local.iter_mut().enumerate().take(170).skip(70) {
+            *b = i as u8;
+        }
+        let plan =
+            mirror_copy(&mut remote, seg.id, seg.base_addr, &local, 70, 100).unwrap();
+        assert_eq!(plan.strategy, TransferStrategy::Aligned);
+
+        let mut got = vec![0u8; 256];
+        remote.remote_read(seg.id, 0, &mut got).unwrap();
+        assert_eq!(got, local);
+    }
+
+    #[test]
+    fn mirror_copy_small_update() {
+        let mut remote = SimRemote::new("m");
+        let seg = remote.remote_malloc(64, 0).unwrap();
+        let mut local = vec![0u8; 64];
+        remote.remote_write(seg.id, 0, &local).unwrap();
+        local[10] = 9;
+        let plan = mirror_copy(&mut remote, seg.id, seg.base_addr, &local, 10, 1).unwrap();
+        assert_eq!(plan.strategy, TransferStrategy::AsIs);
+        let mut got = vec![0u8; 64];
+        remote.remote_read(seg.id, 0, &mut got).unwrap();
+        assert_eq!(got, local);
+    }
+}

@@ -1,0 +1,403 @@
+//! Wire protocol of the TCP network-RAM backend.
+//!
+//! Frames are length-prefixed and CRC-protected:
+//!
+//! ```text
+//! +----------------+----------------------+----------------+
+//! | body_len: u32  | body (op + payload)  | crc32 of body  |
+//! +----------------+----------------------+----------------+
+//! ```
+//!
+//! All integers are little-endian. The CRC is the IEEE 802.3 CRC-32.
+
+use std::io::{Read, Write};
+
+use crate::RnError;
+
+/// Upper bound on a frame body; a malloc of the node's whole 64 MB plus
+/// slack.
+pub const MAX_FRAME: usize = 96 << 20;
+
+/// Requests a client may send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Allocate `len` bytes tagged `tag`.
+    Malloc { len: u64, tag: u64 },
+    /// Free a segment.
+    Free { seg: u64 },
+    /// Write `data` at `offset` of `seg`.
+    Write { seg: u64, offset: u64, data: Vec<u8> },
+    /// Read `len` bytes at `offset` of `seg`.
+    Read { seg: u64, offset: u64, len: u64 },
+    /// Find a segment by tag (recovery).
+    Connect { tag: u64 },
+    /// Fetch metadata of a segment.
+    Info { seg: u64 },
+    /// Ask the server for its node name.
+    Name,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to stop accepting connections.
+    Shutdown,
+}
+
+/// Responses the server returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Generic success.
+    Ok,
+    /// Segment metadata (for malloc/connect/info).
+    Segment {
+        /// Raw segment id.
+        seg: u64,
+        /// Segment length in bytes.
+        len: u64,
+        /// Client tag.
+        tag: u64,
+        /// Base physical address on the server.
+        base_addr: u64,
+    },
+    /// Read payload.
+    Data(Vec<u8>),
+    /// The server's node name.
+    Name(String),
+    /// Request refused; human-readable reason.
+    Err(String),
+}
+
+const OP_MALLOC: u8 = 1;
+const OP_FREE: u8 = 2;
+const OP_WRITE: u8 = 3;
+const OP_READ: u8 = 4;
+const OP_CONNECT: u8 = 5;
+const OP_INFO: u8 = 6;
+const OP_NAME: u8 = 7;
+const OP_PING: u8 = 8;
+const OP_SHUTDOWN: u8 = 9;
+
+const RE_OK: u8 = 128;
+const RE_SEGMENT: u8 = 129;
+const RE_DATA: u8 = 130;
+const RE_NAME: u8 = 131;
+const RE_ERR: u8 = 132;
+
+/// Computes the IEEE CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, RnError> {
+    let end = *pos + 8;
+    let bytes = buf
+        .get(*pos..end)
+        .ok_or_else(|| RnError::Protocol("truncated integer".into()))?;
+    *pos = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+impl Request {
+    /// Serializes the request into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Malloc { len, tag } => {
+                out.push(OP_MALLOC);
+                put_u64(&mut out, *len);
+                put_u64(&mut out, *tag);
+            }
+            Request::Free { seg } => {
+                out.push(OP_FREE);
+                put_u64(&mut out, *seg);
+            }
+            Request::Write { seg, offset, data } => {
+                out.push(OP_WRITE);
+                put_u64(&mut out, *seg);
+                put_u64(&mut out, *offset);
+                out.extend_from_slice(data);
+            }
+            Request::Read { seg, offset, len } => {
+                out.push(OP_READ);
+                put_u64(&mut out, *seg);
+                put_u64(&mut out, *offset);
+                put_u64(&mut out, *len);
+            }
+            Request::Connect { tag } => {
+                out.push(OP_CONNECT);
+                put_u64(&mut out, *tag);
+            }
+            Request::Info { seg } => {
+                out.push(OP_INFO);
+                put_u64(&mut out, *seg);
+            }
+            Request::Name => out.push(OP_NAME),
+            Request::Ping => out.push(OP_PING),
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Parses a frame body into a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnError::Protocol`] on malformed input.
+    pub fn decode(body: &[u8]) -> Result<Request, RnError> {
+        let (&op, rest) = body
+            .split_first()
+            .ok_or_else(|| RnError::Protocol("empty frame".into()))?;
+        let mut pos = 0;
+        let req = match op {
+            OP_MALLOC => Request::Malloc {
+                len: get_u64(rest, &mut pos)?,
+                tag: get_u64(rest, &mut pos)?,
+            },
+            OP_FREE => Request::Free {
+                seg: get_u64(rest, &mut pos)?,
+            },
+            OP_WRITE => {
+                let seg = get_u64(rest, &mut pos)?;
+                let offset = get_u64(rest, &mut pos)?;
+                Request::Write {
+                    seg,
+                    offset,
+                    data: rest[pos..].to_vec(),
+                }
+            }
+            OP_READ => Request::Read {
+                seg: get_u64(rest, &mut pos)?,
+                offset: get_u64(rest, &mut pos)?,
+                len: get_u64(rest, &mut pos)?,
+            },
+            OP_CONNECT => Request::Connect {
+                tag: get_u64(rest, &mut pos)?,
+            },
+            OP_INFO => Request::Info {
+                seg: get_u64(rest, &mut pos)?,
+            },
+            OP_NAME => Request::Name,
+            OP_PING => Request::Ping,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(RnError::Protocol(format!("unknown opcode {other}"))),
+        };
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Ok => out.push(RE_OK),
+            Response::Segment {
+                seg,
+                len,
+                tag,
+                base_addr,
+            } => {
+                out.push(RE_SEGMENT);
+                put_u64(&mut out, *seg);
+                put_u64(&mut out, *len);
+                put_u64(&mut out, *tag);
+                put_u64(&mut out, *base_addr);
+            }
+            Response::Data(d) => {
+                out.push(RE_DATA);
+                out.extend_from_slice(d);
+            }
+            Response::Name(n) => {
+                out.push(RE_NAME);
+                out.extend_from_slice(n.as_bytes());
+            }
+            Response::Err(m) => {
+                out.push(RE_ERR);
+                out.extend_from_slice(m.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a frame body into a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnError::Protocol`] on malformed input.
+    pub fn decode(body: &[u8]) -> Result<Response, RnError> {
+        let (&op, rest) = body
+            .split_first()
+            .ok_or_else(|| RnError::Protocol("empty frame".into()))?;
+        let mut pos = 0;
+        let resp = match op {
+            RE_OK => Response::Ok,
+            RE_SEGMENT => Response::Segment {
+                seg: get_u64(rest, &mut pos)?,
+                len: get_u64(rest, &mut pos)?,
+                tag: get_u64(rest, &mut pos)?,
+                base_addr: get_u64(rest, &mut pos)?,
+            },
+            RE_DATA => Response::Data(rest.to_vec()),
+            RE_NAME => Response::Name(
+                String::from_utf8(rest.to_vec())
+                    .map_err(|_| RnError::Protocol("name not UTF-8".into()))?,
+            ),
+            RE_ERR => Response::Err(
+                String::from_utf8(rest.to_vec())
+                    .map_err(|_| RnError::Protocol("error message not UTF-8".into()))?,
+            ),
+            other => return Err(RnError::Protocol(format!("unknown response tag {other}"))),
+        };
+        Ok(resp)
+    }
+}
+
+/// Writes one frame (length prefix + body + CRC).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<(), RnError> {
+    let len = body.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.write_all(&crc32(body).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, verifying length bounds and CRC.
+///
+/// # Errors
+///
+/// Returns [`RnError::Protocol`] on oversized frames or CRC mismatch, and
+/// propagates socket errors.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, RnError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(RnError::Protocol(format!("frame of {len} bytes too large")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    if u32::from_le_bytes(crc_buf) != crc32(&body) {
+        return Err(RnError::Protocol("CRC mismatch".into()));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = [
+            Request::Malloc { len: 10, tag: 3 },
+            Request::Free { seg: 7 },
+            Request::Write {
+                seg: 1,
+                offset: 5,
+                data: vec![1, 2, 3],
+            },
+            Request::Read {
+                seg: 2,
+                offset: 0,
+                len: 9,
+            },
+            Request::Connect { tag: 11 },
+            Request::Info { seg: 4 },
+            Request::Name,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = [
+            Response::Ok,
+            Response::Segment {
+                seg: 1,
+                len: 2,
+                tag: 3,
+                base_addr: 64,
+            },
+            Response::Data(vec![9; 100]),
+            Response::Name("node".into()),
+            Response::Err("nope".into()),
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn empty_write_data_roundtrips() {
+        let r = Request::Write {
+            seg: 1,
+            offset: 0,
+            data: vec![],
+        };
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[255]).is_err());
+        assert!(Response::decode(&[0]).is_err());
+        // Truncated integer payload.
+        assert!(Request::decode(&[OP_MALLOC, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_detect_corruption() {
+        let body = Request::Ping.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let got = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(got, body);
+
+        // Flip a payload bit: CRC must catch it.
+        let mut bad = wire.clone();
+        bad[4] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(RnError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(RnError::Protocol(_))
+        ));
+    }
+}

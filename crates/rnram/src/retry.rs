@@ -1,0 +1,182 @@
+//! Automatic reconnection for TCP-backed deployments.
+//!
+//! A transient network blip between the primary and its mirror should not
+//! force a full database recovery. [`ReconnectingRemote`] wraps
+//! [`TcpRemote`] and transparently re-dials the server when a socket-level
+//! failure occurs, retrying the operation a bounded number of times.
+//!
+//! Only *connection* failures are retried. Remote refusals (bad segment,
+//! out of bounds, unknown tag) are real answers and pass straight
+//! through; and because every PERSEAS remote write is idempotent (it
+//! writes bytes at an absolute offset), retrying a possibly-delivered
+//! write is safe.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use perseas_sci::SegmentId;
+
+use crate::{RemoteMemory, RemoteSegment, RnError, TcpRemote};
+
+/// A [`TcpRemote`] that re-dials the server on socket failures.
+#[derive(Debug)]
+pub struct ReconnectingRemote {
+    addr: SocketAddr,
+    inner: Option<TcpRemote>,
+    max_attempts: usize,
+}
+
+impl ReconnectingRemote {
+    /// Connects to `addr`, retrying each future operation up to
+    /// `max_attempts` times across reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the initial connection cannot be established.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn connect(addr: impl ToSocketAddrs, max_attempts: usize) -> Result<Self, RnError> {
+        assert!(max_attempts > 0, "at least one attempt is required");
+        let inner = TcpRemote::connect(&addr)?;
+        let addr = inner.peer_addr();
+        Ok(ReconnectingRemote {
+            addr,
+            inner: Some(inner),
+            max_attempts,
+        })
+    }
+
+    /// The server address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn with_conn<T>(
+        &mut self,
+        mut op: impl FnMut(&mut TcpRemote) -> Result<T, RnError>,
+    ) -> Result<T, RnError> {
+        let mut last_err: Option<RnError> = None;
+        for _ in 0..self.max_attempts {
+            if self.inner.is_none() {
+                match TcpRemote::connect(self.addr) {
+                    Ok(c) => self.inner = Some(c),
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            }
+            let conn = self.inner.as_mut().expect("present");
+            match op(conn) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_unavailable() => {
+                    // The socket is suspect: drop it and re-dial.
+                    self.inner = None;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| RnError::Protocol("no attempts made".into())))
+    }
+}
+
+impl RemoteMemory for ReconnectingRemote {
+    fn remote_malloc(&mut self, len: usize, tag: u64) -> Result<RemoteSegment, RnError> {
+        self.with_conn(|c| c.remote_malloc(len, tag))
+    }
+
+    fn remote_free(&mut self, seg: SegmentId) -> Result<(), RnError> {
+        self.with_conn(|c| c.remote_free(seg))
+    }
+
+    fn remote_write(&mut self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<(), RnError> {
+        self.with_conn(|c| c.remote_write(seg, offset, data))
+    }
+
+    fn remote_read(
+        &mut self,
+        seg: SegmentId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), RnError> {
+        self.with_conn(|c| c.remote_read(seg, offset, buf))
+    }
+
+    fn connect_segment(&mut self, tag: u64) -> Result<RemoteSegment, RnError> {
+        self.with_conn(|c| c.connect_segment(tag))
+    }
+
+    fn segment_info(&mut self, seg: SegmentId) -> Result<RemoteSegment, RnError> {
+        self.with_conn(|c| c.segment_info(seg))
+    }
+
+    fn node_name(&self) -> String {
+        self.inner
+            .as_ref()
+            .map(|c| c.node_name())
+            .unwrap_or_else(|| format!("tcp://{}", self.addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+
+    #[test]
+    fn survives_a_server_restart_on_the_same_port() {
+        let server = Server::bind("blinky", "127.0.0.1:0").unwrap().start();
+        let node = server.node().clone();
+        let addr = server.addr();
+
+        let mut r = ReconnectingRemote::connect(addr, 5).unwrap();
+        let seg = r.remote_malloc(16, 1).unwrap();
+        r.remote_write(seg.id, 0, &[1; 8]).unwrap();
+
+        // The server process restarts on the same port with the same
+        // exported memory.
+        server.shutdown();
+        let server2 = Server::with_node(node, addr).unwrap().start();
+
+        // The wrapped client re-dials transparently.
+        r.remote_write(seg.id, 8, &[2; 8]).unwrap();
+        let mut buf = [0u8; 16];
+        r.remote_read(seg.id, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..8], &[1; 8]);
+        assert_eq!(&buf[8..], &[2; 8]);
+        server2.shutdown();
+    }
+
+    #[test]
+    fn remote_refusals_are_not_retried() {
+        let server = Server::bind("r", "127.0.0.1:0").unwrap().start();
+        let mut r = ReconnectingRemote::connect(server.addr(), 3).unwrap();
+        let seg = r.remote_malloc(8, 0).unwrap();
+        // Out-of-bounds is a real answer, not a transport failure.
+        let err = r.remote_write(seg.id, 6, &[0; 8]).unwrap_err();
+        assert!(matches!(err, RnError::Remote(_)));
+        // Connection is still the original one and healthy.
+        r.remote_write(seg.id, 0, &[1; 4]).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let server = Server::bind("gone", "127.0.0.1:0").unwrap().start();
+        let addr = server.addr();
+        let mut r = ReconnectingRemote::connect(addr, 2).unwrap();
+        server.shutdown(); // nobody listening any more
+        let err = r.remote_malloc(8, 0).unwrap_err();
+        assert!(err.is_unavailable(), "{err}");
+        assert_eq!(r.peer_addr(), addr);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        let server = Server::bind("z", "127.0.0.1:0").unwrap().start();
+        let _ = ReconnectingRemote::connect(server.addr(), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! The network-RAM server: the process that *exports* its memory.
+//!
+//! The paper's server process "runs in the remote node and is responsible
+//! for accepting requests (remote malloc and free) and manipulating its
+//! main memory (exporting physical memory segments and freeing them when
+//! necessary)". This module is the TCP incarnation of that process; segment
+//! bookkeeping is shared with the simulated backend through
+//! [`NodeMemory`].
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use perseas_sci::{NodeMemory, SciError, SegmentId};
+
+use crate::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
+use crate::RnError;
+
+/// A running network-RAM server.
+///
+/// Dropping the handle keeps the server running until the process exits;
+/// call [`ServerHandle::shutdown`] for an orderly stop.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_rnram::{server::Server, RemoteMemory, TcpRemote};
+///
+/// # fn main() -> Result<(), perseas_rnram::RnError> {
+/// let server = Server::bind("mirror", "127.0.0.1:0")?.start();
+/// let mut client = TcpRemote::connect(server.addr())?;
+/// let seg = client.remote_malloc(64, 1)?;
+/// client.remote_write(seg.id, 0, b"over the wire")?;
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    node: NodeMemory,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+/// Handle to a server running on background threads.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    node: NodeMemory,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds a server named `name` to `addr` (use port 0 for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(name: impl Into<String>, addr: impl ToSocketAddrs) -> Result<Server, RnError> {
+        Server::with_node(NodeMemory::new(name), addr)
+    }
+
+    /// Binds a server exporting an existing [`NodeMemory`] — lets tests and
+    /// the availability example pre-populate or share the exported memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn with_node(node: NodeMemory, addr: impl ToSocketAddrs) -> Result<Server, RnError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            node,
+            listener,
+            addr,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The exported memory.
+    pub fn node(&self) -> &NodeMemory {
+        &self.node
+    }
+
+    /// Starts accepting connections on background threads (one per client,
+    /// mirroring the paper's blocking request/response model).
+    pub fn start(self) -> ServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let node = self.node.clone();
+        let listener = self.listener;
+        let addr = self.addr;
+        let stop2 = stop.clone();
+        let accept_thread = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let node = node.clone();
+                        let stop = stop2.clone();
+                        thread::spawn(move || {
+                            let _ = serve_connection(stream, &node, &stop);
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        ServerHandle {
+            addr,
+            node: self.node,
+            stop,
+            accept_thread: Some(accept_thread),
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The exported memory (inspectable from tests).
+    pub fn node(&self) -> &NodeMemory {
+        &self.node
+    }
+
+    /// Stops accepting connections and joins the accept thread. Established
+    /// connections finish their current request.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn sci_error_msg(e: &SciError) -> String {
+    e.to_string()
+}
+
+/// Serves one client connection until EOF or shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    node: &NodeMemory,
+    stop: &AtomicBool,
+) -> Result<(), RnError> {
+    stream.set_nodelay(true)?;
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(b) => b,
+            Err(RnError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let resp = match Request::decode(&body) {
+            Err(e) => Response::Err(e.to_string()),
+            Ok(req) => handle_request(req, node, stop),
+        };
+        write_frame(&mut stream, &resp.encode())?;
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(req: Request, node: &NodeMemory, stop: &AtomicBool) -> Response {
+    match req {
+        Request::Malloc { len, tag } => match node.export_segment(len as usize, tag) {
+            Ok(id) => segment_response(node, id),
+            Err(e) => Response::Err(sci_error_msg(&e)),
+        },
+        Request::Free { seg } => match node.free_segment(SegmentId::from_raw(seg)) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Err(sci_error_msg(&e)),
+        },
+        Request::Write { seg, offset, data } => {
+            match node.write(SegmentId::from_raw(seg), offset as usize, &data) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(sci_error_msg(&e)),
+            }
+        }
+        Request::Read { seg, offset, len } => {
+            // Bound the allocation before trusting the wire: a hostile or
+            // corrupt length must not abort the server.
+            if len > MAX_FRAME as u64 {
+                return Response::Err(format!("read of {len} bytes exceeds frame limit"));
+            }
+            let mut buf = vec![0u8; len as usize];
+            match node.read(SegmentId::from_raw(seg), offset as usize, &mut buf) {
+                Ok(()) => Response::Data(buf),
+                Err(e) => Response::Err(sci_error_msg(&e)),
+            }
+        }
+        Request::Connect { tag } => match node.find_by_tag(tag) {
+            Some(info) => segment_response(node, info.id),
+            None => Response::Err(format!("no segment with tag {tag}")),
+        },
+        Request::Info { seg } => segment_response(node, SegmentId::from_raw(seg)),
+        Request::Name => Response::Name(node.name()),
+        Request::Ping => Response::Ok,
+        Request::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            Response::Ok
+        }
+    }
+}
+
+fn segment_response(node: &NodeMemory, id: SegmentId) -> Response {
+    match node.segment_info(id) {
+        Ok(info) => Response::Segment {
+            seg: info.id.as_raw(),
+            len: info.len as u64,
+            tag: info.tag,
+            base_addr: info.base_addr,
+        },
+        Err(e) => Response::Err(sci_error_msg(&e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RemoteMemory, TcpRemote};
+
+    #[test]
+    fn server_reports_name_and_serves_requests() {
+        let server = Server::bind("wire-node", "127.0.0.1:0").unwrap().start();
+        let mut c = TcpRemote::connect(server.addr()).unwrap();
+        assert_eq!(c.fetch_name().unwrap(), "wire-node");
+        let seg = c.remote_malloc(128, 5).unwrap();
+        c.remote_write(seg.id, 3, &[7, 8, 9]).unwrap();
+        let mut buf = [0u8; 3];
+        c.remote_read(seg.id, 3, &mut buf).unwrap();
+        assert_eq!(buf, [7, 8, 9]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_clients_share_the_node() {
+        let server = Server::bind("shared", "127.0.0.1:0").unwrap().start();
+        let mut a = TcpRemote::connect(server.addr()).unwrap();
+        let mut b = TcpRemote::connect(server.addr()).unwrap();
+        let seg = a.remote_malloc(16, 9).unwrap();
+        a.remote_write(seg.id, 0, b"hello").unwrap();
+        // Client b reconnects by tag — the availability scenario.
+        let found = b.connect_segment(9).unwrap();
+        let mut buf = [0u8; 5];
+        b.remote_read(found.id, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_are_reported() {
+        let server = Server::bind("err", "127.0.0.1:0").unwrap().start();
+        let mut c = TcpRemote::connect(server.addr()).unwrap();
+        let seg = c.remote_malloc(8, 0).unwrap();
+        let err = c.remote_write(seg.id, 6, &[0; 8]).unwrap_err();
+        assert!(matches!(err, RnError::Remote(_)));
+        let err = c.connect_segment(404).unwrap_err();
+        assert!(matches!(err, RnError::TagNotFound(404)));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,232 @@
+//! TCP client backend: network RAM on a genuinely separate process.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+use perseas_sci::SegmentId;
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::{RemoteMemory, RemoteSegment, RnError};
+
+/// A [`RemoteMemory`] that talks to a [`crate::server::Server`] over TCP.
+///
+/// Latency here is real wall-clock network latency; use this backend for
+/// actual deployments and the two-process examples, and [`crate::SimRemote`]
+/// for reproducing the paper's virtual-time figures.
+#[derive(Debug)]
+pub struct TcpRemote {
+    stream: TcpStream,
+    peer: SocketAddr,
+    cached_name: Option<String>,
+}
+
+impl TcpRemote {
+    /// Connects to a network-RAM server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpRemote, RnError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        Ok(TcpRemote {
+            stream,
+            peer,
+            cached_name: None,
+        })
+    }
+
+    /// The server address this client is connected to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Sends a liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is unreachable.
+    pub fn ping(&mut self) -> Result<(), RnError> {
+        match self.call(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to stop accepting new connections.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is unreachable.
+    pub fn shutdown_server(&mut self) -> Result<(), RnError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, RnError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let body = read_frame(&mut self.stream)?;
+        Response::decode(&body)
+    }
+
+    fn expect_segment(&mut self, req: &Request) -> Result<RemoteSegment, RnError> {
+        match self.call(req)? {
+            Response::Segment {
+                seg,
+                len,
+                tag,
+                base_addr,
+            } => Ok(RemoteSegment {
+                id: SegmentId::from_raw(seg),
+                len: len as usize,
+                tag,
+                base_addr,
+            }),
+            Response::Err(m) => Err(RnError::Remote(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> RnError {
+    RnError::Protocol(format!("unexpected response: {resp:?}"))
+}
+
+impl RemoteMemory for TcpRemote {
+    fn remote_malloc(&mut self, len: usize, tag: u64) -> Result<RemoteSegment, RnError> {
+        self.expect_segment(&Request::Malloc {
+            len: len as u64,
+            tag,
+        })
+    }
+
+    fn remote_free(&mut self, seg: SegmentId) -> Result<(), RnError> {
+        match self.call(&Request::Free { seg: seg.as_raw() })? {
+            Response::Ok => Ok(()),
+            Response::Err(m) => Err(RnError::Remote(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn remote_write(&mut self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<(), RnError> {
+        match self.call(&Request::Write {
+            seg: seg.as_raw(),
+            offset: offset as u64,
+            data: data.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Err(m) => Err(RnError::Remote(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn remote_read(
+        &mut self,
+        seg: SegmentId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), RnError> {
+        match self.call(&Request::Read {
+            seg: seg.as_raw(),
+            offset: offset as u64,
+            len: buf.len() as u64,
+        })? {
+            Response::Data(d) if d.len() == buf.len() => {
+                buf.copy_from_slice(&d);
+                Ok(())
+            }
+            Response::Data(d) => Err(RnError::Protocol(format!(
+                "short read: wanted {} bytes, got {}",
+                buf.len(),
+                d.len()
+            ))),
+            Response::Err(m) => Err(RnError::Remote(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn connect_segment(&mut self, tag: u64) -> Result<RemoteSegment, RnError> {
+        self.expect_segment(&Request::Connect { tag })
+            .map_err(|e| match e {
+                RnError::Remote(_) => RnError::TagNotFound(tag),
+                other => other,
+            })
+    }
+
+    fn segment_info(&mut self, seg: SegmentId) -> Result<RemoteSegment, RnError> {
+        self.expect_segment(&Request::Info { seg: seg.as_raw() })
+    }
+
+    fn node_name(&self) -> String {
+        self.cached_name.clone().unwrap_or_else(|| {
+            format!("tcp://{}", self.peer)
+        })
+    }
+}
+
+impl TcpRemote {
+    /// Fetches and caches the server's node name.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is unreachable.
+    pub fn fetch_name(&mut self) -> Result<String, RnError> {
+        match self.call(&Request::Name)? {
+            Response::Name(n) => {
+                self.cached_name = Some(n.clone());
+                Ok(n)
+            }
+            Response::Err(m) => Err(RnError::Remote(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+
+    #[test]
+    fn ping_and_name() {
+        let server = Server::bind("pinger", "127.0.0.1:0").unwrap().start();
+        let mut c = TcpRemote::connect(server.addr()).unwrap();
+        c.ping().unwrap();
+        assert_eq!(c.fetch_name().unwrap(), "pinger");
+        assert_eq!(c.node_name(), "pinger");
+        server.shutdown();
+    }
+
+    #[test]
+    fn node_name_falls_back_to_address() {
+        let server = Server::bind("x", "127.0.0.1:0").unwrap().start();
+        let c = TcpRemote::connect(server.addr()).unwrap();
+        assert!(c.node_name().starts_with("tcp://127.0.0.1"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn large_transfer_roundtrips() {
+        let server = Server::bind("big", "127.0.0.1:0").unwrap().start();
+        let mut c = TcpRemote::connect(server.addr()).unwrap();
+        let seg = c.remote_malloc(1 << 20, 0).unwrap();
+        let data: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+        c.remote_write(seg.id, 0, &data).unwrap();
+        let mut back = vec![0u8; 1 << 20];
+        c.remote_read(seg.id, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+        server.shutdown();
+    }
+
+    #[test]
+    fn free_round_trips_errors() {
+        let server = Server::bind("f", "127.0.0.1:0").unwrap().start();
+        let mut c = TcpRemote::connect(server.addr()).unwrap();
+        let seg = c.remote_malloc(8, 0).unwrap();
+        c.remote_free(seg.id).unwrap();
+        assert!(matches!(c.remote_free(seg.id), Err(RnError::Remote(_))));
+        server.shutdown();
+    }
+}

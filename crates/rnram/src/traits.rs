@@ -1,0 +1,117 @@
+//! The client-side interface to a remote node's memory.
+
+use serde::{Deserialize, Serialize};
+
+use perseas_sci::{SegmentId, SegmentInfo};
+
+use crate::RnError;
+
+/// A remote memory segment as seen by the client after `remote_malloc` or
+/// `connect_segment` (the paper's mapping of remote physical memory into
+/// the local virtual address space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteSegment {
+    /// Identifier used in subsequent operations.
+    pub id: SegmentId,
+    /// Length in bytes.
+    pub len: usize,
+    /// The client-chosen tag (recovery handle).
+    pub tag: u64,
+    /// Base "physical" address on the remote node; determines SCI buffer
+    /// alignment and therefore write latency.
+    pub base_addr: u64,
+}
+
+impl From<SegmentInfo> for RemoteSegment {
+    fn from(i: SegmentInfo) -> Self {
+        RemoteSegment {
+            id: i.id,
+            len: i.len,
+            tag: i.tag,
+            base_addr: i.base_addr,
+        }
+    }
+}
+
+/// The reliable-network-RAM operations of the paper, Section 3:
+/// remote malloc, remote free, remote memory copy (split into its write and
+/// read directions), plus the recovery-time `sci_connect_segment`.
+///
+/// Implementations: [`crate::SimRemote`] (simulated SCI, virtual time) and
+/// [`crate::TcpRemote`] (real sockets).
+pub trait RemoteMemory: Send {
+    /// Allocates a zero-filled remote segment of `len` bytes, tagging it
+    /// with `tag` so it can be found again after a local crash.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the remote node is out of memory or unreachable.
+    fn remote_malloc(&mut self, len: usize, tag: u64) -> Result<RemoteSegment, RnError>;
+
+    /// Releases remote segment `seg`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the segment is unknown or the node is unreachable.
+    fn remote_free(&mut self, seg: SegmentId) -> Result<(), RnError>;
+
+    /// Copies `data` into the remote segment at `offset` (local → remote
+    /// direction of the paper's *remote memory copy*).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds violations or if the node is unreachable; on a cut
+    /// link a prefix of the data may have been delivered.
+    fn remote_write(&mut self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<(), RnError>;
+
+    /// Copies remote bytes at `offset` into `buf` (remote → local).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds violations or if the node is unreachable.
+    fn remote_read(&mut self, seg: SegmentId, offset: usize, buf: &mut [u8])
+        -> Result<(), RnError>;
+
+    /// Re-maps an existing remote segment by tag after a local crash
+    /// (the paper's `sci_connect_segment`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnError::TagNotFound`] if no segment carries `tag`.
+    fn connect_segment(&mut self, tag: u64) -> Result<RemoteSegment, RnError>;
+
+    /// Metadata for a known segment.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the segment does not exist.
+    fn segment_info(&mut self, seg: SegmentId) -> Result<RemoteSegment, RnError>;
+
+    /// Human-readable name of the remote node (for diagnostics).
+    fn node_name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_segment_from_info() {
+        let info = SegmentInfo {
+            id: SegmentId::from_raw(4),
+            len: 128,
+            tag: 9,
+            base_addr: 640,
+        };
+        let seg = RemoteSegment::from(info);
+        assert_eq!(seg.id, SegmentId::from_raw(4));
+        assert_eq!(seg.len, 128);
+        assert_eq!(seg.tag, 9);
+        assert_eq!(seg.base_addr, 640);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_: &mut dyn RemoteMemory) {}
+    }
+}

@@ -1,0 +1,147 @@
+//! The physical-address → SCI-buffer mapping of the paper's Figure 4.
+
+/// Size in bytes of one SCI internal buffer (and of one full SCI packet).
+pub const BUFFER_SIZE: usize = 64;
+
+/// Number of internal write buffers on the PCI-SCI card (eight are used for
+/// writes; another eight serve reads).
+pub const BUFFER_COUNT: usize = 8;
+
+/// Size of the 16-byte lines in which partially filled buffers are flushed.
+pub const LINE_SIZE: usize = 16;
+
+/// Word size of the 32-bit PCI bus.
+pub const WORD_SIZE: usize = 4;
+
+/// Decomposition of a physical address according to the PCI-SCI card:
+/// bits 0–5 give the offset within a 64-byte buffer, bits 6–8 select which
+/// of the eight buffers the address belongs to.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_sci::BufferAddr;
+///
+/// let a = BufferAddr::from_phys(0x1C7);
+/// assert_eq!(a.offset(), 0x07);
+/// assert_eq!(a.buffer(), 0x7);
+/// assert_eq!(a.chunk(), 0x1C0 / 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferAddr {
+    phys: u64,
+}
+
+impl BufferAddr {
+    /// Interprets `phys` as a physical byte address.
+    pub const fn from_phys(phys: u64) -> Self {
+        BufferAddr { phys }
+    }
+
+    /// The raw physical address.
+    pub const fn phys(self) -> u64 {
+        self.phys
+    }
+
+    /// Offset of the address within its 64-byte buffer (bits 0–5).
+    pub const fn offset(self) -> usize {
+        (self.phys & 0x3F) as usize
+    }
+
+    /// Which of the eight internal buffers this address maps to (bits 6–8).
+    pub const fn buffer(self) -> usize {
+        ((self.phys >> 6) & 0x7) as usize
+    }
+
+    /// Index of the 64-byte memory chunk containing the address.
+    pub const fn chunk(self) -> u64 {
+        self.phys / BUFFER_SIZE as u64
+    }
+
+    /// Index of the 16-byte line within the buffer (0–3).
+    pub const fn line(self) -> usize {
+        self.offset() / LINE_SIZE
+    }
+
+    /// Word index within the buffer (0–15).
+    pub const fn word(self) -> usize {
+        self.offset() / WORD_SIZE
+    }
+
+    /// `true` if this address lies in the last (sixteenth) word of its
+    /// buffer — stores touching it are flushed eagerly by the card.
+    pub const fn is_last_word(self) -> bool {
+        self.word() == 15
+    }
+
+    /// The address rounded down to its 64-byte chunk boundary.
+    pub const fn chunk_start(self) -> BufferAddr {
+        BufferAddr {
+            phys: self.phys & !0x3F,
+        }
+    }
+}
+
+/// Rounds `addr` down to a 64-byte boundary.
+pub(crate) const fn align_down(addr: u64) -> u64 {
+    addr & !(BUFFER_SIZE as u64 - 1)
+}
+
+/// Rounds `addr` up to a 64-byte boundary.
+pub(crate) const fn align_up(addr: u64) -> u64 {
+    (addr + BUFFER_SIZE as u64 - 1) & !(BUFFER_SIZE as u64 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction_matches_figure_4() {
+        // Figure 4: bits 0-5 = offset, bits 6-8 = buffer id.
+        let a = BufferAddr::from_phys(0b1_1010_1011);
+        assert_eq!(a.offset(), 0b10_1011);
+        assert_eq!(a.buffer(), 0b110);
+    }
+
+    #[test]
+    fn buffers_wrap_every_512_bytes() {
+        assert_eq!(BufferAddr::from_phys(0).buffer(), 0);
+        assert_eq!(BufferAddr::from_phys(64).buffer(), 1);
+        assert_eq!(BufferAddr::from_phys(64 * 7).buffer(), 7);
+        assert_eq!(BufferAddr::from_phys(64 * 8).buffer(), 0);
+    }
+
+    #[test]
+    fn last_word_detection() {
+        assert!(BufferAddr::from_phys(60).is_last_word());
+        assert!(BufferAddr::from_phys(63).is_last_word());
+        assert!(!BufferAddr::from_phys(59).is_last_word());
+        assert!(BufferAddr::from_phys(64 + 60).is_last_word());
+    }
+
+    #[test]
+    fn lines_and_words() {
+        let a = BufferAddr::from_phys(0x2C); // offset 44
+        assert_eq!(a.line(), 2);
+        assert_eq!(a.word(), 11);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(align_down(0), 0);
+        assert_eq!(align_down(63), 0);
+        assert_eq!(align_down(64), 64);
+        assert_eq!(align_up(0), 0);
+        assert_eq!(align_up(1), 64);
+        assert_eq!(align_up(64), 64);
+        assert_eq!(align_up(65), 128);
+    }
+
+    #[test]
+    fn chunk_start_is_aligned() {
+        let a = BufferAddr::from_phys(130);
+        assert_eq!(a.chunk_start().phys(), 128);
+        assert_eq!(a.chunk(), 2);
+    }
+}

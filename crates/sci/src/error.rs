@@ -1,0 +1,96 @@
+//! Error type for the SCI layer.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::SegmentId;
+
+/// Errors reported by the SCI model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SciError {
+    /// The referenced segment does not exist (never exported, or freed).
+    SegmentNotFound(SegmentId),
+    /// An access fell outside the bounds of a segment.
+    OutOfBounds {
+        /// Segment being accessed.
+        segment: SegmentId,
+        /// Starting offset of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Length of the segment.
+        segment_len: usize,
+    },
+    /// The remote node has no memory left to export.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available on the node.
+        available: usize,
+    },
+    /// The link was cut (fault injection) before the operation completed;
+    /// carries the number of bytes that did reach the remote node.
+    LinkDown {
+        /// Bytes delivered before the cut.
+        delivered: usize,
+    },
+    /// The remote node itself has crashed and lost its memory.
+    NodeCrashed,
+}
+
+impl fmt::Display for SciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SciError::SegmentNotFound(id) => write!(f, "remote segment {id} not found"),
+            SciError::OutOfBounds {
+                segment,
+                offset,
+                len,
+                segment_len,
+            } => write!(
+                f,
+                "access [{offset}, {}) out of bounds for segment {segment} of length {segment_len}",
+                offset + len
+            ),
+            SciError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "remote node out of memory: requested {requested} bytes, {available} available"
+            ),
+            SciError::LinkDown { delivered } => {
+                write!(f, "SCI link down after delivering {delivered} bytes")
+            }
+            SciError::NodeCrashed => write!(f, "remote node crashed"),
+        }
+    }
+}
+
+impl Error for SciError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SciError::OutOfBounds {
+            segment: SegmentId::from_raw(3),
+            offset: 10,
+            len: 20,
+            segment_len: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("[10, 30)"));
+        assert!(s.contains("16"));
+        assert!(!SciError::NodeCrashed.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SciError>();
+    }
+}

@@ -1,0 +1,351 @@
+//! A mapped SCI link from the local process onto a remote node's memory.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use perseas_simtime::{SimClock, SimDuration};
+
+use crate::latency::{remote_read_latency, remote_write_latency, SciParams};
+use crate::node::{NodeMemory, SegmentId};
+use crate::packet::{packetize, PacketKind};
+use crate::SciError;
+
+/// Counters describing traffic on one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Remote write bursts issued.
+    pub writes: u64,
+    /// Remote read operations issued.
+    pub reads: u64,
+    /// Full 64-byte packets transmitted.
+    pub packets64: u64,
+    /// Partial 16-byte packets transmitted.
+    pub packets16: u64,
+    /// Payload bytes of the application actually delivered remotely.
+    pub bytes_written: u64,
+    /// Bytes fetched by remote reads.
+    pub bytes_read: u64,
+}
+
+#[derive(Debug)]
+struct Fault {
+    /// Packets that may still be transmitted before the link is cut;
+    /// `None` means the link is healthy.
+    packets_left: Option<u64>,
+}
+
+/// The local side of a PCI-SCI mapping onto one remote node.
+///
+/// Every remote operation moves real bytes into the [`NodeMemory`] *and*
+/// charges the modelled latency to the shared [`SimClock`]. Fault injection
+/// cuts the link with packet granularity, so a write interrupted by a crash
+/// leaves a realistic torn prefix on the remote node.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::SimClock;
+/// use perseas_sci::{NodeMemory, SciLink, SciParams};
+///
+/// # fn main() -> Result<(), perseas_sci::SciError> {
+/// let clock = SimClock::new();
+/// let node = NodeMemory::new("mirror");
+/// let link = SciLink::new(clock.clone(), node.clone(), SciParams::dolphin_1998());
+/// let seg = node.export_segment(64, 0)?;
+/// link.remote_write(seg, 0, &[7; 64])?;
+/// assert_eq!(link.stats().packets64, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SciLink {
+    clock: SimClock,
+    node: NodeMemory,
+    params: SciParams,
+    stats: Arc<Mutex<LinkStats>>,
+    fault: Arc<Mutex<Fault>>,
+}
+
+impl SciLink {
+    /// Creates a link from the local process onto `node`, charging latency
+    /// to `clock` with the timing model `params`.
+    pub fn new(clock: SimClock, node: NodeMemory, params: SciParams) -> Self {
+        SciLink {
+            clock,
+            node,
+            params,
+            stats: Arc::new(Mutex::new(LinkStats::default())),
+            fault: Arc::new(Mutex::new(Fault { packets_left: None })),
+        }
+    }
+
+    /// The remote node this link maps.
+    pub fn node(&self) -> &NodeMemory {
+        &self.node
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The timing parameters in use.
+    pub fn params(&self) -> &SciParams {
+        &self.params
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> LinkStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = LinkStats::default();
+    }
+
+    /// Arms fault injection: after `n` more packets the link goes down and
+    /// every subsequent operation fails with [`SciError::LinkDown`].
+    pub fn cut_after_packets(&self, n: u64) {
+        self.fault.lock().packets_left = Some(n);
+    }
+
+    /// Heals the link after a fault.
+    pub fn heal(&self) {
+        self.fault.lock().packets_left = None;
+    }
+
+    /// `true` if the link has been cut.
+    pub fn is_down(&self) -> bool {
+        matches!(self.fault.lock().packets_left, Some(0))
+    }
+
+    /// Writes `data` to `offset` within remote segment `seg`.
+    ///
+    /// Advances the virtual clock by the modelled one-way latency of the
+    /// store burst. On an injected fault only the prefix of the burst
+    /// covered by whole transmitted packets is delivered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment errors from the node; returns
+    /// [`SciError::LinkDown`] (with the delivered byte count) if fault
+    /// injection cut the burst.
+    pub fn remote_write(&self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<(), SciError> {
+        let info = self.node.segment_info(seg)?;
+        let start = info.base_addr + offset as u64;
+        let packets = packetize(start, data.len());
+
+        // Decide how many packets make it through under fault injection.
+        let allowed = {
+            let mut f = self.fault.lock();
+            match f.packets_left {
+                None => packets.len(),
+                Some(left) => {
+                    let allowed = (left as usize).min(packets.len());
+                    f.packets_left = Some(left - allowed as u64);
+                    allowed
+                }
+            }
+        };
+
+        let delivered_bytes: usize = packets[..allowed].iter().map(|p| p.store_bytes).sum();
+        // Bytes that reach the wire still pay their latency.
+        if delivered_bytes > 0 {
+            let lat = remote_write_latency(&self.params, start, delivered_bytes);
+            self.clock.advance(lat);
+            self.node.write(seg, offset, &data[..delivered_bytes])?;
+        }
+
+        let mut st = self.stats.lock();
+        st.writes += 1;
+        st.bytes_written += delivered_bytes as u64;
+        for p in &packets[..allowed] {
+            match p.kind {
+                PacketKind::Full64 => st.packets64 += 1,
+                PacketKind::Line16 => st.packets16 += 1,
+            }
+        }
+        drop(st);
+
+        if allowed < packets.len() {
+            Err(SciError::LinkDown {
+                delivered: delivered_bytes,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads `buf.len()` bytes from `offset` within remote segment `seg`.
+    ///
+    /// Remote reads are synchronous round-trips; the clock advances by the
+    /// read latency model. Reads are all-or-nothing: a cut link fails the
+    /// whole read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment errors; returns [`SciError::LinkDown`] if the
+    /// link is cut.
+    pub fn remote_read(
+        &self,
+        seg: SegmentId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), SciError> {
+        if self.is_down() {
+            return Err(SciError::LinkDown { delivered: 0 });
+        }
+        let info = self.node.segment_info(seg)?;
+        let start = info.base_addr + offset as u64;
+        self.node.read(seg, offset, buf)?;
+        self.clock
+            .advance(remote_read_latency(&self.params, start, buf.len()));
+        let mut st = self.stats.lock();
+        st.reads += 1;
+        st.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    /// The modelled latency a write of `len` bytes at `offset` in `seg`
+    /// would incur, without performing it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the segment does not exist.
+    pub fn write_latency(&self, seg: SegmentId, offset: usize, len: usize) -> Result<SimDuration, SciError> {
+        let info = self.node.segment_info(seg)?;
+        Ok(remote_write_latency(
+            &self.params,
+            info.base_addr + offset as u64,
+            len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SimClock, NodeMemory, SciLink) {
+        let clock = SimClock::new();
+        let node = NodeMemory::new("mirror");
+        let link = SciLink::new(clock.clone(), node.clone(), SciParams::dolphin_1998());
+        (clock, node, link)
+    }
+
+    #[test]
+    fn write_moves_bytes_and_time() {
+        let (clock, node, link) = setup();
+        let seg = node.export_segment(64, 0).unwrap();
+        link.remote_write(seg, 0, &[1, 2, 3, 4]).unwrap();
+        let mut b = [0u8; 4];
+        node.read(seg, 0, &mut b).unwrap();
+        assert_eq!(b, [1, 2, 3, 4]);
+        assert_eq!(clock.now().as_nanos(), 2_500);
+    }
+
+    #[test]
+    fn stats_count_packets_by_kind() {
+        let (_, node, link) = setup();
+        let seg = node.export_segment(256, 0).unwrap();
+        link.remote_write(seg, 0, &[0; 200]).unwrap();
+        let st = link.stats();
+        assert_eq!(st.packets64, 3);
+        assert_eq!(st.packets16, 1);
+        assert_eq!(st.bytes_written, 200);
+        link.reset_stats();
+        assert_eq!(link.stats(), LinkStats::default());
+    }
+
+    #[test]
+    fn cut_link_delivers_packet_prefix() {
+        let (_, node, link) = setup();
+        let seg = node.export_segment(256, 0).unwrap();
+        // 200-byte burst = 3 full packets + 1 line packet. Allow 2 packets:
+        // exactly 128 bytes arrive.
+        link.cut_after_packets(2);
+        let err = link.remote_write(seg, 0, &[9; 200]).unwrap_err();
+        assert_eq!(err, SciError::LinkDown { delivered: 128 });
+        let mut buf = [0u8; 200];
+        node.read(seg, 0, &mut buf).unwrap();
+        assert!(buf[..128].iter().all(|&b| b == 9));
+        assert!(buf[128..].iter().all(|&b| b == 0));
+        assert!(link.is_down());
+    }
+
+    #[test]
+    fn healed_link_works_again() {
+        let (_, node, link) = setup();
+        let seg = node.export_segment(64, 0).unwrap();
+        link.cut_after_packets(0);
+        assert!(link.remote_write(seg, 0, &[1]).is_err());
+        link.heal();
+        link.remote_write(seg, 0, &[1]).unwrap();
+    }
+
+    #[test]
+    fn cut_with_zero_budget_delivers_nothing() {
+        let (clock, node, link) = setup();
+        let seg = node.export_segment(64, 0).unwrap();
+        let t0 = clock.now();
+        let err = link.remote_write(seg, 0, &[1; 64]).map(|_| ());
+        assert!(err.is_ok());
+        link.cut_after_packets(0);
+        let err = link.remote_write(seg, 0, &[2; 64]).unwrap_err();
+        assert_eq!(err, SciError::LinkDown { delivered: 0 });
+        // No bytes delivered => no additional latency beyond the first write.
+        let after_first = remote_write_latency(link.params(), 0, 64);
+        assert_eq!(clock.now().duration_since(t0), after_first);
+    }
+
+    #[test]
+    fn remote_read_roundtrip_costs_more_than_write() {
+        let (clock, node, link) = setup();
+        let seg = node.export_segment(64, 0).unwrap();
+        link.remote_write(seg, 0, &[5; 64]).unwrap();
+        let t_after_write = clock.now();
+        let mut buf = [0u8; 64];
+        link.remote_read(seg, 0, &mut buf).unwrap();
+        assert_eq!(buf, [5; 64]);
+        let read_cost = clock.now().duration_since(t_after_write);
+        let write_cost = t_after_write.duration_since(perseas_simtime::SimInstant::ORIGIN);
+        assert!(read_cost > write_cost);
+    }
+
+    #[test]
+    fn write_latency_predicts_actual_charge() {
+        let (clock, node, link) = setup();
+        let seg = node.export_segment(128, 0).unwrap();
+        let predicted = link.write_latency(seg, 8, 100).unwrap();
+        let t0 = clock.now();
+        link.remote_write(seg, 8, &[0; 100]).unwrap();
+        assert_eq!(clock.now().duration_since(t0), predicted);
+    }
+
+    #[test]
+    fn segment_base_alignment_gives_same_latency_for_same_offsets() {
+        // Two segments both start 64-byte aligned, so identical
+        // offset/length pairs cost the same.
+        let (_, node, link) = setup();
+        let a = node.export_segment(128, 0).unwrap();
+        let b = node.export_segment(128, 0).unwrap();
+        assert_eq!(
+            link.write_latency(a, 4, 32).unwrap(),
+            link.write_latency(b, 4, 32).unwrap()
+        );
+    }
+
+    #[test]
+    fn errors_propagate_from_node() {
+        let (_, node, link) = setup();
+        let seg = node.export_segment(8, 0).unwrap();
+        assert!(matches!(
+            link.remote_write(seg, 6, &[0; 8]),
+            Err(SciError::OutOfBounds { .. })
+        ));
+        node.crash();
+        assert_eq!(link.remote_write(seg, 0, &[0]), Err(SciError::NodeCrashed));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the SCI model: packetisation, latency, and node
+//! memory against reference models.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use perseas_sci::{
+    packetize, remote_write_latency, NodeMemory, PacketKind, SciError, SciParams, BUFFER_SIZE,
+};
+
+proptest! {
+    /// Packetisation conserves bytes, orders packets by address, and
+    /// never emits an empty packet.
+    #[test]
+    fn packetize_conserves_and_orders(start in 0u64..10_000, len in 0usize..5_000) {
+        let packets = packetize(start, len);
+        let total: usize = packets.iter().map(|p| p.store_bytes).sum();
+        prop_assert_eq!(total, len);
+        for p in &packets {
+            prop_assert!(p.store_bytes > 0 || len == 0);
+            prop_assert!(p.store_bytes <= p.kind.payload_len());
+        }
+        for w in packets.windows(2) {
+            prop_assert!(
+                (w[0].chunk, w[0].line) < (w[1].chunk, w[1].line)
+                    || (w[0].kind == PacketKind::Full64 && w[0].chunk < w[1].chunk)
+            );
+        }
+    }
+
+    /// A fully covered chunk is always one 64-byte packet; partially
+    /// covered chunks are always 16-byte packets.
+    #[test]
+    fn full_chunks_full_packets(start in 0u64..1_000, len in 1usize..2_000) {
+        for p in packetize(start, len) {
+            let chunk_start = p.chunk * BUFFER_SIZE as u64;
+            let chunk_end = chunk_start + BUFFER_SIZE as u64;
+            let covered = (start.max(chunk_start)..(start + len as u64).min(chunk_end)).count();
+            match p.kind {
+                PacketKind::Full64 => prop_assert_eq!(covered, BUFFER_SIZE),
+                PacketKind::Line16 => prop_assert!(covered < BUFFER_SIZE),
+            }
+        }
+    }
+
+    /// Latency is positive for non-empty stores and non-decreasing in the
+    /// packet count for a fixed start.
+    #[test]
+    fn latency_positive_and_packet_monotone(start in 0u64..512, len in 1usize..2_000) {
+        let p = SciParams::dolphin_1998();
+        let lat = remote_write_latency(&p, start, len);
+        prop_assert!(lat.as_nanos() >= p.base_ns);
+        // Adding 64 bytes can never reduce the packet count, and latency
+        // differences are bounded by one packet + the flush penalty.
+        let bigger = remote_write_latency(&p, start, len + BUFFER_SIZE);
+        prop_assert!(
+            bigger.as_nanos() + p.partial_flush_ns >= lat.as_nanos(),
+            "adding a chunk reduced latency too much"
+        );
+    }
+
+    /// The node memory behaves like a flat map of segments.
+    #[test]
+    fn node_memory_matches_model(ops in prop::collection::vec(
+        (0usize..4, 0usize..64, 0usize..64, any::<u8>()), 1..60))
+    {
+        let node = NodeMemory::with_capacity("prop", 1 << 16);
+        let mut segs = Vec::new();
+        let mut model: HashMap<usize, Vec<u8>> = HashMap::new();
+        for (i, (op, off, len, b)) in ops.into_iter().enumerate() {
+            match op {
+                0 => {
+                    let id = node.export_segment(64, i as u64).unwrap();
+                    segs.push(id);
+                    model.insert(segs.len() - 1, vec![0; 64]);
+                }
+                1 if !segs.is_empty() => {
+                    let idx = i % segs.len();
+                    let end = (off + len.max(1)).min(64);
+                    let off = off.min(end - 1);
+                    let data = vec![b; end - off];
+                    let r = node.write(segs[idx], off, &data);
+                    if let Some(m) = model.get_mut(&idx) {
+                        prop_assert!(r.is_ok());
+                        m[off..end].copy_from_slice(&data);
+                    } else {
+                        prop_assert!(matches!(r, Err(SciError::SegmentNotFound(_))));
+                    }
+                }
+                2 if !segs.is_empty() => {
+                    let idx = i % segs.len();
+                    if model.contains_key(&idx) {
+                        let mut buf = vec![0u8; 64];
+                        node.read(segs[idx], 0, &mut buf).unwrap();
+                        prop_assert_eq!(&buf, model.get(&idx).unwrap());
+                    }
+                }
+                3 if !segs.is_empty() => {
+                    let idx = i % segs.len();
+                    if model.remove(&idx).is_some() {
+                        node.free_segment(segs[idx]).unwrap();
+                    } else {
+                        prop_assert!(node.free_segment(segs[idx]).is_err());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The shareable virtual clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{SimDuration, SimInstant};
+
+/// A monotonic, thread-safe virtual clock.
+///
+/// Cloning a `SimClock` yields a handle to the *same* underlying clock, so a
+/// primary node, its SCI adapter, and a simulated disk can all charge time to
+/// one shared timeline.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let handle = clock.clone();
+/// handle.advance(SimDuration::from_micros(3));
+/// assert_eq!(clock.now().as_nanos(), 3_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a new clock at the origin (t = 0).
+    pub fn new() -> Self {
+        SimClock {
+            ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimInstant {
+        SimInstant::from_nanos(self.ns.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: SimDuration) -> SimInstant {
+        let prev = self.ns.fetch_add(d.as_nanos(), Ordering::SeqCst);
+        SimInstant::from_nanos(
+            prev.checked_add(d.as_nanos())
+                .expect("virtual clock overflow"),
+        )
+    }
+
+    /// Moves the clock forward to `t` if `t` is in the future; otherwise
+    /// leaves it unchanged. Returns the (possibly unchanged) current time.
+    ///
+    /// This is the primitive used to model waiting for an asynchronous
+    /// completion (e.g. a disk write already in flight).
+    pub fn advance_to(&self, t: SimInstant) -> SimInstant {
+        let target = t.as_nanos();
+        let mut cur = self.ns.load(Ordering::SeqCst);
+        while cur < target {
+            match self
+                .ns
+                .compare_exchange(cur, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimInstant::from_nanos(cur)
+    }
+
+    /// Starts a [`Stopwatch`] at the current time.
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch {
+            clock: self.clone(),
+            start: self.now(),
+        }
+    }
+
+    /// Returns `true` if `other` refers to the same underlying clock.
+    pub fn same_clock(&self, other: &SimClock) -> bool {
+        Arc::ptr_eq(&self.ns, &other.ns)
+    }
+}
+
+/// Measures elapsed virtual time from a fixed starting instant.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let sw = clock.stopwatch();
+/// clock.advance(SimDuration::from_millis(5));
+/// assert_eq!(sw.elapsed().as_millis(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    clock: SimClock,
+    start: SimInstant,
+}
+
+impl Stopwatch {
+    /// Virtual time elapsed since this stopwatch was started.
+    pub fn elapsed(&self) -> SimDuration {
+        self.clock.now().saturating_duration_since(self.start)
+    }
+
+    /// The instant at which this stopwatch was started.
+    pub fn started_at(&self) -> SimInstant {
+        self.start
+    }
+
+    /// Restarts the stopwatch at the current time, returning the elapsed
+    /// duration up to the restart.
+    pub fn lap(&mut self) -> SimDuration {
+        let e = self.elapsed();
+        self.start = self.clock.now();
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn clones_share_time() {
+        let c = SimClock::new();
+        let d = c.clone();
+        c.advance(SimDuration::from_nanos(42));
+        assert_eq!(d.now().as_nanos(), 42);
+        assert!(c.same_clock(&d));
+        assert!(!c.same_clock(&SimClock::new()));
+    }
+
+    #[test]
+    fn advance_returns_new_time() {
+        let c = SimClock::new();
+        let t = c.advance(SimDuration::from_micros(7));
+        assert_eq!(t.as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_nanos(100));
+        c.advance_to(SimInstant::from_nanos(50));
+        assert_eq!(c.now().as_nanos(), 100);
+        c.advance_to(SimInstant::from_nanos(150));
+        assert_eq!(c.now().as_nanos(), 150);
+    }
+
+    #[test]
+    fn stopwatch_laps() {
+        let c = SimClock::new();
+        let mut sw = c.stopwatch();
+        c.advance(SimDuration::from_nanos(10));
+        assert_eq!(sw.lap().as_nanos(), 10);
+        c.advance(SimDuration::from_nanos(5));
+        assert_eq!(sw.elapsed().as_nanos(), 5);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = SimClock::new();
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let h = c.clone();
+            joins.push(thread::spawn(move || {
+                for _ in 0..1_000 {
+                    h.advance(SimDuration::from_nanos(1));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(c.now().as_nanos(), 8_000);
+    }
+}

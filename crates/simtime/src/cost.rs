@@ -1,0 +1,135 @@
+//! Calibrated cost model for local memory operations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimClock, SimDuration};
+
+/// Cost model for local main-memory copies on the paper's testbed
+/// (133 MHz Pentium, EDO DRAM, PCI 2.0).
+///
+/// The model is affine: a fixed per-call overhead (function call, loop setup,
+/// cache effects) plus a per-byte cost derived from sustained copy bandwidth.
+/// [`MemCostModel::pentium_133`] is calibrated so that the three local copies
+/// of a small PERSEAS transaction cost well under a microsecond, consistent
+/// with the paper's sub-8 µs small-transaction latency where the two SCI
+/// remote writes dominate.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::MemCostModel;
+///
+/// let m = MemCostModel::pentium_133();
+/// assert!(m.memcpy_cost(64) < m.memcpy_cost(4096));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemCostModel {
+    /// Fixed overhead charged for every copy call, in nanoseconds.
+    per_call_ns: u64,
+    /// Sustained copy bandwidth in bytes per microsecond (= MB/s).
+    bytes_per_us: u64,
+}
+
+impl MemCostModel {
+    /// Creates a model from a fixed per-call overhead and a sustained copy
+    /// bandwidth in bytes per microsecond (numerically equal to MB/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_us` is zero.
+    pub fn new(per_call_ns: u64, bytes_per_us: u64) -> Self {
+        assert!(bytes_per_us > 0, "bandwidth must be non-zero");
+        MemCostModel {
+            per_call_ns,
+            bytes_per_us,
+        }
+    }
+
+    /// The paper's testbed: a 133 MHz Pentium copying at roughly 60 MB/s
+    /// with ~80 ns of per-call overhead.
+    pub fn pentium_133() -> Self {
+        MemCostModel::new(80, 60)
+    }
+
+    /// An infinitely fast memory (useful to isolate network or disk cost in
+    /// ablation experiments: copies cost zero time).
+    pub fn free() -> Self {
+        MemCostModel {
+            per_call_ns: 0,
+            bytes_per_us: u64::MAX,
+        }
+    }
+
+    /// The virtual cost of copying `len` bytes within local memory.
+    pub fn memcpy_cost(&self, len: usize) -> SimDuration {
+        if self.bytes_per_us == u64::MAX {
+            return SimDuration::ZERO;
+        }
+        let transfer_ns = (len as u64)
+            .checked_mul(1_000)
+            .expect("memcpy length overflow")
+            / self.bytes_per_us;
+        SimDuration::from_nanos(self.per_call_ns + transfer_ns)
+    }
+
+    /// Charges the cost of a `len`-byte copy to `clock`.
+    pub fn charge_memcpy(&self, clock: &SimClock, len: usize) {
+        clock.advance(self.memcpy_cost(len));
+    }
+
+    /// Per-call overhead in nanoseconds.
+    pub fn per_call_ns(&self) -> u64 {
+        self.per_call_ns
+    }
+
+    /// Sustained bandwidth in bytes per microsecond.
+    pub fn bytes_per_us(&self) -> u64 {
+        self.bytes_per_us
+    }
+}
+
+impl Default for MemCostModel {
+    fn default() -> Self {
+        MemCostModel::pentium_133()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_affine_in_length() {
+        let m = MemCostModel::new(100, 50);
+        assert_eq!(m.memcpy_cost(0).as_nanos(), 100);
+        // 50 bytes/us => 20 ns per byte.
+        assert_eq!(m.memcpy_cost(50).as_nanos(), 100 + 1_000);
+        assert_eq!(m.memcpy_cost(100).as_nanos(), 100 + 2_000);
+    }
+
+    #[test]
+    fn pentium_small_copy_is_submicrosecond() {
+        let m = MemCostModel::pentium_133();
+        assert!(m.memcpy_cost(128).as_nanos() < 3_000);
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = MemCostModel::free();
+        assert_eq!(m.memcpy_cost(1 << 20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn charge_advances_clock() {
+        let m = MemCostModel::new(10, 1);
+        let clock = SimClock::new();
+        m.charge_memcpy(&clock, 1);
+        assert_eq!(clock.now().as_nanos(), 10 + 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = MemCostModel::new(0, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! A log-scale latency histogram for virtual-time measurements.
+
+use crate::SimDuration;
+
+/// Number of power-of-two buckets (covers 1 ns .. ~18 s and beyond).
+const BUCKETS: usize = 64;
+
+/// A histogram of durations in power-of-two nanosecond buckets, for
+/// percentile reporting of transaction latencies.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::{Histogram, SimDuration};
+///
+/// let mut h = Histogram::new();
+/// for us in [1u64, 2, 3, 4, 100] {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(50.0) <= h.percentile(99.0));
+/// assert_eq!(h.max(), SimDuration::from_micros(100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        ((64 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample ([`SimDuration::ZERO`] when empty).
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.total_ns / self.count as u128) as u64)
+    }
+
+    /// The `p`-th percentile (0–100), resolved to bucket granularity
+    /// (upper bound of the containing power-of-two bucket, clamped to the
+    /// observed maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                return SimDuration::from_nanos(upper.clamp(self.min_ns, self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stats_track_samples() {
+        let mut h = Histogram::new();
+        for us in 1..=100u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), SimDuration::from_micros(1));
+        assert_eq!(h.max(), SimDuration::from_micros(100));
+        let mean = h.mean().as_micros_f64();
+        assert!((mean - 50.5).abs() < 1.0, "{mean}");
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bucketed() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(SimDuration::from_micros(5));
+        }
+        h.record(SimDuration::from_millis(50));
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        let p100 = h.percentile(100.0);
+        assert!(p50 <= p99);
+        assert!(p99 <= p100);
+        // p50 should sit in the ~5 us bucket (upper bound 8.19 us).
+        assert!(p50.as_micros() < 10, "{p50}");
+        // The single 50 ms outlier defines the tail.
+        assert_eq!(p100, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_panics() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::from_micros(1));
+        let mut b = Histogram::new();
+        b.record(SimDuration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimDuration::from_millis(1));
+        assert_eq!(a.min(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn zero_duration_sample_is_representable() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic virtual time for the PERSEAS reproduction.
+//!
+//! Every performance experiment in the paper is driven by hardware latencies
+//! (SCI packet times, memory-copy bandwidth, disk seeks) that no longer exist
+//! on modern machines. This crate provides a **virtual clock** on which those
+//! latencies are charged explicitly, making every figure in the paper
+//! deterministic and reproducible on any host.
+//!
+//! The core types are:
+//!
+//! * [`SimDuration`] / [`SimInstant`] — nanosecond-resolution virtual time.
+//! * [`SimClock`] — a shareable, thread-safe monotonic clock.
+//! * [`MemCostModel`] — a calibrated model for the cost of local memory
+//!   copies on the paper's 133 MHz Pentium testbed.
+//!
+//! # Examples
+//!
+//! ```
+//! use perseas_simtime::{SimClock, SimDuration};
+//!
+//! let clock = SimClock::new();
+//! let t0 = clock.now();
+//! clock.advance(SimDuration::from_micros(8));
+//! assert_eq!(clock.now().duration_since(t0), SimDuration::from_micros(8));
+//! ```
+
+mod clock;
+mod cost;
+mod hist;
+mod rng;
+mod time;
+
+pub use clock::{SimClock, Stopwatch};
+pub use cost::MemCostModel;
+pub use hist::Histogram;
+pub use rng::{det_rng, DetRng};
+pub use time::{SimDuration, SimInstant};

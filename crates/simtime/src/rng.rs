@@ -1,0 +1,209 @@
+//! A small, dependency-free deterministic RNG.
+//!
+//! Workload generators must be reproducible across runs and platforms, so we
+//! ship a fixed xoshiro256** implementation rather than depending on a
+//! particular version of an external generator.
+
+/// A deterministic xoshiro256** pseudo-random generator.
+///
+/// Not cryptographically secure; used only to generate reproducible
+/// workloads and fault schedules.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::det_rng;
+///
+/// let mut a = det_rng(7);
+/// let mut b = det_rng(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+/// Creates a [`DetRng`] seeded from `seed` via SplitMix64.
+pub fn det_rng(seed: u64) -> DetRng {
+    DetRng::seed_from_u64(seed)
+}
+
+impl DetRng {
+    /// Creates a generator whose state is expanded from `seed` with
+    /// SplitMix64 (the standard seeding procedure for xoshiro generators).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        DetRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire's unbiased multiply-shift rejection method.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed `usize` in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen_f64() < p
+    }
+
+    /// Fills `buf` with uniformly distributed bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle of `slice`.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = det_rng(42);
+        let mut b = det_rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = det_rng(1);
+        let mut b = det_rng(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = det_rng(3);
+        for _ in 0..10_000 {
+            assert!(r.gen_range(7) < 7);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = det_rng(4);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[r.gen_index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn zero_bound_panics() {
+        det_rng(0).gen_range(0);
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut r = det_rng(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = det_rng(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = det_rng(8);
+        for _ in 0..1_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = det_rng(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,367 @@
+//! Virtual time primitives: [`SimDuration`] and [`SimInstant`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of virtual time with nanosecond resolution.
+///
+/// Mirrors the shape of [`std::time::Duration`] but is a plain `u64` of
+/// nanoseconds so it can be stored in atomics and serialized losslessly.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::SimDuration;
+///
+/// let d = SimDuration::from_micros(2) + SimDuration::from_nanos(500);
+/// assert_eq!(d.as_nanos(), 2_500);
+/// assert_eq!(d.as_micros_f64(), 2.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional microseconds, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    pub fn from_micros_f64(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "invalid duration: {us} us");
+        SimDuration((us * 1_000.0).round() as u64)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s} s");
+        SimDuration((s * 1_000_000_000.0).round() as u64)
+    }
+
+    /// Returns the duration in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the duration as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns `true` if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction; returns [`SimDuration::ZERO`] on underflow.
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; returns `None` on overflow.
+    pub const fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(SimDuration(v)),
+            None => None,
+        }
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual duration overflow"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual duration underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("virtual duration overflow in mul"),
+        )
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A point in virtual time, measured from the clock's origin.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::{SimDuration, SimInstant};
+///
+/// let t = SimInstant::ORIGIN + SimDuration::from_micros(10);
+/// assert_eq!(t.duration_since(SimInstant::ORIGIN).as_micros(), 10);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant(u64);
+
+impl SimInstant {
+    /// The clock origin (t = 0).
+    pub const ORIGIN: SimInstant = SimInstant(0);
+
+    /// Creates an instant `ns` nanoseconds after the origin.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimInstant(ns)
+    }
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The amount of virtual time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("instant ordering violated"),
+        )
+    }
+
+    /// Like [`SimInstant::duration_since`], but saturates to zero instead of
+    /// panicking.
+    pub const fn saturating_duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(
+            self.0
+                .checked_add(rhs.as_nanos())
+                .expect("virtual instant overflow"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+        assert_eq!(
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(1_000)
+        );
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+    }
+
+    #[test]
+    fn fractional_micros_round() {
+        assert_eq!(SimDuration::from_micros_f64(2.5).as_nanos(), 2_500);
+        assert_eq!(SimDuration::from_micros_f64(0.0004).as_nanos(), 0);
+        assert_eq!(SimDuration::from_micros_f64(0.0006).as_nanos(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_fractional_panics() {
+        let _ = SimDuration::from_micros_f64(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimDuration::from_micros(3);
+        let b = SimDuration::from_micros(1);
+        assert_eq!((a - b).as_micros(), 2);
+        assert_eq!((a + b).as_micros(), 4);
+        assert_eq!((a * 3).as_micros(), 9);
+        assert_eq!((a / 3).as_nanos(), 1_000);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimDuration::from_nanos(1) - SimDuration::from_nanos(2);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
+        assert_eq!(total.as_micros(), 10);
+    }
+
+    #[test]
+    fn instant_math() {
+        let t0 = SimInstant::ORIGIN;
+        let t1 = t0 + SimDuration::from_millis(2);
+        assert_eq!(t1 - t0, SimDuration::from_millis(2));
+        assert_eq!(t0.saturating_duration_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_nanos(2_500).to_string(), "2.500us");
+        assert_eq!(SimDuration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_millis(1_500).to_string(), "1.500s");
+        assert_eq!(SimInstant::from_nanos(2_500).to_string(), "t+2.500us");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimDuration::from_nanos(5);
+        let b = SimDuration::from_nanos(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

@@ -1,0 +1,74 @@
+//! Typed record storage over any [`TransactionalMemory`].
+//!
+//! The paper's API (and every baseline's) moves raw byte ranges. Real
+//! applications — the banking and wholesale workloads included — store
+//! fixed-size *records*. This crate provides that layer, system-agnostic:
+//!
+//! * [`FixedRecord`] — a fixed-size, byte-encodable record type
+//!   (implemented for the primitive integers and byte arrays; derive
+//!   struct impls with [`fixed_record!`]);
+//! * [`Table`] — an indexed array of records inside one recoverable
+//!   region;
+//! * [`RingLog`] — an append-only wrapping log with a durable sequence
+//!   counter (the shape of TPC-B's history file).
+//!
+//! All mutating operations must run inside a transaction and declare
+//! their ranges through the normal `set_range` path, so crash recovery
+//! and aborts work unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use perseas_core::{Perseas, PerseasConfig};
+//! use perseas_rnram::SimRemote;
+//! use perseas_store::{fixed_record, Table};
+//!
+//! fixed_record! {
+//!     /// A bank account record.
+//!     pub struct Account {
+//!         pub balance: i64,
+//!         pub flags: u32,
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), perseas_txn::TxnError> {
+//! let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default())?;
+//! let accounts = Table::<Account>::create(&mut db, 1_000)?;
+//! db.init_remote_db()?;
+//!
+//! db.begin_transaction()?;
+//! accounts.update(&mut db, 7, |a| a.balance += 100)?;
+//! db.commit_transaction()?;
+//!
+//! assert_eq!(accounts.get(&db, 7)?.balance, 100);
+//! # Ok(())
+//! # }
+//! ```
+
+mod record;
+mod ring;
+mod table;
+
+pub use record::FixedRecord;
+pub use ring::RingLog;
+pub use table::Table;
+
+use perseas_txn::TransactionalMemory;
+
+/// Convenience: total bytes a table of `capacity` records of type `R`
+/// occupies.
+pub fn table_bytes<R: FixedRecord>(capacity: usize) -> usize {
+    capacity * R::SIZE
+}
+
+/// Extension helpers shared by the containers.
+pub(crate) fn read_exact(
+    tm: &dyn TransactionalMemory,
+    region: perseas_txn::RegionId,
+    offset: usize,
+    len: usize,
+) -> Result<Vec<u8>, perseas_txn::TxnError> {
+    let mut buf = vec![0u8; len];
+    tm.read(region, offset, &mut buf)?;
+    Ok(buf)
+}

@@ -1,0 +1,213 @@
+//! The [`FixedRecord`] trait and the [`fixed_record!`] derive macro.
+
+/// A record with a fixed byte-level encoding.
+///
+/// Encodings must be total: any `SIZE` bytes decode to *some* record
+/// (recoverable regions start zero-filled, so the all-zeros image must be
+/// a valid — typically "default" — record).
+pub trait FixedRecord: Sized {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Writes the encoding into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `out.len() != Self::SIZE`.
+    fn encode(&self, out: &mut [u8]);
+
+    /// Reads a record back from its encoding.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `buf.len() != Self::SIZE`.
+    fn decode(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_int_record {
+    ($($t:ty),*) => {$(
+        impl FixedRecord for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            fn encode(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf.try_into().expect("exact record size"))
+            }
+        }
+    )*};
+}
+
+impl_int_record!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl<const N: usize> FixedRecord for [u8; N] {
+    const SIZE: usize = N;
+
+    fn encode(&self, out: &mut [u8]) {
+        out.copy_from_slice(self);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        buf.try_into().expect("exact record size")
+    }
+}
+
+impl FixedRecord for bool {
+    const SIZE: usize = 1;
+
+    fn encode(&self, out: &mut [u8]) {
+        out[0] = *self as u8;
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        buf[0] != 0
+    }
+}
+
+/// Defines a struct of [`FixedRecord`] fields and derives its
+/// [`FixedRecord`] implementation (fields are encoded in declaration
+/// order, little-endian, unpadded).
+///
+/// # Examples
+///
+/// ```
+/// use perseas_store::{fixed_record, FixedRecord};
+///
+/// fixed_record! {
+///     /// An order line.
+///     pub struct OrderLine {
+///         pub order_id: u64,
+///         pub item: u32,
+///         pub quantity: i32,
+///     }
+/// }
+///
+/// assert_eq!(OrderLine::SIZE, 16);
+/// let line = OrderLine { order_id: 9, item: 4, quantity: -2 };
+/// let mut buf = [0u8; OrderLine::SIZE];
+/// line.encode(&mut buf);
+/// let back = OrderLine::decode(&buf);
+/// assert_eq!(back, line);
+/// ```
+#[macro_export]
+macro_rules! fixed_record {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $ftype:ty ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Default)]
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field : $ftype, )*
+        }
+
+        impl $crate::FixedRecord for $name {
+            const SIZE: usize = 0 $( + <$ftype as $crate::FixedRecord>::SIZE )*;
+
+            fn encode(&self, out: &mut [u8]) {
+                assert_eq!(out.len(), Self::SIZE, "wrong buffer size");
+                let mut at = 0usize;
+                $(
+                    let end = at + <$ftype as $crate::FixedRecord>::SIZE;
+                    $crate::FixedRecord::encode(&self.$field, &mut out[at..end]);
+                    #[allow(unused_assignments)]
+                    { at = end; }
+                )*
+            }
+
+            fn decode(buf: &[u8]) -> Self {
+                assert_eq!(buf.len(), Self::SIZE, "wrong buffer size");
+                let mut at = 0usize;
+                $(
+                    let end = at + <$ftype as $crate::FixedRecord>::SIZE;
+                    let $field = <$ftype as $crate::FixedRecord>::decode(&buf[at..end]);
+                    #[allow(unused_assignments)]
+                    { at = end; }
+                )*
+                Self { $( $field, )* }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut buf = [0u8; 8];
+        0xDEAD_BEEF_u64.encode(&mut buf);
+        assert_eq!(u64::decode(&buf), 0xDEAD_BEEF);
+
+        let mut buf = [0u8; 8];
+        (-3.5f64).encode(&mut buf);
+        assert_eq!(f64::decode(&buf), -3.5);
+
+        let mut buf = [0u8; 1];
+        true.encode(&mut buf);
+        assert!(bool::decode(&buf));
+
+        let mut buf = [0u8; 4];
+        [9u8, 8, 7, 6].encode(&mut buf);
+        assert_eq!(<[u8; 4]>::decode(&buf), [9, 8, 7, 6]);
+    }
+
+    fixed_record! {
+        /// Record used by the macro tests.
+        pub struct Mixed {
+            pub a: u64,
+            pub b: i32,
+            pub c: [u8; 3],
+            pub d: bool,
+        }
+    }
+
+    #[test]
+    fn macro_size_is_sum_of_fields() {
+        assert_eq!(Mixed::SIZE, 8 + 4 + 3 + 1);
+    }
+
+    #[test]
+    fn macro_roundtrip() {
+        let m = Mixed {
+            a: 1,
+            b: -2,
+            c: [3, 4, 5],
+            d: true,
+        };
+        let mut buf = vec![0u8; Mixed::SIZE];
+        m.encode(&mut buf);
+        assert_eq!(Mixed::decode(&buf), m);
+    }
+
+    #[test]
+    fn zero_bytes_decode_to_default() {
+        let buf = vec![0u8; Mixed::SIZE];
+        assert_eq!(Mixed::decode(&buf), Mixed::default());
+    }
+
+    #[test]
+    fn macro_works_in_function_scope() {
+        fixed_record! {
+            struct Local {
+                x: u16,
+            }
+        }
+        assert_eq!(Local::SIZE, 2);
+        let mut buf = [0u8; 2];
+        Local { x: 513 }.encode(&mut buf);
+        assert_eq!(Local::decode(&buf).x, 513);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong buffer size")]
+    fn wrong_buffer_size_panics() {
+        let mut buf = [0u8; 3];
+        Mixed::default().encode(&mut buf);
+    }
+}

@@ -1,0 +1,253 @@
+//! A wrapping append-only log with a durable sequence counter — the shape
+//! of TPC-B's history file.
+
+use std::marker::PhantomData;
+
+use perseas_txn::{RegionId, TransactionalMemory, TxnError};
+
+use crate::{read_exact, FixedRecord};
+
+/// Bytes reserved at the start of the region for the sequence counter.
+const HEADER: usize = 16;
+
+/// An append-only log of records of type `R` that wraps after `slots`
+/// entries, keeping a durable count of everything ever pushed.
+///
+/// Layout: a 16-byte header (`pushed: u64`, padding) followed by the
+/// slot array. Pushes declare both the slot and the header inside the
+/// caller's transaction, so a crash either keeps the record *and* the
+/// counter or neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingLog<R> {
+    region: RegionId,
+    slots: usize,
+    _record: PhantomData<fn() -> R>,
+}
+
+impl<R: FixedRecord> RingLog<R> {
+    /// Allocates a region for `slots` records plus the header. Must be
+    /// called before the memory is published.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn create(tm: &mut dyn TransactionalMemory, slots: usize) -> Result<Self, TxnError> {
+        assert!(slots > 0, "a ring log needs at least one slot");
+        let region = tm.alloc_region(HEADER + slots * R::SIZE)?;
+        Ok(RingLog {
+            region,
+            slots,
+            _record: PhantomData,
+        })
+    }
+
+    /// Re-attaches to an existing region (e.g. after recovery).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not exist or cannot hold whole records.
+    pub fn open(tm: &dyn TransactionalMemory, region: RegionId) -> Result<Self, TxnError> {
+        let len = tm.region_len(region)?;
+        if len < HEADER || R::SIZE == 0 || (len - HEADER) % R::SIZE != 0 {
+            return Err(TxnError::Unavailable(format!(
+                "region {region} of {len} bytes is not a ring log of {}-byte records",
+                R::SIZE
+            )));
+        }
+        Ok(RingLog {
+            region,
+            slots: (len - HEADER) / R::SIZE,
+            _record: PhantomData,
+        })
+    }
+
+    /// The underlying region.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Number of slots before the log wraps.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Total records ever pushed (monotone; survives crashes with the
+    /// enclosing transaction's atomicity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates system errors.
+    pub fn pushed(&self, tm: &dyn TransactionalMemory) -> Result<u64, TxnError> {
+        let buf = read_exact(tm, self.region, 0, 8)?;
+        Ok(u64::from_le_bytes(buf.try_into().expect("8 bytes")))
+    }
+
+    /// Appends `record` inside the current transaction, returning its
+    /// sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside a transaction or on system errors.
+    pub fn push(&self, tm: &mut dyn TransactionalMemory, record: &R) -> Result<u64, TxnError> {
+        let seq = self.pushed(tm)?;
+        let slot = (seq % self.slots as u64) as usize;
+        let off = HEADER + slot * R::SIZE;
+
+        let mut buf = vec![0u8; R::SIZE];
+        record.encode(&mut buf);
+        tm.set_range(self.region, off, R::SIZE)?;
+        tm.write(self.region, off, &buf)?;
+
+        tm.set_range(self.region, 0, 8)?;
+        tm.write(self.region, 0, &(seq + 1).to_le_bytes())?;
+        Ok(seq)
+    }
+
+    /// Reads the record with sequence number `seq`, if it is still within
+    /// the window of the most recent `slots` pushes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::OutOfBounds`] for overwritten or future
+    /// sequence numbers; propagates system errors.
+    pub fn get(&self, tm: &dyn TransactionalMemory, seq: u64) -> Result<R, TxnError> {
+        let pushed = self.pushed(tm)?;
+        let oldest = pushed.saturating_sub(self.slots as u64);
+        if seq >= pushed || seq < oldest {
+            return Err(TxnError::OutOfBounds {
+                region: self.region,
+                offset: seq as usize,
+                len: 1,
+                region_len: pushed as usize,
+            });
+        }
+        let slot = (seq % self.slots as u64) as usize;
+        let buf = read_exact(tm, self.region, HEADER + slot * R::SIZE, R::SIZE)?;
+        Ok(R::decode(&buf))
+    }
+
+    /// The most recent `k` records, newest last.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system errors.
+    pub fn recent(&self, tm: &dyn TransactionalMemory, k: usize) -> Result<Vec<R>, TxnError> {
+        let pushed = self.pushed(tm)?;
+        let window = (self.slots as u64).min(pushed);
+        let take = (k as u64).min(window);
+        (pushed - take..pushed).map(|s| self.get(tm, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perseas_core::{Perseas, PerseasConfig};
+    use perseas_rnram::SimRemote;
+
+    fn published_log(slots: usize) -> (Perseas<SimRemote>, RingLog<u64>) {
+        let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+        let log = RingLog::<u64>::create(&mut db, slots).unwrap();
+        db.init_remote_db().unwrap();
+        (db, log)
+    }
+
+    #[test]
+    fn pushes_assign_sequence_numbers() {
+        let (mut db, log) = published_log(4);
+        db.begin_transaction().unwrap();
+        assert_eq!(log.push(&mut db, &100).unwrap(), 0);
+        assert_eq!(log.push(&mut db, &101).unwrap(), 1);
+        db.commit_transaction().unwrap();
+        assert_eq!(log.pushed(&db).unwrap(), 2);
+        assert_eq!(log.get(&db, 0).unwrap(), 100);
+        assert_eq!(log.get(&db, 1).unwrap(), 101);
+    }
+
+    #[test]
+    fn wrapping_overwrites_oldest() {
+        let (mut db, log) = published_log(3);
+        for i in 0..7u64 {
+            db.begin_transaction().unwrap();
+            log.push(&mut db, &(i * 10)).unwrap();
+            db.commit_transaction().unwrap();
+        }
+        assert_eq!(log.pushed(&db).unwrap(), 7);
+        // Sequences 0..4 are overwritten.
+        assert!(log.get(&db, 3).is_err());
+        assert_eq!(log.get(&db, 4).unwrap(), 40);
+        assert_eq!(log.get(&db, 6).unwrap(), 60);
+        assert!(log.get(&db, 7).is_err()); // future
+        assert_eq!(log.recent(&db, 2).unwrap(), vec![50, 60]);
+        assert_eq!(log.recent(&db, 10).unwrap(), vec![40, 50, 60]);
+    }
+
+    #[test]
+    fn aborted_push_leaves_no_trace() {
+        let (mut db, log) = published_log(4);
+        db.begin_transaction().unwrap();
+        log.push(&mut db, &1).unwrap();
+        db.abort_transaction().unwrap();
+        assert_eq!(log.pushed(&db).unwrap(), 0);
+        assert!(log.recent(&db, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn push_and_counter_are_atomic_across_crash() {
+        use perseas_core::FaultPlan;
+        use perseas_sci::SciParams;
+        use perseas_simtime::SimClock;
+
+        // Crash at every step of a push transaction; recovery must never
+        // show a counter that disagrees with the slots.
+        for crash_at in 0..8 {
+            let mut db =
+                Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+            let node = db.mirror_backend(0).unwrap().node().clone();
+            let log = RingLog::<u64>::create(&mut db, 4).unwrap();
+            db.init_remote_db().unwrap();
+            db.begin_transaction().unwrap();
+            log.push(&mut db, &11).unwrap();
+            db.commit_transaction().unwrap();
+
+            db.set_fault_plan(FaultPlan::crash_after(crash_at));
+            db.begin_transaction().unwrap();
+            let res = log.push(&mut db, &22).and_then(|_| db.commit_transaction());
+
+            let backend = SimRemote::with_parts(
+                SimClock::new(),
+                node,
+                SciParams::dolphin_1998(),
+            );
+            let (db2, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
+            let log2 = RingLog::<u64>::open(&db2, log.region()).unwrap();
+            let pushed = log2.pushed(&db2).unwrap();
+            if res.is_ok() {
+                assert_eq!(pushed, 2, "crash_at={crash_at}");
+                assert_eq!(log2.get(&db2, 1).unwrap(), 22);
+            } else {
+                assert_eq!(pushed, 1, "crash_at={crash_at}");
+                assert_eq!(log2.get(&db2, 0).unwrap(), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn open_validates_geometry() {
+        let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+        let r = db.malloc(HEADER + 7).unwrap();
+        db.init_remote_db().unwrap();
+        assert!(RingLog::<u64>::open(&db, r).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+        let _ = RingLog::<u64>::create(&mut db, 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! An indexed table of fixed-size records inside one recoverable region.
+
+use std::marker::PhantomData;
+
+use perseas_txn::{RegionId, TransactionalMemory, TxnError};
+
+use crate::{read_exact, FixedRecord};
+
+/// A fixed-capacity array of records of type `R`, stored in one region of
+/// a transactional memory.
+///
+/// The table itself is a plain handle (region id + capacity): after a
+/// crash it can be reconstructed on the recovered database with
+/// [`Table::open`], since region ids are stable across recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table<R> {
+    region: RegionId,
+    capacity: usize,
+    _record: PhantomData<fn() -> R>,
+}
+
+impl<R: FixedRecord> Table<R> {
+    /// Allocates a region holding `capacity` zero-initialised records.
+    /// Must be called before the memory is published.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn create(tm: &mut dyn TransactionalMemory, capacity: usize) -> Result<Self, TxnError> {
+        let region = tm.alloc_region(capacity * R::SIZE)?;
+        Ok(Table {
+            region,
+            capacity,
+            _record: PhantomData,
+        })
+    }
+
+    /// Re-attaches to an existing region (e.g. after recovery).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not exist or its length is not a whole
+    /// number of records.
+    pub fn open(tm: &dyn TransactionalMemory, region: RegionId) -> Result<Self, TxnError> {
+        let len = tm.region_len(region)?;
+        if R::SIZE == 0 || len % R::SIZE != 0 {
+            return Err(TxnError::Unavailable(format!(
+                "region {region} of {len} bytes does not hold whole {}-byte records",
+                R::SIZE
+            )));
+        }
+        Ok(Table {
+            region,
+            capacity: len / R::SIZE,
+            _record: PhantomData,
+        })
+    }
+
+    /// The underlying region.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Number of record slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn offset_of(&self, index: usize) -> Result<usize, TxnError> {
+        if index >= self.capacity {
+            return Err(TxnError::OutOfBounds {
+                region: self.region,
+                offset: index * R::SIZE,
+                len: R::SIZE,
+                region_len: self.capacity * R::SIZE,
+            });
+        }
+        Ok(index * R::SIZE)
+    }
+
+    /// Reads record `index`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range indices or system errors.
+    pub fn get(&self, tm: &dyn TransactionalMemory, index: usize) -> Result<R, TxnError> {
+        let off = self.offset_of(index)?;
+        let buf = read_exact(tm, self.region, off, R::SIZE)?;
+        Ok(R::decode(&buf))
+    }
+
+    /// Overwrites record `index` inside the current transaction
+    /// (declares the range and writes).
+    ///
+    /// # Errors
+    ///
+    /// Fails outside a transaction, on out-of-range indices, or on system
+    /// errors.
+    pub fn put(
+        &self,
+        tm: &mut dyn TransactionalMemory,
+        index: usize,
+        record: &R,
+    ) -> Result<(), TxnError> {
+        let off = self.offset_of(index)?;
+        let mut buf = vec![0u8; R::SIZE];
+        record.encode(&mut buf);
+        tm.set_range(self.region, off, R::SIZE)?;
+        tm.write(self.region, off, &buf)
+    }
+
+    /// Reads record `index`, applies `f`, and writes it back — the
+    /// read-modify-write every OLTP transaction is made of.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside a transaction, on out-of-range indices, or on system
+    /// errors.
+    pub fn update<F>(
+        &self,
+        tm: &mut dyn TransactionalMemory,
+        index: usize,
+        f: F,
+    ) -> Result<R, TxnError>
+    where
+        F: FnOnce(&mut R),
+    {
+        let mut record = self.get(tm, index)?;
+        f(&mut record);
+        self.put(tm, index, &record)?;
+        Ok(record)
+    }
+
+    /// Reads the whole table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system errors.
+    pub fn read_all(&self, tm: &dyn TransactionalMemory) -> Result<Vec<R>, TxnError> {
+        (0..self.capacity).map(|i| self.get(tm, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed_record;
+    use perseas_baselines::VistaSystem;
+    use perseas_core::{Perseas, PerseasConfig};
+    use perseas_rnram::SimRemote;
+    use perseas_simtime::SimClock;
+
+    fixed_record! {
+        struct Counter {
+            value: i64,
+            bumps: u32,
+        }
+    }
+
+    fn perseas() -> Perseas<SimRemote> {
+        Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn create_get_put_update() {
+        let mut db = perseas();
+        let t = Table::<Counter>::create(&mut db, 8).unwrap();
+        db.init_remote_db().unwrap();
+
+        assert_eq!(t.get(&db, 3).unwrap(), Counter::default());
+
+        db.begin_transaction().unwrap();
+        t.put(&mut db, 3, &Counter { value: 5, bumps: 1 }).unwrap();
+        let after = t.update(&mut db, 3, |c| {
+            c.value += 10;
+            c.bumps += 1;
+        })
+        .unwrap();
+        db.commit_transaction().unwrap();
+
+        assert_eq!(after, Counter { value: 15, bumps: 2 });
+        assert_eq!(t.get(&db, 3).unwrap(), after);
+    }
+
+    #[test]
+    fn abort_rolls_back_table_updates() {
+        let mut db = perseas();
+        let t = Table::<Counter>::create(&mut db, 4).unwrap();
+        db.init_remote_db().unwrap();
+        db.begin_transaction().unwrap();
+        t.put(&mut db, 0, &Counter { value: 9, bumps: 9 }).unwrap();
+        db.abort_transaction().unwrap();
+        assert_eq!(t.get(&db, 0).unwrap(), Counter::default());
+    }
+
+    #[test]
+    fn out_of_range_index_fails() {
+        let mut db = perseas();
+        let t = Table::<Counter>::create(&mut db, 2).unwrap();
+        db.init_remote_db().unwrap();
+        assert!(matches!(
+            t.get(&db, 2).unwrap_err(),
+            TxnError::OutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn open_after_recovery_sees_data() {
+        let mut db = perseas();
+        let node = db.mirror_backend(0).unwrap().node().clone();
+        let t = Table::<Counter>::create(&mut db, 4).unwrap();
+        db.init_remote_db().unwrap();
+        db.begin_transaction().unwrap();
+        t.put(&mut db, 1, &Counter { value: 7, bumps: 3 }).unwrap();
+        db.commit_transaction().unwrap();
+        db.crash();
+
+        let backend = SimRemote::with_parts(
+            SimClock::new(),
+            node,
+            perseas_sci::SciParams::dolphin_1998(),
+        );
+        let (db2, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
+        let reopened = Table::<Counter>::open(&db2, t.region()).unwrap();
+        assert_eq!(reopened.capacity(), 4);
+        assert_eq!(reopened.get(&db2, 1).unwrap(), Counter { value: 7, bumps: 3 });
+    }
+
+    #[test]
+    fn open_rejects_misaligned_region() {
+        let mut db = perseas();
+        let r = db.malloc(13).unwrap(); // not a multiple of Counter::SIZE
+        db.init_remote_db().unwrap();
+        assert!(Table::<Counter>::open(&db, r).is_err());
+    }
+
+    #[test]
+    fn works_on_baselines_too() {
+        let mut tm = VistaSystem::new(SimClock::new());
+        let t = Table::<Counter>::create(&mut tm, 4).unwrap();
+        tm.publish().unwrap();
+        tm.begin_transaction().unwrap();
+        t.update(&mut tm, 2, |c| c.value = -1).unwrap();
+        tm.commit_transaction().unwrap();
+        assert_eq!(t.get(&tm, 2).unwrap().value, -1);
+    }
+
+    #[test]
+    fn read_all_returns_every_slot() {
+        let mut db = perseas();
+        let t = Table::<Counter>::create(&mut db, 3).unwrap();
+        db.init_remote_db().unwrap();
+        db.begin_transaction().unwrap();
+        for i in 0..3 {
+            t.put(&mut db, i, &Counter { value: i as i64, bumps: 0 }).unwrap();
+        }
+        db.commit_transaction().unwrap();
+        let all = t.read_all(&db).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].value, 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests: the typed containers against plain in-memory models,
+//! including abort and crash behaviour.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use perseas_baselines::VistaSystem;
+use perseas_core::{Perseas, PerseasConfig};
+use perseas_rnram::SimRemote;
+use perseas_simtime::SimClock;
+use perseas_store::{fixed_record, RingLog, Table};
+use perseas_txn::TransactionalMemory;
+
+fixed_record! {
+    struct Rec {
+        a: u64,
+        b: i32,
+        c: bool,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { index: usize, a: u64, b: i32 },
+    Update { index: usize, delta: i32 },
+    Push { a: u64 },
+    Abort,
+}
+
+fn op_strategy(capacity: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..capacity, any::<u64>(), any::<i32>())
+            .prop_map(|(index, a, b)| Op::Put { index, a, b }),
+        3 => (0..capacity, -100i32..100)
+            .prop_map(|(index, delta)| Op::Update { index, delta }),
+        2 => any::<u64>().prop_map(|a| Op::Push { a }),
+        1 => Just(Op::Abort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A table plus ring log driven by random committed/aborted
+    /// transactions matches plain Vec/VecDeque models, on PERSEAS and on
+    /// Vista.
+    #[test]
+    fn containers_match_models(ops in prop::collection::vec(op_strategy(16), 1..40)) {
+        for system in ["perseas", "vista"] {
+            let mut tm: Box<dyn TransactionalMemory> = match system {
+                "perseas" => Box::new(
+                    Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap(),
+                ),
+                _ => Box::new(VistaSystem::new(SimClock::new())),
+            };
+            let table = Table::<Rec>::create(tm.as_mut(), 16).unwrap();
+            let log = RingLog::<u64>::create(tm.as_mut(), 8).unwrap();
+            tm.publish().unwrap();
+
+            let mut model_table = vec![Rec::default(); 16];
+            let mut model_log: VecDeque<u64> = VecDeque::new();
+            let mut model_pushed = 0u64;
+
+            for op in &ops {
+                // Each op is one transaction; Abort stages a change and
+                // rolls it back.
+                match op {
+                    Op::Put { index, a, b } => {
+                        tm.begin_transaction().unwrap();
+                        let rec = Rec { a: *a, b: *b, c: a % 2 == 0 };
+                        table.put(tm.as_mut(), *index, &rec).unwrap();
+                        tm.commit_transaction().unwrap();
+                        model_table[*index] = rec;
+                    }
+                    Op::Update { index, delta } => {
+                        tm.begin_transaction().unwrap();
+                        table.update(tm.as_mut(), *index, |r| r.b += delta).unwrap();
+                        tm.commit_transaction().unwrap();
+                        model_table[*index].b += delta;
+                    }
+                    Op::Push { a } => {
+                        tm.begin_transaction().unwrap();
+                        log.push(tm.as_mut(), a).unwrap();
+                        tm.commit_transaction().unwrap();
+                        model_log.push_back(*a);
+                        if model_log.len() > 8 {
+                            model_log.pop_front();
+                        }
+                        model_pushed += 1;
+                    }
+                    Op::Abort => {
+                        tm.begin_transaction().unwrap();
+                        table.put(tm.as_mut(), 0, &Rec { a: 1, b: 2, c: true }).unwrap();
+                        log.push(tm.as_mut(), &99).unwrap();
+                        tm.abort_transaction().unwrap();
+                    }
+                }
+            }
+
+            for (i, want) in model_table.iter().enumerate() {
+                prop_assert_eq!(&table.get(&*tm, i).unwrap(), want, "{} slot {}", system, i);
+            }
+            prop_assert_eq!(log.pushed(&*tm).unwrap(), model_pushed, "{}", system);
+            let recent = log.recent(&*tm, 8).unwrap();
+            prop_assert_eq!(
+                recent,
+                model_log.iter().copied().collect::<Vec<_>>(),
+                "{}",
+                system
+            );
+        }
+    }
+
+    /// Record roundtrips hold for arbitrary field values.
+    #[test]
+    fn records_roundtrip(a in any::<u64>(), b in any::<i32>(), c in any::<bool>()) {
+        use perseas_store::FixedRecord;
+        let rec = Rec { a, b, c };
+        let mut buf = vec![0u8; Rec::SIZE];
+        rec.encode(&mut buf);
+        prop_assert_eq!(Rec::decode(&buf), rec);
+    }
+}
+
+#[test]
+fn table_survives_crash_and_reopen() {
+    let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+    let node = db.mirror_backend(0).unwrap().node().clone();
+    let table = Table::<Rec>::create(&mut db, 8).unwrap();
+    db.init_remote_db().unwrap();
+
+    db.begin_transaction().unwrap();
+    table
+        .put(&mut db, 5, &Rec { a: 42, b: -7, c: true })
+        .unwrap();
+    db.commit_transaction().unwrap();
+    db.crash();
+
+    let backend = SimRemote::with_parts(
+        SimClock::new(),
+        node,
+        perseas_sci::SciParams::dolphin_1998(),
+    );
+    let (db2, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
+    let reopened = Table::<Rec>::open(&db2, table.region()).unwrap();
+    assert_eq!(reopened.get(&db2, 5).unwrap(), Rec { a: 42, b: -7, c: true });
+}

@@ -1,0 +1,124 @@
+//! The shared transaction error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::RegionId;
+
+/// Errors reported by any [`crate::TransactionalMemory`] implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TxnError {
+    /// An operation that requires an open transaction was called outside
+    /// one.
+    NoActiveTransaction,
+    /// `begin_transaction` was called while a transaction was already open
+    /// (the paper's library is sequential: one transaction at a time).
+    TransactionAlreadyActive,
+    /// The region handle is unknown.
+    UnknownRegion(RegionId),
+    /// An access fell outside a region.
+    OutOfBounds {
+        /// Region being accessed.
+        region: RegionId,
+        /// Starting offset.
+        offset: usize,
+        /// Access length.
+        len: usize,
+        /// Region length.
+        region_len: usize,
+    },
+    /// A transactional write touched bytes never declared via `set_range`,
+    /// which would make them unrecoverable on abort.
+    RangeNotDeclared {
+        /// Region written.
+        region: RegionId,
+        /// Offset of the undeclared byte.
+        offset: usize,
+    },
+    /// Regions cannot be allocated or published while a transaction is
+    /// open.
+    BusyInTransaction,
+    /// The durable backing store (mirror node, disk, reliable cache) is
+    /// unreachable; the message describes the failure.
+    Unavailable(String),
+    /// This instance crashed (by injected fault) and only `recover` may be
+    /// called on its successors.
+    Crashed,
+    /// `publish` must be called before the first transaction; or it was
+    /// called twice.
+    BadPublishState,
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::NoActiveTransaction => write!(f, "no transaction is active"),
+            TxnError::TransactionAlreadyActive => {
+                write!(f, "a transaction is already active")
+            }
+            TxnError::UnknownRegion(r) => write!(f, "unknown region {r}"),
+            TxnError::OutOfBounds {
+                region,
+                offset,
+                len,
+                region_len,
+            } => write!(
+                f,
+                "access [{offset}, {}) out of bounds for region {region} of length {region_len}",
+                offset + len
+            ),
+            TxnError::RangeNotDeclared { region, offset } => write!(
+                f,
+                "write at offset {offset} of region {region} outside every declared set_range"
+            ),
+            TxnError::BusyInTransaction => {
+                write!(f, "operation not allowed while a transaction is open")
+            }
+            TxnError::Unavailable(m) => write!(f, "durable store unavailable: {m}"),
+            TxnError::Crashed => write!(f, "instance has crashed; recover from the mirror"),
+            TxnError::BadPublishState => {
+                write!(f, "publish must be called exactly once, before transactions")
+            }
+        }
+    }
+}
+
+impl Error for TxnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            TxnError::NoActiveTransaction,
+            TxnError::TransactionAlreadyActive,
+            TxnError::UnknownRegion(RegionId::from_raw(2)),
+            TxnError::OutOfBounds {
+                region: RegionId::from_raw(1),
+                offset: 1,
+                len: 2,
+                region_len: 2,
+            },
+            TxnError::RangeNotDeclared {
+                region: RegionId::from_raw(1),
+                offset: 3,
+            },
+            TxnError::BusyInTransaction,
+            TxnError::Unavailable("link down".into()),
+            TxnError::Crashed,
+            TxnError::BadPublishState,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TxnError>();
+    }
+}

@@ -1,0 +1,21 @@
+//! The system-neutral transactional-memory interface of the PERSEAS
+//! reproduction.
+//!
+//! The paper compares PERSEAS against RVM, RVM-on-Rio, and Vista. To make
+//! that comparison apples-to-apples, every system implements the same
+//! [`TransactionalMemory`] trait, modelled directly on the PERSEAS API of
+//! Section 3 (`begin_transaction` / `set_range` / `commit_transaction` /
+//! `abort_transaction`), which is itself the common denominator of the
+//! Lowell & Chen benchmark suite the paper borrows.
+//!
+//! The crate also defines [`TxnStats`], the copy/IO accounting that powers
+//! the paper's Figure 2 vs. Figure 3 comparison (how many memory copies,
+//! remote writes, and disk writes one transaction costs on each system).
+
+mod error;
+mod stats;
+mod traits;
+
+pub use error::TxnError;
+pub use stats::TxnStats;
+pub use traits::{RegionId, TransactionalMemory};

@@ -1,0 +1,137 @@
+//! Copy and I/O accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing the work a transactional-memory system performed.
+///
+/// These powers the paper's protocol comparison: the Write-Ahead Logging
+/// protocol of Figure 2 needs three copies *plus synchronous disk I/O* per
+/// update, while PERSEAS (Figure 3) needs three memory copies — one local,
+/// two remote — and **zero** disk accesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+    /// `set_range` calls.
+    pub set_ranges: u64,
+    /// Local memory-to-memory copies performed.
+    pub local_copies: u64,
+    /// Bytes moved by local copies.
+    pub local_copy_bytes: u64,
+    /// Remote write operations (network RAM).
+    pub remote_writes: u64,
+    /// Bytes pushed to remote memory.
+    pub remote_write_bytes: u64,
+    /// Synchronous disk writes.
+    pub disk_sync_writes: u64,
+    /// Asynchronous disk writes.
+    pub disk_async_writes: u64,
+    /// Bytes written to disk.
+    pub disk_write_bytes: u64,
+}
+
+impl TxnStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        TxnStats::default()
+    }
+
+    /// Records a local copy of `bytes` bytes.
+    pub fn add_local_copy(&mut self, bytes: usize) {
+        self.local_copies += 1;
+        self.local_copy_bytes += bytes as u64;
+    }
+
+    /// Records a remote write of `bytes` bytes.
+    pub fn add_remote_write(&mut self, bytes: usize) {
+        self.remote_writes += 1;
+        self.remote_write_bytes += bytes as u64;
+    }
+
+    /// Records a disk write of `bytes` bytes.
+    pub fn add_disk_write(&mut self, bytes: usize, sync: bool) {
+        if sync {
+            self.disk_sync_writes += 1;
+        } else {
+            self.disk_async_writes += 1;
+        }
+        self.disk_write_bytes += bytes as u64;
+    }
+
+    /// Difference `self - earlier`, for per-interval measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has larger counters than `self`.
+    pub fn since(&self, earlier: &TxnStats) -> TxnStats {
+        TxnStats {
+            commits: self.commits - earlier.commits,
+            aborts: self.aborts - earlier.aborts,
+            set_ranges: self.set_ranges - earlier.set_ranges,
+            local_copies: self.local_copies - earlier.local_copies,
+            local_copy_bytes: self.local_copy_bytes - earlier.local_copy_bytes,
+            remote_writes: self.remote_writes - earlier.remote_writes,
+            remote_write_bytes: self.remote_write_bytes - earlier.remote_write_bytes,
+            disk_sync_writes: self.disk_sync_writes - earlier.disk_sync_writes,
+            disk_async_writes: self.disk_async_writes - earlier.disk_async_writes,
+            disk_write_bytes: self.disk_write_bytes - earlier.disk_write_bytes,
+        }
+    }
+
+    /// Total copy-ish operations of any kind per committed transaction
+    /// (rounded down); 0 if nothing committed.
+    pub fn copies_per_commit(&self) -> u64 {
+        if self.commits == 0 {
+            return 0;
+        }
+        (self.local_copies + self.remote_writes + self.disk_sync_writes + self.disk_async_writes)
+            / self.commits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adders_accumulate() {
+        let mut s = TxnStats::new();
+        s.add_local_copy(10);
+        s.add_local_copy(5);
+        s.add_remote_write(64);
+        s.add_disk_write(100, true);
+        s.add_disk_write(100, false);
+        assert_eq!(s.local_copies, 2);
+        assert_eq!(s.local_copy_bytes, 15);
+        assert_eq!(s.remote_writes, 1);
+        assert_eq!(s.disk_sync_writes, 1);
+        assert_eq!(s.disk_async_writes, 1);
+        assert_eq!(s.disk_write_bytes, 200);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut a = TxnStats::new();
+        a.add_local_copy(10);
+        let snapshot = a;
+        a.add_local_copy(20);
+        a.commits = 1;
+        let d = a.since(&snapshot);
+        assert_eq!(d.local_copies, 1);
+        assert_eq!(d.local_copy_bytes, 20);
+        assert_eq!(d.commits, 1);
+    }
+
+    #[test]
+    fn copies_per_commit_guards_zero() {
+        let s = TxnStats::new();
+        assert_eq!(s.copies_per_commit(), 0);
+        let mut s = TxnStats::new();
+        s.commits = 2;
+        s.local_copies = 2;
+        s.remote_writes = 4;
+        assert_eq!(s.copies_per_commit(), 3);
+    }
+}

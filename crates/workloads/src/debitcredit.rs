@@ -1,0 +1,263 @@
+//! The debit-credit workload: "processes banking transactions very
+//! similar to the TPC-B" (paper, Section 5).
+//!
+//! Database: branches, tellers (10 per branch), accounts, and a wrapping
+//! history file. A transaction picks a teller (thus its branch) and an
+//! account, applies a random delta to all three balances, and appends a
+//! history record — four small writes, the classic small-transaction
+//! stress test.
+
+use perseas_simtime::{det_rng, DetRng};
+use perseas_txn::{RegionId, TransactionalMemory, TxnError};
+
+use crate::Workload;
+
+/// Record sizes follow TPC-B: 100-byte account/teller/branch records, a
+/// 50-byte history record. Balances are little-endian `i64`s at offset 0.
+const RECORD: usize = 100;
+const HISTORY_RECORD: usize = 50;
+
+/// Scaling parameters of the debit-credit database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DebitCreditScale {
+    /// Number of branches.
+    pub branches: usize,
+    /// Tellers per branch.
+    pub tellers_per_branch: usize,
+    /// Accounts (total).
+    pub accounts: usize,
+    /// Slots in the wrapping history file.
+    pub history_slots: usize,
+}
+
+impl DebitCreditScale {
+    /// TPC-B's ratios at 1/10 scale: 1 branch, 10 tellers, 10 000
+    /// accounts — a few-MB main-memory database like the paper's.
+    pub fn paper() -> Self {
+        DebitCreditScale {
+            branches: 1,
+            tellers_per_branch: 10,
+            accounts: 10_000,
+            history_slots: 4_096,
+        }
+    }
+
+    /// A tiny database for fast tests.
+    pub fn tiny() -> Self {
+        DebitCreditScale {
+            branches: 2,
+            tellers_per_branch: 3,
+            accounts: 64,
+            history_slots: 32,
+        }
+    }
+
+    /// Total teller count.
+    pub fn tellers(&self) -> usize {
+        self.branches * self.tellers_per_branch
+    }
+}
+
+/// The debit-credit (TPC-B-like) workload.
+#[derive(Debug)]
+pub struct DebitCredit {
+    scale: DebitCreditScale,
+    rng: DetRng,
+    accounts: Option<RegionId>,
+    tellers: Option<RegionId>,
+    branches: Option<RegionId>,
+    history: Option<RegionId>,
+    next_history: usize,
+    txns: u64,
+    expected_total_delta: i64,
+}
+
+impl DebitCredit {
+    /// Creates the workload at the given scale with a deterministic seed.
+    pub fn new(scale: DebitCreditScale, seed: u64) -> Self {
+        DebitCredit {
+            scale,
+            rng: det_rng(seed),
+            accounts: None,
+            tellers: None,
+            branches: None,
+            history: None,
+            next_history: 0,
+            txns: 0,
+            expected_total_delta: 0,
+        }
+    }
+
+    /// The paper-scale configuration.
+    pub fn paper() -> Self {
+        DebitCredit::new(DebitCreditScale::paper(), 0xB0B5)
+    }
+
+    /// A small configuration for tests.
+    pub fn small() -> Self {
+        DebitCredit::new(DebitCreditScale::tiny(), 0xB0B5)
+    }
+
+    /// Transactions executed so far.
+    pub fn txns(&self) -> u64 {
+        self.txns
+    }
+
+    fn read_i64(
+        tm: &dyn TransactionalMemory,
+        region: RegionId,
+        offset: usize,
+    ) -> Result<i64, TxnError> {
+        let mut buf = [0u8; 8];
+        tm.read(region, offset, &mut buf)?;
+        Ok(i64::from_le_bytes(buf))
+    }
+
+    fn sum_balances(
+        tm: &dyn TransactionalMemory,
+        region: RegionId,
+        count: usize,
+        stride: usize,
+    ) -> Result<i64, String> {
+        let mut total = 0i64;
+        for i in 0..count {
+            total += Self::read_i64(tm, region, i * stride).map_err(|e| e.to_string())?;
+        }
+        Ok(total)
+    }
+}
+
+impl Workload for DebitCredit {
+    fn name(&self) -> &'static str {
+        "debit-credit"
+    }
+
+    fn setup(&mut self, tm: &mut dyn TransactionalMemory) -> Result<(), TxnError> {
+        self.accounts = Some(tm.alloc_region(self.scale.accounts * RECORD)?);
+        self.tellers = Some(tm.alloc_region(self.scale.tellers() * RECORD)?);
+        self.branches = Some(tm.alloc_region(self.scale.branches * RECORD)?);
+        self.history = Some(tm.alloc_region(self.scale.history_slots * HISTORY_RECORD)?);
+        // All balances start at zero (regions are zero-filled).
+        tm.publish()
+    }
+
+    fn run_txn(&mut self, tm: &mut dyn TransactionalMemory) -> Result<(), TxnError> {
+        let accounts = self.accounts.expect("setup() not called");
+        let tellers = self.tellers.expect("setup() not called");
+        let branches = self.branches.expect("setup() not called");
+        let history = self.history.expect("setup() not called");
+
+        let teller = self.rng.gen_index(self.scale.tellers());
+        let branch = teller / self.scale.tellers_per_branch;
+        let account = self.rng.gen_index(self.scale.accounts);
+        let delta = self.rng.gen_range(1_999) as i64 - 999; // [-999, +999]
+
+        let a_off = account * RECORD;
+        let t_off = teller * RECORD;
+        let b_off = branch * RECORD;
+        let h_off = (self.next_history % self.scale.history_slots) * HISTORY_RECORD;
+
+        tm.begin_transaction()?;
+        tm.set_range(accounts, a_off, 8)?;
+        tm.set_range(tellers, t_off, 8)?;
+        tm.set_range(branches, b_off, 8)?;
+        tm.set_range(history, h_off, HISTORY_RECORD)?;
+
+        let a = Self::read_i64(tm, accounts, a_off)?;
+        tm.write(accounts, a_off, &(a + delta).to_le_bytes())?;
+        let t = Self::read_i64(tm, tellers, t_off)?;
+        tm.write(tellers, t_off, &(t + delta).to_le_bytes())?;
+        let b = Self::read_i64(tm, branches, b_off)?;
+        tm.write(branches, b_off, &(b + delta).to_le_bytes())?;
+
+        let mut hist = [0u8; HISTORY_RECORD];
+        hist[0..8].copy_from_slice(&delta.to_le_bytes());
+        hist[8..16].copy_from_slice(&(account as u64).to_le_bytes());
+        hist[16..24].copy_from_slice(&(teller as u64).to_le_bytes());
+        hist[24..32].copy_from_slice(&(self.txns + 1).to_le_bytes());
+        tm.write(history, h_off, &hist)?;
+
+        tm.commit_transaction()?;
+        self.next_history += 1;
+        self.txns += 1;
+        self.expected_total_delta += delta;
+        Ok(())
+    }
+
+    fn check(&self, tm: &dyn TransactionalMemory) -> Result<(), String> {
+        let accounts = self.accounts.ok_or("setup() not called")?;
+        let tellers = self.tellers.ok_or("setup() not called")?;
+        let branches = self.branches.ok_or("setup() not called")?;
+
+        let a = Self::sum_balances(tm, accounts, self.scale.accounts, RECORD)?;
+        let t = Self::sum_balances(tm, tellers, self.scale.tellers(), RECORD)?;
+        let b = Self::sum_balances(tm, branches, self.scale.branches, RECORD)?;
+        if a != t || t != b {
+            return Err(format!(
+                "balance conservation violated: accounts={a} tellers={t} branches={b}"
+            ));
+        }
+        if a != self.expected_total_delta {
+            return Err(format!(
+                "total balance {a} does not match applied deltas {}",
+                self.expected_total_delta
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use perseas_baselines::VistaSystem;
+    use perseas_simtime::SimClock;
+
+    #[test]
+    fn balances_are_conserved() {
+        let mut tm = VistaSystem::new(SimClock::new());
+        let mut wl = DebitCredit::small();
+        wl.setup(&mut tm).unwrap();
+        run_workload(&mut tm, &mut wl, 500).unwrap();
+        wl.check(&tm).unwrap();
+        assert_eq!(wl.txns(), 500);
+    }
+
+    #[test]
+    fn history_wraps_without_error() {
+        let mut tm = VistaSystem::new(SimClock::new());
+        let mut wl = DebitCredit::new(DebitCreditScale::tiny(), 9);
+        wl.setup(&mut tm).unwrap();
+        // More transactions than history slots.
+        run_workload(&mut tm, &mut wl, 100).unwrap();
+        wl.check(&tm).unwrap();
+    }
+
+    #[test]
+    fn check_detects_corruption() {
+        let mut tm = VistaSystem::new(SimClock::new());
+        let mut wl = DebitCredit::small();
+        wl.setup(&mut tm).unwrap();
+        run_workload(&mut tm, &mut wl, 10).unwrap();
+        // Corrupt an account balance outside any transaction mechanism.
+        let accounts = wl.accounts.unwrap();
+        tm.begin_transaction().unwrap();
+        tm.set_range(accounts, 0, 8).unwrap();
+        tm.write(accounts, 0, &123_456i64.to_le_bytes()).unwrap();
+        tm.commit_transaction().unwrap();
+        assert!(wl.check(&tm).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut tm = VistaSystem::new(SimClock::new());
+            let mut wl = DebitCredit::new(DebitCreditScale::tiny(), 42);
+            wl.setup(&mut tm).unwrap();
+            run_workload(&mut tm, &mut wl, 50).unwrap();
+            wl.expected_total_delta
+        };
+        assert_eq!(run(), run());
+    }
+}

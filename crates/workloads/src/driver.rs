@@ -1,0 +1,80 @@
+//! The workload driver: runs transactions and measures virtual time.
+
+use perseas_simtime::SimDuration;
+use perseas_txn::{TransactionalMemory, TxnError};
+
+use crate::Workload;
+
+/// The result of driving a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Transactions executed.
+    pub txns: u64,
+    /// Virtual time consumed.
+    pub elapsed: SimDuration,
+}
+
+impl RunReport {
+    /// Throughput in transactions per second of virtual time.
+    pub fn tps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.txns as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Mean latency per transaction.
+    pub fn latency(&self) -> SimDuration {
+        if self.txns == 0 {
+            return SimDuration::ZERO;
+        }
+        self.elapsed / self.txns
+    }
+}
+
+/// Runs `n` transactions of `workload` against `tm`, measuring the virtual
+/// time they consume. The workload must already be
+/// [set up](crate::Workload::setup).
+///
+/// # Errors
+///
+/// Propagates the first transaction error.
+pub fn run_workload(
+    tm: &mut dyn TransactionalMemory,
+    workload: &mut dyn Workload,
+    n: u64,
+) -> Result<RunReport, TxnError> {
+    let sw = tm.clock().stopwatch();
+    for _ in 0..n {
+        workload.run_txn(tm)?;
+    }
+    Ok(RunReport {
+        txns: n,
+        elapsed: sw.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_math() {
+        let r = RunReport {
+            txns: 1000,
+            elapsed: SimDuration::from_millis(100),
+        };
+        assert!((r.tps() - 10_000.0).abs() < 1e-6);
+        assert_eq!(r.latency(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn zero_guards() {
+        let r = RunReport {
+            txns: 0,
+            elapsed: SimDuration::ZERO,
+        };
+        assert!(r.tps().is_infinite());
+        assert_eq!(r.latency(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,414 @@
+//! A file-system metadata workload — the third domain the paper's
+//! introduction motivates ("CAD environments, file systems and
+//! databases").
+//!
+//! Models a journaling file system's metadata engine: an inode table and
+//! a directory-entry table inside recoverable memory. Each transaction is
+//! one of *create*, *write-append* (bump an inode's size and mtime),
+//! *rename*, or *unlink* — multi-record updates whose invariants
+//! (directory entries reference live inodes; link counts match entries;
+//! used-inode accounting) make torn updates instantly visible.
+
+use perseas_simtime::{det_rng, DetRng};
+use perseas_txn::{RegionId, TransactionalMemory, TxnError};
+
+use crate::Workload;
+
+const INODE_SIZE: usize = 32; // flags u32, links u32, size u64, mtime u64, pad
+const DENT_SIZE: usize = 24; // used u32, pad u32, inode u64, name_hash u64
+const SUPER_SIZE: usize = 32; // used_inodes u64, used_dents u64, ops u64, pad
+
+const F_USED: u32 = 1;
+
+/// Scaling parameters of the file-system workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSysScale {
+    /// Inode table capacity.
+    pub inodes: usize,
+    /// Directory-entry table capacity.
+    pub dentries: usize,
+}
+
+impl FileSysScale {
+    /// A small working set comparable to the paper's other databases.
+    pub fn paper() -> Self {
+        FileSysScale {
+            inodes: 4_096,
+            dentries: 8_192,
+        }
+    }
+
+    /// A tiny configuration for fast tests.
+    pub fn tiny() -> Self {
+        FileSysScale {
+            inodes: 32,
+            dentries: 64,
+        }
+    }
+}
+
+/// The file-system metadata workload.
+#[derive(Debug)]
+pub struct FileSys {
+    scale: FileSysScale,
+    rng: DetRng,
+    superblock: Option<RegionId>,
+    inodes: Option<RegionId>,
+    dentries: Option<RegionId>,
+    /// Local shadow: which dentry slots are used and which inode each
+    /// references (drives operation choice; the durable truth lives in the
+    /// transactional memory and is cross-checked by `check`).
+    live_dents: Vec<Option<usize>>,
+    txns: u64,
+}
+
+impl FileSys {
+    /// Creates the workload at the given scale with a deterministic seed.
+    pub fn new(scale: FileSysScale, seed: u64) -> Self {
+        FileSys {
+            scale,
+            rng: det_rng(seed),
+            superblock: None,
+            inodes: None,
+            dentries: None,
+            live_dents: vec![None; scale.dentries],
+            txns: 0,
+        }
+    }
+
+    /// The paper-scale configuration.
+    pub fn paper() -> Self {
+        FileSys::new(FileSysScale::paper(), 0xF11E)
+    }
+
+    /// A small configuration for tests.
+    pub fn small() -> Self {
+        FileSys::new(FileSysScale::tiny(), 0xF11E)
+    }
+
+    /// Transactions executed so far.
+    pub fn txns(&self) -> u64 {
+        self.txns
+    }
+
+    /// Attaches to an existing (e.g. recovered) database for auditing:
+    /// region handles are supplied instead of allocated, and only
+    /// [`Workload::check`] is meaningful on the result.
+    pub fn attach(
+        scale: FileSysScale,
+        superblock: RegionId,
+        inodes: RegionId,
+        dentries: RegionId,
+    ) -> Self {
+        let mut fs = FileSys::new(scale, 0);
+        fs.superblock = Some(superblock);
+        fs.inodes = Some(inodes);
+        fs.dentries = Some(dentries);
+        fs
+    }
+
+    fn read_u32(
+        tm: &dyn TransactionalMemory,
+        region: RegionId,
+        off: usize,
+    ) -> Result<u32, TxnError> {
+        let mut b = [0u8; 4];
+        tm.read(region, off, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u64(
+        tm: &dyn TransactionalMemory,
+        region: RegionId,
+        off: usize,
+    ) -> Result<u64, TxnError> {
+        let mut b = [0u8; 8];
+        tm.read(region, off, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn bump_super(
+        &self,
+        tm: &mut dyn TransactionalMemory,
+        d_inodes: i64,
+        d_dents: i64,
+    ) -> Result<(), TxnError> {
+        let sb = self.superblock.expect("setup() not called");
+        tm.set_range(sb, 0, 24)?;
+        let inodes = Self::read_u64(tm, sb, 0)?;
+        let dents = Self::read_u64(tm, sb, 8)?;
+        let ops = Self::read_u64(tm, sb, 16)?;
+        tm.write(sb, 0, &(inodes.wrapping_add_signed(d_inodes)).to_le_bytes())?;
+        tm.write(sb, 8, &(dents.wrapping_add_signed(d_dents)).to_le_bytes())?;
+        tm.write(sb, 16, &(ops + 1).to_le_bytes())
+    }
+
+    fn find_free_inode(&self, tm: &dyn TransactionalMemory) -> Result<Option<usize>, TxnError> {
+        let inodes = self.inodes.expect("setup() not called");
+        for i in 0..self.scale.inodes {
+            if Self::read_u32(tm, inodes, i * INODE_SIZE)? & F_USED == 0 {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Creates a file: allocate an inode, fill a dentry, bump the
+    /// superblock.
+    fn op_create(&mut self, tm: &mut dyn TransactionalMemory, slot: usize) -> Result<(), TxnError> {
+        let Some(ino) = self.find_free_inode(tm)? else {
+            return Ok(()); // table full; skip
+        };
+        let inodes = self.inodes.expect("setup");
+        let dents = self.dentries.expect("setup");
+
+        tm.begin_transaction()?;
+        tm.set_range(inodes, ino * INODE_SIZE, INODE_SIZE)?;
+        let mut inode = [0u8; INODE_SIZE];
+        inode[0..4].copy_from_slice(&F_USED.to_le_bytes());
+        inode[4..8].copy_from_slice(&1u32.to_le_bytes()); // links
+        inode[16..24].copy_from_slice(&self.txns.to_le_bytes()); // mtime
+        tm.write(inodes, ino * INODE_SIZE, &inode)?;
+
+        tm.set_range(dents, slot * DENT_SIZE, DENT_SIZE)?;
+        let mut dent = [0u8; DENT_SIZE];
+        dent[0..4].copy_from_slice(&1u32.to_le_bytes());
+        dent[8..16].copy_from_slice(&(ino as u64).to_le_bytes());
+        dent[16..24].copy_from_slice(&self.rng.next_u64().to_le_bytes());
+        tm.write(dents, slot * DENT_SIZE, &dent)?;
+
+        self.bump_super(tm, 1, 1)?;
+        tm.commit_transaction()?;
+        self.live_dents[slot] = Some(ino);
+        Ok(())
+    }
+
+    /// Appends to a file: grow size, touch mtime.
+    fn op_append(
+        &mut self,
+        tm: &mut dyn TransactionalMemory,
+        slot: usize,
+        ino: usize,
+    ) -> Result<(), TxnError> {
+        let _ = slot;
+        let inodes = self.inodes.expect("setup");
+        let off = ino * INODE_SIZE;
+        tm.begin_transaction()?;
+        tm.set_range(inodes, off + 8, 16)?;
+        let size = Self::read_u64(tm, inodes, off + 8)?;
+        tm.write(inodes, off + 8, &(size + 4_096).to_le_bytes())?;
+        tm.write(inodes, off + 16, &self.txns.to_le_bytes())?;
+        self.bump_super(tm, 0, 0)?;
+        tm.commit_transaction()
+    }
+
+    /// Renames: move the dentry to a free slot atomically.
+    fn op_rename(
+        &mut self,
+        tm: &mut dyn TransactionalMemory,
+        from: usize,
+        ino: usize,
+    ) -> Result<(), TxnError> {
+        let Some(to) = (0..self.scale.dentries).find(|&s| self.live_dents[s].is_none()) else {
+            return Ok(());
+        };
+        let dents = self.dentries.expect("setup");
+        tm.begin_transaction()?;
+        tm.set_range(dents, from * DENT_SIZE, DENT_SIZE)?;
+        tm.set_range(dents, to * DENT_SIZE, DENT_SIZE)?;
+        let mut dent = vec![0u8; DENT_SIZE];
+        tm.read(dents, from * DENT_SIZE, &mut dent)?;
+        dent[16..24].copy_from_slice(&self.rng.next_u64().to_le_bytes()); // new name
+        tm.write(dents, to * DENT_SIZE, &dent)?;
+        tm.write(dents, from * DENT_SIZE, &vec![0u8; DENT_SIZE])?;
+        self.bump_super(tm, 0, 0)?;
+        tm.commit_transaction()?;
+        self.live_dents[to] = Some(ino);
+        self.live_dents[from] = None;
+        Ok(())
+    }
+
+    /// Unlinks: clear the dentry, drop the link count, free the inode
+    /// when it reaches zero.
+    fn op_unlink(
+        &mut self,
+        tm: &mut dyn TransactionalMemory,
+        slot: usize,
+        ino: usize,
+    ) -> Result<(), TxnError> {
+        let inodes = self.inodes.expect("setup");
+        let dents = self.dentries.expect("setup");
+        tm.begin_transaction()?;
+        tm.set_range(dents, slot * DENT_SIZE, DENT_SIZE)?;
+        tm.write(dents, slot * DENT_SIZE, &vec![0u8; DENT_SIZE])?;
+
+        let off = ino * INODE_SIZE;
+        tm.set_range(inodes, off, 8)?;
+        let links = Self::read_u32(tm, inodes, off + 4)?;
+        if links <= 1 {
+            tm.write(inodes, off, &0u32.to_le_bytes())?; // clear F_USED
+            tm.write(inodes, off + 4, &0u32.to_le_bytes())?;
+            self.bump_super(tm, -1, -1)?;
+        } else {
+            tm.write(inodes, off + 4, &(links - 1).to_le_bytes())?;
+            self.bump_super(tm, 0, -1)?;
+        }
+        tm.commit_transaction()?;
+        self.live_dents[slot] = None;
+        Ok(())
+    }
+}
+
+impl Workload for FileSys {
+    fn name(&self) -> &'static str {
+        "filesys"
+    }
+
+    fn setup(&mut self, tm: &mut dyn TransactionalMemory) -> Result<(), TxnError> {
+        self.superblock = Some(tm.alloc_region(SUPER_SIZE)?);
+        self.inodes = Some(tm.alloc_region(self.scale.inodes * INODE_SIZE)?);
+        self.dentries = Some(tm.alloc_region(self.scale.dentries * DENT_SIZE)?);
+        tm.publish()
+    }
+
+    fn run_txn(&mut self, tm: &mut dyn TransactionalMemory) -> Result<(), TxnError> {
+        let live: Vec<(usize, usize)> = self
+            .live_dents
+            .iter()
+            .enumerate()
+            .filter_map(|(s, i)| i.map(|ino| (s, ino)))
+            .collect();
+        let choice = self.rng.gen_range(100);
+        if live.is_empty() || choice < 35 {
+            let free = (0..self.scale.dentries).find(|&s| self.live_dents[s].is_none());
+            if let Some(slot) = free {
+                self.op_create(tm, slot)?;
+            } else {
+                let &(slot, ino) = &live[self.rng.gen_index(live.len())];
+                self.op_unlink(tm, slot, ino)?;
+            }
+        } else {
+            let &(slot, ino) = &live[self.rng.gen_index(live.len())];
+            match choice {
+                35..=69 => self.op_append(tm, slot, ino)?,
+                70..=84 => self.op_rename(tm, slot, ino)?,
+                _ => self.op_unlink(tm, slot, ino)?,
+            }
+        }
+        self.txns += 1;
+        Ok(())
+    }
+
+    fn check(&self, tm: &dyn TransactionalMemory) -> Result<(), String> {
+        let sb = self.superblock.ok_or("setup() not called")?;
+        let inodes = self.inodes.ok_or("setup() not called")?;
+        let dents = self.dentries.ok_or("setup() not called")?;
+
+        // Count used inodes and live dentries from the durable state.
+        let mut used_inodes = 0u64;
+        let mut link_total = vec![0u32; self.scale.inodes];
+        for i in 0..self.scale.inodes {
+            let flags = Self::read_u32(tm, inodes, i * INODE_SIZE).map_err(|e| e.to_string())?;
+            if flags & F_USED != 0 {
+                used_inodes += 1;
+            }
+        }
+        let mut used_dents = 0u64;
+        for s in 0..self.scale.dentries {
+            let used = Self::read_u32(tm, dents, s * DENT_SIZE).map_err(|e| e.to_string())?;
+            if used == 0 {
+                continue;
+            }
+            used_dents += 1;
+            let ino =
+                Self::read_u64(tm, dents, s * DENT_SIZE + 8).map_err(|e| e.to_string())? as usize;
+            if ino >= self.scale.inodes {
+                return Err(format!("dentry {s} references bad inode {ino}"));
+            }
+            let flags = Self::read_u32(tm, inodes, ino * INODE_SIZE).map_err(|e| e.to_string())?;
+            if flags & F_USED == 0 {
+                return Err(format!("dentry {s} references free inode {ino} (dangling)"));
+            }
+            link_total[ino] += 1;
+        }
+
+        // Link counts must match directory references.
+        for i in 0..self.scale.inodes {
+            let flags = Self::read_u32(tm, inodes, i * INODE_SIZE).map_err(|e| e.to_string())?;
+            let links =
+                Self::read_u32(tm, inodes, i * INODE_SIZE + 4).map_err(|e| e.to_string())?;
+            if flags & F_USED != 0 && links != link_total[i] {
+                return Err(format!(
+                    "inode {i}: link count {links} but {} directory entries",
+                    link_total[i]
+                ));
+            }
+        }
+
+        // Superblock accounting must agree.
+        let sb_inodes = Self::read_u64(tm, sb, 0).map_err(|e| e.to_string())?;
+        let sb_dents = Self::read_u64(tm, sb, 8).map_err(|e| e.to_string())?;
+        if sb_inodes != used_inodes || sb_dents != used_dents {
+            return Err(format!(
+                "superblock says {sb_inodes} inodes / {sb_dents} dentries, found {used_inodes} / {used_dents}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use perseas_baselines::VistaSystem;
+    use perseas_simtime::SimClock;
+
+    #[test]
+    fn invariants_hold_after_churn() {
+        let mut tm = VistaSystem::new(SimClock::new());
+        let mut wl = FileSys::small();
+        wl.setup(&mut tm).unwrap();
+        run_workload(&mut tm, &mut wl, 1_000).unwrap();
+        wl.check(&tm).unwrap();
+        assert_eq!(wl.txns(), 1_000);
+    }
+
+    #[test]
+    fn tables_fill_and_drain_without_error() {
+        // A tiny scale forces the full/empty edge paths (create into a
+        // full table falls back to unlink, etc.).
+        let mut tm = VistaSystem::new(SimClock::new());
+        let mut wl = FileSys::new(
+            FileSysScale {
+                inodes: 4,
+                dentries: 4,
+            },
+            7,
+        );
+        wl.setup(&mut tm).unwrap();
+        run_workload(&mut tm, &mut wl, 500).unwrap();
+        wl.check(&tm).unwrap();
+    }
+
+    #[test]
+    fn check_catches_dangling_dentries() {
+        let mut tm = VistaSystem::new(SimClock::new());
+        let mut wl = FileSys::small();
+        wl.setup(&mut tm).unwrap();
+        run_workload(&mut tm, &mut wl, 50).unwrap();
+        // Forge a dentry pointing at a free inode.
+        let dents = wl.dentries.unwrap();
+        let free_slot = (0..wl.scale.dentries)
+            .find(|&s| wl.live_dents[s].is_none())
+            .unwrap();
+        tm.begin_transaction().unwrap();
+        tm.set_range(dents, free_slot * DENT_SIZE, DENT_SIZE).unwrap();
+        let mut dent = [0u8; DENT_SIZE];
+        dent[0..4].copy_from_slice(&1u32.to_le_bytes());
+        dent[8..16].copy_from_slice(&(wl.scale.inodes as u64 - 1).to_le_bytes());
+        tm.write(dents, free_slot * DENT_SIZE, &dent).unwrap();
+        tm.commit_transaction().unwrap();
+        assert!(wl.check(&tm).is_err());
+    }
+}

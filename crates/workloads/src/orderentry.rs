@@ -1,0 +1,325 @@
+//! The order-entry workload: "follows TPC-C and models the activities of
+//! a wholesale supplier" (paper, Section 5).
+//!
+//! Database: warehouses, districts (10 per warehouse), an item/stock table
+//! per warehouse, and wrapping order/order-line files. A new-order
+//! transaction allocates the district's next order id, decrements stock
+//! for 5–15 random items (restocking by 91 when quantity drops below 10,
+//! as TPC-C prescribes), and inserts the order with one order line per
+//! item — a medium-size transaction touching many ranges.
+
+use perseas_simtime::{det_rng, DetRng};
+use perseas_txn::{RegionId, TransactionalMemory, TxnError};
+
+use crate::Workload;
+
+const DISTRICT_RECORD: usize = 32; // next_o_id u64 + order_count u64 + pad
+const STOCK_RECORD: usize = 16; // quantity i64 + ytd u64
+const ORDER_RECORD: usize = 32; // o_id, district, item_count, txn
+const ORDER_LINE_RECORD: usize = 24; // o_id, item, qty
+
+/// Scaling parameters of the order-entry database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderEntryScale {
+    /// Number of warehouses.
+    pub warehouses: usize,
+    /// Districts per warehouse (TPC-C: 10).
+    pub districts_per_warehouse: usize,
+    /// Items in the catalogue (and stock rows per warehouse).
+    pub items: usize,
+    /// Slots in the wrapping order file.
+    pub order_slots: usize,
+    /// Slots in the wrapping order-line file.
+    pub order_line_slots: usize,
+}
+
+impl OrderEntryScale {
+    /// A main-memory scale comparable to the paper's databases:
+    /// 2 warehouses × 10 districts, 1 000 items.
+    pub fn paper() -> Self {
+        OrderEntryScale {
+            warehouses: 2,
+            districts_per_warehouse: 10,
+            items: 1_000,
+            order_slots: 4_096,
+            order_line_slots: 16_384,
+        }
+    }
+
+    /// A tiny database for fast tests.
+    pub fn tiny() -> Self {
+        OrderEntryScale {
+            warehouses: 1,
+            districts_per_warehouse: 2,
+            items: 32,
+            order_slots: 64,
+            order_line_slots: 256,
+        }
+    }
+
+    /// Total district count.
+    pub fn districts(&self) -> usize {
+        self.warehouses * self.districts_per_warehouse
+    }
+}
+
+/// The order-entry (TPC-C-like new-order) workload.
+#[derive(Debug)]
+pub struct OrderEntry {
+    scale: OrderEntryScale,
+    rng: DetRng,
+    districts: Option<RegionId>,
+    stock: Option<RegionId>,
+    orders: Option<RegionId>,
+    order_lines: Option<RegionId>,
+    next_order_slot: usize,
+    next_line_slot: usize,
+    txns: u64,
+    /// Units ordered per item, for the stock invariant.
+    ordered_units: Vec<i64>,
+    initial_quantity: i64,
+}
+
+impl OrderEntry {
+    /// Creates the workload at the given scale with a deterministic seed.
+    pub fn new(scale: OrderEntryScale, seed: u64) -> Self {
+        OrderEntry {
+            scale,
+            rng: det_rng(seed),
+            districts: None,
+            stock: None,
+            orders: None,
+            order_lines: None,
+            next_order_slot: 0,
+            next_line_slot: 0,
+            txns: 0,
+            ordered_units: vec![0; scale.items * scale.warehouses],
+            initial_quantity: 50,
+        }
+    }
+
+    /// The paper-scale configuration.
+    pub fn paper() -> Self {
+        OrderEntry::new(OrderEntryScale::paper(), 0x0BDE)
+    }
+
+    /// A small configuration for tests.
+    pub fn small() -> Self {
+        OrderEntry::new(OrderEntryScale::tiny(), 0xDEED)
+    }
+
+    /// Transactions executed so far.
+    pub fn txns(&self) -> u64 {
+        self.txns
+    }
+
+    fn read_i64(
+        tm: &dyn TransactionalMemory,
+        region: RegionId,
+        offset: usize,
+    ) -> Result<i64, TxnError> {
+        let mut buf = [0u8; 8];
+        tm.read(region, offset, &mut buf)?;
+        Ok(i64::from_le_bytes(buf))
+    }
+}
+
+impl Workload for OrderEntry {
+    fn name(&self) -> &'static str {
+        "order-entry"
+    }
+
+    fn setup(&mut self, tm: &mut dyn TransactionalMemory) -> Result<(), TxnError> {
+        let districts = tm.alloc_region(self.scale.districts() * DISTRICT_RECORD)?;
+        let stock =
+            tm.alloc_region(self.scale.warehouses * self.scale.items * STOCK_RECORD)?;
+        let orders = tm.alloc_region(self.scale.order_slots * ORDER_RECORD)?;
+        let order_lines = tm.alloc_region(self.scale.order_line_slots * ORDER_LINE_RECORD)?;
+
+        // Initial stock quantity for every item in every warehouse.
+        for row in 0..self.scale.warehouses * self.scale.items {
+            tm.write(
+                stock,
+                row * STOCK_RECORD,
+                &self.initial_quantity.to_le_bytes(),
+            )?;
+        }
+        tm.publish()?;
+        self.districts = Some(districts);
+        self.stock = Some(stock);
+        self.orders = Some(orders);
+        self.order_lines = Some(order_lines);
+        Ok(())
+    }
+
+    fn run_txn(&mut self, tm: &mut dyn TransactionalMemory) -> Result<(), TxnError> {
+        let districts = self.districts.expect("setup() not called");
+        let stock = self.stock.expect("setup() not called");
+        let orders = self.orders.expect("setup() not called");
+        let order_lines = self.order_lines.expect("setup() not called");
+
+        let warehouse = self.rng.gen_index(self.scale.warehouses);
+        let district = self.rng.gen_index(self.scale.districts());
+        let item_count = 5 + self.rng.gen_index(11); // 5..=15
+        let items: Vec<(usize, i64)> = (0..item_count)
+            .map(|_| {
+                (
+                    self.rng.gen_index(self.scale.items),
+                    1 + self.rng.gen_range(10) as i64,
+                )
+            })
+            .collect();
+
+        let d_off = district * DISTRICT_RECORD;
+        let o_slot = self.next_order_slot % self.scale.order_slots;
+
+        tm.begin_transaction()?;
+
+        // Allocate the order id from the district.
+        tm.set_range(districts, d_off, 16)?;
+        let o_id = Self::read_i64(tm, districts, d_off)? + 1;
+        let count = Self::read_i64(tm, districts, d_off + 8)? + 1;
+        tm.write(districts, d_off, &o_id.to_le_bytes())?;
+        tm.write(districts, d_off + 8, &count.to_le_bytes())?;
+
+        // Decrement stock, restocking as TPC-C does.
+        for &(item, qty) in &items {
+            let row = warehouse * self.scale.items + item;
+            let s_off = row * STOCK_RECORD;
+            tm.set_range(stock, s_off, STOCK_RECORD)?;
+            let mut quantity = Self::read_i64(tm, stock, s_off)? - qty;
+            if quantity < 10 {
+                quantity += 91;
+            }
+            let ytd = Self::read_i64(tm, stock, s_off + 8)? + qty;
+            tm.write(stock, s_off, &quantity.to_le_bytes())?;
+            tm.write(stock, s_off + 8, &ytd.to_le_bytes())?;
+        }
+
+        // Insert the order record.
+        let or_off = o_slot * ORDER_RECORD;
+        tm.set_range(orders, or_off, ORDER_RECORD)?;
+        let mut order = [0u8; ORDER_RECORD];
+        order[0..8].copy_from_slice(&o_id.to_le_bytes());
+        order[8..16].copy_from_slice(&(district as u64).to_le_bytes());
+        order[16..24].copy_from_slice(&(items.len() as u64).to_le_bytes());
+        order[24..32].copy_from_slice(&(self.txns + 1).to_le_bytes());
+        tm.write(orders, or_off, &order)?;
+
+        // Insert one order line per item.
+        for &(item, qty) in &items {
+            let l_slot = self.next_line_slot % self.scale.order_line_slots;
+            let ol_off = l_slot * ORDER_LINE_RECORD;
+            tm.set_range(order_lines, ol_off, ORDER_LINE_RECORD)?;
+            let mut line = [0u8; ORDER_LINE_RECORD];
+            line[0..8].copy_from_slice(&o_id.to_le_bytes());
+            line[8..16].copy_from_slice(&(item as u64).to_le_bytes());
+            line[16..24].copy_from_slice(&qty.to_le_bytes());
+            tm.write(order_lines, ol_off, &line)?;
+            self.next_line_slot += 1;
+        }
+
+        tm.commit_transaction()?;
+        self.next_order_slot += 1;
+        self.txns += 1;
+        for &(item, qty) in &items {
+            self.ordered_units[warehouse * self.scale.items + item] += qty;
+        }
+        Ok(())
+    }
+
+    fn check(&self, tm: &dyn TransactionalMemory) -> Result<(), String> {
+        let districts = self.districts.ok_or("setup() not called")?;
+        let stock = self.stock.ok_or("setup() not called")?;
+
+        // Orders allocated across districts must equal transactions run.
+        let mut total_orders = 0i64;
+        for d in 0..self.scale.districts() {
+            total_orders += Self::read_i64(tm, districts, d * DISTRICT_RECORD + 8)
+                .map_err(|e| e.to_string())?;
+        }
+        if total_orders != self.txns as i64 {
+            return Err(format!(
+                "order count {total_orders} != transactions {}",
+                self.txns
+            ));
+        }
+
+        // Stock ledger: year-to-date sales must match ordered units, and
+        // quantity must reconcile with restocks.
+        for row in 0..self.scale.warehouses * self.scale.items {
+            let s_off = row * STOCK_RECORD;
+            let quantity = Self::read_i64(tm, stock, s_off).map_err(|e| e.to_string())?;
+            let ytd = Self::read_i64(tm, stock, s_off + 8).map_err(|e| e.to_string())?;
+            if ytd != self.ordered_units[row] {
+                return Err(format!(
+                    "stock row {row}: ytd {ytd} != ordered {}",
+                    self.ordered_units[row]
+                ));
+            }
+            // quantity = initial - ytd + 91 * restocks, with 10 <= q < 101
+            // after any restock; reconstruct restocks and validate range.
+            let deficit = self.initial_quantity - ytd - quantity;
+            if deficit % 91 != 0 {
+                return Err(format!(
+                    "stock row {row}: quantity {quantity} irreconcilable with ytd {ytd}"
+                ));
+            }
+            if quantity < 10 - 15 || quantity > self.initial_quantity + 91 {
+                return Err(format!("stock row {row}: quantity {quantity} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use perseas_baselines::VistaSystem;
+    use perseas_simtime::SimClock;
+
+    #[test]
+    fn invariants_hold_after_many_orders() {
+        let mut tm = VistaSystem::new(SimClock::new());
+        let mut wl = OrderEntry::small();
+        wl.setup(&mut tm).unwrap();
+        run_workload(&mut tm, &mut wl, 300).unwrap();
+        wl.check(&tm).unwrap();
+        assert_eq!(wl.txns(), 300);
+    }
+
+    #[test]
+    fn order_entry_transactions_cost_more_than_debit_credit() {
+        use crate::DebitCredit;
+        let clock_oe = SimClock::new();
+        let mut tm = VistaSystem::new(clock_oe.clone());
+        let mut wl = OrderEntry::small();
+        wl.setup(&mut tm).unwrap();
+        let oe = run_workload(&mut tm, &mut wl, 100).unwrap();
+
+        let clock_dc = SimClock::new();
+        let mut tm = VistaSystem::new(clock_dc.clone());
+        let mut wl = DebitCredit::small();
+        wl.setup(&mut tm).unwrap();
+        let dc = run_workload(&mut tm, &mut wl, 100).unwrap();
+
+        assert!(oe.latency() > dc.latency());
+    }
+
+    #[test]
+    fn check_detects_missing_orders() {
+        let mut tm = VistaSystem::new(SimClock::new());
+        let mut wl = OrderEntry::small();
+        wl.setup(&mut tm).unwrap();
+        run_workload(&mut tm, &mut wl, 5).unwrap();
+        // Tamper with a district's order count.
+        let districts = wl.districts.unwrap();
+        tm.begin_transaction().unwrap();
+        tm.set_range(districts, 8, 8).unwrap();
+        tm.write(districts, 8, &0i64.to_le_bytes()).unwrap();
+        tm.commit_transaction().unwrap();
+        assert!(wl.check(&tm).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! The synthetic size-sweep benchmark behind Figure 6.
+//!
+//! "A benchmark that measures the transaction overhead as a function of
+//! the transaction size. Each transaction modifies a random location of
+//! the database. We vary the amount of data changed by each transaction
+//! from 4 bytes to 1 Mbyte."
+
+use perseas_simtime::{det_rng, DetRng};
+use perseas_txn::{RegionId, TransactionalMemory, TxnError};
+
+use crate::Workload;
+
+/// The synthetic workload: every transaction writes `txn_size` bytes at a
+/// random offset of a `db_size`-byte database.
+#[derive(Debug)]
+pub struct Synthetic {
+    db_size: usize,
+    txn_size: usize,
+    region: Option<RegionId>,
+    rng: DetRng,
+    fill: u8,
+}
+
+impl Synthetic {
+    /// Creates a sweep point. The paper's database is "smaller than main
+    /// memory"; 8 MB is representative and comfortably holds the 1 MB
+    /// largest transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn_size` is zero or exceeds `db_size`.
+    pub fn new(db_size: usize, txn_size: usize, seed: u64) -> Self {
+        assert!(txn_size > 0, "transaction size must be positive");
+        assert!(txn_size <= db_size, "transaction larger than database");
+        Synthetic {
+            db_size,
+            txn_size,
+            region: None,
+            rng: det_rng(seed),
+            fill: 0,
+        }
+    }
+
+    /// The default Figure 6 configuration for a given transaction size.
+    pub fn figure6(txn_size: usize) -> Self {
+        Synthetic::new(8 << 20, txn_size, 0x5EED + txn_size as u64)
+    }
+
+    /// Transaction size in bytes.
+    pub fn txn_size(&self) -> usize {
+        self.txn_size
+    }
+}
+
+impl Workload for Synthetic {
+    fn name(&self) -> &'static str {
+        "synthetic"
+    }
+
+    fn setup(&mut self, tm: &mut dyn TransactionalMemory) -> Result<(), TxnError> {
+        let region = tm.alloc_region(self.db_size)?;
+        tm.publish()?;
+        self.region = Some(region);
+        Ok(())
+    }
+
+    fn run_txn(&mut self, tm: &mut dyn TransactionalMemory) -> Result<(), TxnError> {
+        let region = self.region.expect("setup() not called");
+        let offset = self.rng.gen_index(self.db_size - self.txn_size + 1);
+        self.fill = self.fill.wrapping_add(1);
+        tm.begin_transaction()?;
+        tm.set_range(region, offset, self.txn_size)?;
+        tm.write(region, offset, &vec![self.fill; self.txn_size])?;
+        tm.commit_transaction()
+    }
+
+    fn check(&self, tm: &dyn TransactionalMemory) -> Result<(), String> {
+        // No aggregate invariant beyond readability of the whole region.
+        let region = self.region.ok_or("setup() not called")?;
+        let len = tm.region_len(region).map_err(|e| e.to_string())?;
+        if len != self.db_size {
+            return Err(format!("region shrank: {len} != {}", self.db_size));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use perseas_baselines::VistaSystem;
+    use perseas_simtime::SimClock;
+
+    #[test]
+    fn runs_and_checks() {
+        let mut tm = VistaSystem::new(SimClock::new());
+        let mut wl = Synthetic::new(1 << 16, 128, 1);
+        wl.setup(&mut tm).unwrap();
+        let report = run_workload(&mut tm, &mut wl, 50).unwrap();
+        assert_eq!(report.txns, 50);
+        assert!(!report.elapsed.is_zero());
+        wl.check(&tm).unwrap();
+    }
+
+    #[test]
+    fn larger_transactions_cost_more() {
+        let time_for = |size: usize| {
+            let mut tm = VistaSystem::new(SimClock::new());
+            let mut wl = Synthetic::new(1 << 20, size, 2);
+            wl.setup(&mut tm).unwrap();
+            run_workload(&mut tm, &mut wl, 20).unwrap().elapsed
+        };
+        assert!(time_for(64 << 10) > time_for(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "transaction larger")]
+    fn oversized_txn_rejected() {
+        let _ = Synthetic::new(16, 32, 0);
+    }
+
+    #[test]
+    fn deterministic_offsets() {
+        let mut a = Synthetic::new(1 << 16, 16, 7);
+        let mut b = Synthetic::new(1 << 16, 16, 7);
+        assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+    }
+}

@@ -1,0 +1,56 @@
+//! Banking: the paper's debit-credit workload on PERSEAS, with a crash in
+//! the middle of the run and a consistency audit after recovery.
+//!
+//! ```text
+//! cargo run --release -p perseas-examples --bin banking
+//! ```
+
+use perseas_core::{FaultPlan, Perseas, PerseasConfig, TxnError};
+use perseas_rnram::SimRemote;
+use perseas_sci::{NodeMemory, SciParams};
+use perseas_simtime::SimClock;
+use perseas_workloads::{run_workload, DebitCredit, Workload};
+
+fn main() -> Result<(), TxnError> {
+    let clock = SimClock::new();
+    let mirror = SimRemote::with_parts(
+        clock.clone(),
+        NodeMemory::new("bank-mirror"),
+        SciParams::dolphin_1998(),
+    );
+    let node = mirror.node().clone();
+    let mut db = Perseas::init_with_clock(vec![mirror], PerseasConfig::default(), clock)?;
+
+    let mut workload = DebitCredit::paper();
+    workload
+        .setup(&mut db)
+        .expect("allocate the banking database");
+
+    // Measure a healthy run.
+    let report = run_workload(&mut db, &mut workload, 10_000).expect("run transactions");
+    println!(
+        "debit-credit: {:.0} txns/sec ({} virtual time for {} txns)",
+        report.tps(),
+        report.elapsed,
+        report.txns
+    );
+    workload.check(&db).expect("balances conserved");
+    println!("audit 1: account / teller / branch balances agree");
+
+    // Crash the bank's primary in the middle of a transaction.
+    db.set_fault_plan(FaultPlan::crash_after(2));
+    let err = workload.run_txn(&mut db).expect_err("this txn must die");
+    assert_eq!(err, TxnError::Crashed);
+    println!("primary crashed mid-transaction: {err}");
+
+    // Recover on a standby workstation and audit again.
+    let backend = SimRemote::with_parts(SimClock::new(), node, SciParams::dolphin_1998());
+    let (db2, report) = Perseas::recover(backend, PerseasConfig::default())?;
+    println!(
+        "recovered from mirror: {} committed txns survive, {} undo records rolled back",
+        report.last_committed, report.rolled_back_records
+    );
+    workload.check(&db2).expect("balances conserved after crash");
+    println!("audit 2: the interrupted transfer vanished atomically");
+    Ok(())
+}

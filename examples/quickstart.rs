@@ -1,0 +1,69 @@
+//! Quickstart: a mirrored main-memory database, a crash, and a recovery.
+//!
+//! ```text
+//! cargo run -p perseas-examples --bin quickstart
+//! ```
+
+use perseas_core::{Perseas, PerseasConfig, TxnError};
+use perseas_rnram::SimRemote;
+use perseas_sci::SciParams;
+use perseas_simtime::SimClock;
+
+fn main() -> Result<(), TxnError> {
+    // One remote workstation exports its idle memory as network RAM.
+    let mirror = SimRemote::new("mirror-node");
+    let mirror_memory = mirror.node().clone(); // survives the crash below
+
+    // PERSEAS_init + PERSEAS_malloc + PERSEAS_init_remote_db.
+    let mut db = Perseas::init(vec![mirror], PerseasConfig::default())?;
+    let counters = db.malloc(8 * 16)?; // sixteen u64 counters
+    db.init_remote_db()?;
+    println!("database mirrored on {} node(s)", db.mirror_count());
+
+    // A few committed transactions...
+    for i in 0..10u64 {
+        db.begin_transaction()?;
+        let slot = (i % 16) as usize * 8;
+        db.set_range(counters, slot, 8)?;
+        db.write(counters, slot, &(i + 1).to_le_bytes())?;
+        db.commit_transaction()?;
+    }
+    println!("committed 10 transactions (latest id {})", db.last_committed());
+
+    // ...one aborted transaction (a purely local operation)...
+    db.begin_transaction()?;
+    db.set_range(counters, 0, 8)?;
+    db.write(counters, 0, &999u64.to_le_bytes())?;
+    db.abort_transaction()?;
+
+    // ...and one in flight when the machine dies.
+    db.begin_transaction()?;
+    db.set_range(counters, 8, 8)?;
+    db.write(counters, 8, &777u64.to_le_bytes())?;
+    println!("crash! (mid-transaction)");
+    db.crash();
+
+    // Any workstation can now recover from the mirror's memory.
+    let backend = SimRemote::with_parts(
+        SimClock::new(),
+        mirror_memory,
+        SciParams::dolphin_1998(),
+    );
+    let (db2, report) = Perseas::recover(backend, PerseasConfig::default())?;
+    println!(
+        "recovered: last committed txn {}, rolled back {} undo record(s) of txn {:?}",
+        report.last_committed, report.rolled_back_records, report.rolled_back_txn
+    );
+
+    let mut buf = [0u8; 8];
+    db2.read(counters, 0, &mut buf)?;
+    let c0 = u64::from_le_bytes(buf);
+    db2.read(counters, 8, &mut buf)?;
+    let c1 = u64::from_le_bytes(buf);
+    println!("counter[0] = {c0} (aborted 999 never visible)");
+    println!("counter[1] = {c1} (in-flight 777 rolled back)");
+    assert_eq!(c0, 1);
+    assert_eq!(c1, 2);
+    println!("atomicity and durability held across the crash");
+    Ok(())
+}

@@ -1,0 +1,7 @@
+set datafile separator ','
+set title 'Technology trend: RVM/PERSEAS latency ratio'
+set xlabel 'year'
+set ylabel 'ratio'
+set terminal png size 900,600
+set output 'ablation_trend.png'
+plot 'ablation_trend.csv' skip 1 using 1:4 with linespoints title 'RVM / PERSEAS'

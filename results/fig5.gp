@@ -1,0 +1,9 @@
+set datafile separator ','
+set title 'Figure 5: SCI remote write latency'
+set xlabel 'data size (bytes)'
+set ylabel 'latency (us)'
+set key top left
+set terminal png size 900,600
+set output 'fig5.png'
+plot 'fig5.csv' skip 1 using 1:2 with linespoints title 'raw store', \
+'fig5.csv' skip 1 using 1:3 with linespoints title 'sci_memcpy'

@@ -1,0 +1,8 @@
+set datafile separator ','
+set title 'Figure 6: transaction overhead vs size'
+set xlabel 'transaction size (bytes)'
+set ylabel 'overhead (us)'
+set logscale xy
+set terminal png size 900,600
+set output 'fig6.png'
+plot 'fig6.csv' skip 1 using 1:2 with linespoints title 'PERSEAS'

@@ -1,0 +1,44 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this small library builds
+//! the systems under test in the configurations the paper evaluates.
+
+use perseas_baselines::{VistaSystem, WalConfig, WalSystem};
+use perseas_core::{Perseas, PerseasConfig};
+use perseas_rnram::SimRemote;
+use perseas_sci::{NodeMemory, SciParams};
+use perseas_simtime::SimClock;
+use perseas_txn::TransactionalMemory;
+
+/// Builds a PERSEAS instance whose library and SCI link share one clock,
+/// returning the instance and the mirror's node memory (for crash tests).
+pub fn perseas_with_node() -> (Perseas<SimRemote>, NodeMemory) {
+    let clock = SimClock::new();
+    let node = NodeMemory::new("it-mirror");
+    let backend = SimRemote::with_parts(clock.clone(), node.clone(), SciParams::dolphin_1998());
+    let db = Perseas::init_with_clock(vec![backend], PerseasConfig::default(), clock)
+        .expect("init PERSEAS");
+    (db, node)
+}
+
+/// A fresh backend handle onto `node`, as a recovering workstation opens.
+pub fn reopen(node: &NodeMemory) -> SimRemote {
+    SimRemote::with_parts(SimClock::new(), node.clone(), SciParams::dolphin_1998())
+}
+
+/// Every system of the paper's comparison, each on its own clock.
+pub fn all_systems() -> Vec<(&'static str, Box<dyn TransactionalMemory>)> {
+    let (perseas, _) = perseas_with_node();
+    vec![
+        ("perseas", Box::new(perseas) as Box<dyn TransactionalMemory>),
+        (
+            "rvm",
+            Box::new(WalSystem::rvm(SimClock::new(), WalConfig::new())),
+        ),
+        (
+            "rio-rvm",
+            Box::new(WalSystem::rio_rvm(SimClock::new(), WalConfig::new())),
+        ),
+        ("vista", Box::new(VistaSystem::new(SimClock::new()))),
+    ]
+}

@@ -1,0 +1,135 @@
+//! Cross-system integration: every system of the paper's comparison must
+//! produce byte-identical databases for the same workload history, with
+//! its invariants intact — throughput may differ by orders of magnitude,
+//! correctness may not.
+
+use perseas_integration::all_systems;
+use perseas_txn::RegionId;
+use perseas_workloads::{
+    run_workload, DebitCredit, OrderEntry, OrderEntryScale, Synthetic, Workload,
+};
+
+/// Runs the same deterministic workload on every system and compares the
+/// final database images byte for byte.
+fn assert_identical_images<W, F>(mut make_workload: F, txns: u64, regions: u32)
+where
+    W: Workload,
+    F: FnMut() -> W,
+{
+    let mut reference: Option<(String, Vec<Vec<u8>>)> = None;
+    for (name, mut tm) in all_systems() {
+        let mut wl = make_workload();
+        wl.setup(tm.as_mut()).expect("setup");
+        run_workload(tm.as_mut(), &mut wl, txns).expect("run");
+        wl.check(&*tm).expect("invariants");
+
+        let image: Vec<Vec<u8>> = (0..regions)
+            .map(|r| {
+                let region = RegionId::from_raw(r);
+                let len = tm.region_len(region).expect("region");
+                let mut buf = vec![0u8; len];
+                tm.read(region, 0, &mut buf).expect("read");
+                buf
+            })
+            .collect();
+        match &reference {
+            None => reference = Some((name.to_string(), image)),
+            Some((ref_name, ref_image)) => {
+                assert_eq!(
+                    ref_image, &image,
+                    "{name} diverged from {ref_name} on {}",
+                    wl.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_systems_agree_on_synthetic() {
+    assert_identical_images(|| Synthetic::new(1 << 16, 128, 77), 200, 1);
+}
+
+#[test]
+fn all_systems_agree_on_debit_credit() {
+    assert_identical_images(DebitCredit::small, 400, 4);
+}
+
+#[test]
+fn all_systems_agree_on_order_entry() {
+    assert_identical_images(
+        || OrderEntry::new(OrderEntryScale::tiny(), 5),
+        200,
+        4,
+    );
+}
+
+#[test]
+fn aborts_do_not_diverge_systems() {
+    // Interleave commits and aborts by hand on every system.
+    let mut reference: Option<Vec<u8>> = None;
+    for (name, mut tm) in all_systems() {
+        let r = tm.alloc_region(64).expect("alloc");
+        tm.publish().expect("publish");
+        for i in 0..16u8 {
+            tm.begin_transaction().expect("begin");
+            tm.set_range(r, (i as usize % 8) * 8, 8).expect("set_range");
+            tm.write(r, (i as usize % 8) * 8, &[i; 8]).expect("write");
+            if i % 3 == 0 {
+                tm.abort_transaction().expect("abort");
+            } else {
+                tm.commit_transaction().expect("commit");
+            }
+        }
+        let mut buf = vec![0u8; 64];
+        tm.read(r, 0, &mut buf).expect("read");
+        match &reference {
+            None => reference = Some(buf),
+            Some(want) => assert_eq!(want, &buf, "{name} diverged"),
+        }
+    }
+}
+
+#[test]
+fn throughput_ordering_matches_the_paper() {
+    // RVM (disk) must be orders of magnitude slower than Rio-RVM, which is
+    // slower than Vista and PERSEAS; PERSEAS and Vista are within ~3x of
+    // each other (the paper: "PERSEAS performs very close to Vista").
+    let mut tps = std::collections::HashMap::new();
+    for (name, mut tm) in all_systems() {
+        let mut wl = DebitCredit::paper();
+        wl.setup(tm.as_mut()).expect("setup");
+        let n = if name == "rvm" { 200 } else { 5_000 };
+        let report = run_workload(tm.as_mut(), &mut wl, n).expect("run");
+        tps.insert(name, report.tps());
+    }
+    assert!(tps["rio-rvm"] > tps["rvm"] * 10.0, "{tps:?}");
+    assert!(tps["perseas"] > tps["rio-rvm"], "{tps:?}");
+    assert!(tps["vista"] > tps["rio-rvm"], "{tps:?}");
+    let ratio = tps["vista"] / tps["perseas"];
+    assert!((0.3..=3.0).contains(&ratio), "{tps:?}");
+}
+
+#[test]
+fn perseas_beats_rvm_by_orders_of_magnitude_on_small_txns() {
+    let mut tps = std::collections::HashMap::new();
+    for (name, mut tm) in all_systems() {
+        let mut wl = Synthetic::new(8 << 20, 16, 7);
+        wl.setup(tm.as_mut()).expect("setup");
+        let n = if name == "rvm" { 150 } else { 10_000 };
+        let report = run_workload(tm.as_mut(), &mut wl, n).expect("run");
+        tps.insert(name, report.tps());
+    }
+    // The paper's headline: several orders of magnitude over RVM.
+    assert!(
+        tps["perseas"] > tps["rvm"] * 100.0,
+        "expected >=2 orders of magnitude: {tps:?}"
+    );
+    assert!(tps["perseas"] > 100_000.0, "{tps:?}");
+}
+
+#[test]
+fn all_systems_agree_on_filesys() {
+    use perseas_workloads::{FileSys, FileSysScale};
+    assert_identical_images(|| FileSys::new(FileSysScale::tiny(), 3), 300, 3);
+}

@@ -1,0 +1,187 @@
+//! Failure injection beyond the primary: mirror loss, link loss, and the
+//! degraded-operation paths the paper's reliability argument rests on.
+
+use perseas_core::{Perseas, PerseasConfig, TxnError};
+use perseas_integration::{perseas_with_node, reopen};
+use perseas_rnram::SimRemote;
+use perseas_sci::{NodeMemory, SciParams};
+use perseas_simtime::SimClock;
+
+fn two_mirror_db() -> (Perseas<SimRemote>, NodeMemory, NodeMemory) {
+    let clock = SimClock::new();
+    let a = SimRemote::with_parts(clock.clone(), NodeMemory::new("a"), SciParams::dolphin_1998());
+    let b = SimRemote::with_parts(clock.clone(), NodeMemory::new("b"), SciParams::dolphin_1998());
+    let (na, nb) = (a.node().clone(), b.node().clone());
+    let db = Perseas::init_with_clock(vec![a, b], PerseasConfig::default(), clock).unwrap();
+    (db, na, nb)
+}
+
+#[test]
+fn mirror_crash_fails_commit_but_data_survives_on_other_mirror() {
+    let (mut db, na, nb) = two_mirror_db();
+    let r = db.malloc(64).unwrap();
+    db.init_remote_db().unwrap();
+
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 8).unwrap();
+    db.write(r, 0, &[1; 8]).unwrap();
+    db.commit_transaction().unwrap();
+
+    // Mirror b dies; the next commit must report unavailability.
+    nb.crash();
+    db.begin_transaction().unwrap();
+    let res = db
+        .set_range(r, 8, 8)
+        .and_then(|_| db.write(r, 8, &[2; 8]))
+        .and_then(|_| db.commit_transaction());
+    assert!(matches!(res, Err(TxnError::Unavailable(_))));
+
+    // Mirror a still has the committed prefix.
+    let (db2, report) = Perseas::recover(reopen(&na), PerseasConfig::default()).unwrap();
+    assert_eq!(report.last_committed, 1);
+    assert_eq!(&db2.region_snapshot(r).unwrap()[..8], &[1; 8]);
+}
+
+#[test]
+fn degraded_operation_after_removing_dead_mirror() {
+    let (mut db, _na, nb) = two_mirror_db();
+    let r = db.malloc(64).unwrap();
+    db.init_remote_db().unwrap();
+
+    nb.crash();
+    // Drop the dead mirror; the database keeps running on one mirror.
+    let dead = (0..db.mirror_count())
+        .find(|&i| db.mirror_backend(i).is_some_and(|m| m.node().is_crashed()))
+        .expect("dead mirror");
+    db.remove_mirror(dead).unwrap();
+    assert_eq!(db.mirror_count(), 1);
+
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 8).unwrap();
+    db.write(r, 0, &[3; 8]).unwrap();
+    db.commit_transaction().unwrap();
+    assert_eq!(db.last_committed(), 1);
+}
+
+#[test]
+fn cannot_remove_the_last_mirror() {
+    let (mut db, _) = perseas_with_node();
+    let _ = db.malloc(8).unwrap();
+    db.init_remote_db().unwrap();
+    assert!(matches!(
+        db.remove_mirror(0),
+        Err(TxnError::Unavailable(_))
+    ));
+    assert!(matches!(
+        db.remove_mirror(7),
+        Err(TxnError::Unavailable(_))
+    ));
+}
+
+#[test]
+fn link_cut_during_commit_is_unavailable_then_recoverable() {
+    let clock = SimClock::new();
+    let backend =
+        SimRemote::with_parts(clock.clone(), NodeMemory::new("m"), SciParams::dolphin_1998());
+    let node = backend.node().clone();
+    let link = backend.link().clone();
+    let mut db = Perseas::init_with_clock(vec![backend], PerseasConfig::default(), clock).unwrap();
+    let r = db.malloc(256).unwrap();
+    db.init_remote_db().unwrap();
+
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 64).unwrap();
+    db.write(r, 0, &[9; 64]).unwrap();
+    link.cut_after_packets(1); // dies mid data propagation
+    let err = db.commit_transaction().unwrap_err();
+    assert!(matches!(err, TxnError::Unavailable(_)));
+
+    // The mirror holds a torn prefix; recovery rolls it back.
+    link.heal();
+    let (db2, report) = Perseas::recover(reopen(&node), PerseasConfig::default()).unwrap();
+    assert!(report.rolled_back_txn.is_some());
+    assert_eq!(db2.region_snapshot(r).unwrap(), vec![0; 256]);
+}
+
+#[test]
+fn scrubbed_node_recovers_nothing() {
+    let (mut db, node) = perseas_with_node();
+    let r = db.malloc(64).unwrap();
+    db.init_remote_db().unwrap();
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 8).unwrap();
+    db.write(r, 0, &[1; 8]).unwrap();
+    db.commit_transaction().unwrap();
+    db.crash();
+
+    let mut backend = reopen(&node);
+    Perseas::scrub_mirror(&mut backend, &PerseasConfig::default()).unwrap();
+    assert_eq!(node.used_bytes(), 0, "scrub must free every segment");
+    let err = Perseas::recover(reopen(&node), PerseasConfig::default()).unwrap_err();
+    assert!(matches!(err, TxnError::Unavailable(_)));
+}
+
+#[test]
+fn recover_best_skips_dead_mirrors() {
+    let (mut db, na, nb) = two_mirror_db();
+    let r = db.malloc(64).unwrap();
+    db.init_remote_db().unwrap();
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 8).unwrap();
+    db.write(r, 0, &[5; 8]).unwrap();
+    db.commit_transaction().unwrap();
+    db.crash();
+    na.crash();
+
+    let (db2, report) = Perseas::recover_best(
+        vec![reopen(&na), reopen(&nb)],
+        PerseasConfig::default(),
+        SimClock::new(),
+    )
+    .unwrap();
+    assert_eq!(report.last_committed, 1);
+    assert_eq!(&db2.region_snapshot(r).unwrap()[..8], &[5; 8]);
+
+    // With every mirror dead, recovery reports unavailability.
+    nb.crash();
+    let err = Perseas::<SimRemote>::recover_best(
+        vec![reopen(&na), reopen(&nb)],
+        PerseasConfig::default(),
+        SimClock::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, TxnError::Unavailable(_)));
+}
+
+#[test]
+fn tcp_server_restart_preserves_exported_memory() {
+    use perseas_rnram::server::Server;
+    use perseas_rnram::TcpRemote;
+
+    let server = Server::bind("restartable", "127.0.0.1:0").unwrap().start();
+    let node = server.node().clone();
+
+    let mirror = TcpRemote::connect(server.addr()).unwrap();
+    let mut db = Perseas::init(vec![mirror], PerseasConfig::default()).unwrap();
+    let r = db.malloc(64).unwrap();
+    db.init_remote_db().unwrap();
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 8).unwrap();
+    db.write(r, 0, &[7; 8]).unwrap();
+    db.commit_transaction().unwrap();
+
+    // The server process restarts (new port, same exported memory, as a
+    // UPS-backed node would after a software-only restart).
+    server.shutdown();
+    let err = db
+        .transaction(|tx| tx.update(r, 8, &[8; 8]))
+        .unwrap_err();
+    assert!(matches!(err, TxnError::Unavailable(_)));
+
+    let server2 = Server::with_node(node, "127.0.0.1:0").unwrap().start();
+    let reconnect = TcpRemote::connect(server2.addr()).unwrap();
+    let (db2, report) = Perseas::recover(reconnect, PerseasConfig::default()).unwrap();
+    assert_eq!(report.last_committed, 1);
+    assert_eq!(&db2.region_snapshot(r).unwrap()[..8], &[7; 8]);
+    server2.shutdown();
+}
