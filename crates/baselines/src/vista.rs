@@ -126,8 +126,8 @@ impl VistaSystem {
             let mut offsets = Vec::new();
             let mut at = 0usize;
             while at + UNDO_HEADER <= undo_len {
-                let len = u64::from_le_bytes(log[at + 12..at + 20].try_into().expect("8 bytes"))
-                    as usize;
+                let len =
+                    u64::from_le_bytes(log[at + 12..at + 20].try_into().expect("8 bytes")) as usize;
                 if at + UNDO_HEADER + len > undo_len {
                     break;
                 }
@@ -139,8 +139,8 @@ impl VistaSystem {
                     u32::from_le_bytes(log[at..at + 4].try_into().expect("4 bytes")) as usize;
                 let offset =
                     u64::from_le_bytes(log[at + 4..at + 12].try_into().expect("8 bytes")) as usize;
-                let len = u64::from_le_bytes(log[at + 12..at + 20].try_into().expect("8 bytes"))
-                    as usize;
+                let len =
+                    u64::from_le_bytes(log[at + 12..at + 20].try_into().expect("8 bytes")) as usize;
                 if region < handle.db.len() {
                     let payload = &log[at + UNDO_HEADER..at + UNDO_HEADER + len];
                     handle.rio.mapped_write(handle.db[region], offset, payload);
@@ -149,7 +149,11 @@ impl VistaSystem {
             handle.rio.mapped_write(handle.meta, 0, &0u64.to_le_bytes());
         }
 
-        let region_lens = handle.db.iter().map(|&r| handle.rio.region_len(r)).collect();
+        let region_lens = handle
+            .db
+            .iter()
+            .map(|&r| handle.rio.region_len(r))
+            .collect();
         VistaSystem {
             rio: handle.rio,
             db: handle.db,

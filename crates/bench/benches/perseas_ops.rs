@@ -64,6 +64,98 @@ fn bench_small_commit(c: &mut Criterion) {
     g.finish();
 }
 
+fn two_mirror(batched: bool) -> (Perseas<SimRemote>, perseas_core::RegionId) {
+    let clock = SimClock::new();
+    let a = SimRemote::with_parts(
+        clock.clone(),
+        NodeMemory::new("a"),
+        SciParams::dolphin_1998(),
+    );
+    let b = SimRemote::with_parts(
+        clock.clone(),
+        NodeMemory::new("b"),
+        SciParams::dolphin_1998(),
+    );
+    let cfg = PerseasConfig::default().with_batched_commit(batched);
+    let mut db = Perseas::init_with_clock(vec![a, b], cfg, clock).expect("init");
+    let r = db.malloc(1 << 16).expect("malloc");
+    db.init_remote_db().expect("publish");
+    (db, r)
+}
+
+fn eight_range_txn(db: &mut Perseas<SimRemote>, r: perseas_core::RegionId, round: usize) {
+    db.begin_transaction().unwrap();
+    for i in 0..8 {
+        let off = i * 512 + (round % 4) * 64;
+        db.set_range(r, off, 64).unwrap();
+        db.write(r, off, &[round as u8; 64]).unwrap();
+    }
+    db.commit_transaction().unwrap();
+}
+
+/// SCI messages and virtual nanoseconds of one 8-range, 2-mirror commit.
+fn simulated_cost(batched: bool) -> (u64, u64) {
+    let (mut db, r) = two_mirror(batched);
+    let msgs = |db: &Perseas<SimRemote>| -> u64 {
+        (0..db.mirror_count())
+            .map(|i| db.mirror_backend(i).unwrap().link().stats().writes)
+            .sum()
+    };
+    let before_msgs = msgs(&db);
+    let before_t = db.clock().now();
+    eight_range_txn(&mut db, r, 0);
+    let after_t = db.clock().now();
+    (
+        msgs(&db) - before_msgs,
+        after_t.duration_since(before_t).as_nanos(),
+    )
+}
+
+fn bench_batched_pipeline(c: &mut Criterion) {
+    // Record the simulated-cost comparison alongside the wall-clock
+    // numbers, so the batching win is visible without a profiler.
+    let (legacy_msgs, legacy_ns) = simulated_cost(false);
+    let (batched_msgs, batched_ns) = simulated_cost(true);
+    assert!(
+        batched_msgs < legacy_msgs && batched_ns < legacy_ns,
+        "batched pipeline must beat per-range: {batched_msgs}/{legacy_msgs} msgs, \
+         {batched_ns}/{legacy_ns} ns"
+    );
+    let csv = format!(
+        "path,sci_messages,virtual_ns\n\
+         legacy,{legacy_msgs},{legacy_ns}\n\
+         batched,{batched_msgs},{batched_ns}\n\
+         ratio,{:.3},{:.3}\n",
+        batched_msgs as f64 / legacy_msgs as f64,
+        batched_ns as f64 / legacy_ns as f64,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/batched_commit.csv"
+    );
+    std::fs::write(path, csv).expect("write results/batched_commit.csv");
+
+    let mut g = c.benchmark_group("perseas");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("commit_8_ranges_legacy", |b| {
+        let (mut db, r) = two_mirror(false);
+        let mut round = 0usize;
+        b.iter(|| {
+            round += 1;
+            eight_range_txn(&mut db, r, round);
+        });
+    });
+    g.bench_function("commit_8_ranges_batched", |b| {
+        let (mut db, r) = two_mirror(true);
+        let mut round = 0usize;
+        b.iter(|| {
+            round += 1;
+            eight_range_txn(&mut db, r, round);
+        });
+    });
+    g.finish();
+}
+
 fn bench_recovery(c: &mut Criterion) {
     let mut g = c.benchmark_group("recovery");
     g.sample_size(20);
@@ -74,17 +166,13 @@ fn bench_recovery(c: &mut Criterion) {
                 db.begin_transaction().unwrap();
                 db.set_range(r, 0, 4096).unwrap();
                 db.write(r, 0, &[1; 4096]).unwrap();
-                let node: NodeMemory =
-                    db.mirror_backend(0).expect("mirror").node().clone();
+                let node: NodeMemory = db.mirror_backend(0).expect("mirror").node().clone();
                 db.crash();
                 node
             },
             |node| {
-                let backend = SimRemote::with_parts(
-                    SimClock::new(),
-                    node,
-                    SciParams::dolphin_1998(),
-                );
+                let backend =
+                    SimRemote::with_parts(SimClock::new(), node, SciParams::dolphin_1998());
                 let (db, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
                 db
             },
@@ -97,6 +185,6 @@ fn bench_recovery(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_small_commit, bench_recovery
+    targets = bench_small_commit, bench_batched_pipeline, bench_recovery
 }
 criterion_main!(benches);

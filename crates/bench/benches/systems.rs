@@ -11,14 +11,18 @@ fn bench_systems(c: &mut Criterion) {
     let mut g = c.benchmark_group("debit_credit_txn");
     g.throughput(Throughput::Elements(1));
     for kind in SystemKind::all() {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let mut tm = kind.build();
-            let mut wl = DebitCredit::paper();
-            wl.setup(tm.as_mut()).expect("setup");
-            b.iter(|| {
-                wl.run_txn(tm.as_mut()).expect("txn");
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let mut tm = kind.build();
+                let mut wl = DebitCredit::paper();
+                wl.setup(tm.as_mut()).expect("setup");
+                b.iter(|| {
+                    wl.run_txn(tm.as_mut()).expect("txn");
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -16,29 +16,62 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use perseas_bench::{
-    ablation_group_commit, ablation_memcpy, ablation_mirrors, ablation_remote_wal, ablation_trend,
+    ablation_batch, ablation_group_commit, ablation_memcpy, ablation_mirrors, ablation_remote_wal,
+    ablation_trend, compare_systems, copies_per_txn, dbsize_sweep, fig5_sci_latency,
+    fig6_txn_overhead, filesys_throughput, recovery_time, table1_perseas, tail_latency,
     verify_claims,
-    compare_systems, copies_per_txn, fig5_sci_latency, fig6_txn_overhead, recovery_time,
-    ablation_batch, dbsize_sweep, filesys_throughput, table1_perseas, tail_latency,
 };
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig5", "SCI remote-write latency vs. data size (Figure 5)"),
-    ("fig6", "transaction overhead vs. transaction size (Figure 6)"),
-    ("table1", "PERSEAS debit-credit / order-entry throughput (Table 1)"),
+    (
+        "fig6",
+        "transaction overhead vs. transaction size (Figure 6)",
+    ),
+    (
+        "table1",
+        "PERSEAS debit-credit / order-entry throughput (Table 1)",
+    ),
     ("compare", "all six systems on all workloads (Section 5.1)"),
-    ("copies", "protocol copies and IO per transaction (Figures 2 & 3)"),
-    ("ablation-group-commit", "RVM group commit vs. PERSEAS (Section 6)"),
+    (
+        "copies",
+        "protocol copies and IO per transaction (Figures 2 & 3)",
+    ),
+    (
+        "ablation-group-commit",
+        "RVM group commit vs. PERSEAS (Section 6)",
+    ),
     ("ablation-mirrors", "PERSEAS with k = 1..4 mirrors"),
-    ("ablation-memcpy", "aligned-chunk sci_memcpy on/off (Section 4)"),
-    ("ablation-trend", "disk vs. network technology trend (Section 6)"),
-    ("ablation-remote-wal", "remote-memory WAL (Ioannidis et al.) vs. PERSEAS (Section 2)"),
+    (
+        "ablation-memcpy",
+        "aligned-chunk sci_memcpy on/off (Section 4)",
+    ),
+    (
+        "ablation-trend",
+        "disk vs. network technology trend (Section 6)",
+    ),
+    (
+        "ablation-remote-wal",
+        "remote-memory WAL (Ioannidis et al.) vs. PERSEAS (Section 2)",
+    ),
     ("tail-latency", "p50/p99/max transaction latency per system"),
-    ("dbsize", "PERSEAS throughput vs database size (Section 5.1)"),
-    ("ablation-batch", "batched set_ranges vs per-range declarations (extension)"),
-    ("filesys", "file-system metadata workload across all systems"),
+    (
+        "dbsize",
+        "PERSEAS throughput vs database size (Section 5.1)",
+    ),
+    (
+        "ablation-batch",
+        "batched set_ranges vs per-range declarations (extension)",
+    ),
+    (
+        "filesys",
+        "file-system metadata workload across all systems",
+    ),
     ("recovery", "recovery time vs. database size (availability)"),
-    ("check", "verify every quantitative paper claim (pass/fail table)"),
+    (
+        "check",
+        "verify every quantitative paper claim (pass/fail table)",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -130,7 +163,10 @@ fn run(name: &str, csv: Option<&std::path::Path>) {
     match name {
         "fig5" => {
             banner("Figure 5: SCI remote write latency (one-way, first word at buffer word 0)");
-            println!("{:>8} {:>12} {:>14}", "bytes", "raw (us)", "sci_memcpy (us)");
+            println!(
+                "{:>8} {:>12} {:>14}",
+                "bytes", "raw (us)", "sci_memcpy (us)"
+            );
             let rows = fig5_sci_latency();
             let mut csv_rows = Vec::new();
             for r in &rows {
@@ -177,7 +213,10 @@ fn run(name: &str, csv: Option<&std::path::Path>) {
         }
         "table1" => {
             banner("Table 1: PERSEAS throughput");
-            println!("{:<16} {:>14} {:>14}", "benchmark", "txns/sec", "latency (us)");
+            println!(
+                "{:<16} {:>14} {:>14}",
+                "benchmark", "txns/sec", "latency (us)"
+            );
             let rows = table1_perseas();
             let mut csv_rows = Vec::new();
             for r in &rows {
@@ -254,7 +293,12 @@ fn run(name: &str, csv: Option<&std::path::Path>) {
                 println!("{:>8} {:>18.0} {:>22.2}", r.mirrors, r.tps, r.small_txn_us);
                 csv_rows.push(format!("{},{:.0},{:.2}", r.mirrors, r.tps, r.small_txn_us));
             }
-            save_csv(csv, "ablation_mirrors", "mirrors,tps,small_txn_us", &csv_rows);
+            save_csv(
+                csv,
+                "ablation_mirrors",
+                "mirrors,tps,small_txn_us",
+                &csv_rows,
+            );
         }
         "ablation-memcpy" => {
             banner("Section 4 ablation: aligned-chunk sci_memcpy on/off");
@@ -274,7 +318,12 @@ fn run(name: &str, csv: Option<&std::path::Path>) {
                 );
                 csv_rows.push(format!("{},{:.2},{:.2}", r.size, r.aligned_us, r.naive_us));
             }
-            save_csv(csv, "ablation_memcpy", "size,aligned_us,naive_us", &csv_rows);
+            save_csv(
+                csv,
+                "ablation_memcpy",
+                "size,aligned_us,naive_us",
+                &csv_rows,
+            );
         }
         "ablation-trend" => {
             banner("Section 6: technology trend (net 32.5%/yr vs disk 15%/yr)");
@@ -294,7 +343,12 @@ fn run(name: &str, csv: Option<&std::path::Path>) {
                     r.year, r.perseas_us, r.rvm_us, r.ratio
                 ));
             }
-            save_csv(csv, "ablation_trend", "year,perseas_us,rvm_us,ratio", &csv_rows);
+            save_csv(
+                csv,
+                "ablation_trend",
+                "year,perseas_us,rvm_us,ratio",
+                &csv_rows,
+            );
             save_plot(
                 csv,
                 "ablation_trend",
@@ -358,7 +412,12 @@ fn run(name: &str, csv: Option<&std::path::Path>) {
                     r.system, r.p50_us, r.p99_us, r.max_us
                 ));
             }
-            save_csv(csv, "tail_latency", "system,p50_us,p99_us,max_us", &csv_rows);
+            save_csv(
+                csv,
+                "tail_latency",
+                "system,p50_us,p99_us,max_us",
+                &csv_rows,
+            );
         }
         "dbsize" => {
             banner("Section 5.1: PERSEAS throughput vs database size (debit-credit)");
@@ -396,7 +455,12 @@ fn run(name: &str, csv: Option<&std::path::Path>) {
                     r.db_bytes, r.recover_ms, r.rolled_back
                 ));
             }
-            save_csv(csv, "recovery", "db_bytes,recover_ms,rolled_back", &csv_rows);
+            save_csv(
+                csv,
+                "recovery",
+                "db_bytes,recover_ms,rolled_back",
+                &csv_rows,
+            );
         }
         "ablation-batch" => {
             banner("Extension: batched set_ranges (one undo burst per transaction)");
@@ -419,7 +483,12 @@ fn run(name: &str, csv: Option<&std::path::Path>) {
                     r.ranges, r.per_range_us, r.batched_us
                 ));
             }
-            save_csv(csv, "ablation_batch", "ranges,per_range_us,batched_us", &csv_rows);
+            save_csv(
+                csv,
+                "ablation_batch",
+                "ranges,per_range_us,batched_us",
+                &csv_rows,
+            );
         }
         "filesys" => {
             banner("File-system metadata workload (create/append/rename/unlink)");

@@ -51,7 +51,12 @@ pub fn verify_claims() -> Vec<ClaimRow> {
     rows.push(row(
         "§4 / Fig. 5",
         "whole 64-byte aligned stores are the cheapest way to move >32 bytes",
-        format!("64B = {:.2} us vs 60B = {:.2} us, 68B = {:.2} us", at(64), at(60), at(68)),
+        format!(
+            "64B = {:.2} us vs 60B = {:.2} us, 68B = {:.2} us",
+            at(64),
+            at(60),
+            at(68)
+        ),
         at(64) < at(60) && at(64) < at(68),
     ));
     rows.push(row(
@@ -130,13 +135,19 @@ pub fn verify_claims() -> Vec<ClaimRow> {
     rows.push(row(
         "Fig. 3",
         "PERSEAS commits with zero disk accesses",
-        format!("{:.2} stable-store IOs per transaction", perseas_row.disk_per_txn),
+        format!(
+            "{:.2} stable-store IOs per transaction",
+            perseas_row.disk_per_txn
+        ),
         perseas_row.disk_per_txn == 0.0,
     ));
     rows.push(row(
         "Fig. 2",
         "the WAL protocol hits stable storage on every commit",
-        format!("{:.2} stable-store IOs per transaction", rvm_row.disk_per_txn),
+        format!(
+            "{:.2} stable-store IOs per transaction",
+            rvm_row.disk_per_txn
+        ),
         rvm_row.disk_per_txn >= 1.0,
     ));
 
@@ -182,7 +193,11 @@ mod tests {
         let rows = verify_claims();
         assert!(rows.len() >= 12);
         for r in &rows {
-            assert!(r.pass, "claim failed: [{}] {} — {}", r.source, r.claim, r.measured);
+            assert!(
+                r.pass,
+                "claim failed: [{}] {} — {}",
+                r.source, r.claim, r.measured
+            );
         }
     }
 }

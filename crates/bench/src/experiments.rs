@@ -144,7 +144,12 @@ pub fn compare_systems() -> Vec<ThroughputRow> {
             n,
         ));
         let mut tm = kind.build();
-        rows.push(drive(kind.name(), tm.as_mut(), &mut DebitCredit::paper(), n));
+        rows.push(drive(
+            kind.name(),
+            tm.as_mut(),
+            &mut DebitCredit::paper(),
+            n,
+        ));
         let mut tm = kind.build();
         rows.push(drive(
             kind.name(),
@@ -264,7 +269,12 @@ pub fn ablation_mirrors() -> Vec<MirrorRow> {
                 k,
                 SciParams::dolphin_1998(),
             );
-            let small = drive("PERSEAS", &mut db, &mut Synthetic::new(8 << 20, 16, 7), 10_000);
+            let small = drive(
+                "PERSEAS",
+                &mut db,
+                &mut Synthetic::new(8 << 20, 16, 7),
+                10_000,
+            );
             MirrorRow {
                 mirrors: k,
                 tps: row.tps,
@@ -294,8 +304,7 @@ pub fn ablation_memcpy() -> Vec<MemcpyRow> {
             let latency = |aligned: bool| {
                 let clock = SimClock::new();
                 let cfg = PerseasConfig::default().with_aligned_memcpy(aligned);
-                let mut db =
-                    perseas_sim_with(clock.clone(), cfg, 1, SciParams::dolphin_1998());
+                let mut db = perseas_sim_with(clock.clone(), cfg, 1, SciParams::dolphin_1998());
                 let mut wl = Synthetic::new(4 << 20, size, 11);
                 wl.setup(&mut db).expect("setup");
                 let n = (1_000usize.min((16 << 20) / size)).max(8) as u64;
@@ -351,7 +360,12 @@ pub fn ablation_trend() -> Vec<TrendRow> {
                 1,
                 SciParams::scaled(net),
             );
-            let p = drive("PERSEAS", &mut db, &mut Synthetic::new(8 << 20, 16, 7), 5_000);
+            let p = drive(
+                "PERSEAS",
+                &mut db,
+                &mut Synthetic::new(8 << 20, 16, 7),
+                5_000,
+            );
 
             let clock = SimClock::new();
             let store = DiskStore::with_params(clock.clone(), DiskParams::scaled(disk));
@@ -400,10 +414,8 @@ pub fn ablation_remote_wal() -> Vec<RemoteWalRow> {
             // Remote-memory WAL under sustained load.
             let clock = SimClock::new();
             let store = NetWalStore::new(clock.clone());
-            let mut tm = WalSystem::with_store(
-                store,
-                WalConfig::new().with_checkpoint_log_bytes(512 << 20),
-            );
+            let mut tm =
+                WalSystem::with_store(store, WalConfig::new().with_checkpoint_log_bytes(512 << 20));
             let mut wl = Synthetic::new(8 << 20, txn_size, 13);
             wl.setup(&mut tm).expect("setup");
             let sw = clock.stopwatch();
@@ -550,7 +562,9 @@ pub fn dbsize_sweep() -> Vec<DbSizeRow> {
             wl.check(&db).expect("invariants");
             DbSizeRow {
                 accounts,
-                db_bytes: accounts * 100 + scale.tellers() * 100 + scale.branches * 100
+                db_bytes: accounts * 100
+                    + scale.tellers() * 100
+                    + scale.branches * 100
                     + scale.history_slots * 50,
                 tps: report.tps(),
             }
@@ -631,11 +645,8 @@ pub fn recovery_time() -> Vec<RecoveryRow> {
             db.crash();
 
             let recovery_clock = SimClock::new();
-            let backend = SimRemote::with_parts(
-                recovery_clock.clone(),
-                node,
-                SciParams::dolphin_1998(),
-            );
+            let backend =
+                SimRemote::with_parts(recovery_clock.clone(), node, SciParams::dolphin_1998());
             let sw = recovery_clock.stopwatch();
             let (_db2, report) = Perseas::recover_with_clock(
                 backend,

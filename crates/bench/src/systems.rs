@@ -11,7 +11,12 @@ use perseas_txn::TransactionalMemory;
 /// A PERSEAS instance over one simulated SCI mirror, with the library and
 /// the link sharing `clock`.
 pub fn perseas_sim(clock: SimClock) -> Perseas<SimRemote> {
-    perseas_sim_with(clock, PerseasConfig::default(), 1, SciParams::dolphin_1998())
+    perseas_sim_with(
+        clock,
+        PerseasConfig::default(),
+        1,
+        SciParams::dolphin_1998(),
+    )
 }
 
 /// Like [`perseas_sim`] with explicit configuration, mirror count, and SCI
@@ -29,7 +34,11 @@ pub fn perseas_sim_with(
     assert!(mirrors > 0, "at least one mirror");
     let backends: Vec<SimRemote> = (0..mirrors)
         .map(|i| {
-            SimRemote::with_parts(clock.clone(), NodeMemory::new(format!("mirror-{i}")), params)
+            SimRemote::with_parts(
+                clock.clone(),
+                NodeMemory::new(format!("mirror-{i}")),
+                params,
+            )
         })
         .collect();
     Perseas::init_with_clock(backends, cfg, clock).expect("init PERSEAS")

@@ -80,7 +80,10 @@ pub fn usage() -> String {
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, UsageError> {
     if let Some(pos) = args.iter().position(|a| a == flag) {
         if pos + 1 >= args.len() {
-            return Err(UsageError(format!("{flag} requires a value\n\n{}", usage())));
+            return Err(UsageError(format!(
+                "{flag} requires a value\n\n{}",
+                usage()
+            )));
         }
         let value = args.remove(pos + 1);
         args.remove(pos);
@@ -160,7 +163,10 @@ pub fn parse(args: Vec<String>) -> Result<Command, UsageError> {
             Ok(Command::Restore { addr, input, tag })
         }
         "--help" | "-h" | "help" => Err(UsageError(usage())),
-        other => Err(UsageError(format!("unknown command '{other}'\n\n{}", usage()))),
+        other => Err(UsageError(format!(
+            "unknown command '{other}'\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -192,7 +198,11 @@ pub fn inspect(addr: &str, tag: u64) -> Result<String, String> {
 
     let mut out = String::new();
     let _ = writeln!(out, "mirror:          {name} ({addr})");
-    let _ = writeln!(out, "metadata:        {} ({} bytes, tag {tag:#x})", meta.id, meta.len);
+    let _ = writeln!(
+        out,
+        "metadata:        {} ({} bytes, tag {tag:#x})",
+        meta.id, meta.len
+    );
     let _ = writeln!(out, "last committed:  txn {}", header.last_committed);
     let _ = writeln!(
         out,

@@ -55,8 +55,7 @@ fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Restore { addr, input, tag } => {
-            let archive =
-                fs::read(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+            let archive = fs::read(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
             let report = restore(&addr, tag, &archive)?;
             println!("{report}");
             Ok(())

@@ -54,11 +54,7 @@ impl<M: RemoteMemory> Perseas<M> {
     ///
     /// Fails on corrupt archives ([`TxnError::Unavailable`] with a
     /// description) and on mirror allocation failures.
-    pub fn restore(
-        mirrors: Vec<M>,
-        cfg: PerseasConfig,
-        archive: &[u8],
-    ) -> Result<Self, TxnError> {
+    pub fn restore(mirrors: Vec<M>, cfg: PerseasConfig, archive: &[u8]) -> Result<Self, TxnError> {
         Perseas::restore_with_clock(mirrors, cfg, archive, SimClock::new())
     }
 
@@ -152,9 +148,12 @@ mod tests {
     fn archive_restore_roundtrip() {
         let (db, r) = built();
         let archive = db.archive().unwrap();
-        let restored =
-            Perseas::restore(vec![SimRemote::new("new")], PerseasConfig::default(), &archive)
-                .unwrap();
+        let restored = Perseas::restore(
+            vec![SimRemote::new("new")],
+            PerseasConfig::default(),
+            &archive,
+        )
+        .unwrap();
         assert_eq!(
             restored.region_snapshot(r).unwrap(),
             db.region_snapshot(r).unwrap()
@@ -231,9 +230,12 @@ mod tests {
     fn empty_database_archives_too() {
         let db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
         let archive = db.archive().unwrap();
-        let restored =
-            Perseas::restore(vec![SimRemote::new("n")], PerseasConfig::default(), &archive)
-                .unwrap();
+        let restored = Perseas::restore(
+            vec![SimRemote::new("n")],
+            PerseasConfig::default(),
+            &archive,
+        )
+        .unwrap();
         assert_eq!(restored.last_committed(), 0);
     }
 }

@@ -27,6 +27,16 @@ pub struct PerseasConfig {
     /// 64-byte aligned chunks, Section 4). Disable only for the ablation
     /// benchmark.
     pub aligned_memcpy: bool,
+    /// Commit through the batched, vectored pipeline: undo pushes are
+    /// deferred to commit time and each mirror then receives exactly one
+    /// vectored write for the undo log, one for the coalesced data
+    /// ranges, and one for the commit record — with the mirrors written
+    /// in parallel (scoped threads on TCP, max-latency charging on the
+    /// shared simulated clock). `false` reproduces the paper's original
+    /// per-range protocol, where every `set_range` and every coalesced
+    /// range is its own remote write. Crash-point counting follows the
+    /// writes: on the batched path one vectored write is one crash point.
+    pub batched_commit: bool,
 }
 
 impl PerseasConfig {
@@ -38,6 +48,7 @@ impl PerseasConfig {
             initial_undo_capacity: 64 << 10,
             meta_tag: META_TAG,
             aligned_memcpy: true,
+            batched_commit: false,
         }
     }
 
@@ -82,6 +93,14 @@ impl PerseasConfig {
         self.aligned_memcpy = aligned;
         self
     }
+
+    /// Enables or disables the batched, vectored commit pipeline (see the
+    /// [`batched_commit`](PerseasConfig::batched_commit) field). Off by
+    /// default for faithfulness to the paper's per-range protocol.
+    pub fn with_batched_commit(mut self, batched: bool) -> Self {
+        self.batched_commit = batched;
+        self
+    }
 }
 
 impl Default for PerseasConfig {
@@ -100,11 +119,18 @@ mod tests {
             .with_max_regions(8)
             .with_initial_undo_capacity(1024)
             .with_meta_tag(7)
-            .with_mem_cost(MemCostModel::free());
+            .with_mem_cost(MemCostModel::free())
+            .with_batched_commit(true);
         assert_eq!(c.max_regions, 8);
         assert_eq!(c.initial_undo_capacity, 1024);
         assert_eq!(c.meta_tag, 7);
         assert_eq!(c.mem_cost, MemCostModel::free());
+        assert!(c.batched_commit);
+    }
+
+    #[test]
+    fn batched_commit_defaults_off() {
+        assert!(!PerseasConfig::new().batched_commit);
     }
 
     #[test]

@@ -182,8 +182,7 @@ impl UndoRecord {
         let crc = crc32(&[&head[0..32], payload]);
         head[32..36].copy_from_slice(&crc.to_le_bytes());
         out[at..at + UNDO_HEADER_SIZE].copy_from_slice(&head);
-        out[at + UNDO_HEADER_SIZE..at + UNDO_HEADER_SIZE + payload.len()]
-            .copy_from_slice(payload);
+        out[at + UNDO_HEADER_SIZE..at + UNDO_HEADER_SIZE + payload.len()].copy_from_slice(payload);
     }
 
     /// Attempts to decode a record at `at` in `buf`. Returns the record and

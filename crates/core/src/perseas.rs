@@ -2,17 +2,17 @@
 
 use std::fmt;
 
-use perseas_rnram::{mirror_copy, RemoteMemory, RemoteSegment, RnError};
+use perseas_rnram::{mirror_copy, plan_transfer, RemoteMemory, RemoteSegment, RnError, SegmentId};
 use perseas_simtime::SimClock;
 use perseas_txn::{RegionId, TxnError, TxnStats};
 
 use crate::config::PerseasConfig;
 use crate::fault::FaultPlan;
-use crate::trace::{TraceEvent, Tracer};
 use crate::layout::{
     encode_region_entry, meta_segment_size, MetaHeader, UndoRecord, OFF_COMMIT, OFF_REGION_TABLE,
     OFF_UNDO, REGION_ENTRY_SIZE,
 };
+use crate::trace::{TraceEvent, Tracer};
 
 /// Lifecycle of an instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,7 +173,7 @@ impl<M: RemoteMemory> Perseas<M> {
     pub fn init_remote_db(&mut self) -> Result<(), TxnError> {
         self.ensure_phase(Phase::Setup)?;
         let meta_image = self.build_meta_image();
-        for mi in 0..self.mirrors.len() {
+        for (mi, image) in meta_image.iter().enumerate() {
             for ri in 0..self.regions.len() {
                 let m = &mut self.mirrors[mi];
                 let seg = m.db[ri];
@@ -190,10 +190,9 @@ impl<M: RemoteMemory> Perseas<M> {
                     self.stats.add_remote_write(self.regions[ri].len());
                 }
             }
-            let image = meta_image[mi].clone();
             let m = &mut self.mirrors[mi];
             m.backend
-                .remote_write(m.meta.id, 0, &image)
+                .remote_write(m.meta.id, 0, image)
                 .map_err(unavailable)?;
             self.stats.add_remote_write(image.len());
         }
@@ -266,21 +265,27 @@ impl<M: RemoteMemory> Perseas<M> {
         self.cfg.mem_cost.charge_memcpy(&self.clock, total);
         self.stats.add_local_copy(len);
 
-        // Push it to the mirrored undo log (copy 2: the remote write).
-        for mi in 0..self.mirrors.len() {
-            self.fault_step()?;
-            let m = &mut self.mirrors[mi];
-            let undo = m.undo;
-            push_range(
-                &mut m.backend,
-                undo,
-                &self.undo_shadow,
-                shadow_off,
-                total,
-                self.cfg.aligned_memcpy,
-            )
-            .map_err(unavailable)?;
-            self.stats.add_remote_write(total);
+        // Push it to the mirrored undo log (copy 2: the remote write). On
+        // the batched path this push is deferred: commit sends the whole
+        // undo prefix as one vectored write per mirror, which is safe
+        // because the mirror's undo log is only consulted by recovery
+        // after the data-propagation phase has begun.
+        if !self.cfg.batched_commit {
+            for mi in 0..self.mirrors.len() {
+                self.fault_step()?;
+                let m = &mut self.mirrors[mi];
+                let undo = m.undo;
+                push_range(
+                    &mut m.backend,
+                    undo,
+                    &self.undo_shadow,
+                    shadow_off,
+                    total,
+                    self.cfg.aligned_memcpy,
+                )
+                .map_err(unavailable)?;
+                self.stats.add_remote_write(total);
+            }
         }
 
         self.undo_off += total;
@@ -348,27 +353,32 @@ impl<M: RemoteMemory> Perseas<M> {
             };
             let payload = self.regions[ri][offset..offset + len].to_vec();
             rec.encode_into(&mut self.undo_shadow, at, &payload);
-            self.cfg.mem_cost.charge_memcpy(&self.clock, rec.encoded_len());
+            self.cfg
+                .mem_cost
+                .charge_memcpy(&self.clock, rec.encoded_len());
             self.stats.add_local_copy(len);
             refs.push(RecordRef { shadow_off: at });
             at += rec.encoded_len();
         }
 
-        // One remote burst per mirror for the whole batch.
-        for mi in 0..self.mirrors.len() {
-            self.fault_step()?;
-            let m = &mut self.mirrors[mi];
-            let undo = m.undo;
-            push_range(
-                &mut m.backend,
-                undo,
-                &self.undo_shadow,
-                start,
-                at - start,
-                self.cfg.aligned_memcpy,
-            )
-            .map_err(unavailable)?;
-            self.stats.add_remote_write(at - start);
+        // One remote burst per mirror for the whole batch (deferred to
+        // commit entirely on the batched path, as in `set_range`).
+        if !self.cfg.batched_commit {
+            for mi in 0..self.mirrors.len() {
+                self.fault_step()?;
+                let m = &mut self.mirrors[mi];
+                let undo = m.undo;
+                push_range(
+                    &mut m.backend,
+                    undo,
+                    &self.undo_shadow,
+                    start,
+                    at - start,
+                    self.cfg.aligned_memcpy,
+                )
+                .map_err(unavailable)?;
+                self.stats.add_remote_write(at - start);
+            }
         }
 
         self.undo_off = at;
@@ -451,39 +461,37 @@ impl<M: RemoteMemory> Perseas<M> {
         let txn = self.txn.take().expect("in txn");
 
         if !txn.records.is_empty() {
-            // Propagate coalesced modified ranges to every mirror.
             let ranges = coalesce(&txn.declared);
-            for &(ri, start, len) in &ranges {
-                for mi in 0..self.mirrors.len() {
-                    if let Err(e) = self.fault_step() {
-                        self.txn = None;
-                        return Err(e);
+            if self.cfg.batched_commit {
+                self.commit_batched(&txn, &ranges)?;
+            } else {
+                // Propagate coalesced modified ranges to every mirror.
+                for &(ri, start, len) in &ranges {
+                    for mi in 0..self.mirrors.len() {
+                        self.fault_step()?;
+                        let m = &mut self.mirrors[mi];
+                        let seg = m.db[ri];
+                        push_range(
+                            &mut m.backend,
+                            seg,
+                            &self.regions[ri],
+                            start,
+                            len,
+                            self.cfg.aligned_memcpy,
+                        )
+                        .map_err(unavailable)?;
+                        self.stats.add_remote_write(len);
                     }
+                }
+                // Durability point: one 8-byte, packet-atomic remote write.
+                for mi in 0..self.mirrors.len() {
+                    self.fault_step()?;
                     let m = &mut self.mirrors[mi];
-                    let seg = m.db[ri];
-                    push_range(
-                        &mut m.backend,
-                        seg,
-                        &self.regions[ri],
-                        start,
-                        len,
-                        self.cfg.aligned_memcpy,
-                    )
-                    .map_err(unavailable)?;
-                    self.stats.add_remote_write(len);
+                    m.backend
+                        .remote_write(m.meta.id, OFF_COMMIT, &txn.id.to_le_bytes())
+                        .map_err(unavailable)?;
+                    self.stats.add_remote_write(8);
                 }
-            }
-            // Durability point: one 8-byte, packet-atomic remote write.
-            for mi in 0..self.mirrors.len() {
-                if let Err(e) = self.fault_step() {
-                    self.txn = None;
-                    return Err(e);
-                }
-                let m = &mut self.mirrors[mi];
-                m.backend
-                    .remote_write(m.meta.id, OFF_COMMIT, &txn.id.to_le_bytes())
-                    .map_err(unavailable)?;
-                self.stats.add_remote_write(8);
             }
             self.last_committed = txn.id;
             let bytes = ranges.iter().map(|&(_, _, l)| l).sum();
@@ -695,9 +703,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// Fails if `index` is out of range or this is the last mirror.
     pub fn remove_mirror(&mut self, index: usize) -> Result<M, TxnError> {
         if index >= self.mirrors.len() {
-            return Err(TxnError::Unavailable(format!(
-                "no mirror at index {index}"
-            )));
+            return Err(TxnError::Unavailable(format!("no mirror at index {index}")));
         }
         if self.mirrors.len() == 1 {
             return Err(TxnError::Unavailable(
@@ -761,6 +767,194 @@ impl<M: RemoteMemory> Perseas<M> {
         }
     }
 
+    /// The batched commit pipeline: one vectored write per mirror for the
+    /// deferred undo log, one for the coalesced data ranges, and one for
+    /// the packet-atomic commit record — each phase fanned out to the
+    /// mirrors in parallel (see [`Perseas::fan_out_vectored`]).
+    fn commit_batched(
+        &mut self,
+        txn: &ActiveTxn,
+        ranges: &[(usize, usize, usize)],
+    ) -> Result<(), TxnError> {
+        let aligned = self.cfg.aligned_memcpy;
+
+        // Phase 1: the undo pushes deferred by `set_range` — the whole log
+        // prefix rides as one range. Recovery tolerates the trailing
+        // widened bytes: they hold either garbage (CRC-invalid) or records
+        // of already-superseded transactions (stale ids), both of which
+        // stop the scan.
+        let undo_bytes = self.undo_off;
+        let undo_lists: Vec<Vec<(SegmentId, usize, Vec<u8>)>> = self
+            .mirrors
+            .iter()
+            .map(|m| {
+                let (off, len) = if aligned {
+                    let p = plan_transfer(m.undo.base_addr, 0, undo_bytes, self.undo_shadow.len());
+                    (p.offset, p.len)
+                } else {
+                    (0, undo_bytes)
+                };
+                vec![(m.undo.id, off, self.undo_shadow[off..off + len].to_vec())]
+            })
+            .collect();
+
+        // Phase 2: the data update. Alignment widening can re-introduce
+        // overlap between coalesced ranges, so the physical plans are
+        // merged again before building the vectored write.
+        let db_lists: Vec<Vec<(SegmentId, usize, Vec<u8>)>> = self
+            .mirrors
+            .iter()
+            .map(|m| {
+                let mut planned: Vec<(usize, usize, usize)> = ranges
+                    .iter()
+                    .map(|&(ri, start, len)| {
+                        if aligned {
+                            let p = plan_transfer(
+                                m.db[ri].base_addr,
+                                start,
+                                len,
+                                self.regions[ri].len(),
+                            );
+                            (ri, p.offset, p.offset + p.len)
+                        } else {
+                            (ri, start, start + len)
+                        }
+                    })
+                    .collect();
+                planned.sort_unstable();
+                let mut merged: Vec<(usize, usize, usize)> = Vec::with_capacity(planned.len());
+                for (ri, s, e) in planned {
+                    match merged.last_mut() {
+                        Some((lr, _, le)) if *lr == ri && s <= *le => *le = (*le).max(e),
+                        _ => merged.push((ri, s, e)),
+                    }
+                }
+                merged
+                    .into_iter()
+                    .map(|(ri, s, e)| (m.db[ri].id, s, self.regions[ri][s..e].to_vec()))
+                    .collect()
+            })
+            .collect();
+
+        // Phase 3: the durability point, same 8-byte record as the
+        // per-range path.
+        let meta_lists: Vec<Vec<(SegmentId, usize, Vec<u8>)>> = self
+            .mirrors
+            .iter()
+            .map(|m| vec![(m.meta.id, OFF_COMMIT, txn.id.to_le_bytes().to_vec())])
+            .collect();
+
+        let (batch_ranges, batch_bytes) = db_lists
+            .first()
+            .map(|l| (l.len(), l.iter().map(|(_, _, d)| d.len()).sum()))
+            .unwrap_or((0, 0));
+        self.emit(TraceEvent::CommitBatch {
+            id: txn.id,
+            mirrors: self.mirrors.len(),
+            ranges: batch_ranges,
+            bytes: batch_bytes,
+            undo_bytes,
+        });
+
+        self.fan_out_vectored(undo_lists)?;
+        self.fan_out_vectored(db_lists)?;
+        self.fan_out_vectored(meta_lists)?;
+        Ok(())
+    }
+
+    /// Issues one vectored write per mirror as a parallel fan-out: mirrors
+    /// sharing a simulated clock are charged the *maximum* of their
+    /// latencies (the rewind/advance pattern of
+    /// [`SimClock::rewind_to`]), and real-network mirrors are written from
+    /// scoped threads so the writes overlap on the wire. Each mirror's
+    /// write is one crash point.
+    fn fan_out_vectored(
+        &mut self,
+        lists: Vec<Vec<(SegmentId, usize, Vec<u8>)>>,
+    ) -> Result<(), TxnError> {
+        debug_assert_eq!(lists.len(), self.mirrors.len());
+        let clocks: Vec<Option<SimClock>> = self
+            .mirrors
+            .iter()
+            .map(|m| m.backend.virtual_clock())
+            .collect();
+        let any_sim = clocks.iter().any(Option::is_some);
+        let shared = match clocks.first().and_then(Option::as_ref) {
+            Some(first)
+                if clocks
+                    .iter()
+                    .all(|c| c.as_ref().is_some_and(|c| c.same_clock(first))) =>
+            {
+                Some(first.clone())
+            }
+            _ => None,
+        };
+
+        if self.fault.is_armed() || any_sim || self.mirrors.len() == 1 {
+            // Sequential issue keeps crash points deterministic; when all
+            // the mirrors share one simulated timeline the overlap is
+            // modelled by rewinding to the dispatch instant before each
+            // mirror and finally advancing to the latest completion.
+            let t0 = shared.as_ref().map(|c| c.now());
+            let mut t_end = t0;
+            for (mi, list) in lists.iter().enumerate() {
+                self.fault_step()?;
+                if let (Some(c), Some(start)) = (shared.as_ref(), t0) {
+                    c.rewind_to(start);
+                }
+                let refs: Vec<(SegmentId, usize, &[u8])> = list
+                    .iter()
+                    .map(|(s, o, d)| (*s, *o, d.as_slice()))
+                    .collect();
+                self.mirrors[mi]
+                    .backend
+                    .remote_write_v(&refs)
+                    .map_err(unavailable)?;
+                self.stats
+                    .add_remote_write(list.iter().map(|(_, _, d)| d.len()).sum());
+                if let (Some(c), Some(te)) = (shared.as_ref(), t_end.as_mut()) {
+                    *te = (*te).max(c.now());
+                }
+            }
+            if let (Some(c), Some(te)) = (shared.as_ref(), t_end) {
+                c.advance_to(te);
+            }
+        } else {
+            // Real-network mirrors with no fault plan armed: one scoped
+            // thread per mirror. Crash-point accounting is unchanged (one
+            // step per mirror; an unarmed plan never fires).
+            for _ in 0..self.mirrors.len() {
+                self.fault_step()?;
+            }
+            let results: Vec<Result<(), RnError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .mirrors
+                    .iter_mut()
+                    .zip(&lists)
+                    .map(|(m, list)| {
+                        scope.spawn(move || {
+                            let refs: Vec<(SegmentId, usize, &[u8])> = list
+                                .iter()
+                                .map(|(s, o, d)| (*s, *o, d.as_slice()))
+                                .collect();
+                            m.backend.remote_write_v(&refs)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("mirror writer panicked"))
+                    .collect()
+            });
+            for (list, r) in lists.iter().zip(results) {
+                r.map_err(unavailable)?;
+                self.stats
+                    .add_remote_write(list.iter().map(|(_, _, d)| d.len()).sum());
+            }
+        }
+        Ok(())
+    }
+
     /// Grows the undo log to at least `needed` bytes: allocate the larger
     /// segment, re-push the open transaction's records, flip the
     /// single-packet indirection in the metadata, free the old segment.
@@ -798,7 +992,10 @@ impl<M: RemoteMemory> Perseas<M> {
     }
 
     fn build_meta_image(&self) -> Vec<Vec<u8>> {
-        self.mirrors.iter().map(|m| self.meta_image_for(m)).collect()
+        self.mirrors
+            .iter()
+            .map(|m| self.meta_image_for(m))
+            .collect()
     }
 
     pub(crate) fn meta_image_for(&self, m: &MirrorState<M>) -> Vec<u8> {

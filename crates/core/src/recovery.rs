@@ -116,8 +116,7 @@ impl<M: RemoteMemory> Perseas<M> {
                 break;
             }
             let ri = rec.region as usize;
-            let sane = ri < db_segs.len()
-                && (rec.offset + rec.len) as usize <= db_segs[ri].len;
+            let sane = ri < db_segs.len() && (rec.offset + rec.len) as usize <= db_segs[ri].len;
             if !sane {
                 break;
             }

@@ -123,9 +123,7 @@ impl<M: RemoteMemory> ReadReplica<M> {
                     break;
                 }
                 let ri = rec.region as usize;
-                if ri >= region_lens.len()
-                    || (rec.offset + rec.len) as usize > region_lens[ri]
-                {
+                if ri >= region_lens.len() || (rec.offset + rec.len) as usize > region_lens[ri] {
                     break;
                 }
                 off += rec.encoded_len();
@@ -250,8 +248,7 @@ mod tests {
     fn refresh_tracks_new_commits() {
         let (mut db, r, node) = built();
         db.transaction(|tx| tx.update(r, 0, &[3; 4])).unwrap();
-        let mut replica =
-            ReadReplica::attach(reopen(&node), PerseasConfig::default()).unwrap();
+        let mut replica = ReadReplica::attach(reopen(&node), PerseasConfig::default()).unwrap();
         assert_eq!(replica.last_committed(), 1);
 
         db.transaction(|tx| tx.update(r, 4, &[4; 4])).unwrap();

@@ -22,7 +22,12 @@ impl<M: RemoteMemory> TxnScope<'_, M> {
     /// # Errors
     ///
     /// Propagates the underlying library errors.
-    pub fn set_range(&mut self, region: RegionId, offset: usize, len: usize) -> Result<(), TxnError> {
+    pub fn set_range(
+        &mut self,
+        region: RegionId,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), TxnError> {
         self.db.set_range(region, offset, len)
     }
 

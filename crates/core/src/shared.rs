@@ -228,8 +228,7 @@ mod tests {
             snap
         });
 
-        let backend =
-            SimRemote::with_parts(SimClock::new(), node, SciParams::dolphin_1998());
+        let backend = SimRemote::with_parts(SimClock::new(), node, SciParams::dolphin_1998());
         let (db2, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
         assert_eq!(db2.region_snapshot(r).unwrap(), expected);
     }
@@ -263,7 +262,7 @@ mod tests {
         let clone = shared.clone();
         let back = shared.try_unwrap().unwrap_err();
         drop(clone);
-        let db = back.try_unwrap().ok().expect("now sole owner");
+        let db = back.try_unwrap().expect("now sole owner");
         assert_eq!(db.region_len(r).unwrap(), 64);
     }
 }

@@ -34,6 +34,24 @@ pub enum TraceEvent {
         /// New capacity in bytes.
         new_capacity: usize,
     },
+    /// The batched commit pipeline dispatched one vectored write per
+    /// mirror for the undo log and one for the coalesced data ranges
+    /// (emitted before the commit record is published; only on the
+    /// batched path, see
+    /// [`PerseasConfig::with_batched_commit`](crate::PerseasConfig::with_batched_commit)).
+    CommitBatch {
+        /// Transaction id.
+        id: u64,
+        /// Mirrors written.
+        mirrors: usize,
+        /// Physical ranges in the data-update vectored write (after
+        /// coalescing and alignment widening).
+        ranges: usize,
+        /// Bytes of the data-update vectored write, per mirror.
+        bytes: usize,
+        /// Bytes of the undo-log vectored write, per mirror.
+        undo_bytes: usize,
+    },
     /// A transaction committed durably.
     TxnCommitted {
         /// Transaction id.
@@ -111,12 +129,18 @@ impl RecordingTracer {
 
     /// A snapshot of the events recorded so far.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Discards recorded events.
     pub fn clear(&self) {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 }
 

@@ -88,8 +88,7 @@ mod tests {
 
     #[test]
     fn perseas_as_dyn_transactional_memory() {
-        let mut db =
-            Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+        let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
         dyn_roundtrip(&mut db);
     }
 }

@@ -374,7 +374,9 @@ fn stale_records_of_aborted_overlapping_txn_never_replay() {
     db.set_fault_plan(FaultPlan::crash_after(1));
     db.begin_transaction().unwrap();
     db.set_range(r, 0, 4).unwrap();
-    let _ = db.write(r, 0, &[0xBB; 4]).and_then(|_| db.commit_transaction());
+    let _ = db
+        .write(r, 0, &[0xBB; 4])
+        .and_then(|_| db.commit_transaction());
     assert!(db.is_crashed());
 
     let (db2, _) = Perseas::recover(reopen(&node), PerseasConfig::default()).unwrap();

@@ -252,7 +252,10 @@ fn region_table_capacity_is_enforced() {
     let mut db = Perseas::init(vec![SimRemote::new("m")], cfg).unwrap();
     db.malloc(8).unwrap();
     db.malloc(8).unwrap();
-    assert!(matches!(db.malloc(8).unwrap_err(), TxnError::Unavailable(_)));
+    assert!(matches!(
+        db.malloc(8).unwrap_err(),
+        TxnError::Unavailable(_)
+    ));
 }
 
 #[test]
@@ -279,7 +282,8 @@ fn batched_set_ranges_is_equivalent_but_cheaper() {
     // Semantics: identical to per-range declarations.
     let (mut db, r) = published(256);
     db.begin_transaction().unwrap();
-    db.set_ranges(&[(r, 0, 8), (r, 64, 8), (r, 128, 8)]).unwrap();
+    db.set_ranges(&[(r, 0, 8), (r, 64, 8), (r, 128, 8)])
+        .unwrap();
     db.write(r, 0, &[1; 8]).unwrap();
     db.write(r, 64, &[2; 8]).unwrap();
     db.write(r, 128, &[3; 8]).unwrap();
@@ -298,7 +302,8 @@ fn batched_set_ranges_is_equivalent_but_cheaper() {
     // Cost: one remote undo write per mirror for the whole batch.
     let before = db.stats();
     db.begin_transaction().unwrap();
-    db.set_ranges(&[(r, 0, 4), (r, 32, 4), (r, 96, 4), (r, 200, 4)]).unwrap();
+    db.set_ranges(&[(r, 0, 4), (r, 32, 4), (r, 96, 4), (r, 200, 4)])
+        .unwrap();
     let batched = db.stats().since(&before).remote_writes;
     db.abort_transaction().unwrap();
     assert_eq!(batched, 1, "4 ranges should need 1 undo burst");

@@ -163,9 +163,7 @@ mod tests {
     fn scaled_disk_is_faster() {
         let fast = DiskParams::scaled(4.0);
         let base = DiskParams::disk_1998();
-        assert!(
-            fast.service_time(AccessKind::Far, 512) < base.service_time(AccessKind::Far, 512)
-        );
+        assert!(fast.service_time(AccessKind::Far, 512) < base.service_time(AccessKind::Far, 512));
         assert!(fast.transfer(1 << 20) < base.transfer(1 << 20));
     }
 

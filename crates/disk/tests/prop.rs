@@ -8,7 +8,12 @@ use perseas_simtime::SimClock;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Write { offset: usize, len: usize, byte: u8, sync: bool },
+    Write {
+        offset: usize,
+        len: usize,
+        byte: u8,
+        sync: bool,
+    },
     Flush,
     Crash,
 }

@@ -60,11 +60,12 @@ impl RnError {
     /// `true` if the error indicates the mirror is unreachable (link cut,
     /// node crashed, socket dead) as opposed to a caller mistake.
     pub fn is_unavailable(&self) -> bool {
-        match self {
-            RnError::Sci(SciError::LinkDown { .. }) | RnError::Sci(SciError::NodeCrashed) => true,
-            RnError::Io(_) => true,
-            _ => false,
-        }
+        matches!(
+            self,
+            RnError::Sci(SciError::LinkDown { .. })
+                | RnError::Sci(SciError::NodeCrashed)
+                | RnError::Io(_)
+        )
     }
 }
 
@@ -76,7 +77,7 @@ mod tests {
     fn displays_are_nonempty() {
         for e in [
             RnError::Sci(SciError::NodeCrashed),
-            RnError::Io(io::Error::new(io::ErrorKind::Other, "x")),
+            RnError::Io(io::Error::other("x")),
             RnError::Protocol("bad magic".into()),
             RnError::Remote("denied".into()),
             RnError::TagNotFound(9),

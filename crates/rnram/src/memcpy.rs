@@ -139,7 +139,11 @@ pub fn mirror_copy<M: RemoteMemory + ?Sized>(
     len: usize,
 ) -> Result<TransferPlan, RnError> {
     let plan = plan_transfer(base_addr, offset, len, local.len());
-    remote.remote_write(seg, plan.offset, &local[plan.offset..plan.offset + plan.len])?;
+    remote.remote_write(
+        seg,
+        plan.offset,
+        &local[plan.offset..plan.offset + plan.len],
+    )?;
     Ok(plan)
 }
 
@@ -227,8 +231,7 @@ mod tests {
         for (i, b) in local.iter_mut().enumerate().take(170).skip(70) {
             *b = i as u8;
         }
-        let plan =
-            mirror_copy(&mut remote, seg.id, seg.base_addr, &local, 70, 100).unwrap();
+        let plan = mirror_copy(&mut remote, seg.id, seg.base_addr, &local, 70, 100).unwrap();
         assert_eq!(plan.strategy, TransferStrategy::Aligned);
 
         let mut got = vec![0u8; 256];

@@ -26,13 +26,25 @@ pub enum Request {
     /// Free a segment.
     Free { seg: u64 },
     /// Write `data` at `offset` of `seg`.
-    Write { seg: u64, offset: u64, data: Vec<u8> },
+    Write {
+        seg: u64,
+        offset: u64,
+        data: Vec<u8>,
+    },
     /// Read `len` bytes at `offset` of `seg`.
     Read { seg: u64, offset: u64, len: u64 },
     /// Find a segment by tag (recovery).
     Connect { tag: u64 },
     /// Fetch metadata of a segment.
     Info { seg: u64 },
+    /// Write several `(seg, offset, data)` ranges as one message with one
+    /// acknowledgement (the wire form of a vectored `remote_write_v`).
+    /// Ranges are applied in order; on a mid-batch failure the earlier
+    /// ranges stay applied, mirroring a torn SCI burst.
+    WriteV {
+        /// The `(seg, offset, data)` ranges, applied in order.
+        ranges: Vec<(u64, u64, Vec<u8>)>,
+    },
     /// Ask the server for its node name.
     Name,
     /// Liveness probe.
@@ -74,6 +86,7 @@ const OP_INFO: u8 = 6;
 const OP_NAME: u8 = 7;
 const OP_PING: u8 = 8;
 const OP_SHUTDOWN: u8 = 9;
+const OP_WRITE_V: u8 = 10;
 
 const RE_OK: u8 = 128;
 const RE_SEGMENT: u8 = 129;
@@ -141,6 +154,16 @@ impl Request {
                 out.push(OP_INFO);
                 put_u64(&mut out, *seg);
             }
+            Request::WriteV { ranges } => {
+                out.push(OP_WRITE_V);
+                put_u64(&mut out, ranges.len() as u64);
+                for (seg, offset, data) in ranges {
+                    put_u64(&mut out, *seg);
+                    put_u64(&mut out, *offset);
+                    put_u64(&mut out, data.len() as u64);
+                    out.extend_from_slice(data);
+                }
+            }
             Request::Name => out.push(OP_NAME),
             Request::Ping => out.push(OP_PING),
             Request::Shutdown => out.push(OP_SHUTDOWN),
@@ -186,6 +209,30 @@ impl Request {
             OP_INFO => Request::Info {
                 seg: get_u64(rest, &mut pos)?,
             },
+            OP_WRITE_V => {
+                let count = get_u64(rest, &mut pos)?;
+                // Each range needs at least its 24-byte header; reject
+                // counts the frame cannot possibly hold before allocating.
+                if count > (rest.len() as u64) / 24 {
+                    return Err(RnError::Protocol(format!(
+                        "vectored write claims {count} ranges in a {} byte frame",
+                        rest.len()
+                    )));
+                }
+                let mut ranges = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let seg = get_u64(rest, &mut pos)?;
+                    let offset = get_u64(rest, &mut pos)?;
+                    let len = get_u64(rest, &mut pos)? as usize;
+                    let end = pos
+                        .checked_add(len)
+                        .filter(|&e| e <= rest.len())
+                        .ok_or_else(|| RnError::Protocol("truncated range data".into()))?;
+                    ranges.push((seg, offset, rest[pos..end].to_vec()));
+                    pos = end;
+                }
+                Request::WriteV { ranges }
+            }
             OP_NAME => Request::Name,
             OP_PING => Request::Ping,
             OP_SHUTDOWN => Request::Shutdown,
@@ -363,6 +410,38 @@ mod tests {
             data: vec![],
         };
         assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn vectored_write_roundtrips() {
+        let reqs = [
+            Request::WriteV { ranges: vec![] },
+            Request::WriteV {
+                ranges: vec![(1, 0, vec![9; 3])],
+            },
+            Request::WriteV {
+                ranges: vec![(1, 0, vec![1, 2]), (2, 64, vec![]), (1, 128, vec![3; 100])],
+            },
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn vectored_write_rejects_lying_lengths() {
+        // Claimed range count larger than the frame can hold.
+        let mut body = vec![OP_WRITE_V];
+        body.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Request::decode(&body).is_err());
+
+        // Range data length pointing past the end of the frame.
+        let mut body = vec![OP_WRITE_V];
+        body.extend_from_slice(&1u64.to_le_bytes()); // one range
+        body.extend_from_slice(&1u64.to_le_bytes()); // seg
+        body.extend_from_slice(&0u64.to_le_bytes()); // offset
+        body.extend_from_slice(&100u64.to_le_bytes()); // len, but no data
+        assert!(Request::decode(&body).is_err());
     }
 
     #[test]

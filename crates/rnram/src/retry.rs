@@ -95,6 +95,13 @@ impl RemoteMemory for ReconnectingRemote {
         self.with_conn(|c| c.remote_write(seg, offset, data))
     }
 
+    fn remote_write_v(&mut self, writes: &[(SegmentId, usize, &[u8])]) -> Result<(), RnError> {
+        // Safe to retry for the same reason single writes are: every range
+        // lands at an absolute offset, so re-sending a possibly-delivered
+        // batch is idempotent.
+        self.with_conn(|c| c.remote_write_v(writes))
+    }
+
     fn remote_read(
         &mut self,
         seg: SegmentId,

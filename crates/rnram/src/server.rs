@@ -174,6 +174,12 @@ fn serve_connection(
             Err(RnError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         };
+        // A request that arrives after shutdown is not a "current request":
+        // drop the connection so clients see the server as down instead of
+        // racing one last answer out of a dying handler.
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         let resp = match Request::decode(&body) {
             Err(e) => Response::Err(e.to_string()),
             Ok(req) => handle_request(req, node, stop),
@@ -212,6 +218,17 @@ fn handle_request(req: Request, node: &NodeMemory, stop: &AtomicBool) -> Respons
                 Ok(()) => Response::Data(buf),
                 Err(e) => Response::Err(sci_error_msg(&e)),
             }
+        }
+        Request::WriteV { ranges } => {
+            // Ranges apply in order; the first failure stops the batch and
+            // leaves the earlier ranges applied (torn-prefix semantics, as
+            // a real gathered burst would behave).
+            for (seg, offset, data) in &ranges {
+                if let Err(e) = node.write(SegmentId::from_raw(*seg), *offset as usize, data) {
+                    return Response::Err(sci_error_msg(&e));
+                }
+            }
+            Response::Ok
         }
         Request::Connect { tag } => match node.find_by_tag(tag) {
             Some(info) => segment_response(node, info.id),

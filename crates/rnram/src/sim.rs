@@ -84,6 +84,14 @@ impl RemoteMemory for SimRemote {
         Ok(self.link.remote_write(seg, offset, data)?)
     }
 
+    fn remote_write_v(&mut self, writes: &[(SegmentId, usize, &[u8])]) -> Result<(), RnError> {
+        Ok(self.link.remote_write_v(writes)?)
+    }
+
+    fn virtual_clock(&self) -> Option<SimClock> {
+        Some(self.link.clock().clone())
+    }
+
     fn remote_read(
         &mut self,
         seg: SegmentId,
@@ -159,6 +167,23 @@ mod tests {
         let t0 = r.clock().now();
         r.remote_write(seg.id, 0, &[0; 64]).unwrap();
         assert!(r.clock().now() > t0);
+    }
+
+    #[test]
+    fn vectored_write_is_one_link_message() {
+        let mut r = SimRemote::new("m");
+        let seg = r.remote_malloc(256, 0).unwrap();
+        r.remote_write_v(&[(seg.id, 0, &[1; 64]), (seg.id, 128, &[2; 64])])
+            .unwrap();
+        assert_eq!(r.link().stats().writes, 1);
+        let mut buf = [0u8; 64];
+        r.remote_read(seg.id, 128, &mut buf).unwrap();
+        assert_eq!(buf, [2; 64]);
+        assert!(r.virtual_clock().is_some());
+        assert!(
+            r.virtual_clock().unwrap().same_clock(r.clock()),
+            "reports the link's own clock"
+        );
     }
 
     #[test]

@@ -122,6 +122,20 @@ impl RemoteMemory for TcpRemote {
         }
     }
 
+    fn remote_write_v(&mut self, writes: &[(SegmentId, usize, &[u8])]) -> Result<(), RnError> {
+        // The whole batch rides in one frame and is confirmed by one ack.
+        match self.call(&Request::WriteV {
+            ranges: writes
+                .iter()
+                .map(|&(seg, offset, data)| (seg.as_raw(), offset as u64, data.to_vec()))
+                .collect(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Err(m) => Err(RnError::Remote(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
     fn remote_read(
         &mut self,
         seg: SegmentId,
@@ -160,9 +174,9 @@ impl RemoteMemory for TcpRemote {
     }
 
     fn node_name(&self) -> String {
-        self.cached_name.clone().unwrap_or_else(|| {
-            format!("tcp://{}", self.peer)
-        })
+        self.cached_name
+            .clone()
+            .unwrap_or_else(|| format!("tcp://{}", self.peer))
     }
 }
 
@@ -217,6 +231,44 @@ mod tests {
         let mut back = vec![0u8; 1 << 20];
         c.remote_read(seg.id, 0, &mut back).unwrap();
         assert_eq!(back, data);
+        server.shutdown();
+    }
+
+    #[test]
+    fn vectored_write_roundtrips_over_the_wire() {
+        let server = Server::bind("vec", "127.0.0.1:0").unwrap().start();
+        let mut c = TcpRemote::connect(server.addr()).unwrap();
+        let a = c.remote_malloc(256, 0).unwrap();
+        let b = c.remote_malloc(64, 1).unwrap();
+        c.remote_write_v(&[
+            (a.id, 0, &[1; 32]),
+            (b.id, 8, &[2; 8]),
+            (a.id, 200, &[3; 56]),
+        ])
+        .unwrap();
+        let mut buf = [0u8; 56];
+        c.remote_read(a.id, 200, &mut buf).unwrap();
+        assert_eq!(buf, [3; 56]);
+        let mut buf = [0u8; 8];
+        c.remote_read(b.id, 8, &mut buf).unwrap();
+        assert_eq!(buf, [2; 8]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn vectored_write_applies_prefix_before_failing_range() {
+        let server = Server::bind("vec-err", "127.0.0.1:0").unwrap().start();
+        let mut c = TcpRemote::connect(server.addr()).unwrap();
+        let seg = c.remote_malloc(64, 0).unwrap();
+        // Second range is out of bounds; the first must still be applied
+        // (torn-prefix semantics).
+        let err = c
+            .remote_write_v(&[(seg.id, 0, &[5; 16]), (seg.id, 60, &[6; 8])])
+            .unwrap_err();
+        assert!(matches!(err, RnError::Remote(_)));
+        let mut buf = [0u8; 16];
+        c.remote_read(seg.id, 0, &mut buf).unwrap();
+        assert_eq!(buf, [5; 16]);
         server.shutdown();
     }
 

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use perseas_sci::{SegmentId, SegmentInfo};
+use perseas_simtime::SimClock;
 
 use crate::RnError;
 
@@ -64,6 +65,38 @@ pub trait RemoteMemory: Send {
     /// link a prefix of the data may have been delivered.
     fn remote_write(&mut self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<(), RnError>;
 
+    /// Scatter-gather write: copies several `(segment, offset, data)`
+    /// ranges to the remote node as one operation.
+    ///
+    /// Backends that can coalesce (the simulated SCI link, the TCP wire
+    /// protocol) send the whole batch as a single message with a single
+    /// acknowledgement; the default implementation degrades to one
+    /// [`RemoteMemory::remote_write`] per range. Ranges are applied in
+    /// order, so a failure mid-batch leaves every earlier range fully
+    /// applied and later ranges untouched — the same torn-prefix contract
+    /// as a cut link.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds violations or if the node is unreachable; a prefix
+    /// of the batch may have been delivered.
+    fn remote_write_v(&mut self, writes: &[(SegmentId, usize, &[u8])]) -> Result<(), RnError> {
+        for &(seg, offset, data) in writes {
+            self.remote_write(seg, offset, data)?;
+        }
+        Ok(())
+    }
+
+    /// The virtual clock this backend charges latency to, if it is a
+    /// simulated backend. Real-network backends return `None`.
+    ///
+    /// Callers fanning one logical operation out to several mirrors use
+    /// this to model the mirrors as parallel: charge the shared clock the
+    /// *maximum* of the per-mirror latencies rather than their sum.
+    fn virtual_clock(&self) -> Option<SimClock> {
+        None
+    }
+
     /// Copies remote bytes at `offset` into `buf` (remote → local).
     ///
     /// # Errors
@@ -113,5 +146,66 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         fn _takes_dyn(_: &mut dyn RemoteMemory) {}
+    }
+
+    /// Minimal backend that only implements the required methods, to pin
+    /// down the default `remote_write_v` loop and `virtual_clock`.
+    struct Scalar {
+        mem: Vec<u8>,
+        writes: usize,
+    }
+
+    impl RemoteMemory for Scalar {
+        fn remote_malloc(&mut self, _len: usize, _tag: u64) -> Result<RemoteSegment, RnError> {
+            unimplemented!()
+        }
+        fn remote_free(&mut self, _seg: SegmentId) -> Result<(), RnError> {
+            unimplemented!()
+        }
+        fn remote_write(
+            &mut self,
+            _seg: SegmentId,
+            offset: usize,
+            data: &[u8],
+        ) -> Result<(), RnError> {
+            self.mem[offset..offset + data.len()].copy_from_slice(data);
+            self.writes += 1;
+            Ok(())
+        }
+        fn remote_read(
+            &mut self,
+            _seg: SegmentId,
+            _offset: usize,
+            _buf: &mut [u8],
+        ) -> Result<(), RnError> {
+            unimplemented!()
+        }
+        fn connect_segment(&mut self, _tag: u64) -> Result<RemoteSegment, RnError> {
+            unimplemented!()
+        }
+        fn segment_info(&mut self, _seg: SegmentId) -> Result<RemoteSegment, RnError> {
+            unimplemented!()
+        }
+        fn node_name(&self) -> String {
+            "scalar".into()
+        }
+    }
+
+    #[test]
+    fn default_vectored_write_degrades_to_per_range_writes() {
+        let mut s = Scalar {
+            mem: vec![0; 16],
+            writes: 0,
+        };
+        let seg = SegmentId::from_raw(0);
+        s.remote_write_v(&[(seg, 0, &[1, 2]), (seg, 8, &[3, 4])])
+            .unwrap();
+        assert_eq!(s.writes, 2, "default impl loops over ranges");
+        assert_eq!(&s.mem[..2], &[1, 2]);
+        assert_eq!(&s.mem[8..10], &[3, 4]);
+        assert!(
+            s.virtual_clock().is_none(),
+            "real backends have no sim clock"
+        );
     }
 }

@@ -74,7 +74,7 @@ proptest! {
         if plan.strategy == TransferStrategy::Aligned {
             prop_assert_eq!((base as usize + plan.offset) % 64, 0);
             let end = base as usize + plan.offset + plan.len;
-            prop_assert!(end % 64 == 0 || plan.offset + plan.len == seg_len);
+            prop_assert!(end.is_multiple_of(64) || plan.offset + plan.len == seg_len);
         } else {
             prop_assert_eq!((plan.offset, plan.len), (offset, len));
         }
@@ -134,7 +134,9 @@ fn hostile_lengths_do_not_kill_the_server() {
 
     // A read far beyond any segment (and beyond addressable memory).
     let mut tiny = [0u8; 4];
-    let err = c.remote_read(seg.id, usize::MAX - 8, &mut tiny).unwrap_err();
+    let err = c
+        .remote_read(seg.id, usize::MAX - 8, &mut tiny)
+        .unwrap_err();
     assert!(matches!(err, RnError::Remote(_)));
 
     // An absurd malloc must be refused, not attempted.

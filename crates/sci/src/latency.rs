@@ -120,6 +120,59 @@ pub fn remote_write_latency(params: &SciParams, start: u64, len: usize) -> SimDu
     SimDuration::from_nanos(ns)
 }
 
+/// End-to-end one-way latency of a *vectored* remote store: several
+/// `(start, len)` ranges gathered into one message.
+///
+/// The whole batch pays [`SciParams::base_ns`] once — the card keeps
+/// streaming packets after the initial PIO issue and fabric traversal, so
+/// per-range setup is amortised away. Every packet after the first is
+/// charged at the streamed rate regardless of which range it carries.
+/// Switching ranges flushes the current buffer eagerly (the next range's
+/// stores displace it), so only the final range can leave a partially
+/// filled buffer to the timeout flush; the partial-flush penalty is
+/// therefore charged at most once, for the last non-empty range.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_sci::{remote_write_latency, remote_write_v_latency, SciParams};
+///
+/// let p = SciParams::dolphin_1998();
+/// let batched = remote_write_v_latency(&p, &[(0, 64), (256, 64)]);
+/// let separate = remote_write_latency(&p, 0, 64) + remote_write_latency(&p, 256, 64);
+/// assert!(batched < separate); // base_ns is paid once, not twice
+/// ```
+pub fn remote_write_v_latency(params: &SciParams, ranges: &[(u64, usize)]) -> SimDuration {
+    let mut ns = 0u64;
+    let mut sent_any = false;
+    let mut last_byte = None;
+    for &(start, len) in ranges {
+        if len == 0 {
+            continue;
+        }
+        for p in packetize(start, len) {
+            ns += match (p.kind, !sent_any) {
+                (PacketKind::Full64, true) => params.pkt64_first_ns,
+                (PacketKind::Full64, false) => params.pkt64_stream_ns,
+                (PacketKind::Line16, true) => params.pkt16_first_ns,
+                (PacketKind::Line16, false) => params.pkt16_stream_ns,
+            };
+            sent_any = true;
+        }
+        last_byte = Some(BufferAddr::from_phys(start + len as u64 - 1));
+    }
+    if !sent_any {
+        return SimDuration::ZERO;
+    }
+    ns += params.base_ns;
+    if let Some(b) = last_byte {
+        if !b.is_last_word() {
+            ns += params.partial_flush_ns;
+        }
+    }
+    SimDuration::from_nanos(ns)
+}
+
 /// Latency of a remote read of `len` bytes at `start`: a synchronous
 /// round-trip through the card's read buffers.
 pub fn remote_read_latency(params: &SciParams, start: u64, len: usize) -> SimDuration {
@@ -201,6 +254,55 @@ mod tests {
     #[should_panic(expected = "speedup")]
     fn zero_speedup_rejected() {
         let _ = SciParams::scaled(0.0);
+    }
+
+    #[test]
+    fn vectored_latency_charges_base_once() {
+        let p = SciParams::dolphin_1998();
+        let ranges = [(0u64, 64usize), (256, 64), (1024, 64)];
+        let batched = remote_write_v_latency(&p, &ranges).as_nanos();
+        let separate: u64 = ranges
+            .iter()
+            .map(|&(s, l)| remote_write_latency(&p, s, l).as_nanos())
+            .sum();
+        // Three aligned chunks: batched saves exactly two base setups.
+        assert_eq!(separate - batched, 2 * p.base_ns);
+    }
+
+    #[test]
+    fn vectored_latency_single_range_matches_plain_write() {
+        let p = SciParams::dolphin_1998();
+        for &(s, l) in &[(0u64, 4usize), (12, 8), (0, 64), (32, 128), (7, 200)] {
+            assert_eq!(
+                remote_write_v_latency(&p, &[(s, l)]),
+                remote_write_latency(&p, s, l),
+                "start={s} len={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn vectored_latency_flush_penalty_follows_last_range() {
+        let p = SciParams::dolphin_1998();
+        // Last range ends on the final word of a buffer: no flush penalty.
+        let eager = remote_write_v_latency(&p, &[(0, 4), (64, 64)]);
+        // Same packet mix, but the last range ends mid-buffer.
+        let timeout = remote_write_v_latency(&p, &[(0, 64), (64, 4)]);
+        assert_eq!(timeout.as_nanos() - eager.as_nanos(), p.partial_flush_ns);
+    }
+
+    #[test]
+    fn vectored_latency_skips_empty_ranges() {
+        let p = SciParams::dolphin_1998();
+        assert_eq!(remote_write_v_latency(&p, &[]), SimDuration::ZERO);
+        assert_eq!(
+            remote_write_v_latency(&p, &[(0, 0), (64, 0)]),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            remote_write_v_latency(&p, &[(0, 0), (0, 4), (64, 0)]),
+            remote_write_latency(&p, 0, 4)
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod packet;
 
 pub use addr::{BufferAddr, BUFFER_COUNT, BUFFER_SIZE, LINE_SIZE, WORD_SIZE};
 pub use error::SciError;
-pub use latency::{remote_read_latency, remote_write_latency, SciParams};
+pub use latency::{remote_read_latency, remote_write_latency, remote_write_v_latency, SciParams};
 pub use link::{LinkStats, SciLink};
 pub use node::{NodeMemory, SegmentId, SegmentInfo};
 pub use packet::{packetize, Packet, PacketKind};

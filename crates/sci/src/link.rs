@@ -6,7 +6,10 @@ use parking_lot::Mutex;
 
 use perseas_simtime::{SimClock, SimDuration};
 
-use crate::latency::{remote_read_latency, remote_write_latency, SciParams};
+use crate::addr::BufferAddr;
+use crate::latency::{
+    remote_read_latency, remote_write_latency, remote_write_v_latency, SciParams,
+};
 use crate::node::{NodeMemory, SegmentId};
 use crate::packet::{packetize, PacketKind};
 use crate::SciError;
@@ -208,19 +211,157 @@ impl SciLink {
         Ok(())
     }
 
+    /// Writes several `(segment, offset, data)` ranges as one gathered
+    /// message (the vectored form of [`SciLink::remote_write`]).
+    ///
+    /// The whole batch is charged as a single SCI message: one
+    /// [`SciParams::base_ns`] setup, streamed per-packet costs across all
+    /// ranges, and at most one partial-flush penalty (see
+    /// [`crate::remote_write_v_latency`]). It counts as *one* write in
+    /// [`LinkStats`]. Ranges are applied in order; under fault injection
+    /// the packet budget spans the concatenated packet sequence, so a cut
+    /// delivers every earlier range in full and a packet-aligned prefix of
+    /// the range it lands in — later ranges are lost entirely.
+    ///
+    /// # Errors
+    ///
+    /// Fails up-front (before any byte moves) if any referenced segment is
+    /// unknown or any range is out of bounds; returns
+    /// [`SciError::LinkDown`] with the total delivered byte count if fault
+    /// injection cut the message.
+    pub fn remote_write_v(&self, writes: &[(SegmentId, usize, &[u8])]) -> Result<(), SciError> {
+        // Resolve geometry and validate every range before transmitting, so
+        // a malformed batch does not leave a half-applied message.
+        let mut plans = Vec::with_capacity(writes.len());
+        for &(seg, offset, data) in writes {
+            let info = self.node.segment_info(seg)?;
+            if offset.checked_add(data.len()).is_none_or(|e| e > info.len) {
+                return Err(SciError::OutOfBounds {
+                    segment: seg,
+                    offset,
+                    len: data.len(),
+                    segment_len: info.len,
+                });
+            }
+            if data.is_empty() {
+                continue;
+            }
+            let start = info.base_addr + offset as u64;
+            plans.push((seg, offset, data, packetize(start, data.len())));
+        }
+        let total_packets: usize = plans.iter().map(|p| p.3.len()).sum();
+
+        let allowed = {
+            let mut f = self.fault.lock();
+            match f.packets_left {
+                None => total_packets,
+                Some(left) => {
+                    let allowed = (left as usize).min(total_packets);
+                    f.packets_left = Some(left - allowed as u64);
+                    allowed
+                }
+            }
+        };
+
+        // Deliver packet-aligned prefixes range by range and accumulate the
+        // single-message latency as we go.
+        let mut ns = 0u64;
+        let mut sent_any = false;
+        let mut last_byte = None;
+        let mut delivered_total = 0usize;
+        let mut budget = allowed;
+        let mut st_packets = (0u64, 0u64); // (full64, line16)
+        for (seg, offset, data, packets) in &plans {
+            if budget == 0 {
+                break;
+            }
+            let take = budget.min(packets.len());
+            budget -= take;
+            for (i, p) in packets[..take].iter().enumerate() {
+                ns += match (p.kind, !sent_any && i == 0) {
+                    (PacketKind::Full64, true) => self.params.pkt64_first_ns,
+                    (PacketKind::Full64, false) => self.params.pkt64_stream_ns,
+                    (PacketKind::Line16, true) => self.params.pkt16_first_ns,
+                    (PacketKind::Line16, false) => self.params.pkt16_stream_ns,
+                };
+                match p.kind {
+                    PacketKind::Full64 => st_packets.0 += 1,
+                    PacketKind::Line16 => st_packets.1 += 1,
+                }
+            }
+            sent_any |= take > 0;
+            let bytes: usize = packets[..take].iter().map(|p| p.store_bytes).sum();
+            if bytes > 0 {
+                let info = self.node.segment_info(*seg)?;
+                last_byte = Some(BufferAddr::from_phys(
+                    info.base_addr + *offset as u64 + bytes as u64 - 1,
+                ));
+                self.node.write(*seg, *offset, &data[..bytes])?;
+                delivered_total += bytes;
+            }
+        }
+        if sent_any {
+            ns += self.params.base_ns;
+            if let Some(b) = last_byte {
+                if !b.is_last_word() {
+                    ns += self.params.partial_flush_ns;
+                }
+            }
+            self.clock.advance(SimDuration::from_nanos(ns));
+        }
+
+        let mut st = self.stats.lock();
+        st.writes += 1;
+        st.bytes_written += delivered_total as u64;
+        st.packets64 += st_packets.0;
+        st.packets16 += st_packets.1;
+        drop(st);
+
+        if allowed < total_packets {
+            Err(SciError::LinkDown {
+                delivered: delivered_total,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
     /// The modelled latency a write of `len` bytes at `offset` in `seg`
     /// would incur, without performing it.
     ///
     /// # Errors
     ///
     /// Fails if the segment does not exist.
-    pub fn write_latency(&self, seg: SegmentId, offset: usize, len: usize) -> Result<SimDuration, SciError> {
+    pub fn write_latency(
+        &self,
+        seg: SegmentId,
+        offset: usize,
+        len: usize,
+    ) -> Result<SimDuration, SciError> {
         let info = self.node.segment_info(seg)?;
         Ok(remote_write_latency(
             &self.params,
             info.base_addr + offset as u64,
             len,
         ))
+    }
+
+    /// The modelled latency a vectored write of the given
+    /// `(segment, offset, len)` ranges would incur, without performing it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any referenced segment does not exist.
+    pub fn write_latency_v(
+        &self,
+        ranges: &[(SegmentId, usize, usize)],
+    ) -> Result<SimDuration, SciError> {
+        let mut phys = Vec::with_capacity(ranges.len());
+        for &(seg, offset, len) in ranges {
+            let info = self.node.segment_info(seg)?;
+            phys.push((info.base_addr + offset as u64, len));
+        }
+        Ok(remote_write_v_latency(&self.params, &phys))
     }
 }
 
@@ -335,6 +476,102 @@ mod tests {
             link.write_latency(a, 4, 32).unwrap(),
             link.write_latency(b, 4, 32).unwrap()
         );
+    }
+
+    #[test]
+    fn vectored_write_delivers_all_ranges_as_one_message() {
+        let (clock, node, link) = setup();
+        let a = node.export_segment(128, 0).unwrap();
+        let b = node.export_segment(128, 0).unwrap();
+        let t0 = clock.now();
+        link.remote_write_v(&[(a, 0, &[1; 64]), (b, 32, &[2; 16]), (a, 100, &[3; 8])])
+            .unwrap();
+        let mut buf = [0u8; 64];
+        node.read(a, 0, &mut buf).unwrap();
+        assert_eq!(buf, [1; 64]);
+        let mut buf = [0u8; 16];
+        node.read(b, 32, &mut buf).unwrap();
+        assert_eq!(buf, [2; 16]);
+        let st = link.stats();
+        assert_eq!(st.writes, 1, "one message, not three");
+        assert_eq!(st.bytes_written, 64 + 16 + 8);
+        let predicted = link
+            .write_latency_v(&[(a, 0, 64), (b, 32, 16), (a, 100, 8)])
+            .unwrap();
+        assert_eq!(clock.now().duration_since(t0), predicted);
+    }
+
+    #[test]
+    fn vectored_write_cheaper_than_separate_writes() {
+        let (clock, node, link) = setup();
+        let seg = node.export_segment(1024, 0).unwrap();
+        let ranges: Vec<(SegmentId, usize, &[u8])> =
+            (0..8).map(|i| (seg, i * 128, &[7u8; 64][..])).collect();
+        let t0 = clock.now();
+        link.remote_write_v(&ranges).unwrap();
+        let batched = clock.now().duration_since(t0);
+        let t1 = clock.now();
+        for &(s, o, d) in &ranges {
+            link.remote_write(s, o, d).unwrap();
+        }
+        let separate = clock.now().duration_since(t1);
+        assert!(batched < separate);
+        // Eight ranges amortise seven base setups.
+        assert_eq!(
+            separate.as_nanos() - batched.as_nanos(),
+            7 * link.params().base_ns
+        );
+    }
+
+    #[test]
+    fn vectored_write_cut_delivers_cross_range_packet_prefix() {
+        let (_, node, link) = setup();
+        let seg = node.export_segment(512, 0).unwrap();
+        // Range 1 = 1 full packet, range 2 = 3 full packets + 1 line.
+        // Allow 3 packets: range 1 fully, 128 bytes of range 2.
+        link.cut_after_packets(3);
+        let err = link
+            .remote_write_v(&[(seg, 0, &[1; 64]), (seg, 128, &[2; 200])])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SciError::LinkDown {
+                delivered: 64 + 128
+            }
+        );
+        let mut buf = [0u8; 512];
+        node.read(seg, 0, &mut buf).unwrap();
+        assert!(buf[..64].iter().all(|&b| b == 1));
+        assert!(buf[128..256].iter().all(|&b| b == 2));
+        assert!(buf[256..].iter().all(|&b| b == 0), "tail never arrived");
+        assert!(link.is_down());
+    }
+
+    #[test]
+    fn vectored_write_validates_before_transmitting() {
+        let (clock, node, link) = setup();
+        let seg = node.export_segment(64, 0).unwrap();
+        let t0 = clock.now();
+        // Second range is out of bounds: nothing at all must be delivered.
+        let err = link
+            .remote_write_v(&[(seg, 0, &[1; 32]), (seg, 60, &[2; 8])])
+            .unwrap_err();
+        assert!(matches!(err, SciError::OutOfBounds { .. }));
+        let mut buf = [0u8; 32];
+        node.read(seg, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0; 32], "batch failed validation, no bytes moved");
+        assert_eq!(clock.now(), t0, "no latency charged");
+    }
+
+    #[test]
+    fn vectored_write_empty_batch_is_free() {
+        let (clock, node, link) = setup();
+        let seg = node.export_segment(64, 0).unwrap();
+        let t0 = clock.now();
+        link.remote_write_v(&[]).unwrap();
+        link.remote_write_v(&[(seg, 0, &[])]).unwrap();
+        assert_eq!(clock.now(), t0);
+        assert_eq!(link.stats().bytes_written, 0);
     }
 
     #[test]

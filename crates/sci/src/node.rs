@@ -142,7 +142,10 @@ impl NodeMemory {
         if g.crashed {
             return Err(SciError::NodeCrashed);
         }
-        if g.used.checked_add(len).is_none_or(|total| total > g.capacity) {
+        if g.used
+            .checked_add(len)
+            .is_none_or(|total| total > g.capacity)
+        {
             return Err(SciError::OutOfMemory {
                 requested: len,
                 available: g.capacity - g.used,
@@ -288,12 +291,15 @@ impl NodeMemory {
         if g.crashed {
             return None;
         }
-        g.segments.iter().find(|(_, s)| s.tag == tag).map(|(&id, s)| SegmentInfo {
-            id,
-            len: s.data.len(),
-            tag: s.tag,
-            base_addr: s.base_addr,
-        })
+        g.segments
+            .iter()
+            .find(|(_, s)| s.tag == tag)
+            .map(|(&id, s)| SegmentInfo {
+                id,
+                len: s.data.len(),
+                tag: s.tag,
+                base_addr: s.base_addr,
+            })
     }
 
     /// Bytes currently exported.

@@ -68,6 +68,31 @@ impl SimClock {
         SimInstant::from_nanos(cur)
     }
 
+    /// Sets the clock back to `t` if `t` is in the past; otherwise leaves
+    /// it unchanged. Returns the (possibly unchanged) current time.
+    ///
+    /// This deliberately breaks the clock's monotonicity and exists for
+    /// exactly one pattern: modelling *concurrent* operations on a shared
+    /// timeline. The caller snapshots `now()`, runs each operation (which
+    /// charges its own latency), rewinds to the snapshot between
+    /// operations, and finally [`SimClock::advance_to`] the maximum
+    /// observed end time — charging the overlap as `max` instead of `sum`.
+    /// Any other use will corrupt measurements.
+    pub fn rewind_to(&self, t: SimInstant) -> SimInstant {
+        let target = t.as_nanos();
+        let mut cur = self.ns.load(Ordering::SeqCst);
+        while cur > target {
+            match self
+                .ns
+                .compare_exchange(cur, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimInstant::from_nanos(cur)
+    }
+
     /// Starts a [`Stopwatch`] at the current time.
     pub fn stopwatch(&self) -> Stopwatch {
         Stopwatch {
@@ -150,6 +175,33 @@ mod tests {
         assert_eq!(c.now().as_nanos(), 100);
         c.advance_to(SimInstant::from_nanos(150));
         assert_eq!(c.now().as_nanos(), 150);
+    }
+
+    #[test]
+    fn rewind_to_only_moves_backward() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_nanos(100));
+        c.rewind_to(SimInstant::from_nanos(150));
+        assert_eq!(c.now().as_nanos(), 100);
+        c.rewind_to(SimInstant::from_nanos(40));
+        assert_eq!(c.now().as_nanos(), 40);
+    }
+
+    #[test]
+    fn rewind_advance_models_parallel_completion() {
+        // The max-not-sum pattern: two 100ns and 250ns operations running
+        // concurrently finish 250ns after they start.
+        let c = SimClock::new();
+        c.advance(SimDuration::from_nanos(1_000));
+        let t0 = c.now();
+        let mut t_end = t0;
+        for cost in [100u64, 250] {
+            c.rewind_to(t0);
+            c.advance(SimDuration::from_nanos(cost));
+            t_end = t_end.max(c.now());
+        }
+        c.advance_to(t_end);
+        assert_eq!(c.now().as_nanos(), 1_250);
     }
 
     #[test]

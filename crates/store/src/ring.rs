@@ -52,7 +52,7 @@ impl<R: FixedRecord> RingLog<R> {
     /// Fails if the region does not exist or cannot hold whole records.
     pub fn open(tm: &dyn TransactionalMemory, region: RegionId) -> Result<Self, TxnError> {
         let len = tm.region_len(region)?;
-        if len < HEADER || R::SIZE == 0 || (len - HEADER) % R::SIZE != 0 {
+        if len < HEADER || R::SIZE == 0 || !(len - HEADER).is_multiple_of(R::SIZE) {
             return Err(TxnError::Unavailable(format!(
                 "region {region} of {len} bytes is not a ring log of {}-byte records",
                 R::SIZE
@@ -218,11 +218,7 @@ mod tests {
             db.begin_transaction().unwrap();
             let res = log.push(&mut db, &22).and_then(|_| db.commit_transaction());
 
-            let backend = SimRemote::with_parts(
-                SimClock::new(),
-                node,
-                SciParams::dolphin_1998(),
-            );
+            let backend = SimRemote::with_parts(SimClock::new(), node, SciParams::dolphin_1998());
             let (db2, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
             let log2 = RingLog::<u64>::open(&db2, log.region()).unwrap();
             let pushed = log2.pushed(&db2).unwrap();

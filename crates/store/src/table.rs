@@ -171,14 +171,21 @@ mod tests {
 
         db.begin_transaction().unwrap();
         t.put(&mut db, 3, &Counter { value: 5, bumps: 1 }).unwrap();
-        let after = t.update(&mut db, 3, |c| {
-            c.value += 10;
-            c.bumps += 1;
-        })
-        .unwrap();
+        let after = t
+            .update(&mut db, 3, |c| {
+                c.value += 10;
+                c.bumps += 1;
+            })
+            .unwrap();
         db.commit_transaction().unwrap();
 
-        assert_eq!(after, Counter { value: 15, bumps: 2 });
+        assert_eq!(
+            after,
+            Counter {
+                value: 15,
+                bumps: 2
+            }
+        );
         assert_eq!(t.get(&db, 3).unwrap(), after);
     }
 
@@ -223,7 +230,10 @@ mod tests {
         let (db2, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
         let reopened = Table::<Counter>::open(&db2, t.region()).unwrap();
         assert_eq!(reopened.capacity(), 4);
-        assert_eq!(reopened.get(&db2, 1).unwrap(), Counter { value: 7, bumps: 3 });
+        assert_eq!(
+            reopened.get(&db2, 1).unwrap(),
+            Counter { value: 7, bumps: 3 }
+        );
     }
 
     #[test]
@@ -252,7 +262,15 @@ mod tests {
         db.init_remote_db().unwrap();
         db.begin_transaction().unwrap();
         for i in 0..3 {
-            t.put(&mut db, i, &Counter { value: i as i64, bumps: 0 }).unwrap();
+            t.put(
+                &mut db,
+                i,
+                &Counter {
+                    value: i as i64,
+                    bumps: 0,
+                },
+            )
+            .unwrap();
         }
         db.commit_transaction().unwrap();
         let all = t.read_all(&db).unwrap();

@@ -132,7 +132,15 @@ fn table_survives_crash_and_reopen() {
 
     db.begin_transaction().unwrap();
     table
-        .put(&mut db, 5, &Rec { a: 42, b: -7, c: true })
+        .put(
+            &mut db,
+            5,
+            &Rec {
+                a: 42,
+                b: -7,
+                c: true,
+            },
+        )
         .unwrap();
     db.commit_transaction().unwrap();
     db.crash();
@@ -144,5 +152,12 @@ fn table_survives_crash_and_reopen() {
     );
     let (db2, _) = Perseas::recover(backend, PerseasConfig::default()).unwrap();
     let reopened = Table::<Rec>::open(&db2, table.region()).unwrap();
-    assert_eq!(reopened.get(&db2, 5).unwrap(), Rec { a: 42, b: -7, c: true });
+    assert_eq!(
+        reopened.get(&db2, 5).unwrap(),
+        Rec {
+            a: 42,
+            b: -7,
+            c: true
+        }
+    );
 }

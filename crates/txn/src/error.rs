@@ -78,7 +78,10 @@ impl fmt::Display for TxnError {
             TxnError::Unavailable(m) => write!(f, "durable store unavailable: {m}"),
             TxnError::Crashed => write!(f, "instance has crashed; recover from the mirror"),
             TxnError::BadPublishState => {
-                write!(f, "publish must be called exactly once, before transactions")
+                write!(
+                    f,
+                    "publish must be called exactly once, before transactions"
+                )
             }
         }
     }

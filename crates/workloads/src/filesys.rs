@@ -220,7 +220,7 @@ impl FileSys {
         tm.read(dents, from * DENT_SIZE, &mut dent)?;
         dent[16..24].copy_from_slice(&self.rng.next_u64().to_le_bytes()); // new name
         tm.write(dents, to * DENT_SIZE, &dent)?;
-        tm.write(dents, from * DENT_SIZE, &vec![0u8; DENT_SIZE])?;
+        tm.write(dents, from * DENT_SIZE, &[0u8; DENT_SIZE])?;
         self.bump_super(tm, 0, 0)?;
         tm.commit_transaction()?;
         self.live_dents[to] = Some(ino);
@@ -240,7 +240,7 @@ impl FileSys {
         let dents = self.dentries.expect("setup");
         tm.begin_transaction()?;
         tm.set_range(dents, slot * DENT_SIZE, DENT_SIZE)?;
-        tm.write(dents, slot * DENT_SIZE, &vec![0u8; DENT_SIZE])?;
+        tm.write(dents, slot * DENT_SIZE, &[0u8; DENT_SIZE])?;
 
         let off = ino * INODE_SIZE;
         tm.set_range(inodes, off, 8)?;
@@ -333,14 +333,13 @@ impl Workload for FileSys {
         }
 
         // Link counts must match directory references.
-        for i in 0..self.scale.inodes {
+        for (i, total) in link_total.iter().enumerate().take(self.scale.inodes) {
             let flags = Self::read_u32(tm, inodes, i * INODE_SIZE).map_err(|e| e.to_string())?;
             let links =
                 Self::read_u32(tm, inodes, i * INODE_SIZE + 4).map_err(|e| e.to_string())?;
-            if flags & F_USED != 0 && links != link_total[i] {
+            if flags & F_USED != 0 && links != *total {
                 return Err(format!(
-                    "inode {i}: link count {links} but {} directory entries",
-                    link_total[i]
+                    "inode {i}: link count {links} but {total} directory entries"
                 ));
             }
         }
@@ -403,7 +402,8 @@ mod tests {
             .find(|&s| wl.live_dents[s].is_none())
             .unwrap();
         tm.begin_transaction().unwrap();
-        tm.set_range(dents, free_slot * DENT_SIZE, DENT_SIZE).unwrap();
+        tm.set_range(dents, free_slot * DENT_SIZE, DENT_SIZE)
+            .unwrap();
         let mut dent = [0u8; DENT_SIZE];
         dent[0..4].copy_from_slice(&1u32.to_le_bytes());
         dent[8..16].copy_from_slice(&(wl.scale.inodes as u64 - 1).to_le_bytes());

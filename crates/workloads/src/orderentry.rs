@@ -131,8 +131,7 @@ impl Workload for OrderEntry {
 
     fn setup(&mut self, tm: &mut dyn TransactionalMemory) -> Result<(), TxnError> {
         let districts = tm.alloc_region(self.scale.districts() * DISTRICT_RECORD)?;
-        let stock =
-            tm.alloc_region(self.scale.warehouses * self.scale.items * STOCK_RECORD)?;
+        let stock = tm.alloc_region(self.scale.warehouses * self.scale.items * STOCK_RECORD)?;
         let orders = tm.alloc_region(self.scale.order_slots * ORDER_RECORD)?;
         let order_lines = tm.alloc_region(self.scale.order_line_slots * ORDER_LINE_RECORD)?;
 

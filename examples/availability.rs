@@ -72,18 +72,17 @@ fn main() -> Result<(), TxnError> {
     let e = SimRemote::new("workstation-E");
     let node_e = e.node().clone();
     db_on_d.add_mirror(e)?;
-    println!("running on {} healthy mirrors again", db_on_d.mirror_count());
+    println!(
+        "running on {} healthy mirrors again",
+        db_on_d.mirror_count()
+    );
 
     // Even D can now die: E alone still holds everything.
     db_on_d.crash();
-    let (db_final, report) =
-        Perseas::recover(reopen(&node_e), PerseasConfig::default())?;
-    println!(
-        "recovered from E: last committed {}",
-        report.last_committed
-    );
+    let (db_final, report) = Perseas::recover(reopen(&node_e), PerseasConfig::default())?;
+    println!("recovered from E: last committed {}", report.last_committed);
     let mut buf = [0u8; 8];
-    db_final.read(region, (149 % 512) * 8, &mut buf)?;
+    db_final.read(region, 149 * 8, &mut buf)?;
     assert_eq!(u64::from_le_bytes(buf), 149);
     println!("all 150 transactions survived three node failures");
     Ok(())

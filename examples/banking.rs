@@ -50,7 +50,9 @@ fn main() -> Result<(), TxnError> {
         "recovered from mirror: {} committed txns survive, {} undo records rolled back",
         report.last_committed, report.rolled_back_records
     );
-    workload.check(&db2).expect("balances conserved after crash");
+    workload
+        .check(&db2)
+        .expect("balances conserved after crash");
     println!("audit 2: the interrupted transfer vanished atomically");
     Ok(())
 }

@@ -28,7 +28,10 @@ fn main() -> Result<(), TxnError> {
         db.write(counters, slot, &(i + 1).to_le_bytes())?;
         db.commit_transaction()?;
     }
-    println!("committed 10 transactions (latest id {})", db.last_committed());
+    println!(
+        "committed 10 transactions (latest id {})",
+        db.last_committed()
+    );
 
     // ...one aborted transaction (a purely local operation)...
     db.begin_transaction()?;
@@ -44,11 +47,7 @@ fn main() -> Result<(), TxnError> {
     db.crash();
 
     // Any workstation can now recover from the mirror's memory.
-    let backend = SimRemote::with_parts(
-        SimClock::new(),
-        mirror_memory,
-        SciParams::dolphin_1998(),
-    );
+    let backend = SimRemote::with_parts(SimClock::new(), mirror_memory, SciParams::dolphin_1998());
     let (db2, report) = Perseas::recover(backend, PerseasConfig::default())?;
     println!(
         "recovered: last committed txn {}, rolled back {} undo record(s) of txn {:?}",

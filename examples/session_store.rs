@@ -89,11 +89,8 @@ fn main() -> Result<(), perseas_txn::TxnError> {
 
     // The server dies; sessions survive in the mirror.
     shared.with(|db| db.crash());
-    let reconnect = SimRemote::with_parts(
-        SimClock::new(),
-        mirror_memory,
-        SciParams::dolphin_1998(),
-    );
+    let reconnect =
+        SimRemote::with_parts(SimClock::new(), mirror_memory, SciParams::dolphin_1998());
     let (db2, report) = Perseas::recover(reconnect, PerseasConfig::default())?;
     let sessions2 = Table::<Session>::open(&db2, sessions.region())?;
     let recovered_logins: u32 = (0..256)

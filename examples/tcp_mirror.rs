@@ -44,7 +44,10 @@ fn main() -> ExitCode {
             match Server::bind("tcp-mirror", addr) {
                 Ok(s) => {
                     let handle = s.start();
-                    println!("mirror server listening on {} (ctrl-c to stop)", handle.addr());
+                    println!(
+                        "mirror server listening on {} (ctrl-c to stop)",
+                        handle.addr()
+                    );
                     loop {
                         std::thread::park();
                     }

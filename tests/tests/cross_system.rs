@@ -36,7 +36,8 @@ where
             None => reference = Some((name.to_string(), image)),
             Some((ref_name, ref_image)) => {
                 assert_eq!(
-                    ref_image, &image,
+                    ref_image,
+                    &image,
                     "{name} diverged from {ref_name} on {}",
                     wl.name()
                 );
@@ -57,11 +58,7 @@ fn all_systems_agree_on_debit_credit() {
 
 #[test]
 fn all_systems_agree_on_order_entry() {
-    assert_identical_images(
-        || OrderEntry::new(OrderEntryScale::tiny(), 5),
-        200,
-        4,
-    );
+    assert_identical_images(|| OrderEntry::new(OrderEntryScale::tiny(), 5), 200, 4);
 }
 
 #[test]

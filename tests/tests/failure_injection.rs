@@ -9,8 +9,16 @@ use perseas_simtime::SimClock;
 
 fn two_mirror_db() -> (Perseas<SimRemote>, NodeMemory, NodeMemory) {
     let clock = SimClock::new();
-    let a = SimRemote::with_parts(clock.clone(), NodeMemory::new("a"), SciParams::dolphin_1998());
-    let b = SimRemote::with_parts(clock.clone(), NodeMemory::new("b"), SciParams::dolphin_1998());
+    let a = SimRemote::with_parts(
+        clock.clone(),
+        NodeMemory::new("a"),
+        SciParams::dolphin_1998(),
+    );
+    let b = SimRemote::with_parts(
+        clock.clone(),
+        NodeMemory::new("b"),
+        SciParams::dolphin_1998(),
+    );
     let (na, nb) = (a.node().clone(), b.node().clone());
     let db = Perseas::init_with_clock(vec![a, b], PerseasConfig::default(), clock).unwrap();
     (db, na, nb)
@@ -68,21 +76,18 @@ fn cannot_remove_the_last_mirror() {
     let (mut db, _) = perseas_with_node();
     let _ = db.malloc(8).unwrap();
     db.init_remote_db().unwrap();
-    assert!(matches!(
-        db.remove_mirror(0),
-        Err(TxnError::Unavailable(_))
-    ));
-    assert!(matches!(
-        db.remove_mirror(7),
-        Err(TxnError::Unavailable(_))
-    ));
+    assert!(matches!(db.remove_mirror(0), Err(TxnError::Unavailable(_))));
+    assert!(matches!(db.remove_mirror(7), Err(TxnError::Unavailable(_))));
 }
 
 #[test]
 fn link_cut_during_commit_is_unavailable_then_recoverable() {
     let clock = SimClock::new();
-    let backend =
-        SimRemote::with_parts(clock.clone(), NodeMemory::new("m"), SciParams::dolphin_1998());
+    let backend = SimRemote::with_parts(
+        clock.clone(),
+        NodeMemory::new("m"),
+        SciParams::dolphin_1998(),
+    );
     let node = backend.node().clone();
     let link = backend.link().clone();
     let mut db = Perseas::init_with_clock(vec![backend], PerseasConfig::default(), clock).unwrap();
@@ -173,9 +178,7 @@ fn tcp_server_restart_preserves_exported_memory() {
     // The server process restarts (new port, same exported memory, as a
     // UPS-backed node would after a software-only restart).
     server.shutdown();
-    let err = db
-        .transaction(|tx| tx.update(r, 8, &[8; 8]))
-        .unwrap_err();
+    let err = db.transaction(|tx| tx.update(r, 8, &[8; 8])).unwrap_err();
     assert!(matches!(err, TxnError::Unavailable(_)));
 
     let server2 = Server::with_node(node, "127.0.0.1:0").unwrap().start();

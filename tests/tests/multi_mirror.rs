@@ -92,12 +92,11 @@ fn recover_best_is_at_least_as_new_as_any_single_mirror() {
     // diverge by one commit record.
     db.set_fault_plan(FaultPlan::crash_after(7));
     let _ = {
-        let res = db.begin_transaction().and_then(|_| {
+        db.begin_transaction().and_then(|_| {
             db.set_range(r, 32, 8)?;
             db.write(r, 32, &[0xCC; 8])?;
             db.commit_transaction()
-        });
-        res
+        })
     };
 
     let (from_a, ra) = Perseas::recover(reopen(&na), PerseasConfig::default()).unwrap();

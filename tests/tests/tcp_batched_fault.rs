@@ -1,0 +1,115 @@
+//! TCP robustness of the batched commit pipeline: a mirror server killed
+//! mid-commit must surface `TxnError::Unavailable` promptly (bounded by
+//! the reconnecting client's attempt budget, never hanging), and the
+//! database must recover against a restarted server.
+
+use std::time::{Duration, Instant};
+
+use perseas_core::{Perseas, PerseasConfig, TxnError};
+use perseas_rnram::server::Server;
+use perseas_rnram::{ReconnectingRemote, TcpRemote};
+
+fn batched() -> PerseasConfig {
+    PerseasConfig::default().with_batched_commit(true)
+}
+
+#[test]
+fn dead_server_fails_batched_commit_without_hanging_then_recovers() {
+    let server = Server::bind("kill-me", "127.0.0.1:0").unwrap().start();
+    let node = server.node().clone();
+    let addr = server.addr();
+
+    let mirror = ReconnectingRemote::connect(addr, 2).unwrap();
+    let mut db = Perseas::init(vec![mirror], batched()).unwrap();
+    let r = db.malloc(256).unwrap();
+    db.init_remote_db().unwrap();
+
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 64).unwrap();
+    db.write(r, 0, &[1; 64]).unwrap();
+    db.commit_transaction().unwrap();
+
+    // The server dies. In batched mode set_range is local, so the open
+    // transaction only notices at commit — which must fail with
+    // Unavailable after the client's bounded reconnect attempts.
+    server.shutdown();
+    db.begin_transaction().unwrap();
+    db.set_range(r, 64, 64).unwrap();
+    db.write(r, 64, &[2; 64]).unwrap();
+    let started = Instant::now();
+    let err = db.commit_transaction().unwrap_err();
+    assert!(matches!(err, TxnError::Unavailable(_)), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "commit failure took {:?} — retry bound not honoured",
+        started.elapsed()
+    );
+
+    // Same memory comes back on the same port (a UPS-backed restart);
+    // only the committed transaction survives.
+    let server2 = Server::with_node(node, addr).unwrap().start();
+    let (mut db2, report) = Perseas::recover(TcpRemote::connect(addr).unwrap(), batched()).unwrap();
+    assert_eq!(report.last_committed, 1);
+    let snap = db2.region_snapshot(r).unwrap();
+    assert_eq!(&snap[..64], &[1; 64][..]);
+    assert_eq!(
+        &snap[64..128],
+        &[0; 64][..],
+        "failed txn must not be durable"
+    );
+
+    // The recovered database commits batched transactions normally.
+    db2.begin_transaction().unwrap();
+    db2.set_range(r, 128, 32).unwrap();
+    db2.write(r, 128, &[3; 32]).unwrap();
+    db2.commit_transaction().unwrap();
+    assert_eq!(&db2.region_snapshot(r).unwrap()[128..160], &[3; 32][..]);
+    server2.shutdown();
+}
+
+#[test]
+fn two_tcp_mirrors_commit_batched_in_parallel_and_survive_one_loss() {
+    let sa = Server::bind("ma", "127.0.0.1:0").unwrap().start();
+    let sb = Server::bind("mb", "127.0.0.1:0").unwrap().start();
+    let addr_a = sa.addr();
+
+    let mut db = Perseas::init(
+        vec![
+            TcpRemote::connect(addr_a).unwrap(),
+            TcpRemote::connect(sb.addr()).unwrap(),
+        ],
+        batched(),
+    )
+    .unwrap();
+    let r = db.malloc(512).unwrap();
+    db.init_remote_db().unwrap();
+
+    // No fault plan armed and no sim clocks: these commits take the
+    // scoped-thread fan-out path, one writer thread per mirror.
+    for i in 0..20u64 {
+        db.begin_transaction().unwrap();
+        let slot = (i as usize % 16) * 16;
+        db.set_range(r, slot, 16).unwrap();
+        db.write(r, slot, &[i as u8; 16]).unwrap();
+        db.set_range(r, 256 + slot, 8).unwrap();
+        db.write(r, 256 + slot, &[!(i as u8); 8]).unwrap();
+        db.commit_transaction().unwrap();
+    }
+    assert_eq!(db.last_committed(), 20);
+
+    // Mirror b dies mid-life: the parallel fan-out must report the loss
+    // instead of panicking or hanging.
+    sb.shutdown();
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 16).unwrap();
+    db.write(r, 0, &[0xFF; 16]).unwrap();
+    let err = db.commit_transaction().unwrap_err();
+    assert!(matches!(err, TxnError::Unavailable(_)), "{err}");
+
+    // Mirror a still recovers the full committed history.
+    let (db2, report) = Perseas::recover(TcpRemote::connect(addr_a).unwrap(), batched()).unwrap();
+    assert_eq!(report.last_committed, 20);
+    let snap = db2.region_snapshot(r).unwrap();
+    assert_eq!(&snap[19 % 16 * 16..19 % 16 * 16 + 16], &[19u8; 16][..]);
+    sa.shutdown();
+}

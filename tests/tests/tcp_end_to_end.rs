@@ -29,7 +29,7 @@ fn commit_crash_recover_over_tcp() {
     let (db2, report) = Perseas::recover(reconnect, PerseasConfig::default()).unwrap();
     assert_eq!(report.last_committed, 50);
     let mut buf = [0u8; 8];
-    db2.read(r, 49 % 128 * 8, &mut buf).unwrap();
+    db2.read(r, 49 * 8, &mut buf).unwrap();
     assert_eq!(u64::from_le_bytes(buf), 49);
     server.shutdown();
 }
@@ -76,13 +76,11 @@ fn two_databases_share_one_mirror_via_distinct_tags() {
     let cfg_a = PerseasConfig::default().with_meta_tag(0xA);
     let cfg_b = PerseasConfig::default().with_meta_tag(0xB);
 
-    let mut db_a =
-        Perseas::init(vec![TcpRemote::connect(server.addr()).unwrap()], cfg_a).unwrap();
+    let mut db_a = Perseas::init(vec![TcpRemote::connect(server.addr()).unwrap()], cfg_a).unwrap();
     let ra = db_a.malloc(64).unwrap();
     db_a.init_remote_db().unwrap();
 
-    let mut db_b =
-        Perseas::init(vec![TcpRemote::connect(server.addr()).unwrap()], cfg_b).unwrap();
+    let mut db_b = Perseas::init(vec![TcpRemote::connect(server.addr()).unwrap()], cfg_b).unwrap();
     let rb = db_b.malloc(64).unwrap();
     db_b.init_remote_db().unwrap();
 
@@ -99,10 +97,8 @@ fn two_databases_share_one_mirror_via_distinct_tags() {
     db_a.crash();
     db_b.crash();
 
-    let (ra_db, _) =
-        Perseas::recover(TcpRemote::connect(server.addr()).unwrap(), cfg_a).unwrap();
-    let (rb_db, _) =
-        Perseas::recover(TcpRemote::connect(server.addr()).unwrap(), cfg_b).unwrap();
+    let (ra_db, _) = Perseas::recover(TcpRemote::connect(server.addr()).unwrap(), cfg_a).unwrap();
+    let (rb_db, _) = Perseas::recover(TcpRemote::connect(server.addr()).unwrap(), cfg_b).unwrap();
     assert_eq!(&ra_db.region_snapshot(ra).unwrap()[..8], &[0xA; 8]);
     assert_eq!(&rb_db.region_snapshot(rb).unwrap()[..8], &[0xB; 8]);
     server.shutdown();
@@ -142,7 +138,10 @@ fn perseas_rides_out_a_mirror_server_restart() {
     )
     .unwrap();
     assert_eq!(report.last_committed, 2);
-    assert_eq!(&db2.region_snapshot(r).unwrap()[..16], &[[1u8; 8], [2u8; 8]].concat()[..]);
+    assert_eq!(
+        &db2.region_snapshot(r).unwrap()[..16],
+        &[[1u8; 8], [2u8; 8]].concat()[..]
+    );
     server2.shutdown();
 }
 

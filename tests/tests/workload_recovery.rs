@@ -112,8 +112,7 @@ fn filesys_survives_crashes_at_every_step() {
         }
         db.set_fault_plan(FaultPlan::crash_after(crash_at));
         let crashed = wl.run_txn(&mut db);
-        let (db2, _) =
-            Perseas::recover(reopen(&node), PerseasConfig::default()).expect("recover");
+        let (db2, _) = Perseas::recover(reopen(&node), PerseasConfig::default()).expect("recover");
         if crashed.is_err() {
             // The in-flight metadata update must vanish atomically: the
             // durable state is the one after 30 transactions, for which

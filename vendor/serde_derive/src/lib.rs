@@ -1,0 +1,18 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The derives expand to nothing: the workspace never calls serde's
+//! serialization machinery, it only annotates types for future use. An
+//! empty expansion keeps `#[derive(Serialize, Deserialize)]` compiling
+//! without pulling in syn/quote (unavailable offline).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
