@@ -17,9 +17,9 @@ use std::process::ExitCode;
 
 use perseas_bench::{
     ablation_batch, ablation_group_commit, ablation_memcpy, ablation_mirrors, ablation_remote_wal,
-    ablation_trend, compare_systems, copies_per_txn, dbsize_sweep, fig5_sci_latency,
-    fig6_txn_overhead, filesys_throughput, recovery_time, table1_perseas, tail_latency,
-    verify_claims,
+    ablation_trend, commit_degraded, compare_systems, copies_per_txn, dbsize_sweep,
+    fig5_sci_latency, fig6_txn_overhead, filesys_throughput, recovery_time, table1_perseas,
+    tail_latency, verify_claims,
 };
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -68,6 +68,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "file-system metadata workload across all systems",
     ),
     ("recovery", "recovery time vs. database size (availability)"),
+    (
+        "failover",
+        "degraded commits: 2 mirrors -> 1 killed mid-run (availability)",
+    ),
     (
         "check",
         "verify every quantitative paper claim (pass/fail table)",
@@ -459,6 +463,31 @@ fn run(name: &str, csv: Option<&std::path::Path>) {
                 csv,
                 "recovery",
                 "db_bytes,recover_ms,rolled_back",
+                &csv_rows,
+            );
+        }
+        "failover" => {
+            banner("Availability: degraded commits after a mirror loss (2 mirrors -> 1)");
+            println!(
+                "{:<10} {:>8} {:>12} {:>12}",
+                "phase", "txns", "mean (us)", "max (us)"
+            );
+            let rows = commit_degraded();
+            let mut csv_rows = Vec::new();
+            for r in &rows {
+                println!(
+                    "{:<10} {:>8} {:>12.2} {:>12.2}",
+                    r.phase, r.txns, r.mean_latency_us, r.max_latency_us
+                );
+                csv_rows.push(format!(
+                    "{},{},{:.2},{:.2}",
+                    r.phase, r.txns, r.mean_latency_us, r.max_latency_us
+                ));
+            }
+            save_csv(
+                csv,
+                "failover",
+                "phase,txns,mean_latency_us,max_latency_us",
                 &csv_rows,
             );
         }

@@ -663,6 +663,74 @@ pub fn recovery_time() -> Vec<RecoveryRow> {
         .collect()
 }
 
+/// One phase of the degraded-commit experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverRow {
+    /// Phase label: `healthy`, `failover`, or `degraded`.
+    pub phase: &'static str,
+    /// Transactions measured in this phase.
+    pub txns: u64,
+    /// Mean commit latency of the phase, µs.
+    pub mean_latency_us: f64,
+    /// Worst commit latency of the phase, µs.
+    pub max_latency_us: f64,
+}
+
+/// Availability under mirror loss: a two-mirror database runs 16-byte
+/// transactions, one mirror is killed mid-run, and the run continues in
+/// degraded mode. The `failover` row is the single commit that detects
+/// the failure — it pays the failed remote write plus the epoch fence —
+/// bounding the mirror-failure → first-degraded-commit latency; the
+/// `degraded` row shows steady-state cost on the survivor (one fewer
+/// remote write than `healthy`).
+pub fn commit_degraded() -> Vec<FailoverRow> {
+    const TXNS_PER_PHASE: u64 = 5_000;
+    let clock = SimClock::new();
+    let mut db = perseas_sim_with(
+        clock.clone(),
+        PerseasConfig::default(),
+        2,
+        SciParams::dolphin_1998(),
+    );
+    let r = db.malloc(1 << 20).expect("malloc");
+    db.init_remote_db().expect("publish");
+    let len = 1usize << 20;
+
+    let run_txn = |db: &mut Perseas<SimRemote>, i: u64| -> f64 {
+        let at = (i as usize * 16) % (len - 16);
+        let sw = clock.stopwatch();
+        db.begin_transaction().expect("begin");
+        db.set_range(r, at, 16).expect("set_range");
+        db.write(r, at, &[i as u8; 16]).expect("write");
+        db.commit_transaction().expect("commit");
+        sw.elapsed().as_micros_f64()
+    };
+    let summarize = |phase: &'static str, lat: &[f64]| FailoverRow {
+        phase,
+        txns: lat.len() as u64,
+        mean_latency_us: lat.iter().sum::<f64>() / lat.len() as f64,
+        max_latency_us: lat.iter().cloned().fold(0.0, f64::max),
+    };
+
+    let healthy: Vec<f64> = (0..TXNS_PER_PHASE).map(|i| run_txn(&mut db, i)).collect();
+
+    // Kill mirror 1 between transactions; the next commit detects the
+    // loss, fences the survivor forward, and still commits.
+    db.mirror_backend(1).expect("mirror").node().crash();
+    let failover = [run_txn(&mut db, TXNS_PER_PHASE)];
+    assert_eq!(db.healthy_mirror_count(), 1, "mirror loss detected");
+
+    let degraded: Vec<f64> = (0..TXNS_PER_PHASE)
+        .map(|i| run_txn(&mut db, TXNS_PER_PHASE + 1 + i))
+        .collect();
+
+    vec![
+        summarize("healthy", &healthy),
+        summarize("failover", &failover),
+        summarize("degraded", &degraded),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,5 +783,23 @@ mod tests {
         let rvm = rows.iter().find(|r| r.system == "RVM (disk)").expect("rvm");
         assert!(rvm.disk_per_txn >= 1.0);
         assert_eq!(rvm.remote_per_txn, 0.0);
+    }
+
+    #[test]
+    fn degraded_commits_are_cheaper_failover_commit_is_bounded() {
+        let rows = commit_degraded();
+        let by = |phase: &str| {
+            *rows
+                .iter()
+                .find(|r| r.phase == phase)
+                .unwrap_or_else(|| panic!("{phase} row"))
+        };
+        let (healthy, failover, degraded) = (by("healthy"), by("failover"), by("degraded"));
+        // One fewer mirror means one fewer remote write per step.
+        assert!(degraded.mean_latency_us < healthy.mean_latency_us);
+        // The detection commit pays extra (fence + failed write) but stays
+        // within an order of magnitude of a healthy commit.
+        assert_eq!(failover.txns, 1);
+        assert!(failover.max_latency_us < healthy.mean_latency_us * 10.0);
     }
 }

@@ -13,6 +13,7 @@
 //! | [`ablation_mirrors`] | multi-mirror overhead (k = 1..4) |
 //! | [`ablation_memcpy`] | §4 — aligned-chunk `sci_memcpy` on/off |
 //! | [`ablation_trend`] | §6 — disk vs. network technology trend |
+//! | [`commit_degraded`] | availability — degraded commits after mirror loss |
 
 mod claims;
 mod experiments;

@@ -1,5 +1,6 @@
 //! Library configuration.
 
+use perseas_rnram::BackoffPolicy;
 use perseas_simtime::MemCostModel;
 
 use crate::layout::META_TAG;
@@ -37,6 +38,29 @@ pub struct PerseasConfig {
     /// range is its own remote write. Crash-point counting follows the
     /// writes: on the batched path one vectored write is one crash point.
     pub batched_commit: bool,
+    /// Minimum number of `Healthy` mirrors a commit must reach. When a
+    /// mirror fails mid-operation it is fenced (marked `Down`, epoch
+    /// bumped on the survivors) and the transaction commits in degraded
+    /// mode as long as this many mirrors remain; below the quorum the
+    /// operation fails `Unavailable`. The paper's availability claim
+    /// (data survives any single workstation crash) corresponds to the
+    /// default of 1.
+    pub commit_quorum: usize,
+    /// Epoch admission floor for `recover` and `ReadReplica::attach`: a
+    /// mirror whose metadata carries an epoch below this value was
+    /// fenced out of the set after missing commits and is refused with
+    /// [`perseas_txn::TxnError::FencedMirror`]. The default of 0 admits
+    /// every mirror, including pre-epoch images.
+    pub min_epoch: u64,
+    /// How many times `ReadReplica::refresh` restarts its copy when the
+    /// mirror commits concurrently, before giving up with
+    /// [`perseas_txn::TxnError::SnapshotContention`].
+    pub snapshot_retries: usize,
+    /// Pacing for reconnect probes against `Down` mirrors
+    /// ([`crate::Perseas::probe_down_mirrors`]): exponential backoff
+    /// with deterministic jitter, charged to the simulated clock for sim
+    /// backends and to the wall clock for TCP.
+    pub probe_backoff: BackoffPolicy,
 }
 
 impl PerseasConfig {
@@ -49,6 +73,10 @@ impl PerseasConfig {
             meta_tag: META_TAG,
             aligned_memcpy: true,
             batched_commit: false,
+            commit_quorum: 1,
+            min_epoch: 0,
+            snapshot_retries: 8,
+            probe_backoff: BackoffPolicy::default(),
         }
     }
 
@@ -101,6 +129,42 @@ impl PerseasConfig {
         self.batched_commit = batched;
         self
     }
+
+    /// Sets the minimum healthy-mirror count for degraded commits. A
+    /// quorum equal to the mirror count disables degraded mode entirely
+    /// (any mirror failure fails the commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum` is zero.
+    pub fn with_commit_quorum(mut self, quorum: usize) -> Self {
+        assert!(quorum > 0, "commit quorum must be positive");
+        self.commit_quorum = quorum;
+        self
+    }
+
+    /// Sets the epoch admission floor for recovery and replica attach.
+    pub fn with_min_epoch(mut self, epoch: u64) -> Self {
+        self.min_epoch = epoch;
+        self
+    }
+
+    /// Sets the snapshot retry budget for `ReadReplica::refresh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retries` is zero.
+    pub fn with_snapshot_retries(mut self, retries: usize) -> Self {
+        assert!(retries > 0, "at least one snapshot attempt is required");
+        self.snapshot_retries = retries;
+        self
+    }
+
+    /// Sets the pacing policy for down-mirror reconnect probes.
+    pub fn with_probe_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.probe_backoff = policy;
+        self
+    }
 }
 
 impl Default for PerseasConfig {
@@ -131,6 +195,40 @@ mod tests {
     #[test]
     fn batched_commit_defaults_off() {
         assert!(!PerseasConfig::new().batched_commit);
+    }
+
+    #[test]
+    fn failover_defaults() {
+        let c = PerseasConfig::new();
+        assert_eq!(c.commit_quorum, 1, "paper: survive any single crash");
+        assert_eq!(c.min_epoch, 0, "admit pre-epoch images");
+        assert_eq!(c.snapshot_retries, 8);
+        assert_eq!(c.probe_backoff, BackoffPolicy::default());
+    }
+
+    #[test]
+    fn failover_builders_chain() {
+        let c = PerseasConfig::new()
+            .with_commit_quorum(2)
+            .with_min_epoch(5)
+            .with_snapshot_retries(3)
+            .with_probe_backoff(BackoffPolicy::from_millis(2, 8));
+        assert_eq!(c.commit_quorum, 2);
+        assert_eq!(c.min_epoch, 5);
+        assert_eq!(c.snapshot_retries, 3);
+        assert_eq!(c.probe_backoff, BackoffPolicy::from_millis(2, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn zero_quorum_rejected() {
+        let _ = PerseasConfig::new().with_commit_quorum(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn zero_snapshot_retries_rejected() {
+        let _ = PerseasConfig::new().with_snapshot_retries(0);
     }
 
     #[test]

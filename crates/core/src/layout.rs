@@ -28,6 +28,14 @@ pub const META_VERSION: u32 = 1;
 /// Byte offset of the `(undo_seg_id, undo_seg_len)` line.
 pub const OFF_UNDO: usize = 16;
 
+/// Byte offset of the mirror-set epoch counter. The epoch is bumped on
+/// every membership change (mirror fenced, added, rejoined, or removed)
+/// and written to every surviving mirror *before* the change takes
+/// effect, so a mirror that missed commits always carries a stale epoch
+/// and can be refused by recovery. The 8-byte counter sits inside one
+/// 16-byte line: the update is packet-atomic.
+pub const OFF_EPOCH: usize = 32;
+
 /// Byte offset of the commit record (`last_committed` transaction id).
 /// Deliberately placed so the 8-byte record ends on the last word of its
 /// 64-byte SCI buffer: the card then flushes it eagerly (no partial-flush
@@ -86,6 +94,9 @@ pub struct MetaHeader {
     pub undo_seg_id: u64,
     /// Length of the current undo segment.
     pub undo_seg_len: u64,
+    /// Mirror-set epoch this mirror last participated in (0 in images
+    /// written before epochs existed).
+    pub epoch: u64,
     /// Id of the last committed transaction (the commit record).
     pub last_committed: u64,
 }
@@ -99,6 +110,7 @@ impl MetaHeader {
         out[12..16].copy_from_slice(&self.region_count.to_le_bytes());
         out[16..24].copy_from_slice(&self.undo_seg_id.to_le_bytes());
         out[24..32].copy_from_slice(&self.undo_seg_len.to_le_bytes());
+        out[OFF_EPOCH..OFF_EPOCH + 8].copy_from_slice(&self.epoch.to_le_bytes());
         out[OFF_COMMIT..OFF_COMMIT + 8].copy_from_slice(&self.last_committed.to_le_bytes());
         out
     }
@@ -122,6 +134,7 @@ impl MetaHeader {
             region_count: get_u32(buf, 12).ok_or("truncated region count")?,
             undo_seg_id: get_u64(buf, OFF_UNDO).ok_or("truncated undo id")?,
             undo_seg_len: get_u64(buf, OFF_UNDO + 8).ok_or("truncated undo len")?,
+            epoch: get_u64(buf, OFF_EPOCH).ok_or("truncated epoch")?,
             last_committed: get_u64(buf, OFF_COMMIT).ok_or("truncated commit record")?,
         })
     }
@@ -239,15 +252,43 @@ mod tests {
     }
 
     #[test]
+    fn epoch_fits_one_line() {
+        // The epoch bump fences a mirror with a single packet: the
+        // 8-byte counter may not straddle a 16-byte line.
+        assert_eq!(OFF_EPOCH / 16, (OFF_EPOCH + 7) / 16);
+        // It must not share a line with the commit record either —
+        // fencing and committing are separate atomic events.
+        assert_ne!(OFF_EPOCH / 16, OFF_COMMIT / 16);
+    }
+
+    #[test]
     fn header_roundtrips() {
         let h = MetaHeader {
             region_count: 3,
             undo_seg_id: 42,
             undo_seg_len: 4096,
+            epoch: 9,
             last_committed: 17,
         };
         let enc = h.encode();
         assert_eq!(MetaHeader::decode(&enc).unwrap(), h);
+    }
+
+    #[test]
+    fn pre_epoch_images_decode_as_epoch_zero() {
+        // Images written before the epoch field existed left bytes
+        // 32..40 zeroed; they must decode as epoch 0, which passes the
+        // default `min_epoch = 0` admission check.
+        let h = MetaHeader {
+            region_count: 1,
+            undo_seg_id: 7,
+            undo_seg_len: 64,
+            epoch: 3,
+            last_committed: 2,
+        };
+        let mut enc = h.encode();
+        enc[OFF_EPOCH..OFF_EPOCH + 8].fill(0);
+        assert_eq!(MetaHeader::decode(&enc).unwrap().epoch, 0);
     }
 
     #[test]
@@ -256,6 +297,7 @@ mod tests {
             region_count: 1,
             undo_seg_id: 1,
             undo_seg_len: 1,
+            epoch: 1,
             last_committed: 0,
         };
         let mut enc = h.encode();

@@ -66,12 +66,15 @@ mod txn_impl;
 
 pub use config::PerseasConfig;
 pub use fault::FaultPlan;
-pub use layout::{crc32, decode_region_entry, MetaHeader, UndoRecord, META_TAG};
-pub use perseas::Perseas;
+pub use layout::{
+    crc32, decode_region_entry, MetaHeader, UndoRecord, META_TAG, OFF_COMMIT, OFF_EPOCH,
+};
+pub use perseas::{MirrorHealth, MirrorStatus, Perseas};
 pub use recovery::RecoveryReport;
 pub use replica::ReadReplica;
 pub use scope::TxnScope;
 pub use shared::SharedPerseas;
 pub use trace::{RecordingTracer, TraceEvent, Tracer};
 
+pub use perseas_rnram::BackoffPolicy;
 pub use perseas_txn::{RegionId, TransactionalMemory, TxnError, TxnStats};

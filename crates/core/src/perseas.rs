@@ -9,10 +9,41 @@ use perseas_txn::{RegionId, TxnError, TxnStats};
 use crate::config::PerseasConfig;
 use crate::fault::FaultPlan;
 use crate::layout::{
-    encode_region_entry, meta_segment_size, MetaHeader, UndoRecord, OFF_COMMIT, OFF_REGION_TABLE,
-    OFF_UNDO, REGION_ENTRY_SIZE,
+    encode_region_entry, meta_segment_size, MetaHeader, UndoRecord, OFF_COMMIT, OFF_EPOCH,
+    OFF_REGION_TABLE, OFF_UNDO, REGION_ENTRY_SIZE,
 };
 use crate::trace::{TraceEvent, Tracer};
+
+/// Per-mirror vectored write batch: each entry pairs a mirror index with
+/// the `(segment, offset, bytes)` ranges destined for that mirror.
+type MirrorBatches = Vec<(usize, Vec<(SegmentId, usize, Vec<u8>)>)>;
+
+/// Health of one mirror in the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MirrorHealth {
+    /// Serving: every protocol write reaches this mirror.
+    Healthy,
+    /// A reconnect probe got a real answer from a `Down` mirror — the
+    /// node is reachable again but its image is stale; it must be
+    /// resynced with [`Perseas::rejoin_mirror`] before it serves.
+    Suspect,
+    /// A transport-level failure condemned this mirror; it receives no
+    /// writes and its (stale-epoch) image is fenced out of recovery.
+    Down,
+}
+
+/// One row of [`Perseas::mirror_status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirrorStatus {
+    /// Position in the mirror set.
+    pub index: usize,
+    /// The backend's node name.
+    pub node: String,
+    /// Current health.
+    pub health: MirrorHealth,
+    /// Reconnect probes attempted since the mirror went `Down`.
+    pub probes: u32,
+}
 
 /// Lifecycle of an instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +64,26 @@ pub(crate) struct MirrorState<M> {
     pub(crate) meta: RemoteSegment,
     pub(crate) undo: RemoteSegment,
     pub(crate) db: Vec<RemoteSegment>,
+    pub(crate) health: MirrorHealth,
+    /// Reconnect probes attempted while `Down` (paces the backoff).
+    pub(crate) probes: u32,
+}
+
+impl<M> MirrorState<M> {
+    pub(crate) fn new(backend: M, meta: RemoteSegment, undo: RemoteSegment) -> Self {
+        MirrorState {
+            backend,
+            meta,
+            undo,
+            db: Vec::new(),
+            health: MirrorHealth::Healthy,
+            probes: 0,
+        }
+    }
+
+    fn is_healthy(&self) -> bool {
+        self.health == MirrorHealth::Healthy
+    }
 }
 
 /// One logged before-image of the open transaction (an offset into the
@@ -66,6 +117,9 @@ pub struct Perseas<M: RemoteMemory> {
     pub(crate) undo_off: usize,
     pub(crate) phase: Phase,
     pub(crate) txn: Option<ActiveTxn>,
+    /// Mirror-set epoch: bumped on every membership change and written
+    /// to every healthy mirror before the change takes effect.
+    pub(crate) epoch: u64,
     pub(crate) last_committed: u64,
     pub(crate) next_txn_id: u64,
     pub(crate) stats: TxnStats,
@@ -112,12 +166,7 @@ impl<M: RemoteMemory> Perseas<M> {
             let undo = backend
                 .remote_malloc(cfg.initial_undo_capacity, 0)
                 .map_err(unavailable)?;
-            states.push(MirrorState {
-                backend,
-                meta,
-                undo,
-                db: Vec::new(),
-            });
+            states.push(MirrorState::new(backend, meta, undo));
         }
         Ok(Perseas {
             clock,
@@ -127,6 +176,7 @@ impl<M: RemoteMemory> Perseas<M> {
             undo_off: 0,
             phase: Phase::Setup,
             txn: None,
+            epoch: 1,
             last_committed: 0,
             next_txn_id: 1,
             stats: TxnStats::new(),
@@ -271,21 +321,31 @@ impl<M: RemoteMemory> Perseas<M> {
         // because the mirror's undo log is only consulted by recovery
         // after the data-propagation phase has begun.
         if !self.cfg.batched_commit {
+            let mut any_failed = false;
             for mi in 0..self.mirrors.len() {
+                if !self.mirrors[mi].is_healthy() {
+                    continue;
+                }
                 self.fault_step()?;
                 let m = &mut self.mirrors[mi];
                 let undo = m.undo;
-                push_range(
+                match push_range(
                     &mut m.backend,
                     undo,
                     &self.undo_shadow,
                     shadow_off,
                     total,
                     self.cfg.aligned_memcpy,
-                )
-                .map_err(unavailable)?;
-                self.stats.add_remote_write(total);
+                ) {
+                    Ok(()) => self.stats.add_remote_write(total),
+                    Err(e) if e.is_unavailable() => {
+                        self.mark_down(mi, &e);
+                        any_failed = true;
+                    }
+                    Err(e) => return Err(unavailable(e)),
+                }
             }
+            self.fence_failed(any_failed)?;
         }
 
         self.undo_off += total;
@@ -364,21 +424,31 @@ impl<M: RemoteMemory> Perseas<M> {
         // One remote burst per mirror for the whole batch (deferred to
         // commit entirely on the batched path, as in `set_range`).
         if !self.cfg.batched_commit {
+            let mut any_failed = false;
             for mi in 0..self.mirrors.len() {
+                if !self.mirrors[mi].is_healthy() {
+                    continue;
+                }
                 self.fault_step()?;
                 let m = &mut self.mirrors[mi];
                 let undo = m.undo;
-                push_range(
+                match push_range(
                     &mut m.backend,
                     undo,
                     &self.undo_shadow,
                     start,
                     at - start,
                     self.cfg.aligned_memcpy,
-                )
-                .map_err(unavailable)?;
-                self.stats.add_remote_write(at - start);
+                ) {
+                    Ok(()) => self.stats.add_remote_write(at - start),
+                    Err(e) if e.is_unavailable() => {
+                        self.mark_down(mi, &e);
+                        any_failed = true;
+                    }
+                    Err(e) => return Err(unavailable(e)),
+                }
             }
+            self.fence_failed(any_failed)?;
         }
 
         self.undo_off = at;
@@ -465,33 +535,62 @@ impl<M: RemoteMemory> Perseas<M> {
             if self.cfg.batched_commit {
                 self.commit_batched(&txn, &ranges)?;
             } else {
-                // Propagate coalesced modified ranges to every mirror.
+                // Propagate coalesced modified ranges to every healthy
+                // mirror; a mirror failing mid-propagation is fenced and
+                // the commit continues degraded.
                 for &(ri, start, len) in &ranges {
+                    let mut any_failed = false;
                     for mi in 0..self.mirrors.len() {
+                        if !self.mirrors[mi].is_healthy() {
+                            continue;
+                        }
                         self.fault_step()?;
                         let m = &mut self.mirrors[mi];
                         let seg = m.db[ri];
-                        push_range(
+                        match push_range(
                             &mut m.backend,
                             seg,
                             &self.regions[ri],
                             start,
                             len,
                             self.cfg.aligned_memcpy,
-                        )
-                        .map_err(unavailable)?;
-                        self.stats.add_remote_write(len);
+                        ) {
+                            Ok(()) => self.stats.add_remote_write(len),
+                            Err(e) if e.is_unavailable() => {
+                                self.mark_down(mi, &e);
+                                any_failed = true;
+                            }
+                            Err(e) => return Err(unavailable(e)),
+                        }
                     }
+                    self.fence_failed(any_failed)?;
                 }
-                // Durability point: one 8-byte, packet-atomic remote write.
+                // Durability point: one 8-byte, packet-atomic remote write
+                // per surviving mirror. A mirror failing here is fenced:
+                // the survivors get the new epoch before the commit is
+                // reported durable, so the failed mirror (which may lack
+                // the record) can never outrank them in recovery.
+                let mut any_failed = false;
                 for mi in 0..self.mirrors.len() {
+                    if !self.mirrors[mi].is_healthy() {
+                        continue;
+                    }
                     self.fault_step()?;
                     let m = &mut self.mirrors[mi];
-                    m.backend
-                        .remote_write(m.meta.id, OFF_COMMIT, &txn.id.to_le_bytes())
-                        .map_err(unavailable)?;
-                    self.stats.add_remote_write(8);
+                    let meta_id = m.meta.id;
+                    match m
+                        .backend
+                        .remote_write(meta_id, OFF_COMMIT, &txn.id.to_le_bytes())
+                    {
+                        Ok(()) => self.stats.add_remote_write(8),
+                        Err(e) if e.is_unavailable() => {
+                            self.mark_down(mi, &e);
+                            any_failed = true;
+                        }
+                        Err(e) => return Err(unavailable(e)),
+                    }
                 }
+                self.fence_failed(any_failed)?;
             }
             self.last_committed = txn.id;
             let bytes = ranges.iter().map(|&(_, _, l)| l).sum();
@@ -508,6 +607,14 @@ impl<M: RemoteMemory> Perseas<M> {
             });
         }
 
+        let (healthy, total) = (self.healthy_mirror_count(), self.mirrors.len());
+        if healthy < total {
+            self.emit(TraceEvent::DegradedCommit {
+                id: txn.id,
+                healthy,
+                mirrors: total,
+            });
+        }
         self.phase = Phase::Ready;
         self.stats.commits += 1;
         Ok(())
@@ -586,9 +693,79 @@ impl<M: RemoteMemory> Perseas<M> {
         self.stats
     }
 
-    /// Number of mirror nodes.
+    /// Number of mirror nodes (healthy or not).
     pub fn mirror_count(&self) -> usize {
         self.mirrors.len()
+    }
+
+    /// Number of mirrors currently `Healthy` (receiving every write).
+    pub fn healthy_mirror_count(&self) -> usize {
+        self.mirrors.iter().filter(|m| m.is_healthy()).count()
+    }
+
+    /// The current mirror-set epoch. Bumped on every membership change;
+    /// a mirror whose metadata carries an older epoch was fenced out of
+    /// the set and must not serve recovery.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Health and identity of every mirror in the set.
+    pub fn mirror_status(&self) -> Vec<MirrorStatus> {
+        self.mirrors
+            .iter()
+            .enumerate()
+            .map(|(index, m)| MirrorStatus {
+                index,
+                node: m.backend.node_name(),
+                health: m.health,
+                probes: m.probes,
+            })
+            .collect()
+    }
+
+    /// Probes every `Down` mirror once, paced by
+    /// [`PerseasConfig::probe_backoff`]: the delay for probe number *n*
+    /// grows exponentially (capped, jittered) and is charged to the
+    /// backend's virtual clock for simulated mirrors or slept on the
+    /// wall clock for TCP. A mirror that gives any real answer — even a
+    /// refusal, which proves the node is reachable — is promoted to
+    /// `Suspect`; its image is still stale, so it must go through
+    /// [`Perseas::rejoin_mirror`] before it serves again.
+    ///
+    /// Returns the indices of mirrors promoted to `Suspect` by this
+    /// pass. Call periodically (e.g. from a reconnect thread) until the
+    /// dead mirrors come back or are
+    /// [`remove_mirror`](Perseas::remove_mirror)ed.
+    pub fn probe_down_mirrors(&mut self) -> Vec<usize> {
+        let mut reachable = Vec::new();
+        for mi in 0..self.mirrors.len() {
+            if self.mirrors[mi].health != MirrorHealth::Down {
+                continue;
+            }
+            let delay = self.cfg.probe_backoff.delay_nanos(self.mirrors[mi].probes);
+            let m = &mut self.mirrors[mi];
+            if delay > 0 {
+                match m.backend.virtual_clock() {
+                    Some(clock) => {
+                        clock.advance(perseas_simtime::SimDuration::from_nanos(delay));
+                    }
+                    None => std::thread::sleep(std::time::Duration::from_nanos(delay)),
+                }
+            }
+            let meta_id = m.meta.id;
+            match m.backend.segment_info(meta_id) {
+                Err(e) if e.is_unavailable() => {
+                    m.probes = m.probes.saturating_add(1);
+                }
+                _ => {
+                    m.health = MirrorHealth::Suspect;
+                    m.probes = 0;
+                    reachable.push(mi);
+                }
+            }
+        }
+        reachable
     }
 
     /// Id of the last durably committed transaction (0 if none).
@@ -644,6 +821,10 @@ impl<M: RemoteMemory> Perseas<M> {
     /// mirror cannot hold the database.
     pub fn add_mirror(&mut self, mut backend: M) -> Result<(), TxnError> {
         self.ensure_phase(Phase::Ready)?;
+        // Membership change: the survivors move to a fresh epoch before
+        // the newcomer is built, so a half-streamed newcomer can never
+        // look like the newest image to a later recovery.
+        self.bump_epoch()?;
         let meta_size = meta_segment_size(self.cfg.max_regions);
         let meta = backend
             .remote_malloc(meta_size, self.cfg.meta_tag)
@@ -670,20 +851,151 @@ impl<M: RemoteMemory> Perseas<M> {
             }
             db.push(seg);
         }
-        let mut m = MirrorState {
-            backend,
-            meta,
-            undo,
-            db,
-        };
+        let mut m = MirrorState::new(backend, meta, undo);
+        m.db = db;
         let image = self.meta_image_for(&m);
+        // Publish region table first, magic-bearing header last: a torn
+        // publication leaves no valid magic, so recovery skips the
+        // newcomer instead of trusting a half-built image.
         m.backend
-            .remote_write(m.meta.id, 0, &image)
+            .remote_write(m.meta.id, OFF_REGION_TABLE, &image[OFF_REGION_TABLE..])
+            .map_err(unavailable)?;
+        m.backend
+            .remote_write(m.meta.id, 0, &image[..OFF_REGION_TABLE])
             .map_err(unavailable)?;
         self.stats.add_remote_write(image.len());
         self.mirrors.push(m);
         self.emit(TraceEvent::MirrorAdded {
             index: self.mirrors.len() - 1,
+        });
+        Ok(())
+    }
+
+    /// Resyncs a `Down` or `Suspect` mirror and promotes it back to
+    /// `Healthy` at a fresh epoch, restoring full redundancy: the
+    /// survivors are fenced forward first, the rejoiner's stale segments
+    /// are scrubbed, the current region images, undo capacity, and
+    /// metadata are streamed to it, and only then does its metadata
+    /// header become valid. Byte-for-byte, the rejoined mirror ends
+    /// identical to the survivors.
+    ///
+    /// Crash-safe at every step: until the final header write the
+    /// rejoiner holds no valid metadata magic, so a crash mid-resync
+    /// leaves recovery to the surviving mirrors.
+    ///
+    /// # Errors
+    ///
+    /// Fails inside a transaction, on bad indices, on already-healthy
+    /// mirrors, or if the rejoiner is still unreachable (it stays
+    /// `Down`).
+    pub fn rejoin_mirror(&mut self, index: usize) -> Result<(), TxnError> {
+        self.ensure_phase(Phase::Ready)?;
+        if index >= self.mirrors.len() {
+            return Err(TxnError::Unavailable(format!("no mirror at index {index}")));
+        }
+        if self.mirrors[index].is_healthy() {
+            return Err(TxnError::Unavailable(format!(
+                "mirror {index} is healthy; nothing to rejoin"
+            )));
+        }
+        // 1. Fence the rejoin: survivors move to a fresh epoch before the
+        //    stale mirror is touched, so whatever half-state a crash
+        //    leaves on it is provably old.
+        self.bump_epoch()?;
+
+        // 2. Scrub the rejoiner's stale segments. A node that lost its
+        //    memory (restart) has nothing under the tag — that's fine.
+        self.fault_step()?;
+        {
+            let m = &mut self.mirrors[index];
+            if let Err(e) = Perseas::scrub_mirror(&mut m.backend, &self.cfg) {
+                self.mirrors[index].health = MirrorHealth::Down;
+                return Err(e);
+            }
+        }
+
+        // 3. Allocate and stream: meta, undo capacity, region images.
+        let meta_size = meta_segment_size(self.cfg.max_regions);
+        let undo_len = self.undo_shadow.len();
+        self.fault_step()?;
+        let alloc = {
+            let m = &mut self.mirrors[index];
+            m.backend
+                .remote_malloc(meta_size, self.cfg.meta_tag)
+                .and_then(|meta| {
+                    let undo = m.backend.remote_malloc(undo_len, 0)?;
+                    Ok((meta, undo))
+                })
+        };
+        let (meta, undo) = match alloc {
+            Ok(pair) => pair,
+            Err(e) => {
+                if e.is_unavailable() {
+                    self.mirrors[index].health = MirrorHealth::Down;
+                }
+                return Err(unavailable(e));
+            }
+        };
+        self.mirrors[index].meta = meta;
+        self.mirrors[index].undo = undo;
+        self.mirrors[index].db.clear();
+        for ri in 0..self.regions.len() {
+            self.fault_step()?;
+            let aligned = self.cfg.aligned_memcpy;
+            let region_len = self.regions[ri].len();
+            let m = &mut self.mirrors[index];
+            let streamed = m.backend.remote_malloc(region_len, 0).and_then(|seg| {
+                if region_len > 0 {
+                    push_range(
+                        &mut m.backend,
+                        seg,
+                        &self.regions[ri],
+                        0,
+                        region_len,
+                        aligned,
+                    )?;
+                }
+                Ok(seg)
+            });
+            match streamed {
+                Ok(seg) => {
+                    self.mirrors[index].db.push(seg);
+                    self.stats.add_remote_write(region_len);
+                }
+                Err(e) => {
+                    if e.is_unavailable() {
+                        self.mirrors[index].health = MirrorHealth::Down;
+                    }
+                    return Err(unavailable(e));
+                }
+            }
+        }
+
+        // 4. Publish the metadata: region table first, the magic-bearing
+        //    header last, so a torn publication leaves no valid image.
+        let image = self.meta_image_for(&self.mirrors[index]);
+        for (off, part) in [
+            (OFF_REGION_TABLE, &image[OFF_REGION_TABLE..]),
+            (0, &image[..OFF_REGION_TABLE]),
+        ] {
+            self.fault_step()?;
+            let m = &mut self.mirrors[index];
+            let meta_id = m.meta.id;
+            if let Err(e) = m.backend.remote_write(meta_id, off, part) {
+                if e.is_unavailable() {
+                    self.mirrors[index].health = MirrorHealth::Down;
+                }
+                return Err(unavailable(e));
+            }
+            self.stats.add_remote_write(part.len());
+        }
+
+        // 5. Promote.
+        self.mirrors[index].health = MirrorHealth::Healthy;
+        self.mirrors[index].probes = 0;
+        self.emit(TraceEvent::MirrorRejoined {
+            index,
+            epoch: self.epoch,
         });
         Ok(())
     }
@@ -695,12 +1007,15 @@ impl<M: RemoteMemory> Perseas<M> {
         self.mirrors.get(index).map(|m| &m.backend)
     }
 
-    /// Removes mirror `index` (e.g. after it crashed), returning its
-    /// backend. The database keeps running on the remaining mirrors.
+    /// Removes mirror `index` (e.g. after it crashed and is not coming
+    /// back), returning its backend. The database keeps running on the
+    /// remaining mirrors, which are fenced forward to a fresh epoch.
     ///
     /// # Errors
     ///
-    /// Fails if `index` is out of range or this is the last mirror.
+    /// Fails if `index` is out of range, this is the last mirror, or it
+    /// is the last *healthy* mirror (removing it would leave only stale
+    /// images).
     pub fn remove_mirror(&mut self, index: usize) -> Result<M, TxnError> {
         if index >= self.mirrors.len() {
             return Err(TxnError::Unavailable(format!("no mirror at index {index}")));
@@ -710,14 +1025,91 @@ impl<M: RemoteMemory> Perseas<M> {
                 "cannot remove the last mirror".into(),
             ));
         }
+        if self.mirrors[index].is_healthy() && self.healthy_mirror_count() == 1 {
+            return Err(TxnError::Unavailable(
+                "cannot remove the last healthy mirror".into(),
+            ));
+        }
         let backend = self.mirrors.remove(index).backend;
         self.emit(TraceEvent::MirrorRemoved { index });
+        // Membership change: fence the survivors forward so the removed
+        // mirror's image can never outrank theirs.
+        self.bump_epoch()?;
         Ok(backend)
     }
 
     // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
+
+    /// Condemns mirror `index` after a transport-level failure.
+    pub(crate) fn mark_down(&mut self, index: usize, error: &RnError) {
+        self.mirrors[index].health = MirrorHealth::Down;
+        self.mirrors[index].probes = 0;
+        self.emit(TraceEvent::MirrorDown {
+            index,
+            error: error.to_string(),
+        });
+    }
+
+    /// Advances the mirror-set epoch and writes it to every healthy
+    /// mirror. If a survivor fails the epoch write it is condemned too
+    /// and the bump restarts at a fresh epoch, so on return every
+    /// healthy mirror carries the same, newest epoch.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on injected crashes or non-transport refusals.
+    fn bump_epoch(&mut self) -> Result<(), TxnError> {
+        'restart: loop {
+            self.epoch += 1;
+            self.emit(TraceEvent::EpochBump { epoch: self.epoch });
+            for mi in 0..self.mirrors.len() {
+                if !self.mirrors[mi].is_healthy() {
+                    continue;
+                }
+                self.fault_step()?;
+                let m = &mut self.mirrors[mi];
+                let meta_id = m.meta.id;
+                match m
+                    .backend
+                    .remote_write(meta_id, OFF_EPOCH, &self.epoch.to_le_bytes())
+                {
+                    Ok(()) => self.stats.add_remote_write(8),
+                    Err(e) if e.is_unavailable() => {
+                        self.mark_down(mi, &e);
+                        continue 'restart;
+                    }
+                    Err(e) => return Err(unavailable(e)),
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    /// Completes the fencing of mirrors condemned during the current
+    /// operation: bump the epoch on the survivors, then verify the
+    /// healthy count still meets the commit quorum.
+    ///
+    /// # Errors
+    ///
+    /// Fails `Unavailable` when fewer than `commit_quorum` mirrors
+    /// survive — the operation (and its transaction) is then not
+    /// durable.
+    fn fence_failed(&mut self, any_failed: bool) -> Result<(), TxnError> {
+        if !any_failed {
+            return Ok(());
+        }
+        self.bump_epoch()?;
+        let healthy = self.healthy_mirror_count();
+        if healthy < self.cfg.commit_quorum {
+            return Err(TxnError::Unavailable(format!(
+                "{healthy} healthy mirrors left, below the commit quorum of {}",
+                self.cfg.commit_quorum
+            )));
+        }
+        Ok(())
+    }
 
     fn ensure_phase(&self, want: Phase) -> Result<(), TxnError> {
         if self.phase == want {
@@ -784,27 +1176,34 @@ impl<M: RemoteMemory> Perseas<M> {
         // of already-superseded transactions (stale ids), both of which
         // stop the scan.
         let undo_bytes = self.undo_off;
-        let undo_lists: Vec<Vec<(SegmentId, usize, Vec<u8>)>> = self
+        let undo_lists: MirrorBatches = self
             .mirrors
             .iter()
-            .map(|m| {
+            .enumerate()
+            .filter(|(_, m)| m.is_healthy())
+            .map(|(mi, m)| {
                 let (off, len) = if aligned {
                     let p = plan_transfer(m.undo.base_addr, 0, undo_bytes, self.undo_shadow.len());
                     (p.offset, p.len)
                 } else {
                     (0, undo_bytes)
                 };
-                vec![(m.undo.id, off, self.undo_shadow[off..off + len].to_vec())]
+                (
+                    mi,
+                    vec![(m.undo.id, off, self.undo_shadow[off..off + len].to_vec())],
+                )
             })
             .collect();
 
         // Phase 2: the data update. Alignment widening can re-introduce
         // overlap between coalesced ranges, so the physical plans are
         // merged again before building the vectored write.
-        let db_lists: Vec<Vec<(SegmentId, usize, Vec<u8>)>> = self
+        let db_lists: MirrorBatches = self
             .mirrors
             .iter()
-            .map(|m| {
+            .enumerate()
+            .filter(|(_, m)| m.is_healthy())
+            .map(|(mi, m)| {
                 let mut planned: Vec<(usize, usize, usize)> = ranges
                     .iter()
                     .map(|&(ri, start, len)| {
@@ -829,28 +1228,38 @@ impl<M: RemoteMemory> Perseas<M> {
                         _ => merged.push((ri, s, e)),
                     }
                 }
-                merged
-                    .into_iter()
-                    .map(|(ri, s, e)| (m.db[ri].id, s, self.regions[ri][s..e].to_vec()))
-                    .collect()
+                (
+                    mi,
+                    merged
+                        .into_iter()
+                        .map(|(ri, s, e)| (m.db[ri].id, s, self.regions[ri][s..e].to_vec()))
+                        .collect(),
+                )
             })
             .collect();
 
         // Phase 3: the durability point, same 8-byte record as the
         // per-range path.
-        let meta_lists: Vec<Vec<(SegmentId, usize, Vec<u8>)>> = self
+        let meta_lists: MirrorBatches = self
             .mirrors
             .iter()
-            .map(|m| vec![(m.meta.id, OFF_COMMIT, txn.id.to_le_bytes().to_vec())])
+            .enumerate()
+            .filter(|(_, m)| m.is_healthy())
+            .map(|(mi, m)| {
+                (
+                    mi,
+                    vec![(m.meta.id, OFF_COMMIT, txn.id.to_le_bytes().to_vec())],
+                )
+            })
             .collect();
 
         let (batch_ranges, batch_bytes) = db_lists
             .first()
-            .map(|l| (l.len(), l.iter().map(|(_, _, d)| d.len()).sum()))
+            .map(|(_, l)| (l.len(), l.iter().map(|(_, _, d)| d.len()).sum()))
             .unwrap_or((0, 0));
         self.emit(TraceEvent::CommitBatch {
             id: txn.id,
-            mirrors: self.mirrors.len(),
+            mirrors: db_lists.len(),
             ranges: batch_ranges,
             bytes: batch_bytes,
             undo_bytes,
@@ -862,21 +1271,19 @@ impl<M: RemoteMemory> Perseas<M> {
         Ok(())
     }
 
-    /// Issues one vectored write per mirror as a parallel fan-out: mirrors
-    /// sharing a simulated clock are charged the *maximum* of their
-    /// latencies (the rewind/advance pattern of
+    /// Issues one vectored write per listed mirror as a parallel fan-out:
+    /// mirrors sharing a simulated clock are charged the *maximum* of
+    /// their latencies (the rewind/advance pattern of
     /// [`SimClock::rewind_to`]), and real-network mirrors are written from
     /// scoped threads so the writes overlap on the wire. Each mirror's
-    /// write is one crash point.
-    fn fan_out_vectored(
-        &mut self,
-        lists: Vec<Vec<(SegmentId, usize, Vec<u8>)>>,
-    ) -> Result<(), TxnError> {
-        debug_assert_eq!(lists.len(), self.mirrors.len());
-        let clocks: Vec<Option<SimClock>> = self
-            .mirrors
+    /// write is one crash point. Each list entry carries the mirror index
+    /// it targets; entries whose mirror has gone `Down` since the lists
+    /// were built are skipped, and a mirror failing its write is fenced
+    /// while the fan-out commits degraded on the survivors.
+    fn fan_out_vectored(&mut self, lists: MirrorBatches) -> Result<(), TxnError> {
+        let clocks: Vec<Option<SimClock>> = lists
             .iter()
-            .map(|m| m.backend.virtual_clock())
+            .map(|(mi, _)| self.mirrors[*mi].backend.virtual_clock())
             .collect();
         let any_sim = clocks.iter().any(Option::is_some);
         let shared = match clocks.first().and_then(Option::as_ref) {
@@ -890,14 +1297,18 @@ impl<M: RemoteMemory> Perseas<M> {
             _ => None,
         };
 
-        if self.fault.is_armed() || any_sim || self.mirrors.len() == 1 {
+        let mut any_failed = false;
+        if self.fault.is_armed() || any_sim || lists.len() == 1 {
             // Sequential issue keeps crash points deterministic; when all
             // the mirrors share one simulated timeline the overlap is
             // modelled by rewinding to the dispatch instant before each
             // mirror and finally advancing to the latest completion.
             let t0 = shared.as_ref().map(|c| c.now());
             let mut t_end = t0;
-            for (mi, list) in lists.iter().enumerate() {
+            for (mi, list) in &lists {
+                if !self.mirrors[*mi].is_healthy() {
+                    continue;
+                }
                 self.fault_step()?;
                 if let (Some(c), Some(start)) = (shared.as_ref(), t0) {
                     c.rewind_to(start);
@@ -906,12 +1317,16 @@ impl<M: RemoteMemory> Perseas<M> {
                     .iter()
                     .map(|(s, o, d)| (*s, *o, d.as_slice()))
                     .collect();
-                self.mirrors[mi]
-                    .backend
-                    .remote_write_v(&refs)
-                    .map_err(unavailable)?;
-                self.stats
-                    .add_remote_write(list.iter().map(|(_, _, d)| d.len()).sum());
+                match self.mirrors[*mi].backend.remote_write_v(&refs) {
+                    Ok(()) => self
+                        .stats
+                        .add_remote_write(list.iter().map(|(_, _, d)| d.len()).sum()),
+                    Err(e) if e.is_unavailable() => {
+                        self.mark_down(*mi, &e);
+                        any_failed = true;
+                    }
+                    Err(e) => return Err(unavailable(e)),
+                }
                 if let (Some(c), Some(te)) = (shared.as_ref(), t_end.as_mut()) {
                     *te = (*te).max(c.now());
                 }
@@ -921,38 +1336,55 @@ impl<M: RemoteMemory> Perseas<M> {
             }
         } else {
             // Real-network mirrors with no fault plan armed: one scoped
-            // thread per mirror. Crash-point accounting is unchanged (one
-            // step per mirror; an unarmed plan never fires).
-            for _ in 0..self.mirrors.len() {
+            // thread per listed healthy mirror. Crash-point accounting is
+            // unchanged (one step per mirror; an unarmed plan never
+            // fires).
+            let live: Vec<usize> = lists
+                .iter()
+                .filter(|(mi, _)| self.mirrors[*mi].is_healthy())
+                .map(|(mi, _)| *mi)
+                .collect();
+            for _ in 0..live.len() {
                 self.fault_step()?;
             }
-            let results: Vec<Result<(), RnError>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .mirrors
-                    .iter_mut()
-                    .zip(&lists)
-                    .map(|(m, list)| {
-                        scope.spawn(move || {
-                            let refs: Vec<(SegmentId, usize, &[u8])> = list
-                                .iter()
-                                .map(|(s, o, d)| (*s, *o, d.as_slice()))
-                                .collect();
-                            m.backend.remote_write_v(&refs)
-                        })
-                    })
-                    .collect();
+            let results: Vec<(usize, Result<usize, RnError>)> = std::thread::scope(|scope| {
+                let mut lists_it = lists.iter().peekable();
+                let mut handles = Vec::with_capacity(lists.len());
+                for (mi, m) in self.mirrors.iter_mut().enumerate() {
+                    let Some(entry) = lists_it.peek() else { break };
+                    if entry.0 != mi {
+                        continue;
+                    }
+                    let (_, list) = lists_it.next().expect("peeked");
+                    if m.health != MirrorHealth::Healthy {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move || {
+                        let refs: Vec<(SegmentId, usize, &[u8])> = list
+                            .iter()
+                            .map(|(s, o, d)| (*s, *o, d.as_slice()))
+                            .collect();
+                        let bytes = list.iter().map(|(_, _, d)| d.len()).sum();
+                        (mi, m.backend.remote_write_v(&refs).map(|()| bytes))
+                    }));
+                }
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("mirror writer panicked"))
                     .collect()
             });
-            for (list, r) in lists.iter().zip(results) {
-                r.map_err(unavailable)?;
-                self.stats
-                    .add_remote_write(list.iter().map(|(_, _, d)| d.len()).sum());
+            for (mi, r) in results {
+                match r {
+                    Ok(bytes) => self.stats.add_remote_write(bytes),
+                    Err(e) if e.is_unavailable() => {
+                        self.mark_down(mi, &e);
+                        any_failed = true;
+                    }
+                    Err(e) => return Err(unavailable(e)),
+                }
             }
         }
-        Ok(())
+        self.fence_failed(any_failed)
     }
 
     /// Grows the undo log to at least `needed` bytes: allocate the larger
@@ -964,30 +1396,40 @@ impl<M: RemoteMemory> Perseas<M> {
         self.emit(TraceEvent::UndoGrown {
             new_capacity: new_len,
         });
+        let mut any_failed = false;
         for mi in 0..self.mirrors.len() {
+            if !self.mirrors[mi].is_healthy() {
+                continue;
+            }
             self.fault_step()?;
             let prefix_len = self.undo_off;
             let m = &mut self.mirrors[mi];
-            let new_seg = m.backend.remote_malloc(new_len, 0).map_err(unavailable)?;
-            if prefix_len > 0 {
-                m.backend
-                    .remote_write(new_seg.id, 0, &self.undo_shadow[..prefix_len])
-                    .map_err(unavailable)?;
-                self.stats.add_remote_write(prefix_len);
+            let grown = m.backend.remote_malloc(new_len, 0).and_then(|new_seg| {
+                if prefix_len > 0 {
+                    m.backend
+                        .remote_write(new_seg.id, 0, &self.undo_shadow[..prefix_len])?;
+                }
+                // Single 16-byte line: (undo_seg_id, undo_seg_len) flips
+                // atomically.
+                let mut line = [0u8; 16];
+                line[0..8].copy_from_slice(&new_seg.id.as_raw().to_le_bytes());
+                line[8..16].copy_from_slice(&(new_len as u64).to_le_bytes());
+                m.backend.remote_write(m.meta.id, OFF_UNDO, &line)?;
+                let old = m.undo.id;
+                m.undo = new_seg;
+                m.backend.remote_free(old)?;
+                Ok(prefix_len + 16)
+            });
+            match grown {
+                Ok(bytes) => self.stats.add_remote_write(bytes),
+                Err(e) if e.is_unavailable() => {
+                    self.mark_down(mi, &e);
+                    any_failed = true;
+                }
+                Err(e) => return Err(unavailable(e)),
             }
-            // Single 16-byte line: (undo_seg_id, undo_seg_len) flips
-            // atomically.
-            let mut line = [0u8; 16];
-            line[0..8].copy_from_slice(&new_seg.id.as_raw().to_le_bytes());
-            line[8..16].copy_from_slice(&(new_len as u64).to_le_bytes());
-            m.backend
-                .remote_write(m.meta.id, OFF_UNDO, &line)
-                .map_err(unavailable)?;
-            self.stats.add_remote_write(line.len());
-            let old = m.undo.id;
-            m.undo = new_seg;
-            m.backend.remote_free(old).map_err(unavailable)?;
         }
+        self.fence_failed(any_failed)?;
         Ok(())
     }
 
@@ -1004,6 +1446,7 @@ impl<M: RemoteMemory> Perseas<M> {
             region_count: self.regions.len() as u32,
             undo_seg_id: m.undo.id.as_raw(),
             undo_seg_len: m.undo.len as u64,
+            epoch: self.epoch,
             last_committed: self.last_committed,
         };
         image[..OFF_REGION_TABLE].copy_from_slice(&header.encode());
@@ -1099,6 +1542,8 @@ impl<M: RemoteMemory> fmt::Debug for Perseas<M> {
         f.debug_struct("Perseas")
             .field("phase", &self.phase)
             .field("mirrors", &self.mirrors.len())
+            .field("healthy", &self.healthy_mirror_count())
+            .field("epoch", &self.epoch)
             .field("regions", &self.regions.len())
             .field("last_committed", &self.last_committed)
             .field("undo_capacity", &self.undo_shadow.len())

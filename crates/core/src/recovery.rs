@@ -21,7 +21,7 @@ use perseas_txn::{TxnError, TxnStats};
 
 use crate::config::PerseasConfig;
 use crate::fault::FaultPlan;
-use crate::layout::{MetaHeader, UndoRecord, OFF_COMMIT};
+use crate::layout::{MetaHeader, UndoRecord, OFF_COMMIT, OFF_EPOCH};
 use crate::perseas::{unavailable, MirrorState, Perseas, Phase};
 
 /// What [`Perseas::recover`] found and did.
@@ -29,6 +29,9 @@ use crate::perseas::{unavailable, MirrorState, Perseas, Phase};
 pub struct RecoveryReport {
     /// Id of the last committed transaction according to the mirror.
     pub last_committed: u64,
+    /// Mirror-set epoch the recovered image carries (0 for pre-epoch
+    /// images).
+    pub epoch: u64,
     /// Id of the in-flight transaction that was rolled back, if any.
     pub rolled_back_txn: Option<u64>,
     /// Number of undo records applied during rollback.
@@ -70,6 +73,14 @@ impl<M: RemoteMemory> Perseas<M> {
             .map_err(unavailable)?;
         let header = MetaHeader::decode(&meta_image)
             .map_err(|m| TxnError::Unavailable(format!("corrupt metadata: {m}")))?;
+        // A mirror fenced out of the set after missing commits carries a
+        // stale epoch; its image must never serve recovery.
+        if header.epoch < cfg.min_epoch {
+            return Err(TxnError::FencedMirror {
+                epoch: header.epoch,
+                required: cfg.min_epoch,
+            });
+        }
 
         // 2. Locate the region and undo segments.
         let mut db_segs: Vec<RemoteSegment> = Vec::with_capacity(header.region_count as usize);
@@ -161,6 +172,7 @@ impl<M: RemoteMemory> Perseas<M> {
 
         let report = RecoveryReport {
             last_committed: header.last_committed,
+            epoch: header.epoch,
             rolled_back_txn,
             rolled_back_records,
             regions: regions.len(),
@@ -168,20 +180,18 @@ impl<M: RemoteMemory> Perseas<M> {
         };
 
         let undo_capacity = undo_shadow.len();
+        let mut mirror = MirrorState::new(backend, meta, undo_seg);
+        mirror.db = db_segs;
         let db = Perseas {
             cfg,
             clock,
-            mirrors: vec![MirrorState {
-                backend,
-                meta,
-                undo: undo_seg,
-                db: db_segs,
-            }],
+            mirrors: vec![mirror],
             regions,
             undo_shadow: vec![0; undo_capacity],
             undo_off: 0,
             phase: Phase::Ready,
             txn: None,
+            epoch: header.epoch,
             last_committed: highest,
             next_txn_id: highest + 1,
             stats: TxnStats::new(),
@@ -205,24 +215,36 @@ impl<M: RemoteMemory> Perseas<M> {
         cfg: PerseasConfig,
         clock: SimClock,
     ) -> Result<(Self, RecoveryReport), TxnError> {
-        // Peek at every mirror's commit record.
-        let mut candidates: Vec<(usize, u64)> = Vec::new();
+        // Peek at every mirror's epoch and commit record. Epoch ranks
+        // first: a fenced mirror (lower epoch) missed commits by
+        // construction, so the newest epoch is always at least as
+        // committed as any older one. Mirrors below `cfg.min_epoch` are
+        // not even candidates.
+        let mut candidates: Vec<(usize, u64, u64)> = Vec::new();
         let mut backends: Vec<Option<M>> = backends.into_iter().map(Some).collect();
         for (i, b) in backends.iter_mut().enumerate() {
             let backend = b.as_mut().expect("present");
             if let Ok(meta) = backend.connect_segment(cfg.meta_tag) {
-                let mut buf = [0u8; 8];
-                if backend.remote_read(meta.id, OFF_COMMIT, &mut buf).is_ok() {
-                    candidates.push((i, u64::from_le_bytes(buf)));
+                let mut commit = [0u8; 8];
+                let mut epoch = [0u8; 8];
+                if backend
+                    .remote_read(meta.id, OFF_COMMIT, &mut commit)
+                    .is_ok()
+                    && backend.remote_read(meta.id, OFF_EPOCH, &mut epoch).is_ok()
+                {
+                    let epoch = u64::from_le_bytes(epoch);
+                    if epoch >= cfg.min_epoch {
+                        candidates.push((i, epoch, u64::from_le_bytes(commit)));
+                    }
                 }
             }
         }
-        let Some(&(best, _)) = candidates
+        let Some(&(best, _, _)) = candidates
             .iter()
-            .max_by_key(|&&(i, committed)| (committed, std::cmp::Reverse(i)))
+            .max_by_key(|&&(i, epoch, committed)| (epoch, committed, std::cmp::Reverse(i)))
         else {
             return Err(TxnError::Unavailable(
-                "no mirror holds recoverable PERSEAS metadata".into(),
+                "no mirror holds recoverable PERSEAS metadata at an admissible epoch".into(),
             ));
         };
 

@@ -16,35 +16,42 @@ use crate::config::PerseasConfig;
 use crate::layout::{MetaHeader, UndoRecord, OFF_COMMIT};
 use crate::perseas::unavailable;
 
-/// How many times a snapshot is retried when the primary commits
-/// mid-snapshot.
-const SNAPSHOT_RETRIES: usize = 8;
-
 /// A read-only, transactionally consistent copy of a PERSEAS database,
 /// built from a mirror without modifying it.
 #[derive(Debug)]
 pub struct ReadReplica<M: RemoteMemory> {
     backend: M,
     meta: RemoteSegment,
+    cfg: PerseasConfig,
     regions: Vec<Vec<u8>>,
     last_committed: u64,
+    epoch: u64,
 }
 
 impl<M: RemoteMemory> ReadReplica<M> {
     /// Attaches to the mirror and takes the initial snapshot.
     ///
+    /// A mirror whose metadata epoch is below `cfg.min_epoch` was fenced
+    /// out of the mirror set after missing commits; attaching to it is
+    /// refused with [`TxnError::FencedMirror`] so a stale image can
+    /// never masquerade as the database.
+    ///
     /// # Errors
     ///
     /// Fails if the mirror holds no (or corrupt) PERSEAS metadata, is
-    /// unreachable, or keeps committing so fast that no consistent
-    /// snapshot forms within a bounded number of retries.
+    /// unreachable ([`TxnError::Unavailable`]), is fenced
+    /// ([`TxnError::FencedMirror`]), or keeps committing so fast that no
+    /// consistent snapshot forms within `cfg.snapshot_retries` attempts
+    /// ([`TxnError::SnapshotContention`] — the mirror is alive, retry).
     pub fn attach(mut backend: M, cfg: PerseasConfig) -> Result<Self, TxnError> {
         let meta = backend.connect_segment(cfg.meta_tag).map_err(unavailable)?;
         let mut replica = ReadReplica {
             backend,
             meta,
+            cfg,
             regions: Vec::new(),
             last_committed: 0,
+            epoch: 0,
         };
         replica.refresh()?;
         Ok(replica)
@@ -60,16 +67,25 @@ impl<M: RemoteMemory> ReadReplica<M> {
     ///
     /// # Errors
     ///
-    /// Fails on unreachable mirrors, corrupt metadata, or when the
-    /// primary outruns the bounded number of snapshot attempts.
+    /// Fails on unreachable mirrors ([`TxnError::Unavailable`]), corrupt
+    /// metadata, fenced mirrors ([`TxnError::FencedMirror`]), or — as
+    /// [`TxnError::SnapshotContention`], distinct from transport
+    /// failures — when the primary outruns `cfg.snapshot_retries`
+    /// attempts.
     pub fn refresh(&mut self) -> Result<u64, TxnError> {
-        for _ in 0..SNAPSHOT_RETRIES {
+        for _ in 0..self.cfg.snapshot_retries {
             let mut meta_image = vec![0u8; self.meta.len];
             self.backend
                 .remote_read(self.meta.id, 0, &mut meta_image)
                 .map_err(unavailable)?;
             let header = MetaHeader::decode(&meta_image)
                 .map_err(|m| TxnError::Unavailable(format!("corrupt metadata: {m}")))?;
+            if header.epoch < self.cfg.min_epoch {
+                return Err(TxnError::FencedMirror {
+                    epoch: header.epoch,
+                    required: self.cfg.min_epoch,
+                });
+            }
 
             // Copy the undo log first, then the regions.
             let undo_seg = self
@@ -137,11 +153,14 @@ impl<M: RemoteMemory> ReadReplica<M> {
 
             self.regions = regions;
             self.last_committed = header.last_committed;
+            self.epoch = header.epoch;
             return Ok(self.last_committed);
         }
-        Err(TxnError::Unavailable(
-            "mirror commits outran the snapshot retries".into(),
-        ))
+        // The mirror answered every read — it is alive, just committing
+        // faster than we can copy. Distinct from a transport failure.
+        Err(TxnError::SnapshotContention {
+            attempts: self.cfg.snapshot_retries,
+        })
     }
 
     /// Reads `buf.len()` bytes at `offset` of `region` from the snapshot.
@@ -199,6 +218,12 @@ impl<M: RemoteMemory> ReadReplica<M> {
     /// Id of the newest committed transaction visible in the snapshot.
     pub fn last_committed(&self) -> u64 {
         self.last_committed
+    }
+
+    /// Mirror-set epoch of the snapshot's source mirror (0 for
+    /// pre-epoch images).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

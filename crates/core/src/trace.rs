@@ -76,6 +76,38 @@ pub enum TraceEvent {
         /// Index the mirror occupied.
         index: usize,
     },
+    /// A remote operation against a mirror failed with a transport-level
+    /// error: the mirror was marked `Down` and fenced out of the set.
+    MirrorDown {
+        /// Index of the failed mirror.
+        index: usize,
+        /// The transport failure that condemned it.
+        error: String,
+    },
+    /// A `Down` or `Suspect` mirror was resynced and promoted back to
+    /// `Healthy` at the current epoch.
+    MirrorRejoined {
+        /// Index of the restored mirror.
+        index: usize,
+        /// Epoch at which it rejoined.
+        epoch: u64,
+    },
+    /// The mirror-set epoch advanced (a membership change: fence, add,
+    /// rejoin, or removal) and was written to every healthy mirror.
+    EpochBump {
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// A transaction committed durably while one or more mirrors were
+    /// down — redundancy is reduced until they rejoin.
+    DegradedCommit {
+        /// Transaction id.
+        id: u64,
+        /// Healthy mirrors the commit reached.
+        healthy: usize,
+        /// Total mirrors in the set.
+        mirrors: usize,
+    },
     /// The instance crashed (fault injection or explicit).
     Crashed,
 }

@@ -46,6 +46,7 @@
 //! # }
 //! ```
 
+mod backoff;
 mod error;
 mod memcpy;
 mod protocol;
@@ -55,6 +56,7 @@ mod sim;
 mod tcp;
 mod traits;
 
+pub use backoff::BackoffPolicy;
 pub use error::RnError;
 pub use memcpy::{mirror_copy, plan_transfer, TransferPlan, TransferStrategy};
 pub use retry::ReconnectingRemote;

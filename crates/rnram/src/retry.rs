@@ -10,12 +10,19 @@
 //! through; and because every PERSEAS remote write is idempotent (it
 //! writes bytes at an absolute offset), retrying a possibly-delivered
 //! write is safe.
+//!
+//! Attempts are paced by a [`BackoffPolicy`]: exponential delays with
+//! deterministic jitter, so a briefly-rebooting server is not hammered by
+//! a tight re-dial loop. Tests pace against a [`SimClock`]
+//! ([`ReconnectingRemote::pace_with_clock`]) so the waits are virtual and
+//! the schedule is exactly reproducible.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 
 use perseas_sci::SegmentId;
+use perseas_simtime::{SimClock, SimDuration};
 
-use crate::{RemoteMemory, RemoteSegment, RnError, TcpRemote};
+use crate::{BackoffPolicy, RemoteMemory, RemoteSegment, RnError, TcpRemote};
 
 /// A [`TcpRemote`] that re-dials the server on socket failures.
 #[derive(Debug)]
@@ -23,11 +30,14 @@ pub struct ReconnectingRemote {
     addr: SocketAddr,
     inner: Option<TcpRemote>,
     max_attempts: usize,
+    policy: BackoffPolicy,
+    pace: Option<SimClock>,
 }
 
 impl ReconnectingRemote {
     /// Connects to `addr`, retrying each future operation up to
-    /// `max_attempts` times across reconnects.
+    /// `max_attempts` times across reconnects, paced by the default
+    /// [`BackoffPolicy`] (1 ms doubling to a 500 ms cap).
     ///
     /// # Errors
     ///
@@ -37,6 +47,24 @@ impl ReconnectingRemote {
     ///
     /// Panics if `max_attempts` is zero.
     pub fn connect(addr: impl ToSocketAddrs, max_attempts: usize) -> Result<Self, RnError> {
+        ReconnectingRemote::with_backoff(addr, max_attempts, BackoffPolicy::default())
+    }
+
+    /// Like [`ReconnectingRemote::connect`] but with an explicit pacing
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the initial connection cannot be established.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn with_backoff(
+        addr: impl ToSocketAddrs,
+        max_attempts: usize,
+        policy: BackoffPolicy,
+    ) -> Result<Self, RnError> {
         assert!(max_attempts > 0, "at least one attempt is required");
         let inner = TcpRemote::connect(&addr)?;
         let addr = inner.peer_addr();
@@ -44,6 +72,8 @@ impl ReconnectingRemote {
             addr,
             inner: Some(inner),
             max_attempts,
+            policy,
+            pace: None,
         })
     }
 
@@ -52,12 +82,40 @@ impl ReconnectingRemote {
         self.addr
     }
 
+    /// The pacing policy between reconnect attempts.
+    pub fn backoff(&self) -> BackoffPolicy {
+        self.policy
+    }
+
+    /// Charges backoff delays to `clock` (virtual time) instead of
+    /// sleeping the thread — the retry schedule becomes deterministic
+    /// and instantaneous, for tests and simulated deployments.
+    pub fn pace_with_clock(&mut self, clock: SimClock) {
+        self.pace = Some(clock);
+    }
+
+    fn pause(&self, nanos: u64) {
+        if nanos == 0 {
+            return;
+        }
+        match &self.pace {
+            Some(clock) => {
+                clock.advance(SimDuration::from_nanos(nanos));
+            }
+            None => std::thread::sleep(std::time::Duration::from_nanos(nanos)),
+        }
+    }
+
     fn with_conn<T>(
         &mut self,
         mut op: impl FnMut(&mut TcpRemote) -> Result<T, RnError>,
     ) -> Result<T, RnError> {
         let mut last_err: Option<RnError> = None;
-        for _ in 0..self.max_attempts {
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                // Pause between attempts, never after the last one.
+                self.pause(self.policy.delay_nanos(attempt as u32 - 1));
+            }
             if self.inner.is_none() {
                 match TcpRemote::connect(self.addr) {
                     Ok(c) => self.inner = Some(c),
@@ -185,5 +243,57 @@ mod tests {
     fn zero_attempts_rejected() {
         let server = Server::bind("z", "127.0.0.1:0").unwrap().start();
         let _ = ReconnectingRemote::connect(server.addr(), 0);
+    }
+
+    #[test]
+    fn retry_pacing_is_bounded_and_deterministic() {
+        let server = Server::bind("paced", "127.0.0.1:0").unwrap().start();
+        let policy = BackoffPolicy::from_millis(5, 20).with_seed(7);
+        let mut r = ReconnectingRemote::with_backoff(server.addr(), 4, policy).unwrap();
+        let clock = SimClock::new();
+        r.pace_with_clock(clock.clone());
+        server.shutdown(); // every attempt will fail
+
+        let t0 = clock.now();
+        let err = r.remote_malloc(8, 0).unwrap_err();
+        assert!(err.is_unavailable(), "{err}");
+
+        // 4 attempts means exactly 3 pauses — delays 0, 1 and 2 of the
+        // policy — charged entirely to the virtual clock.
+        let waited = clock.now().duration_since(t0).as_nanos();
+        assert_eq!(waited, policy.total_nanos(3));
+        // Bounded: no single delay exceeds the cap, so the total is under
+        // (attempts - 1) * cap.
+        assert!(waited <= 3 * 20_000_000, "unbounded pacing: {waited} ns");
+        assert!(waited > 0, "backoff must actually pace the loop");
+
+        // The schedule is a pure function of the policy: a second run
+        // waits the identical virtual time.
+        let server2 = Server::bind("paced2", "127.0.0.1:0").unwrap().start();
+        let mut r2 = ReconnectingRemote::with_backoff(server2.addr(), 4, policy).unwrap();
+        let clock2 = SimClock::new();
+        r2.pace_with_clock(clock2.clone());
+        server2.shutdown();
+        let t0 = clock2.now();
+        let _ = r2.remote_malloc(8, 0).unwrap_err();
+        assert_eq!(clock2.now().duration_since(t0).as_nanos(), waited);
+    }
+
+    #[test]
+    fn successful_ops_do_not_pause() {
+        let server = Server::bind("fast", "127.0.0.1:0").unwrap().start();
+        let policy = BackoffPolicy::from_millis(1_000, 1_000); // would be visible
+        let mut r = ReconnectingRemote::with_backoff(server.addr(), 3, policy).unwrap();
+        let clock = SimClock::new();
+        r.pace_with_clock(clock.clone());
+        let t0 = clock.now();
+        let seg = r.remote_malloc(16, 1).unwrap();
+        r.remote_write(seg.id, 0, &[9; 16]).unwrap();
+        assert_eq!(
+            clock.now().duration_since(t0),
+            SimDuration::ZERO,
+            "first-attempt successes never back off"
+        );
+        server.shutdown();
     }
 }

@@ -42,6 +42,22 @@ pub enum TxnError {
     /// The durable backing store (mirror node, disk, reliable cache) is
     /// unreachable; the message describes the failure.
     Unavailable(String),
+    /// The mirror carries a stale mirror-set epoch: it was fenced off
+    /// after missing commits and its image must never serve recovery or
+    /// a replica snapshot.
+    FencedMirror {
+        /// Epoch found in the mirror's metadata.
+        epoch: u64,
+        /// Minimum epoch the caller requires.
+        required: u64,
+    },
+    /// A consistent snapshot could not be taken because the mirror kept
+    /// committing while it was copied. The mirror is alive — retry later
+    /// or raise the retry budget; this is not a transport failure.
+    SnapshotContention {
+        /// Number of copy attempts that were invalidated.
+        attempts: usize,
+    },
     /// This instance crashed (by injected fault) and only `recover` may be
     /// called on its successors.
     Crashed,
@@ -76,6 +92,14 @@ impl fmt::Display for TxnError {
                 write!(f, "operation not allowed while a transaction is open")
             }
             TxnError::Unavailable(m) => write!(f, "durable store unavailable: {m}"),
+            TxnError::FencedMirror { epoch, required } => write!(
+                f,
+                "mirror is fenced: its epoch {epoch} is older than the required epoch {required}"
+            ),
+            TxnError::SnapshotContention { attempts } => write!(
+                f,
+                "snapshot invalidated by concurrent commits {attempts} times; mirror is alive — retry"
+            ),
             TxnError::Crashed => write!(f, "instance has crashed; recover from the mirror"),
             TxnError::BadPublishState => {
                 write!(
@@ -111,6 +135,11 @@ mod tests {
             },
             TxnError::BusyInTransaction,
             TxnError::Unavailable("link down".into()),
+            TxnError::FencedMirror {
+                epoch: 1,
+                required: 2,
+            },
+            TxnError::SnapshotContention { attempts: 8 },
             TxnError::Crashed,
             TxnError::BadPublishState,
         ];

@@ -1,0 +1,467 @@
+//! Mirror failover: degraded commits while a mirror is down, epoch
+//! fencing of its stale image, backoff-paced reconnect probing, and
+//! online re-mirroring back to full redundancy — including exhaustive
+//! crash sweeps over the degraded-commit and resync paths.
+
+use perseas_core::{
+    FaultPlan, MetaHeader, MirrorHealth, Perseas, PerseasConfig, ReadReplica, RecordingTracer,
+    RegionId, TraceEvent, TxnError, OFF_COMMIT,
+};
+use perseas_integration::reopen;
+use perseas_rnram::{RemoteMemory, RemoteSegment, RnError, SimRemote};
+use perseas_sci::{NodeMemory, SciLink, SciParams, SegmentId};
+use perseas_simtime::SimClock;
+
+fn setup2() -> (
+    Perseas<SimRemote>,
+    RegionId,
+    NodeMemory,
+    NodeMemory,
+    SciLink,
+) {
+    let clock = SimClock::new();
+    let a = SimRemote::with_parts(
+        clock.clone(),
+        NodeMemory::new("a"),
+        SciParams::dolphin_1998(),
+    );
+    let b = SimRemote::with_parts(
+        clock.clone(),
+        NodeMemory::new("b"),
+        SciParams::dolphin_1998(),
+    );
+    let (na, nb, lb) = (a.node().clone(), b.node().clone(), b.link().clone());
+    let mut db = Perseas::init_with_clock(vec![a, b], PerseasConfig::default(), clock).unwrap();
+    let r = db.malloc(64).unwrap();
+    db.init_remote_db().unwrap();
+    (db, r, na, nb, lb)
+}
+
+fn commit_fill<M: perseas_rnram::RemoteMemory>(
+    db: &mut Perseas<M>,
+    r: RegionId,
+    at: usize,
+    byte: u8,
+) -> Result<(), TxnError> {
+    db.begin_transaction()?;
+    db.set_range(r, at, 8)?;
+    db.write(r, at, &[byte; 8])?;
+    db.commit_transaction()
+}
+
+/// Reads a mirror's metadata header and full region images straight off
+/// its node memory, for byte-level comparisons between mirrors.
+fn mirror_image(node: &NodeMemory) -> (MetaHeader, Vec<Vec<u8>>) {
+    let mut backend = reopen(node);
+    let meta = backend.connect_segment(perseas_core::META_TAG).unwrap();
+    let mut image = vec![0u8; meta.len];
+    backend.remote_read(meta.id, 0, &mut image).unwrap();
+    let header = MetaHeader::decode(&image).unwrap();
+    let mut regions = Vec::new();
+    for i in 0..header.region_count as usize {
+        let (seg_id, len) = perseas_core::decode_region_entry(&image, i).unwrap();
+        let mut data = vec![0u8; len as usize];
+        backend
+            .remote_read(SegmentId::from_raw(seg_id), 0, &mut data)
+            .unwrap();
+        regions.push(data);
+    }
+    (header, regions)
+}
+
+#[test]
+fn degraded_commit_survives_mirror_loss() {
+    let (mut db, r, na, _nb, lb) = setup2();
+    let tracer = RecordingTracer::new();
+    db.set_tracer(Box::new(tracer.clone()));
+    commit_fill(&mut db, r, 0, 1).unwrap();
+
+    // Mirror b's link dies; the next transaction still commits.
+    lb.cut_after_packets(0);
+    commit_fill(&mut db, r, 8, 2).unwrap();
+    assert_eq!(db.last_committed(), 2);
+    assert_eq!(db.mirror_count(), 2);
+    assert_eq!(db.healthy_mirror_count(), 1);
+    assert_eq!(db.current_epoch(), 2, "one fence bumps the epoch once");
+
+    // mirror_status reports the dead mirror.
+    let status = db.mirror_status();
+    assert_eq!(status[0].health, MirrorHealth::Healthy);
+    assert_eq!(status[1].health, MirrorHealth::Down);
+    assert_eq!(status[1].node, "b");
+    assert_eq!(status[1].index, 1);
+
+    // The failover is traced.
+    let events = tracer.events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::MirrorDown { index: 1, .. })));
+    assert!(events.contains(&TraceEvent::EpochBump { epoch: 2 }));
+    assert!(events.contains(&TraceEvent::DegradedCommit {
+        id: 2,
+        healthy: 1,
+        mirrors: 2
+    }));
+
+    // The degraded commit is durable on the survivor.
+    db.crash();
+    let (db2, report) = Perseas::recover(reopen(&na), PerseasConfig::default()).unwrap();
+    assert_eq!(report.last_committed, 2);
+    assert_eq!(report.epoch, 2);
+    assert_eq!(&db2.region_snapshot(r).unwrap()[8..16], &[2; 8]);
+}
+
+#[test]
+fn stale_epoch_mirror_is_fenced_out() {
+    let (mut db, r, na, nb, lb) = setup2();
+    commit_fill(&mut db, r, 0, 1).unwrap();
+    lb.cut_after_packets(0);
+    commit_fill(&mut db, r, 8, 2).unwrap();
+    let fence_epoch = db.current_epoch();
+    lb.heal(); // b is reachable again but holds a stale, fenced image
+
+    // recover: the fenced mirror is refused at the survivor's epoch.
+    let err = Perseas::recover(
+        reopen(&nb),
+        PerseasConfig::default().with_min_epoch(fence_epoch),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, TxnError::FencedMirror { epoch: 1, required } if required == fence_epoch),
+        "got {err:?}"
+    );
+
+    // ReadReplica::attach: same refusal, clearly typed.
+    let err = ReadReplica::attach(
+        reopen(&nb),
+        PerseasConfig::default().with_min_epoch(fence_epoch),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, TxnError::FencedMirror { epoch: 1, .. }),
+        "got {err:?}"
+    );
+
+    // The survivor passes the same admission bar.
+    let (_, report) = Perseas::recover(
+        reopen(&na),
+        PerseasConfig::default().with_min_epoch(fence_epoch),
+    )
+    .unwrap();
+    assert_eq!(report.last_committed, 2);
+
+    // recover_best ranks by epoch first, so the fenced image loses even
+    // without an explicit min_epoch.
+    db.crash();
+    let (best, report) = Perseas::recover_best(
+        vec![reopen(&na), reopen(&nb)],
+        PerseasConfig::default(),
+        SimClock::new(),
+    )
+    .unwrap();
+    assert_eq!(report.last_committed, 2);
+    assert_eq!(&best.region_snapshot(r).unwrap()[8..16], &[2; 8]);
+}
+
+#[test]
+fn probing_is_bounded_and_promotes_reachable_mirrors() {
+    let (mut db, r, _na, nb, _lb) = setup2();
+    commit_fill(&mut db, r, 0, 1).unwrap();
+    nb.crash();
+    commit_fill(&mut db, r, 8, 2).unwrap();
+    assert_eq!(db.mirror_status()[1].health, MirrorHealth::Down);
+
+    // While the node stays dead, probes keep failing and the attempt
+    // counter climbs (pacing the exponential backoff); time for the
+    // waits is charged to the shared virtual clock.
+    let before = db.clock().now();
+    assert_eq!(db.probe_down_mirrors(), Vec::<usize>::new());
+    assert_eq!(db.probe_down_mirrors(), Vec::<usize>::new());
+    assert_eq!(db.mirror_status()[1].probes, 2);
+    assert!(db.clock().now() > before, "probe delays are charged");
+
+    // The node reboots (empty memory). The next probe gets a real answer
+    // and promotes the mirror to Suspect — reachable, but stale until it
+    // is resynced.
+    nb.restart();
+    assert_eq!(db.probe_down_mirrors(), vec![1]);
+    assert_eq!(db.mirror_status()[1].health, MirrorHealth::Suspect);
+    assert_eq!(db.mirror_status()[1].probes, 0);
+    // A Suspect mirror still gets no writes.
+    commit_fill(&mut db, r, 16, 3).unwrap();
+    assert_eq!(db.healthy_mirror_count(), 1);
+}
+
+#[test]
+fn rejoin_restores_byte_identical_redundancy() {
+    let (mut db, r, na, nb, _lb) = setup2();
+    let tracer = RecordingTracer::new();
+    db.set_tracer(Box::new(tracer.clone()));
+    commit_fill(&mut db, r, 0, 1).unwrap();
+    nb.crash();
+    commit_fill(&mut db, r, 8, 2).unwrap();
+    nb.restart();
+    assert_eq!(db.probe_down_mirrors(), vec![1]);
+
+    db.rejoin_mirror(1).unwrap();
+    assert_eq!(db.mirror_status()[1].health, MirrorHealth::Healthy);
+    assert_eq!(db.healthy_mirror_count(), 2);
+    let epoch = db.current_epoch();
+    assert!(tracer
+        .events()
+        .contains(&TraceEvent::MirrorRejoined { index: 1, epoch }));
+
+    // Byte-identical redundancy: both mirrors carry the same epoch, the
+    // same commit record, and the same region bytes.
+    let (ha, ra) = mirror_image(&na);
+    let (hb, rb) = mirror_image(&nb);
+    assert_eq!(ha.epoch, epoch);
+    assert_eq!(hb.epoch, epoch);
+    assert_eq!(ha.last_committed, hb.last_committed);
+    assert_eq!(ra, rb, "region images must match byte for byte");
+
+    // The rejoined mirror serves writes again and alone sustains a later
+    // recovery.
+    commit_fill(&mut db, r, 16, 3).unwrap();
+    db.crash();
+    let (db2, report) = Perseas::recover(reopen(&nb), PerseasConfig::default()).unwrap();
+    assert_eq!(report.last_committed, 3);
+    let snap = db2.region_snapshot(r).unwrap();
+    assert_eq!(&snap[0..8], &[1; 8]);
+    assert_eq!(&snap[8..16], &[2; 8]);
+    assert_eq!(&snap[16..24], &[3; 8]);
+}
+
+#[test]
+fn rejoin_refuses_healthy_mirrors_and_bad_indices() {
+    let (mut db, _r, _na, _nb, _lb) = setup2();
+    assert!(matches!(db.rejoin_mirror(0), Err(TxnError::Unavailable(_))));
+    assert!(matches!(db.rejoin_mirror(9), Err(TxnError::Unavailable(_))));
+}
+
+#[test]
+fn every_crash_point_mid_degraded_commit_is_recoverable() {
+    // Baseline run to count the degraded transaction's protocol steps.
+    let (mut db, r, _na, nb, _lb) = setup2();
+    commit_fill(&mut db, r, 0, 1).unwrap();
+    nb.crash();
+    db.set_fault_plan(FaultPlan::none()); // reset the step counter
+    commit_fill(&mut db, r, 8, 2).unwrap();
+    let total = db.steps_taken();
+    assert!(total >= 3, "degraded txn still takes remote steps: {total}");
+
+    let pre = |snap: &[u8]| snap[..8] == [1; 8] && snap[8..16] == [0; 8];
+    let post = |snap: &[u8]| snap[..8] == [1; 8] && snap[8..16] == [2; 8];
+
+    for crash_at in 0..=total {
+        let (mut db, r, na, nb, _lb) = setup2();
+        commit_fill(&mut db, r, 0, 1).unwrap();
+        nb.crash();
+        db.set_fault_plan(FaultPlan::crash_after(crash_at));
+        let res = commit_fill(&mut db, r, 8, 2);
+
+        // Only the survivor can serve recovery; it must hold exactly the
+        // pre- or post-state, and the post-state if the commit was
+        // reported durable.
+        let (db2, report) = Perseas::recover(reopen(&na), PerseasConfig::default())
+            .unwrap_or_else(|e| panic!("crash_at={crash_at}: survivor unrecoverable: {e}"));
+        let snap = db2.region_snapshot(r).unwrap();
+        assert!(
+            pre(&snap) || post(&snap),
+            "crash_at={crash_at}: survivor holds a partial state"
+        );
+        if res.is_ok() {
+            assert!(post(&snap), "crash_at={crash_at}: durable txn lost");
+            assert_eq!(report.last_committed, 2);
+        }
+    }
+}
+
+#[test]
+fn every_crash_point_mid_resync_is_recoverable() {
+    // Scenario: txn 1 on both mirrors, mirror b dies and loses its
+    // memory, txn 2 commits degraded, b reboots empty, b rejoins.
+    let build = || {
+        let (mut db, r, na, nb, lb) = setup2();
+        commit_fill(&mut db, r, 0, 1).unwrap();
+        nb.crash();
+        commit_fill(&mut db, r, 8, 2).unwrap();
+        nb.restart();
+        assert_eq!(db.probe_down_mirrors(), vec![1]);
+        (db, r, na, nb, lb)
+    };
+
+    let (mut db, _r, _na, _nb, _lb) = build();
+    db.set_fault_plan(FaultPlan::none()); // reset the step counter
+    db.rejoin_mirror(1).unwrap();
+    let total = db.steps_taken();
+    assert!(
+        total >= 5,
+        "resync streams meta, undo, and regions: {total}"
+    );
+
+    for crash_at in 0..total {
+        let (mut db, r, na, nb, _lb) = build();
+        db.set_fault_plan(FaultPlan::crash_after(crash_at));
+        let res = db.rejoin_mirror(1);
+        assert!(res.is_err(), "crash_at={crash_at}: plan must fire");
+
+        // Whatever half-state the crash left on the rejoiner, recovery
+        // from the pair must converge on the degraded-committed state —
+        // the half-resynced image can never outrank the survivor.
+        let (db2, report) = Perseas::recover_best(
+            vec![reopen(&na), reopen(&nb)],
+            PerseasConfig::default(),
+            SimClock::new(),
+        )
+        .unwrap_or_else(|e| panic!("crash_at={crash_at}: unrecoverable: {e}"));
+        assert_eq!(report.last_committed, 2, "crash_at={crash_at}");
+        let snap = db2.region_snapshot(r).unwrap();
+        assert_eq!(&snap[0..8], &[1; 8], "crash_at={crash_at}");
+        assert_eq!(&snap[8..16], &[2; 8], "crash_at={crash_at}");
+    }
+}
+
+#[test]
+fn replica_attached_to_survivor_sees_degraded_commits() {
+    let (mut db, r, na, _nb, lb) = setup2();
+    commit_fill(&mut db, r, 0, 1).unwrap();
+    lb.cut_after_packets(0);
+    commit_fill(&mut db, r, 8, 2).unwrap();
+
+    // Attach mid-failover: the replica follows the surviving mirror.
+    let mut replica = ReadReplica::attach(reopen(&na), PerseasConfig::default()).unwrap();
+    assert_eq!(replica.last_committed(), 2);
+    assert_eq!(replica.epoch(), db.current_epoch());
+    let mut buf = [0u8; 8];
+    replica.read(r, 8, &mut buf).unwrap();
+    assert_eq!(buf, [2; 8]);
+
+    // Further degraded commits become visible on refresh.
+    commit_fill(&mut db, r, 16, 3).unwrap();
+    assert_eq!(replica.refresh().unwrap(), 3);
+    replica.read(r, 16, &mut buf).unwrap();
+    assert_eq!(buf, [3; 8]);
+}
+
+/// Delegating backend that moves the mirror's commit record forward on
+/// every commit-record read, so a replica's snapshot never settles:
+/// perpetual snapshot contention without any transport failure.
+#[derive(Debug)]
+struct ContentiousRemote {
+    inner: SimRemote,
+    node: NodeMemory,
+    meta: Option<SegmentId>,
+}
+
+impl RemoteMemory for ContentiousRemote {
+    fn remote_malloc(&mut self, len: usize, tag: u64) -> Result<RemoteSegment, RnError> {
+        self.inner.remote_malloc(len, tag)
+    }
+    fn remote_free(&mut self, seg: SegmentId) -> Result<(), RnError> {
+        self.inner.remote_free(seg)
+    }
+    fn remote_write(&mut self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<(), RnError> {
+        self.inner.remote_write(seg, offset, data)
+    }
+    fn remote_read(
+        &mut self,
+        seg: SegmentId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), RnError> {
+        if self.meta == Some(seg) && offset == OFF_COMMIT && buf.len() == 8 {
+            let mut current = [0u8; 8];
+            self.node.read(seg, OFF_COMMIT, &mut current).unwrap();
+            let next = u64::from_le_bytes(current) + 1;
+            self.node
+                .write(seg, OFF_COMMIT, &next.to_le_bytes())
+                .unwrap();
+        }
+        self.inner.remote_read(seg, offset, buf)
+    }
+    fn connect_segment(&mut self, tag: u64) -> Result<RemoteSegment, RnError> {
+        let seg = self.inner.connect_segment(tag)?;
+        self.meta = Some(seg.id);
+        Ok(seg)
+    }
+    fn segment_info(&mut self, seg: SegmentId) -> Result<RemoteSegment, RnError> {
+        self.inner.segment_info(seg)
+    }
+    fn node_name(&self) -> String {
+        self.inner.node_name()
+    }
+}
+
+#[test]
+fn tcp_mirror_failover_and_rejoin() {
+    use perseas_rnram::server::Server;
+    use perseas_rnram::{BackoffPolicy, ReconnectingRemote, TcpRemote};
+
+    let sa = Server::bind("ta", "127.0.0.1:0").unwrap().start();
+    let sb = Server::bind("tb", "127.0.0.1:0").unwrap().start();
+    let addr_b = sb.addr();
+    let node_b = sb.node().clone();
+
+    // Reconnecting backends so the rejoin can find the restarted server;
+    // no backoff sleeps to keep the test fast.
+    let a = ReconnectingRemote::with_backoff(sa.addr(), 2, BackoffPolicy::none()).unwrap();
+    let b = ReconnectingRemote::with_backoff(addr_b, 2, BackoffPolicy::none()).unwrap();
+    let cfg = PerseasConfig::default().with_probe_backoff(BackoffPolicy::none());
+    let mut db = Perseas::init(vec![a, b], cfg).unwrap();
+    let r = db.malloc(64).unwrap();
+    db.init_remote_db().unwrap();
+    commit_fill(&mut db, r, 0, 1).unwrap();
+
+    // Kill mirror b: the database keeps committing, degraded.
+    sb.shutdown();
+    commit_fill(&mut db, r, 8, 2).unwrap();
+    assert_eq!(db.last_committed(), 2);
+    assert_eq!(db.mirror_status()[1].health, MirrorHealth::Down);
+    assert_eq!(db.healthy_mirror_count(), 1);
+
+    // While the server is down, probes fail and count up.
+    assert_eq!(db.probe_down_mirrors(), Vec::<usize>::new());
+    assert!(db.mirror_status()[1].probes >= 1);
+
+    // The server restarts on the same address with its memory intact
+    // (UPS-backed node, software-only restart): probe, then resync.
+    let sb2 = Server::with_node(node_b, addr_b).unwrap().start();
+    assert_eq!(db.probe_down_mirrors(), vec![1]);
+    assert_eq!(db.mirror_status()[1].health, MirrorHealth::Suspect);
+    db.rejoin_mirror(1).unwrap();
+    assert_eq!(db.healthy_mirror_count(), 2);
+
+    // Full redundancy: a fresh connection to the rejoined mirror alone
+    // recovers everything, including a post-rejoin commit.
+    commit_fill(&mut db, r, 16, 3).unwrap();
+    drop(db);
+    let fresh = TcpRemote::connect(sb2.addr()).unwrap();
+    let (db2, report) = Perseas::recover(fresh, PerseasConfig::default()).unwrap();
+    assert_eq!(report.last_committed, 3);
+    let snap = db2.region_snapshot(r).unwrap();
+    assert_eq!(&snap[0..8], &[1; 8]);
+    assert_eq!(&snap[8..16], &[2; 8]);
+    assert_eq!(&snap[16..24], &[3; 8]);
+    sb2.shutdown();
+    sa.shutdown();
+}
+
+#[test]
+fn snapshot_contention_is_a_distinct_error() {
+    let (mut db, r, na, _nb, _lb) = setup2();
+    commit_fill(&mut db, r, 0, 1).unwrap();
+
+    let backend = ContentiousRemote {
+        inner: reopen(&na),
+        node: na.clone(),
+        meta: None,
+    };
+    let err = ReadReplica::attach(backend, PerseasConfig::default().with_snapshot_retries(3))
+        .unwrap_err();
+    assert!(
+        matches!(err, TxnError::SnapshotContention { attempts: 3 }),
+        "contention must not be reported as a transport failure: {err:?}"
+    );
+    assert!(err.to_string().contains("retry"), "{err}");
+}

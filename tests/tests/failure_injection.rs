@@ -7,7 +7,7 @@ use perseas_rnram::SimRemote;
 use perseas_sci::{NodeMemory, SciParams};
 use perseas_simtime::SimClock;
 
-fn two_mirror_db() -> (Perseas<SimRemote>, NodeMemory, NodeMemory) {
+fn two_mirror_db_with(cfg: PerseasConfig) -> (Perseas<SimRemote>, NodeMemory, NodeMemory) {
     let clock = SimClock::new();
     let a = SimRemote::with_parts(
         clock.clone(),
@@ -20,13 +20,19 @@ fn two_mirror_db() -> (Perseas<SimRemote>, NodeMemory, NodeMemory) {
         SciParams::dolphin_1998(),
     );
     let (na, nb) = (a.node().clone(), b.node().clone());
-    let db = Perseas::init_with_clock(vec![a, b], PerseasConfig::default(), clock).unwrap();
+    let db = Perseas::init_with_clock(vec![a, b], cfg, clock).unwrap();
     (db, na, nb)
 }
 
+fn two_mirror_db() -> (Perseas<SimRemote>, NodeMemory, NodeMemory) {
+    two_mirror_db_with(PerseasConfig::default())
+}
+
 #[test]
-fn mirror_crash_fails_commit_but_data_survives_on_other_mirror() {
-    let (mut db, na, nb) = two_mirror_db();
+fn full_quorum_makes_mirror_crash_fail_the_commit() {
+    // A quorum equal to the mirror count disables degraded mode: the old
+    // strict behaviour, where any mirror loss fails the transaction.
+    let (mut db, na, nb) = two_mirror_db_with(PerseasConfig::default().with_commit_quorum(2));
     let r = db.malloc(64).unwrap();
     db.init_remote_db().unwrap();
 
