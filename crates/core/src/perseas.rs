@@ -67,6 +67,10 @@ pub(crate) struct MirrorState<M> {
     pub(crate) health: MirrorHealth,
     /// Reconnect probes attempted while `Down` (paces the backoff).
     pub(crate) probes: u32,
+    /// Segments a failed rejoin allocated but could not free (the
+    /// transport died under the frees too). Reclaimed by the next rejoin
+    /// attempt; never part of a published image.
+    pub(crate) orphans: Vec<SegmentId>,
 }
 
 impl<M> MirrorState<M> {
@@ -78,6 +82,7 @@ impl<M> MirrorState<M> {
             db: Vec::new(),
             health: MirrorHealth::Healthy,
             probes: 0,
+            orphans: Vec::new(),
         }
     }
 
@@ -98,6 +103,10 @@ pub(crate) struct ActiveTxn {
     /// Declared writable ranges: `(region index, start, len)`.
     pub(crate) declared: Vec<(usize, usize, usize)>,
     pub(crate) records: Vec<RecordRef>,
+    /// `true` once a commit attempt has started pushing data ranges to
+    /// the mirrors: an abort after a failed commit must then restore the
+    /// mirrored images too, not just the local one.
+    pub(crate) mirrors_dirty: bool,
 }
 
 /// The PERSEAS recoverable main-memory database.
@@ -254,16 +263,22 @@ impl<M: RemoteMemory> Perseas<M> {
     ///
     /// # Errors
     ///
-    /// Fails inside a transaction, before publication, or after a crash.
+    /// Fails inside a transaction, before publication, after a crash, or
+    /// `Unavailable` while fewer than `commit_quorum` mirrors are
+    /// healthy: a set that degraded below quorum keeps refusing new
+    /// transactions until mirrors rejoin, not just the operation that
+    /// watched a mirror die.
     pub fn begin_transaction(&mut self) -> Result<(), TxnError> {
         if self.phase == Phase::InTxn {
             return Err(TxnError::TransactionAlreadyActive);
         }
         self.ensure_phase(Phase::Ready)?;
+        self.check_commit_quorum()?;
         self.txn = Some(ActiveTxn {
             id: self.next_txn_id,
             declared: Vec::new(),
             records: Vec::new(),
+            mirrors_dirty: false,
         });
         self.next_txn_id += 1;
         self.undo_off = 0;
@@ -524,73 +539,48 @@ impl<M: RemoteMemory> Perseas<M> {
     ///
     /// # Errors
     ///
-    /// Fails outside a transaction or if a mirror is unreachable (the
-    /// transaction is then *not* durable).
+    /// Fails outside a transaction, or `Unavailable` when fewer than
+    /// `commit_quorum` mirrors are healthy — checked before any remote
+    /// work, so a set already degraded below quorum refuses every
+    /// commit, not only the one that watched a mirror die. An error
+    /// raised *before* the durability point leaves the transaction open
+    /// and not durable anywhere: the caller may [`abort_transaction`]
+    /// (which also restores any mirror bytes the failed attempt
+    /// propagated) or retry the commit. A quorum failure *at* the
+    /// durability point is reported as [`TxnError::CommitInDoubt`]: the
+    /// record already reached every surviving mirror, so the
+    /// transaction is completed locally and must not be retried.
+    ///
+    /// [`abort_transaction`]: Perseas::abort_transaction
     pub fn commit_transaction(&mut self) -> Result<(), TxnError> {
         self.ensure_phase(Phase::InTxn)?;
-        let txn = self.txn.take().expect("in txn");
+        self.check_commit_quorum()?;
+        let mut txn = self.txn.take().expect("in txn");
+        let ranges = coalesce(&txn.declared);
 
+        let mut in_doubt = None;
         if !txn.records.is_empty() {
-            let ranges = coalesce(&txn.declared);
-            if self.cfg.batched_commit {
-                self.commit_batched(&txn, &ranges)?;
+            let result = if self.cfg.batched_commit {
+                self.commit_batched(&mut txn, &ranges)
             } else {
-                // Propagate coalesced modified ranges to every healthy
-                // mirror; a mirror failing mid-propagation is fenced and
-                // the commit continues degraded.
-                for &(ri, start, len) in &ranges {
-                    let mut any_failed = false;
-                    for mi in 0..self.mirrors.len() {
-                        if !self.mirrors[mi].is_healthy() {
-                            continue;
-                        }
-                        self.fault_step()?;
-                        let m = &mut self.mirrors[mi];
-                        let seg = m.db[ri];
-                        match push_range(
-                            &mut m.backend,
-                            seg,
-                            &self.regions[ri],
-                            start,
-                            len,
-                            self.cfg.aligned_memcpy,
-                        ) {
-                            Ok(()) => self.stats.add_remote_write(len),
-                            Err(e) if e.is_unavailable() => {
-                                self.mark_down(mi, &e);
-                                any_failed = true;
-                            }
-                            Err(e) => return Err(unavailable(e)),
-                        }
+                self.commit_unbatched(&mut txn, &ranges)
+            };
+            match result {
+                Ok(()) => {}
+                // A failure at the durability point: the record already
+                // rests on every surviving mirror (each would replay the
+                // transaction as committed), so finish the commit and
+                // report the under-replication after the fact.
+                Err(e @ TxnError::CommitInDoubt { .. }) => in_doubt = Some(e),
+                Err(e) => {
+                    // Nothing durable was published. Keep the transaction
+                    // open so the caller can abort or retry instead of
+                    // wedging the instance; a crash already cleared it.
+                    if self.phase == Phase::InTxn {
+                        self.txn = Some(txn);
                     }
-                    self.fence_failed(any_failed)?;
+                    return Err(e);
                 }
-                // Durability point: one 8-byte, packet-atomic remote write
-                // per surviving mirror. A mirror failing here is fenced:
-                // the survivors get the new epoch before the commit is
-                // reported durable, so the failed mirror (which may lack
-                // the record) can never outrank them in recovery.
-                let mut any_failed = false;
-                for mi in 0..self.mirrors.len() {
-                    if !self.mirrors[mi].is_healthy() {
-                        continue;
-                    }
-                    self.fault_step()?;
-                    let m = &mut self.mirrors[mi];
-                    let meta_id = m.meta.id;
-                    match m
-                        .backend
-                        .remote_write(meta_id, OFF_COMMIT, &txn.id.to_le_bytes())
-                    {
-                        Ok(()) => self.stats.add_remote_write(8),
-                        Err(e) if e.is_unavailable() => {
-                            self.mark_down(mi, &e);
-                            any_failed = true;
-                        }
-                        Err(e) => return Err(unavailable(e)),
-                    }
-                }
-                self.fence_failed(any_failed)?;
             }
             self.last_committed = txn.id;
             let bytes = ranges.iter().map(|&(_, _, l)| l).sum();
@@ -617,7 +607,84 @@ impl<M: RemoteMemory> Perseas<M> {
         }
         self.phase = Phase::Ready;
         self.stats.commits += 1;
-        Ok(())
+        match in_doubt {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The paper's per-range commit path: propagate every coalesced
+    /// range to every healthy mirror, then publish the commit record.
+    fn commit_unbatched(
+        &mut self,
+        txn: &mut ActiveTxn,
+        ranges: &[(usize, usize, usize)],
+    ) -> Result<(), TxnError> {
+        // Propagate coalesced modified ranges to every healthy mirror; a
+        // mirror failing mid-propagation is fenced and the commit
+        // continues degraded.
+        txn.mirrors_dirty = true;
+        for &(ri, start, len) in ranges {
+            let mut any_failed = false;
+            for mi in 0..self.mirrors.len() {
+                if !self.mirrors[mi].is_healthy() {
+                    continue;
+                }
+                self.fault_step()?;
+                let m = &mut self.mirrors[mi];
+                let seg = m.db[ri];
+                match push_range(
+                    &mut m.backend,
+                    seg,
+                    &self.regions[ri],
+                    start,
+                    len,
+                    self.cfg.aligned_memcpy,
+                ) {
+                    Ok(()) => self.stats.add_remote_write(len),
+                    Err(e) if e.is_unavailable() => {
+                        self.mark_down(mi, &e);
+                        any_failed = true;
+                    }
+                    Err(e) => return Err(unavailable(e)),
+                }
+            }
+            self.fence_failed(any_failed)?;
+        }
+        // Durability point: one 8-byte, packet-atomic remote write per
+        // surviving mirror. A mirror failing here is fenced: the
+        // survivors get the new epoch before the commit is reported
+        // durable, so the failed mirror (which may lack the record) can
+        // never outrank them in recovery.
+        self.write_commit_records(txn.id)
+            .map_err(|e| self.durability_in_doubt(e, txn.id))
+    }
+
+    /// Writes the commit record to every surviving mirror. The loop
+    /// never stops early on a transport failure, so on return every
+    /// mirror that is still `Healthy` carries the record.
+    fn write_commit_records(&mut self, id: u64) -> Result<(), TxnError> {
+        let mut any_failed = false;
+        for mi in 0..self.mirrors.len() {
+            if !self.mirrors[mi].is_healthy() {
+                continue;
+            }
+            self.fault_step()?;
+            let m = &mut self.mirrors[mi];
+            let meta_id = m.meta.id;
+            match m
+                .backend
+                .remote_write(meta_id, OFF_COMMIT, &id.to_le_bytes())
+            {
+                Ok(()) => self.stats.add_remote_write(8),
+                Err(e) if e.is_unavailable() => {
+                    self.mark_down(mi, &e);
+                    any_failed = true;
+                }
+                Err(e) => return Err(unavailable(e)),
+            }
+        }
+        self.fence_failed(any_failed)
     }
 
     /// `PERSEAS_abort_transaction`: restores every declared range from the
@@ -625,9 +692,17 @@ impl<M: RemoteMemory> Perseas<M> {
     /// copies — the mirrored undo log is simply superseded by the next
     /// transaction.
     ///
+    /// The one exception is an abort after a *failed commit*: the failed
+    /// attempt may already have pushed data ranges to the surviving
+    /// mirrors, so the restored before-images are pushed back to every
+    /// healthy mirror too — otherwise the next successful commit would
+    /// bake the aborted bytes into the mirrors as committed state.
+    ///
     /// # Errors
     ///
-    /// Fails outside a transaction.
+    /// Fails outside a transaction, or on the post-failed-commit path if
+    /// the mirror restoration itself drops the set below quorum. The
+    /// local abort has completed by then (the instance stays usable).
     pub fn abort_transaction(&mut self) -> Result<(), TxnError> {
         self.ensure_phase(Phase::InTxn)?;
         let txn = self.txn.take().expect("in txn");
@@ -646,7 +721,47 @@ impl<M: RemoteMemory> Perseas<M> {
         self.phase = Phase::Ready;
         self.stats.aborts += 1;
         self.emit(TraceEvent::TxnAborted { id: txn.id });
+        if txn.mirrors_dirty {
+            self.restore_mirror_ranges(&coalesce(&txn.declared))?;
+        }
         Ok(())
+    }
+
+    /// Pushes the (already locally restored) images of `ranges` back to
+    /// every healthy mirror, undoing the data propagation of a failed
+    /// commit. A mirror failing the restore is fenced like any other
+    /// write failure — its polluted image then carries a stale epoch.
+    fn restore_mirror_ranges(
+        &mut self,
+        ranges: &[(usize, usize, usize)],
+    ) -> Result<(), TxnError> {
+        let mut any_failed = false;
+        for &(ri, start, len) in ranges {
+            for mi in 0..self.mirrors.len() {
+                if !self.mirrors[mi].is_healthy() {
+                    continue;
+                }
+                self.fault_step()?;
+                let m = &mut self.mirrors[mi];
+                let seg = m.db[ri];
+                match push_range(
+                    &mut m.backend,
+                    seg,
+                    &self.regions[ri],
+                    start,
+                    len,
+                    self.cfg.aligned_memcpy,
+                ) {
+                    Ok(()) => self.stats.add_remote_write(len),
+                    Err(e) if e.is_unavailable() => {
+                        self.mark_down(mi, &e);
+                        any_failed = true;
+                    }
+                    Err(e) => return Err(unavailable(e)),
+                }
+            }
+        }
+        self.fence_failed(any_failed)
     }
 
     /// Simulates a crash of the primary: all local state becomes
@@ -909,12 +1024,25 @@ impl<M: RemoteMemory> Perseas<M> {
         {
             let m = &mut self.mirrors[index];
             if let Err(e) = Perseas::scrub_mirror(&mut m.backend, &self.cfg) {
-                self.mirrors[index].health = MirrorHealth::Down;
+                m.health = MirrorHealth::Down;
                 return Err(e);
+            }
+            // Also reclaim segments a previous failed rejoin could not
+            // free (its frees raced the transport failure): the scrub
+            // cannot see them — no header ever pointed at them — but
+            // their ids were recorded. A node that lost its memory
+            // reports them unknown, which is fine.
+            for id in std::mem::take(&mut m.orphans) {
+                let _ = m.backend.remote_free(id);
             }
         }
 
-        // 3. Allocate and stream: meta, undo capacity, region images.
+        // 3. Allocate and stream: meta, undo capacity, region images. On
+        //    any failure from here to the header publish, the segments
+        //    allocated so far are freed again (best effort): the header
+        //    never becomes valid, so a later scrub could not find them
+        //    and repeated failed rejoins would otherwise leak the
+        //    rejoiner's memory.
         let meta_size = meta_segment_size(self.cfg.max_regions);
         let undo_len = self.undo_shadow.len();
         self.fault_step()?;
@@ -922,9 +1050,12 @@ impl<M: RemoteMemory> Perseas<M> {
             let m = &mut self.mirrors[index];
             m.backend
                 .remote_malloc(meta_size, self.cfg.meta_tag)
-                .and_then(|meta| {
-                    let undo = m.backend.remote_malloc(undo_len, 0)?;
-                    Ok((meta, undo))
+                .and_then(|meta| match m.backend.remote_malloc(undo_len, 0) {
+                    Ok(undo) => Ok((meta, undo)),
+                    Err(e) => {
+                        let _ = m.backend.remote_free(meta.id);
+                        Err(e)
+                    }
                 })
         };
         let (meta, undo) = match alloc {
@@ -944,31 +1075,31 @@ impl<M: RemoteMemory> Perseas<M> {
             let aligned = self.cfg.aligned_memcpy;
             let region_len = self.regions[ri].len();
             let m = &mut self.mirrors[index];
-            let streamed = m.backend.remote_malloc(region_len, 0).and_then(|seg| {
-                if region_len > 0 {
-                    push_range(
-                        &mut m.backend,
-                        seg,
-                        &self.regions[ri],
-                        0,
-                        region_len,
-                        aligned,
-                    )?;
-                }
-                Ok(seg)
-            });
-            match streamed {
-                Ok(seg) => {
-                    self.mirrors[index].db.push(seg);
-                    self.stats.add_remote_write(region_len);
-                }
+            // Register the segment before streaming into it, so a failed
+            // stream still finds (and frees) it in `abandon_rejoin`.
+            let seg = match m.backend.remote_malloc(region_len, 0) {
+                Ok(seg) => seg,
                 Err(e) => {
-                    if e.is_unavailable() {
-                        self.mirrors[index].health = MirrorHealth::Down;
-                    }
+                    self.abandon_rejoin(index, &e);
+                    return Err(unavailable(e));
+                }
+            };
+            self.mirrors[index].db.push(seg);
+            if region_len > 0 {
+                let m = &mut self.mirrors[index];
+                if let Err(e) = push_range(
+                    &mut m.backend,
+                    seg,
+                    &self.regions[ri],
+                    0,
+                    region_len,
+                    aligned,
+                ) {
+                    self.abandon_rejoin(index, &e);
                     return Err(unavailable(e));
                 }
             }
+            self.stats.add_remote_write(region_len);
         }
 
         // 4. Publish the metadata: region table first, the magic-bearing
@@ -982,9 +1113,7 @@ impl<M: RemoteMemory> Perseas<M> {
             let m = &mut self.mirrors[index];
             let meta_id = m.meta.id;
             if let Err(e) = m.backend.remote_write(meta_id, off, part) {
-                if e.is_unavailable() {
-                    self.mirrors[index].health = MirrorHealth::Down;
-                }
+                self.abandon_rejoin(index, &e);
                 return Err(unavailable(e));
             }
             self.stats.add_remote_write(part.len());
@@ -1030,17 +1159,47 @@ impl<M: RemoteMemory> Perseas<M> {
                 "cannot remove the last healthy mirror".into(),
             ));
         }
+        // Membership change: fence the survivors forward *before* the
+        // removal takes effect, so the removed mirror's image can never
+        // outrank theirs — and so a failed fence leaves the set
+        // unchanged. The leaver is excluded from the epoch write (its
+        // image must stay at the old, fenced-out epoch).
+        let prior = self.mirrors[index].health;
+        self.mirrors[index].health = MirrorHealth::Down;
+        if let Err(e) = self.bump_epoch() {
+            self.mirrors[index].health = prior;
+            return Err(e);
+        }
         let backend = self.mirrors.remove(index).backend;
         self.emit(TraceEvent::MirrorRemoved { index });
-        // Membership change: fence the survivors forward so the removed
-        // mirror's image can never outrank theirs.
-        self.bump_epoch()?;
         Ok(backend)
     }
 
     // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
+
+    /// Reclaims a failed rejoin's partial image: frees the segments
+    /// allocated so far — their header was never published, so no later
+    /// scrub could find them and repeated failed rejoins would leak the
+    /// rejoiner's memory. Ids whose free also fails (the transport died
+    /// under us) are recorded in `orphans` and reclaimed by the next
+    /// rejoin attempt. Transport failures condemn the mirror again.
+    fn abandon_rejoin(&mut self, index: usize, error: &RnError) {
+        let m = &mut self.mirrors[index];
+        let stale: Vec<SegmentId> = [m.meta.id, m.undo.id]
+            .into_iter()
+            .chain(std::mem::take(&mut m.db).into_iter().map(|s| s.id))
+            .collect();
+        for id in stale {
+            if m.backend.remote_free(id).is_err() {
+                m.orphans.push(id);
+            }
+        }
+        if error.is_unavailable() {
+            m.health = MirrorHealth::Down;
+        }
+    }
 
     /// Condemns mirror `index` after a transport-level failure.
     pub(crate) fn mark_down(&mut self, index: usize, error: &RnError) {
@@ -1094,13 +1253,26 @@ impl<M: RemoteMemory> Perseas<M> {
     /// # Errors
     ///
     /// Fails `Unavailable` when fewer than `commit_quorum` mirrors
-    /// survive — the operation (and its transaction) is then not
-    /// durable.
+    /// survive. What that means for the enclosing operation depends on
+    /// where it happens: before the durability point the transaction is
+    /// not durable anywhere; at the durability point the caller maps the
+    /// error to [`TxnError::CommitInDoubt`] (see
+    /// [`Perseas::durability_in_doubt`]).
     fn fence_failed(&mut self, any_failed: bool) -> Result<(), TxnError> {
         if !any_failed {
             return Ok(());
         }
         self.bump_epoch()?;
+        self.check_commit_quorum()
+    }
+
+    /// Refuses the operation when fewer than `commit_quorum` mirrors are
+    /// healthy. Checked on every `fence_failed` *and* unconditionally at
+    /// `begin_transaction` / `commit_transaction`, so a set that
+    /// degraded below quorum in an earlier operation keeps refusing
+    /// until mirrors rejoin — not only on the Healthy→Down transition
+    /// that observed the failure.
+    fn check_commit_quorum(&self) -> Result<(), TxnError> {
         let healthy = self.healthy_mirror_count();
         if healthy < self.cfg.commit_quorum {
             return Err(TxnError::Unavailable(format!(
@@ -1109,6 +1281,30 @@ impl<M: RemoteMemory> Perseas<M> {
             )));
         }
         Ok(())
+    }
+
+    /// Maps an error raised at the durability point to
+    /// [`TxnError::CommitInDoubt`]. By then the commit-record loop has
+    /// visited every mirror without stopping early, so each mirror
+    /// either holds the record or is `Down` (and fenced to a stale
+    /// epoch): recovery from any surviving mirror replays the
+    /// transaction as committed, and the error must say so rather than
+    /// claim the transaction is not durable. Injected crashes keep
+    /// their own variant — recovery reports the actual outcome. And
+    /// when *no* healthy mirror is left, the record rests nowhere
+    /// reliable: recovery may roll a torn record back, so the original
+    /// error passes through and the transaction stays open.
+    fn durability_in_doubt(&self, e: TxnError, id: u64) -> TxnError {
+        let healthy = self.healthy_mirror_count();
+        match e {
+            TxnError::Crashed => TxnError::Crashed,
+            e if healthy == 0 => e,
+            _ => TxnError::CommitInDoubt {
+                id,
+                healthy,
+                quorum: self.cfg.commit_quorum,
+            },
+        }
     }
 
     fn ensure_phase(&self, want: Phase) -> Result<(), TxnError> {
@@ -1165,7 +1361,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// mirrors in parallel (see [`Perseas::fan_out_vectored`]).
     fn commit_batched(
         &mut self,
-        txn: &ActiveTxn,
+        txn: &mut ActiveTxn,
         ranges: &[(usize, usize, usize)],
     ) -> Result<(), TxnError> {
         let aligned = self.cfg.aligned_memcpy;
@@ -1266,9 +1462,12 @@ impl<M: RemoteMemory> Perseas<M> {
         });
 
         self.fan_out_vectored(undo_lists)?;
+        txn.mirrors_dirty = true;
         self.fan_out_vectored(db_lists)?;
-        self.fan_out_vectored(meta_lists)?;
-        Ok(())
+        // Durability point (see `commit_unbatched`): a failure past here
+        // cannot claim the transaction is not durable.
+        self.fan_out_vectored(meta_lists)
+            .map_err(|e| self.durability_in_doubt(e, txn.id))
     }
 
     /// Issues one vectored write per listed mirror as a parallel fan-out:

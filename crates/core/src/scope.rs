@@ -118,7 +118,16 @@ impl<M: RemoteMemory> Perseas<M> {
         let mut scope = TxnScope { db: self };
         match f(&mut scope) {
             Ok(value) => {
-                self.commit_transaction()?;
+                if let Err(e) = self.commit_transaction() {
+                    // A commit that failed before the durability point
+                    // leaves the transaction open so raw-API callers can
+                    // retry; the scope owns the lifecycle, so roll it
+                    // back (keeping the commit's error as the cause).
+                    if self.in_transaction() {
+                        let _ = self.abort_transaction();
+                    }
+                    return Err(e);
+                }
                 Ok(value)
             }
             Err(e) => {

@@ -58,6 +58,21 @@ pub enum TxnError {
         /// Number of copy attempts that were invalidated.
         attempts: usize,
     },
+    /// The mirror set fell below the commit quorum at the durability
+    /// point itself: the commit record already reached every mirror that
+    /// is still healthy, so recovery from any survivor replays the
+    /// transaction as **committed** — it merely holds fewer than the
+    /// configured number of copies. The transaction is applied locally
+    /// and counted in `last_committed`; do **not** retry it (a retry
+    /// would double-apply). Restore redundancy with `rejoin_mirror`.
+    CommitInDoubt {
+        /// Id of the under-replicated transaction.
+        id: u64,
+        /// Healthy mirrors that hold the commit record.
+        healthy: usize,
+        /// The configured commit quorum that was missed.
+        quorum: usize,
+    },
     /// This instance crashed (by injected fault) and only `recover` may be
     /// called on its successors.
     Crashed,
@@ -100,6 +115,15 @@ impl fmt::Display for TxnError {
                 f,
                 "snapshot invalidated by concurrent commits {attempts} times; mirror is alive — retry"
             ),
+            TxnError::CommitInDoubt {
+                id,
+                healthy,
+                quorum,
+            } => write!(
+                f,
+                "transaction {id} committed on {healthy} mirrors, below the quorum of {quorum}; \
+                 recovery will replay it — do not retry"
+            ),
             TxnError::Crashed => write!(f, "instance has crashed; recover from the mirror"),
             TxnError::BadPublishState => {
                 write!(
@@ -140,6 +164,11 @@ mod tests {
                 required: 2,
             },
             TxnError::SnapshotContention { attempts: 8 },
+            TxnError::CommitInDoubt {
+                id: 9,
+                healthy: 1,
+                quorum: 2,
+            },
             TxnError::Crashed,
             TxnError::BadPublishState,
         ];

@@ -12,7 +12,9 @@ use perseas_rnram::{RemoteMemory, RemoteSegment, RnError, SimRemote};
 use perseas_sci::{NodeMemory, SciLink, SciParams, SegmentId};
 use perseas_simtime::SimClock;
 
-fn setup2() -> (
+fn setup2_with(
+    cfg: PerseasConfig,
+) -> (
     Perseas<SimRemote>,
     RegionId,
     NodeMemory,
@@ -31,10 +33,20 @@ fn setup2() -> (
         SciParams::dolphin_1998(),
     );
     let (na, nb, lb) = (a.node().clone(), b.node().clone(), b.link().clone());
-    let mut db = Perseas::init_with_clock(vec![a, b], PerseasConfig::default(), clock).unwrap();
+    let mut db = Perseas::init_with_clock(vec![a, b], cfg, clock).unwrap();
     let r = db.malloc(64).unwrap();
     db.init_remote_db().unwrap();
     (db, r, na, nb, lb)
+}
+
+fn setup2() -> (
+    Perseas<SimRemote>,
+    RegionId,
+    NodeMemory,
+    NodeMemory,
+    SciLink,
+) {
+    setup2_with(PerseasConfig::default())
 }
 
 fn commit_fill<M: perseas_rnram::RemoteMemory>(
@@ -445,6 +457,234 @@ fn tcp_mirror_failover_and_rejoin() {
     assert_eq!(&snap[16..24], &[3; 8]);
     sb2.shutdown();
     sa.shutdown();
+}
+
+#[test]
+fn failed_commit_leaves_the_transaction_abortable() {
+    // Strict quorum, so losing one of two mirrors mid-commit fails the
+    // transaction *before* the durability point.
+    let (mut db, r, na, nb, _lb) = setup2_with(PerseasConfig::default().with_commit_quorum(2));
+    commit_fill(&mut db, r, 0, 1).unwrap();
+    let (_, before) = mirror_image(&na);
+
+    db.begin_transaction().unwrap();
+    db.set_range(r, 8, 8).unwrap();
+    db.write(r, 8, &[2; 8]).unwrap();
+    nb.crash(); // dies between the undo push and the commit
+    let err = db.commit_transaction().unwrap_err();
+    assert!(matches!(err, TxnError::Unavailable(_)), "got {err:?}");
+
+    // The failed commit leaves the transaction open — the instance must
+    // not be wedged with the phase still InTxn but the state gone.
+    assert!(db.in_transaction());
+    db.abort_transaction().unwrap();
+    assert!(!db.in_transaction());
+    assert_eq!(&db.region_snapshot(r).unwrap()[8..16], &[0; 8]);
+
+    // The surviving mirror had already received the aborted bytes; the
+    // abort must push the before-images back, or the next degraded
+    // commit would bake them in as committed state.
+    let (_, after) = mirror_image(&na);
+    assert_eq!(before, after, "aborted bytes left on the survivor");
+}
+
+/// Delegating backend that refuses the packet-atomic commit-record write
+/// once armed: a mirror dying exactly at the durability point, after
+/// every earlier commit phase succeeded.
+#[derive(Debug)]
+struct CommitRecordFirewall {
+    inner: SimRemote,
+    meta: Option<SegmentId>,
+    armed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CommitRecordFirewall {
+    fn new(name: &str, clock: SimClock) -> Self {
+        CommitRecordFirewall {
+            inner: SimRemote::with_parts(clock, NodeMemory::new(name), SciParams::dolphin_1998()),
+            meta: None,
+            armed: std::sync::Arc::default(),
+        }
+    }
+}
+
+impl RemoteMemory for CommitRecordFirewall {
+    fn remote_malloc(&mut self, len: usize, tag: u64) -> Result<RemoteSegment, RnError> {
+        let seg = self.inner.remote_malloc(len, tag)?;
+        if tag == perseas_core::META_TAG {
+            self.meta = Some(seg.id);
+        }
+        Ok(seg)
+    }
+    fn remote_free(&mut self, seg: SegmentId) -> Result<(), RnError> {
+        self.inner.remote_free(seg)
+    }
+    fn remote_write(&mut self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<(), RnError> {
+        if self.armed.load(std::sync::atomic::Ordering::Relaxed)
+            && self.meta == Some(seg)
+            && offset == OFF_COMMIT
+        {
+            return Err(RnError::Io(std::io::Error::other(
+                "NIC died at the commit record",
+            )));
+        }
+        self.inner.remote_write(seg, offset, data)
+    }
+    fn remote_read(
+        &mut self,
+        seg: SegmentId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), RnError> {
+        self.inner.remote_read(seg, offset, buf)
+    }
+    fn connect_segment(&mut self, tag: u64) -> Result<RemoteSegment, RnError> {
+        self.inner.connect_segment(tag)
+    }
+    fn segment_info(&mut self, seg: SegmentId) -> Result<RemoteSegment, RnError> {
+        self.inner.segment_info(seg)
+    }
+    fn node_name(&self) -> String {
+        self.inner.node_name()
+    }
+}
+
+#[test]
+fn durability_point_quorum_failure_is_commit_in_doubt() {
+    // Strict quorum again, but this time the mirror fails the 8-byte
+    // commit-record write itself. By then the record already reached
+    // the survivor, so the transaction IS durable there — the library
+    // must complete the commit and say so, not claim unavailability
+    // (a client retry on "unavailable" would double-apply).
+    let clock = SimClock::new();
+    let a = CommitRecordFirewall::new("a", clock.clone());
+    let b = CommitRecordFirewall::new("b", clock.clone());
+    let na = a.inner.node().clone();
+    let arm_b = b.armed.clone();
+    let cfg = PerseasConfig::default().with_commit_quorum(2);
+    let mut db = Perseas::init_with_clock(vec![a, b], cfg, clock).unwrap();
+    let r = db.malloc(64).unwrap();
+    db.init_remote_db().unwrap();
+    commit_fill(&mut db, r, 0, 1).unwrap();
+
+    arm_b.store(true, std::sync::atomic::Ordering::Relaxed);
+    let err = commit_fill(&mut db, r, 8, 2).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TxnError::CommitInDoubt {
+                id: 2,
+                healthy: 1,
+                quorum: 2
+            }
+        ),
+        "got {err:?}"
+    );
+    assert!(err.to_string().contains("do not retry"), "{err}");
+
+    // Committed locally: applied, counted, and the transaction closed.
+    assert!(!db.in_transaction());
+    assert_eq!(db.last_committed(), 2);
+    assert_eq!(&db.region_snapshot(r).unwrap()[8..16], &[2; 8]);
+
+    // And durable: the survivor replays it as committed.
+    db.crash();
+    let (db2, report) = Perseas::recover(reopen(&na), PerseasConfig::default()).unwrap();
+    assert_eq!(report.last_committed, 2);
+    assert_eq!(&db2.region_snapshot(r).unwrap()[8..16], &[2; 8]);
+}
+
+#[test]
+fn failed_rejoins_leak_no_segments_on_the_rejoiner() {
+    // Control run: the footprint a clean resync leaves on the rejoiner.
+    let expected = {
+        let (mut db, r, _na, nb, _lb) = setup2();
+        commit_fill(&mut db, r, 0, 1).unwrap();
+        nb.crash();
+        commit_fill(&mut db, r, 8, 2).unwrap();
+        nb.restart();
+        assert_eq!(db.probe_down_mirrors(), vec![1]);
+        db.rejoin_mirror(1).unwrap();
+        nb.used_bytes()
+    };
+    assert!(expected > 0);
+
+    // Sweep a link cut across every packet of the resync stream: the
+    // segments a failed attempt allocated must be reclaimed — directly,
+    // or via the orphan list when the free itself raced the dead link —
+    // so repeated failures never eat the rejoiner's memory.
+    for cut in 0..24u64 {
+        let (mut db, r, na, nb, lb) = setup2();
+        commit_fill(&mut db, r, 0, 1).unwrap();
+        nb.crash();
+        commit_fill(&mut db, r, 8, 2).unwrap();
+        nb.restart();
+        assert_eq!(db.probe_down_mirrors(), vec![1]);
+
+        lb.cut_after_packets(cut);
+        let res = db.rejoin_mirror(1);
+        lb.heal();
+        if let Err(e) = res {
+            assert!(matches!(e, TxnError::Unavailable(_)), "cut={cut}: {e:?}");
+            assert_eq!(db.probe_down_mirrors(), vec![1], "cut={cut}");
+            db.rejoin_mirror(1).unwrap();
+        }
+        assert_eq!(db.healthy_mirror_count(), 2, "cut={cut}");
+        assert_eq!(nb.used_bytes(), expected, "cut={cut}: leaked segments");
+
+        // The recovered redundancy is real, not just accounted for.
+        let (ha, ra) = mirror_image(&na);
+        let (hb, rb) = mirror_image(&nb);
+        assert_eq!(ha.epoch, hb.epoch, "cut={cut}");
+        assert_eq!(ha.last_committed, hb.last_committed, "cut={cut}");
+        assert_eq!(ra, rb, "cut={cut}: region images diverge");
+    }
+}
+
+#[test]
+fn remove_mirror_fences_survivors_before_the_membership_change() {
+    let (mut db, r, _na, nb, _lb) = setup2();
+    let tracer = RecordingTracer::new();
+    db.set_tracer(Box::new(tracer.clone()));
+    commit_fill(&mut db, r, 0, 1).unwrap();
+
+    // Retire the (healthy) mirror b.
+    let backend = db.remove_mirror(1).unwrap();
+    assert_eq!(db.mirror_count(), 1);
+    assert_eq!(db.current_epoch(), 2);
+
+    // The survivors moved to the new epoch *before* the removal took
+    // effect...
+    let events = tracer.events();
+    let bump = events
+        .iter()
+        .position(|e| matches!(e, TraceEvent::EpochBump { epoch: 2 }))
+        .expect("epoch bump traced");
+    let removed = events
+        .iter()
+        .position(|e| matches!(e, TraceEvent::MirrorRemoved { index: 1 }))
+        .expect("removal traced");
+    assert!(bump < removed, "fence must precede the membership change");
+
+    // ...and the leaver was excluded from the fence: its image keeps the
+    // old epoch, permanently outranked by the survivors.
+    drop(backend);
+    let (hb, _) = mirror_image(&nb);
+    assert_eq!(hb.epoch, 1);
+
+    // A crash during the fence leaves the membership unchanged — no
+    // mirror silently dropped without the survivors being fenced.
+    let (mut db, _r, _na, _nb, _lb) = setup2();
+    let tracer = RecordingTracer::new();
+    db.set_tracer(Box::new(tracer.clone()));
+    db.set_fault_plan(FaultPlan::crash_after(0));
+    let err = db.remove_mirror(1).unwrap_err();
+    assert_eq!(err, TxnError::Crashed);
+    assert_eq!(db.mirror_count(), 2);
+    assert!(!tracer
+        .events()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::MirrorRemoved { .. })));
 }
 
 #[test]

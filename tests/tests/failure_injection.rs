@@ -57,6 +57,39 @@ fn full_quorum_makes_mirror_crash_fail_the_commit() {
 }
 
 #[test]
+fn below_quorum_set_keeps_refusing_new_transactions() {
+    // A set that degraded below quorum in an *earlier* operation must
+    // keep refusing admission — not only the one transaction that
+    // watched a mirror die (when no further mirror fails, fence_failed
+    // never runs and only the unconditional check stands in the way).
+    let (mut db, _na, nb) = two_mirror_db_with(PerseasConfig::default().with_commit_quorum(2));
+    let r = db.malloc(64).unwrap();
+    db.init_remote_db().unwrap();
+
+    nb.crash();
+    db.begin_transaction().unwrap();
+    let res = db.set_range(r, 0, 8); // the undo push observes the loss
+    assert!(matches!(res, Err(TxnError::Unavailable(_))));
+    db.abort_transaction().unwrap();
+
+    // No failure left to observe; admission itself must refuse.
+    let err = db.begin_transaction().unwrap_err();
+    assert!(matches!(err, TxnError::Unavailable(_)), "got {err:?}");
+
+    // Restoring redundancy lifts the refusal.
+    nb.restart();
+    assert_eq!(db.probe_down_mirrors(), vec![1]);
+    db.rejoin_mirror(1).unwrap();
+    db.begin_transaction().unwrap();
+    db.set_range(r, 0, 8).unwrap();
+    db.write(r, 0, &[4; 8]).unwrap();
+    db.commit_transaction().unwrap();
+    // The aborted attempt consumed id 1; the degraded-set refusals did
+    // not burn ids (they never began).
+    assert_eq!(db.last_committed(), 2);
+}
+
+#[test]
 fn degraded_operation_after_removing_dead_mirror() {
     let (mut db, _na, nb) = two_mirror_db();
     let r = db.malloc(64).unwrap();
