@@ -32,6 +32,7 @@ impl<M: RemoteMemory> Perseas<M> {
             Phase::InTxn => return Err(TxnError::BusyInTransaction),
             Phase::Setup | Phase::Ready => {}
         }
+        self.ensure_no_open_txns()?;
         let mut out = Vec::new();
         out.extend_from_slice(&ARCHIVE_MAGIC.to_le_bytes());
         out.extend_from_slice(&ARCHIVE_VERSION.to_le_bytes());

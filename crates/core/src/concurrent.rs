@@ -1,0 +1,480 @@
+//! A `Send + Sync` front-end over the concurrent transaction engine.
+//!
+//! [`SharedPerseas`](crate::SharedPerseas) serialises whole transactions
+//! on one lock. [`ConcurrentPerseas`] instead hands out RAII
+//! [`TxnHandle`]s backed by [`Perseas::begin_concurrent`]: many OS
+//! threads keep transactions open against one instance at once, each
+//! operation takes the instance lock only for its own duration, and
+//! threads that reach commit together are batched into one **group
+//! commit** — a single undo/data/commit-record fan-out covers all of
+//! them (the commit-desk pattern: the first committer becomes leader,
+//! drains the queue of every transaction waiting to commit, and runs one
+//! [`Perseas::commit_group`] for the whole batch).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use perseas_rnram::RemoteMemory;
+use perseas_txn::{RegionId, TxnError, TxnStats};
+
+use crate::conc::TxnToken;
+use crate::perseas::Perseas;
+
+/// Transactions queued for the next group commit, and the results the
+/// leader published for the previous one.
+struct CommitDesk {
+    /// Ids waiting to be committed by the next leader.
+    queue: Vec<u64>,
+    /// `true` while some thread is inside `commit_group`.
+    leader: bool,
+    /// Per-id outcome of a finished group: `(still open, result)`.
+    results: HashMap<u64, (bool, Result<(), TxnError>)>,
+}
+
+struct Shared<M: RemoteMemory> {
+    db: Mutex<Perseas<M>>,
+    desk: Mutex<CommitDesk>,
+    done: Condvar,
+}
+
+impl<M: RemoteMemory> Shared<M> {
+    fn lock_db(&self) -> MutexGuard<'_, Perseas<M>> {
+        // A poisoned lock means a panic on another thread; the instance
+        // is still structurally sound (its transaction aborts on the
+        // handle's drop), so recover the guard.
+        self.db.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_desk(&self) -> MutexGuard<'_, CommitDesk> {
+        self.desk.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Commits `id`, batching with every other transaction queued at the
+    /// desk. Returns whether the transaction is still open (a
+    /// pre-durability failure leaves it open) and the group's result.
+    fn commit_id(&self, id: u64) -> (bool, Result<(), TxnError>) {
+        let mut desk = self.lock_desk();
+        desk.queue.push(id);
+        loop {
+            if let Some(outcome) = desk.results.remove(&id) {
+                return outcome;
+            }
+            if desk.leader {
+                // A leader is committing; it may or may not have taken
+                // this id along — check again when it finishes.
+                desk = self.done.wait(desk).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            // Become the leader. The desk lock is released before taking
+            // the instance lock (always db before desk, never both ways),
+            // so late committers can keep enqueueing while the group
+            // runs — they ride the next one.
+            desk.leader = true;
+            drop(desk);
+            let mut db = self.lock_db();
+            let batch: Vec<u64> = std::mem::take(&mut self.lock_desk().queue);
+            let tokens: Vec<TxnToken> = batch.iter().map(|&i| TxnToken::new(i)).collect();
+            let result = db.commit_group(&tokens);
+            let outcomes: Vec<(u64, bool)> = batch
+                .iter()
+                .map(|&i| (i, db.txn_is_open(TxnToken::new(i))))
+                .collect();
+            drop(db);
+            let mut desk = self.lock_desk();
+            desk.leader = false;
+            for (i, open) in outcomes {
+                desk.results.insert(i, (open, result.clone()));
+            }
+            self.done.notify_all();
+            let own = desk
+                .results
+                .remove(&id)
+                .expect("leader's own id rides its own batch");
+            return own;
+        }
+    }
+}
+
+/// One open transaction, owned by a thread.
+///
+/// The handle releases the instance between operations, so other threads'
+/// transactions interleave freely; conflicting `set_range` claims are
+/// refused with [`TxnError::Conflict`]. Dropping an open handle aborts
+/// its transaction.
+pub struct TxnHandle<M: RemoteMemory> {
+    shared: Arc<Shared<M>>,
+    token: TxnToken,
+    open: bool,
+}
+
+impl<M: RemoteMemory> TxnHandle<M> {
+    /// The underlying transaction id.
+    pub fn id(&self) -> u64 {
+        self.token.id()
+    }
+
+    /// Declares a writable range (see [`Perseas::set_range_t`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::Conflict`] when another open transaction holds an
+    /// overlapping claim; this transaction stays open.
+    pub fn set_range(&self, region: RegionId, offset: usize, len: usize) -> Result<(), TxnError> {
+        self.shared
+            .lock_db()
+            .set_range_t(self.token, region, offset, len)
+    }
+
+    /// Declares several ranges all-or-nothing (see
+    /// [`Perseas::set_ranges_t`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`TxnHandle::set_range`].
+    pub fn set_ranges(&self, ranges: &[(RegionId, usize, usize)]) -> Result<(), TxnError> {
+        self.shared.lock_db().set_ranges_t(self.token, ranges)
+    }
+
+    /// Writes into a previously declared range.
+    ///
+    /// # Errors
+    ///
+    /// Fails on undeclared ranges or bounds violations.
+    pub fn write(&self, region: RegionId, offset: usize, data: &[u8]) -> Result<(), TxnError> {
+        self.shared
+            .lock_db()
+            .write_t(self.token, region, offset, data)
+    }
+
+    /// Declares and writes in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`TxnHandle::set_range`] and [`TxnHandle::write`].
+    pub fn update(&self, region: RegionId, offset: usize, data: &[u8]) -> Result<(), TxnError> {
+        let mut db = self.shared.lock_db();
+        db.set_range_t(self.token, region, offset, data.len())?;
+        db.write_t(self.token, region, offset, data)
+    }
+
+    /// Reads from the shared local image (own writes included).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions or bounds violations.
+    pub fn read(&self, region: RegionId, offset: usize, buf: &mut [u8]) -> Result<(), TxnError> {
+        self.shared.lock_db().read(region, offset, buf)
+    }
+
+    /// Length of a region.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions.
+    pub fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
+        self.shared.lock_db().region_len(region)
+    }
+
+    /// Ships this transaction's records and data to the mirrors ahead of
+    /// the commit, freezing it: a prepared transaction accepts no further
+    /// claims or writes and its commit is a single record fan-out (the
+    /// stage a group commit amortizes).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Perseas::prepare_t`](crate::Perseas::prepare_t); the
+    /// transaction stays open either way.
+    pub fn prepare(&self) -> Result<(), TxnError> {
+        self.shared.lock_db().prepare_t(self.token)
+    }
+
+    /// Commits this transaction, group-committing with any other
+    /// transaction that reaches its commit point at the same time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the group's commit error. After a pre-durability
+    /// failure the transaction is aborted (the handle is consumed);
+    /// [`TxnError::CommitInDoubt`] means it **is** durable on the
+    /// survivors.
+    pub fn commit(mut self) -> Result<(), TxnError> {
+        let (still_open, result) = self.shared.commit_id(self.token.id());
+        // A pre-durability failure leaves the transaction open; the
+        // consuming call can't retry, so Drop aborts it cleanly.
+        self.open = still_open;
+        result
+    }
+
+    /// Aborts this transaction: its claims are released immediately and
+    /// its writes rolled back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mirror-cleanup failures after a failed commit; the
+    /// local abort has completed regardless.
+    pub fn abort(mut self) -> Result<(), TxnError> {
+        self.open = false;
+        self.shared.lock_db().abort_t(self.token)
+    }
+}
+
+impl<M: RemoteMemory> Drop for TxnHandle<M> {
+    fn drop(&mut self) {
+        if self.open {
+            let _ = self.shared.lock_db().abort_t(self.token);
+        }
+    }
+}
+
+/// A cloneable, `Send + Sync` handle driving concurrent transactions
+/// against one PERSEAS instance.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_core::{ConcurrentPerseas, Perseas, PerseasConfig};
+/// use perseas_rnram::SimRemote;
+///
+/// # fn main() -> Result<(), perseas_txn::TxnError> {
+/// let cfg = PerseasConfig::default().with_concurrent(true);
+/// let mut db = Perseas::init(vec![SimRemote::new("m")], cfg)?;
+/// let r = db.malloc(64)?;
+/// db.init_remote_db()?;
+/// let shared = ConcurrentPerseas::new(db)?;
+///
+/// // Two transactions open at once; their claims are disjoint.
+/// let a = shared.begin_transaction()?;
+/// let b = shared.begin_transaction()?;
+/// a.update(r, 0, &[1; 8])?;
+/// b.update(r, 8, &[2; 8])?;
+/// a.commit()?;
+/// b.commit()?;
+///
+/// let mut buf = [0u8; 16];
+/// shared.read(r, 0, &mut buf)?;
+/// assert_eq!(&buf[..8], &[1; 8]);
+/// assert_eq!(&buf[8..], &[2; 8]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ConcurrentPerseas<M: RemoteMemory> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M: RemoteMemory> Clone for ConcurrentPerseas<M> {
+    fn clone(&self) -> Self {
+        ConcurrentPerseas {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M: RemoteMemory> ConcurrentPerseas<M> {
+    /// Wraps a published database for concurrent use.
+    ///
+    /// # Errors
+    ///
+    /// Fails `Unavailable` unless the instance was configured with
+    /// [`PerseasConfig::with_concurrent`](crate::PerseasConfig::with_concurrent).
+    pub fn new(db: Perseas<M>) -> Result<Self, TxnError> {
+        if !db.cfg.concurrent {
+            return Err(TxnError::Unavailable(
+                "ConcurrentPerseas requires PerseasConfig::with_concurrent".into(),
+            ));
+        }
+        Ok(ConcurrentPerseas {
+            shared: Arc::new(Shared {
+                db: Mutex::new(db),
+                desk: Mutex::new(CommitDesk {
+                    queue: Vec::new(),
+                    leader: false,
+                    results: HashMap::new(),
+                }),
+                done: Condvar::new(),
+            }),
+        })
+    }
+
+    /// Opens a new transaction and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Perseas::begin_concurrent`].
+    pub fn begin_transaction(&self) -> Result<TxnHandle<M>, TxnError> {
+        let token = self.shared.lock_db().begin_concurrent()?;
+        Ok(TxnHandle {
+            shared: Arc::clone(&self.shared),
+            token,
+            open: true,
+        })
+    }
+
+    /// Runs `f` inside a transaction: committed when `f` succeeds,
+    /// aborted when it fails. Errors — including
+    /// [`TxnError::Conflict`] from a lost claim — propagate without
+    /// wedging the instance; the caller may simply retry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's or the library's error.
+    pub fn transaction<T, F>(&self, f: F) -> Result<T, TxnError>
+    where
+        F: FnOnce(&TxnHandle<M>) -> Result<T, TxnError>,
+    {
+        let handle = self.begin_transaction()?;
+        match f(&handle) {
+            Ok(value) => {
+                handle.commit()?;
+                Ok(value)
+            }
+            Err(e) => {
+                // Abort failures would mask the original error; the
+                // rollback itself has completed locally either way.
+                let _ = handle.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads outside any transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates library errors.
+    pub fn read(&self, region: RegionId, offset: usize, buf: &mut [u8]) -> Result<(), TxnError> {
+        self.shared.lock_db().read(region, offset, buf)
+    }
+
+    /// Length of a region.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions.
+    pub fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
+        self.shared.lock_db().region_len(region)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> TxnStats {
+        self.shared.lock_db().stats()
+    }
+
+    /// Id of the last durably committed transaction.
+    pub fn last_committed(&self) -> u64 {
+        self.shared.lock_db().last_committed()
+    }
+
+    /// Number of transactions currently open.
+    pub fn open_txn_count(&self) -> usize {
+        self.shared.lock_db().open_txn_count()
+    }
+
+    /// Runs arbitrary code with exclusive access to the instance (crash
+    /// simulation, mirror management, diagnostics).
+    pub fn with<T>(&self, f: impl FnOnce(&mut Perseas<M>) -> T) -> T {
+        f(&mut self.shared.lock_db())
+    }
+
+    /// Extracts the database if this is the last handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns `self` back if other handles exist.
+    pub fn try_unwrap(self) -> Result<Perseas<M>, ConcurrentPerseas<M>> {
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => Ok(shared.db.into_inner().unwrap_or_else(|e| e.into_inner())),
+            Err(shared) => Err(ConcurrentPerseas { shared }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerseasConfig;
+    use perseas_rnram::SimRemote;
+    use std::thread;
+
+    fn built() -> (ConcurrentPerseas<SimRemote>, RegionId) {
+        let cfg = PerseasConfig::default().with_concurrent(true);
+        let mut db = Perseas::init(vec![SimRemote::new("m")], cfg).unwrap();
+        let r = db.malloc(256).unwrap();
+        db.init_remote_db().unwrap();
+        (ConcurrentPerseas::new(db).unwrap(), r)
+    }
+
+    #[test]
+    fn handle_layer_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConcurrentPerseas<SimRemote>>();
+        assert_send_sync::<TxnHandle<SimRemote>>();
+    }
+
+    #[test]
+    fn new_requires_concurrent_config() {
+        let db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default()).unwrap();
+        assert!(matches!(
+            ConcurrentPerseas::new(db),
+            Err(TxnError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn threads_share_disjoint_slices() {
+        let (shared, r) = built();
+        let threads = 8usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let db = shared.clone();
+                thread::spawn(move || {
+                    for i in 0..10u64 {
+                        db.transaction(|tx| tx.update(r, t * 8, &(i + 1).to_le_bytes()))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..threads {
+            let mut buf = [0u8; 8];
+            shared.read(r, t * 8, &mut buf).unwrap();
+            assert_eq!(u64::from_le_bytes(buf), 10);
+        }
+        assert_eq!(shared.stats().commits, (threads * 10) as u64);
+        assert_eq!(shared.open_txn_count(), 0);
+    }
+
+    #[test]
+    fn dropping_an_open_handle_aborts_it() {
+        let (shared, r) = built();
+        {
+            let tx = shared.begin_transaction().unwrap();
+            tx.update(r, 0, &[9; 8]).unwrap();
+            assert_eq!(shared.open_txn_count(), 1);
+        }
+        assert_eq!(shared.open_txn_count(), 0);
+        let mut buf = [0u8; 8];
+        shared.read(r, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0; 8], "dropped handle rolled back");
+    }
+
+    #[test]
+    fn conflicting_threads_one_wins_one_retries() {
+        let (shared, r) = built();
+        let a = shared.begin_transaction().unwrap();
+        a.set_range(r, 0, 16).unwrap();
+        let err = shared
+            .transaction(|tx| tx.update(r, 8, &[1; 4]))
+            .unwrap_err();
+        assert!(matches!(err, TxnError::Conflict { holder, .. } if holder == a.id()));
+        a.write(r, 0, &[5; 16]).unwrap();
+        a.commit().unwrap();
+        // The loser retries after the holder resolves and succeeds.
+        shared.transaction(|tx| tx.update(r, 8, &[1; 4])).unwrap();
+        let mut buf = [0u8; 4];
+        shared.read(r, 8, &mut buf).unwrap();
+        assert_eq!(buf, [1; 4]);
+    }
+}

@@ -61,6 +61,21 @@ pub struct PerseasConfig {
     /// with deterministic jitter, charged to the simulated clock for sim
     /// backends and to the wall clock for TCP.
     pub probe_backoff: BackoffPolicy,
+    /// Run the concurrent transaction engine: `begin_concurrent` hands
+    /// out tokens for many simultaneously open transactions, a byte-range
+    /// conflict table serializes overlapping `set_range` claims
+    /// (first-claimer-wins, [`perseas_txn::TxnError::Conflict`] for the
+    /// loser), and non-conflicting transactions commit as a group through
+    /// the batched pipeline with per-transaction commit records. Implies
+    /// the batched commit path. Off by default: the legacy single-slot
+    /// engine stays byte-for-byte identical to the paper's protocol.
+    pub concurrent: bool,
+    /// Number of 8-byte commit-table slots appended to the metadata
+    /// segment when `concurrent` is on. Bounds how many transactions may
+    /// be committed above the watermark while older transactions are
+    /// still open; a full table fails the commit `Unavailable` until the
+    /// watermark advances.
+    pub commit_slots: usize,
 }
 
 impl PerseasConfig {
@@ -77,6 +92,8 @@ impl PerseasConfig {
             min_epoch: 0,
             snapshot_retries: 8,
             probe_backoff: BackoffPolicy::default(),
+            concurrent: false,
+            commit_slots: 64,
         }
     }
 
@@ -165,6 +182,28 @@ impl PerseasConfig {
         self.probe_backoff = policy;
         self
     }
+
+    /// Enables the concurrent transaction engine (see the
+    /// [`concurrent`](PerseasConfig::concurrent) field). Also turns on
+    /// the batched commit pipeline, which group commits are built on.
+    pub fn with_concurrent(mut self, concurrent: bool) -> Self {
+        self.concurrent = concurrent;
+        if concurrent {
+            self.batched_commit = true;
+        }
+        self
+    }
+
+    /// Sets the commit-table slot count used when `concurrent` is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn with_commit_slots(mut self, slots: usize) -> Self {
+        assert!(slots > 0, "commit_slots must be positive");
+        self.commit_slots = slots;
+        self
+    }
 }
 
 impl Default for PerseasConfig {
@@ -246,5 +285,24 @@ mod tests {
     #[test]
     fn default_is_new() {
         assert_eq!(PerseasConfig::default(), PerseasConfig::new());
+    }
+
+    #[test]
+    fn concurrent_defaults_off_and_implies_batched() {
+        let c = PerseasConfig::new();
+        assert!(!c.concurrent);
+        assert_eq!(c.commit_slots, 64);
+        let c = PerseasConfig::new()
+            .with_concurrent(true)
+            .with_commit_slots(8);
+        assert!(c.concurrent);
+        assert!(c.batched_commit, "group commits ride the batched pipeline");
+        assert_eq!(c.commit_slots, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit_slots")]
+    fn zero_commit_slots_rejected() {
+        let _ = PerseasConfig::new().with_commit_slots(0);
     }
 }

@@ -36,10 +36,29 @@ pub const OFF_UNDO: usize = 16;
 /// 16-byte line: the update is packet-atomic.
 pub const OFF_EPOCH: usize = 32;
 
+/// Byte offset of the engine-flags word (see [`FLAG_CONCURRENT`]).
+/// Written once at publication and never rewritten concurrently with
+/// commits, so it needs no packet-atomicity of its own.
+pub const OFF_FLAGS: usize = 40;
+
+/// Byte offset of the commit-table slot count (u32). Zero in legacy
+/// images; the concurrent engine records here how many 8-byte slots
+/// trail the region table.
+pub const OFF_COMMIT_SLOTS: usize = 44;
+
+/// Flags bit: the image was written by the concurrent engine — the undo
+/// log opens with a [`GroupHeader`] line and a commit table of
+/// [`MetaHeader::commit_slots`] slots trails the region table. Recovery
+/// must use the concurrent scan rules.
+pub const FLAG_CONCURRENT: u32 = 1;
+
 /// Byte offset of the commit record (`last_committed` transaction id).
 /// Deliberately placed so the 8-byte record ends on the last word of its
 /// 64-byte SCI buffer: the card then flushes it eagerly (no partial-flush
-/// timeout), shaving ~0.3 µs off every commit.
+/// timeout), shaving ~0.3 µs off every commit. The concurrent engine
+/// reads this as the commit **watermark**: every transaction id at or
+/// below it is resolved; committed ids above it live in the commit
+/// table.
 pub const OFF_COMMIT: usize = 56;
 
 /// Byte offset of the region table.
@@ -55,9 +74,68 @@ pub const UNDO_MAGIC: u32 = 0x554E_444F; // "UNDO"
 /// CRC).
 pub const UNDO_HEADER_SIZE: usize = 36;
 
+/// Magic value opening the undo log of a concurrent-engine image.
+pub const GROUP_MAGIC: u32 = 0x4752_5550; // "GRUP"
+
+/// Size of the group header at offset 0 of a concurrent undo log.
+pub const GROUP_HEADER_SIZE: usize = 16;
+
 /// Total size of a metadata segment holding up to `max_regions` regions.
 pub fn meta_segment_size(max_regions: usize) -> usize {
     OFF_REGION_TABLE + max_regions * REGION_ENTRY_SIZE
+}
+
+/// Total size of a concurrent-engine metadata segment: the legacy layout
+/// plus `commit_slots` trailing 8-byte commit-table slots.
+pub fn meta_segment_size_concurrent(max_regions: usize, commit_slots: usize) -> usize {
+    meta_segment_size(max_regions) + commit_slots * 8
+}
+
+/// Byte offset of the commit table inside a metadata segment of
+/// `meta_len` total bytes. The table occupies the *last* `commit_slots`
+/// 8-byte words, so recovery can locate it without knowing the writer's
+/// `max_regions`.
+pub fn commit_table_offset(meta_len: usize, commit_slots: usize) -> usize {
+    meta_len - commit_slots * 8
+}
+
+/// Decodes the raw commit-table slots from a full metadata image. A slot
+/// holding an id *above* the watermark marks that transaction committed;
+/// slots at or below the watermark are free (their transactions are
+/// already covered by the watermark) — callers filter accordingly.
+pub fn decode_commit_table(meta_image: &[u8], commit_slots: usize) -> Vec<u64> {
+    let off = commit_table_offset(meta_image.len(), commit_slots);
+    (0..commit_slots)
+        .filter_map(|i| get_u64(meta_image, off + i * 8))
+        .collect()
+}
+
+/// Encodes the 16-byte group header bounding a concurrent undo log:
+/// `record_bytes` bytes of undo records follow the header. CRC-protected
+/// so a torn header rewrite reads as absent, not as a bogus bound.
+pub fn encode_group_header(record_bytes: u64) -> [u8; GROUP_HEADER_SIZE] {
+    let mut out = [0u8; GROUP_HEADER_SIZE];
+    out[0..4].copy_from_slice(&GROUP_MAGIC.to_le_bytes());
+    out[4..12].copy_from_slice(&record_bytes.to_le_bytes());
+    let crc = crc32(&[&out[0..12]]);
+    out[12..16].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes the group header at offset 0 of a concurrent undo log,
+/// returning the record-region length, or `None` if the bytes do not form
+/// a valid header (fresh segment, torn rewrite) — in which case the log
+/// holds no scannable records.
+pub fn decode_group_header(undo: &[u8]) -> Option<u64> {
+    if get_u32(undo, 0)? != GROUP_MAGIC {
+        return None;
+    }
+    let record_bytes = get_u64(undo, 4)?;
+    let stored = get_u32(undo, 12)?;
+    if crc32(&[&undo[0..12]]) != stored {
+        return None;
+    }
+    Some(record_bytes)
 }
 
 /// Computes the IEEE CRC-32 of `parts` concatenated.
@@ -97,7 +175,13 @@ pub struct MetaHeader {
     /// Mirror-set epoch this mirror last participated in (0 in images
     /// written before epochs existed).
     pub epoch: u64,
-    /// Id of the last committed transaction (the commit record).
+    /// Engine flags ([`FLAG_CONCURRENT`]); 0 in legacy images.
+    pub flags: u32,
+    /// Number of 8-byte commit-table slots trailing the region table
+    /// (0 in legacy images).
+    pub commit_slots: u32,
+    /// Id of the last committed transaction (the commit record). Under
+    /// [`FLAG_CONCURRENT`] this is the resolution watermark.
     pub last_committed: u64,
 }
 
@@ -111,6 +195,9 @@ impl MetaHeader {
         out[16..24].copy_from_slice(&self.undo_seg_id.to_le_bytes());
         out[24..32].copy_from_slice(&self.undo_seg_len.to_le_bytes());
         out[OFF_EPOCH..OFF_EPOCH + 8].copy_from_slice(&self.epoch.to_le_bytes());
+        out[OFF_FLAGS..OFF_FLAGS + 4].copy_from_slice(&self.flags.to_le_bytes());
+        out[OFF_COMMIT_SLOTS..OFF_COMMIT_SLOTS + 4]
+            .copy_from_slice(&self.commit_slots.to_le_bytes());
         out[OFF_COMMIT..OFF_COMMIT + 8].copy_from_slice(&self.last_committed.to_le_bytes());
         out
     }
@@ -135,6 +222,8 @@ impl MetaHeader {
             undo_seg_id: get_u64(buf, OFF_UNDO).ok_or("truncated undo id")?,
             undo_seg_len: get_u64(buf, OFF_UNDO + 8).ok_or("truncated undo len")?,
             epoch: get_u64(buf, OFF_EPOCH).ok_or("truncated epoch")?,
+            flags: get_u32(buf, OFF_FLAGS).ok_or("truncated flags")?,
+            commit_slots: get_u32(buf, OFF_COMMIT_SLOTS).ok_or("truncated slot count")?,
             last_committed: get_u64(buf, OFF_COMMIT).ok_or("truncated commit record")?,
         })
     }
@@ -268,6 +357,8 @@ mod tests {
             undo_seg_id: 42,
             undo_seg_len: 4096,
             epoch: 9,
+            flags: FLAG_CONCURRENT,
+            commit_slots: 64,
             last_committed: 17,
         };
         let enc = h.encode();
@@ -284,6 +375,8 @@ mod tests {
             undo_seg_id: 7,
             undo_seg_len: 64,
             epoch: 3,
+            flags: 0,
+            commit_slots: 0,
             last_committed: 2,
         };
         let mut enc = h.encode();
@@ -298,6 +391,8 @@ mod tests {
             undo_seg_id: 1,
             undo_seg_len: 1,
             epoch: 1,
+            flags: 0,
+            commit_slots: 0,
             last_committed: 0,
         };
         let mut enc = h.encode();
@@ -381,5 +476,90 @@ mod tests {
     fn meta_size_scales_with_regions() {
         assert_eq!(meta_segment_size(0), 64);
         assert_eq!(meta_segment_size(4), 64 + 64);
+    }
+
+    #[test]
+    fn concurrent_meta_size_appends_commit_table() {
+        assert_eq!(meta_segment_size_concurrent(4, 0), meta_segment_size(4));
+        assert_eq!(
+            meta_segment_size_concurrent(4, 64),
+            meta_segment_size(4) + 512
+        );
+        assert_eq!(
+            commit_table_offset(meta_segment_size_concurrent(4, 64), 64),
+            meta_segment_size(4)
+        );
+    }
+
+    #[test]
+    fn commit_table_slots_are_packet_atomic() {
+        // The region table is 16-byte-aligned and entries are 16 bytes,
+        // so the commit table starts on a line boundary: every 8-byte
+        // slot sits inside one 16-byte line and is written with a single
+        // packet, exactly like the commit record itself.
+        assert_eq!(OFF_REGION_TABLE % 16, 0);
+        assert_eq!(REGION_ENTRY_SIZE % 16, 0);
+        for max_regions in [0, 1, 64] {
+            let table = meta_segment_size(max_regions);
+            for slot in 0..8 {
+                let off = table + slot * 8;
+                assert_eq!(off / 16, (off + 7) / 16, "slot {slot} straddles a line");
+            }
+        }
+    }
+
+    #[test]
+    fn flags_and_slots_roundtrip_and_default_to_legacy() {
+        let h = MetaHeader {
+            region_count: 1,
+            undo_seg_id: 1,
+            undo_seg_len: 64,
+            epoch: 0,
+            flags: FLAG_CONCURRENT,
+            commit_slots: 16,
+            last_committed: 0,
+        };
+        let got = MetaHeader::decode(&h.encode()).unwrap();
+        assert_eq!(got.flags, FLAG_CONCURRENT);
+        assert_eq!(got.commit_slots, 16);
+        // Legacy images left bytes 40..48 zeroed: they must decode as a
+        // non-concurrent header with an empty commit table.
+        let mut enc = h.encode();
+        enc[OFF_FLAGS..OFF_COMMIT_SLOTS + 4].fill(0);
+        let got = MetaHeader::decode(&enc).unwrap();
+        assert_eq!(got.flags, 0);
+        assert_eq!(got.commit_slots, 0);
+    }
+
+    #[test]
+    fn group_header_roundtrips() {
+        let enc = encode_group_header(1234);
+        assert_eq!(decode_group_header(&enc), Some(1234));
+        assert_eq!(GROUP_HEADER_SIZE % 16, 0); // own line: packet-atomic rewrite
+    }
+
+    #[test]
+    fn torn_group_header_reads_as_absent() {
+        // A fresh (zeroed) segment has no header...
+        assert_eq!(decode_group_header(&[0u8; 64]), None);
+        // ...a truncated one doesn't either...
+        let enc = encode_group_header(77);
+        assert_eq!(decode_group_header(&enc[..12]), None);
+        // ...and a single flipped bit anywhere fails the CRC.
+        for i in 0..GROUP_HEADER_SIZE {
+            let mut bad = enc;
+            bad[i] ^= 1;
+            assert_eq!(decode_group_header(&bad), None, "bit flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn commit_table_decodes_raw_slots() {
+        let mut image = vec![0u8; meta_segment_size_concurrent(2, 4)];
+        let base = commit_table_offset(image.len(), 4);
+        for (i, id) in [9u64, 0, 3, 12].iter().enumerate() {
+            image[base + i * 8..base + i * 8 + 8].copy_from_slice(&id.to_le_bytes());
+        }
+        assert_eq!(decode_commit_table(&image, 4), vec![9, 0, 3, 12]);
     }
 }

@@ -53,6 +53,8 @@
 //! ```
 
 mod archive;
+mod conc;
+mod concurrent;
 mod config;
 mod fault;
 mod layout;
@@ -64,10 +66,13 @@ mod shared;
 mod trace;
 mod txn_impl;
 
+pub use conc::TxnToken;
+pub use concurrent::{ConcurrentPerseas, TxnHandle};
 pub use config::PerseasConfig;
 pub use fault::FaultPlan;
 pub use layout::{
-    crc32, decode_region_entry, MetaHeader, UndoRecord, META_TAG, OFF_COMMIT, OFF_EPOCH,
+    commit_table_offset, crc32, decode_commit_table, decode_region_entry, MetaHeader, UndoRecord,
+    FLAG_CONCURRENT, META_TAG, OFF_COMMIT, OFF_EPOCH,
 };
 pub use perseas::{MirrorHealth, MirrorStatus, Perseas};
 pub use recovery::RecoveryReport;

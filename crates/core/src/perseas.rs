@@ -6,17 +6,19 @@ use perseas_rnram::{mirror_copy, plan_transfer, RemoteMemory, RemoteSegment, RnE
 use perseas_simtime::SimClock;
 use perseas_txn::{RegionId, TxnError, TxnStats};
 
+use crate::conc::ConcState;
 use crate::config::PerseasConfig;
 use crate::fault::FaultPlan;
 use crate::layout::{
-    encode_region_entry, meta_segment_size, MetaHeader, UndoRecord, OFF_COMMIT, OFF_EPOCH,
-    OFF_REGION_TABLE, OFF_UNDO, REGION_ENTRY_SIZE,
+    commit_table_offset, encode_region_entry, meta_segment_size, meta_segment_size_concurrent,
+    MetaHeader, UndoRecord, FLAG_CONCURRENT, OFF_COMMIT, OFF_EPOCH, OFF_REGION_TABLE, OFF_UNDO,
+    REGION_ENTRY_SIZE,
 };
 use crate::trace::{TraceEvent, Tracer};
 
 /// Per-mirror vectored write batch: each entry pairs a mirror index with
 /// the `(segment, offset, bytes)` ranges destined for that mirror.
-type MirrorBatches = Vec<(usize, Vec<(SegmentId, usize, Vec<u8>)>)>;
+pub(crate) type MirrorBatches = Vec<(usize, Vec<(SegmentId, usize, Vec<u8>)>)>;
 
 /// Health of one mirror in the set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +88,7 @@ impl<M> MirrorState<M> {
         }
     }
 
-    fn is_healthy(&self) -> bool {
+    pub(crate) fn is_healthy(&self) -> bool {
         self.health == MirrorHealth::Healthy
     }
 }
@@ -134,6 +136,8 @@ pub struct Perseas<M: RemoteMemory> {
     pub(crate) stats: TxnStats,
     pub(crate) fault: FaultPlan,
     pub(crate) tracer: Option<Box<dyn Tracer>>,
+    /// State of the concurrent engine (unused unless `cfg.concurrent`).
+    pub(crate) conc: ConcState,
 }
 
 impl<M: RemoteMemory> Perseas<M> {
@@ -166,7 +170,7 @@ impl<M: RemoteMemory> Perseas<M> {
                 "at least one mirror node is required".into(),
             ));
         }
-        let meta_size = meta_segment_size(cfg.max_regions);
+        let meta_size = Perseas::<M>::meta_len_for(&cfg);
         let mut states = Vec::with_capacity(mirrors.len());
         for mut backend in mirrors {
             let meta = backend
@@ -191,8 +195,19 @@ impl<M: RemoteMemory> Perseas<M> {
             stats: TxnStats::new(),
             fault: FaultPlan::none(),
             tracer: None,
+            conc: ConcState::new(cfg.commit_slots),
             cfg,
         })
+    }
+
+    /// Size of the metadata segment under `cfg`: the legacy layout plus,
+    /// for the concurrent engine, the trailing commit table.
+    pub(crate) fn meta_len_for(cfg: &PerseasConfig) -> usize {
+        if cfg.concurrent {
+            meta_segment_size_concurrent(cfg.max_regions, cfg.commit_slots)
+        } else {
+            meta_segment_size(cfg.max_regions)
+        }
     }
 
     /// `PERSEAS_malloc`: allocates a zero-filled database region of `len`
@@ -269,6 +284,15 @@ impl<M: RemoteMemory> Perseas<M> {
     /// transactions until mirrors rejoin, not just the operation that
     /// watched a mirror die.
     pub fn begin_transaction(&mut self) -> Result<(), TxnError> {
+        if self.cfg.concurrent {
+            // Legacy facade over the concurrent engine: one implicit token.
+            if self.conc.legacy_token.is_some() {
+                return Err(TxnError::TransactionAlreadyActive);
+            }
+            let token = self.begin_concurrent()?;
+            self.conc.legacy_token = Some(token.id());
+            return Ok(());
+        }
         if self.phase == Phase::InTxn {
             return Err(TxnError::TransactionAlreadyActive);
         }
@@ -304,6 +328,10 @@ impl<M: RemoteMemory> Perseas<M> {
         offset: usize,
         len: usize,
     ) -> Result<(), TxnError> {
+        if self.cfg.concurrent {
+            let t = self.legacy_conc_token()?;
+            return self.set_range_t(t, region, offset, len);
+        }
         self.ensure_phase(Phase::InTxn)?;
         let ri = self.check_region_range(region, offset, len)?;
         if len == 0 {
@@ -390,6 +418,10 @@ impl<M: RemoteMemory> Perseas<M> {
     /// Fails like [`Perseas::set_range`]; on error, no range of the batch
     /// is declared.
     pub fn set_ranges(&mut self, ranges: &[(RegionId, usize, usize)]) -> Result<(), TxnError> {
+        if self.cfg.concurrent {
+            let t = self.legacy_conc_token()?;
+            return self.set_ranges_t(t, ranges);
+        }
         self.ensure_phase(Phase::InTxn)?;
         // Validate everything first: all-or-nothing declaration.
         let mut checked = Vec::with_capacity(ranges.len());
@@ -497,6 +529,10 @@ impl<M: RemoteMemory> Perseas<M> {
     /// Fails on bounds violations, undeclared transactional writes, or
     /// when idle after publication.
     pub fn write(&mut self, region: RegionId, offset: usize, data: &[u8]) -> Result<(), TxnError> {
+        if self.cfg.concurrent && self.phase != Phase::Setup {
+            let t = self.legacy_conc_token()?;
+            return self.write_t(t, region, offset, data);
+        }
         let ri = self.check_region_range(region, offset, data.len())?;
         match self.phase {
             Phase::Setup => {}
@@ -553,6 +589,17 @@ impl<M: RemoteMemory> Perseas<M> {
     ///
     /// [`abort_transaction`]: Perseas::abort_transaction
     pub fn commit_transaction(&mut self) -> Result<(), TxnError> {
+        if self.cfg.concurrent {
+            let t = self.legacy_conc_token()?;
+            self.conc.legacy_token = None;
+            let r = self.commit_group(&[t]);
+            if self.conc.txns.contains_key(&t.id()) {
+                // Pre-durability failure left the transaction open: keep
+                // the legacy slot bound so the caller can abort or retry.
+                self.conc.legacy_token = Some(t.id());
+            }
+            return r;
+        }
         self.ensure_phase(Phase::InTxn)?;
         self.check_commit_quorum()?;
         let mut txn = self.txn.take().expect("in txn");
@@ -704,6 +751,11 @@ impl<M: RemoteMemory> Perseas<M> {
     /// the mirror restoration itself drops the set below quorum. The
     /// local abort has completed by then (the instance stays usable).
     pub fn abort_transaction(&mut self) -> Result<(), TxnError> {
+        if self.cfg.concurrent {
+            let t = self.legacy_conc_token()?;
+            self.conc.legacy_token = None;
+            return self.abort_t(t);
+        }
         self.ensure_phase(Phase::InTxn)?;
         let txn = self.txn.take().expect("in txn");
         // Restore in reverse, so overlapping set_ranges resolve to the
@@ -731,11 +783,15 @@ impl<M: RemoteMemory> Perseas<M> {
     /// every healthy mirror, undoing the data propagation of a failed
     /// commit. A mirror failing the restore is fenced like any other
     /// write failure — its polluted image then carries a stale epoch.
-    fn restore_mirror_ranges(
+    pub(crate) fn restore_mirror_ranges(
         &mut self,
         ranges: &[(usize, usize, usize)],
     ) -> Result<(), TxnError> {
         let mut any_failed = false;
+        // Never widen under the concurrent engine: the bytes around a
+        // restored range may belong to another open transaction and must
+        // not reach the mirror.
+        let aligned = self.cfg.aligned_memcpy && !self.cfg.concurrent;
         for &(ri, start, len) in ranges {
             for mi in 0..self.mirrors.len() {
                 if !self.mirrors[mi].is_healthy() {
@@ -744,14 +800,7 @@ impl<M: RemoteMemory> Perseas<M> {
                 self.fault_step()?;
                 let m = &mut self.mirrors[mi];
                 let seg = m.db[ri];
-                match push_range(
-                    &mut m.backend,
-                    seg,
-                    &self.regions[ri],
-                    start,
-                    len,
-                    self.cfg.aligned_memcpy,
-                ) {
+                match push_range(&mut m.backend, seg, &self.regions[ri], start, len, aligned) {
                     Ok(()) => self.stats.add_remote_write(len),
                     Err(e) if e.is_unavailable() => {
                         self.mark_down(mi, &e);
@@ -772,6 +821,7 @@ impl<M: RemoteMemory> Perseas<M> {
         self.regions.clear();
         self.undo_shadow.clear();
         self.txn = None;
+        self.conc.clear();
         self.emit(TraceEvent::Crashed);
     }
 
@@ -888,9 +938,11 @@ impl<M: RemoteMemory> Perseas<M> {
         self.last_committed
     }
 
-    /// `true` while a transaction is open.
+    /// `true` while a transaction is open (for the concurrent engine:
+    /// while the legacy facade's implicit token is bound; concurrently
+    /// open tokens are tracked by [`Perseas::open_txn_count`]).
     pub fn in_transaction(&self) -> bool {
-        self.phase == Phase::InTxn
+        self.phase == Phase::InTxn || self.conc.legacy_token.is_some()
     }
 
     /// `true` once the instance has crashed.
@@ -936,11 +988,12 @@ impl<M: RemoteMemory> Perseas<M> {
     /// mirror cannot hold the database.
     pub fn add_mirror(&mut self, mut backend: M) -> Result<(), TxnError> {
         self.ensure_phase(Phase::Ready)?;
+        self.ensure_no_open_txns()?;
         // Membership change: the survivors move to a fresh epoch before
         // the newcomer is built, so a half-streamed newcomer can never
         // look like the newest image to a later recovery.
         self.bump_epoch()?;
-        let meta_size = meta_segment_size(self.cfg.max_regions);
+        let meta_size = Perseas::<M>::meta_len_for(&self.cfg);
         let meta = backend
             .remote_malloc(meta_size, self.cfg.meta_tag)
             .map_err(unavailable)?;
@@ -1005,6 +1058,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// `Down`).
     pub fn rejoin_mirror(&mut self, index: usize) -> Result<(), TxnError> {
         self.ensure_phase(Phase::Ready)?;
+        self.ensure_no_open_txns()?;
         if index >= self.mirrors.len() {
             return Err(TxnError::Unavailable(format!("no mirror at index {index}")));
         }
@@ -1043,7 +1097,7 @@ impl<M: RemoteMemory> Perseas<M> {
         //    never becomes valid, so a later scrub could not find them
         //    and repeated failed rejoins would otherwise leak the
         //    rejoiner's memory.
-        let meta_size = meta_segment_size(self.cfg.max_regions);
+        let meta_size = Perseas::<M>::meta_len_for(&self.cfg);
         let undo_len = self.undo_shadow.len();
         self.fault_step()?;
         let alloc = {
@@ -1146,6 +1200,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// is the last *healthy* mirror (removing it would leave only stale
     /// images).
     pub fn remove_mirror(&mut self, index: usize) -> Result<M, TxnError> {
+        self.ensure_no_open_txns()?;
         if index >= self.mirrors.len() {
             return Err(TxnError::Unavailable(format!("no mirror at index {index}")));
         }
@@ -1219,7 +1274,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// # Errors
     ///
     /// Fails only on injected crashes or non-transport refusals.
-    fn bump_epoch(&mut self) -> Result<(), TxnError> {
+    pub(crate) fn bump_epoch(&mut self) -> Result<(), TxnError> {
         'restart: loop {
             self.epoch += 1;
             self.emit(TraceEvent::EpochBump { epoch: self.epoch });
@@ -1258,7 +1313,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// not durable anywhere; at the durability point the caller maps the
     /// error to [`TxnError::CommitInDoubt`] (see
     /// [`Perseas::durability_in_doubt`]).
-    fn fence_failed(&mut self, any_failed: bool) -> Result<(), TxnError> {
+    pub(crate) fn fence_failed(&mut self, any_failed: bool) -> Result<(), TxnError> {
         if !any_failed {
             return Ok(());
         }
@@ -1272,7 +1327,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// degraded below quorum in an earlier operation keeps refusing
     /// until mirrors rejoin — not only on the Healthy→Down transition
     /// that observed the failure.
-    fn check_commit_quorum(&self) -> Result<(), TxnError> {
+    pub(crate) fn check_commit_quorum(&self) -> Result<(), TxnError> {
         let healthy = self.healthy_mirror_count();
         if healthy < self.cfg.commit_quorum {
             return Err(TxnError::Unavailable(format!(
@@ -1294,7 +1349,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// when *no* healthy mirror is left, the record rests nowhere
     /// reliable: recovery may roll a torn record back, so the original
     /// error passes through and the transaction stays open.
-    fn durability_in_doubt(&self, e: TxnError, id: u64) -> TxnError {
+    pub(crate) fn durability_in_doubt(&self, e: TxnError, id: u64) -> TxnError {
         let healthy = self.healthy_mirror_count();
         match e {
             TxnError::Crashed => TxnError::Crashed,
@@ -1307,7 +1362,29 @@ impl<M: RemoteMemory> Perseas<M> {
         }
     }
 
-    fn ensure_phase(&self, want: Phase) -> Result<(), TxnError> {
+    /// Refuses membership and archival changes while any concurrent
+    /// transaction (token-based or via the legacy facade) is open.
+    pub(crate) fn ensure_no_open_txns(&self) -> Result<(), TxnError> {
+        if self.conc.txns.is_empty() {
+            Ok(())
+        } else {
+            Err(TxnError::BusyInTransaction)
+        }
+    }
+
+    /// The implicit token bound by the legacy facade over the concurrent
+    /// engine ([`Perseas::begin_transaction`] under `cfg.concurrent`).
+    fn legacy_conc_token(&self) -> Result<crate::conc::TxnToken, TxnError> {
+        if self.phase == Phase::Crashed {
+            return Err(TxnError::Crashed);
+        }
+        self.conc
+            .legacy_token
+            .map(crate::conc::TxnToken::new)
+            .ok_or(TxnError::NoActiveTransaction)
+    }
+
+    pub(crate) fn ensure_phase(&self, want: Phase) -> Result<(), TxnError> {
         if self.phase == want {
             return Ok(());
         }
@@ -1323,7 +1400,7 @@ impl<M: RemoteMemory> Perseas<M> {
         })
     }
 
-    fn check_region_range(
+    pub(crate) fn check_region_range(
         &self,
         region: RegionId,
         offset: usize,
@@ -1346,7 +1423,7 @@ impl<M: RemoteMemory> Perseas<M> {
         Ok(ri)
     }
 
-    fn fault_step(&mut self) -> Result<(), TxnError> {
+    pub(crate) fn fault_step(&mut self) -> Result<(), TxnError> {
         if self.fault.step() {
             Ok(())
         } else {
@@ -1479,7 +1556,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// it targets; entries whose mirror has gone `Down` since the lists
     /// were built are skipped, and a mirror failing its write is fenced
     /// while the fan-out commits degraded on the survivors.
-    fn fan_out_vectored(&mut self, lists: MirrorBatches) -> Result<(), TxnError> {
+    pub(crate) fn fan_out_vectored(&mut self, lists: MirrorBatches) -> Result<(), TxnError> {
         let clocks: Vec<Option<SimClock>> = lists
             .iter()
             .map(|(mi, _)| self.mirrors[*mi].backend.virtual_clock())
@@ -1589,7 +1666,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// Grows the undo log to at least `needed` bytes: allocate the larger
     /// segment, re-push the open transaction's records, flip the
     /// single-packet indirection in the metadata, free the old segment.
-    fn grow_undo(&mut self, needed: usize) -> Result<(), TxnError> {
+    pub(crate) fn grow_undo(&mut self, needed: usize) -> Result<(), TxnError> {
         let new_len = (self.undo_shadow.len() * 2).max(needed);
         self.undo_shadow.resize(new_len, 0);
         self.emit(TraceEvent::UndoGrown {
@@ -1640,12 +1717,19 @@ impl<M: RemoteMemory> Perseas<M> {
     }
 
     pub(crate) fn meta_image_for(&self, m: &MirrorState<M>) -> Vec<u8> {
-        let mut image = vec![0u8; meta_segment_size(self.cfg.max_regions)];
+        let concurrent = self.cfg.concurrent;
+        let mut image = vec![0u8; Perseas::<M>::meta_len_for(&self.cfg)];
         let header = MetaHeader {
             region_count: self.regions.len() as u32,
             undo_seg_id: m.undo.id.as_raw(),
             undo_seg_len: m.undo.len as u64,
             epoch: self.epoch,
+            flags: if concurrent { FLAG_CONCURRENT } else { 0 },
+            commit_slots: if concurrent {
+                self.cfg.commit_slots as u32
+            } else {
+                0
+            },
             last_committed: self.last_committed,
         };
         image[..OFF_REGION_TABLE].copy_from_slice(&header.encode());
@@ -1653,6 +1737,12 @@ impl<M: RemoteMemory> Perseas<M> {
             let off = OFF_REGION_TABLE + i * REGION_ENTRY_SIZE;
             image[off..off + REGION_ENTRY_SIZE]
                 .copy_from_slice(&encode_region_entry(seg.id.as_raw(), seg.len as u64));
+        }
+        if concurrent {
+            let base = commit_table_offset(image.len(), self.cfg.commit_slots);
+            for (i, id) in self.conc.slot_ids.iter().enumerate() {
+                image[base + i * 8..base + i * 8 + 8].copy_from_slice(&id.to_le_bytes());
+            }
         }
         image
     }
@@ -1666,7 +1756,7 @@ pub(crate) fn unavailable(e: RnError) -> TxnError {
 /// Pushes `local[offset..offset+len]` to a remote segment, using the
 /// optimised aligned-chunk `sci_memcpy` or the naive store depending on
 /// configuration.
-fn push_range<M: RemoteMemory>(
+pub(crate) fn push_range<M: RemoteMemory>(
     backend: &mut M,
     seg: RemoteSegment,
     local: &[u8],
@@ -1683,7 +1773,7 @@ fn push_range<M: RemoteMemory>(
 
 /// Returns the first byte of `[start, start+len)` of region `ri` that no
 /// declared range covers, or `None` if fully covered.
-fn first_uncovered(
+pub(crate) fn first_uncovered(
     declared: &[(usize, usize, usize)],
     ri: usize,
     start: usize,
@@ -1717,7 +1807,7 @@ fn first_uncovered(
 }
 
 /// Coalesces declared ranges per region into maximal disjoint ranges.
-fn coalesce(declared: &[(usize, usize, usize)]) -> Vec<(usize, usize, usize)> {
+pub(crate) fn coalesce(declared: &[(usize, usize, usize)]) -> Vec<(usize, usize, usize)> {
     let mut ranges: Vec<(usize, usize, usize)> = declared
         .iter()
         .filter(|&&(_, _, l)| l > 0)

@@ -19,21 +19,31 @@ use perseas_sci::SegmentId;
 use perseas_simtime::SimClock;
 use perseas_txn::{TxnError, TxnStats};
 
+use crate::conc::ConcState;
 use crate::config::PerseasConfig;
 use crate::fault::FaultPlan;
-use crate::layout::{MetaHeader, UndoRecord, OFF_COMMIT, OFF_EPOCH};
+use crate::layout::{
+    decode_commit_table, decode_group_header, MetaHeader, UndoRecord, FLAG_CONCURRENT,
+    GROUP_HEADER_SIZE, OFF_COMMIT, OFF_EPOCH,
+};
 use crate::perseas::{unavailable, MirrorState, Perseas, Phase};
 
 /// What [`Perseas::recover`] found and did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Id of the last committed transaction according to the mirror.
+    /// Id of the last committed transaction according to the mirror (the
+    /// durable watermark for concurrent images).
     pub last_committed: u64,
     /// Mirror-set epoch the recovered image carries (0 for pre-epoch
     /// images).
     pub epoch: u64,
-    /// Id of the in-flight transaction that was rolled back, if any.
+    /// Id of the first in-flight transaction that was rolled back, if
+    /// any (see [`RecoveryReport::rolled_back_txns`] for all of them).
     pub rolled_back_txn: Option<u64>,
+    /// Ids of every in-flight transaction rolled back — a concurrent
+    /// image can leave several open at the crash; each is resolved
+    /// independently from its commit-table slot.
+    pub rolled_back_txns: Vec<u64>,
     /// Number of undo records applied during rollback.
     pub rolled_back_records: usize,
     /// Number of database regions rebuilt.
@@ -62,7 +72,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// unreachable.
     pub fn recover_with_clock(
         mut backend: M,
-        cfg: PerseasConfig,
+        mut cfg: PerseasConfig,
         clock: SimClock,
     ) -> Result<(Self, RecoveryReport), TxnError> {
         // 1. Reconnect the metadata segment.
@@ -80,6 +90,27 @@ impl<M: RemoteMemory> Perseas<M> {
                 epoch: header.epoch,
                 required: cfg.min_epoch,
             });
+        }
+        // The engine that wrote the image decides how its undo log and
+        // commit record are interpreted; a config that disagrees would
+        // silently mis-recover, so refuse it. The image's slot count
+        // overrides the config — the table lives at the segment tail and
+        // its geometry is baked into the mirror.
+        let concurrent = header.flags & FLAG_CONCURRENT != 0;
+        if concurrent != cfg.concurrent {
+            return Err(TxnError::Unavailable(format!(
+                "engine mismatch: the mirror was written by the {} engine \
+                 but the config selects the {} engine",
+                if concurrent { "concurrent" } else { "legacy" },
+                if cfg.concurrent {
+                    "concurrent"
+                } else {
+                    "legacy"
+                }
+            )));
+        }
+        if concurrent {
+            cfg.commit_slots = header.commit_slots as usize;
         }
 
         // 2. Locate the region and undo segments.
@@ -108,37 +139,61 @@ impl<M: RemoteMemory> Perseas<M> {
         backend
             .remote_read(undo_seg.id, 0, &mut undo_shadow)
             .map_err(unavailable)?;
-        // Only the single newest transaction can be in flight (the
-        // library is sequential), and its records form a prefix of the
-        // undo log starting at offset 0. Records of *older* transactions
-        // beyond that prefix are stale — and must not be replayed: an
-        // aborted transaction with overlapping `set_range`s leaves stale
-        // records whose before-images contain its own uncommitted
-        // mid-transaction values. The scan therefore stops at the first
-        // record whose transaction id differs from the first record's.
-        let mut to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = Vec::new();
-        let mut off = 0usize;
-        let mut in_flight_txn: Option<u64> = None;
-        while let Some((rec, payload)) = UndoRecord::decode_at(&undo_shadow, off) {
-            if rec.txn_id <= header.last_committed {
-                break;
+        let region_lens: Vec<usize> = db_segs.iter().map(|s| s.len).collect();
+        let to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = if concurrent {
+            // Concurrent image: the arena opens with a CRC-guarded group
+            // header, and a transaction is committed when its id is at or
+            // below the watermark *or* occupies a commit-table slot above
+            // it. Records of every other live id are rolled back.
+            let table = decode_commit_table(&meta_image, cfg.commit_slots);
+            scan_uncommitted_concurrent(&undo_shadow, header.last_committed, &table, &region_lens)
+        } else {
+            // Only the single newest transaction can be in flight (the
+            // legacy library is sequential), and its records form a
+            // prefix of the undo log starting at offset 0. Records of
+            // *older* transactions beyond that prefix are stale — and
+            // must not be replayed: an aborted transaction with
+            // overlapping `set_range`s leaves stale records whose
+            // before-images contain its own uncommitted mid-transaction
+            // values. The scan therefore stops at the first record whose
+            // transaction id differs from the first record's.
+            let mut to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = Vec::new();
+            let mut off = 0usize;
+            let mut in_flight_txn: Option<u64> = None;
+            while let Some((rec, payload)) = UndoRecord::decode_at(&undo_shadow, off) {
+                if rec.txn_id <= header.last_committed {
+                    break;
+                }
+                if *in_flight_txn.get_or_insert(rec.txn_id) != rec.txn_id {
+                    break;
+                }
+                let ri = rec.region as usize;
+                let sane = ri < db_segs.len() && (rec.offset + rec.len) as usize <= db_segs[ri].len;
+                if !sane {
+                    break;
+                }
+                off += rec.encoded_len();
+                to_undo.push((rec, payload));
             }
-            if *in_flight_txn.get_or_insert(rec.txn_id) != rec.txn_id {
-                break;
-            }
-            let ri = rec.region as usize;
-            let sane = ri < db_segs.len() && (rec.offset + rec.len) as usize <= db_segs[ri].len;
-            if !sane {
-                break;
-            }
-            off += rec.encoded_len();
-            to_undo.push((rec, payload));
-        }
+            to_undo
+        };
 
         // 4. Roll the mirrored database back, newest record first.
-        let rolled_back_txn = to_undo.first().map(|(r, _)| r.txn_id);
+        let mut rolled_back_txns: Vec<u64> = to_undo.iter().map(|(r, _)| r.txn_id).collect();
+        rolled_back_txns.sort_unstable();
+        rolled_back_txns.dedup();
+        let rolled_back_txn = rolled_back_txns.first().copied();
         let rolled_back_records = to_undo.len();
         let mut highest = header.last_committed;
+        if concurrent {
+            // Ids are dense, and after this rollback every id at or below
+            // the largest one seen (committed in a slot, or just rolled
+            // back) is resolved: the watermark jumps to that maximum and
+            // frees every slot in one step.
+            for &sid in &decode_commit_table(&meta_image, cfg.commit_slots) {
+                highest = highest.max(sid);
+            }
+        }
         for (rec, payload) in to_undo.iter().rev() {
             let seg = db_segs[rec.region as usize];
             backend
@@ -174,6 +229,7 @@ impl<M: RemoteMemory> Perseas<M> {
             last_committed: header.last_committed,
             epoch: header.epoch,
             rolled_back_txn,
+            rolled_back_txns,
             rolled_back_records,
             regions: regions.len(),
             bytes_recovered,
@@ -197,6 +253,7 @@ impl<M: RemoteMemory> Perseas<M> {
             stats: TxnStats::new(),
             fault: FaultPlan::none(),
             tracer: None,
+            conc: ConcState::new(cfg.commit_slots),
         };
         Ok((db, report))
     }
@@ -293,4 +350,39 @@ impl<M: RemoteMemory> Perseas<M> {
             backend.remote_free(meta.id).map_err(unavailable)?;
         }
     }
+}
+
+/// Scans a concurrent undo arena for records of **uncommitted**
+/// transactions: live ids above `watermark` that hold no commit-table
+/// slot. Tombstoned records (id 0) and committed ids are skipped; the
+/// scan stops at the first torn record or the end the group header
+/// declares. Shared by [`Perseas::recover`] and
+/// [`crate::ReadReplica::refresh`].
+pub(crate) fn scan_uncommitted_concurrent(
+    undo: &[u8],
+    watermark: u64,
+    table: &[u64],
+    region_lens: &[usize],
+) -> Vec<(UndoRecord, std::ops::Range<usize>)> {
+    let Some(record_bytes) = decode_group_header(undo) else {
+        return Vec::new();
+    };
+    let end = (GROUP_HEADER_SIZE as u64 + record_bytes).min(undo.len() as u64) as usize;
+    let mut out = Vec::new();
+    let mut off = GROUP_HEADER_SIZE;
+    while off < end {
+        let Some((rec, payload)) = UndoRecord::decode_at(undo, off) else {
+            break;
+        };
+        off += rec.encoded_len();
+        if rec.txn_id == 0 || rec.txn_id <= watermark || table.contains(&rec.txn_id) {
+            continue;
+        }
+        let ri = rec.region as usize;
+        if ri >= region_lens.len() || (rec.offset + rec.len) as usize > region_lens[ri] {
+            break;
+        }
+        out.push((rec, payload));
+    }
+    out
 }

@@ -13,8 +13,11 @@ use perseas_sci::SegmentId;
 use perseas_txn::{RegionId, TxnError};
 
 use crate::config::PerseasConfig;
-use crate::layout::{MetaHeader, UndoRecord, OFF_COMMIT};
+use crate::layout::{
+    commit_table_offset, decode_commit_table, MetaHeader, UndoRecord, FLAG_CONCURRENT, OFF_COMMIT,
+};
 use crate::perseas::unavailable;
+use crate::recovery::scan_uncommitted_concurrent;
 
 /// A read-only, transactionally consistent copy of a PERSEAS database,
 /// built from a mirror without modifying it.
@@ -117,7 +120,13 @@ impl<M: RemoteMemory> ReadReplica<M> {
             }
 
             // If a commit landed while we copied, the snapshot may be
-            // fuzzy: retry.
+            // fuzzy: retry. The replica adapts to whichever engine wrote
+            // the image: a concurrent mirror publishes every group commit
+            // through its commit table, so the table bytes are compared
+            // too — a watermark-only check would miss a group committed
+            // entirely above the watermark.
+            let concurrent = header.flags & FLAG_CONCURRENT != 0;
+            let slots = header.commit_slots as usize;
             let mut after = [0u8; 8];
             self.backend
                 .remote_read(self.meta.id, OFF_COMMIT, &mut after)
@@ -125,26 +134,43 @@ impl<M: RemoteMemory> ReadReplica<M> {
             if u64::from_le_bytes(after) != header.last_committed {
                 continue;
             }
-
-            // Roll back the in-flight transaction *locally*, using the
-            // same prefix rule as recovery.
-            let mut to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = Vec::new();
-            let mut off = 0usize;
-            let mut in_flight: Option<u64> = None;
-            while let Some((rec, payload)) = UndoRecord::decode_at(&undo, off) {
-                if rec.txn_id <= header.last_committed {
-                    break;
+            if concurrent && slots > 0 {
+                let base = commit_table_offset(self.meta.len, slots);
+                let mut table_after = vec![0u8; slots * 8];
+                self.backend
+                    .remote_read(self.meta.id, base, &mut table_after)
+                    .map_err(unavailable)?;
+                if table_after != meta_image[base..base + slots * 8] {
+                    continue;
                 }
-                if *in_flight.get_or_insert(rec.txn_id) != rec.txn_id {
-                    break;
-                }
-                let ri = rec.region as usize;
-                if ri >= region_lens.len() || (rec.offset + rec.len) as usize > region_lens[ri] {
-                    break;
-                }
-                off += rec.encoded_len();
-                to_undo.push((rec, payload));
             }
+
+            // Roll back the in-flight transactions *locally*, using the
+            // same rules as recovery.
+            let to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = if concurrent {
+                let table = decode_commit_table(&meta_image, slots);
+                scan_uncommitted_concurrent(&undo, header.last_committed, &table, &region_lens)
+            } else {
+                let mut to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = Vec::new();
+                let mut off = 0usize;
+                let mut in_flight: Option<u64> = None;
+                while let Some((rec, payload)) = UndoRecord::decode_at(&undo, off) {
+                    if rec.txn_id <= header.last_committed {
+                        break;
+                    }
+                    if *in_flight.get_or_insert(rec.txn_id) != rec.txn_id {
+                        break;
+                    }
+                    let ri = rec.region as usize;
+                    if ri >= region_lens.len() || (rec.offset + rec.len) as usize > region_lens[ri]
+                    {
+                        break;
+                    }
+                    off += rec.encoded_len();
+                    to_undo.push((rec, payload));
+                }
+                to_undo
+            };
             for (rec, payload) in to_undo.iter().rev() {
                 let ri = rec.region as usize;
                 let at = rec.offset as usize;
@@ -152,7 +178,15 @@ impl<M: RemoteMemory> ReadReplica<M> {
             }
 
             self.regions = regions;
-            self.last_committed = header.last_committed;
+            // For a concurrent image, the newest *visible* commit may sit
+            // in a table slot above the watermark.
+            self.last_committed = if concurrent {
+                decode_commit_table(&meta_image, slots)
+                    .into_iter()
+                    .fold(header.last_committed, u64::max)
+            } else {
+                header.last_committed
+            };
             self.epoch = header.epoch;
             return Ok(self.last_committed);
         }

@@ -108,6 +108,33 @@ pub enum TraceEvent {
         /// Total mirrors in the set.
         mirrors: usize,
     },
+    /// A `set_range` claim lost to an overlapping claim held by another
+    /// open transaction (concurrent engine only).
+    TxnConflict {
+        /// Transaction whose claim was rejected.
+        id: u64,
+        /// Transaction holding the overlapping claim.
+        holder: u64,
+        /// Region of the contested range.
+        region: u32,
+        /// Start of the rejected claim.
+        offset: usize,
+        /// Length of the rejected claim.
+        len: usize,
+    },
+    /// Several transactions committed together through one batched
+    /// fan-out (concurrent engine only; emitted once per group, after the
+    /// per-transaction `TxnCommitted` events).
+    GroupCommit {
+        /// Ids of the transactions in the group, ascending.
+        txns: Vec<u64>,
+        /// Physical ranges in the shared data-update vectored write.
+        ranges: usize,
+        /// Bytes of the shared data-update vectored write, per mirror.
+        bytes: usize,
+        /// Bytes of the shared undo-log vectored write, per mirror.
+        undo_bytes: usize,
+    },
     /// The instance crashed (fault injection or explicit).
     Crashed,
 }

@@ -1,0 +1,177 @@
+//! The typed containers over the concurrent engine.
+//!
+//! With `concurrent = true` the legacy [`TransactionalMemory`] facade
+//! routes every `begin`/`commit`/`abort` through the token-based engine
+//! (one implicit token), so `Table` and `RingLog` exercise the byte-range
+//! conflict table, per-transaction undo extents, and group-commit record
+//! layout without any store-layer changes. These tests pin that path,
+//! including abort and crash recovery.
+
+use perseas_core::{Perseas, PerseasConfig, TxnError};
+use perseas_rnram::SimRemote;
+use perseas_simtime::SimClock;
+use perseas_store::{fixed_record, RingLog, Table};
+
+fixed_record! {
+    struct Account {
+        balance: u64,
+        flags: i32,
+        frozen: bool,
+    }
+}
+
+fn concurrent_cfg() -> PerseasConfig {
+    PerseasConfig::default().with_concurrent(true)
+}
+
+/// Puts, updates, pushes, and one abort, all through the legacy facade on
+/// a concurrent-engine instance; contents must match the same script run
+/// by hand.
+#[test]
+fn containers_work_over_concurrent_engine() {
+    let mut db = Perseas::init(vec![SimRemote::new("m")], concurrent_cfg()).unwrap();
+    let table = Table::<Account>::create(&mut db, 8).unwrap();
+    let log = RingLog::<u64>::create(&mut db, 4).unwrap();
+    db.init_remote_db().unwrap();
+
+    for i in 0..8u64 {
+        db.begin_transaction().unwrap();
+        table
+            .put(
+                &mut db,
+                i as usize,
+                &Account {
+                    balance: 100 * i,
+                    flags: -(i as i32),
+                    frozen: i % 2 == 0,
+                },
+            )
+            .unwrap();
+        log.push(&mut db, &i).unwrap();
+        db.commit_transaction().unwrap();
+    }
+
+    // An aborted transaction stages changes to both containers and must
+    // leave no trace.
+    db.begin_transaction().unwrap();
+    table
+        .put(
+            &mut db,
+            3,
+            &Account {
+                balance: u64::MAX,
+                flags: 0,
+                frozen: false,
+            },
+        )
+        .unwrap();
+    log.push(&mut db, &999).unwrap();
+    db.abort_transaction().unwrap();
+
+    db.begin_transaction().unwrap();
+    table.update(&mut db, 3, |a| a.balance += 5).unwrap();
+    db.commit_transaction().unwrap();
+
+    for i in 0..8u64 {
+        let want = Account {
+            balance: 100 * i + u64::from(i == 3) * 5,
+            flags: -(i as i32),
+            frozen: i % 2 == 0,
+        };
+        assert_eq!(table.get(&db, i as usize).unwrap(), want, "slot {i}");
+    }
+    assert_eq!(log.pushed(&db).unwrap(), 8);
+    assert_eq!(log.recent(&db, 4).unwrap(), vec![4, 5, 6, 7]);
+}
+
+/// The facade enforces the single implicit token: a second begin fails,
+/// and commit/abort without a begin fail.
+#[test]
+fn legacy_facade_guards_hold_on_concurrent_engine() {
+    let mut db = Perseas::init(vec![SimRemote::new("m")], concurrent_cfg()).unwrap();
+    let _table = Table::<Account>::create(&mut db, 2).unwrap();
+    db.init_remote_db().unwrap();
+
+    assert!(matches!(
+        db.commit_transaction(),
+        Err(TxnError::NoActiveTransaction)
+    ));
+    db.begin_transaction().unwrap();
+    assert!(db.in_transaction());
+    assert!(matches!(
+        db.begin_transaction(),
+        Err(TxnError::TransactionAlreadyActive)
+    ));
+    db.abort_transaction().unwrap();
+    assert!(!db.in_transaction());
+    assert!(matches!(
+        db.abort_transaction(),
+        Err(TxnError::NoActiveTransaction)
+    ));
+}
+
+/// Crash after a series of committed container transactions on the
+/// concurrent engine; recovery reopens both containers with every
+/// committed record intact and the aborted one absent.
+#[test]
+fn containers_survive_crash_on_concurrent_engine() {
+    let mut db = Perseas::init(vec![SimRemote::new("m")], concurrent_cfg()).unwrap();
+    let node = db.mirror_backend(0).unwrap().node().clone();
+    let table = Table::<Account>::create(&mut db, 4).unwrap();
+    let log = RingLog::<u64>::create(&mut db, 4).unwrap();
+    db.init_remote_db().unwrap();
+
+    for i in 0..4u64 {
+        db.begin_transaction().unwrap();
+        table
+            .put(
+                &mut db,
+                i as usize,
+                &Account {
+                    balance: 7 * i,
+                    flags: i as i32,
+                    frozen: false,
+                },
+            )
+            .unwrap();
+        log.push(&mut db, &(10 + i)).unwrap();
+        db.commit_transaction().unwrap();
+    }
+    db.begin_transaction().unwrap();
+    table
+        .put(
+            &mut db,
+            0,
+            &Account {
+                balance: 1,
+                flags: 1,
+                frozen: true,
+            },
+        )
+        .unwrap();
+    db.abort_transaction().unwrap();
+    db.crash();
+
+    let backend = SimRemote::with_parts(
+        SimClock::new(),
+        node,
+        perseas_sci::SciParams::dolphin_1998(),
+    );
+    let (db2, report) = Perseas::recover(backend, concurrent_cfg()).unwrap();
+    assert!(report.last_committed >= 4, "all four commits durable");
+    let table2 = Table::<Account>::open(&db2, table.region()).unwrap();
+    let log2 = RingLog::<u64>::open(&db2, log.region()).unwrap();
+    for i in 0..4u64 {
+        assert_eq!(
+            table2.get(&db2, i as usize).unwrap(),
+            Account {
+                balance: 7 * i,
+                flags: i as i32,
+                frozen: false,
+            },
+            "slot {i}"
+        );
+    }
+    assert_eq!(log2.pushed(&db2).unwrap(), 4);
+    assert_eq!(log2.recent(&db2, 4).unwrap(), vec![10, 11, 12, 13]);
+}

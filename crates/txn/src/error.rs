@@ -73,6 +73,21 @@ pub enum TxnError {
         /// The configured commit quorum that was missed.
         quorum: usize,
     },
+    /// A `set_range` overlapped bytes already claimed by another open
+    /// transaction. Conflict detection is first-claimer-wins: the holder
+    /// keeps its claim, the caller's transaction stays open and may keep
+    /// working on other ranges, abort, or retry the claim after the
+    /// holder resolves.
+    Conflict {
+        /// Region of the contested range.
+        region: RegionId,
+        /// Starting offset of the rejected claim.
+        offset: usize,
+        /// Length of the rejected claim.
+        len: usize,
+        /// Id of the transaction holding the overlapping claim.
+        holder: u64,
+    },
     /// This instance crashed (by injected fault) and only `recover` may be
     /// called on its successors.
     Crashed,
@@ -124,6 +139,16 @@ impl fmt::Display for TxnError {
                 "transaction {id} committed on {healthy} mirrors, below the quorum of {quorum}; \
                  recovery will replay it — do not retry"
             ),
+            TxnError::Conflict {
+                region,
+                offset,
+                len,
+                holder,
+            } => write!(
+                f,
+                "range [{offset}, {}) of region {region} is claimed by open transaction {holder}",
+                offset + len
+            ),
             TxnError::Crashed => write!(f, "instance has crashed; recover from the mirror"),
             TxnError::BadPublishState => {
                 write!(
@@ -168,6 +193,12 @@ mod tests {
                 id: 9,
                 healthy: 1,
                 quorum: 2,
+            },
+            TxnError::Conflict {
+                region: RegionId::from_raw(1),
+                offset: 8,
+                len: 8,
+                holder: 3,
             },
             TxnError::Crashed,
             TxnError::BadPublishState,

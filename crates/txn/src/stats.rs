@@ -30,6 +30,12 @@ pub struct TxnStats {
     pub disk_async_writes: u64,
     /// Bytes written to disk.
     pub disk_write_bytes: u64,
+    /// `set_range` claims rejected because another open transaction held
+    /// an overlapping range.
+    pub conflicts: u64,
+    /// Group commits performed (each covers one *or more* transactions
+    /// and counts once, however many `commits` it resolves).
+    pub group_commits: u64,
 }
 
 impl TxnStats {
@@ -77,6 +83,8 @@ impl TxnStats {
             disk_sync_writes: self.disk_sync_writes - earlier.disk_sync_writes,
             disk_async_writes: self.disk_async_writes - earlier.disk_async_writes,
             disk_write_bytes: self.disk_write_bytes - earlier.disk_write_bytes,
+            conflicts: self.conflicts - earlier.conflicts,
+            group_commits: self.group_commits - earlier.group_commits,
         }
     }
 

@@ -42,3 +42,5 @@ pub fn all_systems() -> Vec<(&'static str, Box<dyn TransactionalMemory>)> {
         ("vista", Box::new(VistaSystem::new(SimClock::new()))),
     ]
 }
+
+pub mod interleave;

@@ -1,0 +1,159 @@
+//! Threaded stress of the `Send + Sync` handle layer
+//! ([`ConcurrentPerseas`]): real OS threads drive transactions against
+//! one instance, in sim mode and over real TCP mirrors. This is the
+//! loom-style smoke test of the CI `concurrency` job (loom itself cannot
+//! be vendored).
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use perseas_core::{ConcurrentPerseas, Perseas, PerseasConfig, RegionId, TxnError};
+use perseas_rnram::server::Server;
+use perseas_rnram::{RemoteMemory, SimRemote, TcpRemote};
+
+const THREADS: usize = 8;
+const TXNS_PER_THREAD: usize = 10;
+
+fn conc_cfg() -> PerseasConfig {
+    PerseasConfig::default().with_concurrent(true)
+}
+
+fn publish<M: RemoteMemory>(mirrors: Vec<M>) -> (ConcurrentPerseas<M>, RegionId) {
+    let mut db = Perseas::init(mirrors, conc_cfg()).unwrap();
+    // Thread t's counter lives at t*16; the tail 32 bytes belong to the
+    // two-open smoke test so the areas never overlap.
+    let r = db.malloc(THREADS * 16 + 32).unwrap();
+    db.init_remote_db().unwrap();
+    (ConcurrentPerseas::new(db).unwrap(), r)
+}
+
+/// Two transactions genuinely open at once — both begin before either
+/// commits — and both commit, from two racing threads.
+fn two_open_then_commit<M: RemoteMemory + 'static>(shared: &ConcurrentPerseas<M>, r: RegionId) {
+    let base = THREADS * 16;
+    let a = shared.begin_transaction().unwrap();
+    let b = shared.begin_transaction().unwrap();
+    assert_eq!(shared.open_txn_count(), 2);
+    a.update(r, base, &[0xA1; 8]).unwrap();
+    b.update(r, base + 16, &[0xB2; 8]).unwrap();
+
+    let gate = Arc::new(Barrier::new(2));
+    let (ga, gb) = (Arc::clone(&gate), gate);
+    let ta = thread::spawn(move || {
+        ga.wait();
+        a.commit()
+    });
+    let tb = thread::spawn(move || {
+        gb.wait();
+        b.commit()
+    });
+    ta.join().unwrap().unwrap();
+    tb.join().unwrap().unwrap();
+
+    let mut buf = [0u8; 8];
+    shared.read(r, base, &mut buf).unwrap();
+    assert_eq!(buf, [0xA1; 8]);
+    shared.read(r, base + 16, &mut buf).unwrap();
+    assert_eq!(buf, [0xB2; 8]);
+    assert_eq!(shared.open_txn_count(), 0);
+}
+
+/// N threads, each incrementing its own 8-byte counter in its own slice:
+/// no conflicts, every commit must land.
+fn disjoint_stress<M: RemoteMemory + 'static>(shared: &ConcurrentPerseas<M>, r: RegionId) {
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = shared.clone();
+            thread::spawn(move || {
+                for _ in 0..TXNS_PER_THREAD {
+                    db.transaction(|tx| {
+                        let mut buf = [0u8; 8];
+                        tx.read(r, t * 16, &mut buf)?;
+                        let next = u64::from_le_bytes(buf) + 1;
+                        tx.update(r, t * 16, &next.to_le_bytes())
+                    })
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..THREADS {
+        let mut buf = [0u8; 8];
+        shared.read(r, t * 16, &mut buf).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(buf),
+            TXNS_PER_THREAD as u64,
+            "thread {t} lost an increment"
+        );
+    }
+    assert_eq!(shared.open_txn_count(), 0);
+}
+
+/// All threads fight over one range: exactly one claim wins at a time,
+/// losers see `Conflict` and retry; the counter must still total every
+/// successful increment.
+fn contended_stress<M: RemoteMemory + 'static>(shared: &ConcurrentPerseas<M>, r: RegionId) {
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let db = shared.clone();
+            thread::spawn(move || {
+                let mut done = 0usize;
+                while done < TXNS_PER_THREAD {
+                    match db.transaction(|tx| {
+                        let mut buf = [0u8; 8];
+                        tx.read(r, 8, &mut buf)?;
+                        let next = u64::from_le_bytes(buf) + 1;
+                        tx.update(r, 8, &next.to_le_bytes())
+                    }) {
+                        Ok(()) => done += 1,
+                        Err(TxnError::Conflict { .. }) => thread::yield_now(),
+                        Err(e) => panic!("unexpected error under contention: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut buf = [0u8; 8];
+    shared.read(r, 8, &mut buf).unwrap();
+    assert_eq!(u64::from_le_bytes(buf), (4 * TXNS_PER_THREAD) as u64);
+}
+
+#[test]
+fn sim_mode_threads() {
+    let (shared, r) = publish(vec![SimRemote::new("m1"), SimRemote::new("m2")]);
+    two_open_then_commit(&shared, r);
+    disjoint_stress(&shared, r);
+    contended_stress(&shared, r);
+    let stats = shared.stats();
+    assert_eq!(
+        stats.commits,
+        2 + (THREADS * TXNS_PER_THREAD) as u64 + (4 * TXNS_PER_THREAD) as u64
+    );
+}
+
+#[test]
+fn tcp_mode_threads() {
+    let server = Server::bind("tcp-mirror", "127.0.0.1:0").unwrap().start();
+    let remote = TcpRemote::connect(server.addr()).unwrap();
+    let (shared, r) = publish(vec![remote]);
+    two_open_then_commit(&shared, r);
+    disjoint_stress(&shared, r);
+
+    // The data really lives on the TCP mirror: recover from a second
+    // connection and compare.
+    let db = shared.try_unwrap().ok().expect("sole handle");
+    drop(db);
+    let reconnect = TcpRemote::connect(server.addr()).unwrap();
+    let (db2, _) = Perseas::recover(reconnect, conc_cfg()).unwrap();
+    for t in 0..THREADS {
+        let snap = db2.region_snapshot(r).unwrap();
+        let got = u64::from_le_bytes(snap[t * 16..t * 16 + 8].try_into().unwrap());
+        assert_eq!(got, TXNS_PER_THREAD as u64, "mirror lost thread {t}'s data");
+    }
+}
