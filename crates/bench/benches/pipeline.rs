@@ -1,0 +1,97 @@
+//! Wall-clock benefit of the pipelined TCP transport: 8 transactions of
+//! 8 small ranges committed over a server that delays every response by
+//! 1 ms (the latency-injection knob, standing in for network RTT).
+//!
+//! The synchronous transport pays the full round trip per remote write —
+//! `ops x latency` per commit. The pipelined transport posts the same
+//! writes back-to-back and pays the latency only at the ack barriers
+//! before and after the commit record, so the same workload collapses to
+//! a few round trips per transaction. Writes `results/pipeline.csv` and
+//! fails if pipelining is not at least 3x faster.
+
+use std::time::{Duration, Instant};
+
+use perseas_core::{Perseas, PerseasConfig, RegionId};
+use perseas_rnram::server::Server;
+use perseas_rnram::TcpRemote;
+
+const TXNS: usize = 8;
+const RANGES: usize = 8;
+const RANGE_BYTES: usize = 16;
+const LATENCY: Duration = Duration::from_millis(1);
+
+fn build(
+    pipelined: bool,
+) -> (
+    Perseas<TcpRemote>,
+    RegionId,
+    perseas_rnram::server::ServerHandle,
+) {
+    let server = Server::bind("pipeline-bench", "127.0.0.1:0")
+        .expect("bind")
+        .with_request_latency(LATENCY)
+        .start();
+    let conn = if pipelined {
+        TcpRemote::connect_pipelined(server.addr()).expect("connect")
+    } else {
+        TcpRemote::connect(server.addr()).expect("connect")
+    };
+    let mut db = Perseas::init(vec![conn], PerseasConfig::default()).expect("init");
+    let r = db.malloc(TXNS * RANGES * RANGE_BYTES).expect("malloc");
+    db.init_remote_db().expect("publish");
+    (db, r, server)
+}
+
+/// Commits the workload and returns the measured wall time in
+/// milliseconds. Setup (allocation, publish) stays outside the window.
+fn run(pipelined: bool) -> f64 {
+    let (mut db, r, server) = build(pipelined);
+    let started = Instant::now();
+    for t in 0..TXNS {
+        db.begin_transaction().expect("begin");
+        for i in 0..RANGES {
+            let off = (t * RANGES + i) * RANGE_BYTES;
+            db.set_range(r, off, RANGE_BYTES).expect("set_range");
+            db.write(r, off, &[t as u8 + 1; RANGE_BYTES])
+                .expect("write");
+        }
+        db.commit_transaction().expect("commit");
+    }
+    let elapsed = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(db.last_committed(), TXNS as u64, "all txns durable");
+    server.shutdown();
+    elapsed
+}
+
+fn main() {
+    let sync_ms = run(false);
+    let pipe_ms = run(true);
+    let ratio = sync_ms / pipe_ms;
+
+    let row = |mode: &str, ms: f64| {
+        format!(
+            "{mode},{TXNS},{RANGES},{RANGE_BYTES},{},{ms:.3},{:.1}",
+            LATENCY.as_millis(),
+            TXNS as f64 / (ms / 1e3)
+        )
+    };
+    let csv = format!(
+        "mode,txns,ranges_per_txn,bytes_per_range,latency_ms,total_ms,txns_per_sec\n{}\n{}\n",
+        row("sync", sync_ms),
+        row("pipelined", pipe_ms)
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/pipeline.csv");
+    std::fs::write(path, &csv).expect("write csv");
+
+    println!(
+        "pipeline: {TXNS} txns x {RANGES} ranges at {:?}/request — \
+         sync {sync_ms:.1} ms vs pipelined {pipe_ms:.1} ms ({ratio:.2}x) -> {path}",
+        LATENCY
+    );
+    assert!(
+        ratio >= 3.0,
+        "pipelining must be at least 3x faster at {:?} request latency \
+         (got {ratio:.2}x: sync {sync_ms:.1} ms, pipelined {pipe_ms:.1} ms)",
+        LATENCY
+    );
+}

@@ -121,6 +121,7 @@ impl<M: RemoteMemory> Perseas<M> {
                     crate::layout::OFF_COMMIT,
                     &last_committed.to_le_bytes(),
                 )
+                .and_then(|()| m.backend.flush().map(|_| ()))
                 .map_err(crate::perseas::unavailable)?;
         }
         Ok(db)

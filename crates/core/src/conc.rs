@@ -388,6 +388,9 @@ impl<M: RemoteMemory> Perseas<M> {
             })
             .collect();
         self.fan_out_vectored(lists)?;
+        // Prepare promises the staged records and data are *on* the
+        // mirrors, so the barrier belongs here, not at the later commit.
+        self.flush_mirrors()?;
         let txn = self.conc.txns.get_mut(&id).expect("open");
         txn.undo_remote = true;
         txn.mirrors_dirty = true;
@@ -626,10 +629,17 @@ impl<M: RemoteMemory> Perseas<M> {
             }
             // Phase 2: the data.
             self.fan_out_vectored(db_lists)?;
+            // Ack barrier: the arena and data fan-outs may be posted
+            // unacknowledged on pipelined transports; all of them must be
+            // confirmed before any member's commit record is published.
+            self.flush_mirrors()?;
         }
-        // Phase 3: the durability point.
+        // Phase 3: the durability point. The record write is posted too,
+        // so its own barrier follows before the group is reported
+        // committed.
         match self
             .fan_out_vectored(meta_lists)
+            .and_then(|()| self.flush_mirrors())
             .map_err(|e| self.durability_in_doubt(e, max_id))
         {
             Ok(()) => {
@@ -918,7 +928,10 @@ impl<M: RemoteMemory> Perseas<M> {
                 Err(e) => return Err(unavailable(e)),
             }
         }
-        self.fence_failed(any_failed)
+        self.fence_failed(any_failed)?;
+        // The tombstones must be confirmed before the abort completes:
+        // recovery must never replay records the caller believes dead.
+        self.flush_mirrors()
     }
 
     /// Resets the undo arena once no open transaction has records staged

@@ -267,6 +267,10 @@ impl<M: RemoteMemory> Perseas<M> {
             let m = &mut self.mirrors[mi];
             m.backend
                 .remote_write(m.meta.id, 0, image)
+                // Everything streamed to this mirror — regions and the
+                // metadata image — must be confirmed before the database
+                // is published as mirrored.
+                .and_then(|()| m.backend.flush().map(|_| ()))
                 .map_err(unavailable)?;
             self.stats.add_remote_write(image.len());
         }
@@ -698,12 +702,20 @@ impl<M: RemoteMemory> Perseas<M> {
             }
             self.fence_failed(any_failed)?;
         }
+        // Ack barrier: every posted undo and data write must be confirmed
+        // before the commit record can be published — per-connection FIFO
+        // already guarantees the mirror *applies* them first, but the
+        // record must not claim durability for writes the mirror never
+        // received.
+        self.flush_mirrors()?;
         // Durability point: one 8-byte, packet-atomic remote write per
         // surviving mirror. A mirror failing here is fenced: the
         // survivors get the new epoch before the commit is reported
         // durable, so the failed mirror (which may lack the record) can
-        // never outrank them in recovery.
+        // never outrank them in recovery. The record write is posted too,
+        // so its own barrier follows before the commit is reported.
         self.write_commit_records(txn.id)
+            .and_then(|()| self.flush_mirrors())
             .map_err(|e| self.durability_in_doubt(e, txn.id))
     }
 
@@ -810,7 +822,11 @@ impl<M: RemoteMemory> Perseas<M> {
                 }
             }
         }
-        self.fence_failed(any_failed)
+        self.fence_failed(any_failed)?;
+        // The restores must be confirmed before the abort completes:
+        // otherwise the next commit could publish its record over a
+        // mirror that never applied them.
+        self.flush_mirrors()
     }
 
     /// Simulates a crash of the primary: all local state becomes
@@ -1024,12 +1040,17 @@ impl<M: RemoteMemory> Perseas<M> {
         let image = self.meta_image_for(&m);
         // Publish region table first, magic-bearing header last: a torn
         // publication leaves no valid magic, so recovery skips the
-        // newcomer instead of trusting a half-built image.
+        // newcomer instead of trusting a half-built image. An ack
+        // barrier between the two writes makes "first" real on a
+        // pipelined transport, and one after the header confirms the
+        // newcomer before it joins the set.
         m.backend
             .remote_write(m.meta.id, OFF_REGION_TABLE, &image[OFF_REGION_TABLE..])
+            .and_then(|()| m.backend.flush().map(|_| ()))
             .map_err(unavailable)?;
         m.backend
             .remote_write(m.meta.id, 0, &image[..OFF_REGION_TABLE])
+            .and_then(|()| m.backend.flush().map(|_| ()))
             .map_err(unavailable)?;
         self.stats.add_remote_write(image.len());
         self.mirrors.push(m);
@@ -1158,6 +1179,9 @@ impl<M: RemoteMemory> Perseas<M> {
 
         // 4. Publish the metadata: region table first, the magic-bearing
         //    header last, so a torn publication leaves no valid image.
+        //    The barrier after each part confirms the streamed regions
+        //    and the table before the magic goes out, and the header
+        //    itself before the promotion below.
         let image = self.meta_image_for(&self.mirrors[index]);
         for (off, part) in [
             (OFF_REGION_TABLE, &image[OFF_REGION_TABLE..]),
@@ -1166,7 +1190,11 @@ impl<M: RemoteMemory> Perseas<M> {
             self.fault_step()?;
             let m = &mut self.mirrors[index];
             let meta_id = m.meta.id;
-            if let Err(e) = m.backend.remote_write(meta_id, off, part) {
+            if let Err(e) = m
+                .backend
+                .remote_write(meta_id, off, part)
+                .and_then(|()| m.backend.flush().map(|_| ()))
+            {
                 self.abandon_rejoin(index, &e);
                 return Err(unavailable(e));
             }
@@ -1266,6 +1294,65 @@ impl<M: RemoteMemory> Perseas<M> {
         });
     }
 
+    /// Ack barrier across the healthy mirror set: awaits every remote
+    /// write a pipelined backend has posted without waiting for its
+    /// acknowledgement. Called at durability points — before a commit
+    /// record is published, and after it — so the commit path can post
+    /// undo and data writes to all mirrors concurrently and only pay
+    /// round-trip latency here.
+    ///
+    /// Each backend's refusal queue is drained completely (one refusal
+    /// per `flush` call, looped until clean) so a failed operation's
+    /// refusals cannot leak into a later transaction's barrier; the
+    /// first refusal fails this barrier. A mirror whose connection died
+    /// with the window unconfirmed is condemned and fenced like any
+    /// other transport failure. Inline-acknowledging backends make this
+    /// a no-op: no events, no crash points, no virtual time — the
+    /// simulated figures are unchanged.
+    pub(crate) fn flush_mirrors(&mut self) -> Result<(), TxnError> {
+        let mut any_failed = false;
+        let mut posted = 0usize;
+        let mut bytes = 0usize;
+        let mut first_refusal: Option<RnError> = None;
+        for mi in 0..self.mirrors.len() {
+            if !self.mirrors[mi].is_healthy() {
+                continue;
+            }
+            let mut down: Option<RnError> = None;
+            loop {
+                match self.mirrors[mi].backend.flush() {
+                    Ok(stats) => {
+                        posted += stats.posted;
+                        bytes += stats.bytes;
+                        break;
+                    }
+                    Err(e) if e.is_unavailable() => {
+                        down = Some(e);
+                        break;
+                    }
+                    // A typed refusal of a posted write: keep draining so
+                    // later barriers start clean, report the first one.
+                    Err(e) => {
+                        if first_refusal.is_none() {
+                            first_refusal = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = down {
+                self.mark_down(mi, &e);
+                any_failed = true;
+            }
+        }
+        if posted > 0 {
+            self.emit(TraceEvent::Flush { posted, bytes });
+        }
+        if let Some(e) = first_refusal {
+            return Err(unavailable(e));
+        }
+        self.fence_failed(any_failed)
+    }
+
     /// Advances the mirror-set epoch and writes it to every healthy
     /// mirror. If a survivor fails the epoch write it is condemned too
     /// and the bump restarts at a fresh epoch, so on return every
@@ -1285,9 +1372,14 @@ impl<M: RemoteMemory> Perseas<M> {
                 self.fault_step()?;
                 let m = &mut self.mirrors[mi];
                 let meta_id = m.meta.id;
+                // The epoch write is itself a fencing operation, so it is
+                // confirmed inline (per-mirror `flush`, not the set-wide
+                // barrier — `flush_mirrors` fences through *this* function
+                // and must not recurse into it).
                 match m
                     .backend
                     .remote_write(meta_id, OFF_EPOCH, &self.epoch.to_le_bytes())
+                    .and_then(|()| m.backend.flush().map(|_| ()))
                 {
                     Ok(()) => self.stats.add_remote_write(8),
                     Err(e) if e.is_unavailable() => {
@@ -1541,9 +1633,14 @@ impl<M: RemoteMemory> Perseas<M> {
         self.fan_out_vectored(undo_lists)?;
         txn.mirrors_dirty = true;
         self.fan_out_vectored(db_lists)?;
+        // Ack barrier before the durability point: the undo and data
+        // fan-outs above may be posted without acknowledgement on
+        // pipelined transports (see `commit_unbatched`).
+        self.flush_mirrors()?;
         // Durability point (see `commit_unbatched`): a failure past here
         // cannot claim the transaction is not durable.
         self.fan_out_vectored(meta_lists)
+            .and_then(|()| self.flush_mirrors())
             .map_err(|e| self.durability_in_doubt(e, txn.id))
     }
 
@@ -1706,7 +1803,9 @@ impl<M: RemoteMemory> Perseas<M> {
             }
         }
         self.fence_failed(any_failed)?;
-        Ok(())
+        // The re-pushed prefix and the metadata flip must be confirmed
+        // before the growth is relied on.
+        self.flush_mirrors()
     }
 
     fn build_meta_image(&self) -> Vec<Vec<u8>> {

@@ -209,6 +209,10 @@ impl<M: RemoteMemory> Perseas<M> {
                 .remote_write(meta.id, OFF_COMMIT, &highest.to_le_bytes())
                 .map_err(unavailable)?;
         }
+        // Ack barrier: the rollback writes and the consumed-id record may
+        // be posted unacknowledged on a pipelined transport; all must be
+        // confirmed before the mirror image is read back as recovered.
+        backend.flush().map_err(unavailable)?;
 
         // 5. Rebuild the local image: one remote-to-local copy per region.
         let mut regions = Vec::with_capacity(db_segs.len());

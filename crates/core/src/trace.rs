@@ -135,6 +135,17 @@ pub enum TraceEvent {
         /// Bytes of the shared undo-log vectored write, per mirror.
         undo_bytes: usize,
     },
+    /// An ack barrier at a durability point confirmed previously posted
+    /// remote writes (emitted only when at least one operation was
+    /// actually outstanding, so inline-acknowledging backends — the
+    /// simulated SCI mapping, the synchronous TCP client — never see it
+    /// and their event sequences are unchanged).
+    Flush {
+        /// Posted operations the barrier confirmed, summed over mirrors.
+        posted: usize,
+        /// Payload bytes those operations carried.
+        bytes: usize,
+    },
     /// The instance crashed (fault injection or explicit).
     Crashed,
 }

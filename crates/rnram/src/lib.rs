@@ -49,7 +49,7 @@
 mod backoff;
 mod error;
 mod memcpy;
-mod protocol;
+pub mod protocol;
 mod retry;
 pub mod server;
 mod sim;
@@ -61,7 +61,7 @@ pub use error::RnError;
 pub use memcpy::{mirror_copy, plan_transfer, TransferPlan, TransferStrategy};
 pub use retry::ReconnectingRemote;
 pub use sim::SimRemote;
-pub use tcp::TcpRemote;
-pub use traits::{RemoteMemory, RemoteSegment};
+pub use tcp::{PipelineConfig, TcpRemote, PIPELINE_ENV};
+pub use traits::{FlushStats, RemoteMemory, RemoteSegment};
 
 pub use perseas_sci::SegmentId;

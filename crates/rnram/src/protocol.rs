@@ -51,6 +51,17 @@ pub enum Request {
     Ping,
     /// Ask the server to stop accepting connections.
     Shutdown,
+    /// A pipelined request: `inner` tagged with the client-chosen
+    /// sequence number `seq`. The server answers with
+    /// [`Response::Tagged`] carrying the same `seq`, which lets the
+    /// client post many requests before draining any acknowledgement.
+    /// Nesting is rejected: a `Seq` may not wrap another `Seq`.
+    Seq {
+        /// Client-chosen sequence number echoed in the response.
+        seq: u64,
+        /// The wrapped request.
+        inner: Box<Request>,
+    },
 }
 
 /// Responses the server returns.
@@ -75,6 +86,16 @@ pub enum Response {
     Name(String),
     /// Request refused; human-readable reason.
     Err(String),
+    /// Response to a [`Request::Seq`]: `inner` tagged with the request's
+    /// sequence number. `Tagged { seq, inner: Ok }` is the pipelined
+    /// `Ack{seq}`; `Tagged { seq, inner: Err(_) }` is the typed
+    /// `Err{seq}`. Nesting is rejected.
+    Tagged {
+        /// The sequence number of the request this answers.
+        seq: u64,
+        /// The wrapped response.
+        inner: Box<Response>,
+    },
 }
 
 const OP_MALLOC: u8 = 1;
@@ -87,12 +108,14 @@ const OP_NAME: u8 = 7;
 const OP_PING: u8 = 8;
 const OP_SHUTDOWN: u8 = 9;
 const OP_WRITE_V: u8 = 10;
+const OP_SEQ: u8 = 11;
 
 const RE_OK: u8 = 128;
 const RE_SEGMENT: u8 = 129;
 const RE_DATA: u8 = 130;
 const RE_NAME: u8 = 131;
 const RE_ERR: u8 = 132;
+const RE_TAGGED: u8 = 133;
 
 /// Computes the IEEE CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -167,6 +190,11 @@ impl Request {
             Request::Name => out.push(OP_NAME),
             Request::Ping => out.push(OP_PING),
             Request::Shutdown => out.push(OP_SHUTDOWN),
+            Request::Seq { seq, inner } => {
+                out.push(OP_SEQ);
+                put_u64(&mut out, *seq);
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -236,10 +264,72 @@ impl Request {
             OP_NAME => Request::Name,
             OP_PING => Request::Ping,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_SEQ => {
+                let seq = get_u64(rest, &mut pos)?;
+                let inner = Request::decode(&rest[pos..])?;
+                if matches!(inner, Request::Seq { .. }) {
+                    // Depth one only: unbounded nesting would let a
+                    // hostile frame recurse the decoder off the stack.
+                    return Err(RnError::Protocol("nested seq frame".into()));
+                }
+                Request::Seq {
+                    seq,
+                    inner: Box::new(inner),
+                }
+            }
             other => return Err(RnError::Protocol(format!("unknown opcode {other}"))),
         };
         Ok(req)
     }
+}
+
+/// Encodes a `Write` request body straight from a borrowed payload —
+/// the frame body is built in one allocation with one copy of `data`,
+/// instead of the copy-into-`Vec`-then-copy-into-frame of constructing
+/// a [`Request::Write`]. With `seq`, the body is the [`Request::Seq`]
+/// wrapping of the write.
+pub fn encode_write(seq: Option<u64>, seg: u64, offset: u64, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 34);
+    if let Some(s) = seq {
+        out.push(OP_SEQ);
+        put_u64(&mut out, s);
+    }
+    out.push(OP_WRITE);
+    put_u64(&mut out, seg);
+    put_u64(&mut out, offset);
+    out.extend_from_slice(data);
+    out
+}
+
+/// Encodes a `WriteV` request body straight from borrowed ranges (see
+/// [`encode_write`]): one allocation, one copy per range.
+pub fn encode_write_v(seq: Option<u64>, ranges: &[(u64, u64, &[u8])]) -> Vec<u8> {
+    let payload: usize = ranges.iter().map(|(_, _, d)| d.len()).sum();
+    let mut out = Vec::with_capacity(payload + 24 * ranges.len() + 18);
+    if let Some(s) = seq {
+        out.push(OP_SEQ);
+        put_u64(&mut out, s);
+    }
+    out.push(OP_WRITE_V);
+    put_u64(&mut out, ranges.len() as u64);
+    for &(seg, offset, data) in ranges {
+        put_u64(&mut out, seg);
+        put_u64(&mut out, offset);
+        put_u64(&mut out, data.len() as u64);
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Encodes `req` wrapped in a [`Request::Seq`] body without cloning the
+/// request.
+pub fn encode_seq(seq: u64, req: &Request) -> Vec<u8> {
+    let inner = req.encode();
+    let mut out = Vec::with_capacity(inner.len() + 9);
+    out.push(OP_SEQ);
+    put_u64(&mut out, seq);
+    out.extend_from_slice(&inner);
+    out
 }
 
 impl Response {
@@ -272,6 +362,11 @@ impl Response {
                 out.push(RE_ERR);
                 out.extend_from_slice(m.as_bytes());
             }
+            Response::Tagged { seq, inner } => {
+                out.push(RE_TAGGED);
+                put_u64(&mut out, *seq);
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -303,6 +398,17 @@ impl Response {
                 String::from_utf8(rest.to_vec())
                     .map_err(|_| RnError::Protocol("error message not UTF-8".into()))?,
             ),
+            RE_TAGGED => {
+                let seq = get_u64(rest, &mut pos)?;
+                let inner = Response::decode(&rest[pos..])?;
+                if matches!(inner, Response::Tagged { .. }) {
+                    return Err(RnError::Protocol("nested tagged response".into()));
+                }
+                Response::Tagged {
+                    seq,
+                    inner: Box::new(inner),
+                }
+            }
             other => return Err(RnError::Protocol(format!("unknown response tag {other}"))),
         };
         Ok(resp)
@@ -442,6 +548,128 @@ mod tests {
         body.extend_from_slice(&0u64.to_le_bytes()); // offset
         body.extend_from_slice(&100u64.to_le_bytes()); // len, but no data
         assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn seq_and_tagged_roundtrip() {
+        let reqs = [
+            Request::Seq {
+                seq: 0,
+                inner: Box::new(Request::Ping),
+            },
+            Request::Seq {
+                seq: u64::MAX,
+                inner: Box::new(Request::Write {
+                    seg: 3,
+                    offset: 9,
+                    data: vec![7; 40],
+                }),
+            },
+            Request::Seq {
+                seq: 17,
+                inner: Box::new(Request::WriteV {
+                    ranges: vec![(1, 0, vec![1, 2]), (2, 8, vec![])],
+                }),
+            },
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+        let resps = [
+            Response::Tagged {
+                seq: 5,
+                inner: Box::new(Response::Ok),
+            },
+            Response::Tagged {
+                seq: 6,
+                inner: Box::new(Response::Err("bounds".into())),
+            },
+            Response::Tagged {
+                seq: 7,
+                inner: Box::new(Response::Data(vec![4; 12])),
+            },
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn nested_seq_frames_rejected() {
+        let inner = Request::Seq {
+            seq: 1,
+            inner: Box::new(Request::Ping),
+        };
+        let outer = Request::Seq {
+            seq: 2,
+            inner: Box::new(inner),
+        };
+        assert!(Request::decode(&outer.encode()).is_err());
+
+        let inner = Response::Tagged {
+            seq: 1,
+            inner: Box::new(Response::Ok),
+        };
+        let outer = Response::Tagged {
+            seq: 2,
+            inner: Box::new(inner),
+        };
+        assert!(Response::decode(&outer.encode()).is_err());
+
+        // Truncated seq header.
+        assert!(Request::decode(&[OP_SEQ, 1, 2, 3]).is_err());
+        assert!(Response::decode(&[RE_TAGGED, 1]).is_err());
+        // Seq with an empty inner body.
+        let mut body = vec![OP_SEQ];
+        body.extend_from_slice(&9u64.to_le_bytes());
+        assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn borrowed_encoders_match_the_owned_forms() {
+        let data = [5u8; 33];
+        assert_eq!(
+            encode_write(None, 4, 12, &data),
+            Request::Write {
+                seg: 4,
+                offset: 12,
+                data: data.to_vec(),
+            }
+            .encode()
+        );
+        assert_eq!(
+            encode_write(Some(9), 4, 12, &data),
+            Request::Seq {
+                seq: 9,
+                inner: Box::new(Request::Write {
+                    seg: 4,
+                    offset: 12,
+                    data: data.to_vec(),
+                }),
+            }
+            .encode()
+        );
+        let ranges: [(u64, u64, &[u8]); 2] = [(1, 0, &data[..2]), (2, 64, &data[..0])];
+        let owned = Request::WriteV {
+            ranges: ranges.iter().map(|&(s, o, d)| (s, o, d.to_vec())).collect(),
+        };
+        assert_eq!(encode_write_v(None, &ranges), owned.encode());
+        assert_eq!(
+            encode_write_v(Some(3), &ranges),
+            Request::Seq {
+                seq: 3,
+                inner: Box::new(owned.clone()),
+            }
+            .encode()
+        );
+        assert_eq!(
+            encode_seq(8, &owned),
+            Request::Seq {
+                seq: 8,
+                inner: Box::new(owned),
+            }
+            .encode()
+        );
     }
 
     #[test]

@@ -11,6 +11,16 @@
 //! writes bytes at an absolute offset), retrying a possibly-delivered
 //! write is safe.
 //!
+//! Pipelined connections add one hard rule: a connection that dies with
+//! posted-but-unconfirmed writes (`in_flight() > 0`) is **never**
+//! silently re-dialed, and [`RemoteMemory::flush`] is **never** retried.
+//! The lost window cannot be replayed — this wrapper does not buffer the
+//! posted frames — and flushing a freshly dialed connection would
+//! vacuously succeed while the writes it was supposed to confirm died
+//! with the old socket. Both paths surface `Unavailable` instead and
+//! leave re-dialing to the next operation, so the caller (the mirror
+//! fault-fencing layer) decides what the lost window means.
+//!
 //! Attempts are paced by a [`BackoffPolicy`]: exponential delays with
 //! deterministic jitter, so a briefly-rebooting server is not hammered by
 //! a tight re-dial loop. Tests pace against a [`SimClock`]
@@ -22,7 +32,9 @@ use std::net::{SocketAddr, ToSocketAddrs};
 use perseas_sci::SegmentId;
 use perseas_simtime::{SimClock, SimDuration};
 
-use crate::{BackoffPolicy, RemoteMemory, RemoteSegment, RnError, TcpRemote};
+use crate::{
+    BackoffPolicy, FlushStats, PipelineConfig, RemoteMemory, RemoteSegment, RnError, TcpRemote,
+};
 
 /// A [`TcpRemote`] that re-dials the server on socket failures.
 #[derive(Debug)]
@@ -32,6 +44,7 @@ pub struct ReconnectingRemote {
     max_attempts: usize,
     policy: BackoffPolicy,
     pace: Option<SimClock>,
+    pipeline: Option<PipelineConfig>,
 }
 
 impl ReconnectingRemote {
@@ -74,7 +87,46 @@ impl ReconnectingRemote {
             max_attempts,
             policy,
             pace: None,
+            pipeline: None,
         })
+    }
+
+    /// Connects in the mode selected by the
+    /// [`PIPELINE_ENV`](crate::PIPELINE_ENV) environment variable — the
+    /// hook the test suites use to run the same scenarios over both
+    /// transports (see [`TcpRemote::connect_auto`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the initial connection cannot be established.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn connect_auto(addr: impl ToSocketAddrs, max_attempts: usize) -> Result<Self, RnError> {
+        let conn = ReconnectingRemote::connect(addr, max_attempts)?;
+        if crate::tcp::env_enables_pipeline(std::env::var(crate::PIPELINE_ENV).ok().as_deref()) {
+            Ok(conn.with_pipeline(PipelineConfig::default()))
+        } else {
+            Ok(conn)
+        }
+    }
+
+    /// Makes the current connection — and every re-dialed one — pipelined
+    /// with window `cfg` (see [`TcpRemote::connect_with`]).
+    pub fn with_pipeline(mut self, cfg: PipelineConfig) -> Self {
+        self.pipeline = Some(cfg);
+        if let Some(conn) = self.inner.as_mut() {
+            conn.enable_pipeline(cfg);
+        }
+        self
+    }
+
+    fn dial(&self) -> Result<TcpRemote, RnError> {
+        match self.pipeline {
+            Some(cfg) => TcpRemote::connect_with(self.addr, cfg),
+            None => TcpRemote::connect(self.addr),
+        }
     }
 
     /// The server address.
@@ -117,7 +169,7 @@ impl ReconnectingRemote {
                 self.pause(self.policy.delay_nanos(attempt as u32 - 1));
             }
             if self.inner.is_none() {
-                match TcpRemote::connect(self.addr) {
+                match self.dial() {
                     Ok(c) => self.inner = Some(c),
                     Err(e) => {
                         last_err = Some(e);
@@ -129,8 +181,16 @@ impl ReconnectingRemote {
             match op(conn) {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_unavailable() => {
-                    // The socket is suspect: drop it and re-dial.
+                    // The socket is suspect: drop it. But a connection
+                    // that died with posted writes unconfirmed took a
+                    // window we cannot replay — retrying the *current*
+                    // operation on a fresh socket would silently skip
+                    // the lost ones, so that loss must surface.
+                    let lost = conn.in_flight();
                     self.inner = None;
+                    if lost > 0 {
+                        return Err(e);
+                    }
                     last_err = Some(e);
                 }
                 Err(e) => return Err(e),
@@ -158,6 +218,31 @@ impl RemoteMemory for ReconnectingRemote {
         // lands at an absolute offset, so re-sending a possibly-delivered
         // batch is idempotent.
         self.with_conn(|c| c.remote_write_v(writes))
+    }
+
+    fn flush(&mut self) -> Result<FlushStats, RnError> {
+        // Never retried: the barrier confirms writes posted on *this*
+        // connection, and a re-dial-then-flush would vacuously succeed
+        // while the real window died with the old socket. With no live
+        // connection nothing is posted (a lost window was already
+        // surfaced by the operation that dropped it), so the barrier is
+        // trivially clean.
+        let Some(conn) = self.inner.as_mut() else {
+            return Ok(FlushStats::default());
+        };
+        match conn.flush() {
+            Ok(stats) => Ok(stats),
+            Err(e) => {
+                if e.is_unavailable() {
+                    self.inner = None;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inner.as_ref().map_or(0, |c| c.in_flight())
     }
 
     fn remote_read(
@@ -277,6 +362,144 @@ mod tests {
         let t0 = clock2.now();
         let _ = r2.remote_malloc(8, 0).unwrap_err();
         assert_eq!(clock2.now().duration_since(t0).as_nanos(), waited);
+    }
+
+    #[test]
+    fn pipelined_wrapper_redials_pipelined() {
+        let server = Server::bind("redial", "127.0.0.1:0").unwrap().start();
+        let node = server.node().clone();
+        let addr = server.addr();
+        let mut r = ReconnectingRemote::connect(addr, 5)
+            .unwrap()
+            .with_pipeline(PipelineConfig::default());
+        let seg = r.remote_malloc(16, 1).unwrap();
+        r.remote_write(seg.id, 0, &[1; 8]).unwrap();
+        r.flush().unwrap();
+
+        server.shutdown();
+        let server2 = Server::with_node(node, addr).unwrap().start();
+
+        // The window was clean at the drop, so re-dialing is safe — and
+        // the replacement connection must be pipelined again.
+        let mut buf = [0u8; 8];
+        r.remote_read(seg.id, 0, &mut buf).unwrap();
+        assert_eq!(buf, [1; 8]);
+        r.remote_write(seg.id, 8, &[2; 8]).unwrap();
+        assert!(r.in_flight() > 0, "re-dialed connection posts writes");
+        r.flush().unwrap();
+        server2.shutdown();
+    }
+
+    /// A scripted server for the lost-window tests: answers everything on
+    /// the first connection until a posted (seq-wrapped) write arrives,
+    /// then hangs up with that write unacknowledged. Every *later*
+    /// connection is served fully — so if the wrapper ever silently
+    /// re-dialed and retried, the retried operation would succeed and the
+    /// tests below would catch it.
+    fn spawn_window_dropper() -> SocketAddr {
+        use crate::protocol::{read_frame, write_frame, Request, Response};
+
+        fn reply(req: &Request) -> Response {
+            match req {
+                Request::Seq { seq, inner } => Response::Tagged {
+                    seq: *seq,
+                    inner: Box::new(reply(inner)),
+                },
+                Request::Malloc { len, tag } => Response::Segment {
+                    seg: 1,
+                    len: *len,
+                    tag: *tag,
+                    base_addr: 0,
+                },
+                Request::Info { seg } => Response::Segment {
+                    seg: *seg,
+                    len: 16,
+                    tag: 1,
+                    base_addr: 0,
+                },
+                _ => Response::Ok,
+            }
+        }
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut s, _)) = listener.accept() {
+                while let Ok(body) = read_frame(&mut s) {
+                    let req = Request::decode(&body).unwrap();
+                    let posted_write = matches!(
+                        &req,
+                        Request::Seq { inner, .. }
+                            if matches!(**inner, Request::Write { .. } | Request::WriteV { .. })
+                    );
+                    if posted_write {
+                        // Hang up the first connection (leaving the write
+                        // unacknowledged) before serving replacements.
+                        let _ = s.shutdown(std::net::Shutdown::Both);
+                        return_window(listener);
+                        return;
+                    }
+                    if write_frame(&mut s, &reply(&req).encode()).is_err() {
+                        break;
+                    }
+                }
+            }
+
+            fn return_window(listener: std::net::TcpListener) {
+                while let Ok((mut s, _)) = listener.accept() {
+                    while let Ok(body) = read_frame(&mut s) {
+                        let req = Request::decode(&body).unwrap();
+                        if write_frame(&mut s, &reply(&req).encode()).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn lost_window_fails_the_op_instead_of_silently_retrying() {
+        let addr = spawn_window_dropper();
+        let mut r = ReconnectingRemote::connect(addr, 5)
+            .unwrap()
+            .with_pipeline(PipelineConfig::default());
+        let seg = r.remote_malloc(16, 1).unwrap();
+        // The scripted server reads this posted write and hangs up
+        // without acknowledging it.
+        r.remote_write(seg.id, 0, &[9; 8]).unwrap();
+        assert_eq!(r.in_flight(), 1);
+
+        // The next operation trips over the corpse while the window is
+        // unconfirmed. A fully working replacement server is accepting on
+        // the same address, so a silent retry would *succeed* — the
+        // Unavailable below is proof no retry happened.
+        let err = r.segment_info(seg.id).unwrap_err();
+        assert!(err.is_unavailable(), "lost window surfaces: {err}");
+        assert_eq!(r.in_flight(), 0, "the loss was reported and cleared");
+
+        // With the loss on record, re-dialing for new work is fair game.
+        assert_eq!(r.segment_info(seg.id).unwrap().id, seg.id);
+    }
+
+    #[test]
+    fn flush_is_never_retried() {
+        let addr = spawn_window_dropper();
+        let mut r = ReconnectingRemote::connect(addr, 5)
+            .unwrap()
+            .with_pipeline(PipelineConfig::default());
+        let seg = r.remote_malloc(16, 1).unwrap();
+        r.remote_write(seg.id, 0, &[9; 8]).unwrap();
+
+        // The barrier discovers the dead socket. Flushing a re-dialed
+        // connection would vacuously pass (the replacement server answers
+        // everything), so Unavailable is proof the barrier never retried.
+        let err = r.flush().unwrap_err();
+        assert!(err.is_unavailable(), "lost window surfaces: {err}");
+        // The loss has been surfaced; a second barrier has nothing
+        // outstanding to confirm.
+        assert_eq!(r.flush().unwrap(), FlushStats::default());
     }
 
     #[test]

@@ -10,8 +10,9 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 use perseas_sci::{NodeMemory, SciError, SegmentId};
 
@@ -42,6 +43,7 @@ pub struct Server {
     node: NodeMemory,
     listener: TcpListener,
     addr: SocketAddr,
+    latency: Duration,
 }
 
 /// Handle to a server running on background threads.
@@ -77,7 +79,20 @@ impl Server {
             node,
             listener,
             addr,
+            latency: Duration::ZERO,
         })
+    }
+
+    /// Injects `latency` between receiving each request and sending its
+    /// response, modelling network round-trip time for deterministic
+    /// benchmarking. The request is *applied* to memory immediately on
+    /// receipt — only its acknowledgement is delayed — so delays of
+    /// pipelined requests overlap the way propagation delay does on a
+    /// real link, while a synchronous client pays `latency` per
+    /// operation.
+    pub fn with_request_latency(mut self, latency: Duration) -> Server {
+        self.latency = latency;
+        self
     }
 
     /// The bound address.
@@ -97,6 +112,7 @@ impl Server {
         let node = self.node.clone();
         let listener = self.listener;
         let addr = self.addr;
+        let latency = self.latency;
         let stop2 = stop.clone();
         let accept_thread = thread::spawn(move || {
             for conn in listener.incoming() {
@@ -108,7 +124,7 @@ impl Server {
                         let node = node.clone();
                         let stop = stop2.clone();
                         thread::spawn(move || {
-                            let _ = serve_connection(stream, &node, &stop);
+                            let _ = serve_connection(stream, &node, &stop, latency);
                         });
                     }
                     Err(_) => break,
@@ -162,37 +178,118 @@ fn sci_error_msg(e: &SciError) -> String {
 }
 
 /// Serves one client connection until EOF or shutdown.
+///
+/// With a zero `latency` every response is written inline. With a nonzero
+/// `latency` the request is still applied to memory immediately, but the
+/// encoded response is handed to a dedicated writer thread that holds it
+/// until `receipt + latency` — a propagation delay, not a service time, so
+/// the delays of pipelined requests overlap while a synchronous client
+/// pays the full latency once per operation. The single writer thread
+/// preserves response FIFO order (deadlines are monotone in receipt time).
 fn serve_connection(
     mut stream: TcpStream,
     node: &NodeMemory,
     stop: &AtomicBool,
+    latency: Duration,
 ) -> Result<(), RnError> {
     stream.set_nodelay(true)?;
-    loop {
+    let mut delayed: Option<DelayedWriter> = if latency > Duration::ZERO {
+        Some(DelayedWriter::spawn(stream.try_clone()?))
+    } else {
+        None
+    };
+    let result = loop {
         let body = match read_frame(&mut stream) {
             Ok(b) => b,
-            Err(RnError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e),
+            Err(RnError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => break Ok(()),
+            Err(e) => break Err(e),
         };
+        let received = Instant::now();
         // A request that arrives after shutdown is not a "current request":
         // drop the connection so clients see the server as down instead of
         // racing one last answer out of a dying handler.
         if stop.load(Ordering::SeqCst) {
-            return Ok(());
+            break Ok(());
         }
         let resp = match Request::decode(&body) {
             Err(e) => Response::Err(e.to_string()),
             Ok(req) => handle_request(req, node, stop),
         };
-        write_frame(&mut stream, &resp.encode())?;
+        let frame = resp.encode();
+        match &delayed {
+            Some(writer) => {
+                if writer.send(received + latency, frame).is_err() {
+                    // Writer thread died (peer hung up mid-write).
+                    break Ok(());
+                }
+            }
+            None => {
+                if let Err(e) = write_frame(&mut stream, &frame) {
+                    break Err(e);
+                }
+            }
+        }
         if stop.load(Ordering::SeqCst) {
-            return Ok(());
+            break Ok(());
+        }
+    };
+    if let Some(writer) = delayed.take() {
+        writer.finish();
+    }
+    result
+}
+
+/// Writer thread that sends each queued response frame no earlier than its
+/// deadline. Owning the only writing half of the socket keeps responses in
+/// FIFO order.
+struct DelayedWriter {
+    tx: Option<mpsc::Sender<(Instant, Vec<u8>)>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl DelayedWriter {
+    fn spawn(mut stream: TcpStream) -> DelayedWriter {
+        let (tx, rx) = mpsc::channel::<(Instant, Vec<u8>)>();
+        let thread = thread::spawn(move || {
+            while let Ok((deadline, frame)) = rx.recv() {
+                let now = Instant::now();
+                if deadline > now {
+                    thread::sleep(deadline - now);
+                }
+                if write_frame(&mut stream, &frame).is_err() {
+                    // Peer gone: drain and drop remaining responses.
+                    break;
+                }
+            }
+        });
+        DelayedWriter {
+            tx: Some(tx),
+            thread: Some(thread),
+        }
+    }
+
+    fn send(&self, deadline: Instant, frame: Vec<u8>) -> Result<(), ()> {
+        match &self.tx {
+            Some(tx) => tx.send((deadline, frame)).map_err(|_| ()),
+            None => Err(()),
+        }
+    }
+
+    /// Closes the queue and waits for every pending response to go out.
+    fn finish(mut self) {
+        self.tx.take();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
         }
     }
 }
 
 fn handle_request(req: Request, node: &NodeMemory, stop: &AtomicBool) -> Response {
     match req {
+        Request::Seq { seq, inner } => Response::Tagged {
+            seq,
+            inner: Box::new(handle_request(*inner, node, stop)),
+        },
         Request::Malloc { len, tag } => match node.export_segment(len as usize, tag) {
             Ok(id) => segment_response(node, id),
             Err(e) => Response::Err(sci_error_msg(&e)),

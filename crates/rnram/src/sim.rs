@@ -92,6 +92,18 @@ impl RemoteMemory for SimRemote {
         Some(self.link.clock().clone())
     }
 
+    /// The simulated SCI mapping confirms every copy inline (the card
+    /// stalls the store until the packet is acked), so the barrier is an
+    /// explicit no-op: zero posted operations, zero virtual time — the
+    /// paper's virtual-time figures are unchanged by barrier placement.
+    fn flush(&mut self) -> Result<crate::FlushStats, RnError> {
+        Ok(crate::FlushStats::default())
+    }
+
+    fn in_flight(&self) -> usize {
+        0
+    }
+
     fn remote_read(
         &mut self,
         seg: SegmentId,

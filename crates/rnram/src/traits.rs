@@ -34,6 +34,19 @@ impl From<SegmentInfo> for RemoteSegment {
     }
 }
 
+/// What a [`RemoteMemory::flush`] barrier confirmed: how many previously
+/// posted (unacknowledged) operations it awaited and how many payload
+/// bytes they carried. Backends that acknowledge every operation inline
+/// — the simulated SCI mapping, the synchronous TCP client — never have
+/// anything posted, so their barriers report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Operations that were in flight when the barrier started.
+    pub posted: usize,
+    /// Payload bytes those operations carried.
+    pub bytes: usize,
+}
+
 /// The reliable-network-RAM operations of the paper, Section 3:
 /// remote malloc, remote free, remote memory copy (split into its write and
 /// read directions), plus the recovery-time `sci_connect_segment`.
@@ -85,6 +98,37 @@ pub trait RemoteMemory: Send {
             self.remote_write(seg, offset, data)?;
         }
         Ok(())
+    }
+
+    /// Ack barrier: blocks until every operation this backend has
+    /// *posted* without waiting for its acknowledgement is confirmed by
+    /// the remote node (the paper's "write now, confirm at the commit
+    /// point" shape over a real network).
+    ///
+    /// Backends that confirm every operation inline — the simulated SCI
+    /// mapping, the synchronous TCP client — have nothing outstanding, so
+    /// the default implementation is a free no-op reporting zero posted
+    /// operations. The pipelined TCP client
+    /// ([`crate::TcpRemote::connect_pipelined`]) overrides it to drain
+    /// its in-flight window.
+    ///
+    /// # Errors
+    ///
+    /// Fails `Unavailable` when the connection died with operations still
+    /// unconfirmed (the caller must treat the whole window as lost), or
+    /// with the first typed refusal a posted operation earned; each call
+    /// surfaces one queued refusal, so callers loop until `Ok` to drain
+    /// them all.
+    fn flush(&mut self) -> Result<FlushStats, RnError> {
+        Ok(FlushStats::default())
+    }
+
+    /// Number of posted operations not yet confirmed (zero for backends
+    /// that acknowledge inline). A reconnect wrapper must never silently
+    /// re-dial a connection that dies with `in_flight() > 0`: the lost
+    /// window cannot be replayed.
+    fn in_flight(&self) -> usize {
+        0
     }
 
     /// The virtual clock this backend charges latency to, if it is a
@@ -207,5 +251,15 @@ mod tests {
             s.virtual_clock().is_none(),
             "real backends have no sim clock"
         );
+    }
+
+    #[test]
+    fn default_flush_is_a_free_noop() {
+        let mut s = Scalar {
+            mem: vec![0; 4],
+            writes: 0,
+        };
+        assert_eq!(s.in_flight(), 0, "inline-ack backends post nothing");
+        assert_eq!(s.flush().unwrap(), FlushStats::default());
     }
 }

@@ -125,6 +125,239 @@ proptest! {
     }
 }
 
+/// Transport fuzz battery (ISSUE 4): random, truncated, and bit-flipped
+/// frames against the decoder and the live server. The decoder must be
+/// total (typed `Err`, never a panic), length fields may never reach past
+/// the frame, and the server must survive every hostile frame — answering
+/// a typed error or dropping the connection, but staying up for the next
+/// well-behaved client.
+mod frame_fuzz {
+    use super::*;
+    use perseas_rnram::protocol::{crc32, Request, Response};
+    use std::io::Write as _;
+
+    /// Any request the client can legitimately encode, including the
+    /// pipelined `Seq` wrapping.
+    fn arb_request() -> impl Strategy<Value = Request> {
+        let plain = prop_oneof![
+            (any::<u64>(), any::<u64>()).prop_map(|(len, tag)| Request::Malloc { len, tag }),
+            any::<u64>().prop_map(|seg| Request::Free { seg }),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                prop::collection::vec(any::<u8>(), 0..64)
+            )
+                .prop_map(|(seg, offset, data)| Request::Write { seg, offset, data }),
+            (any::<u64>(), any::<u64>(), any::<u64>())
+                .prop_map(|(seg, offset, len)| Request::Read { seg, offset, len }),
+            any::<u64>().prop_map(|tag| Request::Connect { tag }),
+            any::<u64>().prop_map(|seg| Request::Info { seg }),
+            prop::collection::vec(
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    prop::collection::vec(any::<u8>(), 0..32)
+                ),
+                0..4
+            )
+            .prop_map(|ranges| Request::WriteV { ranges }),
+            Just(Request::Name),
+            Just(Request::Ping),
+        ]
+        .boxed();
+        (any::<bool>(), any::<u64>(), plain).prop_map(|(wrap, seq, req)| {
+            if wrap {
+                Request::Seq {
+                    seq,
+                    inner: Box::new(req),
+                }
+            } else {
+                req
+            }
+        })
+    }
+
+    /// Sends `body` as one correctly framed message and hangs up, then
+    /// proves the server survived by running a real operation on a fresh
+    /// connection.
+    fn poke_server_with(addr: std::net::SocketAddr, body: &[u8]) {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(&(body.len() as u32).to_le_bytes())
+            .unwrap();
+        stream.write_all(body).unwrap();
+        stream.write_all(&crc32(body).to_le_bytes()).unwrap();
+        drop(stream);
+    }
+
+    fn server_is_alive(addr: std::net::SocketAddr) {
+        let mut c = perseas_rnram::TcpRemote::connect_pipelined(addr).unwrap();
+        let seg = c.remote_malloc(8, 0).unwrap();
+        c.remote_write(seg.id, 0, &[7; 8]).unwrap();
+        c.flush().unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Both decoders are total over arbitrary bytes: any outcome but
+        /// a panic.
+        #[test]
+        fn decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        }
+
+        /// Every strict truncation of a valid request either decodes to
+        /// a plain `Write` prefix (the one variant whose payload is the
+        /// frame remainder — the frame CRC guards it on the wire) or is
+        /// rejected with a typed error.
+        #[test]
+        fn truncations_are_rejected_or_benign(req in arb_request(), cut in 0usize..512) {
+            let full = req.encode();
+            prop_assume!(!full.is_empty());
+            let cut = cut % full.len();
+            match Request::decode(&full[..cut]) {
+                Err(_) => {}
+                // A `Write`'s payload is the frame remainder, so cutting
+                // its tail yields a shorter, still-valid write (the wire
+                // CRC is what protects it in flight). Everything else has
+                // explicit lengths and must refuse its truncations.
+                Ok(Request::Write { .. }) => {}
+                Ok(Request::Seq { inner, .. }) => {
+                    prop_assert!(
+                        matches!(*inner, Request::Write { .. }),
+                        "truncated frame decoded as Seq wrapping {inner:?}"
+                    );
+                }
+                Ok(other) => prop_assert!(false, "truncated frame decoded as {other:?}"),
+            }
+        }
+
+        /// Single bit flips anywhere in the body never panic the decoder,
+        /// and a live server fed the flipped frame keeps serving.
+        #[test]
+        fn bit_flips_never_panic(req in arb_request(), bit in any::<u64>()) {
+            let mut body = req.encode();
+            let bit = (bit as usize) % (body.len() * 8);
+            body[bit / 8] ^= 1 << (bit % 8);
+            let decoded = Request::decode(&body);
+
+            // A flip can legitimately turn the opcode into `Shutdown`;
+            // feeding that to the server would stop it by design, which
+            // is not the robustness property under test.
+            let is_shutdown = match &decoded {
+                Ok(Request::Shutdown) => true,
+                Ok(Request::Seq { inner, .. }) => matches!(**inner, Request::Shutdown),
+                _ => false,
+            };
+            prop_assume!(!is_shutdown);
+
+            let server = perseas_rnram::server::Server::bind("flip", "127.0.0.1:0")
+                .unwrap()
+                .start();
+            poke_server_with(server.addr(), &body);
+            server_is_alive(server.addr());
+            server.shutdown();
+        }
+
+        /// A frame whose CRC does not match its (corrupted) body is
+        /// refused at the framing layer without killing the server.
+        #[test]
+        fn stale_crc_frames_are_dropped(req in arb_request(), flip in any::<u64>()) {
+            let body = req.encode();
+            let server = perseas_rnram::server::Server::bind("crc", "127.0.0.1:0")
+                .unwrap()
+                .start();
+            let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+            stream.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+            // Corrupt the body after computing the CRC of the original.
+            let crc = crc32(&body).to_le_bytes();
+            let mut sent = body.clone();
+            if !sent.is_empty() {
+                let bit = (flip as usize) % (sent.len() * 8);
+                sent[bit / 8] ^= 1 << (bit % 8);
+            }
+            stream.write_all(&sent).unwrap();
+            stream.write_all(&crc).unwrap();
+            drop(stream);
+            server_is_alive(server.addr());
+            server.shutdown();
+        }
+
+        /// Length fields that reach past the frame are rejected: a
+        /// vectored write claiming more ranges or payload than the frame
+        /// holds must never decode.
+        #[test]
+        fn lying_length_fields_are_rejected(
+            count_lie in 1u64..1_000_000,
+            len_lie in 1u64..1_000_000,
+            data in prop::collection::vec(any::<u8>(), 0..32),
+        ) {
+            // Range-count lie: claims `count_lie` extra ranges.
+            let real = Request::WriteV {
+                ranges: vec![(1, 0, data.clone())],
+            };
+            let mut body = real.encode();
+            let claimed = 1u64 + count_lie;
+            body[1..9].copy_from_slice(&claimed.to_le_bytes());
+            prop_assert!(Request::decode(&body).is_err(), "count lie accepted");
+
+            // Payload-length lie: the single range claims more bytes than
+            // the frame carries.
+            let mut body = real.encode();
+            let len_off = 1 + 8 + 16; // op, count, (seg, offset)
+            let claimed = data.len() as u64 + len_lie;
+            body[len_off..len_off + 8].copy_from_slice(&claimed.to_le_bytes());
+            prop_assert!(Request::decode(&body).is_err(), "length lie accepted");
+        }
+
+        /// A frame advertising more bytes than the peer ever sends must
+        /// not wedge or kill the server: the connection dies, the server
+        /// lives.
+        #[test]
+        fn truncated_wire_frames_do_not_wedge_the_server(
+            claim in 1u32..4_096,
+            sent in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            prop_assume!((sent.len() as u32) < claim);
+            let server = perseas_rnram::server::Server::bind("short", "127.0.0.1:0")
+                .unwrap()
+                .start();
+            let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+            stream.write_all(&claim.to_le_bytes()).unwrap();
+            stream.write_all(&sent).unwrap();
+            drop(stream); // EOF mid-frame
+            server_is_alive(server.addr());
+            server.shutdown();
+        }
+    }
+
+    /// Nested `Seq` frames and oversized frame claims are refused — the
+    /// two fixed hostile shapes the sweep above cannot reliably hit.
+    #[test]
+    fn fixed_hostile_shapes_are_refused() {
+        let inner = Request::Seq {
+            seq: 2,
+            inner: Box::new(Request::Ping),
+        };
+        let nested = perseas_rnram::protocol::encode_seq(1, &inner);
+        assert!(Request::decode(&nested).is_err(), "nested seq accepted");
+
+        let server = perseas_rnram::server::Server::bind("huge", "127.0.0.1:0")
+            .unwrap()
+            .start();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        // A length prefix beyond MAX_FRAME: the server must refuse to
+        // allocate and drop the connection.
+        let claim = (perseas_rnram::protocol::MAX_FRAME as u32).saturating_add(1);
+        stream.write_all(&claim.to_le_bytes()).unwrap();
+        drop(stream);
+        server_is_alive(server.addr());
+        server.shutdown();
+    }
+}
+
 #[test]
 fn hostile_lengths_do_not_kill_the_server() {
     use perseas_rnram::{server::Server, RnError, TcpRemote};

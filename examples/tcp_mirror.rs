@@ -71,7 +71,7 @@ fn main() -> ExitCode {
 
 fn run_client(addr: &str) -> ExitCode {
     let run = || -> Result<(), Box<dyn std::error::Error>> {
-        let mut mirror = TcpRemote::connect(addr)?;
+        let mut mirror = TcpRemote::connect_auto(addr)?;
         println!("connected to mirror {}", mirror.fetch_name()?);
 
         let mut db = Perseas::init(vec![mirror], PerseasConfig::default())?;
@@ -98,7 +98,7 @@ fn run_client(addr: &str) -> ExitCode {
         // over a fresh connection — the paper's availability story, over
         // real sockets.
         db.crash();
-        let reconnect = TcpRemote::connect(addr)?;
+        let reconnect = TcpRemote::connect_auto(addr)?;
         let (db2, report) = Perseas::recover(reconnect, PerseasConfig::default())?;
         println!(
             "recovered over TCP: last committed txn {} ({} bytes pulled back)",

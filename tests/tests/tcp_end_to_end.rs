@@ -11,7 +11,7 @@ use perseas_workloads::{run_workload, DebitCredit, DebitCreditScale, Workload};
 fn commit_crash_recover_over_tcp() {
     let server = Server::bind("tcp-e2e", "127.0.0.1:0").unwrap().start();
 
-    let mirror = TcpRemote::connect(server.addr()).unwrap();
+    let mirror = TcpRemote::connect_auto(server.addr()).unwrap();
     let mut db = Perseas::init(vec![mirror], PerseasConfig::default()).unwrap();
     let r = db.malloc(1024).unwrap();
     db.init_remote_db().unwrap();
@@ -25,7 +25,7 @@ fn commit_crash_recover_over_tcp() {
     }
     db.crash();
 
-    let reconnect = TcpRemote::connect(server.addr()).unwrap();
+    let reconnect = TcpRemote::connect_auto(server.addr()).unwrap();
     let (db2, report) = Perseas::recover(reconnect, PerseasConfig::default()).unwrap();
     assert_eq!(report.last_committed, 50);
     let mut buf = [0u8; 8];
@@ -37,7 +37,7 @@ fn commit_crash_recover_over_tcp() {
 #[test]
 fn in_flight_transaction_rolls_back_over_tcp() {
     let server = Server::bind("tcp-rollback", "127.0.0.1:0").unwrap().start();
-    let mirror = TcpRemote::connect(server.addr()).unwrap();
+    let mirror = TcpRemote::connect_auto(server.addr()).unwrap();
     let mut db = Perseas::init(vec![mirror], PerseasConfig::default()).unwrap();
     let r = db.malloc(256).unwrap();
     db.write(r, 0, &[1; 256]).unwrap();
@@ -50,7 +50,7 @@ fn in_flight_transaction_rolls_back_over_tcp() {
     // was never propagated.
     db.crash();
 
-    let reconnect = TcpRemote::connect(server.addr()).unwrap();
+    let reconnect = TcpRemote::connect_auto(server.addr()).unwrap();
     let (db2, report) = Perseas::recover(reconnect, PerseasConfig::default()).unwrap();
     assert!(report.rolled_back_txn.is_some());
     assert_eq!(db2.region_snapshot(r).unwrap(), vec![1; 256]);
@@ -60,7 +60,7 @@ fn in_flight_transaction_rolls_back_over_tcp() {
 #[test]
 fn debit_credit_workload_over_tcp() {
     let server = Server::bind("tcp-bank", "127.0.0.1:0").unwrap().start();
-    let mirror = TcpRemote::connect(server.addr()).unwrap();
+    let mirror = TcpRemote::connect_auto(server.addr()).unwrap();
     let mut db = Perseas::init(vec![mirror], PerseasConfig::default()).unwrap();
     let mut wl = DebitCredit::new(DebitCreditScale::tiny(), 31);
     wl.setup(&mut db).unwrap();
@@ -76,11 +76,13 @@ fn two_databases_share_one_mirror_via_distinct_tags() {
     let cfg_a = PerseasConfig::default().with_meta_tag(0xA);
     let cfg_b = PerseasConfig::default().with_meta_tag(0xB);
 
-    let mut db_a = Perseas::init(vec![TcpRemote::connect(server.addr()).unwrap()], cfg_a).unwrap();
+    let mut db_a =
+        Perseas::init(vec![TcpRemote::connect_auto(server.addr()).unwrap()], cfg_a).unwrap();
     let ra = db_a.malloc(64).unwrap();
     db_a.init_remote_db().unwrap();
 
-    let mut db_b = Perseas::init(vec![TcpRemote::connect(server.addr()).unwrap()], cfg_b).unwrap();
+    let mut db_b =
+        Perseas::init(vec![TcpRemote::connect_auto(server.addr()).unwrap()], cfg_b).unwrap();
     let rb = db_b.malloc(64).unwrap();
     db_b.init_remote_db().unwrap();
 
@@ -97,8 +99,10 @@ fn two_databases_share_one_mirror_via_distinct_tags() {
     db_a.crash();
     db_b.crash();
 
-    let (ra_db, _) = Perseas::recover(TcpRemote::connect(server.addr()).unwrap(), cfg_a).unwrap();
-    let (rb_db, _) = Perseas::recover(TcpRemote::connect(server.addr()).unwrap(), cfg_b).unwrap();
+    let (ra_db, _) =
+        Perseas::recover(TcpRemote::connect_auto(server.addr()).unwrap(), cfg_a).unwrap();
+    let (rb_db, _) =
+        Perseas::recover(TcpRemote::connect_auto(server.addr()).unwrap(), cfg_b).unwrap();
     assert_eq!(&ra_db.region_snapshot(ra).unwrap()[..8], &[0xA; 8]);
     assert_eq!(&rb_db.region_snapshot(rb).unwrap()[..8], &[0xB; 8]);
     server.shutdown();
@@ -111,7 +115,8 @@ fn perseas_rides_out_a_mirror_server_restart() {
     let node = server.node().clone();
     let addr = server.addr();
 
-    let mirror = ReconnectingRemote::connect(addr, 5).unwrap();
+    let mirror = ReconnectingRemote::connect_auto(addr, 5).unwrap();
+    let pipelined = TcpRemote::connect_auto(addr).unwrap().is_pipelined();
     let mut db = Perseas::init(vec![mirror], PerseasConfig::default()).unwrap();
     let r = db.malloc(64).unwrap();
     db.init_remote_db().unwrap();
@@ -120,28 +125,58 @@ fn perseas_rides_out_a_mirror_server_restart() {
     db.write(r, 0, &[1; 8]).unwrap();
     db.commit_transaction().unwrap();
 
-    // The mirror's server process restarts (same memory, same port):
-    // the next transaction reconnects transparently instead of failing.
+    // The mirror's server process restarts (same memory, same port). On
+    // the synchronous transport the next transaction reconnects
+    // transparently. On the pipelined transport the outcome depends on
+    // when the dead socket is noticed: writes posted into the corpse are
+    // a lost window, which must surface `Unavailable` rather than be
+    // silently retried — but a post that fails before anything is in
+    // flight re-dials and rides out exactly like the sync path. Either
+    // way the commit's answer must match what recovery finds durable.
     server.shutdown();
     let server2 = Server::with_node(node, addr).unwrap().start();
 
-    db.begin_transaction().unwrap();
-    db.set_range(r, 8, 8).unwrap();
-    db.write(r, 8, &[2; 8]).unwrap();
-    db.commit_transaction().unwrap();
-    assert_eq!(db.last_committed(), 2);
+    let committed = (|| -> Result<(), perseas_core::TxnError> {
+        db.begin_transaction()?;
+        db.set_range(r, 8, 8)?;
+        db.write(r, 8, &[2; 8])?;
+        db.commit_transaction()
+    })();
+    if let Err(e) = &committed {
+        assert!(
+            pipelined,
+            "the synchronous transport must ride the restart out: {e}"
+        );
+        assert!(
+            matches!(e, perseas_core::TxnError::Unavailable(_)),
+            "restart may only surface as Unavailable: {e}"
+        );
+    }
 
     db.crash();
     let (db2, report) = Perseas::recover(
-        perseas_rnram::TcpRemote::connect(addr).unwrap(),
+        perseas_rnram::TcpRemote::connect_auto(addr).unwrap(),
         PerseasConfig::default(),
     )
     .unwrap();
-    assert_eq!(report.last_committed, 2);
-    assert_eq!(
-        &db2.region_snapshot(r).unwrap()[..16],
-        &[[1u8; 8], [2u8; 8]].concat()[..]
-    );
+    if committed.is_ok() {
+        assert_eq!(report.last_committed, 2);
+        assert_eq!(
+            &db2.region_snapshot(r).unwrap()[..16],
+            &[[1u8; 8], [2u8; 8]].concat()[..]
+        );
+    } else {
+        assert_eq!(
+            report.last_committed, 1,
+            "a failed commit must not be durable"
+        );
+        assert_eq!(&db2.region_snapshot(r).unwrap()[..8], &[1u8; 8]);
+        assert_eq!(
+            &db2.region_snapshot(r).unwrap()[8..16],
+            &[0u8; 8],
+            "the lost window must not surface as committed bytes"
+        );
+    }
     server2.shutdown();
 }
 
@@ -150,7 +185,7 @@ fn read_replica_follows_a_tcp_primary() {
     use perseas_core::ReadReplica;
     let server = Server::bind("follow", "127.0.0.1:0").unwrap().start();
     let mut db = Perseas::init(
-        vec![TcpRemote::connect(server.addr()).unwrap()],
+        vec![TcpRemote::connect_auto(server.addr()).unwrap()],
         PerseasConfig::default(),
     )
     .unwrap();
@@ -163,7 +198,7 @@ fn read_replica_follows_a_tcp_primary() {
     db.commit_transaction().unwrap();
 
     let mut replica = ReadReplica::attach(
-        TcpRemote::connect(server.addr()).unwrap(),
+        TcpRemote::connect_auto(server.addr()).unwrap(),
         PerseasConfig::default(),
     )
     .unwrap();
