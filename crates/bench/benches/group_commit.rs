@@ -7,8 +7,11 @@
 //! window brackets the commit stage — the per-transaction record
 //! fan-out that grouping amortizes into one vectored write. Writes
 //! `results/group_commit.csv` and fails if grouping is not at least 2x
-//! faster.
+//! faster. With `--json` it also emits `results/BENCH_group_commit.json`
+//! for the CI bench-regression gate — commit times here are virtual, so
+//! the gate on them is deterministic.
 
+use perseas_bench::BenchReport;
 use perseas_core::{Perseas, PerseasConfig, RegionId, TxnToken};
 use perseas_rnram::SimRemote;
 
@@ -90,6 +93,19 @@ fn main() {
          commit serial {serial_us:.1} us vs grouped {grouped_us:.1} us \
          ({ratio:.2}x) -> {path}"
     );
+    if let Some(json) = BenchReport::new("group_commit")
+        .metric("serial_prepare_us", serial_prep)
+        .metric("grouped_prepare_us", grouped_prep)
+        .metric("serial_commit_us", serial_us)
+        .metric("grouped_commit_us", grouped_us)
+        .metric("speedup", ratio)
+        .gate_lower("serial_commit_us", 15.0)
+        .gate_lower("grouped_commit_us", 15.0)
+        .gate_higher("speedup", 25.0)
+        .write_if_json_mode()
+    {
+        println!("group_commit: wrote {json}");
+    }
     assert!(
         ratio >= 2.0,
         "group commit must be at least 2x faster for {TXNS} independent \

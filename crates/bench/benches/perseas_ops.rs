@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use perseas_bench::perseas_sim;
+use perseas_bench::{perseas_sim, BenchReport};
 use perseas_core::{Perseas, PerseasConfig};
 use perseas_rnram::SimRemote;
 use perseas_sci::{NodeMemory, SciParams};
@@ -134,6 +134,20 @@ fn bench_batched_pipeline(c: &mut Criterion) {
         "/../../results/batched_commit.csv"
     );
     std::fs::write(path, csv).expect("write results/batched_commit.csv");
+
+    // The simulated costs are virtual-time and message counts — fully
+    // deterministic — so the CI gate on them is exact.
+    let _ = BenchReport::new("batched_commit")
+        .metric("legacy_messages", legacy_msgs as f64)
+        .metric("batched_messages", batched_msgs as f64)
+        .metric("legacy_virtual_ns", legacy_ns as f64)
+        .metric("batched_virtual_ns", batched_ns as f64)
+        .metric("message_ratio", batched_msgs as f64 / legacy_msgs as f64)
+        .metric("time_ratio", batched_ns as f64 / legacy_ns as f64)
+        .gate_lower("batched_messages", 15.0)
+        .gate_lower("batched_virtual_ns", 15.0)
+        .gate_lower("legacy_virtual_ns", 15.0)
+        .write_if_json_mode();
 
     let mut g = c.benchmark_group("perseas");
     g.throughput(Throughput::Elements(1));

@@ -17,8 +17,10 @@
 
 mod claims;
 mod experiments;
+mod report;
 mod systems;
 
 pub use claims::{verify_claims, ClaimRow};
 pub use experiments::*;
+pub use report::{json_mode, BenchReport};
 pub use systems::{perseas_sim, perseas_sim_with, SystemKind};

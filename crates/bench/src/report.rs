@@ -1,0 +1,122 @@
+//! `BENCH_<name>.json` emission for the CI bench-regression gate.
+//!
+//! Benches call [`BenchReport::write_if_json_mode`] at the end of their
+//! run; the file is only produced when the bench was invoked with
+//! `--json` (`cargo bench -p perseas-bench -- --json`), so default runs
+//! stay artifact-free. `tools/bench_gate` compares the emitted files
+//! against the reviewed copies in `results/baselines/`; only metrics
+//! named in a baseline's `gate` object can fail the build, and the gate
+//! is read from the baseline so a PR cannot loosen it from the bench
+//! side.
+
+use perseas_obs::Json;
+
+/// Whether `--json` was passed on the command line.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Builder for one bench's `BENCH_<name>.json` report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    bench: String,
+    metrics: Vec<(String, Json)>,
+    gate: Vec<(String, Json)>,
+}
+
+impl BenchReport {
+    /// Starts a report for the bench called `bench`.
+    pub fn new(bench: impl Into<String>) -> BenchReport {
+        BenchReport {
+            bench: bench.into(),
+            metrics: Vec::new(),
+            gate: Vec::new(),
+        }
+    }
+
+    /// Records one flat metric.
+    #[must_use]
+    pub fn metric(mut self, name: &str, value: f64) -> Self {
+        self.metrics.push((name.to_string(), Json::Num(value)));
+        self
+    }
+
+    /// Gates an already-recorded metric as lower-is-better.
+    #[must_use]
+    pub fn gate_lower(self, name: &str, tolerance_pct: f64) -> Self {
+        self.gate(name, "lower", tolerance_pct)
+    }
+
+    /// Gates an already-recorded metric as higher-is-better.
+    #[must_use]
+    pub fn gate_higher(self, name: &str, tolerance_pct: f64) -> Self {
+        self.gate(name, "higher", tolerance_pct)
+    }
+
+    fn gate(mut self, name: &str, better: &str, tolerance_pct: f64) -> Self {
+        assert!(
+            self.metrics.iter().any(|(n, _)| n == name),
+            "gated metric {name} must be recorded first"
+        );
+        self.gate.push((
+            name.to_string(),
+            Json::object(vec![
+                ("better", Json::str(better)),
+                ("tolerance_pct", Json::Num(tolerance_pct)),
+            ]),
+        ));
+        self
+    }
+
+    /// The report as a JSON document.
+    pub fn render(&self) -> String {
+        let doc = Json::Object(vec![
+            ("bench".to_string(), Json::str(&self.bench)),
+            ("metrics".to_string(), Json::Object(self.metrics.clone())),
+            ("gate".to_string(), Json::Object(self.gate.clone())),
+        ]);
+        format!("{doc}\n")
+    }
+
+    /// Writes `results/BENCH_<bench>.json` when running in `--json` mode
+    /// and returns the path written.
+    pub fn write_if_json_mode(&self) -> Option<String> {
+        if !json_mode() {
+            return None;
+        }
+        let path = format!(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_{}.json"),
+            self.bench
+        );
+        std::fs::write(&path, self.render()).expect("write bench json");
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let report = BenchReport::new("demo")
+            .metric("virtual_us", 123.5)
+            .metric("speedup", 4.0)
+            .gate_lower("virtual_us", 15.0)
+            .gate_higher("speedup", 25.0);
+        let doc = Json::parse(&report.render()).expect("valid json");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("demo"));
+        let metrics = doc.get("metrics").and_then(Json::as_object).unwrap();
+        assert_eq!(metrics.len(), 2);
+        let gate = doc.get("gate").and_then(Json::as_object).unwrap();
+        let vt = &gate.iter().find(|(k, _)| k == "virtual_us").unwrap().1;
+        assert_eq!(vt.get("better").and_then(Json::as_str), Some("lower"));
+        assert_eq!(vt.get("tolerance_pct").and_then(Json::as_f64), Some(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded first")]
+    fn gating_an_unknown_metric_panics() {
+        let _ = BenchReport::new("demo").gate_lower("ghost", 10.0);
+    }
+}

@@ -8,7 +8,8 @@
 //!   commit record);
 //! * `backup` — recover the database from a mirror and write a
 //!   CRC-protected archive file;
-//! * `restore` — re-hydrate an archive onto a fresh mirror.
+//! * `restore` — re-hydrate an archive onto a fresh mirror;
+//! * `stats` — scrape a mirror's `/metrics` endpoint and pretty-print it.
 //!
 //! The command implementations live in this library so they can be tested
 //! in-process; `main.rs` only parses arguments.
@@ -16,6 +17,7 @@
 use std::fmt::Write as _;
 
 use perseas_core::{Perseas, PerseasConfig, META_TAG};
+use perseas_rnram::server::Server;
 use perseas_rnram::{RemoteMemory, RnError, TcpRemote};
 
 /// A parsed invocation.
@@ -27,10 +29,17 @@ pub enum Command {
         addr: String,
         /// Node name reported to clients.
         name: String,
+        /// Bind address for the optional `/metrics` HTTP endpoint.
+        metrics_addr: Option<String>,
     },
     /// Liveness-check a mirror.
     Ping {
         /// Server address.
+        addr: String,
+    },
+    /// Scrape and pretty-print a mirror's metrics endpoint.
+    Stats {
+        /// Metrics endpoint address (the `--metrics-addr` of a `serve`).
         addr: String,
     },
     /// Dump PERSEAS metadata from a mirror.
@@ -70,7 +79,9 @@ pub fn usage() -> String {
      \n\
      commands:\n\
     \x20 serve   [--addr HOST:PORT] [--name NAME]   run a mirror server\n\
+    \x20         [--metrics-addr HOST:PORT]         ... with a /metrics endpoint\n\
     \x20 ping     --addr HOST:PORT                  liveness-check a mirror\n\
+    \x20 stats    --addr HOST:PORT                  scrape and pretty-print /metrics\n\
     \x20 inspect  --addr HOST:PORT [--tag HEX]      dump PERSEAS metadata\n\
     \x20 backup   --addr HOST:PORT --out FILE       archive the database\n\
     \x20 restore  --addr HOST:PORT --in FILE        re-hydrate an archive\n"
@@ -132,13 +143,23 @@ pub fn parse(args: Vec<String>) -> Result<Command, UsageError> {
         "serve" => {
             let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7070".into());
             let name = take_flag(&mut args, "--name")?.unwrap_or_else(|| "perseas-mirror".into());
+            let metrics_addr = take_flag(&mut args, "--metrics-addr")?;
             reject_leftovers(args)?;
-            Ok(Command::Serve { addr, name })
+            Ok(Command::Serve {
+                addr,
+                name,
+                metrics_addr,
+            })
         }
         "ping" => {
             let addr = need_addr(&mut args)?;
             reject_leftovers(args)?;
             Ok(Command::Ping { addr })
+        }
+        "stats" => {
+            let addr = need_addr(&mut args)?;
+            reject_leftovers(args)?;
+            Ok(Command::Stats { addr })
         }
         "inspect" => {
             let addr = need_addr(&mut args)?;
@@ -167,6 +188,93 @@ pub fn parse(args: Vec<String>) -> Result<Command, UsageError> {
             "unknown command '{other}'\n\n{}",
             usage()
         ))),
+    }
+}
+
+/// Running servers started by [`start_serve`]: the mirror itself plus the
+/// optional `/metrics` endpoint exporting its request metrics.
+pub struct ServeHandles {
+    /// The network-RAM mirror server.
+    pub server: perseas_rnram::server::ServerHandle,
+    /// The metrics endpoint, present when a metrics address was given.
+    pub metrics: Option<perseas_obs::MetricsServerHandle>,
+}
+
+/// Starts a mirror server on `addr`, and — when `metrics_addr` is given —
+/// a `/metrics` HTTP endpoint exposing its request counters, latencies,
+/// byte totals, and connection churn.
+///
+/// This is `perseas serve` without the foreground `park()` loop, so tests
+/// can run it in-process and shut it down.
+///
+/// # Errors
+///
+/// Fails if either address cannot be bound.
+pub fn start_serve(
+    addr: &str,
+    name: &str,
+    metrics_addr: Option<&str>,
+) -> Result<ServeHandles, String> {
+    let server = Server::bind(name, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let (server, metrics) = match metrics_addr {
+        None => (server, None),
+        Some(maddr) => {
+            let registry = perseas_obs::Registry::new();
+            let server = server.with_metrics(&registry);
+            let handle = perseas_obs::MetricsServer::serve(maddr, registry)
+                .map_err(|e| format!("cannot bind metrics endpoint {maddr}: {e}"))?;
+            (server, Some(handle))
+        }
+    };
+    Ok(ServeHandles {
+        server: server.start(),
+        metrics,
+    })
+}
+
+/// Scrapes the `/metrics` endpoint at `addr` and renders the samples as an
+/// aligned, human-readable table.
+///
+/// # Errors
+///
+/// Fails if the endpoint is unreachable or its exposition does not parse.
+pub fn stats(addr: &str) -> Result<String, String> {
+    render_stats(&perseas_obs::scrape(addr)?)
+}
+
+fn render_stats(exposition: &str) -> Result<String, String> {
+    let samples = perseas_obs::parse_exposition(exposition)?;
+    if samples.is_empty() {
+        return Ok("no samples exported\n".to_string());
+    }
+    let rows: Vec<(String, String)> = samples
+        .iter()
+        .map(|s| {
+            let mut key = s.name.clone();
+            if !s.labels.is_empty() {
+                let labels: Vec<String> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect();
+                let _ = write!(key, "{{{}}}", labels.join(","));
+            }
+            (key, render_value(s.value))
+        })
+        .collect();
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (key, value) in rows {
+        let _ = writeln!(out, "{key:<width$}  {value}");
+    }
+    Ok(out)
+}
+
+fn render_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
     }
 }
 
@@ -271,16 +379,37 @@ mod tests {
             parse(v(&["serve"])).unwrap(),
             Command::Serve {
                 addr: "127.0.0.1:7070".into(),
-                name: "perseas-mirror".into()
+                name: "perseas-mirror".into(),
+                metrics_addr: None
             }
         );
         assert_eq!(
             parse(v(&["serve", "--addr", "0.0.0.0:9", "--name", "n1"])).unwrap(),
             Command::Serve {
                 addr: "0.0.0.0:9".into(),
-                name: "n1".into()
+                name: "n1".into(),
+                metrics_addr: None
             }
         );
+        assert_eq!(
+            parse(v(&["serve", "--metrics-addr", "127.0.0.1:9185"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7070".into(),
+                name: "perseas-mirror".into(),
+                metrics_addr: Some("127.0.0.1:9185".into())
+            }
+        );
+    }
+
+    #[test]
+    fn parse_stats() {
+        assert_eq!(
+            parse(v(&["stats", "--addr", "127.0.0.1:9185"])).unwrap(),
+            Command::Stats {
+                addr: "127.0.0.1:9185".into()
+            }
+        );
+        assert!(parse(v(&["stats"])).is_err());
     }
 
     #[test]
@@ -370,6 +499,48 @@ mod tests {
         assert!(report2.contains("regions:         1"), "{report2}");
         server.shutdown();
         server2.shutdown();
+    }
+
+    #[test]
+    fn serve_with_metrics_is_scrapeable_via_stats() {
+        let handles = start_serve("127.0.0.1:0", "obs-node", Some("127.0.0.1:0")).unwrap();
+        let addr = handles.server.addr().to_string();
+        let metrics_addr = handles.metrics.as_ref().unwrap().addr().to_string();
+
+        // Drive some traffic so the scrape has non-zero counters.
+        let c = TcpRemote::connect(&addr).unwrap();
+        let mut db = Perseas::init(vec![c], PerseasConfig::default()).unwrap();
+        let r = db.malloc(64).unwrap();
+        db.init_remote_db().unwrap();
+        db.transaction(|t| t.update(r, 0, &[3; 16])).unwrap();
+
+        let report = stats(&metrics_addr).unwrap();
+        assert!(
+            report.contains("perseas_server_requests_total{op=\"write"),
+            "{report}"
+        );
+        assert!(
+            report.contains("perseas_server_connections_total"),
+            "{report}"
+        );
+        // Integral counters render without a decimal point.
+        assert!(!report.contains("perseas_server_connections_total  1.0"));
+
+        // A bad port is a clean error, not a panic.
+        assert!(stats("127.0.0.1:1").is_err());
+        handles.server.shutdown();
+    }
+
+    #[test]
+    fn stats_renders_aligned_integers_and_floats() {
+        let report = render_stats(
+            "# HELP a_total help\n# TYPE a_total counter\na_total 3\n\
+             # HELP b_seconds help\n# TYPE b_seconds summary\nb_seconds_sum 0.25\n",
+        )
+        .unwrap();
+        assert!(report.contains("a_total        3\n"), "{report}");
+        assert!(report.contains("b_seconds_sum  0.25\n"), "{report}");
+        assert!(render_stats("garbage {{{\n").is_err());
     }
 
     #[test]

@@ -5,8 +5,7 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use perseas_cli::{backup, inspect, parse, ping, restore, Command};
-use perseas_rnram::server::Server;
+use perseas_cli::{backup, inspect, parse, ping, restore, start_serve, stats, Command};
 
 fn main() -> ExitCode {
     let command = match parse(env::args().skip(1).collect()) {
@@ -27,14 +26,19 @@ fn main() -> ExitCode {
 
 fn run(command: Command) -> Result<(), String> {
     match command {
-        Command::Serve { addr, name } => {
-            let handle = Server::bind(name.clone(), addr.as_str())
-                .map_err(|e| format!("cannot bind {addr}: {e}"))?
-                .start();
+        Command::Serve {
+            addr,
+            name,
+            metrics_addr,
+        } => {
+            let handles = start_serve(&addr, &name, metrics_addr.as_deref())?;
             println!(
                 "mirror '{name}' exporting memory on {} (ctrl-c to stop)",
-                handle.addr()
+                handles.server.addr()
             );
+            if let Some(metrics) = &handles.metrics {
+                println!("metrics on http://{}/metrics", metrics.addr());
+            }
             loop {
                 std::thread::park();
             }
@@ -42,6 +46,10 @@ fn run(command: Command) -> Result<(), String> {
         Command::Ping { addr } => {
             let name = ping(&addr).map_err(|e| e.to_string())?;
             println!("{addr} is alive: node '{name}'");
+            Ok(())
+        }
+        Command::Stats { addr } => {
+            print!("{}", stats(&addr)?);
             Ok(())
         }
         Command::Inspect { addr, tag } => {

@@ -426,6 +426,12 @@ impl<M: RemoteMemory> Perseas<M> {
         self.ensure_concurrent()?;
         self.ensure_phase(Phase::Ready)?;
         self.check_commit_quorum()?;
+        // Group-commit timing exists only with metrics installed; the
+        // clocks are read, never advanced.
+        let timer = self
+            .metrics
+            .as_ref()
+            .map(|_| (self.clock.now(), std::time::Instant::now()));
         let mut ids: Vec<u64> = tokens.iter().map(|t| t.id).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -446,6 +452,7 @@ impl<M: RemoteMemory> Perseas<M> {
             // Nothing was written: resolve every member locally, no
             // durable trace needed.
             self.finish_group(&ids, &[], &[], self.last_committed, 0, 0, 0);
+            self.record_group_latency(timer);
             return Ok(());
         }
 
@@ -652,6 +659,7 @@ impl<M: RemoteMemory> Perseas<M> {
                     batch_bytes,
                     undo_bytes,
                 );
+                self.record_group_latency(timer);
                 Ok(())
             }
             Err(e @ TxnError::CommitInDoubt { .. }) => {
@@ -666,6 +674,7 @@ impl<M: RemoteMemory> Perseas<M> {
                     batch_bytes,
                     undo_bytes,
                 );
+                self.record_group_latency(timer);
                 Err(e)
             }
             // Crashed, or no healthy mirror holds the record reliably:
@@ -817,6 +826,17 @@ impl<M: RemoteMemory> Perseas<M> {
     fn release_claims(&mut self, id: u64) {
         for map in &mut self.conc.claims {
             map.retain(|_, &mut (_, owner)| owner != id);
+        }
+    }
+
+    /// Records the group-commit latency histograms from a timer captured
+    /// at `commit_group` entry (`None` when metrics are not installed).
+    fn record_group_latency(
+        &self,
+        timer: Option<(perseas_simtime::SimInstant, std::time::Instant)>,
+    ) {
+        if let (Some(m), Some((sim0, wall0))) = (self.metrics.as_ref(), timer) {
+            m.record_group_commit(self.clock.now().duration_since(sim0), wall0.elapsed());
         }
     }
 

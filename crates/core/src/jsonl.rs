@@ -1,0 +1,255 @@
+//! Structured JSONL tracing: adapts the [`TraceEvent`] stream onto a
+//! [`JsonlSink`].
+//!
+//! Every line carries the sink's monotonic `seq`, a `kind`, and the
+//! event's identifying fields (`txn`, `mirror`, `epoch`, byte counts).
+//! Transaction-resolution events additionally carry a wall-clock
+//! `duration_us` measured from the matching `txn_begin`, so a trace can
+//! be analysed for latency without replaying it.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use perseas_obs::{Json, JsonlSink};
+
+use crate::trace::{TraceEvent, Tracer};
+
+/// A [`Tracer`] writing one JSON object per [`TraceEvent`].
+///
+/// ```
+/// use perseas_core::{JsonlTracer, Perseas, PerseasConfig, TransactionalMemory};
+/// use perseas_obs::JsonlSink;
+/// use perseas_rnram::SimRemote;
+///
+/// # fn main() -> Result<(), perseas_txn::TxnError> {
+/// let sink = JsonlSink::in_memory();
+/// let mut db = Perseas::init(vec![SimRemote::new("m")], PerseasConfig::default())?;
+/// db.set_tracer(Box::new(JsonlTracer::new(sink.clone())));
+/// let r = db.malloc(64)?;
+/// db.init_remote_db()?;
+/// db.transaction(|t| t.update(r, 0, &[7; 8]))?;
+/// assert!(sink.lines().iter().any(|l| l.contains("\"kind\":\"txn_committed\"")));
+/// # Ok(())
+/// # }
+/// ```
+pub struct JsonlTracer {
+    sink: JsonlSink,
+    /// Wall-clock begin instants of open transactions, for `duration_us`
+    /// on the matching resolution event.
+    begun: HashMap<u64, Instant>,
+}
+
+impl JsonlTracer {
+    /// Wraps a sink. The sink may be shared (cloned) with other writers;
+    /// sequence numbers stay totally ordered across all of them.
+    pub fn new(sink: JsonlSink) -> JsonlTracer {
+        JsonlTracer {
+            sink,
+            begun: HashMap::new(),
+        }
+    }
+
+    fn duration_of(&mut self, id: u64) -> Option<Json> {
+        self.begun
+            .remove(&id)
+            .map(|t0| Json::UInt(t0.elapsed().as_micros().min(u64::MAX as u128) as u64))
+    }
+}
+
+impl Tracer for JsonlTracer {
+    fn event(&mut self, event: &TraceEvent) {
+        let (kind, mut fields): (&str, Vec<(&str, Json)>) = match event {
+            TraceEvent::TxnBegin { id } => {
+                self.begun.insert(*id, Instant::now());
+                ("txn_begin", vec![("txn", Json::UInt(*id))])
+            }
+            TraceEvent::SetRange {
+                id,
+                region,
+                offset,
+                len,
+            } => (
+                "set_range",
+                vec![
+                    ("txn", Json::UInt(*id)),
+                    ("region", Json::UInt(*region as u64)),
+                    ("offset", Json::UInt(*offset as u64)),
+                    ("len", Json::UInt(*len as u64)),
+                ],
+            ),
+            TraceEvent::UndoGrown { new_capacity } => (
+                "undo_grown",
+                vec![("new_capacity", Json::UInt(*new_capacity as u64))],
+            ),
+            TraceEvent::CommitBatch {
+                id,
+                mirrors,
+                ranges,
+                bytes,
+                undo_bytes,
+            } => (
+                "commit_batch",
+                vec![
+                    ("txn", Json::UInt(*id)),
+                    ("mirrors", Json::UInt(*mirrors as u64)),
+                    ("ranges", Json::UInt(*ranges as u64)),
+                    ("bytes", Json::UInt(*bytes as u64)),
+                    ("undo_bytes", Json::UInt(*undo_bytes as u64)),
+                ],
+            ),
+            TraceEvent::TxnCommitted { id, ranges, bytes } => (
+                "txn_committed",
+                vec![
+                    ("txn", Json::UInt(*id)),
+                    ("ranges", Json::UInt(*ranges as u64)),
+                    ("bytes", Json::UInt(*bytes as u64)),
+                ],
+            ),
+            TraceEvent::TxnAborted { id } => ("txn_aborted", vec![("txn", Json::UInt(*id))]),
+            TraceEvent::MirrorAdded { index } => {
+                ("mirror_added", vec![("mirror", Json::UInt(*index as u64))])
+            }
+            TraceEvent::MirrorRemoved { index } => (
+                "mirror_removed",
+                vec![("mirror", Json::UInt(*index as u64))],
+            ),
+            TraceEvent::MirrorDown { index, error } => (
+                "mirror_down",
+                vec![
+                    ("mirror", Json::UInt(*index as u64)),
+                    ("error", Json::str(error.clone())),
+                ],
+            ),
+            TraceEvent::MirrorRejoined { index, epoch } => (
+                "mirror_rejoined",
+                vec![
+                    ("mirror", Json::UInt(*index as u64)),
+                    ("epoch", Json::UInt(*epoch)),
+                ],
+            ),
+            TraceEvent::EpochBump { epoch } => ("epoch_bump", vec![("epoch", Json::UInt(*epoch))]),
+            TraceEvent::DegradedCommit {
+                id,
+                healthy,
+                mirrors,
+            } => (
+                "degraded_commit",
+                vec![
+                    ("txn", Json::UInt(*id)),
+                    ("healthy", Json::UInt(*healthy as u64)),
+                    ("mirrors", Json::UInt(*mirrors as u64)),
+                ],
+            ),
+            TraceEvent::TxnConflict {
+                id,
+                holder,
+                region,
+                offset,
+                len,
+            } => (
+                "txn_conflict",
+                vec![
+                    ("txn", Json::UInt(*id)),
+                    ("holder", Json::UInt(*holder)),
+                    ("region", Json::UInt(*region as u64)),
+                    ("offset", Json::UInt(*offset as u64)),
+                    ("len", Json::UInt(*len as u64)),
+                ],
+            ),
+            TraceEvent::GroupCommit {
+                txns,
+                ranges,
+                bytes,
+                undo_bytes,
+            } => (
+                "group_commit",
+                vec![
+                    (
+                        "txns",
+                        Json::Array(txns.iter().map(|&id| Json::UInt(id)).collect()),
+                    ),
+                    ("ranges", Json::UInt(*ranges as u64)),
+                    ("bytes", Json::UInt(*bytes as u64)),
+                    ("undo_bytes", Json::UInt(*undo_bytes as u64)),
+                ],
+            ),
+            TraceEvent::Flush { posted, bytes } => (
+                "flush",
+                vec![
+                    ("posted", Json::UInt(*posted as u64)),
+                    ("bytes", Json::UInt(*bytes as u64)),
+                ],
+            ),
+            TraceEvent::Crashed => {
+                self.begun.clear();
+                ("crashed", vec![])
+            }
+        };
+        match event {
+            TraceEvent::TxnCommitted { id, .. } | TraceEvent::TxnAborted { id } => {
+                if let Some(d) = self.duration_of(*id) {
+                    fields.push(("duration_us", d));
+                }
+            }
+            _ => {}
+        }
+        self.sink.emit(kind, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_become_jsonl_with_durations() {
+        let sink = JsonlSink::in_memory();
+        let mut tracer = JsonlTracer::new(sink.clone());
+        tracer.event(&TraceEvent::TxnBegin { id: 9 });
+        tracer.event(&TraceEvent::SetRange {
+            id: 9,
+            region: 0,
+            offset: 16,
+            len: 8,
+        });
+        tracer.event(&TraceEvent::TxnCommitted {
+            id: 9,
+            ranges: 1,
+            bytes: 8,
+        });
+        tracer.event(&TraceEvent::TxnAborted { id: 10 });
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        let committed = Json::parse(&lines[2]).unwrap();
+        assert_eq!(
+            committed.get("kind").unwrap().as_str(),
+            Some("txn_committed")
+        );
+        assert_eq!(committed.get("txn").unwrap().as_f64(), Some(9.0));
+        assert!(committed.get("duration_us").is_some(), "begin was tracked");
+        // An abort with no tracked begin has no duration.
+        let aborted = Json::parse(&lines[3]).unwrap();
+        assert!(aborted.get("duration_us").is_none());
+        // Sequence numbers are the line index.
+        for (i, line) in lines.iter().enumerate() {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("seq").unwrap().as_f64(), Some(i as f64));
+        }
+    }
+
+    #[test]
+    fn group_commit_carries_member_ids() {
+        let sink = JsonlSink::in_memory();
+        let mut tracer = JsonlTracer::new(sink.clone());
+        tracer.event(&TraceEvent::GroupCommit {
+            txns: vec![3, 4, 5],
+            ranges: 2,
+            bytes: 64,
+            undo_bytes: 96,
+        });
+        let v = Json::parse(&sink.lines()[0]).unwrap();
+        let ids = v.get("txns").unwrap().as_array().unwrap();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0].as_f64(), Some(3.0));
+    }
+}

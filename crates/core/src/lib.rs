@@ -57,7 +57,9 @@ mod conc;
 mod concurrent;
 mod config;
 mod fault;
+mod jsonl;
 mod layout;
+mod metrics;
 mod perseas;
 mod recovery;
 mod replica;
@@ -70,10 +72,12 @@ pub use conc::TxnToken;
 pub use concurrent::{ConcurrentPerseas, TxnHandle};
 pub use config::PerseasConfig;
 pub use fault::FaultPlan;
+pub use jsonl::JsonlTracer;
 pub use layout::{
     commit_table_offset, crc32, decode_commit_table, decode_region_entry, MetaHeader, UndoRecord,
     FLAG_CONCURRENT, META_TAG, OFF_COMMIT, OFF_EPOCH,
 };
+pub use metrics::record_recovery;
 pub use perseas::{MirrorHealth, MirrorStatus, Perseas};
 pub use recovery::RecoveryReport;
 pub use replica::ReadReplica;

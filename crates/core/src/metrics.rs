@@ -1,0 +1,374 @@
+//! Metrics instrumentation for the transaction engine.
+//!
+//! [`Perseas::set_metrics`] installs a [`CoreMetrics`] bundle of typed
+//! handles into a shared [`Registry`]; every [`TraceEvent`] the engine
+//! emits is then mirrored into counters and gauges, and the commit paths
+//! record latency histograms in both time bases (virtual [`SimClock`]
+//! time and wall-clock time). Without metrics installed the overhead is
+//! a single branch per milestone — virtual-time measurements are
+//! untouched, which is what keeps the sim-mode bench CSVs byte-identical
+//! with the registry off.
+//!
+//! The metric names registered here are a stable contract; see
+//! `docs/OBSERVABILITY.md`.
+//!
+//! [`Perseas::set_metrics`]: crate::Perseas::set_metrics
+//! [`SimClock`]: perseas_simtime::SimClock
+
+use perseas_obs::{Counter, Gauge, Histo, Registry};
+use perseas_simtime::SimDuration;
+
+use crate::recovery::RecoveryReport;
+use crate::trace::TraceEvent;
+
+/// Typed handles into a [`Registry`] for every engine-level metric.
+///
+/// Owned by [`Perseas`](crate::Perseas); updated from
+/// [`TraceEvent`]s plus a few explicit latency hooks on the commit
+/// paths.
+pub(crate) struct CoreMetrics {
+    registry: Registry,
+    begun: Counter,
+    committed: Counter,
+    committed_bytes: Counter,
+    aborted: Counter,
+    conflicts: Counter,
+    quorum_refusals: Counter,
+    degraded_commits: Counter,
+    group_commits: Counter,
+    group_txns: Counter,
+    commit_batches: Counter,
+    set_ranges: Counter,
+    crashes: Counter,
+    flush_barriers: Counter,
+    flush_posted: Counter,
+    flush_bytes: Counter,
+    undo_grown: Counter,
+    undo_capacity: Gauge,
+    epoch: Gauge,
+    mirrors: Gauge,
+    fenced: Counter,
+    rejoins: Counter,
+    resync_bytes: Counter,
+    commit_wall: Histo,
+    commit_virtual: Histo,
+    group_commit_wall: Histo,
+    group_commit_virtual: Histo,
+}
+
+impl CoreMetrics {
+    pub(crate) fn new(registry: &Registry) -> CoreMetrics {
+        let r = registry;
+        CoreMetrics {
+            registry: r.clone(),
+            begun: r.counter("perseas_txn_begun_total", "Transactions begun."),
+            committed: r.counter("perseas_txn_committed_total", "Transactions committed."),
+            committed_bytes: r.counter(
+                "perseas_txn_committed_bytes_total",
+                "Database bytes made durable by committed transactions.",
+            ),
+            aborted: r.counter("perseas_txn_aborted_total", "Transactions aborted."),
+            conflicts: r.counter(
+                "perseas_txn_conflicts_total",
+                "Range claims refused because another open transaction holds them.",
+            ),
+            quorum_refusals: r.counter(
+                "perseas_txn_quorum_refusals_total",
+                "Operations refused because fewer than commit_quorum mirrors are healthy.",
+            ),
+            degraded_commits: r.counter(
+                "perseas_txn_degraded_commits_total",
+                "Commits that completed with at least one mirror down.",
+            ),
+            group_commits: r.counter(
+                "perseas_txn_group_commits_total",
+                "Group commits (one durability fan-out covering several transactions).",
+            ),
+            group_txns: r.counter(
+                "perseas_txn_group_txns_total",
+                "Transactions resolved by group commits.",
+            ),
+            commit_batches: r.counter(
+                "perseas_txn_commit_batches_total",
+                "Batched-commit pipelines executed.",
+            ),
+            set_ranges: r.counter(
+                "perseas_txn_set_ranges_total",
+                "Before-images logged by set_range.",
+            ),
+            crashes: r.counter("perseas_txn_crashes_total", "Injected or real crashes."),
+            flush_barriers: r.counter(
+                "perseas_txn_flush_barriers_total",
+                "Ack barriers that confirmed posted work at a durability claim.",
+            ),
+            flush_posted: r.counter(
+                "perseas_txn_flush_posted_total",
+                "Posted operations confirmed by ack barriers.",
+            ),
+            flush_bytes: r.counter(
+                "perseas_txn_flush_bytes_total",
+                "Posted bytes confirmed by ack barriers.",
+            ),
+            undo_grown: r.counter(
+                "perseas_txn_undo_grown_total",
+                "Times the mirrored undo log was grown.",
+            ),
+            undo_capacity: r.gauge(
+                "perseas_undo_capacity_bytes",
+                "Current capacity of the mirrored undo log.",
+            ),
+            epoch: r.gauge(
+                "perseas_epoch",
+                "Mirror-set epoch (bumped on every membership change).",
+            ),
+            mirrors: r.gauge(
+                "perseas_mirrors",
+                "Mirror nodes in the set (healthy or not).",
+            ),
+            fenced: r.counter(
+                "perseas_mirror_fenced_total",
+                "Mirrors fenced out of the set after a failed remote operation.",
+            ),
+            rejoins: r.counter(
+                "perseas_mirror_rejoins_total",
+                "Mirrors resynced and promoted back to healthy.",
+            ),
+            resync_bytes: r.counter(
+                "perseas_mirror_resync_bytes_total",
+                "Region-image bytes streamed to rejoining or newly added mirrors.",
+            ),
+            commit_wall: r.histogram(
+                "perseas_txn_commit_seconds",
+                "Wall-clock latency of commit_transaction (legacy path).",
+            ),
+            commit_virtual: r.histogram(
+                "perseas_txn_commit_virtual_seconds",
+                "Virtual-time latency of commit_transaction (legacy path).",
+            ),
+            group_commit_wall: r.histogram(
+                "perseas_txn_group_commit_seconds",
+                "Wall-clock latency of commit_group.",
+            ),
+            group_commit_virtual: r.histogram(
+                "perseas_txn_group_commit_virtual_seconds",
+                "Virtual-time latency of commit_group.",
+            ),
+        }
+    }
+
+    /// The per-mirror health gauge (1 healthy, 0 suspect/down).
+    /// Registration is idempotent, so resolving it on each health event
+    /// is cheap enough for a membership-change-rate path.
+    fn mirror_healthy(&self, index: usize) -> Gauge {
+        self.registry.gauge_with(
+            "perseas_mirror_healthy",
+            "Per-mirror health (1 = healthy and receiving every write).",
+            &[("mirror", &index.to_string())],
+        )
+    }
+
+    /// Seeds the membership gauges at installation time.
+    pub(crate) fn seed(&self, epoch: u64, mirror_healthy: &[bool], undo_capacity: usize) {
+        self.epoch.set(epoch as i64);
+        self.mirrors.set(mirror_healthy.len() as i64);
+        self.undo_capacity.set(undo_capacity as i64);
+        for (i, &healthy) in mirror_healthy.iter().enumerate() {
+            self.mirror_healthy(i).set(healthy as i64);
+        }
+    }
+
+    /// Mirrors one trace event into the counters and gauges.
+    pub(crate) fn observe(&self, event: &TraceEvent) {
+        match event {
+            TraceEvent::TxnBegin { .. } => self.begun.inc(),
+            TraceEvent::SetRange { .. } => self.set_ranges.inc(),
+            TraceEvent::UndoGrown { new_capacity } => {
+                self.undo_grown.inc();
+                self.undo_capacity.set(*new_capacity as i64);
+            }
+            TraceEvent::CommitBatch { .. } => self.commit_batches.inc(),
+            TraceEvent::TxnCommitted { bytes, .. } => {
+                self.committed.inc();
+                self.committed_bytes.add(*bytes as u64);
+            }
+            TraceEvent::TxnAborted { .. } => self.aborted.inc(),
+            TraceEvent::MirrorAdded { index } => {
+                self.mirrors.add(1);
+                self.mirror_healthy(*index).set(1);
+            }
+            TraceEvent::MirrorRemoved { index } => {
+                self.mirrors.add(-1);
+                self.mirror_healthy(*index).set(0);
+            }
+            TraceEvent::MirrorDown { index, .. } => {
+                self.fenced.inc();
+                self.mirror_healthy(*index).set(0);
+            }
+            TraceEvent::MirrorRejoined { index, .. } => {
+                self.rejoins.inc();
+                self.mirror_healthy(*index).set(1);
+            }
+            TraceEvent::EpochBump { epoch } => self.epoch.set(*epoch as i64),
+            TraceEvent::DegradedCommit { .. } => self.degraded_commits.inc(),
+            TraceEvent::TxnConflict { .. } => self.conflicts.inc(),
+            // The concurrent engine traces every commit fan-out as a
+            // GroupCommit, including single-transaction ones from the
+            // legacy facade; the metric only counts genuine groups.
+            TraceEvent::GroupCommit { txns, .. } if txns.len() > 1 => {
+                self.group_commits.inc();
+                self.group_txns.add(txns.len() as u64);
+            }
+            TraceEvent::GroupCommit { .. } => {}
+            TraceEvent::Flush { posted, bytes } => {
+                self.flush_barriers.inc();
+                self.flush_posted.add(*posted as u64);
+                self.flush_bytes.add(*bytes as u64);
+            }
+            TraceEvent::Crashed => self.crashes.inc(),
+        }
+    }
+
+    pub(crate) fn quorum_refusal(&self) {
+        self.quorum_refusals.inc();
+    }
+
+    pub(crate) fn resynced(&self, bytes: usize) {
+        self.resync_bytes.add(bytes as u64);
+    }
+
+    pub(crate) fn record_commit(&self, virtual_time: SimDuration, wall: std::time::Duration) {
+        self.commit_virtual.record_sim(virtual_time);
+        self.commit_wall.record_wall(wall);
+    }
+
+    pub(crate) fn record_group_commit(&self, virtual_time: SimDuration, wall: std::time::Duration) {
+        self.group_commit_virtual.record_sim(virtual_time);
+        self.group_commit_wall.record_wall(wall);
+    }
+}
+
+/// Records a completed [`recovery`](crate::Perseas::recover) into
+/// `registry`. Recovery constructs the instance, so it cannot run under
+/// an installed [`Perseas::set_metrics`](crate::Perseas::set_metrics)
+/// bundle — callers record the report explicitly instead.
+pub fn record_recovery(registry: &Registry, report: &RecoveryReport) {
+    registry
+        .counter("perseas_recovery_runs_total", "Recoveries performed.")
+        .inc();
+    registry
+        .counter(
+            "perseas_recovery_rolled_back_txns_total",
+            "In-flight transactions rolled back during recovery.",
+        )
+        .add(report.rolled_back_txns.len() as u64);
+    registry
+        .counter(
+            "perseas_recovery_rolled_back_records_total",
+            "Undo records applied during recovery rollback.",
+        )
+        .add(report.rolled_back_records as u64);
+    registry
+        .counter(
+            "perseas_recovery_bytes_total",
+            "Bytes copied remote-to-local to rebuild the database.",
+        )
+        .add(report.bytes_recovered as u64);
+    registry
+        .gauge(
+            "perseas_epoch",
+            "Mirror-set epoch (bumped on every membership change).",
+        )
+        .set(report.epoch as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perseas_obs::parse_exposition;
+
+    fn value(registry: &Registry, name: &str) -> f64 {
+        parse_exposition(&registry.render())
+            .unwrap()
+            .into_iter()
+            .find(|s| s.name == name && s.label("quantile").is_none())
+            .map(|s| s.value)
+            .unwrap_or(f64::NAN)
+    }
+
+    #[test]
+    fn events_map_onto_counters() {
+        let registry = Registry::new();
+        let m = CoreMetrics::new(&registry);
+        m.seed(3, &[true, true], 4096);
+        m.observe(&TraceEvent::TxnBegin { id: 1 });
+        m.observe(&TraceEvent::TxnCommitted {
+            id: 1,
+            ranges: 2,
+            bytes: 300,
+        });
+        m.observe(&TraceEvent::MirrorDown {
+            index: 1,
+            error: "cut".into(),
+        });
+        m.observe(&TraceEvent::DegradedCommit {
+            id: 2,
+            healthy: 1,
+            mirrors: 2,
+        });
+        m.observe(&TraceEvent::EpochBump { epoch: 4 });
+        m.observe(&TraceEvent::GroupCommit {
+            txns: (1..=8).collect(),
+            ranges: 8,
+            bytes: 8192,
+            undo_bytes: 9000,
+        });
+        m.record_commit(
+            SimDuration::from_micros(100),
+            std::time::Duration::from_micros(80),
+        );
+        assert_eq!(value(&registry, "perseas_txn_begun_total"), 1.0);
+        assert_eq!(value(&registry, "perseas_txn_committed_total"), 1.0);
+        assert_eq!(value(&registry, "perseas_txn_committed_bytes_total"), 300.0);
+        assert_eq!(value(&registry, "perseas_mirror_fenced_total"), 1.0);
+        assert_eq!(value(&registry, "perseas_txn_degraded_commits_total"), 1.0);
+        assert_eq!(value(&registry, "perseas_epoch"), 4.0);
+        assert_eq!(value(&registry, "perseas_txn_group_txns_total"), 8.0);
+        assert_eq!(value(&registry, "perseas_mirrors"), 2.0);
+        assert_eq!(
+            value(&registry, "perseas_txn_commit_virtual_seconds_count"),
+            1.0
+        );
+        // The per-mirror gauge flipped for mirror 1 and stayed up for 0.
+        let samples = parse_exposition(&registry.render()).unwrap();
+        let health: Vec<(String, f64)> = samples
+            .iter()
+            .filter(|s| s.name == "perseas_mirror_healthy")
+            .map(|s| (s.label("mirror").unwrap().to_string(), s.value))
+            .collect();
+        assert!(health.contains(&("0".to_string(), 1.0)));
+        assert!(health.contains(&("1".to_string(), 0.0)));
+    }
+
+    #[test]
+    fn recovery_report_is_recordable() {
+        let registry = Registry::new();
+        let report = RecoveryReport {
+            last_committed: 7,
+            epoch: 9,
+            rolled_back_txn: Some(8),
+            rolled_back_txns: vec![8, 9],
+            rolled_back_records: 5,
+            regions: 2,
+            bytes_recovered: 8192,
+        };
+        record_recovery(&registry, &report);
+        record_recovery(&registry, &report);
+        assert_eq!(value(&registry, "perseas_recovery_runs_total"), 2.0);
+        assert_eq!(
+            value(&registry, "perseas_recovery_rolled_back_txns_total"),
+            4.0
+        );
+        assert_eq!(value(&registry, "perseas_recovery_bytes_total"), 16384.0);
+        assert_eq!(value(&registry, "perseas_epoch"), 9.0);
+    }
+}

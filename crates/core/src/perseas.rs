@@ -14,6 +14,7 @@ use crate::layout::{
     MetaHeader, UndoRecord, FLAG_CONCURRENT, OFF_COMMIT, OFF_EPOCH, OFF_REGION_TABLE, OFF_UNDO,
     REGION_ENTRY_SIZE,
 };
+use crate::metrics::CoreMetrics;
 use crate::trace::{TraceEvent, Tracer};
 
 /// Per-mirror vectored write batch: each entry pairs a mirror index with
@@ -136,6 +137,7 @@ pub struct Perseas<M: RemoteMemory> {
     pub(crate) stats: TxnStats,
     pub(crate) fault: FaultPlan,
     pub(crate) tracer: Option<Box<dyn Tracer>>,
+    pub(crate) metrics: Option<CoreMetrics>,
     /// State of the concurrent engine (unused unless `cfg.concurrent`).
     pub(crate) conc: ConcState,
 }
@@ -195,6 +197,7 @@ impl<M: RemoteMemory> Perseas<M> {
             stats: TxnStats::new(),
             fault: FaultPlan::none(),
             tracer: None,
+            metrics: None,
             conc: ConcState::new(cfg.commit_slots),
             cfg,
         })
@@ -606,6 +609,13 @@ impl<M: RemoteMemory> Perseas<M> {
         }
         self.ensure_phase(Phase::InTxn)?;
         self.check_commit_quorum()?;
+        // Commit-latency timing exists only with metrics installed: the
+        // virtual clock is read, never advanced, and the wall clock is
+        // not consulted at all on the metrics-off path.
+        let timer = self
+            .metrics
+            .as_ref()
+            .map(|_| (self.clock.now(), std::time::Instant::now()));
         let mut txn = self.txn.take().expect("in txn");
         let ranges = coalesce(&txn.declared);
 
@@ -658,6 +668,9 @@ impl<M: RemoteMemory> Perseas<M> {
         }
         self.phase = Phase::Ready;
         self.stats.commits += 1;
+        if let (Some(m), Some((sim0, wall0))) = (self.metrics.as_ref(), timer) {
+            m.record_commit(self.clock.now().duration_since(sim0), wall0.elapsed());
+        }
         match in_doubt {
             None => Ok(()),
             Some(e) => Err(e),
@@ -853,7 +866,24 @@ impl<M: RemoteMemory> Perseas<M> {
         self.tracer = Some(tracer);
     }
 
+    /// Installs metrics: every protocol milestone is mirrored into
+    /// counters/gauges registered in `registry` and the commit paths
+    /// record latency histograms in both time bases (see
+    /// `docs/OBSERVABILITY.md` for the metric-name contract). Without
+    /// this call the overhead is a single branch per milestone and the
+    /// virtual clock is never touched, so sim-mode measurements are
+    /// byte-identical with metrics off.
+    pub fn set_metrics(&mut self, registry: &perseas_obs::Registry) {
+        let m = CoreMetrics::new(registry);
+        let health: Vec<bool> = self.mirrors.iter().map(|s| s.is_healthy()).collect();
+        m.seed(self.epoch, &health, self.undo_shadow.len());
+        self.metrics = Some(m);
+    }
+
     pub(crate) fn emit(&mut self, event: TraceEvent) {
+        if let Some(m) = self.metrics.as_ref() {
+            m.observe(&event);
+        }
         if let Some(t) = self.tracer.as_mut() {
             t.event(&event);
         }
@@ -1053,6 +1083,9 @@ impl<M: RemoteMemory> Perseas<M> {
             .and_then(|()| m.backend.flush().map(|_| ()))
             .map_err(unavailable)?;
         self.stats.add_remote_write(image.len());
+        if let Some(met) = self.metrics.as_ref() {
+            met.resynced(self.regions.iter().map(Vec::len).sum());
+        }
         self.mirrors.push(m);
         self.emit(TraceEvent::MirrorAdded {
             index: self.mirrors.len() - 1,
@@ -1145,6 +1178,7 @@ impl<M: RemoteMemory> Perseas<M> {
         self.mirrors[index].meta = meta;
         self.mirrors[index].undo = undo;
         self.mirrors[index].db.clear();
+        let mut resynced = 0usize;
         for ri in 0..self.regions.len() {
             self.fault_step()?;
             let aligned = self.cfg.aligned_memcpy;
@@ -1175,6 +1209,7 @@ impl<M: RemoteMemory> Perseas<M> {
                 }
             }
             self.stats.add_remote_write(region_len);
+            resynced += region_len;
         }
 
         // 4. Publish the metadata: region table first, the magic-bearing
@@ -1204,6 +1239,9 @@ impl<M: RemoteMemory> Perseas<M> {
         // 5. Promote.
         self.mirrors[index].health = MirrorHealth::Healthy;
         self.mirrors[index].probes = 0;
+        if let Some(m) = self.metrics.as_ref() {
+            m.resynced(resynced);
+        }
         self.emit(TraceEvent::MirrorRejoined {
             index,
             epoch: self.epoch,
@@ -1422,6 +1460,9 @@ impl<M: RemoteMemory> Perseas<M> {
     pub(crate) fn check_commit_quorum(&self) -> Result<(), TxnError> {
         let healthy = self.healthy_mirror_count();
         if healthy < self.cfg.commit_quorum {
+            if let Some(m) = self.metrics.as_ref() {
+                m.quorum_refusal();
+            }
             return Err(TxnError::Unavailable(format!(
                 "{healthy} healthy mirrors left, below the commit quorum of {}",
                 self.cfg.commit_quorum

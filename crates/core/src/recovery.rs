@@ -257,6 +257,7 @@ impl<M: RemoteMemory> Perseas<M> {
             stats: TxnStats::new(),
             fault: FaultPlan::none(),
             tracer: None,
+            metrics: None,
             conc: ConcState::new(cfg.commit_slots),
         };
         Ok((db, report))

@@ -1,0 +1,234 @@
+//! A minimal HTTP responder for `/metrics`, and the matching client.
+//!
+//! This is deliberately not a web server: one accept loop, one thread
+//! per connection, `GET /metrics` answered from the registry, everything
+//! else a 404. It exists so `perseas serve --metrics-addr` can be
+//! scraped by Prometheus (text exposition 0.0.4) and by `perseas stats`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Serves a [`Registry`] over HTTP.
+pub struct MetricsServer;
+
+/// Handle to a running metrics responder; shuts down on drop.
+pub struct MetricsServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves `GET /metrics` from `registry` on a
+    /// background thread. Bind to port 0 to pick a free port; the bound
+    /// address is available from the handle.
+    ///
+    /// # Errors
+    ///
+    /// Any error from binding the listener.
+    pub fn serve(addr: &str, registry: Registry) -> std::io::Result<MetricsServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let registry = registry.clone();
+                // Serve inline: scrapes are short-lived and strictly
+                // request/response, so one at a time is plenty and keeps
+                // shutdown from leaking threads.
+                let _ = serve_one(stream, &registry);
+            }
+        });
+        Ok(MetricsServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl MetricsServerHandle {
+    /// The bound address (useful after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the responder and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers; we answer from the request line alone.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = reader.into_inner();
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else if path == "/metrics" || path.starts_with("/metrics?") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics\n".to_string(),
+        )
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Issues a bare `GET {path}` to `addr` and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Connection or protocol failures, as a message.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> Result<(u16, String), String> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad address: {e}"))?
+        .next()
+        .ok_or_else(|| "bad address: no socket addrs".to_string())?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response: no header terminator".to_string())?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    Ok((status, body.to_string()))
+}
+
+/// Scrapes `/metrics` from `addr`, returning the exposition body.
+///
+/// # Errors
+///
+/// Connection failures or a non-200 status, as a message.
+pub fn scrape(addr: impl ToSocketAddrs) -> Result<String, String> {
+    let (status, body) = http_get(addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("/metrics returned status {status}"));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::parse_exposition;
+
+    #[test]
+    #[cfg_attr(miri, ignore = "miri cannot open sockets")]
+    fn serves_and_scrapes_metrics() {
+        let registry = Registry::new();
+        registry.counter("scrape_total", "Scrapes.").add(9);
+        let server = MetricsServer::serve("127.0.0.1:0", registry.clone()).unwrap();
+        let body = scrape(server.addr()).unwrap();
+        let samples = parse_exposition(&body).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "scrape_total" && s.value == 9.0));
+        // A second scrape sees live updates.
+        registry.counter("scrape_total", "").inc();
+        let body = scrape(server.addr()).unwrap();
+        assert!(body.contains("scrape_total 10"));
+        server.shutdown();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "miri cannot open sockets")]
+    fn unknown_paths_get_404_and_bad_methods_405() {
+        let server = MetricsServer::serve("127.0.0.1:0", Registry::new()).unwrap();
+        let (status, _) = http_get(server.addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "miri cannot open sockets")]
+    fn shutdown_is_idempotent_and_drop_cleans_up() {
+        let server = MetricsServer::serve("127.0.0.1:0", Registry::new()).unwrap();
+        let addr = server.addr();
+        drop(server);
+        // After drop the port no longer answers.
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+                || scrape(addr).is_err()
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! A structured JSONL trace sink.
+//!
+//! One JSON object per line, every line carrying a monotonic `seq` field
+//! stamped by the sink, so interleaved writers from several threads
+//! still produce a totally ordered, machine-parseable trace.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+
+enum Target {
+    Writer(Box<dyn Write + Send>),
+    Memory(Vec<String>),
+}
+
+struct Inner {
+    seq: AtomicU64,
+    target: Mutex<Target>,
+}
+
+/// A shared sink writing one JSON object per line.
+///
+/// Cloning shares the sink; `seq` stays monotonic across all clones.
+#[derive(Clone)]
+pub struct JsonlSink {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("seq", &self.inner.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    fn from_target(target: Target) -> JsonlSink {
+        JsonlSink {
+            inner: Arc::new(Inner {
+                seq: AtomicU64::new(0),
+                target: Mutex::new(target),
+            }),
+        }
+    }
+
+    /// A sink writing to any `Write` implementor (buffered by the caller
+    /// if desired).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink::from_target(Target::Writer(w))
+    }
+
+    /// A sink appending lines to an in-memory buffer, for tests; read it
+    /// back with [`JsonlSink::lines`].
+    pub fn in_memory() -> JsonlSink {
+        JsonlSink::from_target(Target::Memory(Vec::new()))
+    }
+
+    /// A sink writing to a freshly created (truncated) file, buffered.
+    ///
+    /// # Errors
+    ///
+    /// Any error from creating the file.
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Emits one trace line: `{"seq":N,"kind":<kind>,...fields}`.
+    /// Write errors are swallowed — tracing must never take down the
+    /// traced system.
+    pub fn emit(&self, kind: &str, fields: Vec<(&str, Json)>) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let mut object = vec![
+            ("seq".to_string(), Json::UInt(seq)),
+            ("kind".to_string(), Json::str(kind)),
+        ];
+        object.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        let line = Json::Object(object).to_string();
+        match &mut *self.inner.target.lock() {
+            Target::Writer(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+            Target::Memory(lines) => lines.push(line),
+        }
+    }
+
+    /// Number of lines emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the underlying writer (no-op for in-memory sinks).
+    pub fn flush(&self) {
+        if let Target::Writer(w) = &mut *self.inner.target.lock() {
+            let _ = w.flush();
+        }
+    }
+
+    /// The lines captured by an [`JsonlSink::in_memory`] sink (empty for
+    /// writer-backed sinks).
+    pub fn lines(&self) -> Vec<String> {
+        match &*self.inner.target.lock() {
+            Target::Memory(lines) => lines.clone(),
+            Target::Writer(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_carry_monotonic_seq_and_parse() {
+        let sink = JsonlSink::in_memory();
+        sink.emit("txn_begin", vec![("txn", Json::UInt(1))]);
+        sink.emit(
+            "txn_committed",
+            vec![("txn", Json::UInt(1)), ("bytes", Json::UInt(4096))],
+        );
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v = Json::parse(line).expect("valid JSON");
+            assert_eq!(v.get("seq").unwrap().as_f64(), Some(i as f64));
+        }
+        let last = Json::parse(&lines[1]).unwrap();
+        assert_eq!(last.get("kind").unwrap().as_str(), Some("txn_committed"));
+        assert_eq!(last.get("bytes").unwrap().as_f64(), Some(4096.0));
+        assert_eq!(sink.emitted(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_sequence() {
+        let sink = JsonlSink::in_memory();
+        let clone = sink.clone();
+        sink.emit("a", vec![]);
+        clone.emit("b", vec![]);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"seq\":1"));
+    }
+
+    #[test]
+    fn seq_is_total_across_threads() {
+        let sink = JsonlSink::in_memory();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        sink.emit(
+                            "tick",
+                            vec![("thread", Json::UInt(t)), ("i", Json::UInt(i))],
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut seqs: Vec<u64> = sink
+            .lines()
+            .iter()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("seq")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap() as u64
+            })
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..400).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn file_sink_writes_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "perseas-obs-jsonl-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::to_file(&path).unwrap();
+        sink.emit("hello", vec![("n", Json::UInt(7))]);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(Json::parse(text.lines().next().unwrap()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

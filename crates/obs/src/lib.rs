@@ -1,0 +1,60 @@
+//! # perseas-obs — observability for the PERSEAS reproduction
+//!
+//! The paper's whole argument is quantitative (copy counts, message
+//! counts, latency percentiles), so the library's perf-critical
+//! subsystems need a uniform way to be observed while running. This
+//! crate provides the four pieces the rest of the workspace builds on:
+//!
+//! * [`Registry`] — a lock-cheap metrics registry handing out typed
+//!   handles: monotonic [`Counter`]s, [`Gauge`]s, and [`Histo`]grams
+//!   (power-of-two-bucket latency histograms reusing
+//!   [`perseas_simtime::Histogram`], recording wall-clock *and*
+//!   virtual-time durations). Handles are `Clone + Send + Sync` and
+//!   update through atomics — the registry lock is taken only at
+//!   registration and render time.
+//! * Prometheus text exposition: [`Registry::render`] encodes every
+//!   registered family in the text format (histograms as summaries with
+//!   `quantile` labels), and [`parse_exposition`] parses it back for
+//!   tests and the `perseas stats` pretty-printer.
+//! * [`JsonlSink`] — a structured JSONL trace sink: one JSON object per
+//!   line, each carrying a monotonic sequence number, for machine-
+//!   readable protocol traces (`perseas-core`'s `JsonlTracer` adapts
+//!   its `TraceEvent` stream onto this).
+//! * [`MetricsServer`] — a minimal HTTP responder serving `/metrics`,
+//!   plus the matching [`scrape`] client used by `perseas stats`, the
+//!   integration tests, and the bench-gate tooling.
+//!
+//! The [`Json`] value type (with its writer and a small parser) is
+//! shared by the JSONL sink, the benches' `BENCH_*.json` emitters, and
+//! `tools/bench_gate.rs`.
+//!
+//! The metric *names* exported by the workspace form a stable contract
+//! documented in `docs/OBSERVABILITY.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use perseas_obs::Registry;
+//! use perseas_simtime::SimDuration;
+//!
+//! let registry = Registry::new();
+//! let commits = registry.counter("demo_commits_total", "Transactions committed.");
+//! let latency = registry.histogram("demo_commit_seconds", "Commit latency.");
+//! commits.inc();
+//! latency.record_sim(SimDuration::from_micros(12));
+//!
+//! let text = registry.render();
+//! assert!(text.contains("demo_commits_total 1"));
+//! let samples = perseas_obs::parse_exposition(&text).unwrap();
+//! assert!(samples.iter().any(|s| s.name == "demo_commits_total" && s.value == 1.0));
+//! ```
+
+mod http;
+mod json;
+mod jsonl;
+mod registry;
+
+pub use http::{http_get, scrape, MetricsServer, MetricsServerHandle};
+pub use json::Json;
+pub use jsonl::JsonlSink;
+pub use registry::{parse_exposition, Counter, Gauge, Histo, Registry, Sample};

@@ -1,0 +1,599 @@
+//! The metrics registry and its typed handles.
+//!
+//! Registration takes the registry lock once and hands back a handle;
+//! every subsequent update is an atomic operation (counters, gauges) or
+//! one short mutex acquisition (histograms). Handles stay valid for the
+//! life of the registry and may be cloned freely across threads.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use perseas_simtime::{Histogram, SimDuration};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency histogram in power-of-two nanosecond buckets (backed by
+/// [`perseas_simtime::Histogram`], so virtual-time and wall-clock
+/// samples share one representation).
+///
+/// By convention histogram family names end in `_seconds`; samples are
+/// recorded in nanoseconds and rendered in seconds.
+#[derive(Debug, Clone)]
+pub struct Histo(Arc<Mutex<Histogram>>);
+
+impl Histo {
+    /// Records a virtual-time duration.
+    pub fn record_sim(&self, d: SimDuration) {
+        self.0.lock().record(d);
+    }
+
+    /// Records a wall-clock duration.
+    pub fn record_wall(&self, d: std::time::Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records a raw nanosecond sample.
+    pub fn record_ns(&self, ns: u64) {
+        self.0.lock().record(SimDuration::from_nanos(ns));
+    }
+
+    /// A snapshot of the underlying histogram (for percentile queries).
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().clone()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histo(Arc<Mutex<Histogram>>),
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    /// Children keyed by their label set, in registration order.
+    children: Vec<(Vec<(String, String)>, Slot)>,
+}
+
+/// A set of metric families with Prometheus text exposition.
+///
+/// Cloning shares the underlying storage (it is an `Arc`), so one
+/// registry can be threaded through a `Perseas` instance, a network-RAM
+/// server, and an HTTP responder at once.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: Arc<Mutex<Vec<Family>>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().enumerate().all(|(i, b)| {
+            b.is_ascii_alphabetic() || b == b'_' || b == b':' || (i > 0 && b.is_ascii_digit())
+        })
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// `true` if both handles refer to the same underlying storage.
+    pub fn same_registry(&self, other: &Registry) -> bool {
+        Arc::ptr_eq(&self.families, &other.families)
+    }
+
+    fn register(&self, name: &str, help: &str, kind: Kind, labels: &[(&str, &str)]) -> Slot {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?}");
+        }
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert!(
+                    f.kind == kind,
+                    "metric {name:?} registered twice with different kinds"
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    children: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some((_, slot)) = family.children.iter().find(|(l, _)| *l == labels) {
+            return slot.clone();
+        }
+        let slot = match kind {
+            Kind::Counter => Slot::Counter(Arc::new(AtomicU64::new(0))),
+            Kind::Gauge => Slot::Gauge(Arc::new(AtomicI64::new(0))),
+            Kind::Histogram => Slot::Histo(Arc::new(Mutex::new(Histogram::new()))),
+        };
+        family.children.push((labels, slot.clone()));
+        slot
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or if `name` is already
+    /// registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a counter with the given label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names or a kind mismatch.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, Kind::Counter, labels) {
+            Slot::Counter(c) => Counter(c),
+            _ => unreachable!("register checked the kind"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names or a kind mismatch.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a gauge with the given label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names or a kind mismatch.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, Kind::Gauge, labels) {
+            Slot::Gauge(g) => Gauge(g),
+            _ => unreachable!("register checked the kind"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled histogram. Use a name
+    /// ending in `_seconds`: samples are rendered in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names or a kind mismatch.
+    pub fn histogram(&self, name: &str, help: &str) -> Histo {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a histogram with the given label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names or a kind mismatch.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histo {
+        match self.register(name, help, Kind::Histogram, labels) {
+            Slot::Histo(h) => Histo(h),
+            _ => unreachable!("register checked the kind"),
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (version 0.0.4). Histograms are encoded as summaries with
+    /// `quantile="0.5" / "0.95" / "0.99"` children plus `_sum` and
+    /// `_count`, values in seconds.
+    pub fn render(&self) -> String {
+        let families = self.families.lock();
+        let mut order: Vec<usize> = (0..families.len()).collect();
+        order.sort_by(|&a, &b| families[a].name.cmp(&families[b].name));
+        let mut out = String::new();
+        for &i in &order {
+            let f = &families[i];
+            let type_name = match f.kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram => "summary",
+            };
+            if !f.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", f.name, escape_help(&f.help));
+            }
+            let _ = writeln!(out, "# TYPE {} {type_name}", f.name);
+            for (labels, slot) in &f.children {
+                match slot {
+                    Slot::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            f.name,
+                            render_labels(labels, None),
+                            c.load(Ordering::Relaxed)
+                        );
+                    }
+                    Slot::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            f.name,
+                            render_labels(labels, None),
+                            g.load(Ordering::Relaxed)
+                        );
+                    }
+                    Slot::Histo(h) => {
+                        let h = h.lock();
+                        for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                            let secs = h.percentile(p).as_nanos() as f64 / 1e9;
+                            let _ = writeln!(
+                                out,
+                                "{}{} {}",
+                                f.name,
+                                render_labels(labels, Some(q)),
+                                secs
+                            );
+                        }
+                        let sum_secs = h.total_ns() as f64 / 1e9;
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            f.name,
+                            render_labels(labels, None),
+                            sum_secs
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_count{} {}",
+                            f.name,
+                            render_labels(labels, None),
+                            h.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], quantile: Option<&str>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// One sample parsed back out of a text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (for summaries this includes `_sum` / `_count`).
+    pub name: String,
+    /// Label pairs in exposition order (including `quantile`).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a Prometheus text exposition into its samples, validating the
+/// overall line syntax. Comment lines (`# HELP`, `# TYPE`, …) are
+/// checked for shape and skipped.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let c = comment.trim_start();
+            if !(c.starts_with("HELP ") || c.starts_with("TYPE ") || c == "EOF") {
+                return Err(format!("line {}: malformed comment {line:?}", no + 1));
+            }
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", no + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_ascii_whitespace())
+        .ok_or_else(|| format!("no value in {line:?}"))?;
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        let close = body
+            .find('}')
+            .ok_or_else(|| format!("unterminated label set in {line:?}"))?;
+        (parse_labels(&body[..close])?, &body[close + 1..])
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut fields = rest.split_ascii_whitespace();
+    let value: f64 = fields
+        .next()
+        .ok_or_else(|| format!("no value in {line:?}"))?
+        .parse()
+        .map_err(|e| format!("bad value in {line:?}: {e}"))?;
+    // An optional timestamp may follow; anything beyond that is noise.
+    if fields.clone().count() > 1 {
+        return Err(format!("trailing garbage in {line:?}"));
+    }
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>()
+            .map_err(|e| format!("bad timestamp in {line:?}: {e}"))?;
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {body:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        let after = rest[eq + 1..]
+            .trim_start()
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value not quoted in {body:?}"))?;
+        let mut value = String::new();
+        let mut chars = after.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("dangling escape in {body:?}")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {body:?}"))?;
+        labels.push((key, value));
+        rest = after[end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("t_total", "things");
+        let g = r.gauge("t_gauge", "level");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.add(-2);
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_storage() {
+        let r = Registry::new();
+        let a = r.counter("dup_total", "");
+        let b = r.counter("dup_total", "");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        // Distinct label sets are distinct children.
+        let x = r.counter_with("lab_total", "", &[("op", "read")]);
+        let y = r.counter_with("lab_total", "", &[("op", "write")]);
+        x.inc();
+        assert_eq!(y.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("twice", "");
+        let _ = r.gauge("twice", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        let _ = Registry::new().counter("1bad", "");
+    }
+
+    #[test]
+    fn histogram_records_both_time_bases() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "latency");
+        h.record_sim(SimDuration::from_micros(10));
+        h.record_wall(std::time::Duration::from_micros(10));
+        h.record_ns(10_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 3);
+        assert!(snap.max() >= SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn render_roundtrips_through_the_parser() {
+        let r = Registry::new();
+        r.counter("a_total", "Counts a.\nSecond line").add(3);
+        r.gauge_with("b_gauge", "gauge", &[("mirror", "0")]).set(-2);
+        let h = r.histogram_with("c_seconds", "lat", &[("op", "wr\"ite")]);
+        for us in [1u64, 2, 3, 100] {
+            h.record_sim(SimDuration::from_micros(us));
+        }
+        let text = r.render();
+        let samples = parse_exposition(&text).expect("parses");
+        let get =
+            |name: &str| -> Vec<&Sample> { samples.iter().filter(|s| s.name == name).collect() };
+        assert_eq!(get("a_total")[0].value, 3.0);
+        let b = get("b_gauge")[0];
+        assert_eq!(b.value, -2.0);
+        assert_eq!(b.label("mirror"), Some("0"));
+        assert_eq!(get("c_seconds").len(), 3, "three quantiles");
+        assert_eq!(get("c_seconds_count")[0].value, 4.0);
+        let sum = get("c_seconds_sum")[0].value;
+        assert!((sum - 106e-6).abs() < 1e-9, "{sum}");
+        let q99 = get("c_seconds")
+            .iter()
+            .find(|s| s.label("quantile") == Some("0.99"))
+            .expect("q99")
+            .value;
+        assert!(q99 >= 100e-6, "{q99}");
+        // The escaped label value survived the round trip.
+        assert_eq!(get("c_seconds_count")[0].label("op"), Some("wr\"ite"));
+    }
+
+    #[test]
+    fn families_render_sorted_by_name() {
+        let r = Registry::new();
+        r.counter("z_total", "").inc();
+        r.counter("a_total", "").inc();
+        let text = r.render();
+        let a = text.find("a_total").unwrap();
+        let z = text.find("z_total").unwrap();
+        assert!(a < z);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_exposition("no_value").is_err());
+        assert!(parse_exposition("name{k=\"v\" 3").is_err());
+        assert!(parse_exposition("name notanumber").is_err());
+        assert!(parse_exposition("# FROB nonsense").is_err());
+        assert!(parse_exposition("name 1 2 3").is_err());
+        // Timestamps are tolerated.
+        let s = parse_exposition("up 1 1700000000000").unwrap();
+        assert_eq!(s[0].value, 1.0);
+    }
+
+    #[test]
+    fn handles_are_send_and_shared_across_threads() {
+        let r = Registry::new();
+        let c = r.counter("threads_total", "");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -49,6 +49,7 @@
 mod backoff;
 mod error;
 mod memcpy;
+mod metrics;
 pub mod protocol;
 mod retry;
 pub mod server;

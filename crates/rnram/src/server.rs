@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use perseas_sci::{NodeMemory, SciError, SegmentId};
 
+use crate::metrics::ServerMetrics;
 use crate::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
 use crate::RnError;
 
@@ -44,6 +45,7 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     latency: Duration,
+    metrics: Option<Arc<ServerMetrics>>,
 }
 
 /// Handle to a server running on background threads.
@@ -80,7 +82,17 @@ impl Server {
             listener,
             addr,
             latency: Duration::ZERO,
+            metrics: None,
         })
+    }
+
+    /// Installs metrics: per-opcode request counts and service latency,
+    /// frame bytes in/out, and connection churn are registered in
+    /// `registry` (see `docs/OBSERVABILITY.md` for the names). Without
+    /// this call the request loop pays one `Option` branch per frame.
+    pub fn with_metrics(mut self, registry: &perseas_obs::Registry) -> Server {
+        self.metrics = Some(Arc::new(ServerMetrics::new(registry)));
+        self
     }
 
     /// Injects `latency` between receiving each request and sending its
@@ -113,6 +125,7 @@ impl Server {
         let listener = self.listener;
         let addr = self.addr;
         let latency = self.latency;
+        let metrics = self.metrics.clone();
         let stop2 = stop.clone();
         let accept_thread = thread::spawn(move || {
             for conn in listener.incoming() {
@@ -123,8 +136,9 @@ impl Server {
                     Ok(stream) => {
                         let node = node.clone();
                         let stop = stop2.clone();
+                        let metrics = metrics.clone();
                         thread::spawn(move || {
-                            let _ = serve_connection(stream, &node, &stop, latency);
+                            let _ = serve_connection(stream, &node, &stop, latency, metrics);
                         });
                     }
                     Err(_) => break,
@@ -191,8 +205,13 @@ fn serve_connection(
     node: &NodeMemory,
     stop: &AtomicBool,
     latency: Duration,
+    metrics: Option<Arc<ServerMetrics>>,
 ) -> Result<(), RnError> {
     stream.set_nodelay(true)?;
+    if let Some(m) = metrics.as_deref() {
+        m.connections_total.inc();
+        m.connections.add(1);
+    }
     let mut delayed: Option<DelayedWriter> = if latency > Duration::ZERO {
         Some(DelayedWriter::spawn(stream.try_clone()?))
     } else {
@@ -211,11 +230,20 @@ fn serve_connection(
         if stop.load(Ordering::SeqCst) {
             break Ok(());
         }
-        let resp = match Request::decode(&body) {
+        let decoded = Request::decode(&body);
+        let op = decoded.as_ref().map_or("decode_error", op_name);
+        let resp = match decoded {
             Err(e) => Response::Err(e.to_string()),
             Ok(req) => handle_request(req, node, stop),
         };
         let frame = resp.encode();
+        if let Some(m) = metrics.as_deref() {
+            m.bytes_in.add(body.len() as u64);
+            m.bytes_out.add(frame.len() as u64);
+            let op = m.op(op);
+            op.requests.inc();
+            op.latency.record_wall(received.elapsed());
+        }
         match &delayed {
             Some(writer) => {
                 if writer.send(received + latency, frame).is_err() {
@@ -236,7 +264,31 @@ fn serve_connection(
     if let Some(writer) = delayed.take() {
         writer.finish();
     }
+    if let Some(m) = metrics.as_deref() {
+        m.connections.add(-1);
+        if result.is_err() {
+            m.connections_dropped.inc();
+        }
+    }
     result
+}
+
+/// The metrics label for a request's opcode. `Seq` wrappers are
+/// attributed to the operation they carry.
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Seq { inner, .. } => op_name(inner),
+        Request::Malloc { .. } => "malloc",
+        Request::Free { .. } => "free",
+        Request::Write { .. } => "write",
+        Request::Read { .. } => "read",
+        Request::WriteV { .. } => "write_v",
+        Request::Connect { .. } => "connect",
+        Request::Info { .. } => "info",
+        Request::Name => "name",
+        Request::Ping => "ping",
+        Request::Shutdown => "shutdown",
+    }
 }
 
 /// Writer thread that sends each queued response frame no earlier than its

@@ -5,6 +5,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use perseas_sci::SegmentId;
 
+use crate::metrics::ClientMetrics;
 use crate::protocol::{
     encode_seq, encode_write, encode_write_v, read_frame, write_frame, Request, Response,
 };
@@ -75,6 +76,7 @@ pub struct TcpRemote {
     peer: SocketAddr,
     cached_name: Option<String>,
     pipeline: Option<PipelineState>,
+    metrics: Option<ClientMetrics>,
 }
 
 impl TcpRemote {
@@ -93,7 +95,24 @@ impl TcpRemote {
             peer,
             cached_name: None,
             pipeline: None,
+            metrics: None,
         })
+    }
+
+    /// Installs metrics: round trips, posted writes, frame bytes, window
+    /// stalls, flush barriers, and window occupancy are registered in
+    /// `registry` (names in `docs/OBSERVABILITY.md`). Without this call
+    /// the transport pays one `Option` branch per operation.
+    pub fn set_metrics(&mut self, registry: &perseas_obs::Registry) {
+        self.metrics = Some(ClientMetrics::new(registry));
+    }
+
+    /// Updates the window-occupancy gauge (no-op without metrics).
+    fn gauge_in_flight(&self) {
+        if let Some(m) = self.metrics.as_ref() {
+            m.in_flight
+                .set(self.pipeline.as_ref().map_or(0, |p| p.outstanding.len()) as i64);
+        }
     }
 
     /// Connects in pipelined mode with the default window
@@ -189,8 +208,14 @@ impl TcpRemote {
         if self.pipeline.is_some() {
             let seq = self.take_seq();
             let body = encode_seq(seq, req);
+            if let Some(m) = self.metrics.as_ref() {
+                m.ops.inc();
+                m.bytes.add(body.len() as u64);
+            }
             write_frame(&mut self.stream, &body)?;
-            return self.await_tagged(seq);
+            let resp = self.await_tagged(seq);
+            self.gauge_in_flight();
+            return resp;
         }
         self.sync_roundtrip(&req.encode())
     }
@@ -198,6 +223,10 @@ impl TcpRemote {
     /// One synchronous request/response exchange from an already-encoded
     /// frame body.
     fn sync_roundtrip(&mut self, body: &[u8]) -> Result<Response, RnError> {
+        if let Some(m) = self.metrics.as_ref() {
+            m.ops.inc();
+            m.bytes.add(body.len() as u64);
+        }
         write_frame(&mut self.stream, body)?;
         let resp = read_frame(&mut self.stream)?;
         Response::decode(&resp)
@@ -215,6 +244,7 @@ impl TcpRemote {
     /// its acknowledgement, draining old acks first if the window is
     /// full. `bytes` is the payload size charged against the window.
     fn post(&mut self, body: Vec<u8>, seq: u64, bytes: usize) -> Result<(), RnError> {
+        let mut stalled = false;
         loop {
             let p = self.pipeline.as_ref().expect("pipelined mode");
             let fits = p.outstanding.len() < p.cfg.max_ops
@@ -222,12 +252,21 @@ impl TcpRemote {
             if fits {
                 break;
             }
+            stalled = true;
             self.drain_one()?;
         }
         write_frame(&mut self.stream, &body)?;
         let p = self.pipeline.as_mut().expect("pipelined mode");
         p.outstanding.push_back((seq, bytes));
         p.outstanding_bytes += bytes;
+        if let Some(m) = self.metrics.as_ref() {
+            m.posted.inc();
+            m.bytes.add(body.len() as u64);
+            if stalled {
+                m.window_stalls.inc();
+            }
+        }
+        self.gauge_in_flight();
         Ok(())
     }
 
@@ -404,6 +443,12 @@ impl RemoteMemory for TcpRemote {
             // reconnect wrapper knows it must not silently re-dial.
             self.drain_one()?;
         }
+        if let Some(m) = self.metrics.as_ref() {
+            m.flush_barriers.inc();
+            m.flush_posted.add(stats.posted as u64);
+            m.flush_bytes.add(stats.bytes as u64);
+        }
+        self.gauge_in_flight();
         let p = self.pipeline.as_mut().expect("pipelined mode");
         if let Some(m) = p.refusals.pop_front() {
             return Err(RnError::Remote(m));
@@ -581,6 +626,62 @@ mod tests {
         c.remote_read(seg.id, 28, &mut buf).unwrap();
         assert_eq!(buf, [7; 4]);
         server.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_ops_posts_stalls_and_flushes() {
+        let server_registry = perseas_obs::Registry::new();
+        let client_registry = perseas_obs::Registry::new();
+        let server = Server::bind("met", "127.0.0.1:0")
+            .unwrap()
+            .with_metrics(&server_registry)
+            .start();
+        let mut c = TcpRemote::connect_with(
+            server.addr(),
+            PipelineConfig {
+                max_ops: 2,
+                max_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        c.set_metrics(&client_registry);
+        let seg = c.remote_malloc(64, 0).unwrap();
+        for i in 0..6u8 {
+            c.remote_write(seg.id, i as usize * 4, &[i; 4]).unwrap();
+        }
+        c.flush().unwrap();
+        let mut buf = [0u8; 4];
+        c.remote_read(seg.id, 0, &mut buf).unwrap();
+
+        let client = perseas_obs::parse_exposition(&client_registry.render()).unwrap();
+        let get = |name: &str| {
+            client
+                .iter()
+                .find(|s| s.name == name)
+                .map_or(0.0, |s| s.value)
+        };
+        assert_eq!(get("perseas_client_posted_total"), 6.0);
+        // Posts 3..6 each found the 2-slot window full and drained an ack.
+        assert_eq!(get("perseas_client_window_stalls_total"), 4.0);
+        assert_eq!(get("perseas_client_flush_barriers_total"), 1.0);
+        assert_eq!(get("perseas_client_flush_posted_total"), 2.0);
+        // malloc + read are synchronous (tagged) round trips.
+        assert_eq!(get("perseas_client_ops_total"), 2.0);
+        assert_eq!(get("perseas_client_in_flight"), 0.0);
+
+        // Scrape the server after shutdown so connection accounting is done.
+        drop(c);
+        server.shutdown();
+        let samples = perseas_obs::parse_exposition(&server_registry.render()).unwrap();
+        let op_count = |op: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == "perseas_server_requests_total" && s.label("op") == Some(op))
+                .map_or(0.0, |s| s.value)
+        };
+        assert_eq!(op_count("malloc"), 1.0);
+        assert_eq!(op_count("write"), 6.0);
+        assert_eq!(op_count("read"), 1.0);
     }
 
     #[test]

@@ -75,6 +75,11 @@ impl Histogram {
         SimDuration::from_nanos(self.max_ns)
     }
 
+    /// Sum of all recorded samples, in nanoseconds.
+    pub fn total_ns(&self) -> u128 {
+        self.total_ns
+    }
+
     /// Arithmetic mean of the samples.
     pub fn mean(&self) -> SimDuration {
         if self.count == 0 {

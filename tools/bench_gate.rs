@@ -1,0 +1,122 @@
+//! CI bench-regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baselines results/baselines --current results
+//! ```
+//!
+//! For every `BENCH_*.json` in the baselines directory, loads the file
+//! of the same name from the current directory and evaluates the gates
+//! declared in the baseline (see `perseas_tools::compare`). A missing
+//! current file is a failure — a bench that silently stops emitting its
+//! JSON would otherwise un-gate itself. Exits 1 on any regression.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use perseas_obs::Json;
+use perseas_tools::{compare, render_check};
+
+struct Args {
+    baselines: PathBuf,
+    current: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baselines = None;
+    let mut current = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baselines" => {
+                baselines = Some(PathBuf::from(
+                    args.next().ok_or("--baselines needs a value")?,
+                ))
+            }
+            "--current" => {
+                current = Some(PathBuf::from(args.next().ok_or("--current needs a value")?))
+            }
+            "--help" | "-h" => {
+                return Err("usage: bench_gate --baselines DIR --current DIR".to_string())
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        baselines: baselines.ok_or("missing --baselines DIR")?,
+        current: current.ok_or("missing --current DIR")?,
+    })
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let mut baseline_files: Vec<PathBuf> = std::fs::read_dir(&args.baselines)
+        .map_err(|e| format!("read {}: {e}", args.baselines.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    baseline_files.sort();
+    if baseline_files.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            args.baselines.display()
+        ));
+    }
+    let mut failed = false;
+    println!(
+        "{:<7} {:<40} {:>14} {:>14} {:>10}",
+        "", "bench/metric", "baseline", "current", "change"
+    );
+    for baseline_path in &baseline_files {
+        let name = baseline_path.file_name().expect("filtered on file_name");
+        let baseline = load(baseline_path)?;
+        let bench = baseline
+            .get("bench")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let current_path = args.current.join(name);
+        if !current_path.exists() {
+            println!(
+                "FAIL    {bench}: current run produced no {} (bench not run or stopped emitting JSON)",
+                current_path.display()
+            );
+            failed = true;
+            continue;
+        }
+        let current = load(&current_path)?;
+        for check in compare(&baseline, &current)? {
+            println!("{}", render_check(&bench, &check));
+            failed |= check.regressed;
+        }
+    }
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => {
+            println!("bench gate: all gated metrics within tolerance");
+            ExitCode::SUCCESS
+        }
+        Ok(true) => {
+            eprintln!("bench gate: regression detected (see FAIL rows above)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

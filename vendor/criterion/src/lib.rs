@@ -3,12 +3,116 @@
 //! Provides the subset of the criterion API the workspace's benches use
 //! (groups, `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
 //! throughput annotations and the `criterion_group!`/`criterion_main!`
-//! macros). Measurement is a simple timed loop — median-quality statistics
-//! are out of scope; the paper-grade numbers come from the virtual-time
-//! harness, these benches exist for regression eyeballing.
+//! macros). Measurement is a timed loop keeping one per-iteration value
+//! per sample, from which p50/p95/p99 are derived — real-criterion
+//! statistics are out of scope; the paper-grade numbers come from the
+//! virtual-time harness.
+//!
+//! When the bench binary is invoked with `--json` (e.g.
+//! `cargo bench -- --json`), `criterion_main!` also writes a
+//! `BENCH_<bench>.json` document with per-benchmark `mean_ns` /
+//! `p50_ns` / `p95_ns` / `p99_ns` metrics into the workspace's
+//! `results/` directory (override with `BENCH_JSON_DIR`). The file
+//! carries an empty gate object: wall-clock micro-bench numbers are too
+//! noisy to gate, they are recorded for trend eyeballing only.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+static JSON_SAMPLES: Mutex<Vec<(String, SampleStats)>> = Mutex::new(Vec::new());
+
+/// Summary statistics of one benchmark's per-iteration times, in
+/// nanoseconds.
+#[derive(Debug, Clone, Copy)]
+struct SampleStats {
+    mean_ns: f64,
+    p50_ns: f64,
+    p95_ns: f64,
+    p99_ns: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Called by `criterion_main!` after all groups ran: in `--json` mode,
+/// writes the collected statistics as `BENCH_<bench>.json`.
+///
+/// `manifest_dir` is the invoking crate's `CARGO_MANIFEST_DIR` (baked in
+/// by the macro), used to locate the workspace `results/` directory.
+pub fn write_json_report(manifest_dir: &str) {
+    if !std::env::args().any(|a| a == "--json") {
+        return;
+    }
+    let bench = bench_name();
+    let dir = results_dir(manifest_dir);
+    let samples = JSON_SAMPLES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut metrics = String::new();
+    for (i, (id, stats)) in samples.iter().enumerate() {
+        if i > 0 {
+            metrics.push(',');
+        }
+        let id = json_escape(id);
+        metrics.push_str(&format!(
+            "\"{id}/mean_ns\":{:.3},\"{id}/p50_ns\":{:.3},\"{id}/p95_ns\":{:.3},\"{id}/p99_ns\":{:.3}",
+            stats.mean_ns, stats.p50_ns, stats.p95_ns, stats.p99_ns
+        ));
+    }
+    let doc = format!(
+        "{{\"bench\":\"{}\",\"metrics\":{{{metrics}}},\"gate\":{{}}}}\n",
+        json_escape(&bench)
+    );
+    let path = format!("{dir}/BENCH_{bench}.json");
+    std::fs::write(&path, doc).expect("write bench json");
+    println!("{bench}: wrote {path}");
+}
+
+/// The bench target's name: the executable stem minus cargo's `-<hash>`
+/// suffix.
+fn bench_name() -> String {
+    let exe = std::env::current_exe().ok();
+    let stem = exe
+        .as_deref()
+        .and_then(|p| p.file_stem())
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && !hash.is_empty()
+                && hash.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+fn results_dir(manifest_dir: &str) -> String {
+    if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
+        return dir;
+    }
+    for candidate in [
+        format!("{manifest_dir}/../../results"),
+        format!("{manifest_dir}/results"),
+    ] {
+        if std::path::Path::new(&candidate).is_dir() {
+            return candidate;
+        }
+    }
+    ".".to_string()
+}
 
 /// Re-export so benches can `criterion::black_box` if they wish.
 pub use std::hint::black_box;
@@ -140,6 +244,7 @@ impl BenchmarkGroup<'_> {
             samples: self.sample_size,
             mean: Duration::ZERO,
             iters: 0,
+            sample_ns: Vec::new(),
         };
         f(&mut b);
         self.report(&id.to_string(), &b);
@@ -158,6 +263,7 @@ impl BenchmarkGroup<'_> {
             samples: self.sample_size,
             mean: Duration::ZERO,
             iters: 0,
+            sample_ns: Vec::new(),
         };
         f(&mut b, input);
         self.report(&id.to_string(), &b);
@@ -180,10 +286,22 @@ impl BenchmarkGroup<'_> {
             }
             _ => String::new(),
         };
+        let mut sorted = b.sample_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let stats = SampleStats {
+            mean_ns: per_iter.as_nanos() as f64,
+            p50_ns: percentile(&sorted, 50.0),
+            p95_ns: percentile(&sorted, 95.0),
+            p99_ns: percentile(&sorted, 99.0),
+        };
         println!(
-            "{}/{id}: {:?}/iter over {} iters{rate}",
-            self.name, per_iter, b.iters
+            "{}/{id}: {:?}/iter over {} iters (p50 {:.0} ns, p95 {:.0} ns, p99 {:.0} ns){rate}",
+            self.name, per_iter, b.iters, stats.p50_ns, stats.p95_ns, stats.p99_ns
         );
+        JSON_SAMPLES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((format!("{}/{id}", self.name), stats));
     }
 }
 
@@ -193,6 +311,9 @@ pub struct Bencher {
     samples: usize,
     mean: Duration,
     iters: u64,
+    /// Mean per-iteration time of each sample batch, in nanoseconds —
+    /// the population the percentiles are computed over.
+    sample_ns: Vec<f64>,
 }
 
 impl Bencher {
@@ -202,6 +323,7 @@ impl Bencher {
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
         let per_sample = self.budget / self.samples as u32;
+        self.sample_ns.clear();
         for _ in 0..self.samples {
             let start = Instant::now();
             let mut n = 0u64;
@@ -209,7 +331,10 @@ impl Bencher {
                 black_box(routine());
                 n += 1;
             }
-            total += start.elapsed();
+            let elapsed = start.elapsed();
+            self.sample_ns
+                .push(elapsed.as_nanos() as f64 / n.max(1) as f64);
+            total += elapsed;
             iters += n;
         }
         self.iters = iters.max(1);
@@ -225,11 +350,14 @@ impl Bencher {
     ) {
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
+        self.sample_ns.clear();
         for _ in 0..self.samples {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            total += start.elapsed();
+            let elapsed = start.elapsed();
+            self.sample_ns.push(elapsed.as_nanos() as f64);
+            total += elapsed;
             iters += 1;
         }
         self.iters = iters;
@@ -255,12 +383,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark `main` running the given groups.
+/// Declares the benchmark `main` running the given groups, then emitting
+/// the `--json` report if one was requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report(env!("CARGO_MANIFEST_DIR"));
         }
     };
 }
