@@ -1,0 +1,163 @@
+//! Virtual-time scaling of the sharded database.
+//!
+//! Two arms:
+//!
+//! 1. **Scaling** — the same batch of single-shard transactions spread
+//!    round-robin over K shards, each shard's mirror set on its own
+//!    virtual clock (the paper's model of K workstation sets operating
+//!    in parallel). The batch's makespan is the *maximum* clock advance
+//!    across shards, so K balanced shards should finish in ~1/K the
+//!    time: single-shard commits need zero cross-shard coordination.
+//! 2. **Cross-shard cost** — two shards on one shared clock; a
+//!    transaction writing the same total payload split across both
+//!    shards is timed against one writing it to a single shard. The
+//!    cross-shard commit pays prepare on both shards plus the intent,
+//!    decision-record, and commit fan-out writes, and must stay within
+//!    2.5x of the coordination-free path.
+//!
+//! Writes `results/shard_scaling.csv`; with `--json` also emits
+//! `results/BENCH_shard_scaling.json` for the CI bench-regression gate.
+//! All times are virtual, so the gate is deterministic.
+
+use perseas_bench::BenchReport;
+use perseas_core::{PerseasConfig, RegionId, ShardedPerseas};
+use perseas_rnram::SimRemote;
+use perseas_sci::{NodeMemory, SciParams};
+use perseas_simtime::SimClock;
+
+const TXNS: usize = 64;
+const TXN_BYTES: usize = 256;
+const MIRRORS: usize = 2;
+const COST_SAMPLES: usize = 16;
+
+/// A K-shard database whose shard `s` charges all its work (mirrors
+/// included) to `clocks[s]`.
+fn build(k: usize, clocks: &[SimClock]) -> (ShardedPerseas<SimRemote>, Vec<RegionId>) {
+    let backends = (0..k)
+        .map(|s| {
+            let shard = (0..MIRRORS)
+                .map(|m| {
+                    SimRemote::with_parts(
+                        clocks[s].clone(),
+                        NodeMemory::new(format!("s{s}m{m}")),
+                        SciParams::dolphin_1998(),
+                    )
+                })
+                .collect();
+            (shard, clocks[s].clone())
+        })
+        .collect();
+    let mut db =
+        ShardedPerseas::init_with_clocks(backends, PerseasConfig::default()).expect("init");
+    let regions = (0..k)
+        .map(|_| db.malloc(TXNS * TXN_BYTES).expect("malloc"))
+        .collect();
+    db.init_remote_db().expect("publish");
+    (db, regions)
+}
+
+/// Runs TXNS single-shard transactions round-robin over K shards and
+/// returns the makespan in virtual microseconds: the largest clock
+/// advance any one shard's workstation set saw.
+fn run_scaling(k: usize) -> f64 {
+    let clocks: Vec<SimClock> = (0..k).map(|_| SimClock::new()).collect();
+    let (mut db, regions) = build(k, &clocks);
+    let watches: Vec<_> = clocks.iter().map(SimClock::stopwatch).collect();
+    for i in 0..TXNS {
+        let r = regions[i % k];
+        let off = (i / k) * TXN_BYTES;
+        let g = db.begin_global().expect("begin");
+        db.set_range_g(g, r, off, TXN_BYTES).expect("set");
+        db.write_g(g, r, off, &[i as u8 + 1; TXN_BYTES])
+            .expect("write");
+        db.commit_g(g).expect("commit");
+    }
+    let committed: u64 = (0..k).map(|s| db.shard(s).last_committed()).sum();
+    assert_eq!(committed, TXNS as u64, "every transaction durable");
+    watches
+        .iter()
+        .map(|w| w.elapsed().as_micros_f64())
+        .fold(0.0, f64::max)
+}
+
+/// Average full-transaction latency (begin through commit, virtual us)
+/// writing `TXN_BYTES` total: all to one shard, or split across two.
+fn run_cost() -> (f64, f64) {
+    let clock = SimClock::new();
+    let clocks = vec![clock.clone(), clock.clone()];
+    let (mut db, regions) = build(2, &clocks);
+
+    let mut measure = |parts: &[(RegionId, usize)]| -> f64 {
+        let sw = clock.stopwatch();
+        for i in 0..COST_SAMPLES {
+            let g = db.begin_global().expect("begin");
+            for &(r, bytes) in parts {
+                let off = i * TXN_BYTES;
+                db.set_range_g(g, r, off, bytes).expect("set");
+                db.write_g(g, r, off, &[i as u8 + 1; TXN_BYTES][..bytes])
+                    .expect("write");
+            }
+            db.commit_g(g).expect("commit");
+        }
+        sw.elapsed().as_micros_f64() / COST_SAMPLES as f64
+    };
+
+    let single = measure(&[(regions[0], TXN_BYTES)]);
+    let cross = measure(&[(regions[0], TXN_BYTES / 2), (regions[1], TXN_BYTES / 2)]);
+    (single, cross)
+}
+
+fn main() {
+    let t1 = run_scaling(1);
+    let t2 = run_scaling(2);
+    let t4 = run_scaling(4);
+    let scaling_k2 = t1 / t2;
+    let scaling_k4 = t1 / t4;
+    let (single_us, cross_us) = run_cost();
+    let cross_ratio = cross_us / single_us;
+
+    let csv = format!(
+        "shards,txns,bytes_per_txn,makespan_us,txns_per_sec,speedup_vs_k1\n\
+         1,{TXNS},{TXN_BYTES},{t1:.3},{:.1},1.00\n\
+         2,{TXNS},{TXN_BYTES},{t2:.3},{:.1},{scaling_k2:.2}\n\
+         4,{TXNS},{TXN_BYTES},{t4:.3},{:.1},{scaling_k4:.2}\n\
+         cross_shard,{COST_SAMPLES},{TXN_BYTES},{cross_us:.3},,{cross_ratio:.2}x_single\n",
+        TXNS as f64 / (t1 / 1e6),
+        TXNS as f64 / (t2 / 1e6),
+        TXNS as f64 / (t4 / 1e6),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/shard_scaling.csv"
+    );
+    std::fs::write(path, &csv).expect("write csv");
+
+    println!(
+        "shard_scaling: makespan K=1 {t1:.1} us, K=2 {t2:.1} us ({scaling_k2:.2}x), \
+         K=4 {t4:.1} us ({scaling_k4:.2}x); commit single {single_us:.1} us vs \
+         cross-shard {cross_us:.1} us ({cross_ratio:.2}x) -> {path}"
+    );
+    if let Some(json) = BenchReport::new("shard_scaling")
+        .metric("makespan_k1_us", t1)
+        .metric("makespan_k2_us", t2)
+        .metric("makespan_k4_us", t4)
+        .metric("scaling_ratio_k2", scaling_k2)
+        .metric("scaling_ratio_k4", scaling_k4)
+        .metric("single_shard_commit_us", single_us)
+        .metric("cross_shard_commit_us", cross_us)
+        .metric("cross_shard_ratio", cross_ratio)
+        .gate_higher("scaling_ratio_k2", 10.0)
+        .gate_lower("cross_shard_ratio", 10.0)
+        .write_if_json_mode()
+    {
+        println!("shard_scaling: wrote {json}");
+    }
+    assert!(
+        scaling_k2 >= 1.7,
+        "two shards must scale single-shard throughput at least 1.7x (got {scaling_k2:.2}x)"
+    );
+    assert!(
+        cross_ratio <= 2.5,
+        "a cross-shard commit must cost at most 2.5x a single-shard one (got {cross_ratio:.2}x)"
+    );
+}

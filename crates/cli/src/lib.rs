@@ -31,6 +31,10 @@ pub enum Command {
         name: String,
         /// Bind address for the optional `/metrics` HTTP endpoint.
         metrics_addr: Option<String>,
+        /// Number of shard mirror servers to run (1 = a single mirror).
+        /// With `N > 1`, shard `s` binds the base port plus `s` and
+        /// reports itself as `NAME-sN`.
+        shards: u16,
     },
     /// Liveness-check a mirror.
     Ping {
@@ -80,6 +84,8 @@ pub fn usage() -> String {
      commands:\n\
     \x20 serve   [--addr HOST:PORT] [--name NAME]   run a mirror server\n\
     \x20         [--metrics-addr HOST:PORT]         ... with a /metrics endpoint\n\
+    \x20         [--shards N]                       ... one mirror per shard on\n\
+    \x20                                            consecutive ports\n\
     \x20 ping     --addr HOST:PORT                  liveness-check a mirror\n\
     \x20 stats    --addr HOST:PORT                  scrape and pretty-print /metrics\n\
     \x20 inspect  --addr HOST:PORT [--tag HEX]      dump PERSEAS metadata\n\
@@ -144,11 +150,19 @@ pub fn parse(args: Vec<String>) -> Result<Command, UsageError> {
             let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7070".into());
             let name = take_flag(&mut args, "--name")?.unwrap_or_else(|| "perseas-mirror".into());
             let metrics_addr = take_flag(&mut args, "--metrics-addr")?;
+            let shards = match take_flag(&mut args, "--shards")? {
+                None => 1,
+                Some(n) => match n.parse::<u16>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(UsageError(format!("bad --shards '{n}': need 1..=65535"))),
+                },
+            };
             reject_leftovers(args)?;
             Ok(Command::Serve {
                 addr,
                 name,
                 metrics_addr,
+                shards,
             })
         }
         "ping" => {
@@ -232,6 +246,78 @@ pub fn start_serve(
     })
 }
 
+/// Running servers started by [`start_serve_shards`]: one mirror server
+/// per shard plus the optional shared `/metrics` endpoint aggregating
+/// their request metrics.
+pub struct ShardServeHandles {
+    /// The shard mirror servers, indexed by shard.
+    pub servers: Vec<perseas_rnram::server::ServerHandle>,
+    /// The metrics endpoint, present when a metrics address was given.
+    pub metrics: Option<perseas_obs::MetricsServerHandle>,
+}
+
+/// Starts `shards` mirror servers, one per shard of a sharded database:
+/// shard `s` binds the base port of `addr` plus `s` (all ephemeral when
+/// the base port is 0) and reports itself as `NAME-sN`. With one shard
+/// this is exactly [`start_serve`]. When `metrics_addr` is given, one
+/// `/metrics` endpoint serves the aggregate request counters of every
+/// shard server.
+///
+/// # Errors
+///
+/// Fails on a malformed `addr`, a port range overflowing 65535, or any
+/// address that cannot be bound.
+pub fn start_serve_shards(
+    addr: &str,
+    name: &str,
+    shards: u16,
+    metrics_addr: Option<&str>,
+) -> Result<ShardServeHandles, String> {
+    if shards == 0 {
+        return Err("need at least one shard".into());
+    }
+    if shards == 1 {
+        let handles = start_serve(addr, name, metrics_addr)?;
+        return Ok(ShardServeHandles {
+            servers: vec![handles.server],
+            metrics: handles.metrics,
+        });
+    }
+    let (host, port) = addr
+        .rsplit_once(':')
+        .ok_or_else(|| format!("bad address '{addr}': need HOST:PORT"))?;
+    let port: u16 = port
+        .parse()
+        .map_err(|e| format!("bad port in '{addr}': {e}"))?;
+    let registry = metrics_addr.map(|_| perseas_obs::Registry::new());
+    let mut servers = Vec::with_capacity(shards as usize);
+    for s in 0..shards {
+        let bind = if port == 0 {
+            format!("{host}:0")
+        } else {
+            let p = port
+                .checked_add(s)
+                .ok_or_else(|| format!("shard {s} port overflows 65535 from base {port}"))?;
+            format!("{host}:{p}")
+        };
+        let sname = format!("{name}-s{s}");
+        let server = Server::bind(&sname, &bind).map_err(|e| format!("cannot bind {bind}: {e}"))?;
+        let server = match &registry {
+            Some(r) => server.with_metrics(r),
+            None => server,
+        };
+        servers.push(server.start());
+    }
+    let metrics = match (registry, metrics_addr) {
+        (Some(registry), Some(maddr)) => Some(
+            perseas_obs::MetricsServer::serve(maddr, registry)
+                .map_err(|e| format!("cannot bind metrics endpoint {maddr}: {e}"))?,
+        ),
+        _ => None,
+    };
+    Ok(ShardServeHandles { servers, metrics })
+}
+
 /// Scrapes the `/metrics` endpoint at `addr` and renders the samples as an
 /// aligned, human-readable table.
 ///
@@ -312,6 +398,13 @@ pub fn inspect(addr: &str, tag: u64) -> Result<String, String> {
         meta.id, meta.len
     );
     let _ = writeln!(out, "last committed:  txn {}", header.last_committed);
+    if header.flags & perseas_core::FLAG_SHARDED != 0 {
+        let _ = writeln!(
+            out,
+            "shard:           {} of {} ({} intent / {} decision slots)",
+            header.shard_index, header.shard_count, header.intent_slots, header.decision_slots
+        );
+    }
     let _ = writeln!(
         out,
         "undo log:        {} ({} bytes)",
@@ -380,7 +473,8 @@ mod tests {
             Command::Serve {
                 addr: "127.0.0.1:7070".into(),
                 name: "perseas-mirror".into(),
-                metrics_addr: None
+                metrics_addr: None,
+                shards: 1
             }
         );
         assert_eq!(
@@ -388,7 +482,8 @@ mod tests {
             Command::Serve {
                 addr: "0.0.0.0:9".into(),
                 name: "n1".into(),
-                metrics_addr: None
+                metrics_addr: None,
+                shards: 1
             }
         );
         assert_eq!(
@@ -396,9 +491,26 @@ mod tests {
             Command::Serve {
                 addr: "127.0.0.1:7070".into(),
                 name: "perseas-mirror".into(),
-                metrics_addr: Some("127.0.0.1:9185".into())
+                metrics_addr: Some("127.0.0.1:9185".into()),
+                shards: 1
             }
         );
+    }
+
+    #[test]
+    fn parse_serve_shards() {
+        assert_eq!(
+            parse(v(&["serve", "--shards", "3"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7070".into(),
+                name: "perseas-mirror".into(),
+                metrics_addr: None,
+                shards: 3
+            }
+        );
+        assert!(parse(v(&["serve", "--shards", "0"])).is_err());
+        assert!(parse(v(&["serve", "--shards", "many"])).is_err());
+        assert!(parse(v(&["serve", "--shards"])).is_err());
     }
 
     #[test]
@@ -529,6 +641,47 @@ mod tests {
         // A bad port is a clean error, not a panic.
         assert!(stats("127.0.0.1:1").is_err());
         handles.server.shutdown();
+    }
+
+    #[test]
+    fn sharded_database_runs_over_shard_servers() {
+        use perseas_core::ShardedPerseas;
+        let handles = start_serve_shards("127.0.0.1:0", "cluster", 2, None).unwrap();
+        assert_eq!(handles.servers.len(), 2);
+        let addrs: Vec<String> = handles
+            .servers
+            .iter()
+            .map(|s| s.addr().to_string())
+            .collect();
+        assert_eq!(ping(&addrs[0]).unwrap(), "cluster-s0");
+        assert_eq!(ping(&addrs[1]).unwrap(), "cluster-s1");
+
+        // One mirror per shard, each on its own server.
+        let backends: Vec<Vec<TcpRemote>> = addrs
+            .iter()
+            .map(|a| vec![TcpRemote::connect(a).unwrap()])
+            .collect();
+        let mut db = ShardedPerseas::init(backends, PerseasConfig::default()).unwrap();
+        let a = db.malloc(64).unwrap();
+        let b = db.malloc(64).unwrap();
+        db.init_remote_db().unwrap();
+        let g = db.begin_global().unwrap();
+        db.set_range_g(g, a, 0, 8).unwrap();
+        db.set_range_g(g, b, 0, 8).unwrap();
+        db.write_g(g, a, 0, &[1; 8]).unwrap();
+        db.write_g(g, b, 0, &[2; 8]).unwrap();
+        db.commit_g(g).unwrap();
+
+        // Each shard server holds its own shard's metadata: shard s keeps
+        // tag META_TAG + s and stamps its identity into the header.
+        let report0 = inspect(&addrs[0], META_TAG).unwrap();
+        assert!(report0.contains("shard:           0 of 2"), "{report0}");
+        assert!(report0.contains("last committed:  txn 1"), "{report0}");
+        let report1 = inspect(&addrs[1], META_TAG + 1).unwrap();
+        assert!(report1.contains("shard:           1 of 2"), "{report1}");
+        for s in handles.servers {
+            s.shutdown();
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use perseas_cli::{backup, inspect, parse, ping, restore, start_serve, stats, Command};
+use perseas_cli::{backup, inspect, parse, ping, restore, start_serve_shards, stats, Command};
 
 fn main() -> ExitCode {
     let command = match parse(env::args().skip(1).collect()) {
@@ -30,15 +30,20 @@ fn run(command: Command) -> Result<(), String> {
             addr,
             name,
             metrics_addr,
+            shards,
         } => {
-            let handles = start_serve(&addr, &name, metrics_addr.as_deref())?;
-            println!(
-                "mirror '{name}' exporting memory on {} (ctrl-c to stop)",
-                handles.server.addr()
-            );
+            let handles = start_serve_shards(&addr, &name, shards, metrics_addr.as_deref())?;
+            for server in &handles.servers {
+                println!(
+                    "mirror '{}' exporting memory on {}",
+                    server.node().name(),
+                    server.addr()
+                );
+            }
             if let Some(metrics) = &handles.metrics {
                 println!("metrics on http://{}/metrics", metrics.addr());
             }
+            println!("ctrl-c to stop");
             loop {
                 std::thread::park();
             }

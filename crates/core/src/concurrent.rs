@@ -113,6 +113,17 @@ impl<M: RemoteMemory> TxnHandle<M> {
         self.token.id()
     }
 
+    /// The raw [`TxnToken`] this handle wraps, for routing the
+    /// transaction through token-level APIs — e.g. staging its
+    /// prepare/commit phases directly on the engine via
+    /// [`ConcurrentPerseas::with`], or correlating it with the parts a
+    /// sharded coordinator opens. The token stays valid only while this
+    /// handle is open; the handle still owns the transaction's
+    /// lifecycle (dropping it aborts).
+    pub fn token(&self) -> TxnToken {
+        self.token
+    }
+
     /// Declares a writable range (see [`Perseas::set_range_t`]).
     ///
     /// # Errors
@@ -476,5 +487,22 @@ mod tests {
         let mut buf = [0u8; 4];
         shared.read(r, 8, &mut buf).unwrap();
         assert_eq!(buf, [1; 4]);
+    }
+
+    #[test]
+    fn tokens_route_through_the_engine() {
+        let (shared, r) = built();
+        let h = shared.begin_transaction().unwrap();
+        h.set_range(r, 0, 8).unwrap();
+        h.write(r, 0, &[9; 8]).unwrap();
+        let tok = h.token();
+        assert_eq!(tok.id(), h.id());
+        // The token drives token-level phases on the engine directly —
+        // here a vectored prepare — while the handle keeps ownership.
+        shared.with(|db| db.prepare_t(tok)).unwrap();
+        h.commit().unwrap();
+        let mut buf = [0u8; 8];
+        shared.read(r, 0, &mut buf).unwrap();
+        assert_eq!(buf, [9; 8]);
     }
 }

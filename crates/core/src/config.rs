@@ -76,6 +76,23 @@ pub struct PerseasConfig {
     /// still open; a full table fails the commit `Unavailable` until the
     /// watermark advances.
     pub commit_slots: usize,
+    /// Which shard of a [`crate::ShardedPerseas`] database this instance
+    /// is. Meaningful only when `shard_count > 0`; set by
+    /// [`PerseasConfig::with_shard`].
+    pub shard_index: u16,
+    /// Total shard count of the sharded database this instance belongs
+    /// to. Zero (the default) means unsharded: no intent or decision
+    /// tables are laid out and the image carries no shard flag.
+    pub shard_count: u16,
+    /// Number of 32-byte intent slots in a sharded metadata segment.
+    /// Bounds how many cross-shard transactions may simultaneously hold a
+    /// prepared part on one shard.
+    pub intent_slots: usize,
+    /// Number of 16-byte decision slots in a sharded metadata segment.
+    /// Bounds how many cross-shard decisions may be in flight on one home
+    /// shard between the decision write and the end of its commit
+    /// fan-out.
+    pub decision_slots: usize,
 }
 
 impl PerseasConfig {
@@ -94,6 +111,10 @@ impl PerseasConfig {
             probe_backoff: BackoffPolicy::default(),
             concurrent: false,
             commit_slots: 64,
+            shard_index: 0,
+            shard_count: 0,
+            intent_slots: 16,
+            decision_slots: 16,
         }
     }
 
@@ -202,6 +223,42 @@ impl PerseasConfig {
     pub fn with_commit_slots(mut self, slots: usize) -> Self {
         assert!(slots > 0, "commit_slots must be positive");
         self.commit_slots = slots;
+        self
+    }
+
+    /// Marks this instance as shard `index` of a `count`-shard
+    /// [`crate::ShardedPerseas`] database. Implies the concurrent engine
+    /// (cross-shard commits are built on `prepare_t`), and lays out the
+    /// intent and decision tables in the metadata segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero, `index` is out of range, or
+    /// `commit_slots` is odd (the decision table must start on a 16-byte
+    /// line).
+    pub fn with_shard(mut self, index: u16, count: u16) -> Self {
+        assert!(count > 0, "shard count must be positive");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        assert!(
+            self.commit_slots.is_multiple_of(2),
+            "sharded layouts need an even commit_slots"
+        );
+        self.shard_index = index;
+        self.shard_count = count;
+        self.with_concurrent(true)
+    }
+
+    /// Sets the intent- and decision-slot counts used when the instance
+    /// is sharded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn with_coordination_slots(mut self, intent: usize, decision: usize) -> Self {
+        assert!(intent > 0, "intent_slots must be positive");
+        assert!(decision > 0, "decision_slots must be positive");
+        self.intent_slots = intent;
+        self.decision_slots = decision;
         self
     }
 }

@@ -184,6 +184,45 @@ impl Tracer for JsonlTracer {
                 self.begun.clear();
                 ("crashed", vec![])
             }
+            TraceEvent::CrossShardPrepared { global, shard, txn } => (
+                "cross_shard_prepared",
+                vec![
+                    ("global", Json::UInt(*global)),
+                    ("shard", Json::UInt(*shard as u64)),
+                    ("txn", Json::UInt(*txn)),
+                ],
+            ),
+            TraceEvent::CrossShardDecision {
+                global,
+                home,
+                shards,
+            } => (
+                "cross_shard_decision",
+                vec![
+                    ("global", Json::UInt(*global)),
+                    ("home", Json::UInt(*home as u64)),
+                    ("shards", Json::UInt(*shards as u64)),
+                ],
+            ),
+            TraceEvent::CrossShardCommitted { global, shards } => (
+                "cross_shard_committed",
+                vec![
+                    ("global", Json::UInt(*global)),
+                    ("shards", Json::UInt(*shards as u64)),
+                ],
+            ),
+            TraceEvent::CrossShardResolved {
+                global,
+                shard,
+                committed,
+            } => (
+                "cross_shard_resolved",
+                vec![
+                    ("global", Json::UInt(*global)),
+                    ("shard", Json::UInt(*shard as u64)),
+                    ("committed", Json::Bool(*committed)),
+                ],
+            ),
         };
         match event {
             TraceEvent::TxnCommitted { id, .. } | TraceEvent::TxnAborted { id } => {

@@ -52,6 +52,36 @@ pub const OFF_COMMIT_SLOTS: usize = 44;
 /// must use the concurrent scan rules.
 pub const FLAG_CONCURRENT: u32 = 1;
 
+/// Flags bit: the image belongs to one shard of a
+/// [`crate::ShardedPerseas`] database. The header carries the shard
+/// coordinates at [`OFF_SHARD`], and an intent table plus a decision
+/// table sit between the region table and the commit table (see
+/// [`intent_table_offset`] / [`decision_table_offset`]). Implies
+/// [`FLAG_CONCURRENT`].
+pub const FLAG_SHARDED: u32 = 2;
+
+/// Byte offset of the shard-coordinate line: `intent_slots: u16`,
+/// `decision_slots: u16`, `shard_index: u16`, `shard_count: u16`. All
+/// zero in unsharded images, so legacy headers decode unchanged.
+pub const OFF_SHARD: usize = 48;
+
+/// Magic value opening a live intent slot.
+pub const INTENT_MAGIC: u32 = 0x584E_5431; // "XNT1"
+
+/// Magic value opening a live decision slot.
+pub const DECISION_MAGIC: u32 = 0x4443_4E31; // "DCN1"
+
+/// Bytes per intent slot: magic, CRC, local txn id, global txn id, home
+/// shard, pad. Two 16-byte lines; the CRC makes a torn write read as
+/// absent rather than as a bogus intent.
+pub const INTENT_SLOT_SIZE: usize = 32;
+
+/// Bytes per decision slot: magic, CRC, global txn id. Exactly one
+/// 16-byte line, so the SCI card delivers the whole slot in a single
+/// packet — writing it is the atomic commit point of a cross-shard
+/// transaction.
+pub const DECISION_SLOT_SIZE: usize = 16;
+
 /// Byte offset of the commit record (`last_committed` transaction id).
 /// Deliberately placed so the 8-byte record ends on the last word of its
 /// 64-byte SCI buffer: the card then flushes it eagerly (no partial-flush
@@ -91,12 +121,141 @@ pub fn meta_segment_size_concurrent(max_regions: usize, commit_slots: usize) -> 
     meta_segment_size(max_regions) + commit_slots * 8
 }
 
+/// Total size of a sharded metadata segment: the concurrent layout plus
+/// an intent table and a decision table between the region table and the
+/// tail commit table.
+///
+/// # Panics
+///
+/// Panics on an odd `commit_slots`: the decision table must start on a
+/// 16-byte line for its single-packet atomicity, and the 8-byte commit
+/// slots trail it.
+pub fn meta_segment_size_sharded(
+    max_regions: usize,
+    commit_slots: usize,
+    intent_slots: usize,
+    decision_slots: usize,
+) -> usize {
+    assert!(
+        commit_slots.is_multiple_of(2),
+        "sharded images need an even commit_slots so decision slots stay line-aligned"
+    );
+    meta_segment_size_concurrent(max_regions, commit_slots)
+        + intent_slots * INTENT_SLOT_SIZE
+        + decision_slots * DECISION_SLOT_SIZE
+}
+
 /// Byte offset of the commit table inside a metadata segment of
 /// `meta_len` total bytes. The table occupies the *last* `commit_slots`
 /// 8-byte words, so recovery can locate it without knowing the writer's
 /// `max_regions`.
 pub fn commit_table_offset(meta_len: usize, commit_slots: usize) -> usize {
     meta_len - commit_slots * 8
+}
+
+/// Byte offset of the decision table: `decision_slots` 16-byte slots
+/// directly before the tail commit table. Like the commit table it is
+/// located from the segment end, so recovery needs no `max_regions`.
+pub fn decision_table_offset(meta_len: usize, commit_slots: usize, decision_slots: usize) -> usize {
+    commit_table_offset(meta_len, commit_slots) - decision_slots * DECISION_SLOT_SIZE
+}
+
+/// Byte offset of the intent table: `intent_slots` 32-byte slots directly
+/// before the decision table.
+pub fn intent_table_offset(
+    meta_len: usize,
+    commit_slots: usize,
+    intent_slots: usize,
+    decision_slots: usize,
+) -> usize {
+    decision_table_offset(meta_len, commit_slots, decision_slots) - intent_slots * INTENT_SLOT_SIZE
+}
+
+/// Encodes a live intent slot: local transaction `local` on this shard is
+/// part of cross-shard transaction `global`, whose decision record lives
+/// on shard `home`.
+pub fn encode_intent_slot(local: u64, global: u64, home: u32) -> [u8; INTENT_SLOT_SIZE] {
+    let mut out = [0u8; INTENT_SLOT_SIZE];
+    out[0..4].copy_from_slice(&INTENT_MAGIC.to_le_bytes());
+    out[8..16].copy_from_slice(&local.to_le_bytes());
+    out[16..24].copy_from_slice(&global.to_le_bytes());
+    out[24..28].copy_from_slice(&home.to_le_bytes());
+    let crc = crc32(&[&out[8..INTENT_SLOT_SIZE]]);
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes the intent slot at `off`, returning `(local, global, home)`,
+/// or `None` for a free or torn slot.
+pub fn decode_intent_slot(buf: &[u8], off: usize) -> Option<(u64, u64, u32)> {
+    if get_u32(buf, off)? != INTENT_MAGIC {
+        return None;
+    }
+    let stored = get_u32(buf, off + 4)?;
+    let body = buf.get(off + 8..off + INTENT_SLOT_SIZE)?;
+    if crc32(&[body]) != stored {
+        return None;
+    }
+    Some((
+        get_u64(buf, off + 8)?,
+        get_u64(buf, off + 16)?,
+        get_u32(buf, off + 24)?,
+    ))
+}
+
+/// Decodes every live intent slot of a full sharded metadata image,
+/// returning `(slot index, local, global, home)` per live slot.
+pub fn decode_intent_table(
+    meta_image: &[u8],
+    commit_slots: usize,
+    intent_slots: usize,
+    decision_slots: usize,
+) -> Vec<(usize, u64, u64, u32)> {
+    let base = intent_table_offset(meta_image.len(), commit_slots, intent_slots, decision_slots);
+    (0..intent_slots)
+        .filter_map(|i| {
+            decode_intent_slot(meta_image, base + i * INTENT_SLOT_SIZE)
+                .map(|(l, g, h)| (i, l, g, h))
+        })
+        .collect()
+}
+
+/// Encodes a live decision slot: cross-shard transaction `global` is
+/// committed. One 16-byte line — one packet.
+pub fn encode_decision_slot(global: u64) -> [u8; DECISION_SLOT_SIZE] {
+    let mut out = [0u8; DECISION_SLOT_SIZE];
+    out[0..4].copy_from_slice(&DECISION_MAGIC.to_le_bytes());
+    out[8..16].copy_from_slice(&global.to_le_bytes());
+    let crc = crc32(&[&out[8..DECISION_SLOT_SIZE]]);
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes the decision slot at `off`, returning the committed global
+/// transaction id, or `None` for a free or torn slot.
+pub fn decode_decision_slot(buf: &[u8], off: usize) -> Option<u64> {
+    if get_u32(buf, off)? != DECISION_MAGIC {
+        return None;
+    }
+    let stored = get_u32(buf, off + 4)?;
+    let body = buf.get(off + 8..off + DECISION_SLOT_SIZE)?;
+    if crc32(&[body]) != stored {
+        return None;
+    }
+    get_u64(buf, off + 8)
+}
+
+/// Decodes every live decision slot of a full sharded metadata image into
+/// the set of committed global transaction ids.
+pub fn decode_decision_table(
+    meta_image: &[u8],
+    commit_slots: usize,
+    decision_slots: usize,
+) -> Vec<u64> {
+    let base = decision_table_offset(meta_image.len(), commit_slots, decision_slots);
+    (0..decision_slots)
+        .filter_map(|i| decode_decision_slot(meta_image, base + i * DECISION_SLOT_SIZE))
+        .collect()
 }
 
 /// Decodes the raw commit-table slots from a full metadata image. A slot
@@ -163,6 +322,11 @@ fn get_u32(buf: &[u8], off: usize) -> Option<u32> {
         .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
 }
 
+fn get_u16(buf: &[u8], off: usize) -> Option<u16> {
+    buf.get(off..off + 2)
+        .map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+}
+
 /// The decoded fixed header of the metadata segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetaHeader {
@@ -180,6 +344,17 @@ pub struct MetaHeader {
     /// Number of 8-byte commit-table slots trailing the region table
     /// (0 in legacy images).
     pub commit_slots: u32,
+    /// Number of intent slots before the decision table (0 when
+    /// [`FLAG_SHARDED`] is clear).
+    pub intent_slots: u16,
+    /// Number of decision slots before the commit table (0 when
+    /// [`FLAG_SHARDED`] is clear).
+    pub decision_slots: u16,
+    /// Which shard of the sharded database this image is (0 when
+    /// unsharded).
+    pub shard_index: u16,
+    /// Total shard count of the sharded database (0 when unsharded).
+    pub shard_count: u16,
     /// Id of the last committed transaction (the commit record). Under
     /// [`FLAG_CONCURRENT`] this is the resolution watermark.
     pub last_committed: u64,
@@ -198,6 +373,10 @@ impl MetaHeader {
         out[OFF_FLAGS..OFF_FLAGS + 4].copy_from_slice(&self.flags.to_le_bytes());
         out[OFF_COMMIT_SLOTS..OFF_COMMIT_SLOTS + 4]
             .copy_from_slice(&self.commit_slots.to_le_bytes());
+        out[OFF_SHARD..OFF_SHARD + 2].copy_from_slice(&self.intent_slots.to_le_bytes());
+        out[OFF_SHARD + 2..OFF_SHARD + 4].copy_from_slice(&self.decision_slots.to_le_bytes());
+        out[OFF_SHARD + 4..OFF_SHARD + 6].copy_from_slice(&self.shard_index.to_le_bytes());
+        out[OFF_SHARD + 6..OFF_SHARD + 8].copy_from_slice(&self.shard_count.to_le_bytes());
         out[OFF_COMMIT..OFF_COMMIT + 8].copy_from_slice(&self.last_committed.to_le_bytes());
         out
     }
@@ -224,6 +403,10 @@ impl MetaHeader {
             epoch: get_u64(buf, OFF_EPOCH).ok_or("truncated epoch")?,
             flags: get_u32(buf, OFF_FLAGS).ok_or("truncated flags")?,
             commit_slots: get_u32(buf, OFF_COMMIT_SLOTS).ok_or("truncated slot count")?,
+            intent_slots: get_u16(buf, OFF_SHARD).ok_or("truncated shard line")?,
+            decision_slots: get_u16(buf, OFF_SHARD + 2).ok_or("truncated shard line")?,
+            shard_index: get_u16(buf, OFF_SHARD + 4).ok_or("truncated shard line")?,
+            shard_count: get_u16(buf, OFF_SHARD + 6).ok_or("truncated shard line")?,
             last_committed: get_u64(buf, OFF_COMMIT).ok_or("truncated commit record")?,
         })
     }
@@ -359,6 +542,10 @@ mod tests {
             epoch: 9,
             flags: FLAG_CONCURRENT,
             commit_slots: 64,
+            intent_slots: 0,
+            decision_slots: 0,
+            shard_index: 0,
+            shard_count: 0,
             last_committed: 17,
         };
         let enc = h.encode();
@@ -377,6 +564,10 @@ mod tests {
             epoch: 3,
             flags: 0,
             commit_slots: 0,
+            intent_slots: 0,
+            decision_slots: 0,
+            shard_index: 0,
+            shard_count: 0,
             last_committed: 2,
         };
         let mut enc = h.encode();
@@ -393,6 +584,10 @@ mod tests {
             epoch: 1,
             flags: 0,
             commit_slots: 0,
+            intent_slots: 0,
+            decision_slots: 0,
+            shard_index: 0,
+            shard_count: 0,
             last_committed: 0,
         };
         let mut enc = h.encode();
@@ -517,6 +712,10 @@ mod tests {
             epoch: 0,
             flags: FLAG_CONCURRENT,
             commit_slots: 16,
+            intent_slots: 0,
+            decision_slots: 0,
+            shard_index: 0,
+            shard_count: 0,
             last_committed: 0,
         };
         let got = MetaHeader::decode(&h.encode()).unwrap();
@@ -561,5 +760,113 @@ mod tests {
             image[base + i * 8..base + i * 8 + 8].copy_from_slice(&id.to_le_bytes());
         }
         assert_eq!(decode_commit_table(&image, 4), vec![9, 0, 3, 12]);
+    }
+
+    #[test]
+    fn intent_slot_roundtrips_and_rejects_torn_writes() {
+        let enc = encode_intent_slot(7, 1001, 2);
+        assert_eq!(decode_intent_slot(&enc, 0), Some((7, 1001, 2)));
+        // A torn slot (any payload byte lost) reads as absent, not as a
+        // bogus intent.
+        for i in 8..INTENT_SLOT_SIZE {
+            let mut torn = enc;
+            torn[i] ^= 0xFF;
+            assert_eq!(decode_intent_slot(&torn, 0), None, "byte {i}");
+        }
+        // A cleared (zeroed) slot is absent too.
+        assert_eq!(decode_intent_slot(&[0u8; INTENT_SLOT_SIZE], 0), None);
+    }
+
+    #[test]
+    fn decision_slot_roundtrips_and_rejects_torn_writes() {
+        let enc = encode_decision_slot(1001);
+        assert_eq!(decode_decision_slot(&enc, 0), Some(1001));
+        for i in 8..DECISION_SLOT_SIZE {
+            let mut torn = enc;
+            torn[i] ^= 0xFF;
+            assert_eq!(decode_decision_slot(&torn, 0), None, "byte {i}");
+        }
+        assert_eq!(decode_decision_slot(&[0u8; DECISION_SLOT_SIZE], 0), None);
+    }
+
+    #[test]
+    fn decision_slots_are_packet_atomic() {
+        // A decision record is the cross-shard commit point: each slot
+        // must be exactly one 16-byte line (one SCI packet), so a crash
+        // mid-flush leaves it fully durable or CRC-invalid.
+        assert_eq!(DECISION_SLOT_SIZE, 16);
+        // Every table the sharded layout appends is 16-byte aligned from
+        // the segment end (even commit_slots keeps the 8-byte tail words
+        // paired into lines), so slots never straddle lines.
+        let len = meta_segment_size_sharded(64, 32, 16, 8);
+        assert_eq!(commit_table_offset(len, 32) % 16, 0);
+        assert_eq!(decision_table_offset(len, 32, 8) % 16, 0);
+        assert_eq!(intent_table_offset(len, 32, 16, 8) % 16, 0);
+        assert_eq!(INTENT_SLOT_SIZE % 16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even commit_slots")]
+    fn odd_commit_slots_are_rejected_in_sharded_images() {
+        meta_segment_size_sharded(64, 33, 16, 8);
+    }
+
+    #[test]
+    fn sharded_meta_layout_nests_tables_without_overlap() {
+        let len = meta_segment_size_sharded(8, 4, 2, 2);
+        assert_eq!(
+            len,
+            meta_segment_size_concurrent(8, 4) + 2 * INTENT_SLOT_SIZE + 2 * DECISION_SLOT_SIZE
+        );
+        let intents = intent_table_offset(len, 4, 2, 2);
+        let decisions = decision_table_offset(len, 4, 2);
+        let commits = commit_table_offset(len, 4);
+        // Region table < intents < decisions < commits < end.
+        assert!(OFF_REGION_TABLE + 8 * REGION_ENTRY_SIZE <= intents);
+        assert_eq!(intents + 2 * INTENT_SLOT_SIZE, decisions);
+        assert_eq!(decisions + 2 * DECISION_SLOT_SIZE, commits);
+        assert_eq!(commits + 4 * 8, len);
+    }
+
+    #[test]
+    fn intent_and_decision_tables_decode_only_live_slots() {
+        let len = meta_segment_size_sharded(4, 4, 3, 2);
+        let mut image = vec![0u8; len];
+        let ibase = intent_table_offset(len, 4, 3, 2);
+        image[ibase + INTENT_SLOT_SIZE..ibase + 2 * INTENT_SLOT_SIZE]
+            .copy_from_slice(&encode_intent_slot(5, 900, 1));
+        let dbase = decision_table_offset(len, 4, 2);
+        image[dbase..dbase + DECISION_SLOT_SIZE].copy_from_slice(&encode_decision_slot(900));
+        assert_eq!(decode_intent_table(&image, 4, 3, 2), vec![(1, 5, 900, 1)]);
+        assert_eq!(decode_decision_table(&image, 4, 2), vec![900]);
+    }
+
+    #[test]
+    fn sharded_header_roundtrips_and_legacy_zeros_decode_unsharded() {
+        let h = MetaHeader {
+            region_count: 2,
+            undo_seg_id: 11,
+            undo_seg_len: 2048,
+            epoch: 4,
+            flags: FLAG_CONCURRENT | FLAG_SHARDED,
+            commit_slots: 16,
+            intent_slots: 8,
+            decision_slots: 4,
+            shard_index: 2,
+            shard_count: 3,
+            last_committed: 77,
+        };
+        let enc = h.encode();
+        let dec = MetaHeader::decode(&enc).unwrap();
+        assert_eq!(dec, h);
+        // Legacy images carry zeros at OFF_SHARD: they decode as
+        // unsharded, so pre-shard metadata stays readable.
+        let mut legacy = enc;
+        legacy[OFF_FLAGS..OFF_FLAGS + 4].copy_from_slice(&FLAG_CONCURRENT.to_le_bytes());
+        legacy[OFF_SHARD..OFF_SHARD + 8].fill(0);
+        let dec = MetaHeader::decode(&legacy).unwrap();
+        assert_eq!(dec.flags & FLAG_SHARDED, 0);
+        assert_eq!(dec.shard_count, 0);
+        assert_eq!(dec.intent_slots, 0);
     }
 }

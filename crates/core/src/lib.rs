@@ -64,6 +64,7 @@ mod perseas;
 mod recovery;
 mod replica;
 mod scope;
+mod shard;
 mod shared;
 mod trace;
 mod txn_impl;
@@ -74,14 +75,17 @@ pub use config::PerseasConfig;
 pub use fault::FaultPlan;
 pub use jsonl::JsonlTracer;
 pub use layout::{
-    commit_table_offset, crc32, decode_commit_table, decode_region_entry, MetaHeader, UndoRecord,
-    FLAG_CONCURRENT, META_TAG, OFF_COMMIT, OFF_EPOCH,
+    commit_table_offset, crc32, decision_table_offset, decode_commit_table, decode_decision_table,
+    decode_intent_table, decode_region_entry, intent_table_offset, meta_segment_size_sharded,
+    MetaHeader, UndoRecord, DECISION_SLOT_SIZE, FLAG_CONCURRENT, FLAG_SHARDED, INTENT_SLOT_SIZE,
+    META_TAG, OFF_COMMIT, OFF_EPOCH,
 };
-pub use metrics::record_recovery;
+pub use metrics::{record_recovery, record_shard_recovery};
 pub use perseas::{MirrorHealth, MirrorStatus, Perseas};
 pub use recovery::RecoveryReport;
 pub use replica::ReadReplica;
 pub use scope::TxnScope;
+pub use shard::{GlobalToken, ShardRecoveryReport, ShardedPerseas};
 pub use shared::SharedPerseas;
 pub use trace::{RecordingTracer, TraceEvent, Tracer};
 

@@ -28,6 +28,12 @@ use crate::trace::TraceEvent;
 /// paths.
 pub(crate) struct CoreMetrics {
     registry: Registry,
+    /// Shard index of the owning instance, when it is one shard of a
+    /// [`crate::ShardedPerseas`] database. Per-mirror gauges then carry a
+    /// `shard` label (so shard 0's mirror 0 and shard 1's mirror 0 are
+    /// distinct series) and commits are additionally counted into the
+    /// shard-labelled `perseas_shard_*` family.
+    shard: Option<u16>,
     begun: Counter,
     committed: Counter,
     committed_bytes: Counter,
@@ -61,6 +67,7 @@ impl CoreMetrics {
         let r = registry;
         CoreMetrics {
             registry: r.clone(),
+            shard: None,
             begun: r.counter("perseas_txn_begun_total", "Transactions begun."),
             committed: r.counter("perseas_txn_committed_total", "Transactions committed."),
             committed_bytes: r.counter(
@@ -156,15 +163,38 @@ impl CoreMetrics {
         }
     }
 
+    /// Tags this bundle with the shard index of its owning instance.
+    pub(crate) fn with_shard(mut self, shard: u16) -> CoreMetrics {
+        self.shard = Some(shard);
+        self
+    }
+
     /// The per-mirror health gauge (1 healthy, 0 suspect/down).
     /// Registration is idempotent, so resolving it on each health event
     /// is cheap enough for a membership-change-rate path.
     fn mirror_healthy(&self, index: usize) -> Gauge {
-        self.registry.gauge_with(
-            "perseas_mirror_healthy",
-            "Per-mirror health (1 = healthy and receiving every write).",
-            &[("mirror", &index.to_string())],
-        )
+        let mirror = index.to_string();
+        match self.shard {
+            None => self.registry.gauge_with(
+                "perseas_mirror_healthy",
+                "Per-mirror health (1 = healthy and receiving every write).",
+                &[("mirror", &mirror)],
+            ),
+            Some(shard) => self.registry.gauge_with(
+                "perseas_shard_mirror_healthy",
+                "Per-mirror health of one shard's mirror set (1 = healthy).",
+                &[("shard", &shard.to_string()), ("mirror", &mirror)],
+            ),
+        }
+    }
+
+    /// A shard-labelled counter of the `perseas_shard_*` family, resolved
+    /// only when the bundle is shard-tagged.
+    fn shard_counter(&self, name: &'static str, help: &'static str) -> Option<Counter> {
+        self.shard.map(|s| {
+            self.registry
+                .counter_with(name, help, &[("shard", &s.to_string())])
+        })
     }
 
     /// Seeds the membership gauges at installation time.
@@ -190,6 +220,12 @@ impl CoreMetrics {
             TraceEvent::TxnCommitted { bytes, .. } => {
                 self.committed.inc();
                 self.committed_bytes.add(*bytes as u64);
+                if let Some(c) = self.shard_counter(
+                    "perseas_shard_txn_committed_total",
+                    "Transactions committed, per shard.",
+                ) {
+                    c.inc();
+                }
             }
             TraceEvent::TxnAborted { .. } => self.aborted.inc(),
             TraceEvent::MirrorAdded { index } => {
@@ -225,6 +261,49 @@ impl CoreMetrics {
                 self.flush_bytes.add(*bytes as u64);
             }
             TraceEvent::Crashed => self.crashes.inc(),
+            TraceEvent::CrossShardPrepared { .. } => {
+                if let Some(c) = self.shard_counter(
+                    "perseas_shard_prepares_total",
+                    "Cross-shard transaction parts prepared, per shard.",
+                ) {
+                    c.inc();
+                }
+            }
+            TraceEvent::CrossShardDecision { .. } => {
+                if let Some(c) = self.shard_counter(
+                    "perseas_shard_decisions_total",
+                    "Cross-shard decision records written, per home shard.",
+                ) {
+                    c.inc();
+                }
+            }
+            TraceEvent::CrossShardCommitted { shards, .. } => {
+                if let Some(c) = self.shard_counter(
+                    "perseas_shard_cross_commits_total",
+                    "Cross-shard transactions fully committed, per home shard.",
+                ) {
+                    c.inc();
+                }
+                if let Some(c) = self.shard_counter(
+                    "perseas_shard_cross_commit_parts_total",
+                    "Participant parts resolved by cross-shard commits.",
+                ) {
+                    c.add(*shards as u64);
+                }
+            }
+            TraceEvent::CrossShardResolved { committed, .. } => {
+                let name = if *committed {
+                    "perseas_shard_resolved_commits_total"
+                } else {
+                    "perseas_shard_resolved_aborts_total"
+                };
+                if let Some(c) = self.shard_counter(
+                    name,
+                    "In-doubt prepared parts resolved by recovery, per shard.",
+                ) {
+                    c.inc();
+                }
+            }
         }
     }
 
@@ -279,6 +358,30 @@ pub fn record_recovery(registry: &Registry, report: &RecoveryReport) {
             "Mirror-set epoch (bumped on every membership change).",
         )
         .set(report.epoch as i64);
+}
+
+/// Records a completed [`crate::ShardedPerseas::recover`] into
+/// `registry`: one [`record_recovery`] per shard report plus the
+/// in-doubt resolutions the coordinator layer performed.
+pub fn record_shard_recovery(registry: &Registry, report: &crate::ShardRecoveryReport) {
+    for (shard, shard_report) in report.shards.iter().enumerate() {
+        record_recovery(registry, shard_report);
+        let label = shard.to_string();
+        registry
+            .counter_with(
+                "perseas_shard_resolved_commits_total",
+                "In-doubt prepared parts resolved by recovery, per shard.",
+                &[("shard", &label)],
+            )
+            .add(report.resolved_commits[shard] as u64);
+        registry
+            .counter_with(
+                "perseas_shard_resolved_aborts_total",
+                "In-doubt prepared parts resolved by recovery, per shard.",
+                &[("shard", &label)],
+            )
+            .add(report.resolved_aborts[shard] as u64);
+    }
 }
 
 #[cfg(test)]

@@ -206,7 +206,14 @@ impl<M: RemoteMemory> Perseas<M> {
     /// Size of the metadata segment under `cfg`: the legacy layout plus,
     /// for the concurrent engine, the trailing commit table.
     pub(crate) fn meta_len_for(cfg: &PerseasConfig) -> usize {
-        if cfg.concurrent {
+        if cfg.shard_count > 0 {
+            crate::layout::meta_segment_size_sharded(
+                cfg.max_regions,
+                cfg.commit_slots,
+                cfg.intent_slots,
+                cfg.decision_slots,
+            )
+        } else if cfg.concurrent {
             meta_segment_size_concurrent(cfg.max_regions, cfg.commit_slots)
         } else {
             meta_segment_size(cfg.max_regions)
@@ -875,6 +882,17 @@ impl<M: RemoteMemory> Perseas<M> {
     /// byte-identical with metrics off.
     pub fn set_metrics(&mut self, registry: &perseas_obs::Registry) {
         let m = CoreMetrics::new(registry);
+        let health: Vec<bool> = self.mirrors.iter().map(|s| s.is_healthy()).collect();
+        m.seed(self.epoch, &health, self.undo_shadow.len());
+        self.metrics = Some(m);
+    }
+
+    /// Like [`Perseas::set_metrics`], tagging every series with a shard
+    /// label (used by [`crate::ShardedPerseas`]; the mirror-health gauge
+    /// becomes `perseas_shard_mirror_healthy{shard,mirror}` so mirror
+    /// indices from different shards never collide in one registry).
+    pub(crate) fn set_metrics_tagged(&mut self, registry: &perseas_obs::Registry, shard: u16) {
+        let m = CoreMetrics::new(registry).with_shard(shard);
         let health: Vec<bool> = self.mirrors.iter().map(|s| s.is_healthy()).collect();
         m.seed(self.epoch, &health, self.undo_shadow.len());
         self.metrics = Some(m);
@@ -1859,17 +1877,35 @@ impl<M: RemoteMemory> Perseas<M> {
     pub(crate) fn meta_image_for(&self, m: &MirrorState<M>) -> Vec<u8> {
         let concurrent = self.cfg.concurrent;
         let mut image = vec![0u8; Perseas::<M>::meta_len_for(&self.cfg)];
+        let sharded = self.cfg.shard_count > 0;
         let header = MetaHeader {
             region_count: self.regions.len() as u32,
             undo_seg_id: m.undo.id.as_raw(),
             undo_seg_len: m.undo.len as u64,
             epoch: self.epoch,
-            flags: if concurrent { FLAG_CONCURRENT } else { 0 },
+            flags: if concurrent { FLAG_CONCURRENT } else { 0 }
+                | if sharded {
+                    crate::layout::FLAG_SHARDED
+                } else {
+                    0
+                },
             commit_slots: if concurrent {
                 self.cfg.commit_slots as u32
             } else {
                 0
             },
+            intent_slots: if sharded {
+                self.cfg.intent_slots as u16
+            } else {
+                0
+            },
+            decision_slots: if sharded {
+                self.cfg.decision_slots as u16
+            } else {
+                0
+            },
+            shard_index: if sharded { self.cfg.shard_index } else { 0 },
+            shard_count: self.cfg.shard_count,
             last_committed: self.last_committed,
         };
         image[..OFF_REGION_TABLE].copy_from_slice(&header.encode());

@@ -112,6 +112,15 @@ impl<M: RemoteMemory> Perseas<M> {
         if concurrent {
             cfg.commit_slots = header.commit_slots as usize;
         }
+        // A sharded image carries its coordination-table geometry and
+        // shard coordinates in the header; like the commit-slot count,
+        // the mirror's layout overrides whatever the config guessed.
+        if header.flags & crate::layout::FLAG_SHARDED != 0 {
+            cfg.intent_slots = header.intent_slots as usize;
+            cfg.decision_slots = header.decision_slots as usize;
+            cfg.shard_index = header.shard_index;
+            cfg.shard_count = header.shard_count;
+        }
 
         // 2. Locate the region and undo segments.
         let mut db_segs: Vec<RemoteSegment> = Vec::with_capacity(header.region_count as usize);

@@ -148,6 +148,47 @@ pub enum TraceEvent {
     },
     /// The instance crashed (fault injection or explicit).
     Crashed,
+    /// A cross-shard transaction froze its part on one shard: undo
+    /// records and data are durable, and an intent slot names the home
+    /// shard holding the decision (sharded databases only).
+    CrossShardPrepared {
+        /// Global cross-shard transaction id.
+        global: u64,
+        /// Shard the part was prepared on.
+        shard: u16,
+        /// The part's local transaction id on that shard.
+        txn: u64,
+    },
+    /// The packet-atomic decision record of a cross-shard transaction was
+    /// flushed to its home shard — the transaction is now committed,
+    /// whatever happens to the fan-out.
+    CrossShardDecision {
+        /// Global cross-shard transaction id.
+        global: u64,
+        /// Home shard holding the decision record.
+        home: u16,
+        /// Number of participant shards.
+        shards: usize,
+    },
+    /// The record-only commit fan-out of a cross-shard transaction
+    /// completed on every participant shard.
+    CrossShardCommitted {
+        /// Global cross-shard transaction id.
+        global: u64,
+        /// Number of participant shards.
+        shards: usize,
+    },
+    /// Recovery resolved an in-doubt prepared part by consulting the home
+    /// shard's decision table.
+    CrossShardResolved {
+        /// Global cross-shard transaction id.
+        global: u64,
+        /// Shard whose part was resolved.
+        shard: u16,
+        /// `true` if the decision record existed (part kept), `false` if
+        /// it was absent (part rolled back — presumed abort).
+        committed: bool,
+    },
 }
 
 /// A sink for [`TraceEvent`]s.

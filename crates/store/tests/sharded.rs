@@ -1,0 +1,138 @@
+//! The typed containers over a sharded database.
+//!
+//! [`ShardedPerseas`] implements [`TransactionalMemory`], so `Table` and
+//! `RingLog` span shards with no store-layer changes: each container's
+//! region lands on one shard (round-robin by allocation order), and a
+//! transaction touching containers on different shards commits through
+//! the cross-shard protocol transparently. These tests pin that path,
+//! including abort, crash recovery, and re-opening containers on the
+//! recovered database.
+
+use perseas_core::{PerseasConfig, ShardedPerseas};
+use perseas_rnram::SimRemote;
+use perseas_store::{fixed_record, RingLog, Table};
+use perseas_txn::TransactionalMemory;
+
+fixed_record! {
+    struct Account {
+        balance: u64,
+        flags: i32,
+        frozen: bool,
+    }
+}
+
+fn backends(k: usize, mirrors: usize) -> Vec<Vec<SimRemote>> {
+    (0..k)
+        .map(|s| {
+            (0..mirrors)
+                .map(|m| SimRemote::new(format!("s{s}m{m}")))
+                .collect()
+        })
+        .collect()
+}
+
+/// A table on shard 0 and a ring log on shard 1, updated together: every
+/// transaction is a cross-shard commit, and both containers observe it
+/// atomically.
+#[test]
+fn containers_span_shards_transparently() {
+    let mut db = ShardedPerseas::init(backends(2, 2), PerseasConfig::default()).unwrap();
+    let table = Table::<Account>::create(&mut db, 8).unwrap(); // region 0 → shard 0
+    let log = RingLog::<u64>::create(&mut db, 4).unwrap(); // region 1 → shard 1
+    db.init_remote_db().unwrap();
+
+    for i in 0..6u64 {
+        db.begin_transaction().unwrap();
+        table
+            .put(
+                &mut db,
+                i as usize,
+                &Account {
+                    balance: 100 * i,
+                    flags: -(i as i32),
+                    frozen: i % 2 == 0,
+                },
+            )
+            .unwrap();
+        log.push(&mut db, &i).unwrap();
+        db.commit_transaction().unwrap();
+    }
+
+    // Both shards advanced in lockstep: every commit touched both.
+    assert_eq!(db.shard(0).last_committed(), 6);
+    assert_eq!(db.shard(1).last_committed(), 6);
+    assert_eq!(table.get(&db, 3).unwrap().balance, 300);
+    assert_eq!(log.pushed(&db).unwrap(), 6);
+    assert_eq!(log.recent(&db, 2).unwrap(), vec![4, 5]);
+}
+
+/// An aborted cross-shard transaction stages changes to containers on
+/// both shards and must leave no trace on either.
+#[test]
+fn cross_shard_abort_leaves_no_trace() {
+    let mut db = ShardedPerseas::init(backends(2, 1), PerseasConfig::default()).unwrap();
+    let table = Table::<Account>::create(&mut db, 4).unwrap();
+    let log = RingLog::<u64>::create(&mut db, 4).unwrap();
+    db.init_remote_db().unwrap();
+
+    db.begin_transaction().unwrap();
+    table
+        .put(
+            &mut db,
+            0,
+            &Account {
+                balance: 1,
+                flags: 1,
+                frozen: false,
+            },
+        )
+        .unwrap();
+    log.push(&mut db, &7).unwrap();
+    db.abort_transaction().unwrap();
+
+    assert_eq!(table.get(&db, 0).unwrap(), Account::default());
+    assert_eq!(log.pushed(&db).unwrap(), 0);
+    assert_eq!(db.shard(0).last_committed(), 0);
+    assert_eq!(db.shard(1).last_committed(), 0);
+}
+
+/// Containers survive a whole-database crash: recovery rebuilds every
+/// shard, and `open` re-attaches the containers by (global) region id.
+#[test]
+fn containers_reopen_after_sharded_recovery() {
+    let backends = backends(3, 2);
+    let mut db = ShardedPerseas::init(backends.clone(), PerseasConfig::default()).unwrap();
+    let table = Table::<Account>::create(&mut db, 8).unwrap();
+    let log = RingLog::<u64>::create(&mut db, 8).unwrap();
+    db.init_remote_db().unwrap();
+
+    for i in 0..5u64 {
+        db.begin_transaction().unwrap();
+        table
+            .put(
+                &mut db,
+                i as usize,
+                &Account {
+                    balance: i * i,
+                    flags: i as i32,
+                    frozen: false,
+                },
+            )
+            .unwrap();
+        log.push(&mut db, &(i * 10)).unwrap();
+        db.commit_transaction().unwrap();
+    }
+    let table_region = table.region();
+    let log_region = log.region();
+    db.crash();
+
+    let (db2, report) = ShardedPerseas::recover(backends, PerseasConfig::default()).unwrap();
+    assert_eq!(report.shards.len(), 3);
+    let table = Table::<Account>::open(&db2, table_region).unwrap();
+    let log = RingLog::<u64>::open(&db2, log_region).unwrap();
+    for i in 0..5u64 {
+        assert_eq!(table.get(&db2, i as usize).unwrap().balance, i * i);
+    }
+    assert_eq!(log.pushed(&db2).unwrap(), 5);
+    assert_eq!(log.recent(&db2, 5).unwrap(), vec![0, 10, 20, 30, 40]);
+}

@@ -44,3 +44,4 @@ pub fn all_systems() -> Vec<(&'static str, Box<dyn TransactionalMemory>)> {
 }
 
 pub mod interleave;
+pub mod shard_harness;

@@ -1,0 +1,327 @@
+//! Harness for the sharded-database test battery.
+//!
+//! Builds K-shard clusters whose mirror node memories (and SCI links)
+//! stay inspectable, seeds every shard's region with a deterministic
+//! pre-image, and drives seed-replayable concurrent mixes of single- and
+//! multi-shard transactions against a model that predicts conflicts and
+//! a serial oracle that predicts bytes. Used by the cross-shard crash
+//! sweep (`tests/shard_crash_sweep.rs`), the serializability property
+//! suite (`tests/shard_equivalence_prop.rs`), and the in-doubt
+//! resolution regressions (`tests/shard_indoubt.rs`).
+
+use perseas_core::{GlobalToken, PerseasConfig, RegionId, ShardedPerseas, TxnError};
+use perseas_rnram::SimRemote;
+use perseas_sci::{NodeMemory, SciLink, SciParams};
+use perseas_simtime::{det_rng, DetRng, SimClock};
+use perseas_txn::TransactionalMemory;
+
+/// Length of the one region each shard hosts.
+pub const SHARD_REGION_LEN: usize = 192;
+
+/// The surviving remote state of a sharded cluster: `[shard][mirror]`
+/// node memories (which outlive coordinator crashes) and the SCI links
+/// the live database writes through (for packet-cut fault injection).
+pub struct ShardCluster {
+    pub nodes: Vec<Vec<NodeMemory>>,
+    pub links: Vec<Vec<SciLink>>,
+}
+
+/// The deterministic pre-image every shard's region is seeded with.
+pub fn pre_image(shard: usize) -> Vec<u8> {
+    (0..SHARD_REGION_LEN)
+        .map(|i| (i as u8).wrapping_mul(3).wrapping_add(shard as u8))
+        .collect()
+}
+
+/// Builds a published K-shard database, `mirrors` mirrors per shard,
+/// one [`SHARD_REGION_LEN`] region per shard (region `s` on shard `s`)
+/// seeded with [`pre_image`]. Returns `(db, regions, cluster)`.
+pub fn build_sharded(
+    k: usize,
+    mirrors: usize,
+) -> (ShardedPerseas<SimRemote>, Vec<RegionId>, ShardCluster) {
+    let nodes: Vec<Vec<NodeMemory>> = (0..k)
+        .map(|s| {
+            (0..mirrors)
+                .map(|m| NodeMemory::new(format!("s{s}m{m}")))
+                .collect()
+        })
+        .collect();
+    let backends: Vec<Vec<SimRemote>> = nodes
+        .iter()
+        .map(|shard| {
+            shard
+                .iter()
+                .map(|n| {
+                    SimRemote::with_parts(SimClock::new(), n.clone(), SciParams::dolphin_1998())
+                })
+                .collect()
+        })
+        .collect();
+    let links = backends
+        .iter()
+        .map(|shard| shard.iter().map(|b| b.link().clone()).collect())
+        .collect();
+    let mut db = ShardedPerseas::init(backends, PerseasConfig::default()).expect("init");
+    let regions: Vec<RegionId> = (0..k)
+        .map(|_| db.malloc(SHARD_REGION_LEN).expect("malloc"))
+        .collect();
+    for (s, &r) in regions.iter().enumerate() {
+        db.write(r, 0, &pre_image(s)).expect("seed pre-image");
+    }
+    db.init_remote_db().expect("publish");
+    (db, regions, ShardCluster { nodes, links })
+}
+
+/// Fresh backend handles onto every surviving node memory, as the
+/// recovering workstations open them.
+pub fn reopen_sharded(cluster: &ShardCluster) -> Vec<Vec<SimRemote>> {
+    cluster
+        .nodes
+        .iter()
+        .map(|shard| {
+            shard
+                .iter()
+                .map(|n| {
+                    SimRemote::with_parts(SimClock::new(), n.clone(), SciParams::dolphin_1998())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One planned global transaction: claim-and-write each `(shard, offset,
+/// len, fill)` range in order, then commit or voluntarily abort.
+#[derive(Debug, Clone)]
+pub struct XPlan {
+    pub ranges: Vec<(usize, usize, usize, u8)>,
+    pub commit: bool,
+}
+
+impl XPlan {
+    /// Shards this plan touches, deduplicated.
+    pub fn shards(&self) -> Vec<usize> {
+        let mut s: Vec<usize> = self.ranges.iter().map(|r| r.0).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+/// The seed-determined plan set `run_mix(seed, k, n)` executes — exposed
+/// so property tests can recompute the serial reference independently.
+pub fn gen_xplans(seed: u64, k: usize, n: usize) -> Vec<XPlan> {
+    let mut rng = det_rng(seed);
+    gen_xplans_with(&mut rng, k, n)
+}
+
+fn gen_xplans_with(rng: &mut DetRng, k: usize, n: usize) -> Vec<XPlan> {
+    (0..n)
+        .map(|i| {
+            let nranges = 1 + rng.gen_index(3);
+            let ranges = (0..nranges)
+                .map(|_| {
+                    let shard = rng.gen_index(k);
+                    let off = rng.gen_index(SHARD_REGION_LEN - 1);
+                    let len = 1 + rng.gen_index((SHARD_REGION_LEN - off).min(32));
+                    (shard, off, len, 1 + (i as u8 % 250))
+                })
+                .collect();
+            XPlan {
+                ranges,
+                commit: rng.gen_bool(0.8),
+            }
+        })
+        .collect()
+}
+
+/// How each planned transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fate {
+    /// Committed (single- or cross-shard).
+    Committed,
+    /// Lost a claim conflict and was rolled back.
+    Conflicted,
+    /// Ran to completion and aborted voluntarily.
+    Aborted,
+}
+
+/// What one interleaved mix produced.
+#[derive(Debug)]
+pub struct MixOutcome {
+    /// Post-crash-recovery bytes of every shard's region.
+    pub images: Vec<Vec<u8>>,
+    /// Plan indices in commit order.
+    pub committed: Vec<usize>,
+    /// Fate of every plan, indexed by plan.
+    pub fates: Vec<Fate>,
+}
+
+enum St {
+    NotStarted,
+    Open(GlobalToken, usize),
+    Done,
+}
+
+/// Runs one interleaved schedule of `ntxns` global transactions over a
+/// fresh `k`-shard, 2-mirror cluster, checking the engine against a
+/// claim-table model at every step and against a serial oracle at the
+/// end — both before and after a whole-cluster crash and recovery.
+/// Panics (naming `seed`) on any divergence.
+pub fn run_mix(seed: u64, k: usize, ntxns: usize) -> MixOutcome {
+    let mut rng = det_rng(seed);
+    let plans = gen_xplans_with(&mut rng, k, ntxns);
+    let (mut db, regions, cluster) = build_sharded(k, 2);
+
+    let mut states: Vec<St> = (0..ntxns).map(|_| St::NotStarted).collect();
+    // The model's claim table: `(shard, start, end)` intervals held by
+    // each still-open transaction.
+    let mut claims: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); ntxns];
+    let mut tokens: Vec<Option<GlobalToken>> = vec![None; ntxns];
+    let mut committed: Vec<usize> = Vec::new();
+    let mut fates: Vec<Option<Fate>> = vec![None; ntxns];
+
+    loop {
+        let active: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, St::NotStarted | St::Open(_, _)))
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let i = active[rng.gen_index(active.len())];
+        match states[i] {
+            St::NotStarted => {
+                let g = db
+                    .begin_global()
+                    .unwrap_or_else(|e| panic!("seed {seed}: begin failed: {e}"));
+                tokens[i] = Some(g);
+                states[i] = St::Open(g, 0);
+            }
+            St::Open(g, next) => {
+                let (shard, off, len, fill) = plans[i].ranges[next];
+                let predicted = claims
+                    .iter()
+                    .enumerate()
+                    .find(|(j, held)| {
+                        *j != i
+                            && held
+                                .iter()
+                                .any(|&(hs, s, e)| hs == shard && s < off + len && off < e)
+                    })
+                    .map(|(j, _)| j);
+                match db.set_range_g(g, regions[shard], off, len) {
+                    Ok(()) => {
+                        assert!(
+                            predicted.is_none(),
+                            "seed {seed}: txn {i} claimed shard {shard} [{off}, {}) but \
+                             the model says txn {predicted:?} holds an overlap",
+                            off + len
+                        );
+                        db.write_g(g, regions[shard], off, &vec![fill; len])
+                            .unwrap_or_else(|e| panic!("seed {seed}: write failed: {e}"));
+                        claims[i].push((shard, off, off + len));
+                        if next + 1 == plans[i].ranges.len() {
+                            if plans[i].commit {
+                                db.commit_g(g).unwrap_or_else(|e| {
+                                    panic!("seed {seed}: commit of txn {i} failed: {e}")
+                                });
+                                committed.push(i);
+                                fates[i] = Some(Fate::Committed);
+                            } else {
+                                db.abort_g(g)
+                                    .unwrap_or_else(|e| panic!("seed {seed}: abort failed: {e}"));
+                                fates[i] = Some(Fate::Aborted);
+                            }
+                            claims[i].clear();
+                            states[i] = St::Done;
+                        } else {
+                            states[i] = St::Open(g, next + 1);
+                        }
+                    }
+                    Err(TxnError::Conflict { holder, .. }) => {
+                        assert!(
+                            predicted.is_some(),
+                            "seed {seed}: txn {i} got a conflict on shard {shard} \
+                             [{off}, {}) but the model sees no overlapping claim",
+                            off + len
+                        );
+                        // The engine reports the *global* id of a live
+                        // holder; verify it really overlaps on this shard.
+                        let holder_idx = tokens
+                            .iter()
+                            .position(|t| t.map(|g| g.id()) == Some(holder))
+                            .unwrap_or_else(|| {
+                                panic!("seed {seed}: reported holder {holder} is not a known txn")
+                            });
+                        assert!(
+                            matches!(states[holder_idx], St::Open(_, _)),
+                            "seed {seed}: reported holder txn {holder_idx} is not live"
+                        );
+                        assert!(
+                            claims[holder_idx]
+                                .iter()
+                                .any(|&(hs, s, e)| hs == shard && s < off + len && off < e),
+                            "seed {seed}: reported holder txn {holder_idx} does not \
+                             overlap shard {shard} [{off}, {})",
+                            off + len
+                        );
+                        db.abort_g(g)
+                            .unwrap_or_else(|e| panic!("seed {seed}: loser abort failed: {e}"));
+                        claims[i].clear();
+                        fates[i] = Some(Fate::Conflicted);
+                        states[i] = St::Done;
+                    }
+                    Err(e) => panic!("seed {seed}: unexpected error: {e}"),
+                }
+            }
+            St::Done => unreachable!("not in active set"),
+        }
+    }
+
+    // Serial oracle: committed plans applied in commit order.
+    let model = serial_reference(&plans, &committed, k);
+    for (s, &r) in regions.iter().enumerate() {
+        assert_eq!(
+            db.region_snapshot(r).unwrap(),
+            model[s],
+            "seed {seed}: live shard {s} diverges from the serial oracle"
+        );
+    }
+
+    db.crash();
+    let (db2, _) = ShardedPerseas::recover(reopen_sharded(&cluster), PerseasConfig::default())
+        .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+    let images: Vec<Vec<u8>> = regions
+        .iter()
+        .map(|&r| db2.region_snapshot(r).unwrap())
+        .collect();
+    for s in 0..k {
+        assert_eq!(
+            images[s], model[s],
+            "seed {seed}: recovered shard {s} diverges from the serial oracle"
+        );
+    }
+    MixOutcome {
+        images,
+        committed,
+        fates: fates
+            .into_iter()
+            .map(|f| f.expect("every txn reached a fate"))
+            .collect(),
+    }
+}
+
+/// The committed subset applied in commit order on a single thread:
+/// per-shard images no concurrent execution may be distinguishable from.
+pub fn serial_reference(plans: &[XPlan], committed: &[usize], k: usize) -> Vec<Vec<u8>> {
+    let mut model: Vec<Vec<u8>> = (0..k).map(pre_image).collect();
+    for &i in committed {
+        for &(shard, off, len, fill) in &plans[i].ranges {
+            model[shard][off..off + len].fill(fill);
+        }
+    }
+    model
+}

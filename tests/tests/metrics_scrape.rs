@@ -9,7 +9,8 @@
 //! one commit is recorded as degraded after exactly one mirror loss,
 //! and the whole exposition parses.
 
-use perseas_core::{MirrorHealth, Perseas, PerseasConfig};
+use perseas_core::{record_shard_recovery, MirrorHealth, Perseas, PerseasConfig, ShardedPerseas};
+use perseas_integration::shard_harness::{build_sharded, reopen_sharded};
 use perseas_obs::{parse_exposition, scrape, MetricsServer, Registry, Sample};
 use perseas_rnram::server::Server;
 use perseas_rnram::TcpRemote;
@@ -29,6 +30,20 @@ fn labelled(samples: &[Sample], name: &str, key: &str, val: &str) -> f64 {
         .iter()
         .find(|s| s.name == name && s.label(key) == Some(val))
         .unwrap_or_else(|| panic!("no {name}{{{key}=\"{val}\"}} in scrape"))
+        .value
+}
+
+/// The single sample of `name` carrying both labels.
+fn labelled2(samples: &[Sample], name: &str, a: (&str, &str), b: (&str, &str)) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.label(a.0) == Some(a.1) && s.label(b.0) == Some(b.1))
+        .unwrap_or_else(|| {
+            panic!(
+                "no {name}{{{}=\"{}\",{}=\"{}\"}} in scrape",
+                a.0, a.1, b.0, b.1
+            )
+        })
         .value
 }
 
@@ -144,4 +159,131 @@ fn scraped_metrics_match_engine_ground_truth() {
 
     metrics.shutdown();
     sa.shutdown();
+}
+
+/// Shard-labelled exposition: a 2-shard database under one registry
+/// must publish `perseas_shard_*` series keyed by shard index — never
+/// colliding across shards — and recovery's in-doubt resolutions must
+/// surface through `record_shard_recovery`.
+#[test]
+fn sharded_metrics_are_shard_labelled() {
+    let registry = Registry::new();
+    let metrics = MetricsServer::serve("127.0.0.1:0", registry.clone()).unwrap();
+    let (mut db, regions, cluster) = build_sharded(2, 2);
+    db.set_metrics(&registry);
+
+    // 2 single-shard commits on shard 0, 1 on shard 1.
+    for (region, count) in [(regions[0], 2), (regions[1], 1)] {
+        for i in 0..count {
+            let g = db.begin_global().unwrap();
+            db.set_range_g(g, region, i * 8, 8).unwrap();
+            db.write_g(g, region, i * 8, &[0x42; 8]).unwrap();
+            db.commit_g(g).unwrap();
+        }
+    }
+    // 2 cross-shard commits, home shard 0.
+    for i in 0..2usize {
+        let g = db.begin_global().unwrap();
+        for &r in &regions {
+            db.set_range_g(g, r, 64 + i * 8, 8).unwrap();
+            db.write_g(g, r, 64 + i * 8, &[0x43; 8]).unwrap();
+        }
+        db.commit_g(g).unwrap();
+    }
+    // One in-doubt transaction: decided but never fanned out, so
+    // recovery must resolve one commit per shard.
+    let g = db.begin_global().unwrap();
+    for &r in &regions {
+        db.set_range_g(g, r, 128, 8).unwrap();
+        db.write_g(g, r, 128, &[0x44; 8]).unwrap();
+    }
+    db.prepare_parts(g).unwrap();
+    db.write_intents(g).unwrap();
+    db.write_decision(g).unwrap();
+    db.crash();
+    let (_db2, report) =
+        ShardedPerseas::recover(reopen_sharded(&cluster), PerseasConfig::default()).unwrap();
+    record_shard_recovery(&registry, &report);
+
+    let samples = parse_exposition(&scrape(metrics.addr()).unwrap()).unwrap();
+
+    // Shard topology: the shard-count gauge and a health gauge per
+    // (shard, mirror) pair, all healthy.
+    assert_eq!(total(&samples, "perseas_shards"), 2.0);
+    for shard in ["0", "1"] {
+        for mirror in ["0", "1"] {
+            assert_eq!(
+                labelled2(
+                    &samples,
+                    "perseas_shard_mirror_healthy",
+                    ("shard", shard),
+                    ("mirror", mirror),
+                ),
+                1.0
+            );
+        }
+    }
+
+    // Per-shard commit counters: 2 single + 2 cross-shard parts on
+    // shard 0, 1 single + 2 cross-shard parts on shard 1.
+    assert_eq!(
+        labelled(&samples, "perseas_shard_txn_committed_total", "shard", "0"),
+        4.0
+    );
+    assert_eq!(
+        labelled(&samples, "perseas_shard_txn_committed_total", "shard", "1"),
+        3.0
+    );
+
+    // The 2PC counters: the 2 completed cross-shard commits plus the
+    // decided-but-unfinished one prepared a part and wrote an intent on
+    // each shard, decided on home shard 0, and only the completed two
+    // fanned out.
+    for shard in ["0", "1"] {
+        assert_eq!(
+            labelled(&samples, "perseas_shard_prepares_total", "shard", shard),
+            3.0
+        );
+    }
+    assert_eq!(
+        labelled(&samples, "perseas_shard_decisions_total", "shard", "0"),
+        3.0
+    );
+    assert_eq!(
+        labelled(&samples, "perseas_shard_cross_commits_total", "shard", "0"),
+        2.0
+    );
+    assert_eq!(
+        labelled(
+            &samples,
+            "perseas_shard_cross_commit_parts_total",
+            "shard",
+            "0"
+        ),
+        4.0
+    );
+
+    // Recovery resolved the in-doubt part on each shard as a commit.
+    for shard in ["0", "1"] {
+        assert_eq!(
+            labelled(
+                &samples,
+                "perseas_shard_resolved_commits_total",
+                "shard",
+                shard
+            ),
+            1.0
+        );
+        assert_eq!(
+            labelled(
+                &samples,
+                "perseas_shard_resolved_aborts_total",
+                "shard",
+                shard
+            ),
+            0.0
+        );
+    }
+
+    metrics.shutdown();
 }

@@ -1,0 +1,155 @@
+//! Exhaustive crash-point sweep over the cross-shard commit protocol.
+//!
+//! A fixed cross-shard transaction touching all three shards of a
+//! 3-shard cluster is crashed after every protocol step of every shard
+//! in turn (prepare records, intent slots, the decision record, the
+//! commit fan-out, and the lazy clears), then the *whole* cluster is
+//! recovered through [`ShardedPerseas::recover`]. Every recovery must
+//! land on the serial oracle's all-in or all-out image — the same state
+//! on every shard — and whenever `commit_g` reported success, on
+//! all-in. A second sweep cuts each shard's SCI link after every packet
+//! instead, so torn intent and decision records (rejected by their
+//! slot CRCs) are exercised too.
+
+use perseas_core::{FaultPlan, PerseasConfig, RegionId, ShardedPerseas, TxnError};
+use perseas_integration::shard_harness::{build_sharded, pre_image, reopen_sharded, ShardCluster};
+use perseas_rnram::SimRemote;
+
+const K: usize = 3;
+
+/// The swept transaction: one range per shard, all three shards
+/// touched, so the full prepare → intent → decision → fan-out pipeline
+/// runs with shard 0 as home.
+fn run_xtxn(db: &mut ShardedPerseas<SimRemote>, regions: &[RegionId]) -> Result<(), TxnError> {
+    let g = db.begin_global()?;
+    for (s, &r) in regions.iter().enumerate() {
+        let (off, len) = range_of(s);
+        db.set_range_g(g, r, off, len)?;
+        db.write_g(g, r, off, &vec![0xC1 + s as u8; len])?;
+    }
+    db.commit_g(g)
+}
+
+/// Shard `s`'s written range — distinct offsets and lengths per shard
+/// so a partial application is visible.
+fn range_of(s: usize) -> (usize, usize) {
+    (8 + 16 * s, 16 + 8 * s)
+}
+
+fn post_image(s: usize) -> Vec<u8> {
+    let mut img = pre_image(s);
+    let (off, len) = range_of(s);
+    img[off..off + len].fill(0xC1 + s as u8);
+    img
+}
+
+/// Recovers the whole cluster and classifies it: `true` all-in, `false`
+/// all-out. Panics on a mixed or partial state.
+fn recovered_state(cluster: &ShardCluster, regions: &[RegionId], ctx: &str) -> bool {
+    let (db2, report) = ShardedPerseas::recover(reopen_sharded(cluster), PerseasConfig::default())
+        .unwrap_or_else(|e| panic!("{ctx}: cluster unrecoverable: {e}"));
+    assert_eq!(report.shards.len(), K, "{ctx}: wrong shard count");
+    let mut verdicts = Vec::with_capacity(K);
+    for (s, &r) in regions.iter().enumerate() {
+        let img = db2.region_snapshot(r).unwrap();
+        let verdict = if img == post_image(s) {
+            true
+        } else if img == pre_image(s) {
+            false
+        } else {
+            panic!("{ctx}: shard {s} holds a partial state");
+        };
+        verdicts.push(verdict);
+    }
+    assert!(
+        verdicts.iter().all(|&v| v == verdicts[0]),
+        "{ctx}: atomicity violated — per-shard verdicts {verdicts:?}"
+    );
+    verdicts[0]
+}
+
+/// Crash shard `shard` after every protocol step of the cross-shard
+/// commit (0 = before any step, through one past its last step), and
+/// demand all-in/all-out on every shard after whole-cluster recovery.
+fn sweep_shard(shard: usize) {
+    // Count the shard's protocol steps across one clean run.
+    let (mut db, regions, _cluster) = build_sharded(K, 2);
+    let before = db.steps_taken(shard);
+    run_xtxn(&mut db, &regions).unwrap();
+    let steps = db.steps_taken(shard) - before;
+    assert!(
+        steps >= 4,
+        "shard {shard} took only {steps} steps — the sweep would be vacuous"
+    );
+
+    for crash_at in 0..=steps + 1 {
+        let ctx = format!("shard={shard} crash_at={crash_at}");
+        let (mut db, regions, cluster) = build_sharded(K, 2);
+        db.set_fault_plan(shard, FaultPlan::crash_after(crash_at));
+        let res = run_xtxn(&mut db, &regions);
+        if crash_at > steps {
+            res.as_ref()
+                .unwrap_or_else(|e| panic!("{ctx}: outlived plan failed: {e}"));
+        }
+        drop(db);
+        let all_in = recovered_state(&cluster, &regions, &ctx);
+        match &res {
+            Ok(()) => assert!(all_in, "{ctx}: durable cross-shard txn lost"),
+            // The decision record is the commit point: recovery decides,
+            // but it must decide the same way everywhere (checked above).
+            Err(TxnError::CommitInDoubt { .. }) | Err(TxnError::Crashed) => {}
+            Err(TxnError::Unavailable(_)) => assert!(
+                !all_in,
+                "{ctx}: presumed-aborted txn resurfaced after recovery"
+            ),
+            Err(e) => panic!("{ctx}: unexpected error {e}"),
+        }
+    }
+}
+
+#[test]
+fn crashing_shard_0_at_every_step_stays_atomic() {
+    sweep_shard(0); // home shard: holds the decision record
+}
+
+#[test]
+fn crashing_shard_1_at_every_step_stays_atomic() {
+    sweep_shard(1);
+}
+
+#[test]
+fn crashing_shard_2_at_every_step_stays_atomic() {
+    sweep_shard(2);
+}
+
+/// A crash *point* is one remote operation, but the SCI link can die
+/// mid-message, delivering a packet-aligned prefix — a torn prepare
+/// record, intent slot, or decision record. Cut each shard's (single)
+/// link after every packet of the protocol: slot CRCs must make every
+/// torn coordination record read as absent, and recovery must still be
+/// all-or-nothing across the cluster.
+#[test]
+fn torn_packets_on_any_shard_stay_atomic() {
+    for shard in 0..K {
+        // Packets this shard's link carries across one clean run.
+        let (mut db, regions, cluster) = build_sharded(K, 1);
+        let stats = cluster.links[shard][0].stats();
+        let before = stats.packets64 + stats.packets16;
+        run_xtxn(&mut db, &regions).unwrap();
+        let stats = cluster.links[shard][0].stats();
+        let packets = stats.packets64 + stats.packets16 - before;
+        assert!(packets >= 4, "shard {shard} sent only {packets} packets");
+
+        for cut_at in 0..=packets {
+            let ctx = format!("shard={shard} cut_at={cut_at}");
+            let (mut db, regions, cluster) = build_sharded(K, 1);
+            cluster.links[shard][0].cut_after_packets(cut_at);
+            let res = run_xtxn(&mut db, &regions);
+            drop(db);
+            let all_in = recovered_state(&cluster, &regions, &ctx);
+            if res.is_ok() {
+                assert!(all_in, "{ctx}: durable cross-shard txn lost");
+            }
+        }
+    }
+}

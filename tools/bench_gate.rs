@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_gate --baselines results/baselines --current results
+//! bench_gate --baselines results/baselines --current results [--only BENCH]
 //! ```
 //!
 //! For every `BENCH_*.json` in the baselines directory, loads the file
@@ -11,6 +11,10 @@
 //! declared in the baseline (see `perseas_tools::compare`). A missing
 //! current file is a failure — a bench that silently stops emitting its
 //! JSON would otherwise un-gate itself. Exits 1 on any regression.
+//!
+//! `--only NAME` (repeatable) restricts the run to the named benches —
+//! for CI jobs that run one bench and gate just it — and fails if no
+//! baseline matches, so a typo cannot silently gate nothing.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -21,11 +25,13 @@ use perseas_tools::{compare, render_check};
 struct Args {
     baselines: PathBuf,
     current: PathBuf,
+    only: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut baselines = None;
     let mut current = None;
+    let mut only = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,8 +43,11 @@ fn parse_args() -> Result<Args, String> {
             "--current" => {
                 current = Some(PathBuf::from(args.next().ok_or("--current needs a value")?))
             }
+            "--only" => only.push(args.next().ok_or("--only needs a bench name")?),
             "--help" | "-h" => {
-                return Err("usage: bench_gate --baselines DIR --current DIR".to_string())
+                return Err(
+                    "usage: bench_gate --baselines DIR --current DIR [--only BENCH]".to_string(),
+                )
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -46,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         baselines: baselines.ok_or("missing --baselines DIR")?,
         current: current.ok_or("missing --current DIR")?,
+        only,
     })
 }
 
@@ -67,6 +77,21 @@ fn run() -> Result<bool, String> {
         })
         .collect();
     baseline_files.sort();
+    if !args.only.is_empty() {
+        baseline_files.retain(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| args.only.iter().any(|o| n == format!("BENCH_{o}.json")))
+        });
+        if baseline_files.len() != args.only.len() {
+            return Err(format!(
+                "--only named {:?} but only {} matching baseline(s) exist in {}",
+                args.only,
+                baseline_files.len(),
+                args.baselines.display()
+            ));
+        }
+    }
     if baseline_files.is_empty() {
         return Err(format!(
             "no BENCH_*.json baselines in {}",
