@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 
 use perseas_core::{Perseas, PerseasConfig, META_TAG};
 use perseas_rnram::server::Server;
-use perseas_rnram::{RemoteMemory, RnError, TcpRemote};
+use perseas_rnram::{AdmissionConfig, RemoteMemory, RnError, TcpRemote};
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +35,12 @@ pub enum Command {
         /// With `N > 1`, shard `s` binds the base port plus `s` and
         /// reports itself as `NAME-sN`.
         shards: u16,
+        /// Override for the shared in-flight window pool
+        /// ([`AdmissionConfig::max_inflight`]); `None` keeps the default.
+        mux_inflight: Option<usize>,
+        /// Override for the admission queue bound
+        /// ([`AdmissionConfig::max_queue`]); `None` keeps the default.
+        mux_queue: Option<usize>,
     },
     /// Liveness-check a mirror.
     Ping {
@@ -86,6 +92,8 @@ pub fn usage() -> String {
     \x20         [--metrics-addr HOST:PORT]         ... with a /metrics endpoint\n\
     \x20         [--shards N]                       ... one mirror per shard on\n\
     \x20                                            consecutive ports\n\
+    \x20         [--mux-inflight N] [--mux-queue N] admission control: in-flight\n\
+    \x20                                            window pool and queue bound\n\
     \x20 ping     --addr HOST:PORT                  liveness-check a mirror\n\
     \x20 stats    --addr HOST:PORT                  scrape and pretty-print /metrics\n\
     \x20 inspect  --addr HOST:PORT [--tag HEX]      dump PERSEAS metadata\n\
@@ -157,12 +165,25 @@ pub fn parse(args: Vec<String>) -> Result<Command, UsageError> {
                     _ => return Err(UsageError(format!("bad --shards '{n}': need 1..=65535"))),
                 },
             };
+            let mut limit = |flag: &str| -> Result<Option<usize>, UsageError> {
+                match take_flag(&mut args, flag)? {
+                    None => Ok(None),
+                    Some(n) => match n.parse::<usize>() {
+                        Ok(n) if n >= 1 => Ok(Some(n)),
+                        _ => Err(UsageError(format!("bad {flag} '{n}': need a count >= 1"))),
+                    },
+                }
+            };
+            let mux_inflight = limit("--mux-inflight")?;
+            let mux_queue = limit("--mux-queue")?;
             reject_leftovers(args)?;
             Ok(Command::Serve {
                 addr,
                 name,
                 metrics_addr,
                 shards,
+                mux_inflight,
+                mux_queue,
             })
         }
         "ping" => {
@@ -214,9 +235,10 @@ pub struct ServeHandles {
     pub metrics: Option<perseas_obs::MetricsServerHandle>,
 }
 
-/// Starts a mirror server on `addr`, and — when `metrics_addr` is given —
-/// a `/metrics` HTTP endpoint exposing its request counters, latencies,
-/// byte totals, and connection churn.
+/// Starts a mirror server on `addr` with the given admission limits
+/// (`--mux-inflight` / `--mux-queue`), and — when `metrics_addr` is given
+/// — a `/metrics` HTTP endpoint exposing its request counters, latencies,
+/// byte totals, connection churn, and admission gauges.
 ///
 /// This is `perseas serve` without the foreground `park()` loop, so tests
 /// can run it in-process and shut it down.
@@ -228,8 +250,11 @@ pub fn start_serve(
     addr: &str,
     name: &str,
     metrics_addr: Option<&str>,
+    admission: AdmissionConfig,
 ) -> Result<ServeHandles, String> {
-    let server = Server::bind(name, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let server = Server::bind(name, addr)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?
+        .with_admission(admission);
     let (server, metrics) = match metrics_addr {
         None => (server, None),
         Some(maddr) => {
@@ -272,12 +297,13 @@ pub fn start_serve_shards(
     name: &str,
     shards: u16,
     metrics_addr: Option<&str>,
+    admission: AdmissionConfig,
 ) -> Result<ShardServeHandles, String> {
     if shards == 0 {
         return Err("need at least one shard".into());
     }
     if shards == 1 {
-        let handles = start_serve(addr, name, metrics_addr)?;
+        let handles = start_serve(addr, name, metrics_addr, admission)?;
         return Ok(ShardServeHandles {
             servers: vec![handles.server],
             metrics: handles.metrics,
@@ -301,7 +327,9 @@ pub fn start_serve_shards(
             format!("{host}:{p}")
         };
         let sname = format!("{name}-s{s}");
-        let server = Server::bind(&sname, &bind).map_err(|e| format!("cannot bind {bind}: {e}"))?;
+        let server = Server::bind(&sname, &bind)
+            .map_err(|e| format!("cannot bind {bind}: {e}"))?
+            .with_admission(admission);
         let server = match &registry {
             Some(r) => server.with_metrics(r),
             None => server,
@@ -316,6 +344,20 @@ pub fn start_serve_shards(
         _ => None,
     };
     Ok(ShardServeHandles { servers, metrics })
+}
+
+/// Builds the server [`AdmissionConfig`] from the optional
+/// `--mux-inflight` / `--mux-queue` overrides, keeping the library
+/// default for whichever flag is absent.
+pub fn admission_from(mux_inflight: Option<usize>, mux_queue: Option<usize>) -> AdmissionConfig {
+    let mut admission = AdmissionConfig::default();
+    if let Some(n) = mux_inflight {
+        admission.max_inflight = n;
+    }
+    if let Some(n) = mux_queue {
+        admission.max_queue = n;
+    }
+    admission
 }
 
 /// Scrapes the `/metrics` endpoint at `addr` and renders the samples as an
@@ -466,34 +508,41 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    /// `serve` with every field defaulted except the overrides applied by
+    /// `f` — enum variants have no struct-update syntax, so the parse
+    /// tests mutate a deconstructed default instead.
+    fn serve_with(f: impl FnOnce(&mut Command)) -> Command {
+        let mut cmd = Command::Serve {
+            addr: "127.0.0.1:7070".into(),
+            name: "perseas-mirror".into(),
+            metrics_addr: None,
+            shards: 1,
+            mux_inflight: None,
+            mux_queue: None,
+        };
+        f(&mut cmd);
+        cmd
+    }
+
     #[test]
     fn parse_serve_defaults() {
-        assert_eq!(
-            parse(v(&["serve"])).unwrap(),
-            Command::Serve {
-                addr: "127.0.0.1:7070".into(),
-                name: "perseas-mirror".into(),
-                metrics_addr: None,
-                shards: 1
-            }
-        );
+        assert_eq!(parse(v(&["serve"])).unwrap(), serve_with(|_| {}));
         assert_eq!(
             parse(v(&["serve", "--addr", "0.0.0.0:9", "--name", "n1"])).unwrap(),
-            Command::Serve {
-                addr: "0.0.0.0:9".into(),
-                name: "n1".into(),
-                metrics_addr: None,
-                shards: 1
-            }
+            serve_with(|c| {
+                if let Command::Serve { addr, name, .. } = c {
+                    *addr = "0.0.0.0:9".into();
+                    *name = "n1".into();
+                }
+            })
         );
         assert_eq!(
             parse(v(&["serve", "--metrics-addr", "127.0.0.1:9185"])).unwrap(),
-            Command::Serve {
-                addr: "127.0.0.1:7070".into(),
-                name: "perseas-mirror".into(),
-                metrics_addr: Some("127.0.0.1:9185".into()),
-                shards: 1
-            }
+            serve_with(|c| {
+                if let Command::Serve { metrics_addr, .. } = c {
+                    *metrics_addr = Some("127.0.0.1:9185".into());
+                }
+            })
         );
     }
 
@@ -501,16 +550,51 @@ mod tests {
     fn parse_serve_shards() {
         assert_eq!(
             parse(v(&["serve", "--shards", "3"])).unwrap(),
-            Command::Serve {
-                addr: "127.0.0.1:7070".into(),
-                name: "perseas-mirror".into(),
-                metrics_addr: None,
-                shards: 3
-            }
+            serve_with(|c| {
+                if let Command::Serve { shards, .. } = c {
+                    *shards = 3;
+                }
+            })
         );
         assert!(parse(v(&["serve", "--shards", "0"])).is_err());
         assert!(parse(v(&["serve", "--shards", "many"])).is_err());
         assert!(parse(v(&["serve", "--shards"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_admission_limits() {
+        assert_eq!(
+            parse(v(&["serve", "--mux-inflight", "8", "--mux-queue", "32"])).unwrap(),
+            serve_with(|c| {
+                if let Command::Serve {
+                    mux_inflight,
+                    mux_queue,
+                    ..
+                } = c
+                {
+                    *mux_inflight = Some(8);
+                    *mux_queue = Some(32);
+                }
+            })
+        );
+        // Each flag stands alone; the other keeps the library default.
+        assert_eq!(
+            parse(v(&["serve", "--mux-queue", "5"])).unwrap(),
+            serve_with(|c| {
+                if let Command::Serve { mux_queue, .. } = c {
+                    *mux_queue = Some(5);
+                }
+            })
+        );
+        assert!(parse(v(&["serve", "--mux-inflight", "0"])).is_err());
+        assert!(parse(v(&["serve", "--mux-queue", "lots"])).is_err());
+        assert!(parse(v(&["serve", "--mux-inflight"])).is_err());
+
+        let a = admission_from(Some(8), None);
+        assert_eq!(a.max_inflight, 8);
+        assert_eq!(a.max_queue, AdmissionConfig::default().max_queue);
+        let b = admission_from(None, None);
+        assert_eq!(b.max_inflight, AdmissionConfig::default().max_inflight);
     }
 
     #[test]
@@ -615,7 +699,13 @@ mod tests {
 
     #[test]
     fn serve_with_metrics_is_scrapeable_via_stats() {
-        let handles = start_serve("127.0.0.1:0", "obs-node", Some("127.0.0.1:0")).unwrap();
+        let handles = start_serve(
+            "127.0.0.1:0",
+            "obs-node",
+            Some("127.0.0.1:0"),
+            AdmissionConfig::default(),
+        )
+        .unwrap();
         let addr = handles.server.addr().to_string();
         let metrics_addr = handles.metrics.as_ref().unwrap().addr().to_string();
 
@@ -646,7 +736,14 @@ mod tests {
     #[test]
     fn sharded_database_runs_over_shard_servers() {
         use perseas_core::ShardedPerseas;
-        let handles = start_serve_shards("127.0.0.1:0", "cluster", 2, None).unwrap();
+        let handles = start_serve_shards(
+            "127.0.0.1:0",
+            "cluster",
+            2,
+            None,
+            AdmissionConfig::default(),
+        )
+        .unwrap();
         assert_eq!(handles.servers.len(), 2);
         let addrs: Vec<String> = handles
             .servers

@@ -5,7 +5,9 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use perseas_cli::{backup, inspect, parse, ping, restore, start_serve_shards, stats, Command};
+use perseas_cli::{
+    admission_from, backup, inspect, parse, ping, restore, start_serve_shards, stats, Command,
+};
 
 fn main() -> ExitCode {
     let command = match parse(env::args().skip(1).collect()) {
@@ -31,8 +33,16 @@ fn run(command: Command) -> Result<(), String> {
             name,
             metrics_addr,
             shards,
+            mux_inflight,
+            mux_queue,
         } => {
-            let handles = start_serve_shards(&addr, &name, shards, metrics_addr.as_deref())?;
+            let handles = start_serve_shards(
+                &addr,
+                &name,
+                shards,
+                metrics_addr.as_deref(),
+                admission_from(mux_inflight, mux_queue),
+            )?;
             for server in &handles.servers {
                 println!(
                     "mirror '{}' exporting memory on {}",

@@ -20,6 +20,11 @@ pub enum RnError {
     Remote(String),
     /// `connect_segment` found no segment with the requested tag.
     TagNotFound(u64),
+    /// The server's admission queue is full and the request was refused
+    /// without being applied. The connection stays healthy; retrying after
+    /// backoff is safe. Deliberately not `is_unavailable()`: reconnecting
+    /// would not help a server that is merely saturated.
+    Overloaded,
 }
 
 impl fmt::Display for RnError {
@@ -30,6 +35,12 @@ impl fmt::Display for RnError {
             RnError::Protocol(m) => write!(f, "protocol violation: {m}"),
             RnError::Remote(m) => write!(f, "remote node refused request: {m}"),
             RnError::TagNotFound(t) => write!(f, "no remote segment with tag {t}"),
+            RnError::Overloaded => {
+                write!(
+                    f,
+                    "server overloaded: admission queue full, request refused"
+                )
+            }
         }
     }
 }
@@ -81,6 +92,7 @@ mod tests {
             RnError::Protocol("bad magic".into()),
             RnError::Remote("denied".into()),
             RnError::TagNotFound(9),
+            RnError::Overloaded,
         ] {
             assert!(!e.to_string().is_empty());
         }
@@ -93,6 +105,8 @@ mod tests {
         assert!(RnError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x")).is_unavailable());
         assert!(!RnError::TagNotFound(1).is_unavailable());
         assert!(!RnError::Protocol("p".into()).is_unavailable());
+        // A refusal is not an outage: reconnecting would not help.
+        assert!(!RnError::Overloaded.is_unavailable());
     }
 
     #[test]

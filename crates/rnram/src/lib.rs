@@ -50,6 +50,7 @@ mod backoff;
 mod error;
 mod memcpy;
 mod metrics;
+mod mux;
 pub mod protocol;
 mod retry;
 pub mod server;
@@ -60,7 +61,9 @@ mod traits;
 pub use backoff::BackoffPolicy;
 pub use error::RnError;
 pub use memcpy::{mirror_copy, plan_transfer, TransferPlan, TransferStrategy};
+pub use mux::{AnyRemote, MuxSession, SessionMux, MUX_ENV};
 pub use retry::ReconnectingRemote;
+pub use server::AdmissionConfig;
 pub use sim::SimRemote;
 pub use tcp::{PipelineConfig, TcpRemote, PIPELINE_ENV};
 pub use traits::{FlushStats, RemoteMemory, RemoteSegment};

@@ -17,7 +17,7 @@ pub(crate) struct OpMetrics {
 /// The opcode label values the server registers up front. `seq`-wrapped
 /// requests are attributed to their inner opcode; undecodable frames get
 /// their own bucket so a fuzzing client is visible in the metrics.
-pub(crate) const SERVER_OPS: [&str; 11] = [
+pub(crate) const SERVER_OPS: [&str; 12] = [
     "malloc",
     "free",
     "write",
@@ -28,6 +28,7 @@ pub(crate) const SERVER_OPS: [&str; 11] = [
     "name",
     "ping",
     "shutdown",
+    "sess_close",
     "decode_error",
 ];
 
@@ -41,6 +42,17 @@ pub(crate) struct ServerMetrics {
     pub(crate) connections: Gauge,
     pub(crate) connections_total: Counter,
     pub(crate) connections_dropped: Counter,
+    /// Logical multiplexed sessions currently open across all connections.
+    pub(crate) sessions: Gauge,
+    /// Requests refused with [`Response::Overloaded`] because the shared
+    /// admission queue was full.
+    pub(crate) admission_refusals: Counter,
+    /// Requests parked in the admission queue right now (received but not
+    /// yet applied to memory).
+    pub(crate) mux_queue_depth: Gauge,
+    /// Requests admitted (applied) whose responses have not finished
+    /// going out — occupancy of the shared window pool.
+    pub(crate) mux_inflight: Gauge,
 }
 
 impl ServerMetrics {
@@ -86,6 +98,22 @@ impl ServerMetrics {
             connections_dropped: registry.counter(
                 "perseas_server_connections_dropped_total",
                 "Connections that ended in a transport or protocol error instead of a clean EOF.",
+            ),
+            sessions: registry.gauge(
+                "perseas_server_sessions",
+                "Logical multiplexed client sessions currently open.",
+            ),
+            admission_refusals: registry.counter(
+                "perseas_server_admission_refusals_total",
+                "Requests refused as Overloaded because the admission queue was full.",
+            ),
+            mux_queue_depth: registry.gauge(
+                "perseas_server_mux_queue_depth",
+                "Requests waiting in the admission queue (received, not yet applied).",
+            ),
+            mux_inflight: registry.gauge(
+                "perseas_server_mux_inflight",
+                "Admitted requests whose responses are still in flight.",
             ),
         }
     }
@@ -174,6 +202,25 @@ mod tests {
                 text.contains(&format!("perseas_server_requests_total{{op=\"{op}\"}} 1")),
                 "{op} missing from exposition"
             );
+        }
+    }
+
+    #[test]
+    fn mux_metrics_render_under_their_documented_names() {
+        let registry = Registry::new();
+        let m = ServerMetrics::new(&registry);
+        m.sessions.add(3);
+        m.admission_refusals.inc();
+        m.mux_queue_depth.add(2);
+        m.mux_inflight.add(1);
+        let text = registry.render();
+        for line in [
+            "perseas_server_sessions 3",
+            "perseas_server_admission_refusals_total 1",
+            "perseas_server_mux_queue_depth 2",
+            "perseas_server_mux_inflight 1",
+        ] {
+            assert!(text.contains(line), "{line} missing from exposition");
         }
     }
 

@@ -55,13 +55,36 @@ pub enum Request {
     /// sequence number `seq`. The server answers with
     /// [`Response::Tagged`] carrying the same `seq`, which lets the
     /// client post many requests before draining any acknowledgement.
-    /// Nesting is rejected: a `Seq` may not wrap another `Seq`.
+    /// Nesting is rejected: a `Seq` may not wrap another `Seq` or a
+    /// [`Request::Mux`].
     Seq {
         /// Client-chosen sequence number echoed in the response.
         seq: u64,
         /// The wrapped request.
         inner: Box<Request>,
     },
+    /// A multiplexed request: `inner` belongs to the logical client
+    /// session `session` and carries that session's sequence number
+    /// `seq`. Many sessions share one socket; the server answers with
+    /// [`Response::Mux`] echoing both identifiers so the client can
+    /// route the acknowledgement to the right session. Per-session
+    /// ordering is FIFO (the server answers a connection's requests in
+    /// receipt order, and a session's frames are a subsequence of the
+    /// connection's). Nesting is rejected: a `Mux` may not wrap a `Seq`
+    /// or another `Mux`.
+    Mux {
+        /// The logical session this request belongs to.
+        session: u64,
+        /// The session's sequence number, echoed in the response.
+        seq: u64,
+        /// The wrapped request.
+        inner: Box<Request>,
+    },
+    /// Retires the wrapping [`Request::Mux`]'s session: the server
+    /// forgets the session id (gauge bookkeeping only — sessions hold no
+    /// server-side state beyond their count). Sent best-effort when a
+    /// client session handle is dropped.
+    SessClose,
 }
 
 /// Responses the server returns.
@@ -96,6 +119,23 @@ pub enum Response {
         /// The wrapped response.
         inner: Box<Response>,
     },
+    /// Response to a [`Request::Mux`]: `inner` tagged with the session id
+    /// and the session's sequence number, so a client multiplexing many
+    /// sessions over one socket can route each acknowledgement. Nesting
+    /// is rejected.
+    Mux {
+        /// The logical session the answered request belonged to.
+        session: u64,
+        /// The sequence number of the request this answers.
+        seq: u64,
+        /// The wrapped response.
+        inner: Box<Response>,
+    },
+    /// Typed admission refusal: the server's shared service pool and its
+    /// bounded overflow queue are both full, so the request was refused
+    /// *without being applied*. Clients surface this as
+    /// [`crate::RnError::Overloaded`]; retrying after backoff is safe.
+    Overloaded,
 }
 
 const OP_MALLOC: u8 = 1;
@@ -109,6 +149,8 @@ const OP_PING: u8 = 8;
 const OP_SHUTDOWN: u8 = 9;
 const OP_WRITE_V: u8 = 10;
 const OP_SEQ: u8 = 11;
+const OP_MUX: u8 = 12;
+const OP_SESS_CLOSE: u8 = 13;
 
 const RE_OK: u8 = 128;
 const RE_SEGMENT: u8 = 129;
@@ -116,6 +158,8 @@ const RE_DATA: u8 = 130;
 const RE_NAME: u8 = 131;
 const RE_ERR: u8 = 132;
 const RE_TAGGED: u8 = 133;
+const RE_MUX: u8 = 134;
+const RE_OVERLOADED: u8 = 135;
 
 /// Computes the IEEE CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -195,6 +239,17 @@ impl Request {
                 put_u64(&mut out, *seq);
                 out.extend_from_slice(&inner.encode());
             }
+            Request::Mux {
+                session,
+                seq,
+                inner,
+            } => {
+                out.push(OP_MUX);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *seq);
+                out.extend_from_slice(&inner.encode());
+            }
+            Request::SessClose => out.push(OP_SESS_CLOSE),
         }
         out
     }
@@ -267,7 +322,7 @@ impl Request {
             OP_SEQ => {
                 let seq = get_u64(rest, &mut pos)?;
                 let inner = Request::decode(&rest[pos..])?;
-                if matches!(inner, Request::Seq { .. }) {
+                if matches!(inner, Request::Seq { .. } | Request::Mux { .. }) {
                     // Depth one only: unbounded nesting would let a
                     // hostile frame recurse the decoder off the stack.
                     return Err(RnError::Protocol("nested seq frame".into()));
@@ -277,6 +332,20 @@ impl Request {
                     inner: Box::new(inner),
                 }
             }
+            OP_MUX => {
+                let session = get_u64(rest, &mut pos)?;
+                let seq = get_u64(rest, &mut pos)?;
+                let inner = Request::decode(&rest[pos..])?;
+                if matches!(inner, Request::Seq { .. } | Request::Mux { .. }) {
+                    return Err(RnError::Protocol("nested mux frame".into()));
+                }
+                Request::Mux {
+                    session,
+                    seq,
+                    inner: Box::new(inner),
+                }
+            }
+            OP_SESS_CLOSE => Request::SessClose,
             other => return Err(RnError::Protocol(format!("unknown opcode {other}"))),
         };
         Ok(req)
@@ -332,6 +401,52 @@ pub fn encode_seq(seq: u64, req: &Request) -> Vec<u8> {
     out
 }
 
+/// Encodes `req` wrapped in a [`Request::Mux`] body without cloning the
+/// request.
+pub fn encode_mux(session: u64, seq: u64, req: &Request) -> Vec<u8> {
+    let inner = req.encode();
+    let mut out = Vec::with_capacity(inner.len() + 17);
+    out.push(OP_MUX);
+    put_u64(&mut out, session);
+    put_u64(&mut out, seq);
+    out.extend_from_slice(&inner);
+    out
+}
+
+/// Encodes a session-wrapped `Write` body straight from a borrowed
+/// payload (the [`Request::Mux`] counterpart of [`encode_write`]): one
+/// allocation, one copy of `data`.
+pub fn encode_write_mux(session: u64, seq: u64, seg: u64, offset: u64, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 42);
+    out.push(OP_MUX);
+    put_u64(&mut out, session);
+    put_u64(&mut out, seq);
+    out.push(OP_WRITE);
+    put_u64(&mut out, seg);
+    put_u64(&mut out, offset);
+    out.extend_from_slice(data);
+    out
+}
+
+/// Encodes a session-wrapped `WriteV` body straight from borrowed ranges
+/// (the [`Request::Mux`] counterpart of [`encode_write_v`]).
+pub fn encode_write_v_mux(session: u64, seq: u64, ranges: &[(u64, u64, &[u8])]) -> Vec<u8> {
+    let payload: usize = ranges.iter().map(|(_, _, d)| d.len()).sum();
+    let mut out = Vec::with_capacity(payload + 24 * ranges.len() + 26);
+    out.push(OP_MUX);
+    put_u64(&mut out, session);
+    put_u64(&mut out, seq);
+    out.push(OP_WRITE_V);
+    put_u64(&mut out, ranges.len() as u64);
+    for &(seg, offset, data) in ranges {
+        put_u64(&mut out, seg);
+        put_u64(&mut out, offset);
+        put_u64(&mut out, data.len() as u64);
+        out.extend_from_slice(data);
+    }
+    out
+}
+
 impl Response {
     /// Serializes the response into a frame body.
     pub fn encode(&self) -> Vec<u8> {
@@ -367,6 +482,17 @@ impl Response {
                 put_u64(&mut out, *seq);
                 out.extend_from_slice(&inner.encode());
             }
+            Response::Mux {
+                session,
+                seq,
+                inner,
+            } => {
+                out.push(RE_MUX);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *seq);
+                out.extend_from_slice(&inner.encode());
+            }
+            Response::Overloaded => out.push(RE_OVERLOADED),
         }
         out
     }
@@ -401,7 +527,7 @@ impl Response {
             RE_TAGGED => {
                 let seq = get_u64(rest, &mut pos)?;
                 let inner = Response::decode(&rest[pos..])?;
-                if matches!(inner, Response::Tagged { .. }) {
+                if matches!(inner, Response::Tagged { .. } | Response::Mux { .. }) {
                     return Err(RnError::Protocol("nested tagged response".into()));
                 }
                 Response::Tagged {
@@ -409,6 +535,20 @@ impl Response {
                     inner: Box::new(inner),
                 }
             }
+            RE_MUX => {
+                let session = get_u64(rest, &mut pos)?;
+                let seq = get_u64(rest, &mut pos)?;
+                let inner = Response::decode(&rest[pos..])?;
+                if matches!(inner, Response::Tagged { .. } | Response::Mux { .. }) {
+                    return Err(RnError::Protocol("nested mux response".into()));
+                }
+                Response::Mux {
+                    session,
+                    seq,
+                    inner: Box::new(inner),
+                }
+            }
+            RE_OVERLOADED => Response::Overloaded,
             other => return Err(RnError::Protocol(format!("unknown response tag {other}"))),
         };
         Ok(resp)
@@ -427,6 +567,17 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<(), RnError> {
     w.write_all(&crc32(body).to_le_bytes())?;
     w.flush()?;
     Ok(())
+}
+
+/// The full wire encoding of one frame (length prefix + body + CRC) as a
+/// single buffer. The event-driven server builds these up front so it can
+/// write them incrementally as the socket drains.
+pub fn frame_bytes(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out
 }
 
 /// Reads one frame, verifying length bounds and CRC.
@@ -592,6 +743,162 @@ mod tests {
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn mux_frames_roundtrip() {
+        let reqs = [
+            Request::Mux {
+                session: 0,
+                seq: 0,
+                inner: Box::new(Request::Ping),
+            },
+            Request::Mux {
+                session: u64::MAX,
+                seq: 3,
+                inner: Box::new(Request::Write {
+                    seg: 3,
+                    offset: 9,
+                    data: vec![7; 40],
+                }),
+            },
+            Request::Mux {
+                session: 12,
+                seq: 17,
+                inner: Box::new(Request::WriteV {
+                    ranges: vec![(1, 0, vec![1, 2]), (2, 8, vec![])],
+                }),
+            },
+            Request::Mux {
+                session: 5,
+                seq: 1,
+                inner: Box::new(Request::SessClose),
+            },
+            Request::SessClose,
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+        let resps = [
+            Response::Mux {
+                session: 5,
+                seq: 7,
+                inner: Box::new(Response::Ok),
+            },
+            Response::Mux {
+                session: 5,
+                seq: 8,
+                inner: Box::new(Response::Err("bounds".into())),
+            },
+            Response::Mux {
+                session: 9,
+                seq: 0,
+                inner: Box::new(Response::Overloaded),
+            },
+            Response::Overloaded,
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn nested_mux_frames_rejected() {
+        // Mux in Mux, Seq in Mux, Mux in Seq: all depth violations.
+        let mux_ping = Request::Mux {
+            session: 1,
+            seq: 1,
+            inner: Box::new(Request::Ping),
+        };
+        let seq_ping = Request::Seq {
+            seq: 1,
+            inner: Box::new(Request::Ping),
+        };
+        for (outer_session, inner) in [(Some(2), mux_ping.clone()), (Some(2), seq_ping.clone())] {
+            let outer = Request::Mux {
+                session: outer_session.unwrap(),
+                seq: 9,
+                inner: Box::new(inner),
+            };
+            assert!(Request::decode(&outer.encode()).is_err());
+        }
+        let seq_wrapping_mux = Request::Seq {
+            seq: 9,
+            inner: Box::new(mux_ping),
+        };
+        assert!(Request::decode(&seq_wrapping_mux.encode()).is_err());
+
+        let mux_ok = Response::Mux {
+            session: 1,
+            seq: 1,
+            inner: Box::new(Response::Ok),
+        };
+        let tagged_ok = Response::Tagged {
+            seq: 1,
+            inner: Box::new(Response::Ok),
+        };
+        for inner in [mux_ok.clone(), tagged_ok] {
+            let outer = Response::Mux {
+                session: 2,
+                seq: 9,
+                inner: Box::new(inner),
+            };
+            assert!(Response::decode(&outer.encode()).is_err());
+        }
+        let tagged_wrapping_mux = Response::Tagged {
+            seq: 9,
+            inner: Box::new(mux_ok),
+        };
+        assert!(Response::decode(&tagged_wrapping_mux.encode()).is_err());
+
+        // Truncated mux headers.
+        assert!(Request::decode(&[OP_MUX, 1, 2, 3]).is_err());
+        assert!(Response::decode(&[RE_MUX, 1]).is_err());
+        // Mux with an empty inner body.
+        let mut body = vec![OP_MUX];
+        body.extend_from_slice(&9u64.to_le_bytes());
+        body.extend_from_slice(&4u64.to_le_bytes());
+        assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn borrowed_mux_encoders_match_the_owned_forms() {
+        let data = [5u8; 33];
+        assert_eq!(
+            encode_write_mux(6, 9, 4, 12, &data),
+            Request::Mux {
+                session: 6,
+                seq: 9,
+                inner: Box::new(Request::Write {
+                    seg: 4,
+                    offset: 12,
+                    data: data.to_vec(),
+                }),
+            }
+            .encode()
+        );
+        let ranges: [(u64, u64, &[u8]); 2] = [(1, 0, &data[..2]), (2, 64, &data[..0])];
+        let owned = Request::WriteV {
+            ranges: ranges.iter().map(|&(s, o, d)| (s, o, d.to_vec())).collect(),
+        };
+        assert_eq!(
+            encode_write_v_mux(6, 3, &ranges),
+            Request::Mux {
+                session: 6,
+                seq: 3,
+                inner: Box::new(owned.clone()),
+            }
+            .encode()
+        );
+        assert_eq!(
+            encode_mux(6, 8, &owned),
+            Request::Mux {
+                session: 6,
+                seq: 8,
+                inner: Box::new(owned),
+            }
+            .encode()
+        );
     }
 
     #[test]

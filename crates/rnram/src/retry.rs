@@ -33,18 +33,23 @@ use perseas_sci::SegmentId;
 use perseas_simtime::{SimClock, SimDuration};
 
 use crate::{
-    BackoffPolicy, FlushStats, PipelineConfig, RemoteMemory, RemoteSegment, RnError, TcpRemote,
+    AnyRemote, BackoffPolicy, FlushStats, PipelineConfig, RemoteMemory, RemoteSegment, RnError,
+    SessionMux, TcpRemote,
 };
 
-/// A [`TcpRemote`] that re-dials the server on socket failures.
+/// A TCP-backed [`RemoteMemory`] that re-dials the server on socket
+/// failures. The connection is either a dedicated [`TcpRemote`] or a
+/// logical session on the process-wide shared mux ([`SessionMux`]); a
+/// re-dial always reproduces the original mode.
 #[derive(Debug)]
 pub struct ReconnectingRemote {
     addr: SocketAddr,
-    inner: Option<TcpRemote>,
+    inner: Option<AnyRemote>,
     max_attempts: usize,
     policy: BackoffPolicy,
     pace: Option<SimClock>,
     pipeline: Option<PipelineConfig>,
+    mux: bool,
 }
 
 impl ReconnectingRemote {
@@ -83,18 +88,49 @@ impl ReconnectingRemote {
         let addr = inner.peer_addr();
         Ok(ReconnectingRemote {
             addr,
-            inner: Some(inner),
+            inner: Some(AnyRemote::Tcp(inner)),
             max_attempts,
             policy,
             pace: None,
             pipeline: None,
+            mux: false,
         })
     }
 
-    /// Connects in the mode selected by the
-    /// [`PIPELINE_ENV`](crate::PIPELINE_ENV) environment variable — the
-    /// hook the test suites use to run the same scenarios over both
-    /// transports (see [`TcpRemote::connect_auto`]).
+    /// Opens a logical session on the process-wide shared mux for `addr`
+    /// (see [`SessionMux::shared`]) instead of a dedicated socket, with
+    /// the same retry semantics: a dead shared socket is re-dialed for
+    /// new work, but a session that dies with posted writes in flight
+    /// surfaces the loss instead of silently retrying.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the initial connection cannot be established.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn connect_mux(addr: impl ToSocketAddrs, max_attempts: usize) -> Result<Self, RnError> {
+        assert!(max_attempts > 0, "at least one attempt is required");
+        let mux = SessionMux::shared(addr)?;
+        let addr = mux.peer_addr();
+        Ok(ReconnectingRemote {
+            addr,
+            inner: Some(AnyRemote::Mux(mux.session())),
+            max_attempts,
+            policy: BackoffPolicy::default(),
+            pace: None,
+            pipeline: None,
+            mux: true,
+        })
+    }
+
+    /// Connects in the mode selected by the environment: a shared-mux
+    /// session when [`MUX_ENV`](crate::MUX_ENV) is set, otherwise a
+    /// dedicated connection whose pipelining follows
+    /// [`PIPELINE_ENV`](crate::PIPELINE_ENV) — the hook the test suites
+    /// use to run the same scenarios over every transport (see
+    /// [`AnyRemote::connect_auto`]).
     ///
     /// # Errors
     ///
@@ -104,6 +140,9 @@ impl ReconnectingRemote {
     ///
     /// Panics if `max_attempts` is zero.
     pub fn connect_auto(addr: impl ToSocketAddrs, max_attempts: usize) -> Result<Self, RnError> {
+        if crate::mux::env_enables_mux() {
+            return ReconnectingRemote::connect_mux(addr, max_attempts);
+        }
         let conn = ReconnectingRemote::connect(addr, max_attempts)?;
         if crate::tcp::env_enables_pipeline(std::env::var(crate::PIPELINE_ENV).ok().as_deref()) {
             Ok(conn.with_pipeline(PipelineConfig::default()))
@@ -112,21 +151,34 @@ impl ReconnectingRemote {
         }
     }
 
-    /// Makes the current connection — and every re-dialed one — pipelined
-    /// with window `cfg` (see [`TcpRemote::connect_with`]).
+    /// Makes the current connection — and every re-dialed one — use the
+    /// posted-write window `cfg` (see [`TcpRemote::connect_with`] and
+    /// [`SessionMux::session_with`]).
     pub fn with_pipeline(mut self, cfg: PipelineConfig) -> Self {
         self.pipeline = Some(cfg);
-        if let Some(conn) = self.inner.as_mut() {
-            conn.enable_pipeline(cfg);
+        match self.inner.as_mut() {
+            Some(AnyRemote::Tcp(conn)) => conn.enable_pipeline(cfg),
+            // A mux session's window is fixed at creation; swap in a
+            // fresh session with the requested one (nothing is in flight
+            // on a handle that is still being configured).
+            Some(AnyRemote::Mux(_)) => self.inner = self.dial().ok(),
+            None => {}
         }
         self
     }
 
-    fn dial(&self) -> Result<TcpRemote, RnError> {
-        match self.pipeline {
-            Some(cfg) => TcpRemote::connect_with(self.addr, cfg),
-            None => TcpRemote::connect(self.addr),
+    fn dial(&self) -> Result<AnyRemote, RnError> {
+        if self.mux {
+            let mux = SessionMux::shared(self.addr)?;
+            return Ok(AnyRemote::Mux(match self.pipeline {
+                Some(cfg) => mux.session_with(cfg),
+                None => mux.session(),
+            }));
         }
+        Ok(AnyRemote::Tcp(match self.pipeline {
+            Some(cfg) => TcpRemote::connect_with(self.addr, cfg)?,
+            None => TcpRemote::connect(self.addr)?,
+        }))
     }
 
     /// The server address.
@@ -160,7 +212,7 @@ impl ReconnectingRemote {
 
     fn with_conn<T>(
         &mut self,
-        mut op: impl FnMut(&mut TcpRemote) -> Result<T, RnError>,
+        mut op: impl FnMut(&mut AnyRemote) -> Result<T, RnError>,
     ) -> Result<T, RnError> {
         let mut last_err: Option<RnError> = None;
         for attempt in 0..self.max_attempts {
@@ -263,10 +315,13 @@ impl RemoteMemory for ReconnectingRemote {
     }
 
     fn node_name(&self) -> String {
-        self.inner
-            .as_ref()
-            .map(|c| c.node_name())
-            .unwrap_or_else(|| format!("tcp://{}", self.addr))
+        self.inner.as_ref().map_or_else(
+            || {
+                let scheme = if self.mux { "mux" } else { "tcp" };
+                format!("{scheme}://{}", self.addr)
+            },
+            RemoteMemory::node_name,
+        )
     }
 }
 
@@ -405,6 +460,15 @@ mod tests {
                     seq: *seq,
                     inner: Box::new(reply(inner)),
                 },
+                Request::Mux {
+                    session,
+                    seq,
+                    inner,
+                } => Response::Mux {
+                    session: *session,
+                    seq: *seq,
+                    inner: Box::new(reply(inner)),
+                },
                 Request::Malloc { len, tag } => Response::Segment {
                     seg: 1,
                     len: *len,
@@ -429,7 +493,7 @@ mod tests {
                     let req = Request::decode(&body).unwrap();
                     let posted_write = matches!(
                         &req,
-                        Request::Seq { inner, .. }
+                        Request::Seq { inner, .. } | Request::Mux { inner, .. }
                             if matches!(**inner, Request::Write { .. } | Request::WriteV { .. })
                     );
                     if posted_write {
@@ -499,6 +563,68 @@ mod tests {
         assert!(err.is_unavailable(), "lost window surfaces: {err}");
         // The loss has been surfaced; a second barrier has nothing
         // outstanding to confirm.
+        assert_eq!(r.flush().unwrap(), FlushStats::default());
+    }
+
+    #[test]
+    fn mux_wrapper_survives_a_server_restart_on_the_same_port() {
+        let server = Server::bind("muxblinky", "127.0.0.1:0").unwrap().start();
+        let node = server.node().clone();
+        let addr = server.addr();
+
+        let mut r = ReconnectingRemote::connect_mux(addr, 5).unwrap();
+        let seg = r.remote_malloc(16, 1).unwrap();
+        r.remote_write(seg.id, 0, &[1; 8]).unwrap();
+        r.flush().unwrap();
+
+        server.shutdown();
+        let server2 = Server::with_node(node, addr).unwrap().start();
+
+        // The window was clean at the drop: the wrapper re-dials the
+        // shared mux transparently and the replacement is a mux session
+        // again.
+        r.remote_write(seg.id, 8, &[2; 8]).unwrap();
+        r.flush().unwrap();
+        let mut buf = [0u8; 16];
+        r.remote_read(seg.id, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..8], &[1; 8]);
+        assert_eq!(&buf[8..], &[2; 8]);
+        assert!(r.node_name().starts_with("mux://"), "{}", r.node_name());
+        server2.shutdown();
+    }
+
+    #[test]
+    fn mux_lost_window_fails_the_op_instead_of_silently_retrying() {
+        let addr = spawn_window_dropper();
+        let mut r = ReconnectingRemote::connect_mux(addr, 5).unwrap();
+        let seg = r.remote_malloc(16, 1).unwrap();
+        // The scripted server reads this posted (mux-wrapped) write and
+        // hangs up without acknowledging it.
+        r.remote_write(seg.id, 0, &[9; 8]).unwrap();
+        assert_eq!(r.in_flight(), 1);
+
+        // A fully working replacement is accepting on the same address,
+        // so a silent retry would succeed — Unavailable is proof the
+        // lost session window surfaced instead.
+        let err = r.segment_info(seg.id).unwrap_err();
+        assert!(err.is_unavailable(), "lost window surfaces: {err}");
+        assert_eq!(r.in_flight(), 0, "the loss was reported and cleared");
+
+        // With the loss on record, re-dialing for new work is fair game.
+        assert_eq!(r.segment_info(seg.id).unwrap().id, seg.id);
+    }
+
+    #[test]
+    fn mux_flush_is_never_retried() {
+        let addr = spawn_window_dropper();
+        let mut r = ReconnectingRemote::connect_mux(addr, 5).unwrap();
+        let seg = r.remote_malloc(16, 1).unwrap();
+        r.remote_write(seg.id, 0, &[9; 8]).unwrap();
+
+        // The barrier discovers the dead shared socket; a re-dialed
+        // flush would vacuously pass, so Unavailable proves it did not.
+        let err = r.flush().unwrap_err();
+        assert!(err.is_unavailable(), "lost window surfaces: {err}");
         assert_eq!(r.flush().unwrap(), FlushStats::default());
     }
 

@@ -137,7 +137,7 @@ mod frame_fuzz {
     use std::io::Write as _;
 
     /// Any request the client can legitimately encode, including the
-    /// pipelined `Seq` wrapping.
+    /// pipelined `Seq` wrapping and the multiplexed `Mux` wrapping.
     fn arb_request() -> impl Strategy<Value = Request> {
         let plain = prop_oneof![
             (any::<u64>(), any::<u64>()).prop_map(|(len, tag)| Request::Malloc { len, tag }),
@@ -165,15 +165,18 @@ mod frame_fuzz {
             Just(Request::Ping),
         ]
         .boxed();
-        (any::<bool>(), any::<u64>(), plain).prop_map(|(wrap, seq, req)| {
-            if wrap {
-                Request::Seq {
-                    seq,
-                    inner: Box::new(req),
-                }
-            } else {
-                req
-            }
+        (0u8..3, any::<u64>(), any::<u64>(), plain).prop_map(|(wrap, seq, session, req)| match wrap
+        {
+            1 => Request::Seq {
+                seq,
+                inner: Box::new(req),
+            },
+            2 => Request::Mux {
+                session,
+                seq,
+                inner: Box::new(req),
+            },
+            _ => req,
         })
     }
 
@@ -224,10 +227,10 @@ mod frame_fuzz {
                 // CRC is what protects it in flight). Everything else has
                 // explicit lengths and must refuse its truncations.
                 Ok(Request::Write { .. }) => {}
-                Ok(Request::Seq { inner, .. }) => {
+                Ok(Request::Seq { inner, .. }) | Ok(Request::Mux { inner, .. }) => {
                     prop_assert!(
                         matches!(*inner, Request::Write { .. }),
-                        "truncated frame decoded as Seq wrapping {inner:?}"
+                        "truncated frame decoded as a wrapper around {inner:?}"
                     );
                 }
                 Ok(other) => prop_assert!(false, "truncated frame decoded as {other:?}"),
@@ -248,7 +251,9 @@ mod frame_fuzz {
             // is not the robustness property under test.
             let is_shutdown = match &decoded {
                 Ok(Request::Shutdown) => true,
-                Ok(Request::Seq { inner, .. }) => matches!(**inner, Request::Shutdown),
+                Ok(Request::Seq { inner, .. }) | Ok(Request::Mux { inner, .. }) => {
+                    matches!(**inner, Request::Shutdown)
+                }
                 _ => false,
             };
             prop_assume!(!is_shutdown);
@@ -331,6 +336,51 @@ mod frame_fuzz {
             server_is_alive(server.addr());
             server.shutdown();
         }
+
+        /// Session frames with arbitrary session ids, seqs, and inner
+        /// requests — including hostile nested wrappings — are served or
+        /// refused with a typed error, never fatally (ISSUE 8).
+        #[test]
+        fn random_session_frames_never_kill_the_server(
+            session in any::<u64>(),
+            seq in any::<u64>(),
+            req in arb_request(),
+        ) {
+            let body = perseas_rnram::protocol::encode_mux(session, seq, &req);
+            let server = perseas_rnram::server::Server::bind("sess", "127.0.0.1:0")
+                .unwrap()
+                .start();
+            poke_server_with(server.addr(), &body);
+            server_is_alive(server.addr());
+            server.shutdown();
+        }
+
+        /// Truncating a mux frame never smears it into a *different*
+        /// session: the fixed-width mux header either survives the cut
+        /// intact or the frame is refused. (Past the header the usual
+        /// `Write`-remainder exception applies — the wire CRC guards it.)
+        #[test]
+        fn truncated_session_frames_keep_their_identity(
+            session in any::<u64>(),
+            seq in any::<u64>(),
+            req in arb_request(),
+            cut in 0usize..512,
+        ) {
+            let full = perseas_rnram::protocol::encode_mux(session, seq, &req);
+            let cut = cut % full.len();
+            match Request::decode(&full[..cut]) {
+                Err(_) => {}
+                Ok(Request::Mux { session: s, seq: q, inner }) => {
+                    prop_assert_eq!(s, session, "truncation moved the frame across sessions");
+                    prop_assert_eq!(q, seq, "truncation renumbered the frame");
+                    prop_assert!(
+                        matches!(*inner, Request::Write { .. }),
+                        "truncated mux frame decoded as {inner:?}"
+                    );
+                }
+                Ok(other) => prop_assert!(false, "truncated mux frame decoded as {other:?}"),
+            }
+        }
     }
 
     /// Nested `Seq` frames and oversized frame claims are refused — the
@@ -355,6 +405,82 @@ mod frame_fuzz {
         drop(stream);
         server_is_alive(server.addr());
         server.shutdown();
+    }
+}
+
+/// Session-multiplexing property battery (ISSUE 8), driven through the
+/// public [`SessionMux`] API: sessions interleaved on one socket never
+/// observe each other's lanes, and a session dying with its window in
+/// flight takes down only itself.
+mod session_mux_fuzz {
+    use super::*;
+    use perseas_rnram::SessionMux;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Three sessions interleave posted writes over one socket into
+        /// their own segments; after per-session flush barriers every
+        /// segment matches the per-session model exactly.
+        #[test]
+        fn interleaved_sessions_keep_their_lanes(
+            script in prop::collection::vec((0usize..3, 0usize..16, any::<u8>()), 1..24),
+        ) {
+            let server = perseas_rnram::server::Server::bind("lanes", "127.0.0.1:0")
+                .unwrap()
+                .start();
+            let mux = SessionMux::connect(server.addr()).unwrap();
+            let mut sessions = Vec::new();
+            let mut model = [[0u8; 16]; 3];
+            for i in 0..3u64 {
+                let mut s = mux.session();
+                let seg = s.remote_malloc(16, i).unwrap();
+                s.remote_write(seg.id, 0, &[0; 16]).unwrap();
+                sessions.push((s, seg.id));
+            }
+            for &(who, offset, value) in &script {
+                let (s, seg) = &mut sessions[who];
+                s.remote_write(*seg, offset, &[value]).unwrap();
+                model[who][offset] = value;
+            }
+            for (who, (s, seg)) in sessions.iter_mut().enumerate() {
+                s.flush().unwrap();
+                let mut got = [0u8; 16];
+                s.remote_read(*seg, 0, &mut got).unwrap();
+                prop_assert_eq!(got, model[who], "session {} lane corrupted", who);
+            }
+            server.shutdown();
+        }
+
+        /// A session dropped with posted-but-unflushed writes is the only
+        /// casualty: the surviving session's window, segment, and RPCs
+        /// are untouched, and the server keeps serving.
+        #[test]
+        fn a_session_dying_mid_window_strands_only_itself(
+            doomed_posts in 1usize..12,
+            survivor_value in any::<u8>(),
+        ) {
+            let server = perseas_rnram::server::Server::bind("doom", "127.0.0.1:0")
+                .unwrap()
+                .start();
+            let mux = SessionMux::connect(server.addr()).unwrap();
+            let mut doomed = mux.session();
+            let mut survivor = mux.session();
+            let dseg = doomed.remote_malloc(32, 0).unwrap();
+            let sseg = survivor.remote_malloc(32, 1).unwrap();
+            for i in 0..doomed_posts {
+                doomed.remote_write(dseg.id, i % 32, &[0xDD]).unwrap();
+            }
+            prop_assert!(doomed.in_flight() > 0);
+            drop(doomed); // dies mid-window
+            survivor.remote_write(sseg.id, 0, &[survivor_value]).unwrap();
+            survivor.flush().unwrap();
+            let mut got = [0u8; 1];
+            survivor.remote_read(sseg.id, 0, &mut got).unwrap();
+            prop_assert_eq!(got[0], survivor_value);
+            prop_assert_eq!(mux.open_sessions(), 1);
+            server.shutdown();
+        }
     }
 }
 

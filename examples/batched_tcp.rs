@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use perseas_core::{Perseas, PerseasConfig, TraceEvent, Tracer};
-use perseas_rnram::TcpRemote;
+use perseas_rnram::AnyRemote;
 
 /// Prints every event while enabled; the demo turns it off after the
 /// first transaction so the timing loop is not dominated by stdout.
@@ -50,7 +50,7 @@ fn main() -> ExitCode {
 fn run(addrs: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut mirrors = Vec::new();
     for addr in addrs {
-        let mut m = TcpRemote::connect_auto(addr)?;
+        let mut m = AnyRemote::connect_auto(addr)?;
         println!("connected to mirror {} at {addr}", m.fetch_name()?);
         mirrors.push(m);
     }
@@ -87,7 +87,7 @@ fn run(addrs: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // The availability story: lose the primary, recover from mirror 0.
     db.crash();
     let (db2, report) = Perseas::recover(
-        TcpRemote::connect_auto(&addrs[0])?,
+        AnyRemote::connect_auto(&addrs[0])?,
         PerseasConfig::default().with_batched_commit(true),
     )?;
     println!(

@@ -1,17 +1,22 @@
 //! End-to-end PERSEAS over the real TCP backend: a genuinely separate
 //! server process boundary (threads + sockets), full commit/crash/recover
 //! cycle, and multi-database coexistence on one mirror.
+//!
+//! Connections go through [`AnyRemote::connect_auto`], so the CI matrix
+//! replays every scenario over the synchronous, pipelined
+//! (`PERSEAS_TCP_PIPELINE`), and session-multiplexed (`PERSEAS_TCP_MUX`)
+//! transports.
 
 use perseas_core::{Perseas, PerseasConfig};
 use perseas_rnram::server::Server;
-use perseas_rnram::TcpRemote;
+use perseas_rnram::AnyRemote;
 use perseas_workloads::{run_workload, DebitCredit, DebitCreditScale, Workload};
 
 #[test]
 fn commit_crash_recover_over_tcp() {
     let server = Server::bind("tcp-e2e", "127.0.0.1:0").unwrap().start();
 
-    let mirror = TcpRemote::connect_auto(server.addr()).unwrap();
+    let mirror = AnyRemote::connect_auto(server.addr()).unwrap();
     let mut db = Perseas::init(vec![mirror], PerseasConfig::default()).unwrap();
     let r = db.malloc(1024).unwrap();
     db.init_remote_db().unwrap();
@@ -25,7 +30,7 @@ fn commit_crash_recover_over_tcp() {
     }
     db.crash();
 
-    let reconnect = TcpRemote::connect_auto(server.addr()).unwrap();
+    let reconnect = AnyRemote::connect_auto(server.addr()).unwrap();
     let (db2, report) = Perseas::recover(reconnect, PerseasConfig::default()).unwrap();
     assert_eq!(report.last_committed, 50);
     let mut buf = [0u8; 8];
@@ -37,7 +42,7 @@ fn commit_crash_recover_over_tcp() {
 #[test]
 fn in_flight_transaction_rolls_back_over_tcp() {
     let server = Server::bind("tcp-rollback", "127.0.0.1:0").unwrap().start();
-    let mirror = TcpRemote::connect_auto(server.addr()).unwrap();
+    let mirror = AnyRemote::connect_auto(server.addr()).unwrap();
     let mut db = Perseas::init(vec![mirror], PerseasConfig::default()).unwrap();
     let r = db.malloc(256).unwrap();
     db.write(r, 0, &[1; 256]).unwrap();
@@ -50,7 +55,7 @@ fn in_flight_transaction_rolls_back_over_tcp() {
     // was never propagated.
     db.crash();
 
-    let reconnect = TcpRemote::connect_auto(server.addr()).unwrap();
+    let reconnect = AnyRemote::connect_auto(server.addr()).unwrap();
     let (db2, report) = Perseas::recover(reconnect, PerseasConfig::default()).unwrap();
     assert!(report.rolled_back_txn.is_some());
     assert_eq!(db2.region_snapshot(r).unwrap(), vec![1; 256]);
@@ -60,7 +65,7 @@ fn in_flight_transaction_rolls_back_over_tcp() {
 #[test]
 fn debit_credit_workload_over_tcp() {
     let server = Server::bind("tcp-bank", "127.0.0.1:0").unwrap().start();
-    let mirror = TcpRemote::connect_auto(server.addr()).unwrap();
+    let mirror = AnyRemote::connect_auto(server.addr()).unwrap();
     let mut db = Perseas::init(vec![mirror], PerseasConfig::default()).unwrap();
     let mut wl = DebitCredit::new(DebitCreditScale::tiny(), 31);
     wl.setup(&mut db).unwrap();
@@ -77,12 +82,12 @@ fn two_databases_share_one_mirror_via_distinct_tags() {
     let cfg_b = PerseasConfig::default().with_meta_tag(0xB);
 
     let mut db_a =
-        Perseas::init(vec![TcpRemote::connect_auto(server.addr()).unwrap()], cfg_a).unwrap();
+        Perseas::init(vec![AnyRemote::connect_auto(server.addr()).unwrap()], cfg_a).unwrap();
     let ra = db_a.malloc(64).unwrap();
     db_a.init_remote_db().unwrap();
 
     let mut db_b =
-        Perseas::init(vec![TcpRemote::connect_auto(server.addr()).unwrap()], cfg_b).unwrap();
+        Perseas::init(vec![AnyRemote::connect_auto(server.addr()).unwrap()], cfg_b).unwrap();
     let rb = db_b.malloc(64).unwrap();
     db_b.init_remote_db().unwrap();
 
@@ -100,9 +105,9 @@ fn two_databases_share_one_mirror_via_distinct_tags() {
     db_b.crash();
 
     let (ra_db, _) =
-        Perseas::recover(TcpRemote::connect_auto(server.addr()).unwrap(), cfg_a).unwrap();
+        Perseas::recover(AnyRemote::connect_auto(server.addr()).unwrap(), cfg_a).unwrap();
     let (rb_db, _) =
-        Perseas::recover(TcpRemote::connect_auto(server.addr()).unwrap(), cfg_b).unwrap();
+        Perseas::recover(AnyRemote::connect_auto(server.addr()).unwrap(), cfg_b).unwrap();
     assert_eq!(&ra_db.region_snapshot(ra).unwrap()[..8], &[0xA; 8]);
     assert_eq!(&rb_db.region_snapshot(rb).unwrap()[..8], &[0xB; 8]);
     server.shutdown();
@@ -116,7 +121,12 @@ fn perseas_rides_out_a_mirror_server_restart() {
     let addr = server.addr();
 
     let mirror = ReconnectingRemote::connect_auto(addr, 5).unwrap();
-    let pipelined = TcpRemote::connect_auto(addr).unwrap().is_pipelined();
+    // Transports that post writes (pipelined or multiplexed) may lose a
+    // window across the restart; the synchronous one may not.
+    let posts_writes = match AnyRemote::connect_auto(addr).unwrap() {
+        AnyRemote::Tcp(c) => c.is_pipelined(),
+        AnyRemote::Mux(_) => true,
+    };
     let mut db = Perseas::init(vec![mirror], PerseasConfig::default()).unwrap();
     let r = db.malloc(64).unwrap();
     db.init_remote_db().unwrap();
@@ -127,12 +137,13 @@ fn perseas_rides_out_a_mirror_server_restart() {
 
     // The mirror's server process restarts (same memory, same port). On
     // the synchronous transport the next transaction reconnects
-    // transparently. On the pipelined transport the outcome depends on
-    // when the dead socket is noticed: writes posted into the corpse are
-    // a lost window, which must surface `Unavailable` rather than be
-    // silently retried — but a post that fails before anything is in
-    // flight re-dials and rides out exactly like the sync path. Either
-    // way the commit's answer must match what recovery finds durable.
+    // transparently. On a posting transport (pipelined or multiplexed)
+    // the outcome depends on when the dead socket is noticed: writes
+    // posted into the corpse are a lost window, which must surface
+    // `Unavailable` rather than be silently retried — but a post that
+    // fails before anything is in flight re-dials and rides out exactly
+    // like the sync path. Either way the commit's answer must match what
+    // recovery finds durable.
     server.shutdown();
     let server2 = Server::with_node(node, addr).unwrap().start();
 
@@ -144,7 +155,7 @@ fn perseas_rides_out_a_mirror_server_restart() {
     })();
     if let Err(e) = &committed {
         assert!(
-            pipelined,
+            posts_writes,
             "the synchronous transport must ride the restart out: {e}"
         );
         assert!(
@@ -155,7 +166,7 @@ fn perseas_rides_out_a_mirror_server_restart() {
 
     db.crash();
     let (db2, report) = Perseas::recover(
-        perseas_rnram::TcpRemote::connect_auto(addr).unwrap(),
+        AnyRemote::connect_auto(addr).unwrap(),
         PerseasConfig::default(),
     )
     .unwrap();
@@ -185,7 +196,7 @@ fn read_replica_follows_a_tcp_primary() {
     use perseas_core::ReadReplica;
     let server = Server::bind("follow", "127.0.0.1:0").unwrap().start();
     let mut db = Perseas::init(
-        vec![TcpRemote::connect_auto(server.addr()).unwrap()],
+        vec![AnyRemote::connect_auto(server.addr()).unwrap()],
         PerseasConfig::default(),
     )
     .unwrap();
@@ -198,7 +209,7 @@ fn read_replica_follows_a_tcp_primary() {
     db.commit_transaction().unwrap();
 
     let mut replica = ReadReplica::attach(
-        TcpRemote::connect_auto(server.addr()).unwrap(),
+        AnyRemote::connect_auto(server.addr()).unwrap(),
         PerseasConfig::default(),
     )
     .unwrap();
