@@ -871,6 +871,21 @@ impl<M: RemoteMemory> Perseas<M> {
         self.conc.resolved_above.retain(|&x| x > w);
         for id in ids {
             let txn = self.conc.txns.remove(id).expect("member open");
+            if self.cfg.mvcc && !txn.undo.is_empty() {
+                let mut records = Vec::new();
+                let mut off = 0;
+                while off < txn.undo.len() {
+                    let (rec, payload) = UndoRecord::decode_at(&txn.undo, off)
+                        .expect("local undo log is never torn");
+                    off += rec.encoded_len();
+                    records.push((
+                        rec.region as usize,
+                        rec.offset as usize,
+                        txn.undo[payload].to_vec(),
+                    ));
+                }
+                self.capture_version(*id, records);
+            }
             let tr = coalesce(&txn.declared);
             let tb = tr.iter().map(|&(_, _, l)| l).sum();
             self.emit(TraceEvent::TxnCommitted {

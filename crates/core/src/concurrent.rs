@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use perseas_rnram::RemoteMemory;
-use perseas_txn::{RegionId, TxnError, TxnStats};
+use perseas_txn::{RegionId, SnapshotToken, TxnError, TxnStats};
 
 use crate::conc::TxnToken;
 use crate::perseas::Perseas;
@@ -363,6 +363,40 @@ impl<M: RemoteMemory> ConcurrentPerseas<M> {
     /// Fails on unknown regions.
     pub fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
         self.shared.lock_db().region_len(region)
+    }
+
+    /// Opens a snapshot pinned at the current commit watermark (see
+    /// [`Perseas::begin_snapshot`]). Snapshot reads through
+    /// [`ConcurrentPerseas::read_snapshot`] take no conflict-table claims
+    /// and can never conflict with writers on other handles.
+    ///
+    /// # Errors
+    ///
+    /// Fails when MVCC is disabled or after an unrecovered crash.
+    pub fn begin_snapshot(&self) -> Result<SnapshotToken, TxnError> {
+        self.shared.lock_db().begin_snapshot()
+    }
+
+    /// Reads at a snapshot's pinned watermark (see [`Perseas::read_s`]).
+    ///
+    /// # Errors
+    ///
+    /// Never `Conflict` or `SnapshotContention`; fails typed with
+    /// [`TxnError::SnapshotTooOld`] when the snapshot's versions were
+    /// evicted, or on bounds violations.
+    pub fn read_snapshot(
+        &self,
+        snap: SnapshotToken,
+        region: RegionId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), TxnError> {
+        self.shared.lock_db().read_s(snap, region, offset, buf)
+    }
+
+    /// Closes a snapshot, releasing the versions it pinned.
+    pub fn end_snapshot(&self, snap: SnapshotToken) {
+        self.shared.lock_db().end_snapshot(snap);
     }
 
     /// Cumulative statistics.

@@ -93,6 +93,21 @@ pub struct PerseasConfig {
     /// shard between the decision write and the end of its commit
     /// fan-out.
     pub decision_slots: usize,
+    /// Keep an in-memory version store of committed before-images so
+    /// [`crate::Perseas::begin_snapshot`] can serve claim-free snapshot
+    /// reads at a pinned commit watermark. Off by default: with the store
+    /// disabled the engine's behaviour (and its virtual-time cost) is
+    /// byte-identical to the paper's protocol.
+    pub mvcc: bool,
+    /// Byte budget of the version store's retained before-images. When a
+    /// new committed version would push the store past this budget, the
+    /// oldest versions are evicted whole — snapshots pinned below the new
+    /// floor then fail typed with
+    /// [`perseas_txn::TxnError::SnapshotTooOld`].
+    pub version_bytes: usize,
+    /// Maximum number of committed versions (one per transaction) the
+    /// version store retains, evicted oldest-first like the byte budget.
+    pub version_entries: usize,
 }
 
 impl PerseasConfig {
@@ -115,6 +130,9 @@ impl PerseasConfig {
             shard_count: 0,
             intent_slots: 16,
             decision_slots: 16,
+            mvcc: false,
+            version_bytes: 1 << 20,
+            version_entries: 4096,
         }
     }
 
@@ -261,6 +279,27 @@ impl PerseasConfig {
         self.decision_slots = decision;
         self
     }
+
+    /// Enables the in-memory version store so snapshot reads can be
+    /// served (see the [`mvcc`](PerseasConfig::mvcc) field).
+    pub fn with_mvcc(mut self, mvcc: bool) -> Self {
+        self.mvcc = mvcc;
+        self
+    }
+
+    /// Sets the version store's retention budgets: at most `bytes` of
+    /// before-images across at most `entries` committed versions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either budget is zero.
+    pub fn with_version_budget(mut self, bytes: usize, entries: usize) -> Self {
+        assert!(bytes > 0, "version_bytes must be positive");
+        assert!(entries > 0, "version_entries must be positive");
+        self.version_bytes = bytes;
+        self.version_entries = entries;
+        self
+    }
 }
 
 impl Default for PerseasConfig {
@@ -361,5 +400,31 @@ mod tests {
     #[should_panic(expected = "commit_slots")]
     fn zero_commit_slots_rejected() {
         let _ = PerseasConfig::new().with_commit_slots(0);
+    }
+
+    #[test]
+    fn mvcc_defaults_off_with_bounded_budgets() {
+        let c = PerseasConfig::new();
+        assert!(!c.mvcc, "the version store must cost nothing by default");
+        assert_eq!(c.version_bytes, 1 << 20);
+        assert_eq!(c.version_entries, 4096);
+        let c = PerseasConfig::new()
+            .with_mvcc(true)
+            .with_version_budget(512, 4);
+        assert!(c.mvcc);
+        assert_eq!(c.version_bytes, 512);
+        assert_eq!(c.version_entries, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "version_bytes")]
+    fn zero_version_bytes_rejected() {
+        let _ = PerseasConfig::new().with_version_budget(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "version_entries")]
+    fn zero_version_entries_rejected() {
+        let _ = PerseasConfig::new().with_version_budget(512, 0);
     }
 }

@@ -223,6 +223,61 @@ impl Tracer for JsonlTracer {
                     ("committed", Json::Bool(*committed)),
                 ],
             ),
+            TraceEvent::SnapshotBegin { id, read_seq, open } => (
+                "snapshot_begin",
+                vec![
+                    ("snapshot", Json::UInt(*id)),
+                    ("read_seq", Json::UInt(*read_seq)),
+                    ("open", Json::UInt(*open as u64)),
+                ],
+            ),
+            TraceEvent::SnapshotEnd { id, open } => (
+                "snapshot_end",
+                vec![
+                    ("snapshot", Json::UInt(*id)),
+                    ("open", Json::UInt(*open as u64)),
+                ],
+            ),
+            TraceEvent::SnapshotTooOld {
+                id,
+                read_seq,
+                floor_seq,
+            } => (
+                "snapshot_too_old",
+                vec![
+                    ("snapshot", Json::UInt(*id)),
+                    ("read_seq", Json::UInt(*read_seq)),
+                    ("floor_seq", Json::UInt(*floor_seq)),
+                ],
+            ),
+            TraceEvent::VersionCaptured {
+                seq,
+                txn,
+                bytes,
+                versions,
+            } => (
+                "version_captured",
+                vec![
+                    ("seq", Json::UInt(*seq)),
+                    ("txn", Json::UInt(*txn)),
+                    ("store_bytes", Json::UInt(*bytes as u64)),
+                    ("store_versions", Json::UInt(*versions as u64)),
+                ],
+            ),
+            TraceEvent::VersionEvicted {
+                versions,
+                bytes,
+                floor_seq,
+                store_bytes,
+            } => (
+                "version_evicted",
+                vec![
+                    ("versions", Json::UInt(*versions as u64)),
+                    ("bytes", Json::UInt(*bytes as u64)),
+                    ("floor_seq", Json::UInt(*floor_seq)),
+                    ("store_bytes", Json::UInt(*store_bytes as u64)),
+                ],
+            ),
         };
         match event {
             TraceEvent::TxnCommitted { id, .. } | TraceEvent::TxnAborted { id } => {

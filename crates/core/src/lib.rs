@@ -60,6 +60,7 @@ mod fault;
 mod jsonl;
 mod layout;
 mod metrics;
+mod mvcc;
 mod perseas;
 mod recovery;
 mod replica;
@@ -90,4 +91,4 @@ pub use shared::SharedPerseas;
 pub use trace::{RecordingTracer, TraceEvent, Tracer};
 
 pub use perseas_rnram::BackoffPolicy;
-pub use perseas_txn::{RegionId, TransactionalMemory, TxnError, TxnStats};
+pub use perseas_txn::{RegionId, SnapshotToken, TransactionalMemory, TxnError, TxnStats};

@@ -60,6 +60,12 @@ pub(crate) struct CoreMetrics {
     commit_virtual: Histo,
     group_commit_wall: Histo,
     group_commit_virtual: Histo,
+    snapshots_open: Gauge,
+    version_store_bytes: Gauge,
+    version_store_versions: Gauge,
+    version_evictions: Counter,
+    version_evicted_bytes: Counter,
+    snapshot_too_old: Counter,
 }
 
 impl CoreMetrics {
@@ -159,6 +165,30 @@ impl CoreMetrics {
             group_commit_virtual: r.histogram(
                 "perseas_txn_group_commit_virtual_seconds",
                 "Virtual-time latency of commit_group.",
+            ),
+            snapshots_open: r.gauge(
+                "perseas_snapshots_open",
+                "Read snapshots currently open against the version store.",
+            ),
+            version_store_bytes: r.gauge(
+                "perseas_version_store_bytes",
+                "Before-image payload bytes retained by the version store.",
+            ),
+            version_store_versions: r.gauge(
+                "perseas_version_store_versions",
+                "Committed versions retained by the version store.",
+            ),
+            version_evictions: r.counter(
+                "perseas_version_evictions_total",
+                "Committed versions evicted from the version store.",
+            ),
+            version_evicted_bytes: r.counter(
+                "perseas_version_evicted_bytes_total",
+                "Before-image payload bytes evicted from the version store.",
+            ),
+            snapshot_too_old: r.counter(
+                "perseas_snapshot_too_old_total",
+                "Snapshot reads refused because their versions were evicted.",
             ),
         }
     }
@@ -303,6 +333,27 @@ impl CoreMetrics {
                 ) {
                     c.inc();
                 }
+            }
+            TraceEvent::SnapshotBegin { open, .. } | TraceEvent::SnapshotEnd { open, .. } => {
+                self.snapshots_open.set(*open as i64);
+            }
+            TraceEvent::SnapshotTooOld { .. } => self.snapshot_too_old.inc(),
+            TraceEvent::VersionCaptured {
+                bytes, versions, ..
+            } => {
+                self.version_store_bytes.set(*bytes as i64);
+                self.version_store_versions.set(*versions as i64);
+            }
+            TraceEvent::VersionEvicted {
+                versions,
+                bytes,
+                store_bytes,
+                ..
+            } => {
+                self.version_evictions.add(*versions as u64);
+                self.version_evicted_bytes.add(*bytes as u64);
+                self.version_store_bytes.set(*store_bytes as i64);
+                self.version_store_versions.add(-(*versions as i64));
             }
         }
     }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use perseas_rnram::{mirror_copy, plan_transfer, RemoteMemory, RemoteSegment, RnError, SegmentId};
 use perseas_simtime::SimClock;
-use perseas_txn::{RegionId, TxnError, TxnStats};
+use perseas_txn::{RegionId, SnapshotToken, TxnError, TxnStats};
 
 use crate::conc::ConcState;
 use crate::config::PerseasConfig;
@@ -15,6 +15,7 @@ use crate::layout::{
     REGION_ENTRY_SIZE,
 };
 use crate::metrics::CoreMetrics;
+use crate::mvcc::MvccState;
 use crate::trace::{TraceEvent, Tracer};
 
 /// Per-mirror vectored write batch: each entry pairs a mirror index with
@@ -140,6 +141,8 @@ pub struct Perseas<M: RemoteMemory> {
     pub(crate) metrics: Option<CoreMetrics>,
     /// State of the concurrent engine (unused unless `cfg.concurrent`).
     pub(crate) conc: ConcState,
+    /// The version store behind snapshot reads (empty unless `cfg.mvcc`).
+    pub(crate) mvcc: MvccState,
 }
 
 impl<M: RemoteMemory> Perseas<M> {
@@ -199,6 +202,7 @@ impl<M: RemoteMemory> Perseas<M> {
             tracer: None,
             metrics: None,
             conc: ConcState::new(cfg.commit_slots),
+            mvcc: MvccState::new(cfg.version_bytes, cfg.version_entries),
             cfg,
         })
     }
@@ -583,6 +587,195 @@ impl<M: RemoteMemory> Perseas<M> {
         Ok(())
     }
 
+    /// Opens a read snapshot pinned at the current commit watermark.
+    /// Snapshot reads ([`Perseas::read_s`]) resolve against the version
+    /// store at that watermark, take no conflict-table claims, and can
+    /// never fail with [`TxnError::Conflict`] or
+    /// [`TxnError::SnapshotContention`]. Close with
+    /// [`Perseas::end_snapshot`] so the store can evict past the pin.
+    ///
+    /// # Errors
+    ///
+    /// Fails after a crash, or with [`TxnError::Unavailable`] when the
+    /// version store is disabled (see [`PerseasConfig::with_mvcc`]).
+    pub fn begin_snapshot(&mut self) -> Result<SnapshotToken, TxnError> {
+        if self.phase == Phase::Crashed {
+            return Err(TxnError::Crashed);
+        }
+        if !self.cfg.mvcc {
+            return Err(TxnError::Unavailable(
+                "MVCC version store is disabled; enable with PerseasConfig::with_mvcc".into(),
+            ));
+        }
+        let token = self.mvcc.begin();
+        self.emit(TraceEvent::SnapshotBegin {
+            id: token.id(),
+            read_seq: token.read_seq(),
+            open: self.mvcc.open_count(),
+        });
+        Ok(token)
+    }
+
+    /// Reads `buf.len()` bytes at `offset` of `region` as of the
+    /// snapshot's pinned commit watermark: the live bytes are copied,
+    /// uncommitted writes of open transactions are masked with their
+    /// logged before-images, and commits newer than the pin are unwound
+    /// from the version store.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions, bounds violations, after a crash, and
+    /// with [`TxnError::SnapshotTooOld`] when the snapshot's versions
+    /// were evicted. Never blocks on or conflicts with writers.
+    pub fn read_s(
+        &self,
+        snap: SnapshotToken,
+        region: RegionId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), TxnError> {
+        if self.phase == Phase::Crashed {
+            return Err(TxnError::Crashed);
+        }
+        let read_seq = match self.mvcc.validate(snap) {
+            Ok(seq) => seq,
+            Err(e) => {
+                if let TxnError::SnapshotTooOld {
+                    read_seq,
+                    floor_seq,
+                } = e
+                {
+                    self.observe_metrics(&TraceEvent::SnapshotTooOld {
+                        id: snap.id(),
+                        read_seq,
+                        floor_seq,
+                    });
+                }
+                return Err(e);
+            }
+        };
+        let ri = self.check_region_range(region, offset, buf.len())?;
+        buf.copy_from_slice(&self.regions[ri][offset..offset + buf.len()]);
+        // Mask uncommitted writes: open transactions modify the local
+        // image in place, so their logged before-images are overlaid to
+        // recover the committed-current bytes first.
+        self.overlay_open_txns(ri, offset, buf);
+        // Then unwind every commit newer than the snapshot's pin.
+        self.mvcc.overlay(read_seq, ri, offset, buf);
+        self.cfg.mem_cost.charge_memcpy(&self.clock, buf.len());
+        Ok(())
+    }
+
+    /// [`Perseas::read_s`] into a freshly allocated buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Perseas::read_s`].
+    pub fn read_range_s(
+        &self,
+        snap: SnapshotToken,
+        region: RegionId,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, TxnError> {
+        let mut buf = vec![0u8; len];
+        self.read_s(snap, region, offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Closes a snapshot so the version store can evict past its pin.
+    /// Closing an unknown or already-closed token is a no-op.
+    pub fn end_snapshot(&mut self, snap: SnapshotToken) {
+        let evicted = self.mvcc.end(snap);
+        let open = self.mvcc.open_count();
+        self.emit(TraceEvent::SnapshotEnd {
+            id: snap.id(),
+            open,
+        });
+        self.emit_eviction(evicted);
+    }
+
+    /// Number of snapshots currently open.
+    pub fn open_snapshot_count(&self) -> usize {
+        self.mvcc.open_count()
+    }
+
+    /// Bytes currently retained by the version store.
+    pub fn version_store_bytes(&self) -> usize {
+        self.mvcc.version_bytes()
+    }
+
+    /// Retains a committed transaction's before-images in the version
+    /// store and emits the capture/eviction telemetry. Charges nothing to
+    /// the virtual clock, so enabling MVCC never perturbs sim-mode
+    /// measurements.
+    pub(crate) fn capture_version(&mut self, txn_id: u64, records: Vec<(usize, usize, Vec<u8>)>) {
+        let (seq, evicted) = self.mvcc.capture(records);
+        self.emit(TraceEvent::VersionCaptured {
+            seq,
+            txn: txn_id,
+            bytes: self.mvcc.version_bytes(),
+            versions: self.mvcc.version_count(),
+        });
+        self.emit_eviction(evicted);
+    }
+
+    pub(crate) fn emit_eviction(&mut self, evicted: crate::mvcc::Evicted) {
+        if evicted.versions > 0 {
+            self.emit(TraceEvent::VersionEvicted {
+                versions: evicted.versions,
+                bytes: evicted.bytes,
+                floor_seq: self.mvcc.floor(),
+                store_bytes: self.mvcc.version_bytes(),
+            });
+        }
+    }
+
+    /// Overlays onto `buf` (live bytes of region `ri` from `offset`) the
+    /// logged before-images of every open transaction — legacy or
+    /// concurrent — masking their uncommitted in-place writes. Claims of
+    /// distinct open transactions never overlap; within one transaction
+    /// records apply in reverse log order, matching the abort path.
+    fn overlay_open_txns(&self, ri: usize, offset: usize, buf: &mut [u8]) {
+        if let Some(txn) = self.txn.as_ref() {
+            for rec in txn.records.iter().rev() {
+                let (urec, payload) = UndoRecord::decode_at(&self.undo_shadow, rec.shadow_off)
+                    .expect("local undo log is never torn");
+                if urec.region as usize == ri {
+                    overlay_bytes(
+                        buf,
+                        offset,
+                        urec.offset as usize,
+                        &self.undo_shadow[payload],
+                    );
+                }
+            }
+        }
+        for txn in self.conc.txns.values() {
+            let mut recs = Vec::new();
+            let mut off = 0;
+            while off < txn.undo.len() {
+                let (rec, payload) =
+                    UndoRecord::decode_at(&txn.undo, off).expect("local undo log is never torn");
+                off += rec.encoded_len();
+                recs.push((rec, payload));
+            }
+            for (rec, payload) in recs.iter().rev() {
+                if rec.region as usize == ri {
+                    overlay_bytes(buf, offset, rec.offset as usize, &txn.undo[payload.clone()]);
+                }
+            }
+        }
+    }
+
+    /// Forwards an event to the metrics sink only (used on `&self` read
+    /// paths where the tracer, which needs `&mut`, cannot run).
+    pub(crate) fn observe_metrics(&self, event: &TraceEvent) {
+        if let Some(m) = self.metrics.as_ref() {
+            m.observe(event);
+        }
+    }
+
     /// `PERSEAS_commit_transaction`: copies every declared range to the
     /// mirrored database (copy 3 of Figure 3) and publishes the
     /// packet-atomic commit record. No disk, no fsync.
@@ -651,6 +844,23 @@ impl<M: RemoteMemory> Perseas<M> {
                 }
             }
             self.last_committed = txn.id;
+            if self.cfg.mvcc {
+                let records = txn
+                    .records
+                    .iter()
+                    .map(|rec| {
+                        let (urec, payload) =
+                            UndoRecord::decode_at(&self.undo_shadow, rec.shadow_off)
+                                .expect("local undo log is never torn");
+                        (
+                            urec.region as usize,
+                            urec.offset as usize,
+                            self.undo_shadow[payload].to_vec(),
+                        )
+                    })
+                    .collect();
+                self.capture_version(txn.id, records);
+            }
             let bytes = ranges.iter().map(|&(_, _, l)| l).sum();
             self.emit(TraceEvent::TxnCommitted {
                 id: txn.id,
@@ -858,6 +1068,9 @@ impl<M: RemoteMemory> Perseas<M> {
         self.undo_shadow.clear();
         self.txn = None;
         self.conc.clear();
+        // The version store is volatile: every open snapshot is forgotten
+        // so stale tokens fail typed instead of serving torn bytes.
+        self.mvcc.clear();
         self.emit(TraceEvent::Crashed);
     }
 
@@ -1925,6 +2138,16 @@ impl<M: RemoteMemory> Perseas<M> {
 }
 
 /// Maps a backend failure to the shared error type.
+/// Copies the intersection of `image` (at region offset `roff`) into
+/// `buf` (a view of the region starting at `offset`).
+pub(crate) fn overlay_bytes(buf: &mut [u8], offset: usize, roff: usize, image: &[u8]) {
+    let start = roff.max(offset);
+    let end = (roff + image.len()).min(offset + buf.len());
+    if start < end {
+        buf[start - offset..end - offset].copy_from_slice(&image[start - roff..end - roff]);
+    }
+}
+
 pub(crate) fn unavailable(e: RnError) -> TxnError {
     TxnError::Unavailable(e.to_string())
 }

@@ -89,6 +89,7 @@ impl<M: RemoteMemory> Perseas<M> {
             return Err(TxnError::FencedMirror {
                 epoch: header.epoch,
                 required: cfg.min_epoch,
+                attempts: 1,
             });
         }
         // The engine that wrote the image decides how its undo log and
@@ -268,6 +269,9 @@ impl<M: RemoteMemory> Perseas<M> {
             tracer: None,
             metrics: None,
             conc: ConcState::new(cfg.commit_slots),
+            // A fresh store with a fresh generation: snapshots opened
+            // before the crash fail typed on the recovered instance.
+            mvcc: crate::mvcc::MvccState::new(cfg.version_bytes, cfg.version_entries),
         };
         Ok((db, report))
     }

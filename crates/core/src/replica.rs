@@ -68,133 +68,198 @@ impl<M: RemoteMemory> ReadReplica<M> {
     /// before-images of any in-flight transaction to its **local** copy
     /// (the mirror is never written).
     ///
+    /// Snapshot-first: each attempt in the first half of the retry budget
+    /// copies the undo log, every region, and the commit-record re-checks
+    /// in **one vectored read** — served atomically by the event-driven
+    /// server, so a committing primary cannot tear it. The remaining
+    /// budget falls back to the legacy per-segment copy loop for backends
+    /// without an atomic vectored path.
+    ///
     /// # Errors
     ///
     /// Fails on unreachable mirrors ([`TxnError::Unavailable`]), corrupt
-    /// metadata, fenced mirrors ([`TxnError::FencedMirror`]), or — as
+    /// metadata, fenced mirrors ([`TxnError::FencedMirror`], carrying the
+    /// attempt the fence was diagnosed on), or — as
     /// [`TxnError::SnapshotContention`], distinct from transport
     /// failures — when the primary outruns `cfg.snapshot_retries`
     /// attempts.
     pub fn refresh(&mut self) -> Result<u64, TxnError> {
-        for _ in 0..self.cfg.snapshot_retries {
-            let mut meta_image = vec![0u8; self.meta.len];
-            self.backend
-                .remote_read(self.meta.id, 0, &mut meta_image)
-                .map_err(unavailable)?;
-            let header = MetaHeader::decode(&meta_image)
-                .map_err(|m| TxnError::Unavailable(format!("corrupt metadata: {m}")))?;
-            if header.epoch < self.cfg.min_epoch {
-                return Err(TxnError::FencedMirror {
-                    epoch: header.epoch,
-                    required: self.cfg.min_epoch,
-                });
+        let budget = self.cfg.snapshot_retries;
+        let vectored = budget.div_ceil(2);
+        let mut attempts = 0usize;
+        while attempts < vectored {
+            attempts += 1;
+            if let Some(last) = self.try_refresh(attempts, true)? {
+                return Ok(last);
             }
+        }
+        while attempts < budget {
+            attempts += 1;
+            if let Some(last) = self.try_refresh(attempts, false)? {
+                return Ok(last);
+            }
+        }
+        // The mirror answered every read — it is alive, just committing
+        // faster than we can copy. Distinct from a transport failure.
+        Err(TxnError::SnapshotContention { attempts })
+    }
 
-            // Copy the undo log first, then the regions.
-            let undo_seg = self
+    /// One snapshot attempt. Returns `Ok(None)` when the primary
+    /// committed mid-copy (fuzzy cut — retry); `attempt` is carried by
+    /// any typed error so the caller learns the final attempt count.
+    fn try_refresh(&mut self, attempt: usize, use_vectored: bool) -> Result<Option<u64>, TxnError> {
+        let mut meta_image = vec![0u8; self.meta.len];
+        self.backend
+            .remote_read(self.meta.id, 0, &mut meta_image)
+            .map_err(unavailable)?;
+        let header = MetaHeader::decode(&meta_image)
+            .map_err(|m| TxnError::Unavailable(format!("corrupt metadata: {m}")))?;
+        if header.epoch < self.cfg.min_epoch {
+            return Err(TxnError::FencedMirror {
+                epoch: header.epoch,
+                required: self.cfg.min_epoch,
+                attempts: attempt,
+            });
+        }
+
+        let undo_seg = self
+            .backend
+            .segment_info(SegmentId::from_raw(header.undo_seg_id))
+            .map_err(unavailable)?;
+        let mut segs = Vec::with_capacity(header.region_count as usize);
+        let mut region_lens = Vec::with_capacity(header.region_count as usize);
+        for i in 0..header.region_count as usize {
+            let (seg_id, _) = crate::layout::decode_region_entry(&meta_image, i)
+                .map_err(|m| TxnError::Unavailable(format!("corrupt region table: {m}")))?;
+            let seg = self
                 .backend
-                .segment_info(SegmentId::from_raw(header.undo_seg_id))
+                .segment_info(SegmentId::from_raw(seg_id))
                 .map_err(unavailable)?;
+            region_lens.push(seg.len);
+            segs.push(seg);
+        }
+
+        let concurrent = header.flags & FLAG_CONCURRENT != 0;
+        let slots = header.commit_slots as usize;
+        let table_base = commit_table_offset(self.meta.len, slots);
+
+        let (undo, mut regions) = if use_vectored {
+            // One cut: undo log first, then every region, with the
+            // commit-record (and, for a concurrent image, commit-table)
+            // re-checks last in the same vector.
+            let mut reads = vec![(undo_seg.id, 0usize, undo_seg.len)];
+            for seg in &segs {
+                reads.push((seg.id, 0, seg.len));
+            }
+            reads.push((self.meta.id, OFF_COMMIT, 8));
+            if concurrent && slots > 0 {
+                reads.push((self.meta.id, table_base, slots * 8));
+            }
+            let bufs = self.backend.remote_read_v(&reads).map_err(unavailable)?;
+            let mut bufs = bufs.into_iter();
+            let undo = bufs.next().expect("undo buffer present");
+            let regions: Vec<Vec<u8>> = segs
+                .iter()
+                .map(|_| bufs.next().expect("region buffer"))
+                .collect();
+            let after = bufs.next().expect("commit-record buffer");
+            if after.len() != 8
+                || u64::from_le_bytes(after.try_into().expect("8 bytes")) != header.last_committed
+            {
+                return Ok(None);
+            }
+            if concurrent && slots > 0 {
+                let table_after = bufs.next().expect("commit-table buffer");
+                if table_after != meta_image[table_base..table_base + slots * 8] {
+                    return Ok(None);
+                }
+            }
+            (undo, regions)
+        } else {
+            // Legacy per-segment copy loop: undo log first, then the
+            // regions, then the re-checks.
             let mut undo = vec![0u8; undo_seg.len];
             self.backend
                 .remote_read(undo_seg.id, 0, &mut undo)
                 .map_err(unavailable)?;
-
-            let mut regions = Vec::with_capacity(header.region_count as usize);
-            let mut region_lens = Vec::with_capacity(header.region_count as usize);
-            for i in 0..header.region_count as usize {
-                let (seg_id, _) = crate::layout::decode_region_entry(&meta_image, i)
-                    .map_err(|m| TxnError::Unavailable(format!("corrupt region table: {m}")))?;
-                let seg = self
-                    .backend
-                    .segment_info(SegmentId::from_raw(seg_id))
-                    .map_err(unavailable)?;
+            let mut regions = Vec::with_capacity(segs.len());
+            for seg in &segs {
                 let mut data = vec![0u8; seg.len];
                 if seg.len > 0 {
                     self.backend
                         .remote_read(seg.id, 0, &mut data)
                         .map_err(unavailable)?;
                 }
-                region_lens.push(seg.len);
                 regions.push(data);
             }
-
             // If a commit landed while we copied, the snapshot may be
             // fuzzy: retry. The replica adapts to whichever engine wrote
             // the image: a concurrent mirror publishes every group commit
             // through its commit table, so the table bytes are compared
             // too — a watermark-only check would miss a group committed
             // entirely above the watermark.
-            let concurrent = header.flags & FLAG_CONCURRENT != 0;
-            let slots = header.commit_slots as usize;
             let mut after = [0u8; 8];
             self.backend
                 .remote_read(self.meta.id, OFF_COMMIT, &mut after)
                 .map_err(unavailable)?;
             if u64::from_le_bytes(after) != header.last_committed {
-                continue;
+                return Ok(None);
             }
             if concurrent && slots > 0 {
-                let base = commit_table_offset(self.meta.len, slots);
                 let mut table_after = vec![0u8; slots * 8];
                 self.backend
-                    .remote_read(self.meta.id, base, &mut table_after)
+                    .remote_read(self.meta.id, table_base, &mut table_after)
                     .map_err(unavailable)?;
-                if table_after != meta_image[base..base + slots * 8] {
-                    continue;
+                if table_after != meta_image[table_base..table_base + slots * 8] {
+                    return Ok(None);
                 }
             }
+            (undo, regions)
+        };
 
-            // Roll back the in-flight transactions *locally*, using the
-            // same rules as recovery.
-            let to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = if concurrent {
-                let table = decode_commit_table(&meta_image, slots);
-                scan_uncommitted_concurrent(&undo, header.last_committed, &table, &region_lens)
-            } else {
-                let mut to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = Vec::new();
-                let mut off = 0usize;
-                let mut in_flight: Option<u64> = None;
-                while let Some((rec, payload)) = UndoRecord::decode_at(&undo, off) {
-                    if rec.txn_id <= header.last_committed {
-                        break;
-                    }
-                    if *in_flight.get_or_insert(rec.txn_id) != rec.txn_id {
-                        break;
-                    }
-                    let ri = rec.region as usize;
-                    if ri >= region_lens.len() || (rec.offset + rec.len) as usize > region_lens[ri]
-                    {
-                        break;
-                    }
-                    off += rec.encoded_len();
-                    to_undo.push((rec, payload));
+        // Roll back the in-flight transactions *locally*, using the
+        // same rules as recovery.
+        let to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = if concurrent {
+            let table = decode_commit_table(&meta_image, slots);
+            scan_uncommitted_concurrent(&undo, header.last_committed, &table, &region_lens)
+        } else {
+            let mut to_undo: Vec<(UndoRecord, std::ops::Range<usize>)> = Vec::new();
+            let mut off = 0usize;
+            let mut in_flight: Option<u64> = None;
+            while let Some((rec, payload)) = UndoRecord::decode_at(&undo, off) {
+                if rec.txn_id <= header.last_committed {
+                    break;
                 }
-                to_undo
-            };
-            for (rec, payload) in to_undo.iter().rev() {
+                if *in_flight.get_or_insert(rec.txn_id) != rec.txn_id {
+                    break;
+                }
                 let ri = rec.region as usize;
-                let at = rec.offset as usize;
-                regions[ri][at..at + payload.len()].copy_from_slice(&undo[payload.clone()]);
+                if ri >= region_lens.len() || (rec.offset + rec.len) as usize > region_lens[ri] {
+                    break;
+                }
+                off += rec.encoded_len();
+                to_undo.push((rec, payload));
             }
-
-            self.regions = regions;
-            // For a concurrent image, the newest *visible* commit may sit
-            // in a table slot above the watermark.
-            self.last_committed = if concurrent {
-                decode_commit_table(&meta_image, slots)
-                    .into_iter()
-                    .fold(header.last_committed, u64::max)
-            } else {
-                header.last_committed
-            };
-            self.epoch = header.epoch;
-            return Ok(self.last_committed);
+            to_undo
+        };
+        for (rec, payload) in to_undo.iter().rev() {
+            let ri = rec.region as usize;
+            let at = rec.offset as usize;
+            regions[ri][at..at + payload.len()].copy_from_slice(&undo[payload.clone()]);
         }
-        // The mirror answered every read — it is alive, just committing
-        // faster than we can copy. Distinct from a transport failure.
-        Err(TxnError::SnapshotContention {
-            attempts: self.cfg.snapshot_retries,
-        })
+
+        self.regions = regions;
+        // For a concurrent image, the newest *visible* commit may sit
+        // in a table slot above the watermark.
+        self.last_committed = if concurrent {
+            decode_commit_table(&meta_image, slots)
+                .into_iter()
+                .fold(header.last_committed, u64::max)
+        } else {
+            header.last_committed
+        };
+        self.epoch = header.epoch;
+        Ok(Some(self.last_committed))
     }
 
     /// Reads `buf.len()` bytes at `offset` of `region` from the snapshot.

@@ -47,7 +47,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use perseas_rnram::{RemoteMemory, SegmentId};
 use perseas_simtime::SimClock;
-use perseas_txn::{RegionId, TransactionalMemory, TxnError, TxnStats};
+use perseas_txn::{RegionId, SnapshotToken, TransactionalMemory, TxnError, TxnStats};
 
 use crate::conc::TxnToken;
 use crate::fault::FaultPlan;
@@ -561,6 +561,87 @@ impl<M: RemoteMemory> ShardedPerseas<M> {
                 },
                 other => other,
             })
+    }
+
+    /// Opens a cross-shard snapshot: a vector pinning one commit
+    /// watermark **per shard** (index = shard index). Each shard's
+    /// watermark is exact for that shard, so single-shard reads through
+    /// the vector are serializable; across shards the vector is a
+    /// consistent cut only up to cross-shard commits that were mid-flight
+    /// while it was taken — a read whose shard has since evicted the
+    /// pinned versions fails typed with [`TxnError::SnapshotTooOld`]
+    /// rather than returning a torn image.
+    ///
+    /// # Errors
+    ///
+    /// Fails when MVCC is disabled or after a crash; on failure no shard
+    /// keeps a snapshot open.
+    pub fn begin_snapshot_g(&mut self) -> Result<Vec<SnapshotToken>, TxnError> {
+        self.ensure_alive()?;
+        let mut snaps = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            match self.shards[i].begin_snapshot() {
+                Ok(s) => snaps.push(s),
+                Err(e) => {
+                    for (shard, snap) in snaps.into_iter().enumerate() {
+                        self.shards[shard].end_snapshot(snap);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(snaps)
+    }
+
+    /// Reads `region` at the watermark `snaps` pinned on its owning
+    /// shard. Takes no conflict-table claims: concurrent writers on any
+    /// shard can never force this read to abort.
+    ///
+    /// # Errors
+    ///
+    /// Never `Conflict` or `SnapshotContention`; fails with
+    /// [`TxnError::SnapshotTooOld`] when the owning shard evicted the
+    /// pinned versions, or on routing/bounds violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snaps` has fewer entries than there are shards (it must
+    /// come from [`ShardedPerseas::begin_snapshot_g`]).
+    pub fn read_g_s(
+        &self,
+        snaps: &[SnapshotToken],
+        region: RegionId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), TxnError> {
+        let (shard, local) = self.route(region)?;
+        self.shards[shard]
+            .read_s(snaps[shard], local, offset, buf)
+            .map_err(|e| match e {
+                TxnError::UnknownRegion(_) => TxnError::UnknownRegion(region),
+                TxnError::OutOfBounds {
+                    offset,
+                    len,
+                    region_len,
+                    ..
+                } => TxnError::OutOfBounds {
+                    region,
+                    offset,
+                    len,
+                    region_len,
+                },
+                other => other,
+            })
+    }
+
+    /// Closes a cross-shard snapshot, releasing every shard's pinned
+    /// versions. Idempotent per token; extra entries are ignored.
+    pub fn end_snapshot_g(&mut self, snaps: Vec<SnapshotToken>) {
+        for (shard, snap) in snaps.into_iter().enumerate() {
+            if let Some(db) = self.shards.get_mut(shard) {
+                db.end_snapshot(snap);
+            }
+        }
     }
 
     /// Rolls back every part of `g` on its shard.

@@ -189,6 +189,58 @@ pub enum TraceEvent {
         /// it was absent (part rolled back — presumed abort).
         committed: bool,
     },
+    /// A read snapshot opened, pinned at the current commit watermark
+    /// (MVCC only, see
+    /// [`PerseasConfig::with_mvcc`](crate::PerseasConfig::with_mvcc)).
+    SnapshotBegin {
+        /// Snapshot id.
+        id: u64,
+        /// Commit watermark the snapshot pinned.
+        read_seq: u64,
+        /// Snapshots open after this one, including it.
+        open: usize,
+    },
+    /// A read snapshot closed; the version store may evict past it.
+    SnapshotEnd {
+        /// Snapshot id.
+        id: u64,
+        /// Snapshots still open.
+        open: usize,
+    },
+    /// A snapshot read was refused because its versions were evicted (or
+    /// a crash cleared the store) — raised typed, never served torn.
+    SnapshotTooOld {
+        /// Snapshot id.
+        id: u64,
+        /// Commit watermark the snapshot pinned.
+        read_seq: u64,
+        /// Oldest watermark the store can still reconstruct.
+        floor_seq: u64,
+    },
+    /// A committed transaction's before-images were retained in the
+    /// version store.
+    VersionCaptured {
+        /// Commit sequence assigned to the version.
+        seq: u64,
+        /// Committing transaction's id.
+        txn: u64,
+        /// Store payload bytes after the capture.
+        bytes: usize,
+        /// Versions retained after the capture.
+        versions: usize,
+    },
+    /// The version store evicted versions (pruned past closed snapshots,
+    /// or pushed past open ones by budget pressure).
+    VersionEvicted {
+        /// Versions removed.
+        versions: usize,
+        /// Payload bytes removed.
+        bytes: usize,
+        /// The new reconstruction floor.
+        floor_seq: u64,
+        /// Store payload bytes remaining.
+        store_bytes: usize,
+    },
 }
 
 /// A sink for [`TraceEvent`]s.

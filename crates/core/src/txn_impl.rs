@@ -4,7 +4,7 @@
 
 use perseas_rnram::RemoteMemory;
 use perseas_simtime::SimClock;
-use perseas_txn::{RegionId, TransactionalMemory, TxnError, TxnStats};
+use perseas_txn::{RegionId, SnapshotToken, TransactionalMemory, TxnError, TxnStats};
 
 use crate::perseas::Perseas;
 
@@ -59,6 +59,24 @@ impl<M: RemoteMemory> TransactionalMemory for Perseas<M> {
 
     fn region_len(&self, region: RegionId) -> Result<usize, TxnError> {
         Perseas::region_len(self, region)
+    }
+
+    fn begin_snapshot(&mut self) -> Result<SnapshotToken, TxnError> {
+        Perseas::begin_snapshot(self)
+    }
+
+    fn read_snapshot(
+        &self,
+        snap: SnapshotToken,
+        region: RegionId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), TxnError> {
+        Perseas::read_s(self, snap, region, offset, buf)
+    }
+
+    fn end_snapshot(&mut self, snap: SnapshotToken) {
+        Perseas::end_snapshot(self, snap)
     }
 }
 

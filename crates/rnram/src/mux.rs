@@ -531,6 +531,26 @@ impl RemoteMemory for MuxSession {
         }
     }
 
+    fn remote_read_v(
+        &mut self,
+        reads: &[(SegmentId, usize, usize)],
+    ) -> Result<Vec<Vec<u8>>, RnError> {
+        match self.guard().rpc(
+            self.session,
+            &Request::ReadV {
+                reads: reads
+                    .iter()
+                    .map(|&(seg, offset, len)| (seg.as_raw(), offset as u64, len as u64))
+                    .collect(),
+            },
+        )? {
+            Response::DataV(bufs) => crate::tcp::check_data_v(reads, bufs),
+            Response::Err(m) => Err(RnError::Remote(m)),
+            Response::Overloaded => Err(RnError::Overloaded),
+            other => Err(unexpected(other)),
+        }
+    }
+
     fn connect_segment(&mut self, tag: u64) -> Result<RemoteSegment, RnError> {
         self.expect_segment(&Request::Connect { tag })
             .map_err(|e| match e {
@@ -654,6 +674,16 @@ impl RemoteMemory for AnyRemote {
         match self {
             AnyRemote::Tcp(c) => c.remote_read(seg, offset, buf),
             AnyRemote::Mux(c) => c.remote_read(seg, offset, buf),
+        }
+    }
+
+    fn remote_read_v(
+        &mut self,
+        reads: &[(SegmentId, usize, usize)],
+    ) -> Result<Vec<Vec<u8>>, RnError> {
+        match self {
+            AnyRemote::Tcp(c) => c.remote_read_v(reads),
+            AnyRemote::Mux(c) => c.remote_read_v(reads),
         }
     }
 

@@ -33,6 +33,15 @@ pub enum Request {
     },
     /// Read `len` bytes at `offset` of `seg`.
     Read { seg: u64, offset: u64, len: u64 },
+    /// Read several `(seg, offset, len)` ranges as one message with one
+    /// answer (the wire form of a vectored `remote_read_v`). The
+    /// event-driven server serves the whole batch atomically with
+    /// respect to other sessions' writes, which is what lets a read
+    /// replica take an untearable snapshot cut.
+    ReadV {
+        /// The `(seg, offset, len)` ranges, read in order.
+        reads: Vec<(u64, u64, u64)>,
+    },
     /// Find a segment by tag (recovery).
     Connect { tag: u64 },
     /// Fetch metadata of a segment.
@@ -105,6 +114,9 @@ pub enum Response {
     },
     /// Read payload.
     Data(Vec<u8>),
+    /// Vectored read payload: one buffer per requested range, in request
+    /// order (answers a [`Request::ReadV`]).
+    DataV(Vec<Vec<u8>>),
     /// The server's node name.
     Name(String),
     /// Request refused; human-readable reason.
@@ -151,6 +163,7 @@ const OP_WRITE_V: u8 = 10;
 const OP_SEQ: u8 = 11;
 const OP_MUX: u8 = 12;
 const OP_SESS_CLOSE: u8 = 13;
+const OP_READ_V: u8 = 14;
 
 const RE_OK: u8 = 128;
 const RE_SEGMENT: u8 = 129;
@@ -160,6 +173,7 @@ const RE_ERR: u8 = 132;
 const RE_TAGGED: u8 = 133;
 const RE_MUX: u8 = 134;
 const RE_OVERLOADED: u8 = 135;
+const RE_DATA_V: u8 = 136;
 
 /// Computes the IEEE CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -229,6 +243,15 @@ impl Request {
                     put_u64(&mut out, *offset);
                     put_u64(&mut out, data.len() as u64);
                     out.extend_from_slice(data);
+                }
+            }
+            Request::ReadV { reads } => {
+                out.push(OP_READ_V);
+                put_u64(&mut out, reads.len() as u64);
+                for (seg, offset, len) in reads {
+                    put_u64(&mut out, *seg);
+                    put_u64(&mut out, *offset);
+                    put_u64(&mut out, *len);
                 }
             }
             Request::Name => out.push(OP_NAME),
@@ -315,6 +338,25 @@ impl Request {
                     pos = end;
                 }
                 Request::WriteV { ranges }
+            }
+            OP_READ_V => {
+                let count = get_u64(rest, &mut pos)?;
+                // Each range is exactly its 24-byte descriptor; reject
+                // counts the frame cannot possibly hold before allocating.
+                if count > (rest.len() as u64) / 24 {
+                    return Err(RnError::Protocol(format!(
+                        "vectored read claims {count} ranges in a {} byte frame",
+                        rest.len()
+                    )));
+                }
+                let mut reads = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let seg = get_u64(rest, &mut pos)?;
+                    let offset = get_u64(rest, &mut pos)?;
+                    let len = get_u64(rest, &mut pos)?;
+                    reads.push((seg, offset, len));
+                }
+                Request::ReadV { reads }
             }
             OP_NAME => Request::Name,
             OP_PING => Request::Ping,
@@ -469,6 +511,14 @@ impl Response {
                 out.push(RE_DATA);
                 out.extend_from_slice(d);
             }
+            Response::DataV(bufs) => {
+                out.push(RE_DATA_V);
+                put_u64(&mut out, bufs.len() as u64);
+                for b in bufs {
+                    put_u64(&mut out, b.len() as u64);
+                    out.extend_from_slice(b);
+                }
+            }
             Response::Name(n) => {
                 out.push(RE_NAME);
                 out.extend_from_slice(n.as_bytes());
@@ -516,6 +566,27 @@ impl Response {
                 base_addr: get_u64(rest, &mut pos)?,
             },
             RE_DATA => Response::Data(rest.to_vec()),
+            RE_DATA_V => {
+                let count = get_u64(rest, &mut pos)?;
+                // Each buffer needs at least its 8-byte length prefix.
+                if count > (rest.len() as u64) / 8 {
+                    return Err(RnError::Protocol(format!(
+                        "vectored data claims {count} buffers in a {} byte frame",
+                        rest.len()
+                    )));
+                }
+                let mut bufs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let len = get_u64(rest, &mut pos)? as usize;
+                    let end = pos
+                        .checked_add(len)
+                        .filter(|&e| e <= rest.len())
+                        .ok_or_else(|| RnError::Protocol("truncated buffer data".into()))?;
+                    bufs.push(rest[pos..end].to_vec());
+                    pos = end;
+                }
+                Response::DataV(bufs)
+            }
             RE_NAME => Response::Name(
                 String::from_utf8(rest.to_vec())
                     .map_err(|_| RnError::Protocol("name not UTF-8".into()))?,
@@ -699,6 +770,50 @@ mod tests {
         body.extend_from_slice(&0u64.to_le_bytes()); // offset
         body.extend_from_slice(&100u64.to_le_bytes()); // len, but no data
         assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn vectored_read_roundtrips() {
+        let reqs = [
+            Request::ReadV { reads: vec![] },
+            Request::ReadV {
+                reads: vec![(1, 0, 8)],
+            },
+            Request::ReadV {
+                reads: vec![(1, 0, 2), (2, 64, 0), (7, 4096, 512)],
+            },
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+
+        let resps = [
+            Response::DataV(vec![]),
+            Response::DataV(vec![vec![1, 2, 3]]),
+            Response::DataV(vec![vec![9; 100], vec![], vec![0, 1]]),
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn vectored_read_rejects_lying_lengths() {
+        // Claimed range count larger than the frame can hold.
+        let mut body = vec![OP_READ_V];
+        body.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Request::decode(&body).is_err());
+
+        // Claimed buffer count larger than the frame can hold.
+        let mut body = vec![RE_DATA_V];
+        body.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Response::decode(&body).is_err());
+
+        // Buffer length pointing past the end of the frame.
+        let mut body = vec![RE_DATA_V];
+        body.extend_from_slice(&1u64.to_le_bytes()); // one buffer
+        body.extend_from_slice(&100u64.to_le_bytes()); // len, but no data
+        assert!(Response::decode(&body).is_err());
     }
 
     #[test]

@@ -306,6 +306,13 @@ impl RemoteMemory for ReconnectingRemote {
         self.with_conn(|c| c.remote_read(seg, offset, buf))
     }
 
+    fn remote_read_v(
+        &mut self,
+        reads: &[(SegmentId, usize, usize)],
+    ) -> Result<Vec<Vec<u8>>, RnError> {
+        self.with_conn(|c| c.remote_read_v(reads))
+    }
+
     fn connect_segment(&mut self, tag: u64) -> Result<RemoteSegment, RnError> {
         self.with_conn(|c| c.connect_segment(tag))
     }

@@ -962,6 +962,7 @@ fn op_name(req: &Request) -> &'static str {
         Request::Free { .. } => "free",
         Request::Write { .. } => "write",
         Request::Read { .. } => "read",
+        Request::ReadV { .. } => "read_v",
         Request::WriteV { .. } => "write_v",
         Request::Connect { .. } => "connect",
         Request::Info { .. } => "info",
@@ -1060,6 +1061,27 @@ fn handle_request(req: Request, node: &NodeMemory, stop: &AtomicBool) -> Respons
                 Ok(()) => Response::Data(buf),
                 Err(e) => Response::Err(sci_error_msg(&e)),
             }
+        }
+        Request::ReadV { reads } => {
+            // The whole batch is served here, between any two writes from
+            // other sessions — that single-threaded cut is the atomicity
+            // a snapshot-taking replica relies on. Bound the total
+            // allocation before trusting the wire.
+            let total: u64 = reads.iter().map(|&(_, _, len)| len).sum();
+            if total > MAX_FRAME as u64 {
+                return Response::Err(format!(
+                    "vectored read of {total} bytes exceeds frame limit"
+                ));
+            }
+            let mut bufs = Vec::with_capacity(reads.len());
+            for (seg, offset, len) in reads {
+                let mut buf = vec![0u8; len as usize];
+                if let Err(e) = node.read(SegmentId::from_raw(seg), offset as usize, &mut buf) {
+                    return Response::Err(sci_error_msg(&e));
+                }
+                bufs.push(buf);
+            }
+            Response::DataV(bufs)
         }
         Request::WriteV { ranges } => {
             // Ranges apply in order; the first failure stops the batch and

@@ -357,6 +357,31 @@ fn unexpected(resp: Response) -> RnError {
     RnError::Protocol(format!("unexpected response: {resp:?}"))
 }
 
+/// Validates a [`Response::DataV`] against the ranges that were requested:
+/// exactly one buffer per range, each of the requested length. Shared by
+/// the plain TCP client and mux sessions.
+pub(crate) fn check_data_v(
+    reads: &[(SegmentId, usize, usize)],
+    bufs: Vec<Vec<u8>>,
+) -> Result<Vec<Vec<u8>>, RnError> {
+    if bufs.len() != reads.len() {
+        return Err(RnError::Protocol(format!(
+            "vectored read: wanted {} buffers, got {}",
+            reads.len(),
+            bufs.len()
+        )));
+    }
+    for (i, (buf, &(_, _, len))) in bufs.iter().zip(reads).enumerate() {
+        if buf.len() != len {
+            return Err(RnError::Protocol(format!(
+                "vectored read: range {i} wanted {len} bytes, got {}",
+                buf.len()
+            )));
+        }
+    }
+    Ok(bufs)
+}
+
 /// Interprets the [`PIPELINE_ENV`] value: `1`/`true`/`on`/`yes`
 /// (case-insensitive) enable pipelining, anything else — including
 /// unset — selects the synchronous transport.
@@ -480,6 +505,22 @@ impl RemoteMemory for TcpRemote {
                 buf.len(),
                 d.len()
             ))),
+            Response::Err(m) => Err(RnError::Remote(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn remote_read_v(
+        &mut self,
+        reads: &[(SegmentId, usize, usize)],
+    ) -> Result<Vec<Vec<u8>>, RnError> {
+        match self.call(&Request::ReadV {
+            reads: reads
+                .iter()
+                .map(|&(seg, offset, len)| (seg.as_raw(), offset as u64, len as u64))
+                .collect(),
+        })? {
+            Response::DataV(bufs) => check_data_v(reads, bufs),
             Response::Err(m) => Err(RnError::Remote(m)),
             other => Err(unexpected(other)),
         }

@@ -149,6 +149,34 @@ pub trait RemoteMemory: Send {
     fn remote_read(&mut self, seg: SegmentId, offset: usize, buf: &mut [u8])
         -> Result<(), RnError>;
 
+    /// Gather read: copies several `(segment, offset, len)` ranges from
+    /// the remote node as one operation, returning one buffer per range.
+    ///
+    /// Backends with a wire protocol (TCP, mux sessions) send the whole
+    /// batch as a single request, which the event-driven server answers
+    /// atomically with respect to other sessions' writes — the read
+    /// counterpart of [`RemoteMemory::remote_write_v`], used by read
+    /// replicas to take untearable snapshot cuts. The default
+    /// implementation degrades to one [`RemoteMemory::remote_read`] per
+    /// range (already atomic on the single-threaded simulated backend).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bounds violations or if the node is unreachable; nothing
+    /// is returned on failure.
+    fn remote_read_v(
+        &mut self,
+        reads: &[(SegmentId, usize, usize)],
+    ) -> Result<Vec<Vec<u8>>, RnError> {
+        let mut bufs = Vec::with_capacity(reads.len());
+        for &(seg, offset, len) in reads {
+            let mut buf = vec![0u8; len];
+            self.remote_read(seg, offset, &mut buf)?;
+            bufs.push(buf);
+        }
+        Ok(bufs)
+    }
+
     /// Re-maps an existing remote segment by tag after a local crash
     /// (the paper's `sci_connect_segment`).
     ///
@@ -197,6 +225,7 @@ mod tests {
     struct Scalar {
         mem: Vec<u8>,
         writes: usize,
+        reads: usize,
     }
 
     impl RemoteMemory for Scalar {
@@ -219,10 +248,13 @@ mod tests {
         fn remote_read(
             &mut self,
             _seg: SegmentId,
-            _offset: usize,
-            _buf: &mut [u8],
+            offset: usize,
+            buf: &mut [u8],
         ) -> Result<(), RnError> {
-            unimplemented!()
+            let len = buf.len();
+            buf.copy_from_slice(&self.mem[offset..offset + len]);
+            self.reads += 1;
+            Ok(())
         }
         fn connect_segment(&mut self, _tag: u64) -> Result<RemoteSegment, RnError> {
             unimplemented!()
@@ -240,6 +272,7 @@ mod tests {
         let mut s = Scalar {
             mem: vec![0; 16],
             writes: 0,
+            reads: 0,
         };
         let seg = SegmentId::from_raw(0);
         s.remote_write_v(&[(seg, 0, &[1, 2]), (seg, 8, &[3, 4])])
@@ -258,8 +291,24 @@ mod tests {
         let mut s = Scalar {
             mem: vec![0; 4],
             writes: 0,
+            reads: 0,
         };
         assert_eq!(s.in_flight(), 0, "inline-ack backends post nothing");
         assert_eq!(s.flush().unwrap(), FlushStats::default());
+    }
+
+    #[test]
+    fn default_vectored_read_degrades_to_per_range_reads() {
+        let mut s = Scalar {
+            mem: (0u8..16).collect(),
+            writes: 0,
+            reads: 0,
+        };
+        let seg = SegmentId::from_raw(0);
+        let bufs = s
+            .remote_read_v(&[(seg, 0, 2), (seg, 8, 3), (seg, 4, 0)])
+            .unwrap();
+        assert_eq!(s.reads, 3, "default impl loops over ranges");
+        assert_eq!(bufs, vec![vec![0, 1], vec![8, 9, 10], vec![]]);
     }
 }

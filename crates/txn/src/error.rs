@@ -50,6 +50,9 @@ pub enum TxnError {
         epoch: u64,
         /// Minimum epoch the caller requires.
         required: u64,
+        /// Attempts made before the fence was diagnosed (1 when the very
+        /// first look at the mirror found the stale epoch).
+        attempts: usize,
     },
     /// A consistent snapshot could not be taken because the mirror kept
     /// committing while it was copied. The mirror is alive — retry later
@@ -57,6 +60,17 @@ pub enum TxnError {
     SnapshotContention {
         /// Number of copy attempts that were invalidated.
         attempts: usize,
+    },
+    /// A snapshot read reached for a committed version that the bounded
+    /// version store has already evicted (or the store was cleared by a
+    /// crash). The snapshot can never be served consistently again; open
+    /// a fresh one. Raised instead of ever returning torn bytes.
+    SnapshotTooOld {
+        /// Commit watermark the snapshot pinned.
+        read_seq: u64,
+        /// Oldest commit watermark the version store can still
+        /// reconstruct (0 after a crash invalidated every snapshot).
+        floor_seq: u64,
     },
     /// The mirror set fell below the commit quorum at the durability
     /// point itself: the commit record already reached every mirror that
@@ -122,13 +136,26 @@ impl fmt::Display for TxnError {
                 write!(f, "operation not allowed while a transaction is open")
             }
             TxnError::Unavailable(m) => write!(f, "durable store unavailable: {m}"),
-            TxnError::FencedMirror { epoch, required } => write!(
+            TxnError::FencedMirror {
+                epoch,
+                required,
+                attempts,
+            } => write!(
                 f,
-                "mirror is fenced: its epoch {epoch} is older than the required epoch {required}"
+                "mirror is fenced: its epoch {epoch} is older than the required epoch \
+                 {required} (diagnosed on attempt {attempts})"
             ),
             TxnError::SnapshotContention { attempts } => write!(
                 f,
                 "snapshot invalidated by concurrent commits {attempts} times; mirror is alive — retry"
+            ),
+            TxnError::SnapshotTooOld {
+                read_seq,
+                floor_seq,
+            } => write!(
+                f,
+                "snapshot at commit watermark {read_seq} is older than the version store's \
+                 floor {floor_seq}; open a fresh snapshot"
             ),
             TxnError::CommitInDoubt {
                 id,
@@ -187,8 +214,13 @@ mod tests {
             TxnError::FencedMirror {
                 epoch: 1,
                 required: 2,
+                attempts: 3,
             },
             TxnError::SnapshotContention { attempts: 8 },
+            TxnError::SnapshotTooOld {
+                read_seq: 4,
+                floor_seq: 7,
+            },
             TxnError::CommitInDoubt {
                 id: 9,
                 healthy: 1,

@@ -18,4 +18,4 @@ mod traits;
 
 pub use error::TxnError;
 pub use stats::TxnStats;
-pub use traits::{RegionId, TransactionalMemory};
+pub use traits::{RegionId, SnapshotToken, TransactionalMemory};

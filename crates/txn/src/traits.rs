@@ -34,6 +34,49 @@ impl fmt::Display for RegionId {
     }
 }
 
+/// Handle to an open read snapshot: a pinned commit watermark that
+/// [`TransactionalMemory::read_snapshot`] resolves reads against. Plain
+/// copyable data — dropping a token does not close the snapshot; call
+/// [`TransactionalMemory::end_snapshot`] so the version store can evict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SnapshotToken {
+    id: u64,
+    read_seq: u64,
+    gen: u64,
+}
+
+impl SnapshotToken {
+    /// Builds a token from its raw parts (engine-internal; tokens are
+    /// normally obtained from `begin_snapshot`).
+    pub const fn from_raw(id: u64, read_seq: u64, gen: u64) -> Self {
+        SnapshotToken { id, read_seq, gen }
+    }
+
+    /// The snapshot's id, unique within one engine generation.
+    pub const fn id(self) -> u64 {
+        self.id
+    }
+
+    /// The commit watermark this snapshot reads at: every commit with a
+    /// sequence number ≤ `read_seq` is visible, nothing later is.
+    pub const fn read_seq(self) -> u64 {
+        self.read_seq
+    }
+
+    /// The engine generation (recovery epoch) the token was issued under.
+    /// A recovered engine refuses tokens from earlier generations with a
+    /// typed [`TxnError::SnapshotTooOld`] rather than serving torn bytes.
+    pub const fn generation(self) -> u64 {
+        self.gen
+    }
+}
+
+impl fmt::Display for SnapshotToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot#{}@{}", self.id, self.read_seq)
+    }
+}
+
 /// A recoverable, transactional main memory: the interface shared by
 /// PERSEAS and every baseline.
 ///
@@ -143,6 +186,49 @@ pub trait TransactionalMemory {
     ///
     /// Fails on unknown regions.
     fn region_len(&self, region: RegionId) -> Result<usize, TxnError>;
+
+    /// Opens a read snapshot pinned at the current commit watermark.
+    /// Snapshot reads take no conflict-table claims and never contend
+    /// with writers. Systems without multi-version support keep the
+    /// default, which refuses with [`TxnError::Unavailable`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the system has no version store (the default), or when
+    /// it is disabled by configuration.
+    fn begin_snapshot(&mut self) -> Result<SnapshotToken, TxnError> {
+        Err(TxnError::Unavailable(
+            "snapshot reads are not supported by this system".into(),
+        ))
+    }
+
+    /// Reads `buf.len()` bytes at `offset` of `region` as of the
+    /// snapshot's pinned commit watermark.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown regions, bounds violations, and with
+    /// [`TxnError::SnapshotTooOld`] when the needed versions were
+    /// evicted; never with [`TxnError::Conflict`] or
+    /// [`TxnError::SnapshotContention`].
+    fn read_snapshot(
+        &self,
+        snap: SnapshotToken,
+        region: RegionId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), TxnError> {
+        let _ = (snap, region, offset, buf);
+        Err(TxnError::Unavailable(
+            "snapshot reads are not supported by this system".into(),
+        ))
+    }
+
+    /// Closes a snapshot so the version store can evict past it. Closing
+    /// an unknown or already-closed token is a no-op.
+    fn end_snapshot(&mut self, snap: SnapshotToken) {
+        let _ = snap;
+    }
 }
 
 #[cfg(test)]

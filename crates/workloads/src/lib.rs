@@ -43,12 +43,14 @@ mod driver;
 mod filesys;
 mod orderentry;
 mod synthetic;
+mod zipfian;
 
 pub use debitcredit::{DebitCredit, DebitCreditScale};
 pub use driver::{run_workload, RunReport};
 pub use filesys::{FileSys, FileSysScale};
 pub use orderentry::{OrderEntry, OrderEntryScale};
 pub use synthetic::Synthetic;
+pub use zipfian::{Hotspot, ReadMix, Zipfian};
 
 use perseas_txn::{TransactionalMemory, TxnError};
 

@@ -1,0 +1,218 @@
+//! Skewed key-choice generators for contention studies.
+//!
+//! Conflict-table claims make PERSEAS readers abort exactly when key
+//! choice is *skewed*: a uniform workload over 10 000 accounts rarely
+//! collides, while a zipfian one hammers a handful of hot keys. The
+//! snapshot-read scenario suite drives both generators against MVCC
+//! snapshots (which must never abort) and against legacy claimed reads
+//! (which must abort under skew) to prove the difference.
+//!
+//! Both generators use only integer arithmetic — fixed-point cumulative
+//! weights and permille probabilities — so a seeded sample stream is
+//! byte-identical on every platform, which the sim-determinism CI gate
+//! relies on.
+
+use perseas_simtime::DetRng;
+
+/// Fixed-point scale for the zipfian weight table (32 fractional bits).
+const FP: u64 = 1 << 32;
+
+/// A classic zipfian (s = 1) distribution over ranks `0..n`: rank `r` is
+/// drawn proportionally to `1 / (r + 1)`. Rank 0 is the hottest key.
+///
+/// # Examples
+///
+/// ```
+/// use perseas_simtime::det_rng;
+/// use perseas_workloads::Zipfian;
+///
+/// let z = Zipfian::new(100);
+/// let mut rng = det_rng(7);
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    /// Cumulative fixed-point weights; `cum[r]` is the total weight of
+    /// ranks `0..=r`.
+    cum: Vec<u64>,
+}
+
+impl Zipfian {
+    /// Builds the cumulative weight table for `n` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Zipfian {
+        assert!(n > 0, "zipfian needs at least one key");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for r in 0..n as u64 {
+            total += FP / (r + 1);
+            cum.push(total);
+        }
+        Zipfian { cum }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether the distribution has no keys (never: `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Draws one rank in `0..n`, hottest-first.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let total = *self.cum.last().expect("non-empty table");
+        let x = rng.gen_range(total);
+        self.cum.partition_point(|&c| c <= x)
+    }
+}
+
+/// A hotspot distribution: a fixed fraction of accesses lands uniformly
+/// on a small leading set of hot keys, the rest uniformly on the cold
+/// remainder — the standard "90% of traffic to 10% of data" shape, with
+/// both fractions in permille for integer determinism.
+#[derive(Debug, Clone, Copy)]
+pub struct Hotspot {
+    n: usize,
+    hot_keys: usize,
+    access_permille: u64,
+}
+
+impl Hotspot {
+    /// `keys_permille` of the `n` keys (at least one) receive
+    /// `access_permille` of the accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or either permille exceeds 1000.
+    pub fn new(n: usize, keys_permille: u64, access_permille: u64) -> Hotspot {
+        assert!(n > 0, "hotspot needs at least one key");
+        assert!(keys_permille <= 1000, "permille out of range");
+        assert!(access_permille <= 1000, "permille out of range");
+        let hot_keys = ((n as u64 * keys_permille) / 1000).max(1).min(n as u64) as usize;
+        Hotspot {
+            n,
+            hot_keys,
+            access_permille,
+        }
+    }
+
+    /// The classic 90/10 hotspot.
+    pub fn ninety_ten(n: usize) -> Hotspot {
+        Hotspot::new(n, 100, 900)
+    }
+
+    /// Size of the hot set.
+    pub fn hot_keys(&self) -> usize {
+        self.hot_keys
+    }
+
+    /// Draws one key in `0..n`; the hot set is the leading keys.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        if rng.gen_range(1000) < self.access_permille {
+            rng.gen_index(self.hot_keys)
+        } else if self.hot_keys < self.n {
+            self.hot_keys + rng.gen_index(self.n - self.hot_keys)
+        } else {
+            rng.gen_index(self.n)
+        }
+    }
+}
+
+/// A read/write mix in permille (950 = the classic 95/5 read-mostly
+/// split), integer-deterministic like the key generators.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadMix {
+    read_permille: u64,
+}
+
+impl ReadMix {
+    /// # Panics
+    ///
+    /// Panics if `read_permille` exceeds 1000.
+    pub fn new(read_permille: u64) -> ReadMix {
+        assert!(read_permille <= 1000, "permille out of range");
+        ReadMix { read_permille }
+    }
+
+    /// Draws whether the next operation is a read.
+    pub fn is_read(&self, rng: &mut DetRng) -> bool {
+        rng.gen_range(1000) < self.read_permille
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perseas_simtime::det_rng;
+
+    #[test]
+    fn zipfian_prefers_low_ranks() {
+        let z = Zipfian::new(50);
+        let mut rng = det_rng(1);
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1], "rank 0 is the hottest");
+        assert!(counts[1] > counts[10]);
+        assert!(counts[0] > 20_000 / 10, "rank 0 draws >10% under s=1");
+    }
+
+    #[test]
+    fn zipfian_stays_in_bounds_and_is_deterministic() {
+        let z = Zipfian::new(7);
+        let draw = |seed| {
+            let mut rng = det_rng(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(9);
+        assert!(a.iter().all(|&r| r < 7));
+        assert_eq!(a, draw(9), "same seed, same stream");
+        assert_ne!(a, draw(10), "different seed, different stream");
+    }
+
+    #[test]
+    fn single_key_zipfian_always_draws_it() {
+        let z = Zipfian::new(1);
+        let mut rng = det_rng(3);
+        assert!((0..10).all(|_| z.sample(&mut rng) == 0));
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let h = Hotspot::ninety_ten(1000);
+        assert_eq!(h.hot_keys(), 100);
+        let mut rng = det_rng(5);
+        let hot = (0..10_000)
+            .filter(|_| h.sample(&mut rng) < h.hot_keys())
+            .count();
+        // ~90% of draws land on the hot 10%; allow generous slack.
+        assert!((8_500..=9_500).contains(&hot), "hot draws: {hot}");
+    }
+
+    #[test]
+    fn hotspot_with_everything_hot_is_uniform() {
+        let h = Hotspot::new(4, 1000, 1000);
+        let mut rng = det_rng(6);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[h.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn read_mix_hits_its_ratio() {
+        let m = ReadMix::new(950);
+        let mut rng = det_rng(8);
+        let reads = (0..10_000).filter(|_| m.is_read(&mut rng)).count();
+        assert!((9_300..=9_700).contains(&reads), "reads: {reads}");
+    }
+}

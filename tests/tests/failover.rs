@@ -5,7 +5,7 @@
 
 use perseas_core::{
     FaultPlan, MetaHeader, MirrorHealth, Perseas, PerseasConfig, ReadReplica, RecordingTracer,
-    RegionId, TraceEvent, TxnError, OFF_COMMIT,
+    RegionId, TraceEvent, TxnError, OFF_COMMIT, OFF_EPOCH,
 };
 use perseas_integration::reopen;
 use perseas_rnram::{RemoteMemory, RemoteSegment, RnError, SimRemote};
@@ -139,7 +139,7 @@ fn stale_epoch_mirror_is_fenced_out() {
     )
     .unwrap_err();
     assert!(
-        matches!(err, TxnError::FencedMirror { epoch: 1, required } if required == fence_epoch),
+        matches!(err, TxnError::FencedMirror { epoch: 1, required, .. } if required == fence_epoch),
         "got {err:?}"
     );
 
@@ -704,4 +704,99 @@ fn snapshot_contention_is_a_distinct_error() {
         "contention must not be reported as a transport failure: {err:?}"
     );
     assert!(err.to_string().contains("retry"), "{err}");
+}
+
+/// Like [`ContentiousRemote`], but after `fence_at - 1` header reads it
+/// lowers the mirror's epoch below the replica's admission floor: the
+/// refresh burns retries on contention first, then hits the fence.
+#[derive(Debug)]
+struct ContentiousThenFencedRemote {
+    inner: SimRemote,
+    node: NodeMemory,
+    meta: Option<SegmentId>,
+    header_reads: usize,
+    fence_at: usize,
+}
+
+impl RemoteMemory for ContentiousThenFencedRemote {
+    fn remote_malloc(&mut self, len: usize, tag: u64) -> Result<RemoteSegment, RnError> {
+        self.inner.remote_malloc(len, tag)
+    }
+    fn remote_free(&mut self, seg: SegmentId) -> Result<(), RnError> {
+        self.inner.remote_free(seg)
+    }
+    fn remote_write(&mut self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<(), RnError> {
+        self.inner.remote_write(seg, offset, data)
+    }
+    fn remote_read(
+        &mut self,
+        seg: SegmentId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), RnError> {
+        if self.meta == Some(seg) {
+            if offset == 0 && buf.len() > 8 {
+                // A full header read opens each refresh attempt.
+                self.header_reads += 1;
+                if self.header_reads >= self.fence_at {
+                    self.node
+                        .write(seg, OFF_EPOCH, &0u64.to_le_bytes())
+                        .unwrap();
+                }
+            } else if offset == OFF_COMMIT && buf.len() == 8 {
+                // The commit-record re-check closes it: bump the record so
+                // the cut looks fuzzy. Also covers the vectored path, which
+                // degrades to per-range `remote_read` calls here.
+                let mut current = [0u8; 8];
+                self.node.read(seg, OFF_COMMIT, &mut current).unwrap();
+                let next = u64::from_le_bytes(current) + 1;
+                self.node
+                    .write(seg, OFF_COMMIT, &next.to_le_bytes())
+                    .unwrap();
+            }
+        }
+        self.inner.remote_read(seg, offset, buf)
+    }
+    fn connect_segment(&mut self, tag: u64) -> Result<RemoteSegment, RnError> {
+        let seg = self.inner.connect_segment(tag)?;
+        self.meta = Some(seg.id);
+        Ok(seg)
+    }
+    fn segment_info(&mut self, seg: SegmentId) -> Result<RemoteSegment, RnError> {
+        self.inner.segment_info(seg)
+    }
+    fn node_name(&self) -> String {
+        self.inner.node_name()
+    }
+}
+
+#[test]
+fn fence_after_contention_reports_the_final_attempt_count() {
+    let (mut db, r, na, _nb, _lb) = setup2();
+    commit_fill(&mut db, r, 0, 1).unwrap();
+
+    // Two attempts lose to contention; the third finds the mirror fenced.
+    let backend = ContentiousThenFencedRemote {
+        inner: reopen(&na),
+        node: na.clone(),
+        meta: None,
+        header_reads: 0,
+        fence_at: 3,
+    };
+    let cfg = PerseasConfig::default()
+        .with_snapshot_retries(5)
+        .with_min_epoch(1);
+    let err = ReadReplica::attach(backend, cfg).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TxnError::FencedMirror {
+                epoch: 0,
+                required: 1,
+                attempts: 3,
+            }
+        ),
+        "a fence diagnosed after retries must carry the final attempt count, \
+         not the first: {err:?}"
+    );
 }
