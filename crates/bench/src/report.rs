@@ -53,6 +53,21 @@ impl BenchReport {
         self.gate(name, "higher", tolerance_pct)
     }
 
+    /// Gates an already-recorded metric as a duration: lower-is-better
+    /// with the gate tool's default tolerance for the class.
+    #[must_use]
+    pub fn gate_duration(mut self, name: &str) -> Self {
+        assert!(
+            self.metrics.iter().any(|(n, _)| n == name),
+            "gated metric {name} must be recorded first"
+        );
+        self.gate.push((
+            name.to_string(),
+            Json::object(vec![("class", Json::str("duration"))]),
+        ));
+        self
+    }
+
     fn gate(mut self, name: &str, better: &str, tolerance_pct: f64) -> Self {
         assert!(
             self.metrics.iter().any(|(n, _)| n == name),

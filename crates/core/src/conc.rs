@@ -342,6 +342,24 @@ impl<M: RemoteMemory> Perseas<M> {
             self.conc.txns.get_mut(&id).expect("open").prepared = true;
             return Ok(());
         }
+        if self.cfg.redo {
+            // Redo mode ships the member's after-images to the log
+            // instead of staging undo records and data: the transaction
+            // is frozen, so the local bytes of its (disjoint) claims are
+            // final, and its later commit is record-only exactly as on
+            // the undo path. `redo_append` confirms the burst.
+            let id_copy = id;
+            let ranges = coalesce(&self.conc.txns[&id].declared);
+            let writes: Vec<crate::redo::RedoWrite> = ranges
+                .iter()
+                .map(|&(ri, s, l)| (id_copy, ri, s, l))
+                .collect();
+            self.redo_append(&writes)?;
+            let txn = self.conc.txns.get_mut(&id).expect("open");
+            txn.mirrors_dirty = true;
+            txn.prepared = true;
+            return Ok(());
+        }
 
         // Stage the records in the shared arena, exactly as a commit
         // would, and stamp the header so recovery sees the new reach.
@@ -492,30 +510,32 @@ impl<M: RemoteMemory> Perseas<M> {
             .iter()
             .map(|id| self.conc.txns[id].undo.len())
             .sum();
-        let hw = self.conc.undo_hw;
-        if hw + total_new > self.undo_shadow.len() {
-            // `grow_undo` re-pushes `[0, undo_off)`: keep the live arena
-            // prefix (header included) intact on the larger segment.
-            self.undo_off = hw;
-            self.grow_undo(hw + total_new)?;
-        }
-        let mut at = hw;
-        for id in &unstaged {
-            let txn = self.conc.txns.get_mut(id).expect("member open");
-            let len = txn.undo.len();
-            self.undo_shadow[at..at + len].copy_from_slice(&txn.undo);
-            txn.extent = Some((at, len));
-            at += len;
-        }
-        self.conc.undo_hw = at;
-        self.undo_off = at;
-        if !unstaged.is_empty() {
-            let header = encode_group_header((at - GROUP_HEADER_SIZE) as u64);
-            self.undo_shadow[..GROUP_HEADER_SIZE].copy_from_slice(&header);
-            self.cfg
-                .mem_cost
-                .charge_memcpy(&self.clock, total_new + GROUP_HEADER_SIZE);
-            self.stats.add_local_copy(total_new + GROUP_HEADER_SIZE);
+        if !self.cfg.redo {
+            let hw = self.conc.undo_hw;
+            if hw + total_new > self.undo_shadow.len() {
+                // `grow_undo` re-pushes `[0, undo_off)`: keep the live arena
+                // prefix (header included) intact on the larger segment.
+                self.undo_off = hw;
+                self.grow_undo(hw + total_new)?;
+            }
+            let mut at = hw;
+            for id in &unstaged {
+                let txn = self.conc.txns.get_mut(id).expect("member open");
+                let len = txn.undo.len();
+                self.undo_shadow[at..at + len].copy_from_slice(&txn.undo);
+                txn.extent = Some((at, len));
+                at += len;
+            }
+            self.conc.undo_hw = at;
+            self.undo_off = at;
+            if !unstaged.is_empty() {
+                let header = encode_group_header((at - GROUP_HEADER_SIZE) as u64);
+                self.undo_shadow[..GROUP_HEADER_SIZE].copy_from_slice(&header);
+                self.cfg
+                    .mem_cost
+                    .charge_memcpy(&self.clock, total_new + GROUP_HEADER_SIZE);
+                self.stats.add_local_copy(total_new + GROUP_HEADER_SIZE);
+            }
         }
 
         // New watermark: ids are dense, so it advances while the next id
@@ -553,10 +573,31 @@ impl<M: RemoteMemory> Perseas<M> {
             })
             .collect();
 
-        let undo_bytes = at;
+        let undo_bytes = if self.cfg.redo { 0 } else { self.conc.undo_hw };
         let mut batch_ranges = 0;
         let mut batch_bytes = 0;
-        if !unstaged.is_empty() {
+        if !unstaged.is_empty() && self.cfg.redo {
+            // Redo mode: one coalesced after-image batch for every
+            // unprepared member, appended (and confirmed) as a single
+            // log burst. Prepared members' records are already in the
+            // log; claims are disjoint, so each member's local bytes
+            // are its own.
+            let mut writes: Vec<crate::redo::RedoWrite> = Vec::new();
+            for id in &unstaged {
+                for &(ri, s, l) in coalesce(&self.conc.txns[id].declared).iter() {
+                    writes.push((*id, ri, s, l));
+                }
+            }
+            let (records, bytes) = self.redo_append(&writes)?;
+            batch_ranges = records;
+            batch_bytes = bytes;
+            for id in &unstaged {
+                // Past the append the members' after-images rest on the
+                // mirrors, so their aborts must tombstone the log.
+                let txn = self.conc.txns.get_mut(id).expect("member open");
+                txn.mirrors_dirty = true;
+            }
+        } else if !unstaged.is_empty() {
             let aligned = self.cfg.aligned_memcpy;
             let undo_lists: MirrorBatches = self
                 .mirrors
@@ -738,12 +779,20 @@ impl<M: RemoteMemory> Perseas<M> {
         // land, the live records still let recovery restore the
         // before-images of whatever the failed attempt propagated.
         let mut result = Ok(());
-        if txn.mirrors_dirty {
-            result = self.restore_mirror_ranges(&coalesce(&txn.declared));
-        }
-        if result.is_ok() {
-            if let (Some((start, len)), true) = (txn.extent, txn.undo_remote) {
-                result = self.tombstone_extent(start, len);
+        if self.cfg.redo {
+            // The log is append-only: a tombstone record marks every
+            // earlier after-image of this id dead for replay.
+            if txn.mirrors_dirty {
+                result = self.redo_abort_mark(id);
+            }
+        } else {
+            if txn.mirrors_dirty {
+                result = self.restore_mirror_ranges(&coalesce(&txn.declared));
+            }
+            if result.is_ok() {
+                if let (Some((start, len)), true) = (txn.extent, txn.undo_remote) {
+                    result = self.tombstone_extent(start, len);
+                }
             }
         }
         self.maybe_reset_arena();

@@ -93,6 +93,25 @@ pub struct PerseasConfig {
     /// shard between the decision write and the end of its commit
     /// fan-out.
     pub decision_slots: usize,
+    /// Commit through the REDO-only log-structured path: `set_range`
+    /// keeps its before-image **local** (aborts stay cheap) and commit
+    /// appends CRC-framed after-images to a segmented remote redo log
+    /// instead of shipping undo copies — write-heavy workloads stop
+    /// paying undo bytes on the hot path. The flushed commit record
+    /// remains the durability point. Recovery replays the committed log
+    /// suffix past the last snapshot ([`crate::Perseas::redo_snapshot`])
+    /// onto the snapshotted region images; restart time scales with the
+    /// live tail, not total history. Off by default: the undo protocol
+    /// stays byte-identical to the paper's.
+    pub redo: bool,
+    /// Size in bytes of each redo-log segment (fixed; records never
+    /// straddle a segment boundary). Meaningful only when `redo` is on.
+    pub redo_segment_bytes: usize,
+    /// Number of redo-directory slots — the maximum number of live
+    /// (not-yet-compacted) log segments. When every slot's segment is
+    /// full and uncompacted, commits fail `Unavailable` until
+    /// [`crate::Perseas::redo_snapshot`] retires segments.
+    pub redo_segments: usize,
     /// Keep an in-memory version store of committed before-images so
     /// [`crate::Perseas::begin_snapshot`] can serve claim-free snapshot
     /// reads at a pinned commit watermark. Off by default: with the store
@@ -130,6 +149,9 @@ impl PerseasConfig {
             shard_count: 0,
             intent_slots: 16,
             decision_slots: 16,
+            redo: false,
+            redo_segment_bytes: 64 << 10,
+            redo_segments: 8,
             mvcc: false,
             version_bytes: 1 << 20,
             version_entries: 4096,
@@ -280,6 +302,33 @@ impl PerseasConfig {
         self
     }
 
+    /// Enables the REDO-only commit path (see the
+    /// [`redo`](PerseasConfig::redo) field). Orthogonal to the
+    /// concurrent engine and sharding: group commits append one
+    /// coalesced batch, and each shard keeps its own log.
+    pub fn with_redo(mut self, redo: bool) -> Self {
+        self.redo = redo;
+        self
+    }
+
+    /// Sets the redo log's segment size and directory slot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_bytes` is zero or not a multiple of 16 (log
+    /// writes must stay line-aligned for packet atomicity), or if
+    /// `segments` is zero.
+    pub fn with_redo_log(mut self, segment_bytes: usize, segments: usize) -> Self {
+        assert!(
+            segment_bytes > 0 && segment_bytes.is_multiple_of(16),
+            "redo_segment_bytes must be a positive multiple of 16"
+        );
+        assert!(segments > 0, "redo_segments must be positive");
+        self.redo_segment_bytes = segment_bytes;
+        self.redo_segments = segments;
+        self
+    }
+
     /// Enables the in-memory version store so snapshot reads can be
     /// served (see the [`mvcc`](PerseasConfig::mvcc) field).
     pub fn with_mvcc(mut self, mvcc: bool) -> Self {
@@ -414,6 +463,33 @@ mod tests {
         assert!(c.mvcc);
         assert_eq!(c.version_bytes, 512);
         assert_eq!(c.version_entries, 4);
+    }
+
+    #[test]
+    fn redo_defaults_off_with_segmented_log() {
+        let c = PerseasConfig::new();
+        assert!(!c.redo, "the undo protocol is the faithful default");
+        assert_eq!(c.redo_segment_bytes, 64 << 10);
+        assert_eq!(c.redo_segments, 8);
+        let c = PerseasConfig::new().with_redo(true).with_redo_log(4096, 4);
+        assert!(c.redo);
+        assert_eq!(c.redo_segment_bytes, 4096);
+        assert_eq!(c.redo_segments, 4);
+        // Redo composes with the concurrent engine without disturbing it.
+        let c = PerseasConfig::new().with_concurrent(true).with_redo(true);
+        assert!(c.concurrent && c.redo && c.batched_commit);
+    }
+
+    #[test]
+    #[should_panic(expected = "redo_segment_bytes")]
+    fn unaligned_redo_segment_rejected() {
+        let _ = PerseasConfig::new().with_redo_log(100, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "redo_segments")]
+    fn zero_redo_segments_rejected() {
+        let _ = PerseasConfig::new().with_redo_log(4096, 0);
     }
 
     #[test]

@@ -278,6 +278,47 @@ impl Tracer for JsonlTracer {
                     ("store_bytes", Json::UInt(*store_bytes as u64)),
                 ],
             ),
+            TraceEvent::RedoAppend {
+                records,
+                bytes,
+                tail,
+                live_bytes,
+            } => (
+                "redo_append",
+                vec![
+                    ("records", Json::UInt(*records as u64)),
+                    ("bytes", Json::UInt(*bytes as u64)),
+                    ("tail", Json::UInt(*tail)),
+                    ("live_bytes", Json::UInt(*live_bytes)),
+                ],
+            ),
+            TraceEvent::RedoSegmentOpened { seq, slot, live } => (
+                "redo_segment_opened",
+                vec![
+                    ("seq", Json::UInt(*seq)),
+                    ("slot", Json::UInt(*slot as u64)),
+                    ("live", Json::UInt(*live as u64)),
+                ],
+            ),
+            TraceEvent::RedoSnapshot { tail, bytes } => (
+                "redo_snapshot",
+                vec![
+                    ("tail", Json::UInt(*tail)),
+                    ("bytes", Json::UInt(*bytes as u64)),
+                ],
+            ),
+            TraceEvent::RedoCompacted {
+                segments,
+                freed_bytes,
+                live,
+            } => (
+                "redo_compacted",
+                vec![
+                    ("segments", Json::UInt(*segments as u64)),
+                    ("freed_bytes", Json::UInt(*freed_bytes as u64)),
+                    ("live", Json::UInt(*live as u64)),
+                ],
+            ),
         };
         match event {
             TraceEvent::TxnCommitted { id, .. } | TraceEvent::TxnAborted { id } => {

@@ -47,14 +47,14 @@ pub const OFF_FLAGS: usize = 40;
 pub const OFF_COMMIT_SLOTS: usize = 44;
 
 /// Flags bit: the image was written by the concurrent engine — the undo
-/// log opens with a [`GroupHeader`] line and a commit table of
+/// log opens with a group-header line and a commit table of
 /// [`MetaHeader::commit_slots`] slots trails the region table. Recovery
 /// must use the concurrent scan rules.
 pub const FLAG_CONCURRENT: u32 = 1;
 
 /// Flags bit: the image belongs to one shard of a
 /// [`crate::ShardedPerseas`] database. The header carries the shard
-/// coordinates at [`OFF_SHARD`], and an intent table plus a decision
+/// coordinates at `OFF_SHARD`, and an intent table plus a decision
 /// table sit between the region table and the commit table (see
 /// [`intent_table_offset`] / [`decision_table_offset`]). Implies
 /// [`FLAG_CONCURRENT`].
@@ -96,6 +96,38 @@ pub const OFF_REGION_TABLE: usize = 64;
 
 /// Bytes per region-table entry: `(db_seg_id: u64, region_len: u64)`.
 pub const REGION_ENTRY_SIZE: usize = 16;
+
+/// Flags bit: the image was written in REDO mode — commits append
+/// after-images to a segmented redo log instead of shipping undo copies,
+/// and a redo directory (header, tail, snapshot position, segment
+/// entries) sits directly before the intent table (see
+/// `redo_dir_end`). Recovery must replay the committed log suffix onto
+/// the last snapshot image instead of rolling back.
+pub const FLAG_REDO: u32 = 4;
+
+/// Magic value opening the redo-directory header line.
+pub const REDO_DIR_MAGIC: u32 = 0x5244_4F31; // "RDO1"
+
+/// Magic value opening every redo record (after-image).
+pub const REDO_MAGIC: u32 = 0x5245_444F; // "REDO"
+
+/// Size of a redo record header (magic, txn id, region, offset, len,
+/// CRC) — identical framing to an undo record.
+pub const REDO_HEADER_SIZE: usize = 36;
+
+/// Bytes per redo-directory segment entry: `(seg_id: u64,
+/// seq_plus_1: u64)`. One 16-byte line — one packet — so retiring or
+/// installing a segment is atomic. A zeroed entry is an empty slot.
+pub const REDO_ENTRY_SIZE: usize = 16;
+
+/// Sentinel region id marking a redo **abort tombstone**: a zero-length
+/// record appended when a transaction whose after-images already reached
+/// the log aborts. Replay treats every earlier record of the tombstone's
+/// transaction as dead, so a later watermark that passes over the
+/// aborted id can never resurrect its bytes. Tombstones are CRC-framed
+/// like any record, so a torn tombstone is simply not there yet — and
+/// the id it would have killed is still above the durable watermark.
+pub const REDO_TOMBSTONE_REGION: u32 = u32::MAX;
 
 /// Magic value opening every undo record.
 pub const UNDO_MAGIC: u32 = 0x554E_444F; // "UNDO"
@@ -169,6 +201,103 @@ pub fn intent_table_offset(
     decision_slots: usize,
 ) -> usize {
     decision_table_offset(meta_len, commit_slots, decision_slots) - intent_slots * INTENT_SLOT_SIZE
+}
+
+/// Total bytes of the redo directory for `redo_slots` segment entries:
+/// the entries plus the snapshot-position, tail, and header lines.
+pub fn redo_dir_size(redo_slots: usize) -> usize {
+    (redo_slots + 3) * REDO_ENTRY_SIZE
+}
+
+/// Byte offset one past the end of the redo directory: the directory
+/// nests directly **before** the intent table (or, when the image is
+/// unsharded and/or legacy, before whichever tail tables exist — the
+/// offset arithmetic degrades gracefully because empty tables are
+/// zero-sized). Like every tail table it is located from the segment
+/// end, so recovery needs no `max_regions`.
+pub fn redo_dir_end(
+    meta_len: usize,
+    commit_slots: usize,
+    intent_slots: usize,
+    decision_slots: usize,
+) -> usize {
+    intent_table_offset(meta_len, commit_slots, intent_slots, decision_slots)
+}
+
+/// Byte offset of the redo-directory header line (magic, CRC, segment
+/// size, slot count). Fixed at 16 bytes before the directory end so
+/// recovery can read it **before** knowing the slot count.
+pub fn redo_header_offset(dir_end: usize) -> usize {
+    dir_end - 16
+}
+
+/// Byte offset of the log-tail line: a u64 absolute log byte position
+/// (`seq * seg_size + offset`) in its own 16-byte line, updated with a
+/// single packet at the end of every commit's log fan-out.
+pub fn redo_tail_offset(dir_end: usize) -> usize {
+    dir_end - 32
+}
+
+/// Byte offset of the snapshot-position line: a u64 absolute log byte
+/// position up to which the mirrored region images are consistent.
+/// Replay starts here.
+pub fn redo_snap_offset(dir_end: usize) -> usize {
+    dir_end - 48
+}
+
+/// Byte offset of the `i`-th segment entry of a directory with
+/// `redo_slots` entries. Entries grow **downward** from the
+/// snapshot-position line.
+pub fn redo_entry_offset(dir_end: usize, redo_slots: usize, i: usize) -> usize {
+    dir_end - 48 - (redo_slots - i) * REDO_ENTRY_SIZE
+}
+
+/// Encodes the redo-directory header line: log segments are `seg_size`
+/// bytes and the directory holds `slot_count` entries. CRC-protected so
+/// a torn publication reads as absent.
+pub fn encode_redo_dir_header(seg_size: u32, slot_count: u32) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&REDO_DIR_MAGIC.to_le_bytes());
+    out[8..12].copy_from_slice(&seg_size.to_le_bytes());
+    out[12..16].copy_from_slice(&slot_count.to_le_bytes());
+    let crc = crc32(&[&out[8..16]]);
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes the redo-directory header at `off`, returning
+/// `(seg_size, slot_count)`, or `None` for an absent or torn header.
+pub fn decode_redo_dir_header(buf: &[u8], off: usize) -> Option<(u32, u32)> {
+    if get_u32(buf, off)? != REDO_DIR_MAGIC {
+        return None;
+    }
+    let stored = get_u32(buf, off + 4)?;
+    let body = buf.get(off + 8..off + 16)?;
+    if crc32(&[body]) != stored {
+        return None;
+    }
+    Some((get_u32(buf, off + 8)?, get_u32(buf, off + 12)?))
+}
+
+/// Encodes a live redo-directory segment entry: directory slot holds log
+/// segment number `seq` stored in remote segment `seg_id`. The sequence
+/// is stored off-by-one so a zeroed line reads as an empty slot.
+pub fn encode_redo_entry(seg_id: u64, seq: u64) -> [u8; REDO_ENTRY_SIZE] {
+    let mut out = [0u8; REDO_ENTRY_SIZE];
+    out[0..8].copy_from_slice(&seg_id.to_le_bytes());
+    out[8..16].copy_from_slice(&(seq + 1).to_le_bytes());
+    out
+}
+
+/// Decodes the redo-directory entry at `off`, returning
+/// `(seg_id, seq)`, or `None` for an empty slot.
+pub fn decode_redo_entry(buf: &[u8], off: usize) -> Option<(u64, u64)> {
+    let seg_id = get_u64(buf, off)?;
+    let seq_plus_1 = get_u64(buf, off + 8)?;
+    if seq_plus_1 == 0 {
+        return None;
+    }
+    Some((seg_id, seq_plus_1 - 1))
 }
 
 /// Encodes a live intent slot: local transaction `local` on this shard is
@@ -494,6 +623,90 @@ impl UndoRecord {
         }
         Some((
             UndoRecord {
+                txn_id,
+                region,
+                offset,
+                len,
+            },
+            payload_start..payload_end,
+        ))
+    }
+}
+
+/// The header of one redo record: the **after**-image of one committed
+/// `set_range`. Identical self-validating framing to [`UndoRecord`]
+/// (magic + transaction id + CRC-32 over header and payload) under its
+/// own magic, so replay can scan a log segment and stop at the first
+/// record that is torn or absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedoRecord {
+    /// Transaction that logged this record.
+    pub txn_id: u64,
+    /// Region index the after-image belongs to.
+    pub region: u32,
+    /// Byte offset within the region.
+    pub offset: u64,
+    /// Length of the after-image.
+    pub len: u64,
+}
+
+impl RedoRecord {
+    /// Total encoded size including the payload.
+    pub fn encoded_len(&self) -> usize {
+        REDO_HEADER_SIZE + self.len as usize
+    }
+
+    /// Encodes header + `payload` into `out` at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len() != self.len` or `out` is too short.
+    pub fn encode_into(&self, out: &mut [u8], at: usize, payload: &[u8]) {
+        assert_eq!(payload.len() as u64, self.len, "payload length mismatch");
+        let head = self.encode_head(payload);
+        out[at..at + REDO_HEADER_SIZE].copy_from_slice(&head);
+        out[at + REDO_HEADER_SIZE..at + REDO_HEADER_SIZE + payload.len()].copy_from_slice(payload);
+    }
+
+    /// Encodes just the CRC-sealed 36-byte header for `payload`, for
+    /// callers that ship header and payload as separate vectored parts.
+    pub fn encode_head(&self, payload: &[u8]) -> [u8; REDO_HEADER_SIZE] {
+        assert_eq!(payload.len() as u64, self.len, "payload length mismatch");
+        let mut head = [0u8; REDO_HEADER_SIZE];
+        head[0..4].copy_from_slice(&REDO_MAGIC.to_le_bytes());
+        head[4..12].copy_from_slice(&self.txn_id.to_le_bytes());
+        head[12..16].copy_from_slice(&self.region.to_le_bytes());
+        head[16..24].copy_from_slice(&self.offset.to_le_bytes());
+        head[24..32].copy_from_slice(&self.len.to_le_bytes());
+        let crc = crc32(&[&head[0..32], payload]);
+        head[32..36].copy_from_slice(&crc.to_le_bytes());
+        head
+    }
+
+    /// Attempts to decode a record at `at` in `buf`. Returns the record
+    /// and the payload range, or `None` if the bytes do not form a valid
+    /// record — which replay treats as the end of the segment's used
+    /// prefix.
+    pub fn decode_at(buf: &[u8], at: usize) -> Option<(RedoRecord, std::ops::Range<usize>)> {
+        if get_u32(buf, at)? != REDO_MAGIC {
+            return None;
+        }
+        let txn_id = get_u64(buf, at + 4)?;
+        let region = get_u32(buf, at + 12)?;
+        let offset = get_u64(buf, at + 16)?;
+        let len = get_u64(buf, at + 24)?;
+        let stored_crc = get_u32(buf, at + 32)?;
+        let payload_start = at + REDO_HEADER_SIZE;
+        let payload_end = payload_start.checked_add(usize::try_from(len).ok()?)?;
+        if payload_end > buf.len() {
+            return None;
+        }
+        let crc = crc32(&[&buf[at..at + 32], &buf[payload_start..payload_end]]);
+        if crc != stored_crc {
+            return None;
+        }
+        Some((
+            RedoRecord {
                 txn_id,
                 region,
                 offset,
@@ -839,6 +1052,97 @@ mod tests {
         image[dbase..dbase + DECISION_SLOT_SIZE].copy_from_slice(&encode_decision_slot(900));
         assert_eq!(decode_intent_table(&image, 4, 3, 2), vec![(1, 5, 900, 1)]);
         assert_eq!(decode_decision_table(&image, 4, 2), vec![900]);
+    }
+
+    #[test]
+    fn redo_record_roundtrips_and_rejects_corruption() {
+        let rec = RedoRecord {
+            txn_id: 5,
+            region: 2,
+            offset: 100,
+            len: 4,
+        };
+        let mut buf = vec![0u8; 128];
+        rec.encode_into(&mut buf, 8, &[1, 2, 3, 4]);
+        let (got, payload) = RedoRecord::decode_at(&buf, 8).unwrap();
+        assert_eq!(got, rec);
+        assert_eq!(&buf[payload], &[1, 2, 3, 4]);
+        // The vectored head matches the flat encoding.
+        assert_eq!(rec.encode_head(&[1, 2, 3, 4]), buf[8..8 + REDO_HEADER_SIZE]);
+        // A redo record must never decode as an undo record (and vice
+        // versa): the two logs use distinct magics.
+        assert!(UndoRecord::decode_at(&buf, 8).is_none());
+        // Any flipped bit anywhere in header or payload fails the CRC.
+        for i in 8..8 + rec.encoded_len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 1;
+            assert!(RedoRecord::decode_at(&bad, 8).is_none(), "bit flip at {i}");
+        }
+        // Fresh zeroed bytes and absurd lengths read as end-of-log.
+        assert!(RedoRecord::decode_at(&[0; 64], 0).is_none());
+        let mut buf = vec![0u8; 64];
+        buf[0..4].copy_from_slice(&REDO_MAGIC.to_le_bytes());
+        buf[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(RedoRecord::decode_at(&buf, 0).is_none());
+    }
+
+    #[test]
+    fn redo_dir_header_roundtrips_and_rejects_torn_writes() {
+        let enc = encode_redo_dir_header(64 << 10, 8);
+        assert_eq!(decode_redo_dir_header(&enc, 0), Some((64 << 10, 8)));
+        for i in 0..16 {
+            let mut torn = enc;
+            torn[i] ^= 1;
+            assert_eq!(decode_redo_dir_header(&torn, 0), None, "byte {i}");
+        }
+        // A fresh (zeroed) line has no header.
+        assert_eq!(decode_redo_dir_header(&[0u8; 16], 0), None);
+    }
+
+    #[test]
+    fn redo_entry_roundtrips_and_zero_reads_as_empty() {
+        let enc = encode_redo_entry(42, 0);
+        assert_eq!(decode_redo_entry(&enc, 0), Some((42, 0)));
+        let enc = encode_redo_entry(9, 17);
+        assert_eq!(decode_redo_entry(&enc, 0), Some((9, 17)));
+        // A zeroed (retired) entry is an empty slot, even for seg_id 0.
+        assert_eq!(decode_redo_entry(&[0u8; REDO_ENTRY_SIZE], 0), None);
+    }
+
+    #[test]
+    fn redo_dir_nests_before_intent_table_without_overlap() {
+        // Sharded + redo image: the directory sits between the region
+        // table and the intent table, every line packet-atomic.
+        let slots = 4;
+        let len = meta_segment_size_sharded(8, 4, 2, 2) + redo_dir_size(slots);
+        let dir_end = redo_dir_end(len, 4, 2, 2);
+        assert_eq!(dir_end + 2 * INTENT_SLOT_SIZE, decision_table_offset(len, 4, 2));
+        assert_eq!(redo_header_offset(dir_end) + 16, dir_end);
+        assert_eq!(redo_tail_offset(dir_end) + 16, redo_header_offset(dir_end));
+        assert_eq!(redo_snap_offset(dir_end) + 16, redo_tail_offset(dir_end));
+        assert_eq!(
+            redo_entry_offset(dir_end, slots, slots - 1) + REDO_ENTRY_SIZE,
+            redo_snap_offset(dir_end)
+        );
+        assert_eq!(
+            redo_entry_offset(dir_end, slots, 0),
+            dir_end - redo_dir_size(slots)
+        );
+        assert!(OFF_REGION_TABLE + 8 * REGION_ENTRY_SIZE <= redo_entry_offset(dir_end, slots, 0));
+        // Every directory line is 16-byte aligned: the tail and snapshot
+        // u64s and each entry are single-packet writes.
+        for off in [
+            redo_header_offset(dir_end),
+            redo_tail_offset(dir_end),
+            redo_snap_offset(dir_end),
+            redo_entry_offset(dir_end, slots, 0),
+        ] {
+            assert_eq!(off % 16, 0, "offset {off} not line-aligned");
+        }
+        // Legacy (unsharded, non-concurrent) redo image: the directory is
+        // the only tail table and ends at the segment end.
+        let len = meta_segment_size(8) + redo_dir_size(slots);
+        assert_eq!(redo_dir_end(len, 0, 0, 0), len);
     }
 
     #[test]

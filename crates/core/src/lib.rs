@@ -63,6 +63,7 @@ mod metrics;
 mod mvcc;
 mod perseas;
 mod recovery;
+mod redo;
 mod replica;
 mod scope;
 mod shard;
@@ -78,8 +79,8 @@ pub use jsonl::JsonlTracer;
 pub use layout::{
     commit_table_offset, crc32, decision_table_offset, decode_commit_table, decode_decision_table,
     decode_intent_table, decode_region_entry, intent_table_offset, meta_segment_size_sharded,
-    MetaHeader, UndoRecord, DECISION_SLOT_SIZE, FLAG_CONCURRENT, FLAG_SHARDED, INTENT_SLOT_SIZE,
-    META_TAG, OFF_COMMIT, OFF_EPOCH,
+    MetaHeader, RedoRecord, UndoRecord, DECISION_SLOT_SIZE, FLAG_CONCURRENT, FLAG_REDO,
+    FLAG_SHARDED, INTENT_SLOT_SIZE, META_TAG, OFF_COMMIT, OFF_EPOCH, REDO_TOMBSTONE_REGION,
 };
 pub use metrics::{record_recovery, record_shard_recovery};
 pub use perseas::{MirrorHealth, MirrorStatus, Perseas};

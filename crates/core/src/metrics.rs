@@ -66,6 +66,16 @@ pub(crate) struct CoreMetrics {
     version_evictions: Counter,
     version_evicted_bytes: Counter,
     snapshot_too_old: Counter,
+    redo_appends: Counter,
+    redo_records: Counter,
+    redo_bytes: Counter,
+    redo_log_bytes: Gauge,
+    redo_segments_opened: Counter,
+    redo_segments: Gauge,
+    redo_snapshots: Counter,
+    redo_snapshot_bytes: Counter,
+    redo_compactions: Counter,
+    redo_freed_bytes: Counter,
 }
 
 impl CoreMetrics {
@@ -189,6 +199,46 @@ impl CoreMetrics {
             snapshot_too_old: r.counter(
                 "perseas_snapshot_too_old_total",
                 "Snapshot reads refused because their versions were evicted.",
+            ),
+            redo_appends: r.counter(
+                "perseas_redo_appends_total",
+                "Redo-log append fan-outs (one per commit batch or tombstone).",
+            ),
+            redo_records: r.counter(
+                "perseas_redo_records_total",
+                "Records appended to the redo log (after-images and tombstones).",
+            ),
+            redo_bytes: r.counter(
+                "perseas_redo_bytes_total",
+                "Encoded bytes appended to the redo log, per mirror.",
+            ),
+            redo_log_bytes: r.gauge(
+                "perseas_redo_log_bytes",
+                "Redo-log bytes above the compaction floor (replayed by a restart now).",
+            ),
+            redo_segments_opened: r.counter(
+                "perseas_redo_segments_opened_total",
+                "Fresh redo-log segments opened across the mirror set.",
+            ),
+            redo_segments: r.gauge(
+                "perseas_redo_segments",
+                "Live redo-log segments (per mirror).",
+            ),
+            redo_snapshots: r.counter(
+                "perseas_redo_snapshots_total",
+                "Redo snapshots taken (consistent region images streamed to the mirrors).",
+            ),
+            redo_snapshot_bytes: r.counter(
+                "perseas_redo_snapshot_bytes_total",
+                "Region bytes streamed by redo snapshots, per mirror.",
+            ),
+            redo_compactions: r.counter(
+                "perseas_redo_compactions_total",
+                "Redo-log compaction passes that retired at least one segment.",
+            ),
+            redo_freed_bytes: r.counter(
+                "perseas_redo_freed_bytes_total",
+                "Remote redo-log bytes freed by compaction, per mirror.",
             ),
         }
     }
@@ -355,6 +405,35 @@ impl CoreMetrics {
                 self.version_store_bytes.set(*store_bytes as i64);
                 self.version_store_versions.add(-(*versions as i64));
             }
+            TraceEvent::RedoAppend {
+                records,
+                bytes,
+                live_bytes,
+                ..
+            } => {
+                self.redo_appends.inc();
+                self.redo_records.add(*records as u64);
+                self.redo_bytes.add(*bytes as u64);
+                self.redo_log_bytes.set(*live_bytes as i64);
+            }
+            TraceEvent::RedoSegmentOpened { live, .. } => {
+                self.redo_segments_opened.inc();
+                self.redo_segments.set(*live as i64);
+            }
+            TraceEvent::RedoSnapshot { bytes, .. } => {
+                self.redo_snapshots.inc();
+                self.redo_snapshot_bytes.add(*bytes as u64);
+                // The snapshot covers the whole tail: nothing is left to
+                // replay until the next append.
+                self.redo_log_bytes.set(0);
+            }
+            TraceEvent::RedoCompacted {
+                freed_bytes, live, ..
+            } => {
+                self.redo_compactions.inc();
+                self.redo_freed_bytes.add(*freed_bytes as u64);
+                self.redo_segments.set(*live as i64);
+            }
         }
     }
 
@@ -403,6 +482,24 @@ pub fn record_recovery(registry: &Registry, report: &RecoveryReport) {
             "Bytes copied remote-to-local to rebuild the database.",
         )
         .add(report.bytes_recovered as u64);
+    registry
+        .counter(
+            "perseas_recovery_replayed_records_total",
+            "Committed redo records replayed during recovery (redo mode).",
+        )
+        .add(report.replayed_records as u64);
+    registry
+        .counter(
+            "perseas_recovery_replayed_bytes_total",
+            "After-image bytes replayed from the redo log during recovery.",
+        )
+        .add(report.replayed_bytes as u64);
+    registry
+        .histogram(
+            "perseas_recovery_replay_virtual_seconds",
+            "Virtual-time duration of the redo replay phase of recovery.",
+        )
+        .record_sim(SimDuration::from_nanos(report.replay_virtual_nanos));
     registry
         .gauge(
             "perseas_epoch",
@@ -514,6 +611,9 @@ mod tests {
             rolled_back_records: 5,
             regions: 2,
             bytes_recovered: 8192,
+            replayed_records: 3,
+            replayed_bytes: 640,
+            replay_virtual_nanos: 1200,
         };
         record_recovery(&registry, &report);
         record_recovery(&registry, &report);

@@ -68,6 +68,11 @@ pub(crate) struct MirrorState<M> {
     pub(crate) meta: RemoteSegment,
     pub(crate) undo: RemoteSegment,
     pub(crate) db: Vec<RemoteSegment>,
+    /// Redo-log segments by directory slot (empty unless `cfg.redo`).
+    pub(crate) redo: Vec<Option<RemoteSegment>>,
+    /// Log position this mirror's db-segment image covers (redo mode):
+    /// recovery from this mirror replays `(redo_snap, tail]` only.
+    pub(crate) redo_snap: u64,
     pub(crate) health: MirrorHealth,
     /// Reconnect probes attempted while `Down` (paces the backoff).
     pub(crate) probes: u32,
@@ -84,6 +89,8 @@ impl<M> MirrorState<M> {
             meta,
             undo,
             db: Vec::new(),
+            redo: Vec::new(),
+            redo_snap: 0,
             health: MirrorHealth::Healthy,
             probes: 0,
             orphans: Vec::new(),
@@ -143,6 +150,8 @@ pub struct Perseas<M: RemoteMemory> {
     pub(crate) conc: ConcState,
     /// The version store behind snapshot reads (empty unless `cfg.mvcc`).
     pub(crate) mvcc: MvccState,
+    /// State of the segmented redo log (unused unless `cfg.redo`).
+    pub(crate) redo: crate::redo::RedoState,
 }
 
 impl<M: RemoteMemory> Perseas<M> {
@@ -203,14 +212,16 @@ impl<M: RemoteMemory> Perseas<M> {
             metrics: None,
             conc: ConcState::new(cfg.commit_slots),
             mvcc: MvccState::new(cfg.version_bytes, cfg.version_entries),
+            redo: crate::redo::RedoState::new(cfg.redo_segments),
             cfg,
         })
     }
 
     /// Size of the metadata segment under `cfg`: the legacy layout plus,
-    /// for the concurrent engine, the trailing commit table.
+    /// for the concurrent engine, the trailing commit table, plus, in
+    /// redo mode, the redo-log directory nested before the tables.
     pub(crate) fn meta_len_for(cfg: &PerseasConfig) -> usize {
-        if cfg.shard_count > 0 {
+        let base = if cfg.shard_count > 0 {
             crate::layout::meta_segment_size_sharded(
                 cfg.max_regions,
                 cfg.commit_slots,
@@ -221,6 +232,11 @@ impl<M: RemoteMemory> Perseas<M> {
             meta_segment_size_concurrent(cfg.max_regions, cfg.commit_slots)
         } else {
             meta_segment_size(cfg.max_regions)
+        };
+        if cfg.redo {
+            base + crate::layout::redo_dir_size(cfg.redo_segments)
+        } else {
+            base
         }
     }
 
@@ -380,8 +396,11 @@ impl<M: RemoteMemory> Perseas<M> {
         // the batched path this push is deferred: commit sends the whole
         // undo prefix as one vectored write per mirror, which is safe
         // because the mirror's undo log is only consulted by recovery
-        // after the data-propagation phase has begun.
-        if !self.cfg.batched_commit {
+        // after the data-propagation phase has begun. In redo mode the
+        // mirrors never see undo bytes at all — that is the point of the
+        // design — the before-image stays local for abort and snapshot
+        // reads only.
+        if !self.cfg.batched_commit && !self.cfg.redo {
             let mut any_failed = false;
             for mi in 0..self.mirrors.len() {
                 if !self.mirrors[mi].is_healthy() {
@@ -487,8 +506,9 @@ impl<M: RemoteMemory> Perseas<M> {
         }
 
         // One remote burst per mirror for the whole batch (deferred to
-        // commit entirely on the batched path, as in `set_range`).
-        if !self.cfg.batched_commit {
+        // commit entirely on the batched path, never sent in redo mode,
+        // as in `set_range`).
+        if !self.cfg.batched_commit && !self.cfg.redo {
             let mut any_failed = false;
             for mi in 0..self.mirrors.len() {
                 if !self.mirrors[mi].is_healthy() {
@@ -821,7 +841,9 @@ impl<M: RemoteMemory> Perseas<M> {
 
         let mut in_doubt = None;
         if !txn.records.is_empty() {
-            let result = if self.cfg.batched_commit {
+            let result = if self.cfg.redo {
+                self.commit_redo(&mut txn, &ranges)
+            } else if self.cfg.batched_commit {
                 self.commit_batched(&mut txn, &ranges)
             } else {
                 self.commit_unbatched(&mut txn, &ranges)
@@ -952,7 +974,7 @@ impl<M: RemoteMemory> Perseas<M> {
     /// Writes the commit record to every surviving mirror. The loop
     /// never stops early on a transport failure, so on return every
     /// mirror that is still `Healthy` carries the record.
-    fn write_commit_records(&mut self, id: u64) -> Result<(), TxnError> {
+    pub(crate) fn write_commit_records(&mut self, id: u64) -> Result<(), TxnError> {
         let mut any_failed = false;
         for mi in 0..self.mirrors.len() {
             if !self.mirrors[mi].is_healthy() {
@@ -1016,7 +1038,16 @@ impl<M: RemoteMemory> Perseas<M> {
         self.stats.aborts += 1;
         self.emit(TraceEvent::TxnAborted { id: txn.id });
         if txn.mirrors_dirty {
-            self.restore_mirror_ranges(&coalesce(&txn.declared))?;
+            if self.cfg.redo {
+                // The failed commit appended this transaction's
+                // after-images to the log; the database segments were
+                // never touched. Publish an abort tombstone so replay
+                // treats the records as dead even once the watermark
+                // passes the id.
+                self.redo_abort_mark(txn.id)?;
+            } else {
+                self.restore_mirror_ranges(&coalesce(&txn.declared))?;
+            }
         }
         Ok(())
     }
@@ -1298,6 +1329,24 @@ impl<M: RemoteMemory> Perseas<M> {
         }
         let mut m = MirrorState::new(backend, meta, undo);
         m.db = db;
+        if self.cfg.redo {
+            // Fresh (zeroed) log segments for the live slots — no log
+            // content is copied. The newcomer's snapshot position is the
+            // current tail: the region images streamed above already
+            // contain every committed write, so recovery from this
+            // mirror has nothing to replay until the next commit.
+            m.redo = vec![None; self.cfg.redo_segments];
+            for (slot, seq) in self.redo.slot_seqs.iter().enumerate() {
+                if seq.is_some() {
+                    let seg = m
+                        .backend
+                        .remote_malloc(self.cfg.redo_segment_bytes, 0)
+                        .map_err(unavailable)?;
+                    m.redo[slot] = Some(seg);
+                }
+            }
+            m.redo_snap = self.redo.tail;
+        }
         let image = self.meta_image_for(&m);
         // Publish region table first, magic-bearing header last: a torn
         // publication leaves no valid magic, so recovery skips the
@@ -1443,6 +1492,30 @@ impl<M: RemoteMemory> Perseas<M> {
             resynced += region_len;
         }
 
+        // 3b. Fresh (zeroed) redo-log segments for the live slots, as in
+        //     `add_mirror`: the streamed region images are current
+        //     through the tail, so the rejoiner's snapshot position is
+        //     the tail and its log holds only post-rejoin appends.
+        if self.cfg.redo {
+            self.fault_step()?;
+            let slots = self.cfg.redo_segments;
+            self.mirrors[index].redo = vec![None; slots];
+            for slot in 0..slots {
+                if self.redo.slot_seqs[slot].is_none() {
+                    continue;
+                }
+                let m = &mut self.mirrors[index];
+                match m.backend.remote_malloc(self.cfg.redo_segment_bytes, 0) {
+                    Ok(seg) => m.redo[slot] = Some(seg),
+                    Err(e) => {
+                        self.abandon_rejoin(index, &e);
+                        return Err(unavailable(e));
+                    }
+                }
+            }
+            self.mirrors[index].redo_snap = self.redo.tail;
+        }
+
         // 4. Publish the metadata: region table first, the magic-bearing
         //    header last, so a torn publication leaves no valid image.
         //    The barrier after each part confirms the streamed regions
@@ -1542,6 +1615,7 @@ impl<M: RemoteMemory> Perseas<M> {
         let stale: Vec<SegmentId> = [m.meta.id, m.undo.id]
             .into_iter()
             .chain(std::mem::take(&mut m.db).into_iter().map(|s| s.id))
+            .chain(std::mem::take(&mut m.redo).into_iter().flatten().map(|s| s.id))
             .collect();
         for id in stale {
             if m.backend.remote_free(id).is_err() {
@@ -2041,6 +2115,12 @@ impl<M: RemoteMemory> Perseas<M> {
         self.emit(TraceEvent::UndoGrown {
             new_capacity: new_len,
         });
+        if self.cfg.redo {
+            // The undo log is purely local in redo mode (abort restore
+            // and snapshot-read masking); the mirrors hold no copy to
+            // grow.
+            return Ok(());
+        }
         let mut any_failed = false;
         for mi in 0..self.mirrors.len() {
             if !self.mirrors[mi].is_healthy() {
@@ -2101,6 +2181,11 @@ impl<M: RemoteMemory> Perseas<M> {
                     crate::layout::FLAG_SHARDED
                 } else {
                     0
+                }
+                | if self.cfg.redo {
+                    crate::layout::FLAG_REDO
+                } else {
+                    0
                 },
             commit_slots: if concurrent {
                 self.cfg.commit_slots as u32
@@ -2131,6 +2216,33 @@ impl<M: RemoteMemory> Perseas<M> {
             let base = commit_table_offset(image.len(), self.cfg.commit_slots);
             for (i, id) in self.conc.slot_ids.iter().enumerate() {
                 image[base + i * 8..base + i * 8 + 8].copy_from_slice(&id.to_le_bytes());
+            }
+        }
+        if self.cfg.redo {
+            use crate::layout::{
+                encode_redo_dir_header, encode_redo_entry, redo_entry_offset, redo_header_offset,
+                redo_snap_offset, redo_tail_offset, REDO_ENTRY_SIZE,
+            };
+            let dir_end = self.redo_dir_end_local(image.len());
+            let slots = self.cfg.redo_segments;
+            image[redo_header_offset(dir_end)..][..16].copy_from_slice(&encode_redo_dir_header(
+                self.cfg.redo_segment_bytes as u32,
+                slots as u32,
+            ));
+            image[redo_tail_offset(dir_end)..][..8]
+                .copy_from_slice(&self.redo.tail.to_le_bytes());
+            // The snapshot position is per-mirror: a newcomer's streamed
+            // image is current through the join-time tail even while the
+            // veterans' images cover an older snapshot.
+            image[redo_snap_offset(dir_end)..][..8].copy_from_slice(&m.redo_snap.to_le_bytes());
+            for slot in 0..slots {
+                if let (Some(seq), Some(seg)) = (
+                    self.redo.slot_seqs.get(slot).copied().flatten(),
+                    m.redo.get(slot).copied().flatten(),
+                ) {
+                    image[redo_entry_offset(dir_end, slots, slot)..][..REDO_ENTRY_SIZE]
+                        .copy_from_slice(&encode_redo_entry(seg.id.as_raw(), seq));
+                }
             }
         }
         image

@@ -50,6 +50,15 @@ pub struct RecoveryReport {
     pub regions: usize,
     /// Bytes copied remote→local to rebuild the database.
     pub bytes_recovered: usize,
+    /// Committed redo records replayed over the snapshot image (redo
+    /// mode only; 0 for undo images).
+    pub replayed_records: usize,
+    /// After-image payload bytes replayed from the redo log.
+    pub replayed_bytes: usize,
+    /// Virtual-time nanoseconds the replay phase cost (regions replay in
+    /// parallel, so this scales with the busiest region's share of the
+    /// live tail, not total history).
+    pub replay_virtual_nanos: u64,
 }
 
 impl<M: RemoteMemory> Perseas<M> {
@@ -113,6 +122,19 @@ impl<M: RemoteMemory> Perseas<M> {
         if concurrent {
             cfg.commit_slots = header.commit_slots as usize;
         }
+        // The commit-path mode is baked into the image the same way: an
+        // undo config replaying a redo image would trust db segments
+        // that are stale between snapshots, and a redo config would look
+        // for a log directory an undo image does not have.
+        let redo = header.flags & crate::layout::FLAG_REDO != 0;
+        if redo != cfg.redo {
+            return Err(TxnError::Unavailable(format!(
+                "commit-path mismatch: the mirror was written in {} mode \
+                 but the config selects {} mode",
+                if redo { "redo" } else { "undo" },
+                if cfg.redo { "redo" } else { "undo" }
+            )));
+        }
         // A sharded image carries its coordination-table geometry and
         // shard coordinates in the header; like the commit-slot count,
         // the mirror's layout overrides whatever the config guessed.
@@ -142,6 +164,10 @@ impl<M: RemoteMemory> Perseas<M> {
         let undo_seg = backend
             .segment_info(SegmentId::from_raw(header.undo_seg_id))
             .map_err(unavailable)?;
+
+        if redo {
+            return Perseas::recover_redo(backend, cfg, clock, meta, meta_image, header, db_segs, undo_seg);
+        }
 
         // 3. Scan the mirrored undo log for records of uncommitted
         //    transactions.
@@ -247,11 +273,15 @@ impl<M: RemoteMemory> Perseas<M> {
             rolled_back_records,
             regions: regions.len(),
             bytes_recovered,
+            replayed_records: 0,
+            replayed_bytes: 0,
+            replay_virtual_nanos: 0,
         };
 
         let undo_capacity = undo_shadow.len();
         let mut mirror = MirrorState::new(backend, meta, undo_seg);
         mirror.db = db_segs;
+        let redo_state = crate::redo::RedoState::new(cfg.redo_segments);
         let db = Perseas {
             cfg,
             clock,
@@ -272,6 +302,148 @@ impl<M: RemoteMemory> Perseas<M> {
             // A fresh store with a fresh generation: snapshots opened
             // before the crash fail typed on the recovered instance.
             mvcc: crate::mvcc::MvccState::new(cfg.version_bytes, cfg.version_entries),
+            redo: redo_state,
+        };
+        Ok((db, report))
+    }
+
+    /// The redo-mode arm of [`Perseas::recover_with_clock`]: the db
+    /// segments hold the last snapshot image, so recovery replays the
+    /// committed log suffix `(snapshot, tail]` on top of it instead of
+    /// rolling anything back. Uncommitted ids found live in the suffix
+    /// are resolved by presumed abort — a tombstone is appended (and
+    /// confirmed) for each *before* the watermark passes their ids.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_redo(
+        mut backend: M,
+        mut cfg: PerseasConfig,
+        clock: SimClock,
+        meta: RemoteSegment,
+        meta_image: Vec<u8>,
+        header: MetaHeader,
+        db_segs: Vec<RemoteSegment>,
+        undo_seg: RemoteSegment,
+    ) -> Result<(Self, RecoveryReport), TxnError> {
+        use crate::redo::{
+            append_recovery_tombstones, decode_redo_dir, replay_committed, scan_redo_suffix,
+            split_suffix_fates, RedoState,
+        };
+        // The directory's geometry is baked into the mirror and overrides
+        // whatever the config guessed, like the commit-slot count.
+        let mut dir = decode_redo_dir(&meta_image, &header)?;
+        cfg.redo_segment_bytes = dir.seg_size as usize;
+        cfg.redo_segments = dir.slot_count;
+
+        // 3. Scan the live log suffix and split it by commit fate.
+        let table = if cfg.concurrent {
+            decode_commit_table(&meta_image, cfg.commit_slots)
+        } else {
+            Vec::new()
+        };
+        let suffix = scan_redo_suffix(&mut backend, &dir)?;
+        let fates = split_suffix_fates(suffix, header.last_committed, &table);
+
+        // 4. Resolve the in-flight transactions (presumed abort): their
+        //    tombstones must be durable before the watermark below can
+        //    pass their ids, or a second crash would replay them as
+        //    committed.
+        let mut rolled_back_txns = fates.live_uncommitted.clone();
+        rolled_back_txns.sort_unstable();
+        append_recovery_tombstones(
+            &mut backend,
+            meta.id,
+            meta_image.len(),
+            &header,
+            &mut dir,
+            &rolled_back_txns,
+        )?;
+        let mut highest = header.last_committed.max(fates.highest_seen);
+        if cfg.concurrent {
+            for &sid in &table {
+                highest = highest.max(sid);
+            }
+        }
+        if highest != header.last_committed {
+            backend
+                .remote_write(meta.id, OFF_COMMIT, &highest.to_le_bytes())
+                .map_err(unavailable)?;
+        }
+        backend.flush().map_err(unavailable)?;
+
+        // 5. Rebuild the local image from the snapshot in the db
+        //    segments, then replay the committed suffix over it. The
+        //    replay cost scales with the live tail — this is the instant
+        //    restart the log-structured design buys.
+        let mut regions = Vec::with_capacity(db_segs.len());
+        let mut bytes_recovered = 0usize;
+        for seg in &db_segs {
+            let mut data = vec![0u8; seg.len];
+            if seg.len > 0 {
+                backend
+                    .remote_read(seg.id, 0, &mut data)
+                    .map_err(unavailable)?;
+            }
+            cfg.mem_cost.charge_memcpy(&clock, seg.len);
+            bytes_recovered += seg.len;
+            regions.push(data);
+        }
+        let replay_start = clock.now();
+        let (replayed_records, replayed_bytes) =
+            replay_committed(&mut regions, &fates.committed, &cfg, &clock)?;
+        let replay_virtual_nanos = clock.now().duration_since(replay_start).as_nanos();
+
+        let report = RecoveryReport {
+            last_committed: header.last_committed,
+            epoch: header.epoch,
+            rolled_back_txn: rolled_back_txns.first().copied(),
+            rolled_back_txns,
+            rolled_back_records: 0,
+            regions: regions.len(),
+            bytes_recovered,
+            replayed_records,
+            replayed_bytes,
+            replay_virtual_nanos,
+        };
+
+        // 6. Reconstruct the engine-side log state from the (possibly
+        //    tombstone-extended) directory.
+        let mut redo_state = RedoState::new(dir.slot_count);
+        redo_state.tail = dir.tail;
+        redo_state.snap_floor = dir.snap;
+        let mut mirror = MirrorState::new(backend, meta, undo_seg);
+        mirror.db = db_segs;
+        mirror.redo = vec![None; dir.slot_count];
+        mirror.redo_snap = dir.snap;
+        for (slot, entry) in dir.entries.iter().enumerate() {
+            if let Some((seg_id, seq)) = entry {
+                let seg = mirror
+                    .backend
+                    .segment_info(SegmentId::from_raw(*seg_id))
+                    .map_err(unavailable)?;
+                mirror.redo[slot] = Some(seg);
+                redo_state.slot_seqs[slot] = Some(*seq);
+            }
+        }
+        let undo_capacity = undo_seg.len;
+        let db = Perseas {
+            cfg,
+            clock,
+            mirrors: vec![mirror],
+            regions,
+            undo_shadow: vec![0; undo_capacity],
+            undo_off: 0,
+            phase: Phase::Ready,
+            txn: None,
+            epoch: header.epoch,
+            last_committed: highest,
+            next_txn_id: highest + 1,
+            stats: TxnStats::new(),
+            fault: FaultPlan::none(),
+            tracer: None,
+            metrics: None,
+            conc: ConcState::new(cfg.commit_slots),
+            mvcc: crate::mvcc::MvccState::new(cfg.version_bytes, cfg.version_entries),
+            redo: redo_state,
         };
         Ok((db, report))
     }
@@ -364,6 +536,15 @@ impl<M: RemoteMemory> Perseas<M> {
                     }
                 }
                 let _ = backend.remote_free(SegmentId::from_raw(header.undo_seg_id));
+                // A redo image also owns the live log segments its
+                // directory names.
+                if header.flags & crate::layout::FLAG_REDO != 0 {
+                    if let Ok(dir) = crate::redo::decode_redo_dir(&image, &header) {
+                        for (seg_id, _) in dir.entries.iter().flatten() {
+                            let _ = backend.remote_free(SegmentId::from_raw(*seg_id));
+                        }
+                    }
+                }
             }
             backend.remote_free(meta.id).map_err(unavailable)?;
         }

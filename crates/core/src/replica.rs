@@ -121,6 +121,17 @@ impl<M: RemoteMemory> ReadReplica<M> {
                 attempts: attempt,
             });
         }
+        if header.flags & crate::layout::FLAG_REDO != 0 {
+            // A redo-mode mirror's db segments only hold the last
+            // snapshot; the committed state lives partly in the log.
+            // Materialising it would mean replaying the suffix here —
+            // refuse rather than serve a stale image.
+            return Err(TxnError::Unavailable(
+                "mirror uses the redo commit path: its db segments lag the log, \
+                 so a read replica cannot snapshot it consistently"
+                    .into(),
+            ));
+        }
 
         let undo_seg = self
             .backend
@@ -422,6 +433,22 @@ mod tests {
         .unwrap();
         assert_eq!(&replica.region_snapshot(r).unwrap()[..8], &[7; 8]);
         server.shutdown();
+    }
+
+    #[test]
+    fn attach_refuses_redo_mirrors() {
+        let backend = SimRemote::new("redo-m");
+        let node = backend.node().clone();
+        let mut db = Perseas::init(vec![backend], PerseasConfig::default().with_redo(true)).unwrap();
+        let r = db.malloc(32).unwrap();
+        db.init_remote_db().unwrap();
+        db.transaction(|tx| tx.update(r, 0, &[5; 8])).unwrap();
+
+        let err = ReadReplica::attach(reopen(&node), PerseasConfig::default()).unwrap_err();
+        assert!(
+            matches!(&err, TxnError::Unavailable(m) if m.contains("redo commit path")),
+            "got {err:?}"
+        );
     }
 
     #[test]

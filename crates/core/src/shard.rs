@@ -230,7 +230,7 @@ pub struct ShardRecoveryReport {
 }
 
 /// A database partitioned across K independent [`Perseas`] shards (see
-/// the [module docs](crate::shard) for the commit protocol).
+/// the `shard` module docs for the commit protocol).
 ///
 /// Regions allocated through [`ShardedPerseas::malloc`] are spread
 /// round-robin: global region `g` lives on shard `g % K`. The global
@@ -686,7 +686,7 @@ impl<M: RemoteMemory> ShardedPerseas<M> {
     /// shard's ordinary commit path — no intent, no decision record, no
     /// traffic to any other shard. A transaction that touched several
     /// runs the prepare → intent → decision → fan-out protocol from the
-    /// [module docs](crate::shard).
+    /// `shard` module docs.
     ///
     /// # Errors
     ///
@@ -1181,27 +1181,35 @@ impl<M: RemoteMemory> ShardedPerseas<M> {
             // intent whose transaction aborted (tombstoned records) or
             // committed before the crash must not be re-resolved.
             let backend = &mut backends[s].0[p.best];
-            let undo_id = SegmentId::from_raw(p.header.undo_seg_id);
-            let mut undo = vec![0u8; p.header.undo_seg_len as usize];
-            backend
-                .remote_read(undo_id, 0, &mut undo)
-                .map_err(unavailable)?;
-            let region_lens: Vec<usize> = (0..p.header.region_count as usize)
-                .map(|i| {
-                    decode_region_entry(&p.image, i)
-                        .map(|(_, len)| len as usize)
-                        .map_err(TxnError::Unavailable)
-                })
-                .collect::<Result<_, _>>()?;
-            let in_doubt: HashSet<u64> = crate::recovery::scan_uncommitted_concurrent(
-                &undo,
-                watermark,
-                &table,
-                &region_lens,
-            )
-            .iter()
-            .map(|(rec, _)| rec.txn_id)
-            .collect();
+            let in_doubt: HashSet<u64> = if p.header.flags & crate::layout::FLAG_REDO != 0 {
+                // Redo shards: an intent is live while the log suffix
+                // still holds un-tombstoned records for the id.
+                crate::redo::redo_uncommitted_ids(backend, &p.image, &p.header, &table)?
+                    .into_iter()
+                    .collect()
+            } else {
+                let undo_id = SegmentId::from_raw(p.header.undo_seg_id);
+                let mut undo = vec![0u8; p.header.undo_seg_len as usize];
+                backend
+                    .remote_read(undo_id, 0, &mut undo)
+                    .map_err(unavailable)?;
+                let region_lens: Vec<usize> = (0..p.header.region_count as usize)
+                    .map(|i| {
+                        decode_region_entry(&p.image, i)
+                            .map(|(_, len)| len as usize)
+                            .map_err(TxnError::Unavailable)
+                    })
+                    .collect::<Result<_, _>>()?;
+                crate::recovery::scan_uncommitted_concurrent(
+                    &undo,
+                    watermark,
+                    &table,
+                    &region_lens,
+                )
+                .iter()
+                .map(|(rec, _)| rec.txn_id)
+                .collect()
+            };
             for (_, local, global, home) in intents {
                 if local <= watermark || table.contains(&local) || !in_doubt.contains(&local) {
                     continue;

@@ -241,6 +241,48 @@ pub enum TraceEvent {
         /// Store payload bytes remaining.
         store_bytes: usize,
     },
+    /// A commit (or abort tombstone) appended records to the segmented
+    /// redo log on every healthy mirror (redo mode only, see
+    /// [`PerseasConfig::with_redo`](crate::PerseasConfig::with_redo)).
+    RedoAppend {
+        /// Records in the appended batch (after-images and tombstones).
+        records: usize,
+        /// Encoded bytes appended, per mirror (headers + payloads).
+        bytes: usize,
+        /// Absolute log byte position of the new tail.
+        tail: u64,
+        /// Log bytes above the compaction floor after this append.
+        live_bytes: u64,
+    },
+    /// An append reached a fresh log segment: one was allocated on every
+    /// healthy mirror and published in the log directory.
+    RedoSegmentOpened {
+        /// The segment's log sequence number.
+        seq: u64,
+        /// Directory slot it occupies.
+        slot: usize,
+        /// Live log segments after opening it.
+        live: usize,
+    },
+    /// A consistent region image was streamed to every healthy mirror
+    /// and the snapshot position advanced to the tail: recovery now
+    /// replays only records appended after this point.
+    RedoSnapshot {
+        /// Log position the snapshot covers (the tail at capture).
+        tail: u64,
+        /// Region bytes streamed, per mirror.
+        bytes: usize,
+    },
+    /// Fully-snapshotted log segments were retired: their directory
+    /// entries zeroed, their remote memory freed.
+    RedoCompacted {
+        /// Segments retired.
+        segments: usize,
+        /// Remote bytes freed, per mirror.
+        freed_bytes: usize,
+        /// Live log segments remaining.
+        live: usize,
+    },
 }
 
 /// A sink for [`TraceEvent`]s.

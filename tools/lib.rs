@@ -91,22 +91,35 @@ pub fn compare(baseline: &Json, current: &Json) -> Result<Vec<Check>, String> {
     };
     let mut checks = Vec::new();
     for (metric, spec) in gates {
-        let better = spec
-            .get("better")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("{bench}/{metric}: gate missing \"better\""))?;
-        let higher_is_better = match better {
-            "higher" => true,
-            "lower" => false,
-            other => {
+        // A gate may name a metric *class* instead of spelling the
+        // direction out: "duration" means lower-is-better with a 20%
+        // default tolerance (virtual-time durations are deterministic,
+        // but a replay-length change legitimately moves them a little).
+        // Explicit "better"/"tolerance_pct" keys override the class.
+        let (class_better, class_tol) = match spec.get("class").and_then(Json::as_str) {
+            None => (None, None),
+            Some("duration") => (Some(false), Some(20.0)),
+            Some(other) => {
+                return Err(format!(
+                    "{bench}/{metric}: unknown gate class {other:?} (known: \"duration\")"
+                ))
+            }
+        };
+        let higher_is_better = match spec.get("better").and_then(Json::as_str) {
+            Some("higher") => true,
+            Some("lower") => false,
+            Some(other) => {
                 return Err(format!(
                     "{bench}/{metric}: \"better\" must be \"higher\" or \"lower\", got {other:?}"
                 ))
             }
+            None => class_better
+                .ok_or_else(|| format!("{bench}/{metric}: gate missing \"better\""))?,
         };
         let tolerance_pct = spec
             .get("tolerance_pct")
             .and_then(Json::as_f64)
+            .or(class_tol)
             .ok_or_else(|| format!("{bench}/{metric}: gate missing \"tolerance_pct\""))?;
         let base = lookup(base_metrics, metric)
             .ok_or_else(|| format!("{bench}/{metric}: gated metric absent from baseline"))?;
@@ -265,6 +278,78 @@ mod tests {
             ),
         ]);
         assert!(compare(&base, &base).unwrap_err().contains("sideways"));
+    }
+
+    fn duration_file(replay_us: f64, tolerance: Option<f64>) -> Json {
+        let mut gate_spec = vec![("class", Json::str("duration"))];
+        if let Some(t) = tolerance {
+            gate_spec.push(("tolerance_pct", Json::Num(t)));
+        }
+        Json::object(vec![
+            ("bench", Json::str("redo_recovery")),
+            (
+                "metrics",
+                Json::object(vec![("replay_virtual_us", Json::Num(replay_us))]),
+            ),
+            (
+                "gate",
+                Json::object(vec![("replay_virtual_us", Json::object(gate_spec))]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn duration_class_implies_lower_is_better_with_default_tolerance() {
+        let base = duration_file(100.0, None);
+        let checks = compare(&base, &base).unwrap();
+        assert_eq!(checks.len(), 1);
+        let c = &checks[0];
+        assert!(!c.higher_is_better, "duration is lower-is-better");
+        assert_eq!(c.tolerance_pct, 20.0, "default duration tolerance");
+        assert!(!c.regressed);
+    }
+
+    #[test]
+    fn doctored_2x_duration_regression_fails() {
+        // The acceptance criterion for the class: a doctored 2x duration
+        // must trip the gate, with and without an explicit tolerance.
+        let base = duration_file(100.0, None);
+        let bad = duration_file(200.0, None);
+        let c = &compare(&base, &bad).unwrap()[0];
+        assert!(c.regressed, "2x duration must regress: {c:?}");
+        assert!((c.regression_pct() - 100.0).abs() < 1e-9);
+
+        let base = duration_file(100.0, Some(50.0));
+        let bad = duration_file(200.0, Some(50.0));
+        let c = &compare(&base, &bad).unwrap()[0];
+        assert_eq!(c.tolerance_pct, 50.0, "explicit tolerance overrides");
+        assert!(c.regressed, "2x beats even a 50% tolerance");
+    }
+
+    #[test]
+    fn duration_class_improvement_passes() {
+        let base = duration_file(100.0, None);
+        let fast = duration_file(40.0, None);
+        let c = &compare(&base, &fast).unwrap()[0];
+        assert!(!c.regressed);
+        assert!(c.regression_pct() < 0.0);
+    }
+
+    #[test]
+    fn unknown_gate_class_is_an_error() {
+        let mut base = duration_file(100.0, None);
+        if let Json::Object(fields) = &mut base {
+            for (k, v) in fields.iter_mut() {
+                if k == "gate" {
+                    *v = Json::object(vec![(
+                        "replay_virtual_us",
+                        Json::object(vec![("class", Json::str("latency"))]),
+                    )]);
+                }
+            }
+        }
+        let err = compare(&base, &base).unwrap_err();
+        assert!(err.contains("unknown gate class"), "{err}");
     }
 
     #[test]

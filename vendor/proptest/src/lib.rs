@@ -203,7 +203,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: a fixed size or a range of sizes.
+    /// Length specification for [`vec()`]: a fixed size or a range of sizes.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -321,8 +321,39 @@ pub mod test_runner {
 
     impl TestRunner {
         /// Creates a runner with `config`.
-        pub fn new(config: ProptestConfig) -> Self {
+        ///
+        /// The `PROPTEST_CASES` environment variable overrides
+        /// `config.cases` when set to a positive integer, so nightly CI
+        /// can raise every property suite's case count without source
+        /// changes.
+        pub fn new(mut config: ProptestConfig) -> Self {
+            if let Some(cases) = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|&c| c > 0)
+            {
+                config.cases = cases;
+            }
             TestRunner { config }
+        }
+
+        /// Appends the failing case's reproduction seed to
+        /// `$PROPTEST_FAILURE_DIR/seeds.csv` so CI can upload it as a
+        /// failure artifact. A no-op when the variable is unset.
+        fn record_failure(name: &str, draw: u64, case_seed: u64) {
+            let Ok(dir) = std::env::var("PROPTEST_FAILURE_DIR") else {
+                return;
+            };
+            let _ = std::fs::create_dir_all(&dir);
+            let path = std::path::Path::new(&dir).join("seeds.csv");
+            use std::io::Write as _;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = f.write_all(format!("{name},{draw},{case_seed:#018x}\n").as_bytes());
+            }
         }
 
         /// Runs `case` until `config.cases` draws pass.
@@ -342,7 +373,8 @@ pub mod test_runner {
             let mut passed = 0u32;
             let mut draw = 0u64;
             while passed < self.config.cases {
-                let mut rng = TestRng::new(seed.wrapping_add(draw));
+                let case_seed = seed.wrapping_add(draw);
+                let mut rng = TestRng::new(case_seed);
                 draw += 1;
                 match case(&mut rng) {
                     Ok(()) => passed += 1,
@@ -356,6 +388,7 @@ pub mod test_runner {
                         }
                     }
                     Err(TestCaseError::Fail(msg)) => {
+                        Self::record_failure(name, draw, case_seed);
                         panic!("{name}: case {passed} (draw {draw}) failed: {msg}")
                     }
                 }
@@ -519,5 +552,28 @@ mod tests {
         fn oneof_draws_every_arm(sel in prop_oneof![2 => Just(1u8), 1 => Just(2u8)]) {
             prop_assert!(sel == 1 || sel == 2);
         }
+    }
+
+    // Not under `proptest!`: drives a runner by hand to check that a
+    // failing case appends its reproduction seed to
+    // `$PROPTEST_FAILURE_DIR/seeds.csv`. The env var is process-global,
+    // so the directory is unique per process and the variable is set
+    // exactly once here (no other test in this binary reads it).
+    #[test]
+    fn failing_case_records_seed_for_ci_artifact() {
+        use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+        let dir = std::env::temp_dir().join(format!("proptest-seeds-{}", std::process::id()));
+        std::env::set_var("PROPTEST_FAILURE_DIR", &dir);
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+            runner.run_named("seed_recording_probe", |_rng| {
+                Err(TestCaseError::Fail("forced".to_string()))
+            });
+        });
+        std::env::remove_var("PROPTEST_FAILURE_DIR");
+        assert!(result.is_err(), "the failing case still panics");
+        let seeds = std::fs::read_to_string(dir.join("seeds.csv")).unwrap();
+        assert!(seeds.starts_with("seed_recording_probe,1,0x"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
